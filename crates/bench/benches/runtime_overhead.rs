@@ -1,0 +1,93 @@
+//! Criterion bench B-runtime: overheads of the real-thread runtimes.
+//!
+//! Compares the work-stealing pool against the PDF pool (whose ready queue is a
+//! centralized priority queue) on pure spawn/join trees, a parallel map-reduce and
+//! a parallel merge sort, plus the sequential baseline.  On a machine with few
+//! cores the interesting output is the per-spawn overhead gap between the two
+//! policies, which is the practical cost PDF pays for its cache benefits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdfws_runtime::{PdfPool, WsPool};
+use pdfws_workloads::threaded::{parallel_map_reduce, parallel_merge_sort, spawn_tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn pool_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn bench_spawn_tree(c: &mut Criterion) {
+    let ws = WsPool::new(pool_threads()).unwrap();
+    let pdf = PdfPool::new(pool_threads()).unwrap();
+    let mut group = c.benchmark_group("spawn_join_tree_depth10");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function("ws", |b| b.iter(|| black_box(spawn_tree(&ws, 10))));
+    group.bench_function("pdf", |b| b.iter(|| black_box(spawn_tree(&pdf, 10))));
+    group.finish();
+}
+
+fn bench_map_reduce(c: &mut Criterion) {
+    let ws = WsPool::new(pool_threads()).unwrap();
+    let pdf = PdfPool::new(pool_threads()).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<u64> = (0..1 << 18).map(|_| rng.gen()).collect();
+    let mut group = c.benchmark_group("map_reduce_256k");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(
+                data.iter()
+                    .map(|&x| x.wrapping_mul(2654435761))
+                    .fold(0u64, u64::wrapping_add),
+            )
+        })
+    });
+    group.bench_function("ws", |b| {
+        b.iter(|| black_box(parallel_map_reduce(&ws, &data, 4096, &|x| x.wrapping_mul(2654435761))))
+    });
+    group.bench_function("pdf", |b| {
+        b.iter(|| black_box(parallel_map_reduce(&pdf, &data, 4096, &|x| x.wrapping_mul(2654435761))))
+    });
+    group.finish();
+}
+
+fn bench_merge_sort(c: &mut Criterion) {
+    let ws = WsPool::new(pool_threads()).unwrap();
+    let pdf = PdfPool::new(pool_threads()).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let data: Vec<u64> = (0..1 << 16).map(|_| rng.gen()).collect();
+    let mut group = c.benchmark_group("merge_sort_64k");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            v.sort_unstable();
+            black_box(v.len())
+        })
+    });
+    group.bench_function("ws", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            parallel_merge_sort(&ws, &mut v, 4096);
+            black_box(v.len())
+        })
+    });
+    group.bench_function("pdf", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            parallel_merge_sort(&pdf, &mut v, 4096);
+            black_box(v.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spawn_tree, bench_map_reduce, bench_merge_sort);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench: raw throughput of the simulation substrates.
+//!
+//! Tracks how many simulated memory references per second the cache hierarchy and
+//! the execution engine sustain.  These are not paper results; they bound how
+//! large the paper-scale experiments can be, so regressions here matter to every
+//! other bench.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdfws_cache_sim::CmpCacheHierarchy;
+use pdfws_cmp_model::default_config;
+use pdfws_schedulers::{simulate, SchedulerKind, SimOptions};
+use pdfws_workloads::{SyntheticTree, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_hierarchy_accesses(c: &mut Criterion) {
+    let cfg = default_config(8).expect("default configuration");
+    let mut rng = StdRng::seed_from_u64(3);
+    let addrs: Vec<(usize, u64, bool)> = (0..100_000)
+        .map(|_| {
+            (
+                rng.gen_range(0..8usize),
+                rng.gen_range(0..1u64 << 24),
+                rng.gen_bool(0.3),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("cache_hierarchy");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function("random_accesses_100k", |b| {
+        b.iter(|| {
+            let mut hier = CmpCacheHierarchy::new(&cfg);
+            let mut offchip = 0u64;
+            for &(core, addr, write) in &addrs {
+                offchip += hier.access(core, addr, write).offchip_bytes;
+            }
+            black_box(offchip)
+        })
+    });
+    group.finish();
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let workload = SyntheticTree {
+        depth: 6,
+        fanout: 2,
+        leaf_instructions: 2_000,
+        leaf_private_bytes: 32 * 1024,
+        shared_bytes: 256 * 1024,
+        shared_fraction: 0.5,
+        passes: 2,
+    };
+    let dag = workload.build_dag();
+    let refs = dag.analyze().memory_accesses;
+    let cfg = default_config(8).expect("default configuration");
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(refs));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+        group.bench_function(format!("synthetic_tree_{}", kind.short_name()), |b| {
+            b.iter(|| black_box(simulate(&dag, &cfg, kind, &SimOptions::default()).cycles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy_accesses, bench_engine_throughput);
+criterion_main!(benches);

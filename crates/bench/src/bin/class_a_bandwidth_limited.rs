@@ -1,0 +1,52 @@
+//! Experiment E-classA: bandwidth-limited irregular and parallel
+//! divide-and-conquer programs — the classes where the paper reports a 1.3–1.6×
+//! relative speedup for PDF over WS and a 13–41 % reduction in off-chip traffic.
+//!
+//! ```text
+//! cargo run --release -p pdfws-bench --bin class_a_bandwidth_limited [-- --quick]
+//! ```
+
+use pdfws_bench::{compare_pdf_ws, comparison_table, quick_mode, scaled, sizes, ComparisonRow};
+use pdfws_workloads::{HashJoin, LuDecomposition, MatMul, MergeSort, QuickSort, SpMv};
+
+fn main() {
+    let quick = quick_mode();
+    let cores = [8usize, 16, 32];
+    let mut rows: Vec<ComparisonRow> = Vec::new();
+
+    let mergesort = MergeSort::new(scaled(sizes::MERGESORT_KEYS, quick));
+    let quicksort = QuickSort::new(scaled(sizes::MERGESORT_KEYS, quick));
+    let matmul = MatMul::new(if quick { 128 } else { sizes::MATRIX_N });
+    let lu = LuDecomposition::new(if quick { 128 } else { sizes::MATRIX_N });
+    let spmv = SpMv::new(scaled(sizes::SPMV_ROWS, quick));
+    let hashjoin = HashJoin::new(scaled(sizes::HASHJOIN_BUILD, quick));
+
+    let workloads: Vec<&dyn pdfws_workloads::Workload> =
+        vec![&mergesort, &quicksort, &matmul, &lu, &spmv, &hashjoin];
+    for w in workloads {
+        eprintln!("# running {} ({}) ...", w.name(), w.class());
+        rows.extend(compare_pdf_ws(w, &cores));
+    }
+
+    let table = comparison_table(
+        "Class A: divide-and-conquer + bandwidth-limited irregular (PDF vs WS)",
+        &rows,
+    );
+    println!("{}", table.to_text());
+    println!("CSV:\n{}", table.to_csv());
+
+    // Summary against the paper's headline numbers (at 32 cores).
+    let at32: Vec<&ComparisonRow> = rows.iter().filter(|r| r.cores == 32).collect();
+    if !at32.is_empty() {
+        let speedups: Vec<f64> = at32.iter().map(|r| r.relative_speedup).collect();
+        let reductions: Vec<f64> = at32.iter().map(|r| r.traffic_reduction_percent).collect();
+        println!(
+            "At 32 cores: relative speedup (pdf/ws) range {:.2}-{:.2} (paper: 1.3-1.6), \
+             off-chip traffic reduction range {:.0}%-{:.0}% (paper: 13-41%)",
+            speedups.iter().cloned().fold(f64::INFINITY, f64::min),
+            speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            reductions.iter().cloned().fold(f64::INFINITY, f64::min),
+            reductions.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+    }
+}

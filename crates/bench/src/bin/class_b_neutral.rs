@@ -1,0 +1,42 @@
+//! Experiment E-classB: application classes where PDF and WS perform about the
+//! same — programs with limited exploitable data reuse (parallel scan/map) and
+//! programs that are not limited by off-chip bandwidth (compute-bound kernel).
+//! PDF's constructive sharing still shrinks the working set (relevant for the
+//! power / multiprogramming findings) but does not change the running time much.
+//!
+//! ```text
+//! cargo run --release -p pdfws-bench --bin class_b_neutral [-- --quick]
+//! ```
+
+use pdfws_bench::{compare_pdf_ws, comparison_table, quick_mode, scaled, sizes, ComparisonRow};
+use pdfws_workloads::{ComputeKernel, ParallelScan};
+
+fn main() {
+    let quick = quick_mode();
+    let cores = [8usize, 16, 32];
+    let mut rows: Vec<ComparisonRow> = Vec::new();
+
+    let scan = ParallelScan::new(scaled(sizes::SCAN_N, quick));
+    let compute = ComputeKernel::new(scaled(sizes::COMPUTE_ITEMS, quick));
+    let workloads: Vec<&dyn pdfws_workloads::Workload> = vec![&scan, &compute];
+    for w in workloads {
+        eprintln!("# running {} ({}) ...", w.name(), w.class());
+        rows.extend(compare_pdf_ws(w, &cores));
+    }
+
+    let table = comparison_table(
+        "Class B: limited reuse / not bandwidth-bound (PDF vs WS, expected to tie)",
+        &rows,
+    );
+    println!("{}", table.to_text());
+    println!("CSV:\n{}", table.to_csv());
+
+    let max_gap = rows
+        .iter()
+        .map(|r| (r.relative_speedup - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "Largest |relative speedup - 1| across class-B cells: {:.3} (paper: roughly the same execution times)",
+        max_gap
+    );
+}

@@ -1,0 +1,82 @@
+//! Experiment E-coarse: coarse-grained (SMP-style) threading vs. fine-grained
+//! threading under both schedulers.
+//!
+//! The paper: "most parallel benchmarks to date, written for SMPs, use such a
+//! coarse-grained threading that they cannot exploit the constructive cache
+//! behavior inherent in PDF.  We find that mechanisms to finely grain
+//! multithreaded applications are crucial to achieving good performance on CMPs."
+//!
+//! For merge sort and matmul this binary compares four variants at each core
+//! count: {fine, coarse} × {PDF, WS}, reporting L2 MPKI and speedup.
+//!
+//! ```text
+//! cargo run --release -p pdfws-bench --bin coarse_vs_fine [-- --quick]
+//! ```
+
+use pdfws_bench::{quick_mode, scaled, sizes};
+use pdfws_core::prelude::*;
+use pdfws_metrics::{Series, Table};
+use pdfws_workloads::{MatMul, MergeSort, Workload};
+
+fn run_variant(workload: &dyn Workload, cores: &[usize]) -> (Vec<f64>, Vec<f64>) {
+    let report = Experiment::new(WorkloadSpec::from_workload(workload))
+        .core_sweep(cores)
+        .schedulers(&[SchedulerKind::Pdf])
+        .run()
+        .expect("default configurations exist");
+    let mpki = cores
+        .iter()
+        .map(|&c| report.find(c, SchedulerKind::Pdf).unwrap().metrics.l2_mpki())
+        .collect();
+    let speedup = cores
+        .iter()
+        .map(|&c| report.speedup(report.find(c, SchedulerKind::Pdf).unwrap()))
+        .collect();
+    (mpki, speedup)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let cores = [8usize, 16, 32];
+    let x: Vec<String> = cores.iter().map(|c| c.to_string()).collect();
+
+    let n_keys = scaled(sizes::MERGESORT_KEYS, quick);
+    let n = if quick { 128 } else { sizes::MATRIX_N };
+
+    let mut mpki_table = Table::new(
+        "Coarse vs fine-grained threading under PDF: L2 misses per 1000 instructions",
+        "cores",
+        x.clone(),
+    );
+    let mut speedup_table = Table::new(
+        "Coarse vs fine-grained threading under PDF: speedup over sequential",
+        "cores",
+        x,
+    );
+
+    let variants: Vec<(&str, Box<dyn Workload>)> = vec![
+        ("mergesort-fine", Box::new(MergeSort::new(n_keys))),
+        (
+            "mergesort-coarse",
+            Box::new(MergeSort::new(n_keys).coarse_grained(32)),
+        ),
+        ("matmul-fine", Box::new(MatMul::new(n))),
+        ("matmul-coarse", Box::new(MatMul::new(n).coarse_grained(32))),
+    ];
+
+    for (label, workload) in &variants {
+        eprintln!("# running {label} ...");
+        let (mpki, speedup) = run_variant(workload.as_ref(), &cores);
+        mpki_table.push_series(Series::new(*label, mpki));
+        speedup_table.push_series(Series::new(*label, speedup));
+    }
+
+    println!("{}", mpki_table.to_text());
+    println!("{}", speedup_table.to_text());
+    println!("CSV (mpki):\n{}", mpki_table.to_csv());
+    println!("CSV (speedup):\n{}", speedup_table.to_csv());
+    println!(
+        "Expected shape: the fine-grained variants scale and keep MPKI low; the coarse \
+         variants lose both the load balance and the constructive-sharing benefit."
+    );
+}

@@ -1,0 +1,29 @@
+//! Experiment F1: Figure 1 — parallel merge sort under PDF vs. WS on the default
+//! configurations, 1–32 cores.
+//!
+//! Left panel: L2 misses per 1000 instructions.  Right panel: speedup over the
+//! one-core sequential run.
+//!
+//! ```text
+//! cargo run --release -p pdfws-bench --bin fig1_mergesort            # paper-scale
+//! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --quick # smoke test
+//! ```
+
+use pdfws_bench::{figure1_tables, paper_core_counts, quick_mode, scaled, sizes};
+use pdfws_workloads::MergeSort;
+
+fn main() {
+    let quick = quick_mode();
+    let n_keys = scaled(sizes::MERGESORT_KEYS, quick);
+    let workload = MergeSort::new(n_keys);
+    eprintln!(
+        "# parallel merge sort, n = {n_keys} keys ({} MiB per buffer){}",
+        n_keys * 8 / (1024 * 1024),
+        if quick { " [quick mode]" } else { "" }
+    );
+    let (mpki, speedup) = figure1_tables(&workload, &paper_core_counts());
+    println!("{}", mpki.to_text());
+    println!("{}", speedup.to_text());
+    println!("CSV (L2 misses / 1000 instr):\n{}", mpki.to_csv());
+    println!("CSV (speedup over sequential):\n{}", speedup.to_csv());
+}

@@ -1,0 +1,117 @@
+//! Experiment E-power: the power-down and multiprogramming corollaries of PDF's
+//! smaller working set.
+//!
+//! 1. *Cache power-down*: rerun merge sort under PDF and WS with 100 %, 50 % and
+//!    25 % of the shared L2 powered on.  The paper's claim is that PDF's smaller
+//!    working set lets segments be powered down "without increasing the running
+//!    time" — so PDF's slowdown curve should stay much flatter than WS's, and the
+//!    energy estimate (leakage ∝ powered capacity) should drop.
+//! 2. *Multiprogramming*: rerun with a synthetic co-runner that periodically
+//!    sweeps its own working set through the shared L2.  PDF's smaller working set
+//!    is "more likely to remain in the cache across context switches", so its
+//!    slowdown from the co-runner should be smaller.
+//!
+//! ```text
+//! cargo run --release -p pdfws-bench --bin power_and_multiprogramming [-- --quick]
+//! ```
+
+use pdfws_bench::{quick_mode, scaled, sizes};
+use pdfws_cache_sim::power::{estimate_energy, EnergyModel};
+use pdfws_cmp_model::{default_config, sweep::sweep_l2_fraction};
+use pdfws_core::prelude::*;
+use pdfws_metrics::{Series, Table};
+
+const CORES: usize = 8;
+
+fn main() {
+    let quick = quick_mode();
+    let n_keys = scaled(sizes::MERGESORT_KEYS, quick);
+    let spec = MergeSort::new(n_keys).into_spec();
+    let base_cfg = default_config(CORES).expect("8-core default configuration exists");
+
+    // --- Part 1: powering down L2 segments -----------------------------------
+    let fractions = [1.0, 0.5, 0.25];
+    let configs = sweep_l2_fraction(&base_cfg, &fractions).expect("valid L2 fractions");
+    let x: Vec<String> = fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+    let mut slowdown_table = Table::new(
+        "Cache power-down: run time relative to the fully-powered L2 (8 cores, merge sort)",
+        "powered_l2",
+        x.clone(),
+    );
+    let mut energy_table = Table::new(
+        "Cache power-down: estimated energy (mJ) at each powered fraction",
+        "powered_l2",
+        x,
+    );
+
+    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+        let mut cycles = Vec::new();
+        let mut energies = Vec::new();
+        for (cfg, &fraction) in configs.iter().zip(&fractions) {
+            let report = Experiment::new(spec.clone())
+                .cores(CORES)
+                .with_config(*cfg)
+                .schedulers(&[kind])
+                .run()
+                .expect("experiment runs");
+            let run = report.find(CORES, kind).unwrap();
+            let energy = estimate_energy(
+                &run.metrics.hierarchy,
+                cfg,
+                run.metrics.cycles,
+                fraction,
+                &EnergyModel::default(),
+            );
+            cycles.push(run.metrics.cycles as f64);
+            energies.push(energy.total_mj());
+        }
+        let baseline = cycles[0];
+        slowdown_table.push_series(Series::new(
+            kind.short_name(),
+            cycles.iter().map(|c| c / baseline).collect(),
+        ));
+        energy_table.push_series(Series::new(kind.short_name(), energies));
+    }
+    println!("{}", slowdown_table.to_text());
+    println!("{}", energy_table.to_text());
+
+    // --- Part 2: multiprogramming (co-runner polluting the shared L2) --------
+    let disturbance = Disturbance {
+        period_cycles: 200_000,
+        blocks_per_burst: 4_096,
+        region_base_block: 1 << 34,
+        region_blocks: 1 << 16,
+    };
+    let mut mp_table = Table::new(
+        "Multiprogramming: slowdown when a co-runner periodically sweeps the shared L2 (8 cores)",
+        "scenario",
+        vec!["alone".to_string(), "with co-runner".to_string()],
+    );
+    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+        let alone = Experiment::new(spec.clone())
+            .cores(CORES)
+            .schedulers(&[kind])
+            .run()
+            .expect("experiment runs");
+        let noisy = Experiment::new(spec.clone())
+            .cores(CORES)
+            .schedulers(&[kind])
+            .options(SimOptions {
+                disturbance: Some(disturbance),
+                ..SimOptions::default()
+            })
+            .run()
+            .expect("experiment runs");
+        let alone_cycles = alone.find(CORES, kind).unwrap().metrics.cycles as f64;
+        let noisy_cycles = noisy.find(CORES, kind).unwrap().metrics.cycles as f64;
+        mp_table.push_series(Series::new(
+            kind.short_name(),
+            vec![1.0, noisy_cycles / alone_cycles],
+        ));
+    }
+    println!("{}", mp_table.to_text());
+    println!(
+        "Expected shape: PDF's slowdown under reduced L2 and under the co-runner is smaller \
+         than WS's, and powering down segments saves leakage energy."
+    );
+}

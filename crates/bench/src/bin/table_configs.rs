@@ -1,0 +1,14 @@
+//! Experiment T-config: the default CMP configurations (the paper's
+//! "CMP configurations studied" — 240 mm² die, 1–32 cores, 90 nm → 32 nm).
+//!
+//! ```text
+//! cargo run --release -p pdfws-bench --bin table_configs
+//! ```
+
+use pdfws_bench::{config_table, paper_core_counts};
+
+fn main() {
+    let table = config_table(&paper_core_counts());
+    println!("{}", table.to_text());
+    println!("CSV:\n{}", table.to_csv());
+}

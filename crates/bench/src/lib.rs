@@ -1,0 +1,232 @@
+//! Shared harness code for the experiment binaries and Criterion benches.
+//!
+//! Every figure and finding of the paper has a binary in `src/bin/` that prints
+//! the corresponding table (text + CSV); the functions here build those tables so
+//! the Criterion benches and the binaries measure exactly the same thing.
+//! See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
+//! results.
+
+use pdfws_cmp_model::default_config;
+use pdfws_core::prelude::*;
+use pdfws_metrics::{Series, Table};
+use pdfws_workloads::Workload;
+
+/// The core counts on the x-axis of Figure 1.
+pub fn paper_core_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32]
+}
+
+/// Default problem sizes used by the experiment binaries.  They are chosen so the
+/// dataset exceeds the shared L2 of the larger default configurations (the regime
+/// the paper studies); `--quick` in the binaries divides them down for smoke runs.
+pub mod sizes {
+    /// Keys sorted by the Figure 1 merge sort.
+    pub const MERGESORT_KEYS: u64 = 1 << 20;
+    /// Matrix dimension for matmul / LU.
+    pub const MATRIX_N: u64 = 512;
+    /// Rows for SpMV.
+    pub const SPMV_ROWS: u64 = 1 << 17;
+    /// Build-side tuples for the hash join.
+    pub const HASHJOIN_BUILD: u64 = 1 << 16;
+    /// Elements for the scan.
+    pub const SCAN_N: u64 = 1 << 21;
+    /// Items for the compute-bound kernel.
+    pub const COMPUTE_ITEMS: u64 = 1 << 17;
+}
+
+/// Run one workload across the paper's core counts under PDF and WS and return
+/// the two Figure-1 panels: (L2 misses per 1000 instructions, speedup over the
+/// one-core run).
+pub fn figure1_tables(workload: &dyn Workload, core_counts: &[usize]) -> (Table, Table) {
+    let spec = WorkloadSpec::from_workload(workload);
+    let report = Experiment::new(spec)
+        .core_sweep(core_counts)
+        .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+        .run()
+        .expect("default configurations exist for the paper's core counts");
+
+    let x: Vec<String> = core_counts.iter().map(|c| c.to_string()).collect();
+    let mut mpki = Table::new(
+        format!("{}: L2 misses per 1000 instructions (Figure 1, left)", workload.name()),
+        "cores",
+        x.clone(),
+    );
+    let mut speedup = Table::new(
+        format!("{}: speedup over sequential (Figure 1, right)", workload.name()),
+        "cores",
+        x,
+    );
+    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+        let mut mpki_vals = Vec::new();
+        let mut speedup_vals = Vec::new();
+        for &cores in core_counts {
+            let run = report
+                .find(cores, kind)
+                .expect("every sweep cell was simulated");
+            mpki_vals.push(run.metrics.l2_mpki());
+            speedup_vals.push(report.speedup(run));
+        }
+        mpki.push_series(Series::new(kind.short_name(), mpki_vals));
+        speedup.push_series(Series::new(kind.short_name(), speedup_vals));
+    }
+    (mpki, speedup)
+}
+
+/// One row of the per-class comparison tables: the PDF-vs-WS comparison for one
+/// workload at one core count.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Workload name.
+    pub workload: String,
+    /// Application class.
+    pub class: String,
+    /// Core count.
+    pub cores: usize,
+    /// WS makespan / PDF makespan (> 1 means PDF faster).
+    pub relative_speedup: f64,
+    /// Percent reduction in off-chip traffic under PDF.
+    pub traffic_reduction_percent: f64,
+    /// PDF L2 misses per 1000 instructions.
+    pub pdf_mpki: f64,
+    /// WS L2 misses per 1000 instructions.
+    pub ws_mpki: f64,
+}
+
+/// Compare PDF against WS for one workload at the given core counts.
+pub fn compare_pdf_ws(workload: &dyn Workload, core_counts: &[usize]) -> Vec<ComparisonRow> {
+    let spec = WorkloadSpec::from_workload(workload);
+    let report = Experiment::new(spec)
+        .core_sweep(core_counts)
+        .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+        .run()
+        .expect("default configurations exist for the requested core counts");
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let pdf = report.find(cores, SchedulerKind::Pdf).unwrap();
+            let ws = report.find(cores, SchedulerKind::WorkStealing).unwrap();
+            ComparisonRow {
+                workload: workload.name().to_string(),
+                class: workload.class().to_string(),
+                cores,
+                relative_speedup: report.pdf_over_ws_speedup(cores).unwrap(),
+                traffic_reduction_percent: report.pdf_traffic_reduction_percent(cores).unwrap(),
+                pdf_mpki: pdf.metrics.l2_mpki(),
+                ws_mpki: ws.metrics.l2_mpki(),
+            }
+        })
+        .collect()
+}
+
+/// Render comparison rows as a table over "workload@cores".
+pub fn comparison_table(title: &str, rows: &[ComparisonRow]) -> Table {
+    let x: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{}@{}", r.workload, r.cores))
+        .collect();
+    let mut t = Table::new(title, "workload@cores", x);
+    t.push_series(Series::new(
+        "rel_speedup(pdf/ws)",
+        rows.iter().map(|r| r.relative_speedup).collect(),
+    ));
+    t.push_series(Series::new(
+        "traffic_reduction_%",
+        rows.iter().map(|r| r.traffic_reduction_percent).collect(),
+    ));
+    t.push_series(Series::new("pdf_mpki", rows.iter().map(|r| r.pdf_mpki).collect()));
+    t.push_series(Series::new("ws_mpki", rows.iter().map(|r| r.ws_mpki).collect()));
+    t
+}
+
+/// The default-configuration table (the paper's "CMP configurations studied").
+pub fn config_table(core_counts: &[usize]) -> Table {
+    let x: Vec<String> = core_counts.iter().map(|c| c.to_string()).collect();
+    let mut t = Table::new(
+        "Default CMP configurations (240 mm² die, 90nm-32nm)",
+        "cores",
+        x,
+    );
+    let configs: Vec<_> = core_counts
+        .iter()
+        .map(|&c| default_config(c).expect("study range"))
+        .collect();
+    t.push_series(Series::new(
+        "feature_nm",
+        configs.iter().map(|c| c.node.feature_nm()).collect(),
+    ));
+    t.push_series(Series::new(
+        "l2_mib",
+        configs
+            .iter()
+            .map(|c| c.l2.capacity_bytes as f64 / (1024.0 * 1024.0))
+            .collect(),
+    ));
+    t.push_series(Series::new(
+        "l2_latency_cyc",
+        configs.iter().map(|c| c.l2.latency_cycles as f64).collect(),
+    ));
+    t.push_series(Series::new(
+        "mem_latency_cyc",
+        configs.iter().map(|c| c.memory_latency_cycles as f64).collect(),
+    ));
+    t.push_series(Series::new(
+        "offchip_B_per_cyc",
+        configs.iter().map(|c| c.offchip_bytes_per_cycle).collect(),
+    ));
+    t
+}
+
+/// Returns true when the binary was invoked with `--quick` (smaller problem
+/// sizes, for smoke-testing the harness).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Divide a problem size down in quick mode.
+pub fn scaled(size: u64, quick: bool) -> u64 {
+    if quick {
+        (size / 16).max(1024)
+    } else {
+        size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdfws_workloads::{MergeSort, ParallelScan};
+
+    #[test]
+    fn figure1_tables_have_two_series_each() {
+        let (mpki, speedup) = figure1_tables(&MergeSort::small(), &[1, 2]);
+        assert_eq!(mpki.series.len(), 2);
+        assert_eq!(speedup.series.len(), 2);
+        assert_eq!(mpki.rows(), 2);
+        assert!(mpki.to_csv().starts_with("cores,pdf,ws"));
+    }
+
+    #[test]
+    fn comparison_rows_cover_requested_cores() {
+        let rows = compare_pdf_ws(&ParallelScan::small(), &[2, 4]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].cores, 2);
+        assert_eq!(rows[1].cores, 4);
+        let t = comparison_table("test", &rows);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.series.len(), 4);
+    }
+
+    #[test]
+    fn config_table_covers_the_paper_sweep() {
+        let t = config_table(&paper_core_counts());
+        assert_eq!(t.rows(), 6);
+        assert_eq!(t.series.len(), 5);
+    }
+
+    #[test]
+    fn scaled_respects_quick_mode() {
+        assert_eq!(scaled(1 << 20, false), 1 << 20);
+        assert_eq!(scaled(1 << 20, true), 1 << 16);
+        assert_eq!(scaled(100, true), 1024);
+    }
+}

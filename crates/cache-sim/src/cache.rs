@@ -1,0 +1,420 @@
+//! One set-associative, write-back / write-allocate cache level.
+
+use crate::addr::BlockAddr;
+use crate::replacement::{ReplacementPolicy, SetReplacementState};
+use crate::stats::CacheStats;
+use pdfws_cmp_model::CacheGeometry;
+
+/// Whether an access reads or writes the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store (marks the line dirty).
+    Write,
+}
+
+/// A block evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedBlock {
+    /// The evicted block's address.
+    pub block: BlockAddr,
+    /// Whether the evicted line was dirty (requires a write-back).
+    pub dirty: bool,
+}
+
+/// Outcome of a single access to one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccessResult {
+    /// Whether the block was already present.
+    pub hit: bool,
+    /// A block that had to be evicted to fill the new one (misses only).
+    pub evicted: Option<EvictedBlock>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: BlockAddr,
+    dirty: bool,
+    valid: bool,
+}
+
+impl Line {
+    const INVALID: Line = Line {
+        block: 0,
+        dirty: false,
+        valid: false,
+    };
+}
+
+#[derive(Debug, Clone)]
+struct CacheSet {
+    lines: Vec<Line>,
+    repl: SetReplacementState,
+}
+
+/// A set-associative cache with write-back, write-allocate semantics.
+///
+/// The cache stores block addresses only (no data): the simulator cares about
+/// hits, misses, evictions and write-backs, not values.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    policy: ReplacementPolicy,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Build a cache with the given geometry and replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not validate; configurations coming from
+    /// `pdfws-cmp-model` always do.
+    pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        geometry
+            .validate()
+            .expect("cache geometry must be valid (validated by pdfws-cmp-model)");
+        let num_sets = geometry.sets();
+        let sets = (0..num_sets)
+            .map(|i| CacheSet {
+                lines: vec![Line::INVALID; geometry.associativity],
+                repl: SetReplacementState::new(policy, geometry.associativity, i),
+            })
+            .collect();
+        Cache {
+            geometry,
+            policy,
+            sets,
+            stats: CacheStats::default(),
+            set_mask: (num_sets - 1) as u64,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// The replacement policy in use.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset the statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block & self.set_mask) as usize
+    }
+
+    /// Access `block`; on a miss the block is filled (write-allocate), possibly
+    /// evicting another block from the same set.
+    pub fn access(&mut self, block: BlockAddr, kind: AccessKind) -> CacheAccessResult {
+        let set_idx = self.set_index(block);
+        let set = &mut self.sets[set_idx];
+
+        // Hit path.
+        if let Some(way) = set
+            .lines
+            .iter()
+            .position(|l| l.valid && l.block == block)
+        {
+            set.repl.on_hit(way);
+            if kind == AccessKind::Write {
+                set.lines[way].dirty = true;
+                self.stats.write_hits += 1;
+            } else {
+                self.stats.read_hits += 1;
+            }
+            return CacheAccessResult {
+                hit: true,
+                evicted: None,
+            };
+        }
+
+        // Miss: count it, then fill.
+        if kind == AccessKind::Write {
+            self.stats.write_misses += 1;
+        } else {
+            self.stats.read_misses += 1;
+        }
+
+        // Prefer an invalid way; otherwise ask the replacement policy.
+        let (way, evicted) = if let Some(way) = set.lines.iter().position(|l| !l.valid) {
+            (way, None)
+        } else {
+            let victim = set.repl.victim();
+            let old = set.lines[victim];
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.writebacks += 1;
+            }
+            (
+                victim,
+                Some(EvictedBlock {
+                    block: old.block,
+                    dirty: old.dirty,
+                }),
+            )
+        };
+
+        set.lines[way] = Line {
+            block,
+            dirty: kind == AccessKind::Write,
+            valid: true,
+        };
+        set.repl.on_fill(way);
+
+        CacheAccessResult { hit: false, evicted }
+    }
+
+    /// Check whether `block` is present without disturbing replacement state or
+    /// statistics.
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        let set = &self.sets[self.set_index(block)];
+        set.lines.iter().any(|l| l.valid && l.block == block)
+    }
+
+    /// Mark `block` dirty if it is resident, without touching statistics or
+    /// replacement order.  Used to sink write-backs from an upper level into this
+    /// one.  Returns whether the block was present.
+    pub fn set_dirty(&mut self, block: BlockAddr) -> bool {
+        let set_idx = self.set_index(block);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set
+            .lines
+            .iter()
+            .position(|l| l.valid && l.block == block)
+        {
+            set.lines[way].dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidate `block` if present.  Returns `Some(dirty)` if a line was
+    /// invalidated, `None` if the block was not cached.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<bool> {
+        let set_idx = self.set_index(block);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set
+            .lines
+            .iter()
+            .position(|l| l.valid && l.block == block)
+        {
+            let dirty = set.lines[way].dirty;
+            set.lines[way] = Line::INVALID;
+            self.stats.invalidations += 1;
+            Some(dirty)
+        } else {
+            None
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.lines.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+
+    /// Iterate over all resident block addresses (used by tests and the working-set
+    /// profiler; order is unspecified).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.lines.iter().filter(|l| l.valid).map(|l| l.block))
+    }
+
+    /// Drop every line (contents and replacement state), keeping statistics.
+    pub fn flush(&mut self) {
+        let assoc = self.geometry.associativity;
+        for (i, set) in self.sets.iter_mut().enumerate() {
+            set.lines = vec![Line::INVALID; assoc];
+            set.repl = SetReplacementState::new(self.policy, assoc, i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache(capacity: usize, assoc: usize) -> Cache {
+        let g = CacheGeometry {
+            capacity_bytes: capacity,
+            line_bytes: 64,
+            associativity: assoc,
+            latency_cycles: 1,
+        };
+        Cache::new(g, ReplacementPolicy::Lru)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny_cache(4096, 4);
+        let first = c.access(7, AccessKind::Read);
+        assert!(!first.hit);
+        assert!(first.evicted.is_none());
+        let second = c.access(7, AccessKind::Read);
+        assert!(second.hit);
+        assert_eq!(c.stats().read_misses, 1);
+        assert_eq!(c.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn write_allocate_marks_dirty_and_writes_back() {
+        // Direct-mapped cache with 2 sets: blocks 0 and 2 collide in set 0.
+        let mut c = tiny_cache(128, 1);
+        assert_eq!(c.geometry().sets(), 2);
+        c.access(0, AccessKind::Write);
+        let r = c.access(2, AccessKind::Read);
+        assert!(!r.hit);
+        let ev = r.evicted.expect("block 0 must be evicted");
+        assert_eq!(ev.block, 0);
+        assert!(ev.dirty, "written block must be dirty on eviction");
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_is_not_a_writeback() {
+        let mut c = tiny_cache(128, 1);
+        c.access(0, AccessKind::Read);
+        let r = c.access(2, AccessKind::Read);
+        assert_eq!(r.evicted.unwrap().dirty, false);
+        assert_eq!(c.stats().writebacks, 0);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_block() {
+        // One set, 2 ways: blocks 0, 2, 4 all map to set 0 (2 sets -> even blocks).
+        let mut c = tiny_cache(256, 2);
+        assert_eq!(c.geometry().sets(), 2);
+        c.access(0, AccessKind::Read);
+        c.access(2, AccessKind::Read);
+        c.access(0, AccessKind::Read); // 0 is now MRU
+        let r = c.access(4, AccessKind::Read); // evicts 2
+        assert_eq!(r.evicted.unwrap().block, 2);
+        assert!(c.probe(0));
+        assert!(!c.probe(2));
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_evicts() {
+        let mut c = tiny_cache(64 * 1024, 8);
+        let lines = c.geometry().lines() as u64;
+        for round in 0..3 {
+            for b in 0..lines {
+                let r = c.access(b, AccessKind::Read);
+                assert!(r.evicted.is_none(), "round {round} block {b}");
+            }
+        }
+        assert_eq!(c.occupancy(), lines as usize);
+        assert_eq!(c.stats().misses(), lines);
+        assert_eq!(c.stats().hits(), 2 * lines);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes_with_lru_sequential_scan() {
+        let mut c = tiny_cache(4096, 4);
+        let lines = c.geometry().lines() as u64;
+        // Scan twice over twice-capacity: classic LRU worst case, everything misses.
+        for _ in 0..2 {
+            for b in 0..2 * lines {
+                c.access(b, AccessKind::Read);
+            }
+        }
+        assert_eq!(c.stats().hits(), 0);
+        assert_eq!(c.stats().misses(), 4 * lines);
+    }
+
+    #[test]
+    fn invalidate_removes_block_and_reports_dirty() {
+        let mut c = tiny_cache(4096, 4);
+        c.access(10, AccessKind::Write);
+        c.access(11, AccessKind::Read);
+        assert_eq!(c.invalidate(10), Some(true));
+        assert_eq!(c.invalidate(11), Some(false));
+        assert_eq!(c.invalidate(12), None);
+        assert!(!c.probe(10));
+        assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn probe_does_not_change_stats_or_order() {
+        let mut c = tiny_cache(256, 2);
+        c.access(0, AccessKind::Read);
+        c.access(2, AccessKind::Read);
+        let before = *c.stats();
+        // Probing block 0 many times must not make it MRU.
+        for _ in 0..10 {
+            assert!(c.probe(0));
+        }
+        assert_eq!(*c.stats(), before);
+        c.access(4, AccessKind::Read); // LRU is still 0
+        assert!(!c.probe(0));
+        assert!(c.probe(2));
+    }
+
+    #[test]
+    fn flush_empties_cache_but_keeps_stats() {
+        let mut c = tiny_cache(4096, 4);
+        for b in 0..10 {
+            c.access(b, AccessKind::Read);
+        }
+        let misses = c.stats().misses();
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.stats().misses(), misses);
+        // Everything misses again after the flush.
+        c.access(0, AccessKind::Read);
+        assert_eq!(c.stats().misses(), misses + 1);
+    }
+
+    #[test]
+    fn resident_blocks_lists_exactly_the_contents() {
+        let mut c = tiny_cache(4096, 4);
+        for b in [3u64, 17, 99] {
+            c.access(b, AccessKind::Read);
+        }
+        let mut blocks: Vec<_> = c.resident_blocks().collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![3, 17, 99]);
+    }
+
+    #[test]
+    fn set_dirty_only_affects_resident_blocks() {
+        let mut c = tiny_cache(128, 1);
+        c.access(0, AccessKind::Read);
+        let before = *c.stats();
+        assert!(c.set_dirty(0));
+        assert!(!c.set_dirty(99));
+        assert_eq!(*c.stats(), before, "set_dirty must not change stats");
+        // The dirtied block now requires a write-back when evicted.
+        let r = c.access(2, AccessKind::Read);
+        assert!(r.evicted.unwrap().dirty);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_line_count() {
+        let mut c = tiny_cache(2048, 2);
+        for b in 0..10_000u64 {
+            c.access(b % 77, AccessKind::Read);
+            assert!(c.occupancy() <= c.geometry().lines());
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! The CMP memory hierarchy: per-core private L1s in front of one shared,
+//! inclusive L2.
+//!
+//! This is the component the whole study runs on.  The hierarchy enforces
+//! *inclusion* (a block present in any L1 is also present in the L2; evicting it
+//! from the L2 back-invalidates every L1 copy) and a simple MSI-style write
+//! -invalidate protocol between the L1s (a write by one core invalidates copies in
+//! the other cores' L1s).  Each access reports where it was satisfied, how long it
+//! took and how many bytes it moved across the off-chip interface, which is what
+//! the execution engine needs to model bandwidth saturation.
+
+use crate::addr::{block_of, Addr, BlockAddr};
+use crate::cache::{AccessKind, Cache};
+use crate::replacement::ReplacementPolicy;
+use crate::stats::HierarchyStats;
+use pdfws_cmp_model::CmpConfig;
+use std::collections::HashMap;
+
+/// Where in the hierarchy an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Private L1 hit.
+    L1,
+    /// L1 miss satisfied by the shared L2.
+    L2,
+    /// L2 miss satisfied by main memory (off-chip).
+    Memory,
+}
+
+/// Result of one memory access through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessOutcome {
+    /// Where the access was satisfied.
+    pub level: Level,
+    /// Latency of the access in cycles (hit latency of the satisfying level; the
+    /// engine adds queueing delay for off-chip bandwidth separately).
+    pub latency: u64,
+    /// Bytes this access moved across the off-chip interface (line fill from
+    /// memory plus any dirty L2 victim written back).
+    pub offchip_bytes: u64,
+}
+
+impl AccessOutcome {
+    /// Whether the access went off chip (L2 miss).
+    pub fn is_offchip(&self) -> bool {
+        self.level == Level::Memory
+    }
+
+    /// Whether the access was satisfied by the shared L2.
+    pub fn hit_in_l2(&self) -> bool {
+        self.level == Level::L2
+    }
+
+    /// Whether the access was satisfied by the core's private L1.
+    pub fn hit_in_l1(&self) -> bool {
+        self.level == Level::L1
+    }
+}
+
+/// Private-L1s + shared-L2 hierarchy for one simulated CMP.
+#[derive(Debug, Clone)]
+pub struct CmpCacheHierarchy {
+    l1s: Vec<Cache>,
+    l2: Cache,
+    line_bytes: u64,
+    l1_latency: u64,
+    l2_latency: u64,
+    memory_latency: u64,
+    /// For every block resident in at least one L1: bitmask of the cores holding it.
+    directory: HashMap<BlockAddr, u64>,
+    offchip_bytes: u64,
+    memory_fills: u64,
+    coherence_invalidations: u64,
+}
+
+impl CmpCacheHierarchy {
+    /// Build the hierarchy described by a CMP configuration, with LRU replacement
+    /// everywhere (the paper's setting).
+    pub fn new(config: &CmpConfig) -> Self {
+        Self::with_policy(config, ReplacementPolicy::Lru)
+    }
+
+    /// Build the hierarchy with an explicit replacement policy (sensitivity
+    /// studies).
+    pub fn with_policy(config: &CmpConfig, policy: ReplacementPolicy) -> Self {
+        assert!(
+            config.cores <= 64,
+            "the sharer directory uses a 64-bit core mask"
+        );
+        let l1s = (0..config.cores)
+            .map(|_| Cache::new(config.l1, policy))
+            .collect();
+        CmpCacheHierarchy {
+            l1s,
+            l2: Cache::new(config.l2, policy),
+            line_bytes: config.l2.line_bytes as u64,
+            l1_latency: config.l1.latency_cycles,
+            l2_latency: config.l2.latency_cycles,
+            memory_latency: config.memory_latency_cycles,
+            directory: HashMap::new(),
+            offchip_bytes: 0,
+            memory_fills: 0,
+            coherence_invalidations: 0,
+        }
+    }
+
+    /// Number of cores (private L1s).
+    pub fn cores(&self) -> usize {
+        self.l1s.len()
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Issue one access by `core` to byte address `addr`.
+    pub fn access(&mut self, core: usize, addr: Addr, write: bool) -> AccessOutcome {
+        let block = block_of(addr, self.line_bytes as usize);
+        self.access_block(core, block, write)
+    }
+
+    /// Issue one access by `core` to an already-computed block address.
+    pub fn access_block(&mut self, core: usize, block: BlockAddr, write: bool) -> AccessOutcome {
+        assert!(core < self.l1s.len(), "core {core} out of range");
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+
+        let l1_result = self.l1s[core].access(block, kind);
+
+        if l1_result.hit {
+            if write {
+                self.invalidate_other_sharers(block, core);
+            }
+            return AccessOutcome {
+                level: Level::L1,
+                latency: self.l1_latency,
+                offchip_bytes: 0,
+            };
+        }
+
+        // The L1 filled the block and may have evicted a victim; keep the
+        // directory and the L2 dirty bits consistent.
+        if let Some(victim) = l1_result.evicted {
+            self.remove_sharer(victim.block, core);
+            if victim.dirty {
+                // Inclusion means the victim is normally still in the L2; if it
+                // raced with an L2 eviction the write-back goes straight off chip.
+                if !self.l2.set_dirty(victim.block) {
+                    self.offchip_bytes += self.line_bytes;
+                }
+            }
+        }
+
+        // Mark this core as a sharer of the newly filled block and resolve write
+        // invalidations against the other cores.
+        self.add_sharer(block, core);
+        if write {
+            self.invalidate_other_sharers(block, core);
+        }
+
+        // Look up the shared L2.  Fills are reads from the L2's perspective; dirty
+        // data only reaches the L2 through L1 write-backs.
+        let l2_result = self.l2.access(block, AccessKind::Read);
+
+        let mut offchip = 0u64;
+        if let Some(victim) = l2_result.evicted {
+            // Inclusion: every L1 copy of the victim must go.
+            let victim_dirty_in_l1 = self.back_invalidate(victim.block);
+            if victim.dirty || victim_dirty_in_l1 {
+                offchip += self.line_bytes;
+            }
+        }
+
+        if l2_result.hit {
+            self.offchip_bytes += offchip;
+            AccessOutcome {
+                level: Level::L2,
+                latency: self.l2_latency,
+                offchip_bytes: offchip,
+            }
+        } else {
+            offchip += self.line_bytes; // the fill itself
+            self.offchip_bytes += offchip;
+            self.memory_fills += 1;
+            AccessOutcome {
+                level: Level::Memory,
+                latency: self.memory_latency,
+                offchip_bytes: offchip,
+            }
+        }
+    }
+
+    fn add_sharer(&mut self, block: BlockAddr, core: usize) {
+        *self.directory.entry(block).or_insert(0) |= 1 << core;
+    }
+
+    fn remove_sharer(&mut self, block: BlockAddr, core: usize) {
+        if let Some(mask) = self.directory.get_mut(&block) {
+            *mask &= !(1 << core);
+            if *mask == 0 {
+                self.directory.remove(&block);
+            }
+        }
+    }
+
+    /// Invalidate every other core's L1 copy of `block` (write-invalidate
+    /// coherence).  Dirty remote copies are folded into the L2.
+    fn invalidate_other_sharers(&mut self, block: BlockAddr, writer: usize) {
+        let Some(&mask) = self.directory.get(&block) else {
+            return;
+        };
+        let others = mask & !(1 << writer);
+        if others == 0 {
+            return;
+        }
+        for core in 0..self.l1s.len() {
+            if others & (1 << core) != 0 {
+                if let Some(dirty) = self.l1s[core].invalidate(block) {
+                    self.coherence_invalidations += 1;
+                    if dirty {
+                        self.l2.set_dirty(block);
+                    }
+                }
+            }
+        }
+        self.directory.insert(block, 1 << writer);
+    }
+
+    /// Remove `block` from every L1 (inclusion back-invalidation).  Returns whether
+    /// any evicted L1 copy was dirty.
+    fn back_invalidate(&mut self, block: BlockAddr) -> bool {
+        let Some(mask) = self.directory.remove(&block) else {
+            return false;
+        };
+        let mut any_dirty = false;
+        for core in 0..self.l1s.len() {
+            if mask & (1 << core) != 0 {
+                if let Some(dirty) = self.l1s[core].invalidate(block) {
+                    any_dirty |= dirty;
+                }
+            }
+        }
+        any_dirty
+    }
+
+    /// Hit latency of the given level, in cycles.
+    pub fn latency_of(&self, level: Level) -> u64 {
+        match level {
+            Level::L1 => self.l1_latency,
+            Level::L2 => self.l2_latency,
+            Level::Memory => self.memory_latency,
+        }
+    }
+
+    /// Snapshot of all statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1: self.l1s.iter().map(|c| *c.stats()).collect(),
+            l2: *self.l2.stats(),
+            offchip_bytes: self.offchip_bytes,
+            memory_fills: self.memory_fills,
+            coherence_invalidations: self.coherence_invalidations,
+        }
+    }
+
+    /// Reset all statistics, keeping cache contents (used to exclude warm-up).
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.l1s {
+            c.reset_stats();
+        }
+        self.l2.reset_stats();
+        self.offchip_bytes = 0;
+        self.memory_fills = 0;
+        self.coherence_invalidations = 0;
+    }
+
+    /// Flush every cache (contents and directory), keeping statistics.  Used to
+    /// model a context switch that destroys cache state.
+    pub fn flush(&mut self) {
+        for c in &mut self.l1s {
+            c.flush();
+        }
+        self.l2.flush();
+        self.directory.clear();
+    }
+
+    /// Number of distinct blocks currently resident in the shared L2.
+    pub fn l2_occupancy(&self) -> usize {
+        self.l2.occupancy()
+    }
+
+    /// Direct read-only access to the shared L2 (tests, working-set analysis).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Direct read-only access to core `i`'s L1.
+    pub fn l1(&self, core: usize) -> &Cache {
+        &self.l1s[core]
+    }
+
+    /// Check the inclusion invariant: every block in any L1 is also in the L2.
+    /// Intended for tests and debug assertions; O(L1 lines × 1 probe).
+    pub fn check_inclusion(&self) -> bool {
+        self.l1s
+            .iter()
+            .all(|l1| l1.resident_blocks().all(|b| self.l2.probe(b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdfws_cmp_model::{config::config_for, default_config, AreaModel, ProcessNode};
+
+    fn small_config(cores: usize) -> CmpConfig {
+        let mut cfg = config_for(cores, ProcessNode::Nm32, &AreaModel::default()).unwrap();
+        // Shrink caches so capacity effects show up quickly in tests.
+        cfg.l1.capacity_bytes = 4 * 1024;
+        cfg.l2.capacity_bytes = 64 * 1024;
+        cfg.l2.associativity = 8;
+        cfg.validate().unwrap();
+        cfg
+    }
+
+    #[test]
+    fn cold_miss_then_l2_hit_from_other_core() {
+        let cfg = default_config(4).unwrap();
+        let mut h = CmpCacheHierarchy::new(&cfg);
+        let first = h.access(0, 0x1000, false);
+        assert_eq!(first.level, Level::Memory);
+        assert_eq!(first.offchip_bytes, h.line_bytes());
+        let second = h.access(1, 0x1000, false);
+        assert_eq!(second.level, Level::L2);
+        assert_eq!(second.offchip_bytes, 0);
+        let third = h.access(1, 0x1000, false);
+        assert_eq!(third.level, Level::L1);
+    }
+
+    #[test]
+    fn latencies_come_from_the_configuration() {
+        let cfg = default_config(2).unwrap();
+        let mut h = CmpCacheHierarchy::new(&cfg);
+        let miss = h.access(0, 0, false);
+        assert_eq!(miss.latency, cfg.memory_latency_cycles);
+        let l1_hit = h.access(0, 0, false);
+        assert_eq!(l1_hit.latency, cfg.l1.latency_cycles);
+        let l2_hit = h.access(1, 0, false);
+        assert_eq!(l2_hit.latency, cfg.l2.latency_cycles);
+    }
+
+    #[test]
+    fn same_line_accesses_do_not_go_offchip_twice() {
+        let cfg = default_config(1).unwrap();
+        let mut h = CmpCacheHierarchy::new(&cfg);
+        h.access(0, 0, false);
+        for offset in 1..64 {
+            let o = h.access(0, offset, false);
+            assert_eq!(o.level, Level::L1, "offset {offset} is in the same line");
+        }
+        assert_eq!(h.stats().memory_fills, 1);
+    }
+
+    #[test]
+    fn write_by_one_core_invalidates_the_other_l1_copy() {
+        let cfg = default_config(2).unwrap();
+        let mut h = CmpCacheHierarchy::new(&cfg);
+        h.access(0, 0x40, false);
+        h.access(1, 0x40, false);
+        assert!(h.l1(0).probe(1));
+        assert!(h.l1(1).probe(1));
+        // Core 0 writes the block: core 1's copy must be invalidated.
+        h.access(0, 0x40, true);
+        assert!(h.l1(0).probe(1));
+        assert!(!h.l1(1).probe(1));
+        assert_eq!(h.stats().coherence_invalidations, 1);
+        // Core 1 re-reads: L2 hit, not off-chip.
+        let o = h.access(1, 0x40, false);
+        assert_eq!(o.level, Level::L2);
+    }
+
+    #[test]
+    fn dirty_data_survives_via_l2_after_invalidation() {
+        let cfg = small_config(2);
+        let mut h = CmpCacheHierarchy::new(&cfg);
+        // Core 0 writes a block, core 1 then writes the same block: core 0's dirty
+        // copy is invalidated and folded into the L2, which must now be dirty.  We
+        // observe this indirectly: evicting that block from the L2 produces
+        // off-chip write-back traffic.
+        h.access(0, 0, true);
+        h.access(1, 0, true);
+        let before = h.stats().offchip_bytes;
+        // Stream enough distinct blocks through the L2 to evict block 0.
+        let lines = (cfg.l2.capacity_bytes / cfg.l2.line_bytes) as u64;
+        for i in 1..=2 * lines {
+            h.access(0, i * 64, false);
+        }
+        let after = h.stats().offchip_bytes;
+        // Traffic must include at least one write-back beyond the pure fills.
+        let fills = h.stats().memory_fills * h.line_bytes();
+        assert!(after > before);
+        assert!(after > fills, "write-backs must add to off-chip traffic");
+    }
+
+    #[test]
+    fn inclusion_holds_under_random_traffic() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let cfg = small_config(4);
+        let mut h = CmpCacheHierarchy::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20_000 {
+            let core = rng.gen_range(0..4);
+            let addr = rng.gen_range(0..512u64) * 64;
+            let write = rng.gen_bool(0.3);
+            h.access(core, addr, write);
+        }
+        assert!(h.check_inclusion(), "inclusion invariant violated");
+    }
+
+    #[test]
+    fn disjoint_working_sets_thrash_a_small_shared_l2() {
+        // Two cores streaming over disjoint regions that together exceed the L2
+        // generate more off-chip traffic than two cores sharing one region of the
+        // same total size.  This is the constructive-sharing effect in miniature.
+        let cfg = small_config(2);
+
+        let mut disjoint = CmpCacheHierarchy::new(&cfg);
+        let blocks = (cfg.l2.capacity_bytes / cfg.l2.line_bytes) as u64;
+        for round in 0..4 {
+            let _ = round;
+            for i in 0..blocks {
+                disjoint.access(0, i * 64, false);
+                disjoint.access(1, (blocks + i) * 64, false);
+            }
+        }
+
+        let mut shared = CmpCacheHierarchy::new(&cfg);
+        for round in 0..4 {
+            let _ = round;
+            for i in 0..blocks {
+                shared.access(0, i * 64, false);
+                shared.access(1, i * 64, false);
+            }
+        }
+
+        let disjoint_misses = disjoint.stats().l2_misses();
+        let shared_misses = shared.stats().l2_misses();
+        assert!(
+            disjoint_misses > 2 * shared_misses,
+            "disjoint {disjoint_misses} vs shared {shared_misses}"
+        );
+    }
+
+    #[test]
+    fn flush_models_a_cold_cache() {
+        let cfg = default_config(2).unwrap();
+        let mut h = CmpCacheHierarchy::new(&cfg);
+        h.access(0, 0, false);
+        h.access(0, 0, false);
+        h.flush();
+        let o = h.access(0, 0, false);
+        assert_eq!(o.level, Level::Memory);
+        assert!(h.check_inclusion());
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let cfg = default_config(2).unwrap();
+        let mut h = CmpCacheHierarchy::new(&cfg);
+        h.access(0, 0, false);
+        h.reset_stats();
+        assert_eq!(h.stats().memory_fills, 0);
+        let o = h.access(0, 0, false);
+        assert_eq!(o.level, Level::L1, "contents must survive a stats reset");
+    }
+
+    #[test]
+    fn stats_level_accounting_is_consistent() {
+        let cfg = small_config(2);
+        let mut h = CmpCacheHierarchy::new(&cfg);
+        let mut l1_hits = 0u64;
+        let mut l2_hits = 0u64;
+        let mut mem = 0u64;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut accesses = 0u64;
+        for _ in 0..5_000 {
+            let core = rng.gen_range(0..2);
+            let addr = rng.gen_range(0..256u64) * 64;
+            match h.access(core, addr, rng.gen_bool(0.2)).level {
+                Level::L1 => l1_hits += 1,
+                Level::L2 => l2_hits += 1,
+                Level::Memory => mem += 1,
+            }
+            accesses += 1;
+        }
+        let s = h.stats();
+        assert_eq!(s.l1_total().accesses(), accesses);
+        assert_eq!(s.l1_total().hits(), l1_hits);
+        assert_eq!(s.l2.accesses(), l2_hits + mem);
+        assert_eq!(s.l2.misses(), mem);
+        assert_eq!(s.memory_fills, mem);
+        assert!(s.offchip_bytes >= mem * h.line_bytes());
+    }
+
+    #[test]
+    fn core_out_of_range_panics() {
+        let cfg = default_config(2).unwrap();
+        let mut h = CmpCacheHierarchy::new(&cfg);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            h.access(5, 0, false);
+        }));
+        assert!(result.is_err());
+    }
+}

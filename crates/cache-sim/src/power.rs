@@ -1,0 +1,177 @@
+//! Cache energy model and segment power-down.
+//!
+//! The paper notes two power-related benefits of PDF's smaller aggregate working
+//! set: (1) reduced off-chip traffic directly reduces DRAM-interface energy, and
+//! (2) segments of the shared L2 can be powered down (saving leakage) without
+//! increasing the running time, because the working set fits in the remaining
+//! segments.  This module provides the simple energy accounting used by the
+//! `power_and_multiprogramming` experiment; capacity effects of powering segments
+//! down are modelled by shrinking the configured L2
+//! (see `pdfws_cmp_model::sweep::sweep_l2_fraction`).
+
+use crate::stats::HierarchyStats;
+use pdfws_cmp_model::CmpConfig;
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients, in picojoules, for the structures the study cares about.
+/// Values are in the range reported by CACTI-class models for 90-32 nm SRAM and
+/// DDR2/DDR3-era memory interfaces; only their relative magnitude matters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Dynamic energy per L1 access (pJ).
+    pub l1_access_pj: f64,
+    /// Dynamic energy per L2 access (pJ).
+    pub l2_access_pj: f64,
+    /// Energy per byte moved across the off-chip interface (pJ/byte).
+    pub offchip_pj_per_byte: f64,
+    /// Leakage power of the L2 per MiB, expressed in pJ per cycle per MiB.
+    pub l2_leakage_pj_per_cycle_per_mib: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            l1_access_pj: 20.0,
+            l2_access_pj: 300.0,
+            offchip_pj_per_byte: 600.0,
+            l2_leakage_pj_per_cycle_per_mib: 1.5,
+        }
+    }
+}
+
+/// Breakdown of the energy consumed by one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Dynamic L1 energy (pJ).
+    pub l1_dynamic_pj: f64,
+    /// Dynamic L2 energy (pJ).
+    pub l2_dynamic_pj: f64,
+    /// Off-chip interface energy (pJ).
+    pub offchip_pj: f64,
+    /// L2 leakage energy (pJ), proportional to the *powered* capacity and runtime.
+    pub l2_leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.l1_dynamic_pj + self.l2_dynamic_pj + self.offchip_pj + self.l2_leakage_pj
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() / 1.0e9
+    }
+}
+
+/// Estimate the energy of a run from its cache statistics.
+///
+/// * `stats` — hierarchy statistics at the end of the run.
+/// * `config` — the machine configuration (for the *configured* L2 capacity).
+/// * `cycles` — the run's makespan in cycles.
+/// * `powered_l2_fraction` — fraction of the L2 left powered on (1.0 = all of it).
+///   Only leakage depends on this; the capacity effect is simulated separately by
+///   running with a proportionally smaller L2.
+pub fn estimate_energy(
+    stats: &HierarchyStats,
+    config: &CmpConfig,
+    cycles: u64,
+    powered_l2_fraction: f64,
+    model: &EnergyModel,
+) -> EnergyBreakdown {
+    assert!(
+        (0.0..=1.0).contains(&powered_l2_fraction),
+        "powered fraction must be in [0, 1]"
+    );
+    let l1_accesses = stats.l1_total().accesses() as f64;
+    let l2_accesses = stats.l2.accesses() as f64;
+    let l2_mib = config.l2.capacity_bytes as f64 / (1024.0 * 1024.0);
+    EnergyBreakdown {
+        l1_dynamic_pj: l1_accesses * model.l1_access_pj,
+        l2_dynamic_pj: l2_accesses * model.l2_access_pj,
+        offchip_pj: stats.offchip_bytes as f64 * model.offchip_pj_per_byte,
+        l2_leakage_pj: cycles as f64
+            * l2_mib
+            * powered_l2_fraction
+            * model.l2_leakage_pj_per_cycle_per_mib,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CacheStats;
+    use pdfws_cmp_model::default_config;
+
+    fn stats_with(l1_acc: u64, l2_acc: u64, offchip: u64) -> HierarchyStats {
+        let mut s = HierarchyStats::new(1);
+        s.l1[0] = CacheStats {
+            read_hits: l1_acc,
+            ..Default::default()
+        };
+        s.l2 = CacheStats {
+            read_hits: l2_acc,
+            ..Default::default()
+        };
+        s.offchip_bytes = offchip;
+        s
+    }
+
+    #[test]
+    fn energy_components_add_up() {
+        let cfg = default_config(4).unwrap();
+        let stats = stats_with(1000, 100, 6400);
+        let e = estimate_energy(&stats, &cfg, 1_000_000, 1.0, &EnergyModel::default());
+        let total = e.l1_dynamic_pj + e.l2_dynamic_pj + e.offchip_pj + e.l2_leakage_pj;
+        assert!((e.total_pj() - total).abs() < 1e-6);
+        assert!(e.total_mj() > 0.0);
+    }
+
+    #[test]
+    fn less_offchip_traffic_means_less_energy() {
+        let cfg = default_config(8).unwrap();
+        let lo = estimate_energy(
+            &stats_with(1000, 100, 64_000),
+            &cfg,
+            1_000_000,
+            1.0,
+            &EnergyModel::default(),
+        );
+        let hi = estimate_energy(
+            &stats_with(1000, 100, 640_000),
+            &cfg,
+            1_000_000,
+            1.0,
+            &EnergyModel::default(),
+        );
+        assert!(hi.total_pj() > lo.total_pj());
+        assert!(hi.offchip_pj > 9.0 * lo.offchip_pj);
+    }
+
+    #[test]
+    fn powering_down_segments_cuts_leakage_proportionally() {
+        let cfg = default_config(8).unwrap();
+        let stats = stats_with(1000, 100, 0);
+        let full = estimate_energy(&stats, &cfg, 1_000_000, 1.0, &EnergyModel::default());
+        let half = estimate_energy(&stats, &cfg, 1_000_000, 0.5, &EnergyModel::default());
+        assert!((half.l2_leakage_pj - full.l2_leakage_pj / 2.0).abs() < 1e-6);
+        assert_eq!(half.l1_dynamic_pj, full.l1_dynamic_pj);
+    }
+
+    #[test]
+    fn leakage_scales_with_runtime() {
+        let cfg = default_config(2).unwrap();
+        let stats = stats_with(0, 0, 0);
+        let short = estimate_energy(&stats, &cfg, 1_000, 1.0, &EnergyModel::default());
+        let long = estimate_energy(&stats, &cfg, 2_000, 1.0, &EnergyModel::default());
+        assert!((long.l2_leakage_pj - 2.0 * short.l2_leakage_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "powered fraction")]
+    fn invalid_powered_fraction_panics() {
+        let cfg = default_config(2).unwrap();
+        let stats = HierarchyStats::new(1);
+        estimate_energy(&stats, &cfg, 100, 1.5, &EnergyModel::default());
+    }
+}

@@ -1,0 +1,168 @@
+//! Hit/miss/traffic counters for caches and the whole hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one cache (or one core's view of a cache level).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Read accesses that missed.
+    pub read_misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed.
+    pub write_misses: u64,
+    /// Blocks evicted (capacity/conflict replacements).
+    pub evictions: u64,
+    /// Evicted blocks that were dirty and had to be written back.
+    pub writebacks: u64,
+    /// Lines invalidated by coherence or back-invalidation.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss ratio in [0, 1]; 0 for an untouched cache.
+    pub fn miss_ratio(&self) -> f64 {
+        let acc = self.accesses();
+        if acc == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / acc as f64
+        }
+    }
+
+    /// Add another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// Aggregate statistics for a private-L1 / shared-L2 hierarchy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Per-core L1 statistics.
+    pub l1: Vec<CacheStats>,
+    /// Shared L2 statistics.
+    pub l2: CacheStats,
+    /// Bytes transferred across the off-chip interface (fills from memory plus
+    /// write-backs of dirty L2 victims).
+    pub offchip_bytes: u64,
+    /// Blocks fetched from memory (L2 misses that went off chip).
+    pub memory_fills: u64,
+    /// L1-to-L1 coherence invalidations (a write by one core invalidating copies
+    /// held by other cores).
+    pub coherence_invalidations: u64,
+}
+
+impl HierarchyStats {
+    /// Create zeroed statistics for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        HierarchyStats {
+            l1: vec![CacheStats::default(); cores],
+            ..Default::default()
+        }
+    }
+
+    /// Sum of L1 statistics across cores.
+    pub fn l1_total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.l1 {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Total L2 misses (the paper's off-chip-traffic proxy).
+    pub fn l2_misses(&self) -> u64 {
+        self.l2.misses()
+    }
+
+    /// L2 misses per 1000 of the given instruction count — the y-axis of the left
+    /// panel of Figure 1.
+    pub fn l2_misses_per_kilo_instruction(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.l2.misses() as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CacheStats {
+        CacheStats {
+            read_hits: 10,
+            read_misses: 5,
+            write_hits: 3,
+            write_misses: 2,
+            evictions: 4,
+            writebacks: 1,
+            invalidations: 0,
+        }
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let s = sample();
+        assert_eq!(s.accesses(), 20);
+        assert_eq!(s.hits(), 13);
+        assert_eq!(s.misses(), 7);
+        assert!((s.miss_ratio() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_miss_ratio() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.accesses(), 40);
+        assert_eq!(a.evictions, 8);
+        assert_eq!(a.writebacks, 2);
+    }
+
+    #[test]
+    fn hierarchy_l1_total_sums_cores() {
+        let mut h = HierarchyStats::new(3);
+        h.l1[0] = sample();
+        h.l1[2] = sample();
+        assert_eq!(h.l1_total().accesses(), 40);
+    }
+
+    #[test]
+    fn mpki_definition() {
+        let mut h = HierarchyStats::new(1);
+        h.l2.read_misses = 5;
+        h.l2.write_misses = 5;
+        assert!((h.l2_misses_per_kilo_instruction(10_000) - 1.0).abs() < 1e-12);
+        assert_eq!(h.l2_misses_per_kilo_instruction(0), 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Die-area accounting: how much shared L2 fits next to N cores on 240 mm².
+//!
+//! The model is deliberately simple — the paper only needs it to pick plausible
+//! default L2 capacities — but it enforces the two properties every conclusion
+//! rests on: the die is a fixed budget, and area spent on cores is area not spent
+//! on cache.
+
+use crate::error::ModelError;
+use crate::tech::ProcessNode;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the die reserved for everything that is neither a core nor the L2:
+/// I/O pads, memory controller, interconnect, clocking.
+pub const FIXED_OVERHEAD_FRACTION: f64 = 0.15;
+
+/// Per-core private L1 capacity in bytes (instruction + data combined footprint
+/// charged to the core).  The paper keeps the private L1s at a fixed size across
+/// all configurations.
+pub const L1_BYTES_PER_CORE: usize = 64 * 1024;
+
+/// Granularity to which the derived L2 capacity is rounded (down), in bytes.
+/// Real caches come in power-of-two-ish banks; 256 KiB keeps the numbers tidy.
+pub const L2_QUANTUM_BYTES: usize = 256 * 1024;
+
+/// Splits a fixed die budget between cores, private L1s, fixed overheads and the
+/// shared L2 for a given process node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Total die area in mm².
+    pub die_mm2: f64,
+    /// Fraction of `die_mm2` consumed by non-core, non-L2 structures.
+    pub fixed_overhead_fraction: f64,
+    /// Private L1 capacity charged per core, in bytes.
+    pub l1_bytes_per_core: usize,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            die_mm2: crate::DIE_AREA_MM2,
+            fixed_overhead_fraction: FIXED_OVERHEAD_FRACTION,
+            l1_bytes_per_core: L1_BYTES_PER_CORE,
+        }
+    }
+}
+
+/// The outcome of placing `cores` cores on the die at a given node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Number of cores placed.
+    pub cores: usize,
+    /// Process node used.
+    pub node: ProcessNode,
+    /// Area consumed by the cores themselves (mm²).
+    pub core_mm2: f64,
+    /// Area consumed by the private L1s (mm²).
+    pub l1_mm2: f64,
+    /// Area consumed by fixed overheads (mm²).
+    pub overhead_mm2: f64,
+    /// Area left over for the shared L2 (mm²).
+    pub l2_mm2: f64,
+    /// Shared-L2 capacity that fits in `l2_mm2`, rounded down to [`L2_QUANTUM_BYTES`].
+    pub l2_capacity_bytes: usize,
+}
+
+impl AreaModel {
+    /// Usable area after fixed overheads, in mm².
+    pub fn usable_mm2(&self) -> f64 {
+        self.die_mm2 * (1.0 - self.fixed_overhead_fraction)
+    }
+
+    /// Compute the area breakdown for `cores` cores at `node`.
+    ///
+    /// Returns [`ModelError::DieBudgetExceeded`] if the cores and their L1s do not
+    /// leave at least one L2 quantum of cache on the die.
+    pub fn breakdown(&self, cores: usize, node: ProcessNode) -> Result<AreaBreakdown, ModelError> {
+        if cores == 0 {
+            return Err(ModelError::UnsupportedCoreCount { requested: 0 });
+        }
+        let overhead_mm2 = self.die_mm2 * self.fixed_overhead_fraction;
+        let core_mm2 = cores as f64 * node.core_area_mm2();
+        let l1_mm2 =
+            cores as f64 * self.l1_bytes_per_core as f64 / node.sram_bytes_per_mm2();
+        let required = overhead_mm2 + core_mm2 + l1_mm2;
+        let l2_mm2 = self.die_mm2 - required;
+        let l2_capacity_raw = (l2_mm2.max(0.0) * node.sram_bytes_per_mm2()) as usize;
+        let l2_capacity_bytes = (l2_capacity_raw / L2_QUANTUM_BYTES) * L2_QUANTUM_BYTES;
+        if l2_capacity_bytes == 0 {
+            return Err(ModelError::DieBudgetExceeded {
+                cores,
+                required_mm2: required,
+                budget_mm2: self.die_mm2,
+            });
+        }
+        Ok(AreaBreakdown {
+            cores,
+            node,
+            core_mm2,
+            l1_mm2,
+            overhead_mm2,
+            l2_mm2,
+            l2_capacity_bytes,
+        })
+    }
+
+    /// The largest number of cores that still leaves one L2 quantum on the die.
+    pub fn max_cores(&self, node: ProcessNode) -> usize {
+        let mut cores = 0;
+        while self.breakdown(cores + 1, node).is_ok() {
+            cores += 1;
+            if cores > 4096 {
+                break; // safety valve; never reached with realistic parameters
+            }
+        }
+        cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usable_area_is_less_than_die() {
+        let m = AreaModel::default();
+        assert!(m.usable_mm2() < m.die_mm2);
+        assert!(m.usable_mm2() > 0.0);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_die() {
+        let m = AreaModel::default();
+        let b = m.breakdown(4, ProcessNode::Nm65).unwrap();
+        let sum = b.core_mm2 + b.l1_mm2 + b.overhead_mm2 + b.l2_mm2;
+        assert!((sum - m.die_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_cores_means_less_l2_at_fixed_node() {
+        let m = AreaModel::default();
+        let mut prev = usize::MAX;
+        for cores in [1usize, 2, 4, 8] {
+            let b = m.breakdown(cores, ProcessNode::Nm32).unwrap();
+            assert!(
+                b.l2_capacity_bytes < prev,
+                "L2 must shrink as cores grow at a fixed node"
+            );
+            prev = b.l2_capacity_bytes;
+        }
+    }
+
+    #[test]
+    fn newer_node_means_more_l2_at_fixed_cores() {
+        let m = AreaModel::default();
+        let old = m.breakdown(2, ProcessNode::Nm90).unwrap();
+        let new = m.breakdown(2, ProcessNode::Nm32).unwrap();
+        assert!(new.l2_capacity_bytes > old.l2_capacity_bytes);
+    }
+
+    #[test]
+    fn l2_capacity_is_quantised() {
+        let m = AreaModel::default();
+        for cores in [1usize, 2, 4, 8, 16, 32] {
+            if let Some(node) = ProcessNode::default_for_cores(cores) {
+                let b = m.breakdown(cores, node).unwrap();
+                assert_eq!(b.l2_capacity_bytes % L2_QUANTUM_BYTES, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cores_is_rejected() {
+        let m = AreaModel::default();
+        assert!(matches!(
+            m.breakdown(0, ProcessNode::Nm90),
+            Err(ModelError::UnsupportedCoreCount { requested: 0 })
+        ));
+    }
+
+    #[test]
+    fn too_many_cores_exceed_budget_at_90nm() {
+        let m = AreaModel::default();
+        // At 90 nm a core is ~20 mm²; 32 of them cannot fit on 240 mm².
+        assert!(matches!(
+            m.breakdown(32, ProcessNode::Nm90),
+            Err(ModelError::DieBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn study_range_fits_on_default_nodes() {
+        let m = AreaModel::default();
+        for cores in 1..=32usize {
+            let node = ProcessNode::default_for_cores(cores).unwrap();
+            let b = m.breakdown(cores, node);
+            assert!(b.is_ok(), "cores={cores} node={node:?}: {b:?}");
+        }
+    }
+
+    #[test]
+    fn max_cores_grows_with_node() {
+        let m = AreaModel::default();
+        assert!(m.max_cores(ProcessNode::Nm32) > m.max_cores(ProcessNode::Nm90));
+        assert!(m.max_cores(ProcessNode::Nm32) >= 32);
+    }
+
+    #[test]
+    fn one_core_leaves_multi_megabyte_l2_at_90nm() {
+        let m = AreaModel::default();
+        let b = m.breakdown(1, ProcessNode::Nm90).unwrap();
+        assert!(
+            b.l2_capacity_bytes >= 4 * 1024 * 1024,
+            "expected several MiB of L2, got {}",
+            b.l2_capacity_bytes
+        );
+    }
+}

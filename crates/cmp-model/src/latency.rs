@@ -1,0 +1,83 @@
+//! Access-latency model for the on-chip caches.
+//!
+//! Latencies only need to be *plausible* and *monotone in capacity*: the study's
+//! conclusions come from miss counts and off-chip bandwidth, not from picosecond
+//! accuracy.  We model L1 latency as fixed and L2 latency as a base cost plus a
+//! term that grows with the square root of capacity (wire delay across a larger
+//! array), which matches the behaviour of CACTI-style models closely enough.
+
+use crate::tech::ProcessNode;
+
+/// Load-to-use latency of the private L1, in cycles.
+pub const L1_LATENCY_CYCLES: u64 = 2;
+
+/// Base (bank access + tag check) latency of the shared L2, in cycles.
+pub const L2_BASE_LATENCY_CYCLES: u64 = 8;
+
+/// Latency of the shared L2 in cycles for a given capacity.
+///
+/// The wire-delay term grows with the square root of the array size and is scaled
+/// so that a 1 MiB L2 costs about 12 cycles and an 8 MiB L2 about 20 cycles at
+/// 90 nm, with a mild frequency penalty at newer (faster-clocked) nodes.
+pub fn l2_latency_cycles(capacity_bytes: usize, node: ProcessNode) -> u64 {
+    let mib = capacity_bytes as f64 / (1024.0 * 1024.0);
+    let wire = 4.0 * mib.max(0.25).sqrt();
+    let freq_penalty = node.frequency_ghz() / ProcessNode::Nm90.frequency_ghz();
+    L2_BASE_LATENCY_CYCLES + (wire * freq_penalty).round() as u64
+}
+
+/// Round-trip latency to main memory in cycles for a node.
+pub fn memory_latency_cycles(node: ProcessNode) -> u64 {
+    node.memory_latency_cycles()
+}
+
+/// Cost, in cycles, of a context switch on one core (used by the multiprogramming
+/// experiment).  Dominated by kernel entry/exit and cold microarchitectural state,
+/// not by the cache effects which the simulator models explicitly.
+pub const CONTEXT_SWITCH_CYCLES: u64 = 4_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_is_faster_than_l2_is_faster_than_memory() {
+        for node in ProcessNode::ALL {
+            let l2 = l2_latency_cycles(2 * 1024 * 1024, node);
+            assert!(L1_LATENCY_CYCLES < l2);
+            assert!(l2 < memory_latency_cycles(node));
+        }
+    }
+
+    #[test]
+    fn l2_latency_grows_with_capacity() {
+        let node = ProcessNode::Nm32;
+        let mut prev = 0;
+        for mib in [1usize, 2, 4, 8, 16, 32] {
+            let lat = l2_latency_cycles(mib * 1024 * 1024, node);
+            assert!(lat >= prev, "latency must not shrink with capacity");
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn l2_latency_calibration_at_90nm() {
+        let one_mib = l2_latency_cycles(1024 * 1024, ProcessNode::Nm90);
+        let eight_mib = l2_latency_cycles(8 * 1024 * 1024, ProcessNode::Nm90);
+        assert!((10..=14).contains(&one_mib), "1 MiB: {one_mib}");
+        assert!((17..=23).contains(&eight_mib), "8 MiB: {eight_mib}");
+    }
+
+    #[test]
+    fn tiny_caches_do_not_underflow() {
+        // The sqrt term is clamped so pathological capacities stay sane.
+        let lat = l2_latency_cycles(4 * 1024, ProcessNode::Nm90);
+        assert!(lat >= L2_BASE_LATENCY_CYCLES);
+    }
+
+    #[test]
+    fn context_switch_cost_is_nontrivial_but_bounded() {
+        assert!(CONTEXT_SWITCH_CYCLES >= 1_000);
+        assert!(CONTEXT_SWITCH_CYCLES <= 100_000);
+    }
+}

@@ -1,0 +1,262 @@
+//! Process-technology nodes and their scaling properties.
+//!
+//! The paper sweeps 1–32 cores and, for each core count, picks a default
+//! configuration "based on current CMPs and realistic projections of future CMPs,
+//! as process technologies decrease from 90 nm to 32 nm".  This module captures the
+//! per-node quantities that the area and latency models need:
+//!
+//! * linear feature-size scaling (and therefore area scaling) relative to 90 nm,
+//! * the area of one processing core,
+//! * SRAM density (how many bytes of cache fit in a mm²),
+//! * clock frequency, and
+//! * sustained off-chip bandwidth.
+//!
+//! The off-chip-bandwidth numbers intentionally grow much more slowly than the
+//! aggregate compute capability: that widening gap is the premise of the study.
+
+use serde::{Deserialize, Serialize};
+
+/// A silicon process technology node.
+///
+/// Ordering is chronological: `Nm90 < Nm65 < Nm45 < Nm32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProcessNode {
+    /// 90 nm — the "current CMP" node at the time of the study (2004-2006).
+    Nm90,
+    /// 65 nm — near-term projection.
+    Nm65,
+    /// 45 nm — medium-term projection.
+    Nm45,
+    /// 32 nm — the most aggressive projection used in the paper.
+    Nm32,
+}
+
+impl ProcessNode {
+    /// All nodes, oldest first.
+    pub const ALL: [ProcessNode; 4] = [
+        ProcessNode::Nm90,
+        ProcessNode::Nm65,
+        ProcessNode::Nm45,
+        ProcessNode::Nm32,
+    ];
+
+    /// Feature size in nanometres.
+    pub fn feature_nm(self) -> f64 {
+        match self {
+            ProcessNode::Nm90 => 90.0,
+            ProcessNode::Nm65 => 65.0,
+            ProcessNode::Nm45 => 45.0,
+            ProcessNode::Nm32 => 32.0,
+        }
+    }
+
+    /// Linear shrink factor relative to 90 nm (1.0 at 90 nm, < 1.0 afterwards).
+    pub fn linear_scale(self) -> f64 {
+        self.feature_nm() / 90.0
+    }
+
+    /// Area shrink factor relative to 90 nm (square of the linear shrink).
+    pub fn area_scale(self) -> f64 {
+        let s = self.linear_scale();
+        s * s
+    }
+
+    /// Area of one processing core in mm².
+    ///
+    /// The study uses relatively simple cores (the point is many of them on one
+    /// die); we model a core that occupies about 20 mm² at 90 nm — roughly the
+    /// footprint of a mid-2000s out-of-order core without its L2 — and shrinks
+    /// with the process node, with a mild (10 %) "cores do not shrink perfectly"
+    /// penalty per generation.
+    pub fn core_area_mm2(self) -> f64 {
+        const CORE_AREA_90NM: f64 = 20.0;
+        let generations = match self {
+            ProcessNode::Nm90 => 0,
+            ProcessNode::Nm65 => 1,
+            ProcessNode::Nm45 => 2,
+            ProcessNode::Nm32 => 3,
+        };
+        CORE_AREA_90NM * self.area_scale() * 1.10_f64.powi(generations)
+    }
+
+    /// SRAM density in bytes of cache per mm² (data + tags + periphery).
+    ///
+    /// Calibrated to about 1 MiB per 18 mm² at 90 nm, improving with the inverse
+    /// of the area scale but derated by 15 % per generation for wire and
+    /// redundancy overheads.
+    pub fn sram_bytes_per_mm2(self) -> f64 {
+        const BYTES_PER_MM2_90NM: f64 = (1 << 20) as f64 / 18.0;
+        let generations = match self {
+            ProcessNode::Nm90 => 0,
+            ProcessNode::Nm65 => 1,
+            ProcessNode::Nm45 => 2,
+            ProcessNode::Nm32 => 3,
+        };
+        BYTES_PER_MM2_90NM / self.area_scale() * 0.85_f64.powi(generations)
+    }
+
+    /// Core clock frequency in GHz.
+    ///
+    /// Frequency scaling had already slowed by 2006; we model modest growth.
+    pub fn frequency_ghz(self) -> f64 {
+        match self {
+            ProcessNode::Nm90 => 3.0,
+            ProcessNode::Nm65 => 3.5,
+            ProcessNode::Nm45 => 4.0,
+            ProcessNode::Nm32 => 4.4,
+        }
+    }
+
+    /// Sustained off-chip memory bandwidth in GB/s.
+    ///
+    /// Pin counts and signalling rates improve slowly; this is the resource the
+    /// shared L2 is supposed to conserve.
+    pub fn offchip_bandwidth_gbs(self) -> f64 {
+        match self {
+            ProcessNode::Nm90 => 8.0,
+            ProcessNode::Nm65 => 12.0,
+            ProcessNode::Nm45 => 18.0,
+            ProcessNode::Nm32 => 26.0,
+        }
+    }
+
+    /// Off-chip bandwidth expressed in bytes per core clock cycle.
+    pub fn offchip_bytes_per_cycle(self) -> f64 {
+        self.offchip_bandwidth_gbs() / self.frequency_ghz()
+    }
+
+    /// Main-memory access latency in core clock cycles (round trip, unloaded).
+    ///
+    /// DRAM latency in nanoseconds is roughly flat across nodes, so the latency in
+    /// *cycles* grows with frequency.
+    pub fn memory_latency_cycles(self) -> u64 {
+        const DRAM_LATENCY_NS: f64 = 80.0;
+        (DRAM_LATENCY_NS * self.frequency_ghz()).round() as u64
+    }
+
+    /// The default process node the study associates with a given core count.
+    ///
+    /// Small core counts correspond to chips shipping at the time (90/65 nm);
+    /// large core counts are only feasible at the projected 45/32 nm nodes.
+    pub fn default_for_cores(cores: usize) -> Option<ProcessNode> {
+        match cores {
+            1 | 2 => Some(ProcessNode::Nm90),
+            3..=4 => Some(ProcessNode::Nm65),
+            5..=8 => Some(ProcessNode::Nm45),
+            9..=32 => Some(ProcessNode::Nm32),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_chronologically_ordered() {
+        assert!(ProcessNode::Nm90 < ProcessNode::Nm65);
+        assert!(ProcessNode::Nm65 < ProcessNode::Nm45);
+        assert!(ProcessNode::Nm45 < ProcessNode::Nm32);
+    }
+
+    #[test]
+    fn area_scale_is_one_at_90nm_and_decreases() {
+        assert!((ProcessNode::Nm90.area_scale() - 1.0).abs() < 1e-12);
+        let mut prev = f64::INFINITY;
+        for node in ProcessNode::ALL {
+            let a = node.area_scale();
+            assert!(a <= prev, "area scale must shrink monotonically");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn core_area_shrinks_with_node() {
+        let mut prev = f64::INFINITY;
+        for node in ProcessNode::ALL {
+            let a = node.core_area_mm2();
+            assert!(a < prev, "core area must shrink: {node:?} = {a}");
+            assert!(a > 1.0, "a core should still be at least 1 mm²");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn sram_density_improves_with_node() {
+        let mut prev = 0.0;
+        for node in ProcessNode::ALL {
+            let d = node.sram_bytes_per_mm2();
+            assert!(d > prev, "SRAM density must improve: {node:?} = {d}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn density_calibration_at_90nm() {
+        // ~1 MiB in 18 mm².
+        let mb_in_18mm2 = ProcessNode::Nm90.sram_bytes_per_mm2() * 18.0 / (1 << 20) as f64;
+        assert!((mb_in_18mm2 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn frequency_and_bandwidth_grow_monotonically() {
+        let mut prev_f = 0.0;
+        let mut prev_b = 0.0;
+        for node in ProcessNode::ALL {
+            assert!(node.frequency_ghz() > prev_f);
+            assert!(node.offchip_bandwidth_gbs() > prev_b);
+            prev_f = node.frequency_ghz();
+            prev_b = node.offchip_bandwidth_gbs();
+        }
+    }
+
+    #[test]
+    fn bandwidth_grows_slower_than_core_count_capability() {
+        // From 90 nm to 32 nm, the number of cores that fit grows by ~8x or more,
+        // but bandwidth grows by only ~3x.  This gap is the paper's premise.
+        let bw_growth =
+            ProcessNode::Nm32.offchip_bandwidth_gbs() / ProcessNode::Nm90.offchip_bandwidth_gbs();
+        let core_shrink = ProcessNode::Nm90.core_area_mm2() / ProcessNode::Nm32.core_area_mm2();
+        assert!(core_shrink > bw_growth);
+    }
+
+    #[test]
+    fn memory_latency_grows_in_cycles() {
+        assert!(
+            ProcessNode::Nm32.memory_latency_cycles() > ProcessNode::Nm90.memory_latency_cycles()
+        );
+        assert!(ProcessNode::Nm90.memory_latency_cycles() >= 200);
+    }
+
+    #[test]
+    fn default_node_mapping_covers_study_range() {
+        for cores in 1..=32 {
+            assert!(ProcessNode::default_for_cores(cores).is_some(), "cores={cores}");
+        }
+        assert_eq!(ProcessNode::default_for_cores(0), None);
+        assert_eq!(ProcessNode::default_for_cores(33), None);
+        assert_eq!(ProcessNode::default_for_cores(1), Some(ProcessNode::Nm90));
+        assert_eq!(ProcessNode::default_for_cores(4), Some(ProcessNode::Nm65));
+        assert_eq!(ProcessNode::default_for_cores(8), Some(ProcessNode::Nm45));
+        assert_eq!(ProcessNode::default_for_cores(32), Some(ProcessNode::Nm32));
+    }
+
+    #[test]
+    fn default_node_mapping_is_monotone_in_cores() {
+        let mut prev = ProcessNode::Nm90;
+        for cores in 1..=32 {
+            let node = ProcessNode::default_for_cores(cores).unwrap();
+            assert!(node >= prev, "node must not regress as cores grow");
+            prev = node;
+        }
+    }
+
+    #[test]
+    fn bytes_per_cycle_is_consistent() {
+        for node in ProcessNode::ALL {
+            let expected = node.offchip_bandwidth_gbs() / node.frequency_ghz();
+            assert!((node.offchip_bytes_per_cycle() - expected).abs() < 1e-12);
+        }
+    }
+}

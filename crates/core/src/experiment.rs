@@ -1,0 +1,302 @@
+//! The experiment builder: sweep (cores × scheduler) cells over one workload.
+
+use crate::spec::WorkloadSpec;
+use pdfws_cmp_model::{default_config, CmpConfig, ModelError};
+use pdfws_schedulers::{simulate, SchedulerKind, SimOptions, SimResult};
+use std::fmt;
+
+/// Errors from configuring or running an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// No core counts were requested.
+    NoCores,
+    /// No schedulers were requested.
+    NoSchedulers,
+    /// A machine configuration could not be derived or validated.
+    Model(ModelError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::NoCores => write!(f, "the experiment has no core counts to run"),
+            ExperimentError::NoSchedulers => write!(f, "the experiment has no schedulers to run"),
+            ExperimentError::Model(e) => write!(f, "configuration error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<ModelError> for ExperimentError {
+    fn from(e: ModelError) -> Self {
+        ExperimentError::Model(e)
+    }
+}
+
+/// One (cores, scheduler) cell of an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Number of cores simulated.
+    pub cores: usize,
+    /// Scheduler used.
+    pub scheduler: SchedulerKind,
+    /// The machine configuration used for this cell.
+    pub config: CmpConfig,
+    /// Everything measured during the run.
+    pub metrics: SimResult,
+}
+
+/// Results of a whole experiment: all cells plus the sequential baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Workload name.
+    pub workload: String,
+    /// The one-core sequential baseline the speedups are measured against.
+    pub baseline: SimResult,
+    /// Configuration used for the baseline run.
+    pub baseline_config: CmpConfig,
+    runs: Vec<RunRecord>,
+}
+
+impl ExperimentReport {
+    /// All (cores, scheduler) cells, in the order they were run (cores outer,
+    /// schedulers inner).
+    pub fn runs(&self) -> &[RunRecord] {
+        &self.runs
+    }
+
+    /// The cell for a specific core count and scheduler, if it was part of the sweep.
+    pub fn find(&self, cores: usize, scheduler: SchedulerKind) -> Option<&RunRecord> {
+        self.runs
+            .iter()
+            .find(|r| r.cores == cores && r.scheduler == scheduler)
+    }
+
+    /// Speedup of a cell over the sequential baseline (the paper's Figure 1 right panel).
+    pub fn speedup(&self, run: &RunRecord) -> f64 {
+        run.metrics.speedup_over(&self.baseline)
+    }
+
+    /// Relative speedup of PDF over WS at the given core count (> 1 means PDF is faster).
+    pub fn pdf_over_ws_speedup(&self, cores: usize) -> Option<f64> {
+        let pdf = self.find(cores, SchedulerKind::Pdf)?;
+        let ws = self.find(cores, SchedulerKind::WorkStealing)?;
+        Some(ws.metrics.cycles as f64 / pdf.metrics.cycles as f64)
+    }
+
+    /// Off-chip-traffic reduction (percent) of PDF relative to WS at the given core count.
+    pub fn pdf_traffic_reduction_percent(&self, cores: usize) -> Option<f64> {
+        let pdf = self.find(cores, SchedulerKind::Pdf)?;
+        let ws = self.find(cores, SchedulerKind::WorkStealing)?;
+        let wsb = ws.metrics.offchip_bytes();
+        if wsb == 0 {
+            return Some(0.0);
+        }
+        Some((wsb as f64 - pdf.metrics.offchip_bytes() as f64) / wsb as f64 * 100.0)
+    }
+}
+
+/// Builder for one experiment over one workload.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    workload: WorkloadSpec,
+    cores: Vec<usize>,
+    schedulers: Vec<SchedulerKind>,
+    fixed_config: Option<CmpConfig>,
+    options: SimOptions,
+}
+
+impl Experiment {
+    /// Start an experiment over a workload.  Defaults: 8 cores, the paper's two
+    /// schedulers (PDF and WS), default configurations, default engine options.
+    pub fn new(workload: WorkloadSpec) -> Self {
+        Experiment {
+            workload,
+            cores: vec![8],
+            schedulers: SchedulerKind::PAPER_PAIR.to_vec(),
+            fixed_config: None,
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Run at a single core count.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = vec![cores];
+        self
+    }
+
+    /// Sweep several core counts (the Figure 1 x-axis).
+    pub fn core_sweep(mut self, cores: &[usize]) -> Self {
+        self.cores = cores.to_vec();
+        self
+    }
+
+    /// Choose which schedulers to run.
+    pub fn schedulers(mut self, kinds: &[SchedulerKind]) -> Self {
+        self.schedulers = kinds.to_vec();
+        self
+    }
+
+    /// Use an explicit machine configuration for every cell instead of the default
+    /// configuration for each core count (the core count still comes from the
+    /// sweep; only cache/bandwidth parameters are taken from `config`).
+    pub fn with_config(mut self, config: CmpConfig) -> Self {
+        self.fixed_config = Some(config);
+        self
+    }
+
+    /// Set engine options (working-set profiling, disturbance co-runner, ...).
+    pub fn options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    fn config_for(&self, cores: usize) -> Result<CmpConfig, ExperimentError> {
+        match &self.fixed_config {
+            Some(cfg) => {
+                let mut cfg = *cfg;
+                cfg.cores = cores;
+                cfg.validate()?;
+                Ok(cfg)
+            }
+            None => Ok(default_config(cores)?),
+        }
+    }
+
+    /// Run every (cores × scheduler) cell plus the one-core sequential baseline.
+    pub fn run(self) -> Result<ExperimentReport, ExperimentError> {
+        if self.cores.is_empty() {
+            return Err(ExperimentError::NoCores);
+        }
+        if self.schedulers.is_empty() {
+            return Err(ExperimentError::NoSchedulers);
+        }
+
+        // Sequential baseline: one core, PDF (on one core PDF *is* the sequential
+        // depth-first execution), on the one-core configuration.
+        let baseline_config = self.config_for(1)?;
+        let baseline = simulate(
+            &self.workload.dag,
+            &baseline_config,
+            SchedulerKind::Pdf,
+            &self.options,
+        );
+
+        let mut runs = Vec::with_capacity(self.cores.len() * self.schedulers.len());
+        for &cores in &self.cores {
+            let config = self.config_for(cores)?;
+            for &scheduler in &self.schedulers {
+                let metrics = simulate(&self.workload.dag, &config, scheduler, &self.options);
+                runs.push(RunRecord {
+                    cores,
+                    scheduler,
+                    config,
+                    metrics,
+                });
+            }
+        }
+        Ok(ExperimentReport {
+            workload: self.workload.name.clone(),
+            baseline,
+            baseline_config,
+            runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::IntoSpec;
+    use pdfws_workloads::{MergeSort, ParallelScan};
+
+    #[test]
+    fn defaults_run_the_paper_pair_on_eight_cores() {
+        let report = Experiment::new(MergeSort::small().into_spec()).run().unwrap();
+        assert_eq!(report.runs().len(), 2);
+        assert_eq!(report.workload, "mergesort");
+        assert!(report.find(8, SchedulerKind::Pdf).is_some());
+        assert!(report.find(8, SchedulerKind::WorkStealing).is_some());
+        assert!(report.find(4, SchedulerKind::Pdf).is_none());
+    }
+
+    #[test]
+    fn sweep_produces_one_cell_per_cores_times_scheduler() {
+        let report = Experiment::new(ParallelScan::small().into_spec())
+            .core_sweep(&[1, 2, 4])
+            .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing, SchedulerKind::StaticPartition])
+            .run()
+            .unwrap();
+        assert_eq!(report.runs().len(), 9);
+        // Every cell executed the full DAG.
+        for run in report.runs() {
+            assert_eq!(run.metrics.tasks, run.metrics.tasks.max(1));
+            assert!(run.metrics.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn speedups_are_relative_to_the_one_core_baseline() {
+        let report = Experiment::new(MergeSort::small().into_spec())
+            .core_sweep(&[1, 4])
+            .run()
+            .unwrap();
+        let one_core_pdf = report.find(1, SchedulerKind::Pdf).unwrap();
+        let s = report.speedup(one_core_pdf);
+        // One core under the baseline configuration: speedup is exactly 1.
+        assert!((s - 1.0).abs() < 1e-9, "speedup = {s}");
+        let four_core = report.find(4, SchedulerKind::Pdf).unwrap();
+        assert!(report.speedup(four_core) >= 1.0);
+    }
+
+    #[test]
+    fn pdf_ws_comparisons_are_available() {
+        let report = Experiment::new(MergeSort::small().into_spec())
+            .cores(4)
+            .run()
+            .unwrap();
+        assert!(report.pdf_over_ws_speedup(4).is_some());
+        assert!(report.pdf_traffic_reduction_percent(4).is_some());
+        assert!(report.pdf_over_ws_speedup(16).is_none());
+    }
+
+    #[test]
+    fn empty_sweeps_are_rejected() {
+        let e = Experiment::new(MergeSort::small().into_spec())
+            .core_sweep(&[])
+            .run()
+            .unwrap_err();
+        assert_eq!(e, ExperimentError::NoCores);
+        let e = Experiment::new(MergeSort::small().into_spec())
+            .schedulers(&[])
+            .run()
+            .unwrap_err();
+        assert_eq!(e, ExperimentError::NoSchedulers);
+    }
+
+    #[test]
+    fn invalid_core_counts_surface_model_errors() {
+        let e = Experiment::new(MergeSort::small().into_spec())
+            .cores(999)
+            .run()
+            .unwrap_err();
+        assert!(matches!(e, ExperimentError::Model(_)));
+        assert!(e.to_string().contains("configuration error"));
+    }
+
+    #[test]
+    fn fixed_config_overrides_cache_parameters() {
+        let mut cfg = default_config(4).unwrap();
+        cfg.l2.capacity_bytes = 1024 * 1024;
+        cfg.l2.latency_cycles = 10;
+        let report = Experiment::new(MergeSort::small().into_spec())
+            .cores(4)
+            .with_config(cfg)
+            .run()
+            .unwrap();
+        let run = report.find(4, SchedulerKind::Pdf).unwrap();
+        assert_eq!(run.config.l2.capacity_bytes, 1024 * 1024);
+        assert_eq!(report.baseline_config.cores, 1);
+    }
+}

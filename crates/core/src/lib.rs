@@ -1,0 +1,43 @@
+//! High-level experiment API: configurations × workloads × schedulers → metrics.
+//!
+//! This is the crate downstream users interact with.  It wires the other crates
+//! together behind one builder:
+//!
+//! ```
+//! use pdfws_core::prelude::*;
+//!
+//! let report = Experiment::new(MergeSort::new(1 << 13).into_spec())
+//!     .core_sweep(&[1, 4, 8])
+//!     .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+//!     .run()
+//!     .unwrap();
+//!
+//! // Speedups are measured against the one-core default configuration.
+//! for run in report.runs() {
+//!     println!(
+//!         "{:>3} cores  {:>6}  mpki={:.3}  speedup={:.2}",
+//!         run.cores,
+//!         run.scheduler,
+//!         run.metrics.l2_mpki(),
+//!         report.speedup(run),
+//!     );
+//! }
+//! ```
+
+pub mod experiment;
+pub mod spec;
+
+pub use experiment::{Experiment, ExperimentError, ExperimentReport, RunRecord};
+pub use spec::{IntoSpec, WorkloadSpec};
+
+/// The types almost every experiment needs.
+pub mod prelude {
+    pub use crate::experiment::{Experiment, ExperimentError, ExperimentReport, RunRecord};
+    pub use crate::spec::{IntoSpec, WorkloadSpec};
+    pub use pdfws_cmp_model::{default_config, default_core_counts, CmpConfig, ProcessNode};
+    pub use pdfws_schedulers::{Disturbance, SchedulerKind, SimOptions, SimResult};
+    pub use pdfws_workloads::{
+        ComputeKernel, HashJoin, LuDecomposition, MatMul, MergeSort, ParallelScan, QuickSort,
+        SpMv, SyntheticTree, Workload, WorkloadClass,
+    };
+}

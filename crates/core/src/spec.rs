@@ -1,0 +1,86 @@
+//! Workload specifications: a built task DAG plus the metadata experiments need.
+//!
+//! Building a DAG can be expensive for large instances, so a [`WorkloadSpec`]
+//! builds it once and lets every (cores × scheduler) cell of an experiment reuse
+//! it; the simulator never mutates the DAG.
+
+use pdfws_task_dag::TaskDag;
+use pdfws_workloads::{Workload, WorkloadClass};
+
+/// A workload that has been instantiated: its DAG plus reporting metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Short name ("mergesort", "spmv", ...).
+    pub name: String,
+    /// The paper's application class for this program.
+    pub class: WorkloadClass,
+    /// The fine-grained task DAG.
+    pub dag: TaskDag,
+    /// Approximate input-data footprint in bytes.
+    pub data_bytes: u64,
+}
+
+impl WorkloadSpec {
+    /// Build a spec from any workload generator.
+    pub fn from_workload(w: &dyn Workload) -> Self {
+        WorkloadSpec {
+            name: w.name().to_string(),
+            class: w.class(),
+            dag: w.build_dag(),
+            data_bytes: w.data_bytes(),
+        }
+    }
+
+    /// Construct a spec directly from parts (used by tests and custom DAGs).
+    pub fn from_parts(name: impl Into<String>, class: WorkloadClass, dag: TaskDag, data_bytes: u64) -> Self {
+        WorkloadSpec {
+            name: name.into(),
+            class,
+            dag,
+            data_bytes,
+        }
+    }
+}
+
+/// Convenience conversion: `MergeSort::new(n).into_spec()`.
+pub trait IntoSpec {
+    /// Instantiate the workload into a [`WorkloadSpec`].
+    fn into_spec(self) -> WorkloadSpec;
+}
+
+impl<W: Workload> IntoSpec for W {
+    fn into_spec(self) -> WorkloadSpec {
+        WorkloadSpec::from_workload(&self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdfws_workloads::{MergeSort, ParallelScan};
+
+    #[test]
+    fn spec_captures_name_class_and_dag() {
+        let spec = MergeSort::small().into_spec();
+        assert_eq!(spec.name, "mergesort");
+        assert_eq!(spec.class, WorkloadClass::DivideAndConquer);
+        assert!(spec.dag.len() > 1);
+        assert!(spec.data_bytes > 0);
+    }
+
+    #[test]
+    fn from_workload_matches_into_spec() {
+        let w = ParallelScan::small();
+        let a = WorkloadSpec::from_workload(&w);
+        let b = w.into_spec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_parts_builds_custom_specs() {
+        let dag = pdfws_task_dag::builder::SpTree::leaf("only", 10).into_dag().unwrap();
+        let spec = WorkloadSpec::from_parts("custom", WorkloadClass::ComputeBound, dag, 64);
+        assert_eq!(spec.name, "custom");
+        assert_eq!(spec.dag.len(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! The derived quantities the paper reports.
+
+/// L2 misses per 1000 instructions (the left panel of Figure 1).
+///
+/// Returns 0 for an empty run.
+pub fn l2_mpki(l2_misses: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        l2_misses as f64 * 1000.0 / instructions as f64
+    }
+}
+
+/// Speedup of a parallel run over a baseline (sequential) run, from their
+/// makespans in cycles (the right panel of Figure 1).
+pub fn speedup(baseline_cycles: u64, parallel_cycles: u64) -> f64 {
+    if parallel_cycles == 0 {
+        0.0
+    } else {
+        baseline_cycles as f64 / parallel_cycles as f64
+    }
+}
+
+/// Relative speedup of PDF over WS: `ws_cycles / pdf_cycles` (> 1 means PDF wins).
+/// The paper reports 1.3–1.6× for divide-and-conquer and bandwidth-limited
+/// irregular programs.
+pub fn relative_speedup(ws_cycles: u64, pdf_cycles: u64) -> f64 {
+    speedup(ws_cycles, pdf_cycles)
+}
+
+/// Percentage reduction in off-chip traffic of PDF relative to WS.
+/// The paper reports 13–41 %.
+pub fn traffic_reduction_percent(ws_bytes: u64, pdf_bytes: u64) -> f64 {
+    if ws_bytes == 0 {
+        0.0
+    } else {
+        (ws_bytes as f64 - pdf_bytes as f64) / ws_bytes as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_definition() {
+        assert!((l2_mpki(10, 10_000) - 1.0).abs() < 1e-12);
+        assert!((l2_mpki(3, 1_000) - 3.0).abs() < 1e-12);
+        assert_eq!(l2_mpki(5, 0), 0.0);
+    }
+
+    #[test]
+    fn speedup_definition() {
+        assert!((speedup(1000, 250) - 4.0).abs() < 1e-12);
+        assert!((speedup(1000, 1000) - 1.0).abs() < 1e-12);
+        assert_eq!(speedup(1000, 0), 0.0);
+    }
+
+    #[test]
+    fn relative_speedup_greater_than_one_means_pdf_wins() {
+        assert!(relative_speedup(1500, 1000) > 1.0);
+        assert!(relative_speedup(900, 1000) < 1.0);
+    }
+
+    #[test]
+    fn traffic_reduction_percentage() {
+        assert!((traffic_reduction_percent(100, 59) - 41.0).abs() < 1e-12);
+        assert!((traffic_reduction_percent(100, 87) - 13.0).abs() < 1e-12);
+        assert!(traffic_reduction_percent(100, 120) < 0.0);
+        assert_eq!(traffic_reduction_percent(0, 10), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Simple aggregation helpers used when summarising across benchmarks.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean (the conventional way to average speedups across benchmarks);
+/// 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires strictly positive values"
+    );
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_is_below_arithmetic_for_spread_values() {
+        let v = [1.0, 10.0];
+        assert!(geometric_mean(&v) < mean(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn geometric_mean_rejects_non_positive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Series and table rendering for the experiment binaries.
+//!
+//! A [`Series`] is one line of a figure (e.g. "pdf" L2 MPKI over core counts);
+//! a [`Table`] collects several series over the same x-axis and renders them as an
+//! aligned text table (what the experiment binaries print) or CSV (what
+//! EXPERIMENTS.md and plotting scripts consume).
+
+use serde::{Deserialize, Serialize};
+
+/// One named series of y-values over the table's shared x-axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Name shown in the column header (e.g. "pdf", "ws").
+    pub name: String,
+    /// Values, one per x-axis entry.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Create a series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Series {
+            name: name.into(),
+            values,
+        }
+    }
+}
+
+/// A table: an x-axis column plus one column per series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Name of the x-axis column (e.g. "cores").
+    pub x_name: String,
+    /// The x-axis values (e.g. core counts), one per row.
+    pub x_values: Vec<String>,
+    /// The series (columns).
+    pub series: Vec<Series>,
+}
+
+impl Table {
+    /// Create an empty table over the given x-axis.
+    pub fn new(
+        title: impl Into<String>,
+        x_name: impl Into<String>,
+        x_values: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            x_name: x_name.into(),
+            x_values,
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series length does not match the x-axis length.
+    pub fn push_series(&mut self, series: Series) {
+        assert_eq!(
+            series.values.len(),
+            self.x_values.len(),
+            "series '{}' has {} values but the x-axis has {} entries",
+            series.name,
+            series.values.len(),
+            self.x_values.len()
+        );
+        self.series.push(series);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.x_values.len()
+    }
+
+    /// Render as an aligned, human-readable text table.
+    pub fn to_text(&self) -> String {
+        let mut headers = vec![self.x_name.clone()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.rows());
+        for (i, x) in self.x_values.iter().enumerate() {
+            let mut row = vec![x.clone()];
+            row.extend(self.series.iter().map(|s| format!("{:.4}", s.values[i])));
+            rows.push(row);
+        }
+        let widths: Vec<usize> = headers
+            .iter()
+            .enumerate()
+            .map(|(c, h)| {
+                rows.iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:>width$}", cell, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (header row, then one row per x value).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut headers = vec![self.x_name.clone()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        out.push_str(&headers.join(","));
+        out.push('\n');
+        for (i, x) in self.x_values.iter().enumerate() {
+            let mut row = vec![x.clone()];
+            row.extend(self.series.iter().map(|s| format!("{}", s.values[i])));
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "Figure 1 (left): L2 misses per 1000 instructions",
+            "cores",
+            vec!["1".into(), "2".into(), "4".into()],
+        );
+        t.push_series(Series::new("pdf", vec![0.5, 0.45, 0.4]));
+        t.push_series(Series::new("ws", vec![0.5, 0.8, 1.2]));
+        t
+    }
+
+    #[test]
+    fn text_rendering_contains_all_cells() {
+        let text = sample().to_text();
+        assert!(text.contains("Figure 1"));
+        assert!(text.contains("cores"));
+        assert!(text.contains("pdf"));
+        assert!(text.contains("ws"));
+        assert!(text.contains("1.2000"));
+        assert_eq!(text.lines().count(), 1 + 1 + 1 + 3);
+    }
+
+    #[test]
+    fn csv_rendering_round_trips_values() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cores,pdf,ws");
+        assert_eq!(lines[1], "1,0.5,0.5");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn rows_reports_x_axis_length() {
+        assert_eq!(sample().rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "values but the x-axis")]
+    fn mismatched_series_length_panics() {
+        let mut t = sample();
+        t.push_series(Series::new("bad", vec![1.0]));
+    }
+}

@@ -1,0 +1,115 @@
+//! Real-thread fork-join runtimes implementing the two scheduling policies.
+//!
+//! The simulator in `pdfws-schedulers` answers the paper's questions about cache
+//! behaviour on hypothetical CMPs; this crate shows that both policies are
+//! implementable as ordinary user-level runtimes and provides the spawn/steal
+//! micro-benchmarks used by the `runtime_overhead` bench:
+//!
+//! * [`ws_pool::WsPool`] — a work-stealing thread pool in the style of Cilk/rayon:
+//!   per-worker Chase–Lev deques (via `crossbeam-deque`), LIFO local execution,
+//!   FIFO stealing, and a blocking-free `join` that *helps* (executes other ready
+//!   jobs) while it waits.
+//! * [`pdf_pool::PdfPool`] — a Parallel Depth First pool: one global priority queue
+//!   of ready jobs ordered by their position in the *sequential* execution
+//!   (maintained as spawn paths, compared lexicographically), so free workers
+//!   always pick the job the sequential program would have reached first.
+//!
+//! Both pools expose the same [`ForkJoinPool`] interface, so algorithms written
+//! once (e.g. the parallel merge sort in `pdfws-workloads`) run under either
+//! policy.
+//!
+//! # Example
+//!
+//! ```
+//! use pdfws_runtime::{ForkJoinPool, WsPool, PdfPool};
+//!
+//! fn fib(pool: &impl ForkJoinPool, n: u64) -> u64 {
+//!     if n < 2 {
+//!         return n;
+//!     }
+//!     let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+//!     a + b
+//! }
+//!
+//! let ws = WsPool::new(2).unwrap();
+//! let pdf = PdfPool::new(2).unwrap();
+//! assert_eq!(ws.install(|| fib(&ws, 16)), 987);
+//! assert_eq!(pdf.install(|| fib(&pdf, 16)), 987);
+//! ```
+
+pub mod job;
+pub mod pdf_pool;
+pub mod ws_pool;
+
+pub use pdf_pool::PdfPool;
+pub use ws_pool::WsPool;
+
+use std::fmt;
+
+/// Errors from pool construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A pool needs at least one worker thread.
+    ZeroThreads,
+    /// The operating system refused to spawn a worker thread.
+    SpawnFailed {
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::ZeroThreads => write!(f, "a pool needs at least one worker thread"),
+            PoolError::SpawnFailed { message } => write!(f, "failed to spawn worker: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// The fork-join interface shared by both runtimes.
+///
+/// `join(a, b)` runs the two closures, potentially in parallel, and returns both
+/// results; it may be called recursively from inside either closure.  `install`
+/// moves a closure onto the pool (so that nested `join`s actually parallelise) and
+/// blocks until it returns.
+pub trait ForkJoinPool: Sync {
+    /// Run `a` and `b`, potentially in parallel, returning both results.
+    ///
+    /// When called from outside the pool the two closures run sequentially on the
+    /// calling thread (`a` first), which is always correct, just not parallel.
+    fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send;
+
+    /// Run `f` on a worker thread and block until it completes.
+    fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send;
+
+    /// Number of worker threads.
+    fn threads(&self) -> usize;
+
+    /// The policy's short name ("ws" or "pdf").
+    fn policy_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_error_display() {
+        assert!(PoolError::ZeroThreads.to_string().contains("at least one"));
+        let e = PoolError::SpawnFailed {
+            message: "nope".into(),
+        };
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,438 @@
+//! A Parallel Depth First fork-join thread pool.
+//!
+//! Ready jobs are kept in one global priority queue ordered by their position in
+//! the *sequential* (depth-first) execution of the program, so a free worker
+//! always picks the job the sequential program would have reached first — the PDF
+//! rule.  Sequential positions are maintained dynamically as *spawn paths*: the
+//! closure passed as the second argument of the `c`-th `join` executed by a task
+//! with path `P` gets path `P ++ [c, 1]`, while the first argument (which runs
+//! inline, like the sequential program would) is evaluated under path
+//! `P ++ [c, 0]`.  Lexicographic order of paths is exactly the 1DF order of the
+//! unfolding computation.
+//!
+//! Compared with the work-stealing pool the queue is centralized — that is the
+//! point: PDF trades a shared structure for co-scheduling tasks that are adjacent
+//! in the sequential order (constructive cache sharing).  The
+//! `runtime_overhead` bench quantifies the cost of that centralization.
+
+use crate::job::{JobRef, StackJob};
+use crate::{ForkJoinPool, PoolError};
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A job's position in the sequential execution, compared lexicographically.
+pub type SpawnPath = Vec<u32>;
+
+/// One entry in the global ready queue.
+struct QueuedJob {
+    priority: SpawnPath,
+    /// Tie-breaker so the heap's order is total and FIFO among equal priorities.
+    seq: u64,
+    job: JobRef,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; wrap in Reverse at the call sites.
+        (&self.priority, self.seq).cmp(&(&other.priority, other.seq))
+    }
+}
+
+struct PdfShared {
+    queue: Mutex<BinaryHeap<Reverse<QueuedJob>>>,
+    cond: Condvar,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+    executed_jobs: AtomicU64,
+}
+
+impl PdfShared {
+    fn push(&self, priority: SpawnPath, job: JobRef) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut queue = self.queue.lock();
+        queue.push(Reverse(QueuedJob { priority, seq, job }));
+        drop(queue);
+        self.cond.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<JobRef> {
+        self.queue.lock().pop().map(|Reverse(q)| q.job)
+    }
+}
+
+thread_local! {
+    /// The sequential position of the job the current thread is executing, plus a
+    /// per-task counter of how many joins it has performed.  `None` when the
+    /// thread is not running a PDF-pool job.
+    static PDF_STATE: RefCell<Option<(SpawnPath, u32)>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the thread's PDF state set to `path` (counter reset to 0),
+/// restoring the previous state afterwards.
+fn with_path<R>(path: SpawnPath, f: impl FnOnce() -> R) -> R {
+    let previous = PDF_STATE.with(|s| s.replace(Some((path, 0))));
+    struct Restore(Option<(SpawnPath, u32)>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            PDF_STATE.with(|s| *s.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+fn worker_main(shared: Arc<PdfShared>) {
+    loop {
+        if let Some(job) = shared.try_pop() {
+            // SAFETY: each JobRef queued by this pool executes exactly once;
+            // StackJob owners wait on their latch before leaving their frame.
+            unsafe { job.execute() };
+            shared.executed_jobs.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let mut queue = shared.queue.lock();
+        if queue.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+            shared
+                .cond
+                .wait_for(&mut queue, std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+/// A Parallel Depth First fork-join pool.
+pub struct PdfPool {
+    shared: Arc<PdfShared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for PdfPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PdfPool")
+            .field("threads", &self.threads)
+            .field("executed_jobs", &self.executed_jobs())
+            .finish()
+    }
+}
+
+impl PdfPool {
+    /// Create a pool with `threads` worker threads.
+    pub fn new(threads: usize) -> Result<Self, PoolError> {
+        if threads == 0 {
+            return Err(PoolError::ZeroThreads);
+        }
+        let shared = Arc::new(PdfShared {
+            queue: Mutex::new(BinaryHeap::new()),
+            cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            executed_jobs: AtomicU64::new(0),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for index in 0..threads {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("pdfws-pdf-worker-{index}"))
+                .spawn(move || worker_main(shared))
+                .map_err(|e| PoolError::SpawnFailed {
+                    message: e.to_string(),
+                })?;
+            handles.push(handle);
+        }
+        Ok(PdfPool {
+            shared,
+            handles,
+            threads,
+        })
+    }
+
+    /// Number of jobs executed by the workers so far.
+    pub fn executed_jobs(&self) -> u64 {
+        self.shared.executed_jobs.load(Ordering::Relaxed)
+    }
+}
+
+impl ForkJoinPool for PdfPool {
+    fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        // Determine the current sequential position; `None` means we are not on a
+        // PDF job (external caller) and fall back to sequential execution.
+        let state = PDF_STATE.with(|s| s.borrow().clone());
+        let Some((path, counter)) = state else {
+            let ra = a();
+            let rb = b();
+            return (ra, rb);
+        };
+        // Bump this task's join counter.
+        PDF_STATE.with(|s| {
+            if let Some((_, c)) = s.borrow_mut().as_mut() {
+                *c = counter + 1;
+            }
+        });
+        let mut a_path = path.clone();
+        a_path.extend_from_slice(&[counter, 0]);
+        let mut b_path = path;
+        b_path.extend_from_slice(&[counter, 1]);
+
+        let b_path_for_job = b_path.clone();
+        let job_b = StackJob::new(move || with_path(b_path_for_job, b));
+        // SAFETY: `job_b` stays on this frame; we do not return before its latch is
+        // set (we either execute it ourselves via the queue or another worker does).
+        unsafe { self.shared.push(b_path, job_b.as_job_ref()) };
+
+        let ra = with_path(a_path, a);
+
+        while !job_b.latch().probe() {
+            if let Some(job) = self.shared.try_pop() {
+                // SAFETY: pool invariant — each queued JobRef executes exactly once.
+                unsafe { job.execute() };
+                self.shared.executed_jobs.fetch_add(1, Ordering::Relaxed);
+            } else {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+        let rb = job_b.into_result();
+        (ra, rb)
+    }
+
+    fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let already_inside = PDF_STATE.with(|s| s.borrow().is_some());
+        if already_inside {
+            return f();
+        }
+        let job = StackJob::new(move || with_path(Vec::new(), f));
+        // SAFETY: `job` lives on this frame and we block on its latch before
+        // returning.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.shared.push(Vec::new(), job_ref);
+        job.latch().wait();
+        job.into_result()
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn policy_name(&self) -> &'static str {
+        "pdf"
+    }
+}
+
+impl Drop for PdfPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.queue.lock();
+            self.shared.cond.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn fib(pool: &PdfPool, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        if n < 10 {
+            return fib_seq(n);
+        }
+        let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+        a + b
+    }
+
+    fn fib_seq(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib_seq(n - 1) + fib_seq(n - 2)
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_an_error() {
+        assert_eq!(PdfPool::new(0).unwrap_err(), PoolError::ZeroThreads);
+    }
+
+    #[test]
+    fn install_and_threads() {
+        let pool = PdfPool::new(2).unwrap();
+        assert_eq!(pool.install(|| "ok"), "ok");
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.policy_name(), "pdf");
+    }
+
+    #[test]
+    fn join_outside_the_pool_runs_sequentially() {
+        let pool = PdfPool::new(1).unwrap();
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn recursive_fib_matches_sequential() {
+        let pool = PdfPool::new(3).unwrap();
+        assert_eq!(pool.install(|| fib(&pool, 22)), fib_seq(22));
+        assert!(pool.executed_jobs() > 0);
+    }
+
+    #[test]
+    fn borrowed_data_join() {
+        let pool = PdfPool::new(2).unwrap();
+        let data: Vec<u64> = (0..10_000).collect();
+        let total: u64 = pool.install(|| {
+            let (left, right) = data.split_at(5_000);
+            let (a, b) = pool.join(|| left.iter().sum::<u64>(), || right.iter().sum::<u64>());
+            a + b
+        });
+        assert_eq!(total, (0..10_000).sum());
+    }
+
+    #[test]
+    fn single_worker_recursion_does_not_deadlock() {
+        let pool = PdfPool::new(1).unwrap();
+        assert_eq!(pool.install(|| fib(&pool, 18)), fib_seq(18));
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        let pool = PdfPool::new(2).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                let _ = pool.join(|| 1, || -> i32 { panic!("half failed") });
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.install(|| 9), 9);
+    }
+
+    #[test]
+    fn single_worker_executes_leaves_in_sequential_order() {
+        // With one worker the PDF queue must serve jobs in sequential (1DF) order:
+        // the nested fork's leaves a and b both precede the outer fork's second
+        // child c, even though c was pushed first.
+        let pool = PdfPool::new(1).unwrap();
+        let order = Mutex::new(Vec::new());
+        let record = |name: &'static str| order.lock().push(name);
+        pool.install(|| {
+            pool.join(
+                || {
+                    pool.join(|| record("a"), || record("b"));
+                },
+                || record("c"),
+            );
+        });
+        assert_eq!(order.into_inner(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn priority_queue_serves_lowest_path_first() {
+        // Directly exercise the queue ordering.
+        let shared = PdfShared {
+            queue: Mutex::new(BinaryHeap::new()),
+            cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            executed_jobs: AtomicU64::new(0),
+        };
+        let executed = Arc::new(Mutex::new(Vec::new()));
+        let mut jobs = Vec::new();
+        for (path, tag) in [
+            (vec![1, 1], "late"),
+            (vec![0, 1], "early"),
+            (vec![0, 1, 2, 0], "early-child"),
+            (vec![2, 0], "latest"),
+        ] {
+            let executed = Arc::clone(&executed);
+            let job = StackJob::new(move || executed.lock().push(tag));
+            jobs.push((path, job));
+        }
+        for (path, job) in &jobs {
+            // SAFETY: the jobs live until the end of this test and are executed once.
+            unsafe { shared.push(path.clone(), job.as_job_ref()) };
+        }
+        while let Some(job) = shared.try_pop() {
+            unsafe { job.execute() };
+        }
+        assert_eq!(
+            executed.lock().as_slice(),
+            &["early", "early-child", "late", "latest"]
+        );
+        for (_, job) in jobs {
+            let _ = job.into_result();
+        }
+    }
+
+    #[test]
+    fn many_parallel_leaf_sums_are_correct() {
+        let pool = PdfPool::new(4).unwrap();
+        let n = 1 << 14;
+        let data: Vec<u64> = (0..n).collect();
+        fn sum(pool: &PdfPool, slice: &[u64]) -> u64 {
+            if slice.len() <= 1024 {
+                return slice.iter().sum();
+            }
+            let mid = slice.len() / 2;
+            let (l, r) = slice.split_at(mid);
+            let (a, b) = pool.join(|| sum(pool, l), || sum(pool, r));
+            a + b
+        }
+        let total = pool.install(|| sum(&pool, &data));
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn consecutive_joins_in_one_task_all_run() {
+        // A task that performs two joins back to back: its per-task counter must
+        // advance so both forked halves get distinct priorities and all four
+        // branches execute.
+        let pool = PdfPool::new(2).unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let total = pool.install(|| {
+            let bump = |v: usize| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                v
+            };
+            let (a, b) = pool.join(|| bump(1), || bump(2));
+            let (c, d) = pool.join(|| bump(10), || bump(20));
+            a + b + c + d
+        });
+        assert_eq!(total, 33);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,395 @@
+//! A work-stealing fork-join thread pool.
+//!
+//! Classic Cilk/rayon structure, matching the paper's description of WS: each
+//! worker owns a deque of ready jobs; jobs a worker creates go onto its own deque;
+//! the owner works LIFO off the top while idle workers steal FIFO from the bottom
+//! of the first victim they find.  `join` never blocks the worker thread — while
+//! waiting for the forked half it *helps* by executing other ready jobs — so
+//! recursive fork-join programs cannot deadlock the pool.
+
+use crate::job::{HeapJob, JobRef, StackJob};
+use crate::{ForkJoinPool, PoolError};
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared state visible to all workers and to external callers.
+struct Shared {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    shutdown: AtomicBool,
+    steals: AtomicU64,
+    executed_jobs: AtomicU64,
+}
+
+impl Shared {
+    fn notify_all(&self) {
+        let _guard = self.sleep_mutex.lock();
+        self.sleep_cond.notify_all();
+    }
+}
+
+/// Per-worker-thread context, reachable from inside jobs through a thread-local.
+struct WorkerContext {
+    shared: Arc<Shared>,
+    index: usize,
+    worker: Worker<JobRef>,
+}
+
+thread_local! {
+    /// Pointer to the running worker's context, null when the current thread is
+    /// not a pool worker.  Only ever set by `worker_main` for the duration of the
+    /// worker loop, so the pointee outlives every job executed on the thread.
+    static WS_CONTEXT: Cell<*const WorkerContext> = const { Cell::new(ptr::null()) };
+}
+
+impl WorkerContext {
+    /// Look for work: own deque first (LIFO), then the global injector, then the
+    /// other workers' deques (FIFO steal), scanning round-robin from the next
+    /// worker — "the first non-empty queue it finds".
+    fn find_job(&self) -> Option<JobRef> {
+        if let Some(job) = self.worker.pop() {
+            return Some(job);
+        }
+        loop {
+            match self.shared.injector.steal_batch_and_pop(&self.worker) {
+                crossbeam_deque::Steal::Success(job) => return Some(job),
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break,
+            }
+        }
+        let n = self.shared.stealers.len();
+        for offset in 1..n {
+            let victim = (self.index + offset) % n;
+            loop {
+                match self.shared.stealers[victim].steal() {
+                    crossbeam_deque::Steal::Success(job) => {
+                        self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                    crossbeam_deque::Steal::Retry => continue,
+                    crossbeam_deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+fn worker_main(ctx: WorkerContext) {
+    WS_CONTEXT.with(|c| c.set(&ctx as *const WorkerContext));
+    loop {
+        if let Some(job) = ctx.find_job() {
+            // SAFETY: every JobRef enqueued by this pool is executed exactly once;
+            // StackJob owners keep their frames alive until the job's latch is set.
+            unsafe { job.execute() };
+            ctx.shared.executed_jobs.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if ctx.shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Sleep until new work is announced (or shutdown).  Re-check for work
+        // under the lock to avoid missing a notification.
+        let mut guard = ctx.shared.sleep_mutex.lock();
+        if ctx.shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if ctx.worker.is_empty() && ctx.shared.injector.is_empty() {
+            ctx.shared
+                .sleep_cond
+                .wait_for(&mut guard, std::time::Duration::from_millis(1));
+        }
+    }
+    WS_CONTEXT.with(|c| c.set(ptr::null()));
+}
+
+/// A work-stealing fork-join pool.
+pub struct WsPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WsPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WsPool")
+            .field("threads", &self.threads)
+            .field("steals", &self.steal_count())
+            .field("executed_jobs", &self.executed_jobs())
+            .finish()
+    }
+}
+
+impl WsPool {
+    /// Create a pool with `threads` worker threads.
+    pub fn new(threads: usize) -> Result<Self, PoolError> {
+        if threads == 0 {
+            return Err(PoolError::ZeroThreads);
+        }
+        let workers: Vec<Worker<JobRef>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            executed_jobs: AtomicU64::new(0),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for (index, worker) in workers.into_iter().enumerate() {
+            let ctx = WorkerContext {
+                shared: Arc::clone(&shared),
+                index,
+                worker,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("pdfws-ws-worker-{index}"))
+                .spawn(move || worker_main(ctx))
+                .map_err(|e| PoolError::SpawnFailed {
+                    message: e.to_string(),
+                })?;
+            handles.push(handle);
+        }
+        Ok(WsPool {
+            shared,
+            handles,
+            threads,
+        })
+    }
+
+    /// Number of successful steals so far.
+    pub fn steal_count(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs executed by the workers so far (joins, installs and spawns).
+    pub fn executed_jobs(&self) -> u64 {
+        self.shared.executed_jobs.load(Ordering::Relaxed)
+    }
+
+    /// Fire-and-forget a `'static` job onto the pool.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.injector.push(HeapJob::into_job_ref(f));
+        self.shared.notify_all();
+    }
+
+    fn with_worker_context<R>(f: impl FnOnce(Option<&WorkerContext>) -> R) -> R {
+        WS_CONTEXT.with(|c| {
+            let ptr = c.get();
+            if ptr.is_null() {
+                f(None)
+            } else {
+                // SAFETY: the pointer is set by `worker_main` and stays valid for
+                // the whole worker loop, which strictly contains any job (and thus
+                // any call to this function) executed on the thread.
+                f(Some(unsafe { &*ptr }))
+            }
+        })
+    }
+}
+
+impl ForkJoinPool for WsPool {
+    fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        Self::with_worker_context(|ctx| match ctx {
+            None => {
+                // Not on a pool worker: run sequentially (always correct).
+                let ra = a();
+                let rb = b();
+                (ra, rb)
+            }
+            Some(ctx) => {
+                let job_b = StackJob::new(b);
+                // SAFETY: `job_b` stays on this stack frame and we do not return
+                // until its latch is set (either we execute it below or a thief
+                // does and sets the latch).
+                unsafe { ctx.worker.push(job_b.as_job_ref()) };
+                ctx.shared.notify_all();
+                let ra = a();
+                while !job_b.latch().probe() {
+                    if let Some(job) = ctx.find_job() {
+                        // SAFETY: pool invariant — each JobRef executes exactly once.
+                        unsafe { job.execute() };
+                    } else {
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                }
+                let rb = job_b.into_result();
+                (ra, rb)
+            }
+        })
+    }
+
+    fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let already_inside = Self::with_worker_context(|ctx| ctx.is_some());
+        if already_inside {
+            return f();
+        }
+        let job = StackJob::new(f);
+        // SAFETY: `job` lives on this frame and we block on its latch below before
+        // returning, so the reference the pool holds cannot dangle.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.shared.injector.push(job_ref);
+        self.shared.notify_all();
+        job.latch().wait();
+        job.into_result()
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn policy_name(&self) -> &'static str {
+        "ws"
+    }
+}
+
+impl Drop for WsPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn fib(pool: &WsPool, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        if n < 10 {
+            return fib_seq(n);
+        }
+        let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+        a + b
+    }
+
+    fn fib_seq(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib_seq(n - 1) + fib_seq(n - 2)
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_an_error() {
+        assert_eq!(WsPool::new(0).unwrap_err(), PoolError::ZeroThreads);
+    }
+
+    #[test]
+    fn install_runs_closures_with_results() {
+        let pool = WsPool::new(2).unwrap();
+        assert_eq!(pool.install(|| 2 + 2), 4);
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.policy_name(), "ws");
+    }
+
+    #[test]
+    fn join_outside_the_pool_runs_sequentially() {
+        let pool = WsPool::new(1).unwrap();
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn recursive_fib_matches_sequential() {
+        let pool = WsPool::new(3).unwrap();
+        let result = pool.install(|| fib(&pool, 22));
+        assert_eq!(result, fib_seq(22));
+        assert!(pool.executed_jobs() > 0);
+    }
+
+    #[test]
+    fn join_computes_on_borrowed_data() {
+        let pool = WsPool::new(2).unwrap();
+        let data: Vec<u64> = (0..10_000).collect();
+        let total: u64 = pool.install(|| {
+            let (left, right) = data.split_at(5_000);
+            let (a, b) = pool.join(|| left.iter().sum::<u64>(), || right.iter().sum::<u64>());
+            a + b
+        });
+        assert_eq!(total, (0..10_000).sum());
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs() {
+        let pool = WsPool::new(2).unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while counter.load(Ordering::SeqCst) < 50 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn panics_inside_join_propagate_to_the_caller() {
+        let pool = WsPool::new(2).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                let _ = pool.join(|| 1, || -> i32 { panic!("forked half failed") });
+            })
+        }));
+        assert!(result.is_err());
+        // The pool is still usable afterwards.
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn deep_recursion_does_not_deadlock_a_single_worker() {
+        // One worker, recursive joins: helping (running jobs while waiting) is
+        // what makes this terminate.
+        let pool = WsPool::new(1).unwrap();
+        let result = pool.install(|| fib(&pool, 18));
+        assert_eq!(result, fib_seq(18));
+    }
+
+    #[test]
+    fn many_concurrent_installs_from_external_threads() {
+        let pool = Arc::new(WsPool::new(2).unwrap());
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let got = pool.install(|| i * 10);
+                    assert_eq!(got, i * 10);
+                });
+            }
+        });
+    }
+}

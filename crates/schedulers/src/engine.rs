@@ -1,0 +1,628 @@
+//! The cycle-level CMP execution engine.
+//!
+//! The engine advances a set of simulated cores through a task DAG under a
+//! [`SchedulerPolicy`].  Each core executes its current task as an interleaving of
+//! compute instructions (one per cycle) and memory references; references go
+//! through the shared [`CmpCacheHierarchy`], and any reference that goes off chip
+//! additionally contends for the configuration's off-chip bandwidth (a single
+//! serialising channel), which is how bandwidth-limited programs actually become
+//! bandwidth-limited in the model.
+//!
+//! Time advances event-by-event: the engine repeatedly picks the core whose next
+//! step starts earliest, simulates a bounded *step* of that task (at most
+//! [`SimOptions::time_slice_cycles`] cycles or [`SimOptions::max_accesses_per_step`]
+//! references, whichever is hit first), and re-queues the core.  The bounded step
+//! keeps the interleaving of different cores' references on the shared L2 fine
+//! enough to capture constructive and destructive sharing while staying far faster
+//! than per-cycle lockstep simulation.
+//!
+//! Completions enable successor tasks (in reverse listing order, so LIFO policies
+//! descend leftmost-first like the sequential program) and wake idle cores.
+
+use crate::policy::SchedulerPolicy;
+use crate::result::SimResult;
+use pdfws_cache_sim::addr::block_of;
+use pdfws_cache_sim::hierarchy::CmpCacheHierarchy;
+use pdfws_cache_sim::working_set::WorkingSetProfiler;
+use pdfws_cmp_model::CmpConfig;
+use pdfws_task_dag::{MemAccess, TaskDag, TaskId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A synthetic co-runner that periodically touches the shared L2, used by the
+/// multiprogramming experiment.  Its references are issued through core 0's L1
+/// (the co-runner is "context-switched in" on that core), consume off-chip
+/// bandwidth, and pollute the shared L2 — but are *not* charged to the measured
+/// program's instructions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disturbance {
+    /// A burst is injected every `period_cycles` cycles.
+    pub period_cycles: u64,
+    /// Number of distinct cache blocks touched per burst.
+    pub blocks_per_burst: u64,
+    /// First block address of the co-runner's private region (must not overlap the
+    /// measured program's data).
+    pub region_base_block: u64,
+    /// Size of the co-runner's region in blocks; bursts cycle through it.
+    pub region_blocks: u64,
+}
+
+/// Engine tuning knobs and optional instrumentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Upper bound on the simulated cycles one engine step may cover.  Smaller
+    /// values interleave cores more finely (more accurate, slower).
+    pub time_slice_cycles: u64,
+    /// Upper bound on the memory references one engine step may issue.
+    pub max_accesses_per_step: u32,
+    /// If set, profile the interleaved access stream's working set with this
+    /// window size (in references).
+    pub working_set_window: Option<u64>,
+    /// Optional multiprogramming co-runner.
+    pub disturbance: Option<Disturbance>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            time_slice_cycles: 256,
+            max_accesses_per_step: 64,
+            working_set_window: None,
+            disturbance: None,
+        }
+    }
+}
+
+/// Per-task execution progress.
+#[derive(Debug, Clone)]
+struct RunningTask {
+    task: TaskId,
+    /// Index of the access pattern currently being expanded.
+    pattern_idx: usize,
+    /// Next reference index within the current pattern.
+    within_idx: u64,
+    /// References issued so far.
+    issued: u64,
+    /// Total references the task will issue.
+    total_accesses: u64,
+    /// Compute cycles to burn before the next reference (or before completion once
+    /// all references are issued).
+    pending_compute: u64,
+    /// Compute cycles inserted before each reference.
+    compute_per_gap: u64,
+    /// Extra compute cycles appended to the final gap.
+    compute_remainder: u64,
+}
+
+impl RunningTask {
+    fn new(dag: &TaskDag, task: TaskId) -> Self {
+        let node = dag.node(task);
+        let total_accesses = node.memory_accesses();
+        let gaps = total_accesses + 1;
+        let compute_per_gap = node.compute_instructions / gaps;
+        let compute_remainder = node.compute_instructions % gaps;
+        RunningTask {
+            task,
+            pattern_idx: 0,
+            within_idx: 0,
+            issued: 0,
+            total_accesses,
+            pending_compute: compute_per_gap
+                + if total_accesses == 0 {
+                    compute_remainder
+                } else {
+                    0
+                },
+            compute_per_gap,
+            compute_remainder,
+        }
+    }
+
+    /// The next reference, advancing the iteration state.
+    fn next_access(&mut self, dag: &TaskDag) -> Option<MemAccess> {
+        let node = dag.node(self.task);
+        while self.pattern_idx < node.accesses.len() {
+            let pattern = &node.accesses[self.pattern_idx];
+            if let Some(acc) = pattern.get(self.within_idx) {
+                self.within_idx += 1;
+                self.issued += 1;
+                // Refill the compute gap that follows this reference.
+                self.pending_compute = self.compute_per_gap
+                    + if self.issued == self.total_accesses {
+                        self.compute_remainder
+                    } else {
+                        0
+                    };
+                return Some(acc);
+            }
+            self.pattern_idx += 1;
+            self.within_idx = 0;
+        }
+        None
+    }
+
+    fn finished(&self) -> bool {
+        self.issued == self.total_accesses && self.pending_compute == 0
+    }
+}
+
+#[derive(Debug, Default)]
+struct CoreState {
+    running: Option<RunningTask>,
+    busy_cycles: u64,
+}
+
+/// The execution engine.  Construct with [`SimEngine::new`] and call
+/// [`SimEngine::run`] once.
+pub struct SimEngine<'a> {
+    dag: &'a TaskDag,
+    config: CmpConfig,
+    policy: Box<dyn SchedulerPolicy>,
+    options: SimOptions,
+    hierarchy: CmpCacheHierarchy,
+    cores: Vec<CoreState>,
+    /// Earliest time each busy core can take its next step.
+    events: BinaryHeap<Reverse<(u64, usize)>>,
+    idle: Vec<bool>,
+    remaining_preds: Vec<usize>,
+    completed: usize,
+    now: u64,
+    /// Time until which the off-chip channel is occupied by earlier transfers.
+    offchip_busy_until: u64,
+    offchip_queue_cycles: u64,
+    instructions: u64,
+    memory_accesses: u64,
+    profiler: Option<WorkingSetProfiler>,
+    disturbance_cursor: u64,
+    next_disturbance_at: u64,
+    disturbance_accesses: u64,
+}
+
+impl<'a> SimEngine<'a> {
+    /// Build an engine for one run.  The caches start cold.
+    pub fn new(
+        dag: &'a TaskDag,
+        config: &CmpConfig,
+        policy: Box<dyn SchedulerPolicy>,
+        options: SimOptions,
+    ) -> Self {
+        config.validate().expect("CMP configuration must be valid");
+        assert!(options.time_slice_cycles > 0, "time slice must be positive");
+        assert!(
+            options.max_accesses_per_step > 0,
+            "steps must allow at least one reference"
+        );
+        let profiler = options.working_set_window.map(WorkingSetProfiler::new);
+        let next_disturbance_at = options
+            .disturbance
+            .map(|d| d.period_cycles)
+            .unwrap_or(u64::MAX);
+        SimEngine {
+            dag,
+            config: *config,
+            policy,
+            options,
+            hierarchy: CmpCacheHierarchy::new(config),
+            cores: (0..config.cores).map(|_| CoreState::default()).collect(),
+            events: BinaryHeap::new(),
+            idle: vec![true; config.cores],
+            remaining_preds: dag.in_degrees(),
+            completed: 0,
+            now: 0,
+            offchip_busy_until: 0,
+            offchip_queue_cycles: 0,
+            instructions: 0,
+            memory_accesses: 0,
+            profiler,
+            disturbance_cursor: 0,
+            next_disturbance_at,
+            disturbance_accesses: 0,
+        }
+    }
+
+    /// Run the simulation to completion and return the measurements.
+    pub fn run(&mut self) -> SimResult {
+        self.policy.init(self.dag);
+        self.policy.task_ready(self.dag.root(), None);
+        self.dispatch_idle_cores(0);
+
+        while let Some(Reverse((time, core))) = self.events.pop() {
+            self.now = time;
+            self.inject_disturbance(time);
+            let (elapsed, finished) = self.step(core, time);
+            self.cores[core].busy_cycles += elapsed;
+            let end = time + elapsed;
+            // `now` must track step *ends*, not just event pop times, or the
+            // makespan would miss the final step of the run.
+            if end > self.now {
+                self.now = end;
+            }
+            if finished {
+                let task = self
+                    .cores[core]
+                    .running
+                    .take()
+                    .expect("finished step implies a running task")
+                    .task;
+                self.complete_task(task, core, end);
+            } else {
+                self.events.push(Reverse((end, core)));
+            }
+        }
+
+        assert_eq!(
+            self.completed,
+            self.dag.len(),
+            "simulation ended with unexecuted tasks ({} of {}); the policy starved them",
+            self.completed,
+            self.dag.len()
+        );
+
+        let makespan = self.now.max(
+            self.cores
+                .iter()
+                .map(|c| c.busy_cycles)
+                .max()
+                .unwrap_or(0),
+        );
+        SimResult {
+            scheduler: self.policy.name().to_string(),
+            cores: self.config.cores,
+            cycles: makespan,
+            instructions: self.instructions,
+            memory_accesses: self.memory_accesses,
+            tasks: self.dag.len(),
+            busy_cycles: self.cores.iter().map(|c| c.busy_cycles).collect(),
+            offchip_queue_cycles: self.offchip_queue_cycles,
+            steals: self.policy.steals(),
+            hierarchy: self.hierarchy.stats(),
+            working_set: self.profiler.take().map(WorkingSetProfiler::finish),
+        }
+    }
+
+    /// Number of references injected by the disturbance co-runner (not charged to
+    /// the program's instruction count).
+    pub fn disturbance_accesses(&self) -> u64 {
+        self.disturbance_accesses
+    }
+
+    /// Simulate one bounded step of `core`'s running task starting at `start`.
+    /// Returns the elapsed cycles and whether the task finished.
+    fn step(&mut self, core: usize, start: u64) -> (u64, bool) {
+        let slice = self.options.time_slice_cycles;
+        let max_accesses = self.options.max_accesses_per_step as u64;
+        let mut elapsed = 0u64;
+        let mut accesses_this_step = 0u64;
+
+        // Take the running task out to avoid aliasing with `self` during accesses.
+        let mut running = self.cores[core]
+            .running
+            .take()
+            .expect("step called on a core with no running task");
+
+        let finished = loop {
+            if running.finished() {
+                break true;
+            }
+            if elapsed >= slice || accesses_this_step >= max_accesses {
+                break false;
+            }
+            if running.pending_compute > 0 {
+                let burn = running.pending_compute.min(slice - elapsed).max(1);
+                running.pending_compute -= burn;
+                elapsed += burn;
+                self.instructions += burn;
+                continue;
+            }
+            // Issue the next memory reference.
+            let Some(acc) = running.next_access(self.dag) else {
+                // No references left; only trailing compute remains (or nothing).
+                continue;
+            };
+            let latency = self.issue_access(core, acc, start + elapsed);
+            elapsed += latency;
+            self.instructions += 1;
+            self.memory_accesses += 1;
+            accesses_this_step += 1;
+        };
+
+        self.cores[core].running = Some(running);
+        (elapsed, finished)
+    }
+
+    /// Issue one reference through the hierarchy at absolute time `at`, modelling
+    /// off-chip bandwidth contention.  Returns the reference's total latency.
+    fn issue_access(&mut self, core: usize, acc: MemAccess, at: u64) -> u64 {
+        if let Some(p) = &mut self.profiler {
+            p.record(block_of(acc.addr, self.hierarchy.line_bytes() as usize));
+        }
+        let outcome = self.hierarchy.access(core, acc.addr, acc.write);
+        let mut latency = outcome.latency;
+        if outcome.offchip_bytes > 0 {
+            let queue_delay = self.offchip_busy_until.saturating_sub(at);
+            let transfer_cycles =
+                (outcome.offchip_bytes as f64 / self.config.offchip_bytes_per_cycle).ceil() as u64;
+            self.offchip_busy_until = at + queue_delay + transfer_cycles;
+            self.offchip_queue_cycles += queue_delay;
+            latency += queue_delay;
+        }
+        latency
+    }
+
+    /// Handle completion of `task` on `core` at time `end`.
+    fn complete_task(&mut self, task: TaskId, core: usize, end: u64) {
+        self.completed += 1;
+        // Enable successors in reverse listing order (see module docs).
+        for &s in self.dag.successors(task).iter().rev() {
+            self.remaining_preds[s.index()] -= 1;
+            if self.remaining_preds[s.index()] == 0 {
+                self.policy.task_ready(s, Some(core));
+            }
+        }
+        // This core asks for work first (keeps locality for LIFO policies), then
+        // every idle core gets a chance.
+        if let Some(next) = self.policy.next_task(core) {
+            self.start_task(core, next, end);
+        } else {
+            self.idle[core] = true;
+        }
+        self.dispatch_idle_cores(end);
+    }
+
+    /// Give every idle core a chance to pick up work at time `now`.
+    fn dispatch_idle_cores(&mut self, now: u64) {
+        for core in 0..self.cores.len() {
+            if self.idle[core] {
+                if let Some(task) = self.policy.next_task(core) {
+                    self.start_task(core, task, now);
+                }
+            }
+        }
+    }
+
+    fn start_task(&mut self, core: usize, task: TaskId, now: u64) {
+        debug_assert!(self.cores[core].running.is_none());
+        self.cores[core].running = Some(RunningTask::new(self.dag, task));
+        self.idle[core] = false;
+        self.events.push(Reverse((now, core)));
+    }
+
+    /// Inject any co-runner bursts due at or before `time`.
+    fn inject_disturbance(&mut self, time: u64) {
+        let Some(d) = self.options.disturbance else {
+            return;
+        };
+        while self.next_disturbance_at <= time {
+            let at = self.next_disturbance_at;
+            for _ in 0..d.blocks_per_burst {
+                let block = d.region_base_block + (self.disturbance_cursor % d.region_blocks);
+                self.disturbance_cursor += 1;
+                let outcome = self.hierarchy.access_block(0, block, false);
+                self.disturbance_accesses += 1;
+                if outcome.offchip_bytes > 0 {
+                    let transfer = (outcome.offchip_bytes as f64
+                        / self.config.offchip_bytes_per_cycle)
+                        .ceil() as u64;
+                    self.offchip_busy_until = self.offchip_busy_until.max(at) + transfer;
+                }
+            }
+            self.next_disturbance_at += d.period_cycles;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{make_policy, simulate, simulate_sequential, SchedulerKind};
+    use pdfws_cmp_model::default_config;
+    use pdfws_task_dag::builder::{DagBuilder, SpTree};
+    use pdfws_task_dag::AccessPattern;
+
+    fn leaf_tree(leaves: usize, instr: u64) -> pdfws_task_dag::TaskDag {
+        SpTree::Par((0..leaves).map(|i| SpTree::leaf(&format!("l{i}"), instr)).collect())
+            .into_dag()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_tasks_execute_and_instructions_match_work() {
+        let dag = leaf_tree(16, 1_000);
+        let cfg = default_config(4).unwrap();
+        for kind in [
+            SchedulerKind::Pdf,
+            SchedulerKind::WorkStealing,
+            SchedulerKind::StaticPartition,
+        ] {
+            let r = simulate(&dag, &cfg, kind, &SimOptions::default());
+            assert_eq!(r.tasks, dag.len());
+            assert_eq!(r.instructions, dag.work(), "{kind}");
+            assert_eq!(r.memory_accesses, 0);
+            assert!(r.cycles >= dag.span(), "{kind}: makespan below the span");
+            assert!(r.cycles <= dag.work(), "{kind}: makespan above the work");
+        }
+    }
+
+    #[test]
+    fn single_core_makespan_equals_work_for_compute_only_dags() {
+        let dag = leaf_tree(8, 500);
+        let cfg = default_config(1).unwrap();
+        let r = simulate(&dag, &cfg, SchedulerKind::Pdf, &SimOptions::default());
+        assert_eq!(r.cycles, dag.work());
+        assert!((r.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_only_dag_scales_with_cores() {
+        let dag = leaf_tree(64, 2_000);
+        let seq = simulate_sequential(&dag, &default_config(1).unwrap(), &SimOptions::default());
+        for (cores, min_speedup) in [(2usize, 1.8), (4, 3.5), (8, 6.0)] {
+            let cfg = default_config(cores).unwrap();
+            for kind in SchedulerKind::PAPER_PAIR {
+                let r = simulate(&dag, &cfg, kind, &SimOptions::default());
+                let s = r.speedup_over(&seq);
+                assert!(
+                    s >= min_speedup && s <= cores as f64 + 1e-9,
+                    "{kind} on {cores} cores: speedup {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_property_no_idle_core_while_tasks_are_ready() {
+        // With far more independent equal leaves than cores, utilisation must be
+        // near perfect for every policy (greedy scheduling).
+        let dag = leaf_tree(256, 300);
+        let cfg = default_config(8).unwrap();
+        for kind in [
+            SchedulerKind::Pdf,
+            SchedulerKind::WorkStealing,
+            SchedulerKind::StaticPartition,
+        ] {
+            let r = simulate(&dag, &cfg, kind, &SimOptions::default());
+            assert!(
+                r.utilization() > 0.90,
+                "{kind}: utilisation {}",
+                r.utilization()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_accesses_flow_through_the_hierarchy() {
+        let mut b = DagBuilder::new();
+        let root = b
+            .task("reader")
+            .instructions(10)
+            .access(AccessPattern::range_read(0, 64 * 100))
+            .build();
+        let child = b
+            .task("re-reader")
+            .instructions(10)
+            .access(AccessPattern::range_read(0, 64 * 100))
+            .build();
+        b.edge(root, child);
+        let dag = b.finish().unwrap();
+        let cfg = default_config(2).unwrap();
+        let r = simulate(&dag, &cfg, SchedulerKind::Pdf, &SimOptions::default());
+        assert_eq!(r.memory_accesses, 200);
+        assert_eq!(r.instructions, dag.work());
+        // First pass misses (100 cold misses), second pass hits in cache.
+        assert_eq!(r.hierarchy.memory_fills, 100);
+        assert_eq!(r.hierarchy.l2_misses(), 100);
+        assert!(r.l2_mpki() > 0.0);
+        assert_eq!(r.offchip_bytes(), 100 * 64);
+    }
+
+    #[test]
+    fn offchip_bandwidth_contention_slows_missing_workloads() {
+        // A DAG whose leaves all stream disjoint data (every reference misses).
+        // With a tiny off-chip bandwidth the run must take far longer and record
+        // queueing cycles.
+        let leaves: Vec<SpTree> = (0..8)
+            .map(|i| {
+                SpTree::leaf_with_accesses(
+                    &format!("s{i}"),
+                    100,
+                    vec![AccessPattern::range_read(i as u64 * (1 << 22), 64 * 2_000)],
+                )
+            })
+            .collect();
+        let dag = SpTree::Par(leaves).into_dag().unwrap();
+        let mut fat = default_config(8).unwrap();
+        fat.offchip_bytes_per_cycle = 1024.0;
+        let mut thin = fat;
+        thin.offchip_bytes_per_cycle = 0.5;
+        let fast = simulate(&dag, &fat, SchedulerKind::Pdf, &SimOptions::default());
+        let slow = simulate(&dag, &thin, SchedulerKind::Pdf, &SimOptions::default());
+        assert!(slow.cycles > fast.cycles * 2, "{} vs {}", slow.cycles, fast.cycles);
+        assert!(slow.offchip_queue_cycles > 0);
+        assert_eq!(fast.hierarchy.l2_misses(), slow.hierarchy.l2_misses());
+    }
+
+    #[test]
+    fn deterministic_given_identical_inputs() {
+        let dag = leaf_tree(32, 700);
+        let cfg = default_config(4).unwrap();
+        for kind in SchedulerKind::PAPER_PAIR {
+            let a = simulate(&dag, &cfg, kind, &SimOptions::default());
+            let b = simulate(&dag, &cfg, kind, &SimOptions::default());
+            assert_eq!(a, b, "{kind} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn working_set_profiling_reports_footprint() {
+        let mut b = DagBuilder::new();
+        let _ = b
+            .task("scan")
+            .access(AccessPattern::range_read(0, 64 * 500))
+            .build();
+        let dag = b.finish().unwrap();
+        let cfg = default_config(1).unwrap();
+        let opts = SimOptions {
+            working_set_window: Some(100),
+            ..SimOptions::default()
+        };
+        let r = simulate(&dag, &cfg, SchedulerKind::Pdf, &opts);
+        let ws = r.working_set.expect("profiling was enabled");
+        assert_eq!(ws.footprint_blocks, 500);
+        assert_eq!(ws.per_window_blocks.len(), 5);
+        assert_eq!(ws.peak_blocks, 100);
+    }
+
+    #[test]
+    fn disturbance_pollutes_the_l2_and_slows_the_program() {
+        // A program that re-reads the same small buffer many times: without
+        // disturbance everything after the first pass hits; with an aggressive
+        // co-runner its blocks keep getting evicted, so it runs slower.
+        let mut b = DagBuilder::new();
+        let _ = b
+            .task("reuse")
+            .access(AccessPattern::repeated_read(0, 64 * 256, 40))
+            .build();
+        let dag = b.finish().unwrap();
+        let mut cfg = default_config(2).unwrap();
+        // Small L2 so the co-runner's region actually displaces the program.
+        cfg.l2.capacity_bytes = 64 * 1024;
+        cfg.l2.associativity = 8;
+        cfg.validate().unwrap();
+        let clean = simulate(&dag, &cfg, SchedulerKind::Pdf, &SimOptions::default());
+        let noisy_opts = SimOptions {
+            disturbance: Some(Disturbance {
+                period_cycles: 2_000,
+                blocks_per_burst: 512,
+                region_base_block: 1 << 30,
+                region_blocks: 2048,
+            }),
+            ..SimOptions::default()
+        };
+        let noisy = simulate(&dag, &cfg, SchedulerKind::Pdf, &noisy_opts);
+        assert!(noisy.cycles > clean.cycles, "{} vs {}", noisy.cycles, clean.cycles);
+        assert!(noisy.hierarchy.l2_misses() > clean.hierarchy.l2_misses());
+    }
+
+    #[test]
+    fn make_policy_and_engine_agree_on_core_counts() {
+        let dag = leaf_tree(4, 100);
+        let cfg = default_config(2).unwrap();
+        let policy = make_policy(SchedulerKind::WorkStealing, cfg.cores);
+        let mut engine = SimEngine::new(&dag, &cfg, policy, SimOptions::default());
+        let r = engine.run();
+        assert_eq!(r.busy_cycles.len(), 2);
+        assert_eq!(engine.disturbance_accesses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time slice")]
+    fn zero_time_slice_is_rejected() {
+        let dag = leaf_tree(2, 10);
+        let cfg = default_config(1).unwrap();
+        let opts = SimOptions {
+            time_slice_cycles: 0,
+            ..SimOptions::default()
+        };
+        let _ = SimEngine::new(&dag, &cfg, make_policy(SchedulerKind::Pdf, 1), opts);
+    }
+}

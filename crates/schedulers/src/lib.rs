@@ -1,0 +1,153 @@
+//! The paper's two schedulers — Parallel Depth First (PDF) and Work Stealing (WS)
+//! — plus baselines, and the cycle-level CMP execution engine they drive.
+//!
+//! # The schedulers
+//!
+//! * [`pdf::PdfPolicy`] — ready tasks are prioritized by the order the *sequential*
+//!   program would have executed them (their 1DF rank, computed by
+//!   `pdfws-task-dag`).  A free core always receives the highest-priority ready
+//!   task.  Because co-scheduled tasks are adjacent in the sequential order, their
+//!   aggregate working set stays close to the sequential working set — the
+//!   *constructive cache sharing* the paper is about.
+//! * [`ws::WorkStealingPolicy`] — each core owns a deque of ready tasks.  Tasks a
+//!   core enables are pushed onto its own deque; the owner pops from the top
+//!   (LIFO, depth-first locally), and a core whose deque is empty steals from the
+//!   *bottom* of the first non-empty deque it finds, scanning round-robin from
+//!   itself.  Steals are rare when parallelism is plentiful, but the cores drift
+//!   into disjoint subtrees of the computation and their working sets become
+//!   disjoint.
+//! * [`static_partition::StaticPartitionPolicy`] — an SMP-style baseline that
+//!   assigns ready tasks to cores statically (round-robin by task id) with FIFO
+//!   per-core queues; used by the coarse-grained-threading experiment.
+//!
+//! The sequential baseline the paper's speedups are measured against is simply the
+//! PDF policy on one core (on one core the PDF schedule *is* the sequential
+//! depth-first execution).
+//!
+//! # The engine
+//!
+//! [`engine::SimEngine`] advances a set of simulated cores through the task DAG:
+//! each core executes its current task's compute instructions (one per cycle) and
+//! memory references (through the shared [`pdfws_cache_sim::CmpCacheHierarchy`]),
+//! off-chip transfers contend for the configuration's off-chip bandwidth, and
+//! every completion enables successors and lets idle cores pick up work.  The
+//! result is a [`result::SimResult`] carrying the makespan, per-core utilisation,
+//! cache statistics and scheduler counters — everything the paper's figures need.
+//!
+//! # Example
+//!
+//! ```
+//! use pdfws_schedulers::{simulate, SchedulerKind, SimOptions};
+//! use pdfws_task_dag::builder::SpTree;
+//! use pdfws_cmp_model::default_config;
+//!
+//! let dag = SpTree::Par((0..8).map(|i| SpTree::leaf(&format!("leaf{i}"), 10_000)).collect())
+//!     .into_dag()
+//!     .unwrap();
+//! let cfg = default_config(4).unwrap();
+//! let pdf = simulate(&dag, &cfg, SchedulerKind::Pdf, &SimOptions::default());
+//! let ws = simulate(&dag, &cfg, SchedulerKind::WorkStealing, &SimOptions::default());
+//! assert!(pdf.cycles > 0 && ws.cycles > 0);
+//! ```
+
+pub mod engine;
+pub mod pdf;
+pub mod policy;
+pub mod result;
+pub mod static_partition;
+pub mod ws;
+
+pub use engine::{Disturbance, SimEngine, SimOptions};
+pub use pdf::PdfPolicy;
+pub use policy::SchedulerPolicy;
+pub use result::SimResult;
+pub use static_partition::StaticPartitionPolicy;
+pub use ws::WorkStealingPolicy;
+
+use pdfws_cmp_model::CmpConfig;
+use pdfws_task_dag::TaskDag;
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling policy to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Parallel Depth First (constructive cache sharing).
+    Pdf,
+    /// Work Stealing (Blumofe–Leiserson style, as described in the paper).
+    WorkStealing,
+    /// Static round-robin partitioning with FIFO queues (SMP-style baseline).
+    StaticPartition,
+}
+
+impl SchedulerKind {
+    /// Short name used in tables and figures ("pdf", "ws", "static").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            SchedulerKind::Pdf => "pdf",
+            SchedulerKind::WorkStealing => "ws",
+            SchedulerKind::StaticPartition => "static",
+        }
+    }
+
+    /// The two schedulers the paper compares.
+    pub const PAPER_PAIR: [SchedulerKind; 2] = [SchedulerKind::Pdf, SchedulerKind::WorkStealing];
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Build the policy object for a scheduler kind.
+pub fn make_policy(kind: SchedulerKind, cores: usize) -> Box<dyn SchedulerPolicy> {
+    match kind {
+        SchedulerKind::Pdf => Box::new(PdfPolicy::new()),
+        SchedulerKind::WorkStealing => Box::new(WorkStealingPolicy::new(cores)),
+        SchedulerKind::StaticPartition => Box::new(StaticPartitionPolicy::new(cores)),
+    }
+}
+
+/// Simulate `dag` on the machine described by `config` under the given scheduler.
+///
+/// This is the main entry point used by the experiment harness: it builds the
+/// cache hierarchy, runs the engine to completion and returns the full result.
+pub fn simulate(
+    dag: &TaskDag,
+    config: &CmpConfig,
+    kind: SchedulerKind,
+    options: &SimOptions,
+) -> SimResult {
+    let policy = make_policy(kind, config.cores);
+    let mut engine = SimEngine::new(dag, config, policy, options.clone());
+    engine.run()
+}
+
+/// Simulate the sequential (single-core, depth-first) execution of `dag` on the
+/// given configuration but with exactly one core.  The paper's speedups divide
+/// this run's makespan by the parallel run's makespan.
+pub fn simulate_sequential(dag: &TaskDag, config: &CmpConfig, options: &SimOptions) -> SimResult {
+    let mut cfg = *config;
+    cfg.cores = 1;
+    simulate(dag, &cfg, SchedulerKind::Pdf, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_kind_names() {
+        assert_eq!(SchedulerKind::Pdf.short_name(), "pdf");
+        assert_eq!(SchedulerKind::WorkStealing.to_string(), "ws");
+        assert_eq!(SchedulerKind::StaticPartition.to_string(), "static");
+        assert_eq!(SchedulerKind::PAPER_PAIR.len(), 2);
+    }
+
+    #[test]
+    fn make_policy_returns_matching_names() {
+        assert_eq!(make_policy(SchedulerKind::Pdf, 4).name(), "pdf");
+        assert_eq!(make_policy(SchedulerKind::WorkStealing, 4).name(), "ws");
+        assert_eq!(make_policy(SchedulerKind::StaticPartition, 4).name(), "static");
+    }
+}

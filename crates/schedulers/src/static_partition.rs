@@ -1,0 +1,135 @@
+//! Static round-robin partitioning — an SMP-style baseline scheduler.
+//!
+//! Most parallel benchmarks of the era were written for SMPs with coarse-grained
+//! threading: work is divided among threads up front and each thread processes its
+//! share in order, with no load balancing and no attempt at co-scheduling related
+//! work.  This policy models that style at the scheduler level: every ready task is
+//! assigned to a core chosen statically from its task id (round-robin), and each
+//! core processes its queue FIFO.  Combined with the coarse-grained workload
+//! variants it reproduces the paper's finding that such programs "cannot exploit
+//! the constructive cache behavior inherent in PDF".
+
+use crate::policy::SchedulerPolicy;
+use pdfws_task_dag::{TaskDag, TaskId};
+use std::collections::VecDeque;
+
+/// Static round-robin assignment with per-core FIFO queues.
+#[derive(Debug)]
+pub struct StaticPartitionPolicy {
+    queues: Vec<VecDeque<TaskId>>,
+}
+
+impl StaticPartitionPolicy {
+    /// Create a policy for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "static partitioning needs at least one core");
+        StaticPartitionPolicy {
+            queues: vec![VecDeque::new(); cores],
+        }
+    }
+
+    /// The core a task is statically assigned to.
+    pub fn home_core(&self, task: TaskId) -> usize {
+        task.index() % self.queues.len()
+    }
+
+    /// Number of tasks queued on `core`.
+    pub fn queue_len(&self, core: usize) -> usize {
+        self.queues[core].len()
+    }
+}
+
+impl SchedulerPolicy for StaticPartitionPolicy {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn init(&mut self, _dag: &TaskDag) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+    }
+
+    fn task_ready(&mut self, task: TaskId, _enabling_core: Option<usize>) {
+        let home = self.home_core(task);
+        self.queues[home].push_back(task);
+    }
+
+    fn next_task(&mut self, core: usize) -> Option<TaskId> {
+        self.queues[core].pop_front()
+    }
+
+    fn ready_count(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testing::{binary_tree, drain_policy};
+    use pdfws_task_dag::builder::DagBuilder;
+
+    #[test]
+    fn tasks_go_to_their_home_core_only() {
+        let mut b = DagBuilder::new();
+        let root = b.task("root").build();
+        let kids: Vec<_> = (0..6).map(|i| b.task(&format!("c{i}")).build()).collect();
+        for &c in &kids {
+            b.edge(root, c);
+        }
+        let dag = b.finish().unwrap();
+        let mut sp = StaticPartitionPolicy::new(3);
+        sp.init(&dag);
+        for &c in &kids {
+            sp.task_ready(c, Some(0));
+        }
+        // Kids have ids 1..=6, so homes are 1,2,0,1,2,0.
+        assert_eq!(sp.queue_len(0), 2);
+        assert_eq!(sp.queue_len(1), 2);
+        assert_eq!(sp.queue_len(2), 2);
+        // A core with an empty queue gets nothing, even though work exists elsewhere.
+        let t = sp.next_task(0).unwrap();
+        assert_eq!(sp.home_core(t), 0);
+        sp.next_task(0).unwrap();
+        assert_eq!(sp.next_task(0), None, "no stealing under static partitioning");
+        assert!(sp.ready_count() > 0);
+    }
+
+    #[test]
+    fn fifo_order_within_a_core() {
+        let mut b = DagBuilder::new();
+        let root = b.task("root").build();
+        // Children with ids 1, 3 (via a dummy id-2 task) both map to core 1 of 2.
+        let c1 = b.task("c1").build();
+        let dummy = b.task("dummy").build();
+        let c3 = b.task("c3").build();
+        b.edge(root, c1);
+        b.edge(root, dummy);
+        b.edge(root, c3);
+        let dag = b.finish().unwrap();
+        let mut sp = StaticPartitionPolicy::new(2);
+        sp.init(&dag);
+        sp.task_ready(c1, Some(0));
+        sp.task_ready(c3, Some(0));
+        assert_eq!(sp.next_task(1), Some(c1));
+        assert_eq!(sp.next_task(1), Some(c3));
+    }
+
+    #[test]
+    fn drains_complete_dags() {
+        let dag = binary_tree(5, 10);
+        for cores in [1usize, 2, 5] {
+            let mut sp = StaticPartitionPolicy::new(cores);
+            let started = drain_policy(&dag, &mut sp, cores);
+            assert_eq!(started.len(), dag.len());
+            assert_eq!(sp.steals(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = StaticPartitionPolicy::new(0);
+    }
+}

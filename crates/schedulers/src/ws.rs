@@ -1,0 +1,241 @@
+//! The Work Stealing (WS) scheduler.
+//!
+//! "Each processing core maintains a local work queue of ready-to-execute threads.
+//! Whenever its local queue is empty, the core steals a thread from the bottom of
+//! the first non-empty queue it finds."  [Blumofe–Leiserson, JACM 1999]
+//!
+//! Tasks enabled by a core's completions are pushed onto that core's own deque.
+//! The owner pops from the *top* (most recently pushed — the leftmost newly
+//! enabled child first, so each core descends depth-first into its own subtree),
+//! while a thief removes from the *bottom* (the oldest entry, typically the root
+//! of the largest unexplored subtree).  Victims are scanned round-robin starting
+//! from the core after the thief, which matches the paper's "first non-empty queue
+//! it finds".
+
+use crate::policy::SchedulerPolicy;
+use pdfws_task_dag::{TaskDag, TaskId};
+use std::collections::VecDeque;
+
+/// The WS policy: one double-ended queue per core.
+#[derive(Debug)]
+pub struct WorkStealingPolicy {
+    deques: Vec<VecDeque<TaskId>>,
+    steals: u64,
+    /// Tasks whose enabling core is unknown (only the root) go here and are taken
+    /// by the first core that asks.
+    unassigned: VecDeque<TaskId>,
+}
+
+impl WorkStealingPolicy {
+    /// Create a WS policy for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "work stealing needs at least one core");
+        WorkStealingPolicy {
+            deques: vec![VecDeque::new(); cores],
+            steals: 0,
+            unassigned: VecDeque::new(),
+        }
+    }
+
+    /// Number of cores (deques).
+    pub fn cores(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Number of tasks currently queued on `core`'s deque.
+    pub fn queue_len(&self, core: usize) -> usize {
+        self.deques[core].len()
+    }
+}
+
+impl SchedulerPolicy for WorkStealingPolicy {
+    fn name(&self) -> &'static str {
+        "ws"
+    }
+
+    fn init(&mut self, _dag: &TaskDag) {
+        for d in &mut self.deques {
+            d.clear();
+        }
+        self.unassigned.clear();
+        self.steals = 0;
+    }
+
+    fn task_ready(&mut self, task: TaskId, enabling_core: Option<usize>) {
+        match enabling_core {
+            Some(core) => self.deques[core].push_back(task),
+            None => self.unassigned.push_back(task),
+        }
+    }
+
+    fn next_task(&mut self, core: usize) -> Option<TaskId> {
+        // Own deque first: LIFO (top = back).
+        if let Some(task) = self.deques[core].pop_back() {
+            return Some(task);
+        }
+        // Root-style unassigned work is taken for free (not a steal).
+        if let Some(task) = self.unassigned.pop_front() {
+            return Some(task);
+        }
+        // Steal from the bottom (front) of the first non-empty victim, scanning
+        // round-robin from the next core.
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (core + offset) % n;
+            if let Some(task) = self.deques[victim].pop_front() {
+                self.steals += 1;
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn ready_count(&self) -> usize {
+        self.unassigned.len() + self.deques.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    fn steals(&self) -> u64 {
+        self.steals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testing::{binary_tree, drain_policy};
+    use pdfws_task_dag::builder::DagBuilder;
+
+    fn star_dag(children: usize) -> (pdfws_task_dag::TaskDag, Vec<TaskId>) {
+        let mut b = DagBuilder::new();
+        let root = b.task("root").build();
+        let kids: Vec<_> = (0..children).map(|i| b.task(&format!("c{i}")).build()).collect();
+        for &c in &kids {
+            b.edge(root, c);
+        }
+        (b.finish().unwrap(), kids)
+    }
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let (dag, kids) = star_dag(4);
+        let mut ws = WorkStealingPolicy::new(2);
+        ws.init(&dag);
+        // Core 0 enabled all four children (they land on core 0's deque in order).
+        for &c in &kids {
+            ws.task_ready(c, Some(0));
+        }
+        assert_eq!(ws.queue_len(0), 4);
+        // Owner (core 0) pops the most recently pushed: c3.
+        assert_eq!(ws.next_task(0), Some(kids[3]));
+        // Thief (core 1) steals the oldest: c0.
+        assert_eq!(ws.next_task(1), Some(kids[0]));
+        assert_eq!(ws.steals(), 1);
+        // Owner continues LIFO with c2; thief steals c1.
+        assert_eq!(ws.next_task(0), Some(kids[2]));
+        assert_eq!(ws.next_task(1), Some(kids[1]));
+        assert_eq!(ws.steals(), 2);
+        assert_eq!(ws.next_task(0), None);
+        assert_eq!(ws.next_task(1), None);
+    }
+
+    #[test]
+    fn steal_scans_round_robin_from_the_next_core() {
+        let (dag, kids) = star_dag(2);
+        let mut ws = WorkStealingPolicy::new(4);
+        ws.init(&dag);
+        // Work only on core 3's deque.
+        ws.task_ready(kids[0], Some(3));
+        ws.task_ready(kids[1], Some(3));
+        // Core 1 scans 2, 3 -> finds core 3's deque.
+        assert_eq!(ws.next_task(1), Some(kids[0]));
+        // Core 0 scans 1, 2, 3 -> also reaches core 3.
+        assert_eq!(ws.next_task(0), Some(kids[1]));
+        assert_eq!(ws.steals(), 2);
+    }
+
+    #[test]
+    fn own_work_is_not_counted_as_a_steal() {
+        let (dag, kids) = star_dag(1);
+        let mut ws = WorkStealingPolicy::new(2);
+        ws.init(&dag);
+        ws.task_ready(dag.root(), None);
+        assert_eq!(ws.next_task(0), Some(dag.root()));
+        ws.task_ready(kids[0], Some(0));
+        assert_eq!(ws.next_task(0), Some(kids[0]));
+        assert_eq!(ws.steals(), 0);
+    }
+
+    #[test]
+    fn single_core_ws_executes_depth_first() {
+        // With one core there is nobody to steal from, so WS follows the same
+        // depth-first order the sequential program does.
+        let dag = binary_tree(3, 10);
+        let mut ws = WorkStealingPolicy::new(1);
+        let started = drain_policy(&dag, &mut ws, 1);
+        assert_eq!(started, dag.one_df_order());
+        assert_eq!(ws.steals(), 0);
+    }
+
+    #[test]
+    fn steals_are_rare_when_parallelism_is_plentiful() {
+        // The paper: "when there is plenty of parallelism, stealing is quite rare."
+        // A deep binary tree (1024 leaves) on 4 cores: steals should be a small
+        // fraction of the number of tasks.
+        let dag = binary_tree(10, 100);
+        let mut ws = WorkStealingPolicy::new(4);
+        let started = drain_policy(&dag, &mut ws, 4);
+        assert_eq!(started.len(), dag.len());
+        assert!(
+            (ws.steals() as usize) < dag.len() / 10,
+            "steals = {} out of {} tasks",
+            ws.steals(),
+            dag.len()
+        );
+    }
+
+    #[test]
+    fn cores_drift_into_disjoint_subtrees() {
+        // After core 1 steals the right half of the root fork, the next several
+        // tasks each core starts must stay within its own half: WS working sets
+        // become disjoint.
+        let dag = binary_tree(6, 10);
+        let mut ws = WorkStealingPolicy::new(2);
+        ws.init(&dag);
+        let mut remaining = dag.in_degrees();
+        ws.task_ready(dag.root(), None);
+        // Manually interleave: each round core 0 then core 1 takes and completes a task.
+        let mut core_tasks: [Vec<TaskId>; 2] = [Vec::new(), Vec::new()];
+        for _ in 0..40 {
+            for core in 0..2 {
+                if let Some(t) = ws.next_task(core) {
+                    core_tasks[core].push(t);
+                    for &s in dag.successors(t).iter().rev() {
+                        remaining[s.index()] -= 1;
+                        if remaining[s.index()] == 0 {
+                            ws.task_ready(s, Some(core));
+                        }
+                    }
+                }
+            }
+        }
+        // Identify each core's leaf labels; they must not overlap.
+        let leaves = |v: &Vec<TaskId>| -> Vec<String> {
+            v.iter()
+                .map(|&t| dag.node(t).label.clone())
+                .filter(|l| l.starts_with("leaf-"))
+                .collect()
+        };
+        let l0 = leaves(&core_tasks[0]);
+        let l1 = leaves(&core_tasks[1]);
+        assert!(!l0.is_empty() && !l1.is_empty());
+        // Core 0 descends the left half ("leaf-0..."), the thief owns the right half.
+        assert!(l0.iter().all(|l| l.starts_with("leaf-0")), "{l0:?}");
+        assert!(l1.iter().all(|l| l.starts_with("leaf-1")), "{l1:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = WorkStealingPolicy::new(0);
+    }
+}

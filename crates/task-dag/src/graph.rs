@@ -1,0 +1,236 @@
+//! The task DAG itself: nodes, precedence edges, validation and traversal.
+
+use crate::node::{TaskId, TaskNode};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors detected while building or validating a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The DAG has no tasks.
+    Empty,
+    /// An edge references a task id that does not exist.
+    UnknownTask {
+        /// The offending id.
+        id: TaskId,
+    },
+    /// A self-loop or duplicate edge was added.
+    InvalidEdge {
+        /// Source of the edge.
+        from: TaskId,
+        /// Destination of the edge.
+        to: TaskId,
+        /// Why the edge is invalid.
+        reason: &'static str,
+    },
+    /// The graph contains a cycle (a topological order could not be constructed).
+    Cyclic,
+    /// The graph has more than one entry task (no predecessors); the schedulers
+    /// require a unique root so that "the sequential execution" is well defined.
+    MultipleRoots {
+        /// The entry tasks found.
+        roots: Vec<TaskId>,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Empty => write!(f, "the DAG has no tasks"),
+            DagError::UnknownTask { id } => write!(f, "edge references unknown task {id}"),
+            DagError::InvalidEdge { from, to, reason } => {
+                write!(f, "invalid edge {from} -> {to}: {reason}")
+            }
+            DagError::Cyclic => write!(f, "the task graph contains a cycle"),
+            DagError::MultipleRoots { roots } => {
+                write!(f, "the task graph has {} entry tasks; exactly one is required", roots.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A validated, immutable fork-join computation DAG.
+///
+/// Construct one through [`crate::builder::DagBuilder`]; the builder checks the
+/// invariants (acyclic, unique root, edges well formed) on `finish()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDag {
+    pub(crate) nodes: Vec<TaskNode>,
+    pub(crate) successors: Vec<Vec<TaskId>>,
+    pub(crate) predecessors: Vec<Vec<TaskId>>,
+    pub(crate) root: TaskId,
+}
+
+impl TaskDag {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DAG has no tasks (never true for a validated DAG).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The unique entry task.
+    pub fn root(&self) -> TaskId {
+        self.root
+    }
+
+    /// The task with the given id.
+    pub fn node(&self, id: TaskId) -> &TaskNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All tasks, indexed by [`TaskId::index`].
+    pub fn nodes(&self) -> &[TaskNode] {
+        &self.nodes
+    }
+
+    /// Tasks that become (partially) enabled when `id` completes.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.successors[id.index()]
+    }
+
+    /// Tasks that must complete before `id` may run.
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        &self.predecessors[id.index()]
+    }
+
+    /// In-degree (number of predecessors) of every task, indexed by task index.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        self.predecessors.iter().map(Vec::len).collect()
+    }
+
+    /// Tasks with no successors (the exit tasks).
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.successors
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_empty())
+            .map(|(i, _)| TaskId(i as u32))
+            .collect()
+    }
+
+    /// Iterate over all task ids in index order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.nodes.len() as u32).map(TaskId)
+    }
+
+    /// A topological order computed by Kahn's algorithm, breaking ties by task
+    /// index.  The 1DF order (see [`crate::df_order`]) is generally different; this
+    /// one is used for analyses that only need *some* valid order.
+    pub fn topological_order(&self) -> Vec<TaskId> {
+        let mut indeg = self.in_degrees();
+        let mut ready: Vec<TaskId> = self
+            .task_ids()
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(t) = ready.pop() {
+            order.push(t);
+            for &s in self.successors(t) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.len(), "validated DAGs are acyclic");
+        order
+    }
+
+    /// Check that `order` is a permutation of all tasks that respects every edge.
+    pub fn is_valid_schedule_order(&self, order: &[TaskId]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut position = vec![usize::MAX; self.len()];
+        for (pos, &t) in order.iter().enumerate() {
+            if t.index() >= self.len() || position[t.index()] != usize::MAX {
+                return false;
+            }
+            position[t.index()] = pos;
+        }
+        for t in self.task_ids() {
+            for &s in self.successors(t) {
+                if position[t.index()] >= position[s.index()] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total number of precedence edges.
+    pub fn edge_count(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+
+    fn diamond() -> TaskDag {
+        let mut b = DagBuilder::new();
+        let a = b.task("a").instructions(1).build();
+        let l = b.task("l").instructions(1).build();
+        let r = b.task("r").instructions(1).build();
+        let j = b.task("j").instructions(1).build();
+        b.edge(a, l);
+        b.edge(a, r);
+        b.edge(l, j);
+        b.edge(r, j);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_shape_queries() {
+        let d = diamond();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.edge_count(), 4);
+        assert_eq!(d.root(), TaskId(0));
+        assert_eq!(d.sinks(), vec![TaskId(3)]);
+        assert_eq!(d.successors(TaskId(0)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(d.predecessors(TaskId(3)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(d.in_degrees(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let d = diamond();
+        let order = d.topological_order();
+        assert!(d.is_valid_schedule_order(&order));
+    }
+
+    #[test]
+    fn invalid_orders_are_rejected() {
+        let d = diamond();
+        // Wrong length.
+        assert!(!d.is_valid_schedule_order(&[TaskId(0)]));
+        // Duplicate entries.
+        assert!(!d.is_valid_schedule_order(&[TaskId(0), TaskId(0), TaskId(1), TaskId(2)]));
+        // Join before its predecessors.
+        assert!(!d.is_valid_schedule_order(&[TaskId(0), TaskId(3), TaskId(1), TaskId(2)]));
+        // Out-of-range id.
+        assert!(!d.is_valid_schedule_order(&[TaskId(0), TaskId(1), TaskId(2), TaskId(9)]));
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert!(DagError::Empty.to_string().contains("no tasks"));
+        assert!(DagError::Cyclic.to_string().contains("cycle"));
+        assert!(DagError::UnknownTask { id: TaskId(3) }
+            .to_string()
+            .contains("t3"));
+        assert!(DagError::MultipleRoots {
+            roots: vec![TaskId(0), TaskId(1)]
+        }
+        .to_string()
+        .contains("2 entry tasks"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Fine-grained fork-join task DAGs with per-task memory traces.
+//!
+//! Both schedulers in the study operate on the same abstraction: a *computation
+//! DAG* whose nodes are the fine-grained tasks ("threads" in the paper's
+//! terminology — the unit of work between spawn/sync points) and whose edges are
+//! precedence constraints.  A task carries two annotations that the execution
+//! engine consumes:
+//!
+//! * an **instruction count** (pure compute work), and
+//! * a list of **memory-access patterns** ([`memref::AccessPattern`]) describing
+//!   which byte ranges of the shared address space the task reads and writes, in
+//!   order.
+//!
+//! The crate also computes the **1DF order** — the order in which a single
+//! processor executing the program depth-first (always following the leftmost
+//! enabled child) would run the tasks.  That order is precisely the priority the
+//! Parallel Depth First scheduler uses, and it defines the sequential baseline the
+//! paper's speedups are measured against.
+//!
+//! # Example
+//!
+//! ```
+//! use pdfws_task_dag::builder::DagBuilder;
+//! use pdfws_task_dag::memref::AccessPattern;
+//!
+//! // A two-way fork-join: root spawns two children that each scan an array half,
+//! // then a join task combines the results.
+//! let mut b = DagBuilder::new();
+//! let root = b.task("fork").instructions(100).build();
+//! let left = b.task("left").instructions(1_000)
+//!     .access(AccessPattern::range_read(0, 4096)).build();
+//! let right = b.task("right").instructions(1_000)
+//!     .access(AccessPattern::range_read(4096, 4096)).build();
+//! let join = b.task("join").instructions(50).build();
+//! b.edge(root, left);
+//! b.edge(root, right);
+//! b.edge(left, join);
+//! b.edge(right, join);
+//! let dag = b.finish().unwrap();
+//!
+//! assert_eq!(dag.len(), 4);
+//! let order = dag.one_df_order();
+//! assert_eq!(order.first(), Some(&root));
+//! assert_eq!(order.last(), Some(&join));
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod df_order;
+pub mod graph;
+pub mod memref;
+pub mod node;
+
+pub use builder::DagBuilder;
+pub use graph::{DagError, TaskDag};
+pub use memref::{AccessPattern, MemAccess};
+pub use node::{TaskId, TaskNode};

@@ -1,0 +1,340 @@
+//! Compact descriptions of a task's memory references.
+//!
+//! Fine-grained workloads touch millions of addresses; storing every reference
+//! explicitly would dwarf the data being "sorted" or "multiplied".  Instead each
+//! task carries a small list of [`AccessPattern`]s — ranges, strided walks,
+//! repeated passes or explicit address lists — that the execution engine expands
+//! lazily, one reference at a time, in program order.
+
+use serde::{Deserialize, Serialize};
+
+/// A byte address in the simulated program's flat address space.
+pub type Addr = u64;
+
+/// One expanded memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Whether the reference is a store.
+    pub write: bool,
+}
+
+/// Granularity at which range patterns issue references.  Real code touches a
+/// word at a time, but simulating one reference per 8 bytes of a large range is
+/// wasteful when the cache line is 64 bytes; issuing one reference per
+/// `RANGE_STEP_BYTES` preserves per-line behaviour exactly while keeping traces
+/// short.  It must not exceed the smallest line size in use (64 bytes).
+pub const RANGE_STEP_BYTES: u64 = 64;
+
+/// A compact, ordered description of a batch of memory references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Touch every cache-line-sized step of `[base, base + len)` once, in order.
+    Range {
+        /// First byte of the range.
+        base: Addr,
+        /// Length in bytes.
+        len: u64,
+        /// Store (true) or load (false).
+        write: bool,
+    },
+    /// Touch `[base, base + len)` sequentially, `passes` times (models reuse).
+    RepeatedRange {
+        /// First byte of the range.
+        base: Addr,
+        /// Length in bytes.
+        len: u64,
+        /// Number of sequential passes over the range.
+        passes: u32,
+        /// Store (true) or load (false).
+        write: bool,
+    },
+    /// `count` references starting at `base`, `stride` bytes apart.
+    Strided {
+        /// First byte referenced.
+        base: Addr,
+        /// Number of references.
+        count: u64,
+        /// Distance between consecutive references, in bytes.
+        stride: u64,
+        /// Store (true) or load (false).
+        write: bool,
+    },
+    /// An explicit, irregular list of addresses (e.g. hash-table probes, index
+    /// arrays), touched in order.
+    Explicit {
+        /// The addresses, in program order.
+        addrs: Vec<Addr>,
+        /// Store (true) or load (false).
+        write: bool,
+    },
+}
+
+impl AccessPattern {
+    /// A read over `[base, base + len)`.
+    pub fn range_read(base: Addr, len: u64) -> Self {
+        AccessPattern::Range {
+            base,
+            len,
+            write: false,
+        }
+    }
+
+    /// A write over `[base, base + len)`.
+    pub fn range_write(base: Addr, len: u64) -> Self {
+        AccessPattern::Range {
+            base,
+            len,
+            write: true,
+        }
+    }
+
+    /// `passes` sequential read passes over `[base, base + len)`.
+    pub fn repeated_read(base: Addr, len: u64, passes: u32) -> Self {
+        AccessPattern::RepeatedRange {
+            base,
+            len,
+            passes,
+            write: false,
+        }
+    }
+
+    /// An explicit list of read addresses.
+    pub fn explicit_read(addrs: Vec<Addr>) -> Self {
+        AccessPattern::Explicit {
+            addrs,
+            write: false,
+        }
+    }
+
+    /// An explicit list of write addresses.
+    pub fn explicit_write(addrs: Vec<Addr>) -> Self {
+        AccessPattern::Explicit { addrs, write: true }
+    }
+
+    /// Number of references this pattern expands to.
+    pub fn len(&self) -> u64 {
+        match self {
+            AccessPattern::Range { len, .. } => len.div_ceil(RANGE_STEP_BYTES),
+            AccessPattern::RepeatedRange { len, passes, .. } => {
+                len.div_ceil(RANGE_STEP_BYTES) * *passes as u64
+            }
+            AccessPattern::Strided { count, .. } => *count,
+            AccessPattern::Explicit { addrs, .. } => addrs.len() as u64,
+        }
+    }
+
+    /// Whether the pattern expands to no references.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Footprint of the pattern in bytes (size of the address range it touches,
+    /// ignoring reuse).
+    pub fn footprint_bytes(&self) -> u64 {
+        match self {
+            AccessPattern::Range { len, .. } | AccessPattern::RepeatedRange { len, .. } => *len,
+            AccessPattern::Strided { count, stride, .. } => {
+                if *count == 0 {
+                    0
+                } else {
+                    (*count - 1) * *stride + RANGE_STEP_BYTES.min(*stride).max(1)
+                }
+            }
+            AccessPattern::Explicit { addrs, .. } => {
+                addrs.len() as u64 * RANGE_STEP_BYTES
+            }
+        }
+    }
+
+    /// Expand the pattern into individual references, in program order.
+    pub fn iter(&self) -> PatternIter<'_> {
+        PatternIter {
+            pattern: self,
+            index: 0,
+        }
+    }
+
+    /// The reference at position `index`, if any.  Random access allows the
+    /// execution engine to pause and resume a task mid-trace without allocating.
+    pub fn get(&self, index: u64) -> Option<MemAccess> {
+        if index >= self.len() {
+            return None;
+        }
+        Some(match self {
+            AccessPattern::Range { base, write, .. } => MemAccess {
+                addr: base + index * RANGE_STEP_BYTES,
+                write: *write,
+            },
+            AccessPattern::RepeatedRange {
+                base, len, write, ..
+            } => {
+                let steps_per_pass = len.div_ceil(RANGE_STEP_BYTES);
+                let within = index % steps_per_pass;
+                MemAccess {
+                    addr: base + within * RANGE_STEP_BYTES,
+                    write: *write,
+                }
+            }
+            AccessPattern::Strided {
+                base,
+                stride,
+                write,
+                ..
+            } => MemAccess {
+                addr: base + index * stride,
+                write: *write,
+            },
+            AccessPattern::Explicit { addrs, write } => MemAccess {
+                addr: addrs[index as usize],
+                write: *write,
+            },
+        })
+    }
+}
+
+/// Iterator over the expanded references of a pattern.
+#[derive(Debug, Clone)]
+pub struct PatternIter<'a> {
+    pattern: &'a AccessPattern,
+    index: u64,
+}
+
+impl Iterator for PatternIter<'_> {
+    type Item = MemAccess;
+
+    fn next(&mut self) -> Option<MemAccess> {
+        let item = self.pattern.get(self.index);
+        if item.is_some() {
+            self.index += 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.pattern.len() - self.index) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for PatternIter<'_> {}
+
+/// Total number of references across a slice of patterns.
+pub fn total_accesses(patterns: &[AccessPattern]) -> u64 {
+    patterns.iter().map(AccessPattern::len).sum()
+}
+
+/// Total footprint in bytes across a slice of patterns (ranges may overlap; this
+/// is an upper bound used for capacity heuristics, not an exact distinct-byte
+/// count).
+pub fn total_footprint_bytes(patterns: &[AccessPattern]) -> u64 {
+    patterns.iter().map(AccessPattern::footprint_bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_expands_one_reference_per_line_step() {
+        let p = AccessPattern::range_read(0, 256);
+        assert_eq!(p.len(), 4);
+        let addrs: Vec<_> = p.iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![0, 64, 128, 192]);
+        assert!(p.iter().all(|a| !a.write));
+    }
+
+    #[test]
+    fn range_rounds_partial_lines_up() {
+        let p = AccessPattern::range_read(0, 65);
+        assert_eq!(p.len(), 2);
+        let p = AccessPattern::range_read(0, 1);
+        assert_eq!(p.len(), 1);
+        let p = AccessPattern::range_read(0, 0);
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn repeated_range_revisits_the_same_addresses() {
+        let p = AccessPattern::repeated_read(128, 128, 3);
+        assert_eq!(p.len(), 6);
+        let addrs: Vec<_> = p.iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![128, 192, 128, 192, 128, 192]);
+        assert_eq!(p.footprint_bytes(), 128);
+    }
+
+    #[test]
+    fn strided_pattern_addresses() {
+        let p = AccessPattern::Strided {
+            base: 1000,
+            count: 4,
+            stride: 512,
+            write: true,
+        };
+        let refs: Vec<_> = p.iter().collect();
+        assert_eq!(refs.len(), 4);
+        assert_eq!(refs[0].addr, 1000);
+        assert_eq!(refs[3].addr, 1000 + 3 * 512);
+        assert!(refs.iter().all(|r| r.write));
+    }
+
+    #[test]
+    fn explicit_pattern_preserves_order() {
+        let p = AccessPattern::explicit_read(vec![5, 1, 9, 1]);
+        let addrs: Vec<_> = p.iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![5, 1, 9, 1]);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn get_matches_iterator() {
+        let patterns = vec![
+            AccessPattern::range_write(64, 1000),
+            AccessPattern::repeated_read(0, 300, 2),
+            AccessPattern::Strided {
+                base: 7,
+                count: 9,
+                stride: 129,
+                write: false,
+            },
+            AccessPattern::explicit_write(vec![3, 3, 3]),
+        ];
+        for p in &patterns {
+            let via_iter: Vec<_> = p.iter().collect();
+            let via_get: Vec<_> = (0..p.len()).map(|i| p.get(i).unwrap()).collect();
+            assert_eq!(via_iter, via_get);
+            assert_eq!(p.get(p.len()), None);
+            assert_eq!(p.iter().len() as u64, p.len());
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_patterns() {
+        let ps = vec![
+            AccessPattern::range_read(0, 640),
+            AccessPattern::explicit_read(vec![1, 2, 3]),
+        ];
+        assert_eq!(total_accesses(&ps), 10 + 3);
+        assert_eq!(total_footprint_bytes(&ps), 640 + 3 * RANGE_STEP_BYTES);
+    }
+
+    #[test]
+    fn strided_footprint_spans_the_walk() {
+        let p = AccessPattern::Strided {
+            base: 0,
+            count: 10,
+            stride: 4096,
+            write: false,
+        };
+        assert!(p.footprint_bytes() >= 9 * 4096);
+        let empty = AccessPattern::Strided {
+            base: 0,
+            count: 0,
+            stride: 4096,
+            write: false,
+        };
+        assert_eq!(empty.footprint_bytes(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Task identifiers and task nodes.
+
+use crate::memref::{total_accesses, total_footprint_bytes, AccessPattern};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task within one [`crate::graph::TaskDag`]: a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The task's index into the DAG's node array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One fine-grained task: the unit of work the schedulers assign to cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskNode {
+    /// The task's identifier (its index in the owning DAG).
+    pub id: TaskId,
+    /// Human-readable label for traces and error messages.
+    pub label: String,
+    /// Compute instructions executed by the task, *excluding* its memory
+    /// references (the engine charges one instruction per reference on top).
+    pub compute_instructions: u64,
+    /// The task's memory references, in program order.
+    pub accesses: Vec<AccessPattern>,
+}
+
+impl TaskNode {
+    /// Number of memory references the task issues.
+    pub fn memory_accesses(&self) -> u64 {
+        total_accesses(&self.accesses)
+    }
+
+    /// Total instructions the engine will account to this task: compute
+    /// instructions plus one per memory reference.
+    pub fn total_instructions(&self) -> u64 {
+        self.compute_instructions + self.memory_accesses()
+    }
+
+    /// Upper bound on the task's data footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        total_footprint_bytes(&self.accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_display_and_index() {
+        let id = TaskId(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.to_string(), "t17");
+    }
+
+    #[test]
+    fn instruction_accounting_includes_memory_references() {
+        let node = TaskNode {
+            id: TaskId(0),
+            label: "leaf".to_string(),
+            compute_instructions: 100,
+            accesses: vec![AccessPattern::range_read(0, 640)],
+        };
+        assert_eq!(node.memory_accesses(), 10);
+        assert_eq!(node.total_instructions(), 110);
+        assert_eq!(node.footprint_bytes(), 640);
+    }
+
+    #[test]
+    fn task_with_no_accesses_is_pure_compute() {
+        let node = TaskNode {
+            id: TaskId(1),
+            label: "sync".to_string(),
+            compute_instructions: 5,
+            accesses: vec![],
+        };
+        assert_eq!(node.memory_accesses(), 0);
+        assert_eq!(node.total_instructions(), 5);
+        assert_eq!(node.footprint_bytes(), 0);
+    }
+}

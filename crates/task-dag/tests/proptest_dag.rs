@@ -1,0 +1,101 @@
+//! Property-based tests for the task-DAG invariants.
+//!
+//! Random series-parallel trees are generated and converted to DAGs; every
+//! structural property the schedulers rely on must hold for all of them.
+
+use pdfws_task_dag::builder::SpTree;
+use pdfws_task_dag::memref::AccessPattern;
+use proptest::prelude::*;
+
+/// Strategy producing random series-parallel trees of bounded size.
+fn sp_tree_strategy() -> impl Strategy<Value = SpTree> {
+    let leaf = (1u64..5_000, 0u64..4).prop_map(|(instr, pat)| {
+        let accesses = match pat {
+            0 => vec![],
+            1 => vec![AccessPattern::range_read(instr * 64, 640)],
+            2 => vec![AccessPattern::range_write(0, 64 * (1 + instr % 16))],
+            _ => vec![AccessPattern::Strided {
+                base: instr,
+                count: 1 + instr % 8,
+                stride: 128,
+                write: false,
+            }],
+        };
+        SpTree::leaf_with_accesses("leaf", instr, accesses)
+    });
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..5).prop_map(SpTree::Seq),
+            prop::collection::vec(inner, 1..5).prop_map(SpTree::Par),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sp_trees_always_build_valid_dags(tree in sp_tree_strategy()) {
+        let leaves = tree.leaf_count();
+        let dag = tree.into_dag().expect("series-parallel trees are valid by construction");
+        prop_assert!(dag.len() >= leaves);
+        prop_assert_eq!(dag.predecessors(dag.root()).len(), 0);
+        prop_assert_eq!(dag.sinks().len(), 1);
+    }
+
+    #[test]
+    fn one_df_order_is_a_topological_permutation(tree in sp_tree_strategy()) {
+        let dag = tree.into_dag().unwrap();
+        let order = dag.one_df_order();
+        prop_assert_eq!(order.len(), dag.len());
+        prop_assert!(dag.is_valid_schedule_order(&order));
+        prop_assert_eq!(order[0], dag.root());
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_and_consistent_with_order(tree in sp_tree_strategy()) {
+        let dag = tree.into_dag().unwrap();
+        let order = dag.one_df_order();
+        let ranks = dag.one_df_ranks();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u64> = (0..dag.len() as u64).collect();
+        prop_assert_eq!(sorted, expected);
+        for (pos, t) in order.iter().enumerate() {
+            prop_assert_eq!(ranks[t.index()], pos as u64);
+        }
+    }
+
+    #[test]
+    fn span_is_at_most_work_and_both_positive(tree in sp_tree_strategy()) {
+        let dag = tree.into_dag().unwrap();
+        let a = dag.analyze();
+        prop_assert!(a.span <= a.work);
+        prop_assert!(a.span > 0);
+        prop_assert!(a.parallelism >= 1.0 - 1e-9);
+        prop_assert!(a.depth_tasks >= 1);
+        prop_assert!(a.depth_tasks <= a.tasks);
+    }
+
+    #[test]
+    fn topological_order_is_valid_for_random_trees(tree in sp_tree_strategy()) {
+        let dag = tree.into_dag().unwrap();
+        prop_assert!(dag.is_valid_schedule_order(&dag.topological_order()));
+    }
+
+    #[test]
+    fn access_pattern_get_matches_iter(base in 0u64..1_000_000, len in 0u64..10_000, passes in 1u32..4) {
+        let patterns = vec![
+            AccessPattern::range_read(base, len),
+            AccessPattern::RepeatedRange { base, len, passes, write: true },
+        ];
+        for p in &patterns {
+            let via_iter: Vec<_> = p.iter().collect();
+            prop_assert_eq!(via_iter.len() as u64, p.len());
+            for (i, acc) in via_iter.iter().enumerate() {
+                prop_assert_eq!(Some(*acc), p.get(i as u64));
+            }
+            prop_assert_eq!(p.get(p.len()), None);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Flat address-space layout for workload data structures.
+//!
+//! Workloads place their arrays, matrices and hash tables in one simulated byte
+//! address space.  The allocator is a simple bump pointer with line alignment and
+//! a guard gap between allocations so that two logically distinct structures never
+//! share a cache line (false sharing is not the effect under study).
+
+/// Cache-line alignment used for every allocation.
+pub const ALLOC_ALIGN: u64 = 64;
+
+/// Guard gap inserted between allocations, in bytes.
+pub const GUARD_BYTES: u64 = 4096;
+
+/// A bump-pointer allocator over the simulated address space.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    next: u64,
+}
+
+/// One allocated region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte address of the region.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// Byte address of element `index` for elements of `elem_bytes` bytes.
+    pub fn element(&self, index: u64, elem_bytes: u64) -> u64 {
+        debug_assert!((index + 1) * elem_bytes <= self.len, "element out of region");
+        self.base + index * elem_bytes
+    }
+
+    /// The sub-region covering elements `[start, start + count)` of `elem_bytes` each.
+    pub fn slice(&self, start: u64, count: u64, elem_bytes: u64) -> Region {
+        debug_assert!((start + count) * elem_bytes <= self.len, "slice out of region");
+        Region {
+            base: self.base + start * elem_bytes,
+            len: count * elem_bytes,
+        }
+    }
+
+    /// One-past-the-end byte address.
+    pub fn end(&self) -> u64 {
+        self.base + self.len
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// A fresh address space starting at a non-zero base (so address 0 is never a
+    /// valid data address, which helps catch layout bugs).
+    pub fn new() -> Self {
+        AddressSpace { next: 1 << 20 }
+    }
+
+    /// Allocate `bytes` bytes, line-aligned, with a guard gap after the previous
+    /// allocation.
+    pub fn alloc(&mut self, bytes: u64) -> Region {
+        let base = (self.next + ALLOC_ALIGN - 1) / ALLOC_ALIGN * ALLOC_ALIGN;
+        self.next = base + bytes + GUARD_BYTES;
+        Region { base, len: bytes }
+    }
+
+    /// Total bytes spanned so far (including guard gaps).
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut a = AddressSpace::new();
+        let r1 = a.alloc(1000);
+        let r2 = a.alloc(4096);
+        let r3 = a.alloc(1);
+        for r in [r1, r2, r3] {
+            assert_eq!(r.base % ALLOC_ALIGN, 0);
+        }
+        assert!(r1.end() <= r2.base);
+        assert!(r2.end() <= r3.base);
+        assert!(r2.base - r1.end() >= GUARD_BYTES - ALLOC_ALIGN);
+    }
+
+    #[test]
+    fn element_and_slice_addressing() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc(8 * 100);
+        assert_eq!(r.element(0, 8), r.base);
+        assert_eq!(r.element(99, 8), r.base + 8 * 99);
+        let s = r.slice(10, 20, 8);
+        assert_eq!(s.base, r.base + 80);
+        assert_eq!(s.len, 160);
+        assert_eq!(s.end(), r.base + 240);
+    }
+
+    #[test]
+    fn used_grows_monotonically() {
+        let mut a = AddressSpace::new();
+        let before = a.used();
+        a.alloc(10);
+        assert!(a.used() > before);
+    }
+
+    #[test]
+    fn addresses_never_start_at_zero() {
+        let mut a = AddressSpace::new();
+        assert!(a.alloc(8).base > 0);
+    }
+}

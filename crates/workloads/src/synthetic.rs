@@ -1,0 +1,193 @@
+//! A tunable synthetic fork-join tree, used by ablation benches and tests.
+//!
+//! Every knob the real workloads differ in is exposed directly: tree depth and
+//! fan-out, per-leaf compute, per-leaf private footprint, and the fraction of each
+//! leaf's references that go to a single shared region.  Sweeping
+//! `shared_fraction` from 0 to 1 moves the workload from "perfectly disjoint
+//! working sets" (where the scheduler cannot matter) to "fully shared working set"
+//! (where constructive sharing is everything), which is the cleanest way to
+//! demonstrate the mechanism behind the paper's findings.
+
+use crate::layout::AddressSpace;
+use crate::{Workload, WorkloadClass};
+use pdfws_task_dag::builder::DagBuilder;
+use pdfws_task_dag::{AccessPattern, TaskDag, TaskId};
+
+/// A parameterised fork-join tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticTree {
+    /// Tree depth (0 = a single leaf).
+    pub depth: u32,
+    /// Children per internal node.
+    pub fanout: u32,
+    /// Compute instructions per leaf.
+    pub leaf_instructions: u64,
+    /// Bytes of leaf-private data each leaf streams through.
+    pub leaf_private_bytes: u64,
+    /// Bytes of the single region shared by all leaves.
+    pub shared_bytes: u64,
+    /// Fraction (0..=1) of each leaf's references that target the shared region.
+    pub shared_fraction: f64,
+    /// Number of passes each leaf makes over the data it touches (reuse factor).
+    pub passes: u32,
+}
+
+impl SyntheticTree {
+    /// A small instance for tests.
+    pub fn small() -> Self {
+        SyntheticTree {
+            depth: 3,
+            fanout: 2,
+            leaf_instructions: 500,
+            leaf_private_bytes: 4096,
+            shared_bytes: 16 * 1024,
+            shared_fraction: 0.5,
+            passes: 2,
+        }
+    }
+
+    /// Number of leaves the tree will have.
+    pub fn leaves(&self) -> u64 {
+        (self.fanout as u64).pow(self.depth)
+    }
+
+    fn build_node(
+        &self,
+        b: &mut DagBuilder,
+        space: &mut AddressSpace,
+        shared_base: u64,
+        depth: u32,
+        path: u64,
+    ) -> (TaskId, TaskId) {
+        if depth == 0 {
+            let private = space.alloc(self.leaf_private_bytes.max(64));
+            let shared_len = (self.shared_bytes as f64 * self.shared_fraction) as u64;
+            let private_len =
+                (self.leaf_private_bytes as f64 * (1.0 - self.shared_fraction)) as u64;
+            let mut accesses = Vec::new();
+            if shared_len >= 64 {
+                accesses.push(AccessPattern::RepeatedRange {
+                    base: shared_base,
+                    len: shared_len,
+                    passes: self.passes,
+                    write: false,
+                });
+            }
+            if private_len >= 64 {
+                accesses.push(AccessPattern::RepeatedRange {
+                    base: private.base,
+                    len: private_len,
+                    passes: self.passes,
+                    write: false,
+                });
+                accesses.push(AccessPattern::range_write(private.base, private_len));
+            }
+            let leaf = b
+                .task(&format!("syn-leaf[{path}]"))
+                .instructions(self.leaf_instructions)
+                .accesses(accesses)
+                .build();
+            return (leaf, leaf);
+        }
+        let fork = b.task(&format!("syn-fork[{depth},{path}]")).instructions(20).build();
+        let join = b.task(&format!("syn-join[{depth},{path}]")).instructions(20).build();
+        for c in 0..self.fanout {
+            let (entry, exit) = self.build_node(
+                b,
+                space,
+                shared_base,
+                depth - 1,
+                path * self.fanout as u64 + c as u64,
+            );
+            b.edge(fork, entry);
+            b.edge(exit, join);
+        }
+        (fork, join)
+    }
+}
+
+impl Workload for SyntheticTree {
+    fn name(&self) -> &'static str {
+        "synthetic-tree"
+    }
+
+    fn class(&self) -> WorkloadClass {
+        WorkloadClass::DivideAndConquer
+    }
+
+    fn build_dag(&self) -> TaskDag {
+        assert!(self.fanout >= 1, "fanout must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&self.shared_fraction),
+            "shared_fraction must be within [0, 1]"
+        );
+        let mut space = AddressSpace::new();
+        let shared = space.alloc(self.shared_bytes.max(64));
+        let mut b = DagBuilder::new();
+        let _ = self.build_node(&mut b, &mut space, shared.base, self.depth, 0);
+        b.finish().expect("synthetic tree DAG is valid by construction")
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.shared_bytes + self.leaves() * self.leaf_private_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_count_matches_depth_and_fanout() {
+        let t = SyntheticTree::small();
+        assert_eq!(t.leaves(), 8);
+        let dag = t.build_dag();
+        let leaves = dag.nodes().iter().filter(|n| n.label.starts_with("syn-leaf")).count();
+        assert_eq!(leaves, 8);
+        assert!(dag.is_valid_schedule_order(&dag.one_df_order()));
+    }
+
+    #[test]
+    fn fully_shared_leaves_touch_only_the_shared_region() {
+        let mut t = SyntheticTree::small();
+        t.shared_fraction = 1.0;
+        let dag = t.build_dag();
+        for n in dag.nodes() {
+            if n.label.starts_with("syn-leaf") {
+                assert_eq!(n.accesses.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_private_leaves_do_not_touch_the_shared_region() {
+        let mut t = SyntheticTree::small();
+        t.shared_fraction = 0.0;
+        let dag = t.build_dag();
+        for n in dag.nodes() {
+            if n.label.starts_with("syn-leaf") {
+                // read + write of the private region only.
+                assert_eq!(n.accesses.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shared_fraction")]
+    fn out_of_range_shared_fraction_is_rejected() {
+        let mut t = SyntheticTree::small();
+        t.shared_fraction = 1.5;
+        let _ = t.build_dag();
+    }
+
+    #[test]
+    fn wide_flat_trees_are_supported() {
+        let t = SyntheticTree {
+            depth: 1,
+            fanout: 16,
+            ..SyntheticTree::small()
+        };
+        let dag = t.build_dag();
+        assert_eq!(dag.successors(dag.root()).len(), 16);
+    }
+}

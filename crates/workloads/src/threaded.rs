@@ -1,0 +1,153 @@
+//! Real-thread implementations of representative workloads on top of the
+//! `pdfws-runtime` pools.
+//!
+//! These run on the host machine (not the simulator) and are used by the examples
+//! and by the `runtime_overhead` bench to compare the practical overheads of the
+//! WS and PDF runtimes on identical algorithms.  They are generic over
+//! [`ForkJoinPool`], so the same code runs under either policy.
+
+use pdfws_runtime::ForkJoinPool;
+
+/// Sort `data` in place with a parallel merge sort; sub-ranges of `grain` or fewer
+/// elements fall back to the standard library sort.
+pub fn parallel_merge_sort<P: ForkJoinPool>(pool: &P, data: &mut [u64], grain: usize) {
+    let grain = grain.max(1);
+    pool.install(|| merge_sort_rec(pool, data, grain));
+}
+
+fn merge_sort_rec<P: ForkJoinPool>(pool: &P, data: &mut [u64], grain: usize) {
+    if data.len() <= grain {
+        data.sort_unstable();
+        return;
+    }
+    let mid = data.len() / 2;
+    {
+        let (left, right) = data.split_at_mut(mid);
+        pool.join(
+            || merge_sort_rec(pool, left, grain),
+            || merge_sort_rec(pool, right, grain),
+        );
+    }
+    // Merge the two sorted halves through a temporary buffer.
+    let mut merged = Vec::with_capacity(data.len());
+    {
+        let (left, right) = data.split_at(mid);
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() && j < right.len() {
+            if left[i] <= right[j] {
+                merged.push(left[i]);
+                i += 1;
+            } else {
+                merged.push(right[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&left[i..]);
+        merged.extend_from_slice(&right[j..]);
+    }
+    data.copy_from_slice(&merged);
+}
+
+/// Recursive parallel reduction: applies `map` to every element and sums the
+/// results, splitting ranges larger than `grain`.
+pub fn parallel_map_reduce<P, M>(pool: &P, data: &[u64], grain: usize, map: &M) -> u64
+where
+    P: ForkJoinPool,
+    M: Fn(u64) -> u64 + Sync,
+{
+    pool.install(|| map_reduce_rec(pool, data, grain.max(1), map))
+}
+
+fn map_reduce_rec<P, M>(pool: &P, data: &[u64], grain: usize, map: &M) -> u64
+where
+    P: ForkJoinPool,
+    M: Fn(u64) -> u64 + Sync,
+{
+    if data.len() <= grain {
+        return data.iter().map(|&x| map(x)).fold(0u64, u64::wrapping_add);
+    }
+    let mid = data.len() / 2;
+    let (left, right) = data.split_at(mid);
+    let (a, b) = pool.join(
+        || map_reduce_rec(pool, left, grain, map),
+        || map_reduce_rec(pool, right, grain, map),
+    );
+    a.wrapping_add(b)
+}
+
+/// Count spawned tasks for a synthetic fork-join tree of the given depth; used by
+/// the runtime-overhead bench to measure pure spawn/join cost.
+pub fn spawn_tree<P: ForkJoinPool>(pool: &P, depth: u32) -> u64 {
+    pool.install(|| spawn_tree_rec(pool, depth))
+}
+
+fn spawn_tree_rec<P: ForkJoinPool>(pool: &P, depth: u32) -> u64 {
+    if depth == 0 {
+        return 1;
+    }
+    let (a, b) = pool.join(
+        || spawn_tree_rec(pool, depth - 1),
+        || spawn_tree_rec(pool, depth - 1),
+    );
+    a + b + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdfws_runtime::{PdfPool, WsPool};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    fn check_sort<P: ForkJoinPool>(pool: &P) {
+        let mut data = random_data(5_000, 7);
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        parallel_merge_sort(pool, &mut data, 128);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn merge_sort_sorts_under_both_pools() {
+        check_sort(&WsPool::new(2).unwrap());
+        check_sort(&PdfPool::new(2).unwrap());
+    }
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let ws = WsPool::new(3).unwrap();
+        let data = random_data(10_000, 11);
+        let expected = data
+            .iter()
+            .map(|&x| x.wrapping_mul(3))
+            .fold(0u64, u64::wrapping_add);
+        let got = parallel_map_reduce(&ws, &data, 256, &|x| x.wrapping_mul(3));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn spawn_tree_counts_all_nodes() {
+        let pdf = PdfPool::new(2).unwrap();
+        assert_eq!(spawn_tree(&pdf, 0), 1);
+        assert_eq!(spawn_tree(&pdf, 5), (1 << 6) - 1);
+        let ws = WsPool::new(2).unwrap();
+        assert_eq!(spawn_tree(&ws, 6), (1 << 7) - 1);
+    }
+
+    #[test]
+    fn tiny_inputs_and_degenerate_grains() {
+        let ws = WsPool::new(1).unwrap();
+        let mut empty: Vec<u64> = vec![];
+        parallel_merge_sort(&ws, &mut empty, 0);
+        assert!(empty.is_empty());
+        let mut single = vec![9u64];
+        parallel_merge_sort(&ws, &mut single, 0);
+        assert_eq!(single, vec![9]);
+        assert_eq!(parallel_map_reduce(&ws, &[], 0, &|x| x), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: simulate parallel merge sort on an 8-core CMP under both
+//! schedulers and print the metrics the paper reports.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pdfws::prelude::*;
+
+fn main() {
+    // The Figure-1 workload at a small size so this example runs in a second.
+    let workload = MergeSort::new(1 << 16).into_spec();
+
+    let report = Experiment::new(workload)
+        .cores(8)
+        .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+        .run()
+        .expect("the 8-core default configuration exists");
+
+    println!("parallel merge sort on the default 8-core CMP (240 mm^2 die):\n");
+    println!(
+        "{:<6} {:>12} {:>16} {:>14} {:>10}",
+        "sched", "cycles", "L2 miss/1k instr", "offchip MiB", "speedup"
+    );
+    for run in report.runs() {
+        println!(
+            "{:<6} {:>12} {:>16.3} {:>14.2} {:>10.2}",
+            run.scheduler.to_string(),
+            run.metrics.cycles,
+            run.metrics.l2_mpki(),
+            run.metrics.offchip_bytes() as f64 / (1024.0 * 1024.0),
+            report.speedup(run),
+        );
+    }
+
+    if let Some(rel) = report.pdf_over_ws_speedup(8) {
+        println!(
+            "\nPDF is {rel:.2}x {} than WS on this configuration; it moves {:.0}% less data off chip.",
+            if rel >= 1.0 { "faster" } else { "slower" },
+            report.pdf_traffic_reduction_percent(8).unwrap_or(0.0)
+        );
+    }
+}

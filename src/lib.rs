@@ -1,0 +1,50 @@
+//! `pdfws` — reproduction of *"Parallel Depth First vs. Work Stealing Schedulers on
+//! CMP Architectures"* (SPAA 2006).
+//!
+//! This umbrella crate re-exports the whole workspace so that examples, integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! * [`cmp_model`] — die-area / process-technology configuration model (the paper's
+//!   "default configurations" for 1–32 cores on a 240 mm² die).
+//! * [`cache_sim`] — private-L1 / shared-L2 cache-hierarchy simulator.
+//! * [`task_dag`] — fine-grained fork-join task DAGs with per-task memory traces.
+//! * [`schedulers`] — the PDF and WS schedulers (plus sequential and coarse-grained
+//!   baselines) and the cycle-level execution engine.
+//! * [`runtime`] — real-thread fork-join runtimes implementing both policies.
+//! * [`workloads`] — the benchmark programs (merge sort, matmul, LU, SpMV, hash
+//!   join, scan, …) as DAG generators.
+//! * [`metrics`] — L2 misses per 1000 instructions, speedups, traffic, reporting.
+//! * [`core`](mod@core_api) — the high-level [`Experiment`](core_api::experiment::Experiment)
+//!   API used by every example and benchmark.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pdfws::prelude::*;
+//!
+//! // Simulate parallel merge sort on the default 8-core CMP under both schedulers.
+//! let workload = MergeSort::new(1 << 14).into_spec();
+//! let report = Experiment::new(workload)
+//!     .cores(8)
+//!     .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+//!     .run()
+//!     .expect("simulation succeeds");
+//! for run in report.runs() {
+//!     println!("{:>4}: {:.3} L2 misses / 1000 instr", run.scheduler, run.metrics.l2_mpki());
+//! }
+//! ```
+
+pub use pdfws_cache_sim as cache_sim;
+pub use pdfws_cmp_model as cmp_model;
+pub use pdfws_core as core_api;
+pub use pdfws_metrics as metrics;
+pub use pdfws_runtime as runtime;
+pub use pdfws_schedulers as schedulers;
+pub use pdfws_task_dag as task_dag;
+pub use pdfws_workloads as workloads;
+
+/// Convenience prelude re-exporting the types used by virtually every experiment.
+pub mod prelude {
+    pub use pdfws_cmp_model::{default_config, CmpConfig, ProcessNode};
+    pub use pdfws_core::prelude::*;
+}

@@ -1,0 +1,96 @@
+//! End-to-end tests of the public experiment API across crates.
+
+use pdfws::prelude::*;
+
+#[test]
+fn sweep_over_the_paper_core_counts_completes_for_a_small_mergesort() {
+    let report = Experiment::new(MergeSort::new(1 << 12).into_spec())
+        .core_sweep(&[1, 2, 4, 8, 16, 32])
+        .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+        .run()
+        .expect("all default configurations exist");
+    assert_eq!(report.runs().len(), 12);
+    for run in report.runs() {
+        assert!(run.metrics.cycles > 0);
+        assert_eq!(run.metrics.tasks, report.runs()[0].metrics.tasks);
+        assert_eq!(run.metrics.instructions, report.runs()[0].metrics.instructions);
+        assert!(report.speedup(run) > 0.0);
+        assert!(run.metrics.utilization() <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn every_workload_class_runs_under_every_scheduler() {
+    let workloads: Vec<WorkloadSpec> = vec![
+        MergeSort::small().into_spec(),
+        QuickSort::small().into_spec(),
+        MatMul::small().into_spec(),
+        LuDecomposition::small().into_spec(),
+        SpMv::small().into_spec(),
+        HashJoin::small().into_spec(),
+        ParallelScan::small().into_spec(),
+        ComputeKernel::small().into_spec(),
+        SyntheticTree::small().into_spec(),
+    ];
+    for spec in workloads {
+        let tasks = spec.dag.len();
+        let name = spec.name.clone();
+        let report = Experiment::new(spec)
+            .cores(4)
+            .schedulers(&[
+                SchedulerKind::Pdf,
+                SchedulerKind::WorkStealing,
+                SchedulerKind::StaticPartition,
+            ])
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for run in report.runs() {
+            assert_eq!(run.metrics.tasks, tasks, "{name} under {}", run.scheduler);
+            assert!(run.metrics.cycles > 0, "{name} under {}", run.scheduler);
+        }
+    }
+}
+
+#[test]
+fn speedups_are_monotone_enough_for_an_embarrassingly_parallel_workload() {
+    // The compute-bound kernel has negligible memory traffic, so speedup should
+    // track core count closely for both schedulers.
+    let report = Experiment::new(ComputeKernel::new(1 << 13).into_spec())
+        .core_sweep(&[1, 2, 4, 8])
+        .run()
+        .unwrap();
+    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+        let mut prev = 0.0;
+        for &cores in &[1usize, 2, 4, 8] {
+            let s = report.speedup(report.find(cores, kind).unwrap());
+            assert!(s + 1e-9 >= prev, "{kind} at {cores} cores: {s} < {prev}");
+            assert!(s > 0.8 * cores as f64 / 1.6, "{kind} at {cores} cores: speedup {s}");
+            prev = s;
+        }
+    }
+}
+
+#[test]
+fn baseline_is_the_one_core_configuration() {
+    let report = Experiment::new(ParallelScan::small().into_spec())
+        .cores(4)
+        .run()
+        .unwrap();
+    assert_eq!(report.baseline_config.cores, 1);
+    assert_eq!(report.baseline.cores, 1);
+    assert_eq!(report.baseline.scheduler, "pdf");
+}
+
+#[test]
+fn deterministic_reports_for_identical_experiments() {
+    let a = Experiment::new(SpMv::small().into_spec())
+        .core_sweep(&[2, 4])
+        .run()
+        .unwrap();
+    let b = Experiment::new(SpMv::small().into_spec())
+        .core_sweep(&[2, 4])
+        .run()
+        .unwrap();
+    assert_eq!(a.runs(), b.runs());
+    assert_eq!(a.baseline, b.baseline);
+}
