@@ -14,7 +14,9 @@ use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn pool_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn bench_spawn_tree(c: &mut Criterion) {
@@ -48,10 +50,18 @@ fn bench_map_reduce(c: &mut Criterion) {
         })
     });
     group.bench_function("ws", |b| {
-        b.iter(|| black_box(parallel_map_reduce(&ws, &data, 4096, &|x| x.wrapping_mul(2654435761))))
+        b.iter(|| {
+            black_box(parallel_map_reduce(&ws, &data, 4096, &|x| {
+                x.wrapping_mul(2654435761)
+            }))
+        })
     });
     group.bench_function("pdf", |b| {
-        b.iter(|| black_box(parallel_map_reduce(&pdf, &data, 4096, &|x| x.wrapping_mul(2654435761))))
+        b.iter(|| {
+            black_box(parallel_map_reduce(&pdf, &data, 4096, &|x| {
+                x.wrapping_mul(2654435761)
+            }))
+        })
     });
     group.finish();
 }
@@ -89,5 +99,10 @@ fn bench_merge_sort(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_spawn_tree, bench_map_reduce, bench_merge_sort);
+criterion_group!(
+    benches,
+    bench_spawn_tree,
+    bench_map_reduce,
+    bench_merge_sort
+);
 criterion_main!(benches);

@@ -26,7 +26,13 @@ fn run_variant(workload: &dyn Workload, cores: &[usize]) -> (Vec<f64>, Vec<f64>)
         .expect("default configurations exist");
     let mpki = cores
         .iter()
-        .map(|&c| report.find(c, SchedulerKind::Pdf).unwrap().metrics.l2_mpki())
+        .map(|&c| {
+            report
+                .find(c, SchedulerKind::Pdf)
+                .unwrap()
+                .metrics
+                .l2_mpki()
+        })
         .collect();
     let speedup = cores
         .iter()

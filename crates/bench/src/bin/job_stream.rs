@@ -1,0 +1,75 @@
+//! The job-stream scenario: PDF vs. WS serving a multiprogrammed stream of DAG
+//! jobs, compared on tail latency and throughput at several offered loads.
+//!
+//! For each (job mix × arrival rate) cell, the same seeded stream is driven
+//! through both schedulers on the simulated CMP and the table reports p50/p95/
+//! p99 sojourn time (kcycles), achieved throughput (jobs per megacycle) and the
+//! WS/PDF p95 ratio.  Deterministic for a fixed seed: running this binary twice
+//! prints identical numbers.
+//!
+//! Usage: `cargo run --release -p pdfws-bench --bin job_stream [--quick]`
+
+use pdfws_bench::quick_mode;
+use pdfws_core::prelude::*;
+use pdfws_metrics::{Series, Table};
+use pdfws_stream::JobMix;
+
+fn main() {
+    let quick = quick_mode();
+    let jobs = if quick { 10 } else { 32 };
+    let cores = 8;
+    let rates = [20.0f64, 120.0];
+    let mixes = [JobMix::class_a(), JobMix::class_b(), JobMix::mixed()];
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut pdf_p95 = Vec::new();
+    let mut pdf_p99 = Vec::new();
+    let mut ws_p95 = Vec::new();
+    let mut ws_p99 = Vec::new();
+    let mut pdf_tput = Vec::new();
+    let mut ws_tput = Vec::new();
+    let mut tail_ratio = Vec::new();
+
+    for mix in &mixes {
+        for &rate in &rates {
+            let report = StreamExperiment::new(mix.clone())
+                .jobs(jobs)
+                .cores(cores)
+                .arrivals(ArrivalProcess::OpenLoopPoisson {
+                    jobs_per_mcycle: rate,
+                    seed: 0x57_2EA4,
+                })
+                .admission(AdmissionPolicy::Fifo)
+                .run()
+                .expect("default configurations exist for 8 cores");
+            let pdf = report.summary(SchedulerKind::Pdf).expect("pdf ran");
+            let ws = report.summary(SchedulerKind::WorkStealing).expect("ws ran");
+            rows.push(format!("{}@{}", mix.name, rate));
+            pdf_p95.push(pdf.sojourn.p95 / 1_000.0);
+            pdf_p99.push(pdf.sojourn.p99 / 1_000.0);
+            ws_p95.push(ws.sojourn.p95 / 1_000.0);
+            ws_p99.push(ws.sojourn.p99 / 1_000.0);
+            pdf_tput.push(pdf.jobs_per_mcycle);
+            ws_tput.push(ws.jobs_per_mcycle);
+            tail_ratio.push(report.ws_over_pdf_p95().unwrap_or(0.0));
+        }
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Job stream: PDF vs WS sojourn time and throughput ({jobs} jobs, {cores} cores, FIFO admission)"
+        ),
+        "mix@jobs_per_Mcyc",
+        rows,
+    );
+    table.push_series(Series::new("pdf_p95_kcyc", pdf_p95));
+    table.push_series(Series::new("pdf_p99_kcyc", pdf_p99));
+    table.push_series(Series::new("ws_p95_kcyc", ws_p95));
+    table.push_series(Series::new("ws_p99_kcyc", ws_p99));
+    table.push_series(Series::new("pdf_jobs_per_Mcyc", pdf_tput));
+    table.push_series(Series::new("ws_jobs_per_Mcyc", ws_tput));
+    table.push_series(Series::new("ws/pdf_p95", tail_ratio));
+
+    println!("{}", table.to_text());
+    println!("{}", table.to_csv());
+}

@@ -32,7 +32,10 @@ fn main() {
     // --- Part 1: powering down L2 segments -----------------------------------
     let fractions = [1.0, 0.5, 0.25];
     let configs = sweep_l2_fraction(&base_cfg, &fractions).expect("valid L2 fractions");
-    let x: Vec<String> = fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+    let x: Vec<String> = fractions
+        .iter()
+        .map(|f| format!("{:.0}%", f * 100.0))
+        .collect();
     let mut slowdown_table = Table::new(
         "Cache power-down: run time relative to the fully-powered L2 (8 cores, merge sort)",
         "powered_l2",

@@ -47,12 +47,18 @@ pub fn figure1_tables(workload: &dyn Workload, core_counts: &[usize]) -> (Table,
 
     let x: Vec<String> = core_counts.iter().map(|c| c.to_string()).collect();
     let mut mpki = Table::new(
-        format!("{}: L2 misses per 1000 instructions (Figure 1, left)", workload.name()),
+        format!(
+            "{}: L2 misses per 1000 instructions (Figure 1, left)",
+            workload.name()
+        ),
         "cores",
         x.clone(),
     );
     let mut speedup = Table::new(
-        format!("{}: speedup over sequential (Figure 1, right)", workload.name()),
+        format!(
+            "{}: speedup over sequential (Figure 1, right)",
+            workload.name()
+        ),
         "cores",
         x,
     );
@@ -133,8 +139,14 @@ pub fn comparison_table(title: &str, rows: &[ComparisonRow]) -> Table {
         "traffic_reduction_%",
         rows.iter().map(|r| r.traffic_reduction_percent).collect(),
     ));
-    t.push_series(Series::new("pdf_mpki", rows.iter().map(|r| r.pdf_mpki).collect()));
-    t.push_series(Series::new("ws_mpki", rows.iter().map(|r| r.ws_mpki).collect()));
+    t.push_series(Series::new(
+        "pdf_mpki",
+        rows.iter().map(|r| r.pdf_mpki).collect(),
+    ));
+    t.push_series(Series::new(
+        "ws_mpki",
+        rows.iter().map(|r| r.ws_mpki).collect(),
+    ));
     t
 }
 
@@ -167,7 +179,10 @@ pub fn config_table(core_counts: &[usize]) -> Table {
     ));
     t.push_series(Series::new(
         "mem_latency_cyc",
-        configs.iter().map(|c| c.memory_latency_cycles as f64).collect(),
+        configs
+            .iter()
+            .map(|c| c.memory_latency_cycles as f64)
+            .collect(),
     ));
     t.push_series(Series::new(
         "offchip_B_per_cyc",

@@ -30,7 +30,11 @@ pub fn block_base(block: BlockAddr, line_bytes: usize) -> Addr {
 /// Iterate over every block touched by the byte range `[start, start + len)`.
 ///
 /// An empty range yields no blocks.
-pub fn blocks_in_range(start: Addr, len: u64, line_bytes: usize) -> impl Iterator<Item = BlockAddr> {
+pub fn blocks_in_range(
+    start: Addr,
+    len: u64,
+    line_bytes: usize,
+) -> impl Iterator<Item = BlockAddr> {
     let (first, last) = if len == 0 {
         (1, 0) // empty iterator
     } else {

@@ -125,11 +125,7 @@ impl Cache {
         let set = &mut self.sets[set_idx];
 
         // Hit path.
-        if let Some(way) = set
-            .lines
-            .iter()
-            .position(|l| l.valid && l.block == block)
-        {
+        if let Some(way) = set.lines.iter().position(|l| l.valid && l.block == block) {
             set.repl.on_hit(way);
             if kind == AccessKind::Write {
                 set.lines[way].dirty = true;
@@ -176,7 +172,10 @@ impl Cache {
         };
         set.repl.on_fill(way);
 
-        CacheAccessResult { hit: false, evicted }
+        CacheAccessResult {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Check whether `block` is present without disturbing replacement state or
@@ -192,11 +191,7 @@ impl Cache {
     pub fn set_dirty(&mut self, block: BlockAddr) -> bool {
         let set_idx = self.set_index(block);
         let set = &mut self.sets[set_idx];
-        if let Some(way) = set
-            .lines
-            .iter()
-            .position(|l| l.valid && l.block == block)
-        {
+        if let Some(way) = set.lines.iter().position(|l| l.valid && l.block == block) {
             set.lines[way].dirty = true;
             true
         } else {
@@ -209,11 +204,7 @@ impl Cache {
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<bool> {
         let set_idx = self.set_index(block);
         let set = &mut self.sets[set_idx];
-        if let Some(way) = set
-            .lines
-            .iter()
-            .position(|l| l.valid && l.block == block)
-        {
+        if let Some(way) = set.lines.iter().position(|l| l.valid && l.block == block) {
             let dirty = set.lines[way].dirty;
             set.lines[way] = Line::INVALID;
             self.stats.invalidations += 1;
@@ -294,7 +285,7 @@ mod tests {
         let mut c = tiny_cache(128, 1);
         c.access(0, AccessKind::Read);
         let r = c.access(2, AccessKind::Read);
-        assert_eq!(r.evicted.unwrap().dirty, false);
+        assert!(!r.evicted.unwrap().dirty);
         assert_eq!(c.stats().writebacks, 0);
         assert_eq!(c.stats().evictions, 1);
     }

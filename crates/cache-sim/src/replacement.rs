@@ -6,21 +6,16 @@
 use serde::{Deserialize, Serialize};
 
 /// Which replacement policy a cache uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ReplacementPolicy {
     /// Evict the least-recently-used way (the default for every configuration in
     /// the paper).
+    #[default]
     Lru,
     /// Evict the way that was filled earliest.
     Fifo,
     /// Evict a pseudo-random way (deterministic: xorshift seeded per set).
     Random,
-}
-
-impl Default for ReplacementPolicy {
-    fn default() -> Self {
-        ReplacementPolicy::Lru
-    }
 }
 
 /// Per-set replacement state.

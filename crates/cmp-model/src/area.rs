@@ -79,8 +79,7 @@ impl AreaModel {
         }
         let overhead_mm2 = self.die_mm2 * self.fixed_overhead_fraction;
         let core_mm2 = cores as f64 * node.core_area_mm2();
-        let l1_mm2 =
-            cores as f64 * self.l1_bytes_per_core as f64 / node.sram_bytes_per_mm2();
+        let l1_mm2 = cores as f64 * self.l1_bytes_per_core as f64 / node.sram_bytes_per_mm2();
         let required = overhead_mm2 + core_mm2 + l1_mm2;
         let l2_mm2 = self.die_mm2 - required;
         let l2_capacity_raw = (l2_mm2.max(0.0) * node.sram_bytes_per_mm2()) as usize;

@@ -56,7 +56,10 @@ impl CacheGeometry {
         if self.associativity == 0 {
             return fail("associativity is zero");
         }
-        if self.capacity_bytes % (self.line_bytes * self.associativity) != 0 {
+        if !self
+            .capacity_bytes
+            .is_multiple_of(self.line_bytes * self.associativity)
+        {
             return fail("capacity is not an integral number of sets");
         }
         if !self.sets().is_power_of_two() {
@@ -177,8 +180,7 @@ pub fn config_for(
 ) -> Result<CmpConfig, ModelError> {
     let breakdown = area.breakdown(cores, node)?;
     let l2_assoc = 16;
-    let l2_capacity =
-        round_to_power_of_two_sets(breakdown.l2_capacity_bytes, LINE_BYTES, l2_assoc);
+    let l2_capacity = round_to_power_of_two_sets(breakdown.l2_capacity_bytes, LINE_BYTES, l2_assoc);
     if l2_capacity == 0 {
         return Err(ModelError::DieBudgetExceeded {
             cores,
@@ -294,7 +296,10 @@ mod tests {
             prev = per_core;
         }
         // And the pressure is real: 32 cores have far less L2 per core than 1 core.
-        assert!(sweep.first().unwrap().l2_bytes_per_core() > 4 * sweep.last().unwrap().l2_bytes_per_core());
+        assert!(
+            sweep.first().unwrap().l2_bytes_per_core()
+                > 4 * sweep.last().unwrap().l2_bytes_per_core()
+        );
     }
 
     #[test]

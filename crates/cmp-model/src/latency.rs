@@ -76,6 +76,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn context_switch_cost_is_nontrivial_but_bounded() {
         assert!(CONTEXT_SWITCH_CYCLES >= 1_000);
         assert!(CONTEXT_SWITCH_CYCLES <= 100_000);

@@ -33,7 +33,10 @@ pub fn sweep_cores_at_node(
 /// `fractions` (e.g. `[1.0, 0.75, 0.5, 0.25]`), modelling powering down segments
 /// of the cache.  The L2 latency is kept at the full-size value: a powered-down
 /// segment saves leakage, it does not make the remaining banks closer.
-pub fn sweep_l2_fraction(base: &CmpConfig, fractions: &[f64]) -> Result<Vec<CmpConfig>, ModelError> {
+pub fn sweep_l2_fraction(
+    base: &CmpConfig,
+    fractions: &[f64],
+) -> Result<Vec<CmpConfig>, ModelError> {
     fractions
         .iter()
         .map(|&f| {
@@ -122,11 +125,16 @@ mod tests {
         let base = default_config(8).unwrap();
         let sweep = sweep_l2_fraction(&base, &[1.0, 0.5, 0.25]).unwrap();
         assert_eq!(sweep[0].l2.capacity_bytes, base.l2.capacity_bytes);
-        assert!(sweep[1].l2.capacity_bytes <= base.l2.capacity_bytes / 2 + base.l2.capacity_bytes / 8);
+        assert!(
+            sweep[1].l2.capacity_bytes <= base.l2.capacity_bytes / 2 + base.l2.capacity_bytes / 8
+        );
         assert!(sweep[2].l2.capacity_bytes < sweep[1].l2.capacity_bytes);
         for cfg in &sweep {
             cfg.validate().unwrap();
-            assert_eq!(cfg.l2.latency_cycles, base.l2.latency_cycles, "power-down keeps latency");
+            assert_eq!(
+                cfg.l2.latency_cycles, base.l2.latency_cycles,
+                "power-down keeps latency"
+            );
         }
     }
 
@@ -141,8 +149,12 @@ mod tests {
     fn bandwidth_sweep_scales_bandwidth() {
         let base = default_config(16).unwrap();
         let sweep = sweep_bandwidth(&base, &[0.5, 1.0, 2.0]).unwrap();
-        assert!((sweep[0].offchip_bytes_per_cycle - base.offchip_bytes_per_cycle * 0.5).abs() < 1e-9);
-        assert!((sweep[2].offchip_bytes_per_cycle - base.offchip_bytes_per_cycle * 2.0).abs() < 1e-9);
+        assert!(
+            (sweep[0].offchip_bytes_per_cycle - base.offchip_bytes_per_cycle * 0.5).abs() < 1e-9
+        );
+        assert!(
+            (sweep[2].offchip_bytes_per_cycle - base.offchip_bytes_per_cycle * 2.0).abs() < 1e-9
+        );
         assert!(sweep_bandwidth(&base, &[0.0]).is_err());
         assert!(sweep_bandwidth(&base, &[-1.0]).is_err());
     }

@@ -232,7 +232,10 @@ mod tests {
     #[test]
     fn default_node_mapping_covers_study_range() {
         for cores in 1..=32 {
-            assert!(ProcessNode::default_for_cores(cores).is_some(), "cores={cores}");
+            assert!(
+                ProcessNode::default_for_cores(cores).is_some(),
+                "cores={cores}"
+            );
         }
         assert_eq!(ProcessNode::default_for_cores(0), None);
         assert_eq!(ProcessNode::default_for_cores(33), None);

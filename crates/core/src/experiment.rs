@@ -213,7 +213,9 @@ mod tests {
 
     #[test]
     fn defaults_run_the_paper_pair_on_eight_cores() {
-        let report = Experiment::new(MergeSort::small().into_spec()).run().unwrap();
+        let report = Experiment::new(MergeSort::small().into_spec())
+            .run()
+            .unwrap();
         assert_eq!(report.runs().len(), 2);
         assert_eq!(report.workload, "mergesort");
         assert!(report.find(8, SchedulerKind::Pdf).is_some());
@@ -225,7 +227,11 @@ mod tests {
     fn sweep_produces_one_cell_per_cores_times_scheduler() {
         let report = Experiment::new(ParallelScan::small().into_spec())
             .core_sweep(&[1, 2, 4])
-            .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing, SchedulerKind::StaticPartition])
+            .schedulers(&[
+                SchedulerKind::Pdf,
+                SchedulerKind::WorkStealing,
+                SchedulerKind::StaticPartition,
+            ])
             .run()
             .unwrap();
         assert_eq!(report.runs().len(), 9);

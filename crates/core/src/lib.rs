@@ -26,18 +26,22 @@
 
 pub mod experiment;
 pub mod spec;
+pub mod stream_experiment;
 
 pub use experiment::{Experiment, ExperimentError, ExperimentReport, RunRecord};
 pub use spec::{IntoSpec, WorkloadSpec};
+pub use stream_experiment::{StreamExperiment, StreamReport};
 
 /// The types almost every experiment needs.
 pub mod prelude {
     pub use crate::experiment::{Experiment, ExperimentError, ExperimentReport, RunRecord};
     pub use crate::spec::{IntoSpec, WorkloadSpec};
+    pub use crate::stream_experiment::{StreamExperiment, StreamReport};
     pub use pdfws_cmp_model::{default_config, default_core_counts, CmpConfig, ProcessNode};
     pub use pdfws_schedulers::{Disturbance, SchedulerKind, SimOptions, SimResult};
+    pub use pdfws_stream::{AdmissionPolicy, ArrivalProcess, JobMix, StreamOutcome, StreamSummary};
     pub use pdfws_workloads::{
-        ComputeKernel, HashJoin, LuDecomposition, MatMul, MergeSort, ParallelScan, QuickSort,
-        SpMv, SyntheticTree, Workload, WorkloadClass,
+        ComputeKernel, HashJoin, LuDecomposition, MatMul, MergeSort, ParallelScan, QuickSort, SpMv,
+        SyntheticTree, Workload, WorkloadClass,
     };
 }

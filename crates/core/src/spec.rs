@@ -32,7 +32,12 @@ impl WorkloadSpec {
     }
 
     /// Construct a spec directly from parts (used by tests and custom DAGs).
-    pub fn from_parts(name: impl Into<String>, class: WorkloadClass, dag: TaskDag, data_bytes: u64) -> Self {
+    pub fn from_parts(
+        name: impl Into<String>,
+        class: WorkloadClass,
+        dag: TaskDag,
+        data_bytes: u64,
+    ) -> Self {
         WorkloadSpec {
             name: name.into(),
             class,
@@ -78,7 +83,9 @@ mod tests {
 
     #[test]
     fn from_parts_builds_custom_specs() {
-        let dag = pdfws_task_dag::builder::SpTree::leaf("only", 10).into_dag().unwrap();
+        let dag = pdfws_task_dag::builder::SpTree::leaf("only", 10)
+            .into_dag()
+            .unwrap();
         let spec = WorkloadSpec::from_parts("custom", WorkloadClass::ComputeBound, dag, 64);
         assert_eq!(spec.name, "custom");
         assert_eq!(spec.dag.len(), 1);

@@ -1,0 +1,221 @@
+//! The stream-experiment builder: one job stream × several schedulers.
+//!
+//! [`StreamExperiment`] is the serving-shaped sibling of
+//! [`Experiment`](crate::experiment::Experiment): instead of sweeping
+//! (cores × scheduler) cells over one DAG, it drives one *stream* of DAG jobs
+//! through each requested scheduler on the simulated backend and reports
+//! latency and throughput per scheduler.
+
+use crate::experiment::ExperimentError;
+use pdfws_schedulers::{SchedulerKind, SimOptions};
+use pdfws_stream::{
+    run_stream_sim, AdmissionPolicy, ArrivalProcess, JobMix, StreamConfig, StreamOutcome,
+    StreamSummary,
+};
+
+/// Builder for one job-stream experiment.
+///
+/// Wraps one [`StreamConfig`] (whose `scheduler` field is overridden per run)
+/// so every stream knob has exactly one home; the builder methods below are a
+/// fluent veneer over it.
+#[derive(Debug, Clone)]
+pub struct StreamExperiment {
+    mix: JobMix,
+    jobs: usize,
+    schedulers: Vec<SchedulerKind>,
+    config: StreamConfig,
+}
+
+impl StreamExperiment {
+    /// Start a stream experiment over a job mix.  Defaults: 16 jobs, 8 cores,
+    /// the paper's two schedulers, and [`StreamConfig::new`]'s stream knobs
+    /// (open-loop Poisson at 40 jobs/Mcycle, FIFO admission, 4 slots).
+    pub fn new(mix: JobMix) -> Self {
+        StreamExperiment {
+            mix,
+            jobs: 16,
+            schedulers: SchedulerKind::PAPER_PAIR.to_vec(),
+            config: StreamConfig::new(8, SchedulerKind::Pdf),
+        }
+    }
+
+    /// Number of jobs to drive through the system.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Cores of the simulated CMP.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.config.cores = cores;
+        self
+    }
+
+    /// Which schedulers to compare.
+    pub fn schedulers(mut self, kinds: &[SchedulerKind]) -> Self {
+        self.schedulers = kinds.to_vec();
+        self
+    }
+
+    /// The arrival process (open-loop Poisson/uniform or closed loop).
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.config.arrivals = arrivals;
+        self
+    }
+
+    /// The admission policy for freed slots.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.config.admission = policy;
+        self
+    }
+
+    /// Machine quantum per scheduling turn.
+    pub fn quantum_cycles(mut self, quantum: u64) -> Self {
+        self.config.quantum_cycles = quantum;
+        self
+    }
+
+    /// Maximum co-resident jobs.
+    pub fn max_concurrent(mut self, slots: usize) -> Self {
+        self.config.max_concurrent = slots;
+        self
+    }
+
+    /// Cross-job cache-interference strength (L2 blocks polluted per rival per
+    /// disturbance period; 0 disables).
+    pub fn rival_pollution_blocks(mut self, blocks: u64) -> Self {
+        self.config.rival_pollution_blocks = blocks;
+        self
+    }
+
+    /// Job-sampling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Engine options applied to every job's engine.
+    pub fn options(mut self, options: SimOptions) -> Self {
+        self.config.sim_options = options;
+        self
+    }
+
+    /// Run the stream once per requested scheduler.
+    pub fn run(self) -> Result<StreamReport, ExperimentError> {
+        if self.schedulers.is_empty() {
+            return Err(ExperimentError::NoSchedulers);
+        }
+        let mut outcomes = Vec::with_capacity(self.schedulers.len());
+        for &scheduler in &self.schedulers {
+            let cfg = StreamConfig {
+                scheduler,
+                ..self.config.clone()
+            };
+            let outcome = run_stream_sim(&self.mix, self.jobs, &cfg)?;
+            outcomes.push(outcome);
+        }
+        Ok(StreamReport {
+            mix: self.mix.name.clone(),
+            outcomes,
+        })
+    }
+}
+
+/// Results of a stream experiment: one outcome per scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Name of the job mix that was served.
+    pub mix: String,
+    outcomes: Vec<StreamOutcome>,
+}
+
+impl StreamReport {
+    /// All per-scheduler outcomes, in the order the schedulers were requested.
+    pub fn outcomes(&self) -> &[StreamOutcome] {
+        &self.outcomes
+    }
+
+    /// The outcome for one scheduler, if it was part of the experiment.
+    pub fn find(&self, scheduler: SchedulerKind) -> Option<&StreamOutcome> {
+        self.outcomes.iter().find(|o| o.scheduler == scheduler)
+    }
+
+    /// Summary for one scheduler.
+    pub fn summary(&self, scheduler: SchedulerKind) -> Option<StreamSummary> {
+        self.find(scheduler).map(StreamOutcome::summary)
+    }
+
+    /// Ratio of WS p95 sojourn to PDF p95 sojourn (> 1 means PDF serves the
+    /// tail faster under this load).
+    pub fn ws_over_pdf_p95(&self) -> Option<f64> {
+        let pdf = self.summary(SchedulerKind::Pdf)?;
+        let ws = self.summary(SchedulerKind::WorkStealing)?;
+        if pdf.sojourn.p95 <= 0.0 || ws.sojourn.p95 <= 0.0 {
+            return None;
+        }
+        Some(ws.sojourn.p95 / pdf.sojourn.p95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> StreamExperiment {
+        StreamExperiment::new(JobMix::class_b())
+            .jobs(8)
+            .cores(4)
+            .quantum_cycles(5_000)
+            .arrivals(ArrivalProcess::OpenLoopPoisson {
+                jobs_per_mcycle: 100.0,
+                seed: 3,
+            })
+    }
+
+    #[test]
+    fn runs_one_outcome_per_scheduler() {
+        let report = quick().run().unwrap();
+        assert_eq!(report.mix, "class-b");
+        assert_eq!(report.outcomes().len(), 2);
+        assert!(report.find(SchedulerKind::Pdf).is_some());
+        assert!(report.find(SchedulerKind::WorkStealing).is_some());
+        assert!(report.find(SchedulerKind::StaticPartition).is_none());
+        assert!(report.ws_over_pdf_p95().unwrap() > 0.0);
+        for outcome in report.outcomes() {
+            assert_eq!(outcome.records.len(), 8);
+        }
+    }
+
+    #[test]
+    fn same_builder_is_deterministic() {
+        let a = quick().run().unwrap();
+        let b = quick().run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_scheduler_lists_are_rejected() {
+        let err = quick().schedulers(&[]).run().unwrap_err();
+        assert_eq!(err, ExperimentError::NoSchedulers);
+    }
+
+    #[test]
+    fn model_errors_surface() {
+        let err = quick().cores(999).run().unwrap_err();
+        assert!(matches!(err, ExperimentError::Model(_)));
+    }
+
+    #[test]
+    fn closed_loop_experiments_bound_concurrency() {
+        let report = quick()
+            .arrivals(ArrivalProcess::ClosedLoop {
+                population: 2,
+                think_cycles: 100,
+            })
+            .run()
+            .unwrap();
+        for outcome in report.outcomes() {
+            assert!(outcome.peak_concurrency <= 2, "{}", outcome.scheduler);
+        }
+    }
+}

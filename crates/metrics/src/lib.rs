@@ -12,5 +12,5 @@ pub mod summary;
 pub mod table;
 
 pub use measures::{l2_mpki, relative_speedup, speedup, traffic_reduction_percent};
-pub use summary::{geometric_mean, mean};
+pub use summary::{geometric_mean, mean, percentile, Quantiles};
 pub use table::{Series, Table};

@@ -27,6 +27,63 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
+/// Nearest-rank percentile (inclusive): the smallest value such that at least
+/// `p` percent of the samples are ≤ it.  `p` is in [0, 100].  Returns 0 for an
+/// empty slice.
+///
+/// This is the latency-SLO convention: `percentile(&sojourns, 99.0)` is the
+/// p99 a serving system would report.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile over NaN-free samples"));
+    nearest_rank(&sorted, p)
+}
+
+/// The nearest-rank lookup shared by [`percentile`] and [`Quantiles`]; expects
+/// `sorted` to be ascending.
+fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// The latency quantiles a serving system reports about one batch of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantiles {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank p50).
+    pub p50: f64,
+    /// Nearest-rank p95.
+    pub p95: f64,
+    /// Nearest-rank p99.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Quantiles {
+    /// Summarise a batch of samples; all-zero for an empty batch.  Sorts the
+    /// samples once and indexes every quantile out of the same sorted copy.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantiles over NaN-free samples"));
+        Quantiles {
+            count: sorted.len(),
+            mean: mean(values),
+            p50: nearest_rank(&sorted, 50.0),
+            p95: nearest_rank(&sorted, 95.0),
+            p99: nearest_rank(&sorted, 99.0),
+            max: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +111,37 @@ mod tests {
     #[should_panic(expected = "strictly positive")]
     fn geometric_mean_rejects_non_positive() {
         let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        // Order must not matter.
+        let shuffled = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&shuffled, 50.0), 2.0);
+    }
+
+    #[test]
+    fn quantiles_summarise_a_batch() {
+        let q = Quantiles::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(q.count, 4);
+        assert!((q.mean - 2.5).abs() < 1e-12);
+        assert_eq!(q.p50, 2.0);
+        assert_eq!(q.max, 4.0);
+        let empty = Quantiles::from_values(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 101.0);
     }
 }

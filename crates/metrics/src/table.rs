@@ -41,11 +41,7 @@ pub struct Table {
 
 impl Table {
     /// Create an empty table over the given x-axis.
-    pub fn new(
-        title: impl Into<String>,
-        x_name: impl Into<String>,
-        x_values: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_name: impl Into<String>, x_values: Vec<String>) -> Self {
         Table {
             title: title.into(),
             x_name: x_name.into(),

@@ -101,10 +101,13 @@ fn with_path<R>(path: SpawnPath, f: impl FnOnce() -> R) -> R {
 fn worker_main(shared: Arc<PdfShared>) {
     loop {
         if let Some(job) = shared.try_pop() {
+            // Count before executing: a caller blocked in `install` resumes the
+            // instant the job's latch is set inside `execute`, and the latch's
+            // release/acquire pair then guarantees it observes this increment.
+            shared.executed_jobs.fetch_add(1, Ordering::Relaxed);
             // SAFETY: each JobRef queued by this pool executes exactly once;
             // StackJob owners wait on their latch before leaving their frame.
             unsafe { job.execute() };
-            shared.executed_jobs.fetch_add(1, Ordering::Relaxed);
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
@@ -209,9 +212,9 @@ impl ForkJoinPool for PdfPool {
 
         while !job_b.latch().probe() {
             if let Some(job) = self.shared.try_pop() {
+                self.shared.executed_jobs.fetch_add(1, Ordering::Relaxed);
                 // SAFETY: pool invariant — each queued JobRef executes exactly once.
                 unsafe { job.execute() };
-                self.shared.executed_jobs.fetch_add(1, Ordering::Relaxed);
             } else {
                 std::hint::spin_loop();
                 std::thread::yield_now();
@@ -394,7 +397,7 @@ mod tests {
             &["early", "early-child", "late", "latest"]
         );
         for (_, job) in jobs {
-            let _ = job.into_result();
+            job.into_result();
         }
     }
 

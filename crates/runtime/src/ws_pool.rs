@@ -86,10 +86,13 @@ fn worker_main(ctx: WorkerContext) {
     WS_CONTEXT.with(|c| c.set(&ctx as *const WorkerContext));
     loop {
         if let Some(job) = ctx.find_job() {
+            // Count before executing: a caller blocked in `install` resumes the
+            // instant the job's latch is set inside `execute`, and the latch's
+            // release/acquire pair then guarantees it observes this increment.
+            ctx.shared.executed_jobs.fetch_add(1, Ordering::Relaxed);
             // SAFETY: every JobRef enqueued by this pool is executed exactly once;
             // StackJob owners keep their frames alive until the job's latch is set.
             unsafe { job.execute() };
-            ctx.shared.executed_jobs.fetch_add(1, Ordering::Relaxed);
             continue;
         }
         if ctx.shared.shutdown.load(Ordering::Acquire) {

@@ -30,10 +30,15 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A synthetic co-runner that periodically touches the shared L2, used by the
-/// multiprogramming experiment.  Its references are issued through core 0's L1
-/// (the co-runner is "context-switched in" on that core), consume off-chip
-/// bandwidth, and pollute the shared L2 — but are *not* charged to the measured
-/// program's instructions.
+/// multiprogramming experiment and the job-stream subsystem.  Its references
+/// are issued through core 0's L1 (the co-runner is "context-switched in" on
+/// that core), consume off-chip bandwidth, and pollute the shared L2 — but are
+/// *not* charged to the measured program's instructions.
+///
+/// The configured rate is best-effort: bursts are skipped while the off-chip
+/// channel is congested (the co-runner stalls on memory like everything else),
+/// so a disturbance demanding more bandwidth than the machine has degrades the
+/// program as far as the channel allows instead of diverging the simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Disturbance {
     /// A burst is injected every `period_cycles` cycles.
@@ -152,10 +157,30 @@ struct CoreState {
     busy_cycles: u64,
 }
 
-/// The execution engine.  Construct with [`SimEngine::new`] and call
-/// [`SimEngine::run`] once.
-pub struct SimEngine<'a> {
-    dag: &'a TaskDag,
+/// A zero period or empty region would divide by zero in the injection loop.
+fn assert_valid_disturbance(d: &Disturbance) {
+    assert!(d.period_cycles > 0, "disturbance period must be positive");
+    assert!(d.region_blocks > 0, "disturbance region must be non-empty");
+}
+
+/// Progress status returned by [`SimEngine::run_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineStatus {
+    /// The DAG has unfinished tasks; call [`SimEngine::run_for`] again.
+    Running,
+    /// Every task completed; [`SimEngine::result`] is available.
+    Done,
+}
+
+/// The execution engine.
+///
+/// Construct with [`SimEngine::new`], then either call [`SimEngine::run`] once
+/// (single-job mode, runs to completion) or repeatedly call
+/// [`SimEngine::run_for`] with a cycle budget (multiprogrammed mode — the
+/// job-stream subsystem time-multiplexes many engines this way) and collect
+/// [`SimEngine::result`] when it reports [`EngineStatus::Done`].
+pub struct SimEngine {
+    dag: std::sync::Arc<TaskDag>,
     config: CmpConfig,
     policy: Box<dyn SchedulerPolicy>,
     options: SimOptions,
@@ -176,12 +201,26 @@ pub struct SimEngine<'a> {
     disturbance_cursor: u64,
     next_disturbance_at: u64,
     disturbance_accesses: u64,
+    started: bool,
 }
 
-impl<'a> SimEngine<'a> {
+impl SimEngine {
     /// Build an engine for one run.  The caches start cold.
+    ///
+    /// Clones the DAG once; callers that already share the DAG (the job-stream
+    /// backend) should use [`SimEngine::with_shared_dag`] instead.
     pub fn new(
-        dag: &'a TaskDag,
+        dag: &TaskDag,
+        config: &CmpConfig,
+        policy: Box<dyn SchedulerPolicy>,
+        options: SimOptions,
+    ) -> Self {
+        Self::with_shared_dag(std::sync::Arc::new(dag.clone()), config, policy, options)
+    }
+
+    /// Build an engine over a shared DAG without copying it.
+    pub fn with_shared_dag(
+        dag: std::sync::Arc<TaskDag>,
         config: &CmpConfig,
         policy: Box<dyn SchedulerPolicy>,
         options: SimOptions,
@@ -192,11 +231,15 @@ impl<'a> SimEngine<'a> {
             options.max_accesses_per_step > 0,
             "steps must allow at least one reference"
         );
+        if let Some(d) = &options.disturbance {
+            assert_valid_disturbance(d);
+        }
         let profiler = options.working_set_window.map(WorkingSetProfiler::new);
         let next_disturbance_at = options
             .disturbance
             .map(|d| d.period_cycles)
             .unwrap_or(u64::MAX);
+        let remaining_preds = dag.in_degrees();
         SimEngine {
             dag,
             config: *config,
@@ -206,7 +249,7 @@ impl<'a> SimEngine<'a> {
             cores: (0..config.cores).map(|_| CoreState::default()).collect(),
             events: BinaryHeap::new(),
             idle: vec![true; config.cores],
-            remaining_preds: dag.in_degrees(),
+            remaining_preds,
             completed: 0,
             now: 0,
             offchip_busy_until: 0,
@@ -217,16 +260,42 @@ impl<'a> SimEngine<'a> {
             disturbance_cursor: 0,
             next_disturbance_at,
             disturbance_accesses: 0,
+            started: false,
         }
     }
 
     /// Run the simulation to completion and return the measurements.
     pub fn run(&mut self) -> SimResult {
-        self.policy.init(self.dag);
-        self.policy.task_ready(self.dag.root(), None);
-        self.dispatch_idle_cores(0);
+        let status = self.run_for(u64::MAX);
+        debug_assert_eq!(status, EngineStatus::Done);
+        self.result()
+    }
 
-        while let Some(Reverse((time, core))) = self.events.pop() {
+    /// Advance the simulation by at most `budget` cycles of simulated time.
+    ///
+    /// This is the multiprogramming entry point: a supervisor (such as
+    /// `pdfws-stream`'s job-stream backend) can hold many engines and grant
+    /// each one bounded quanta, time-multiplexing the modelled cores across
+    /// concurrently admitted jobs.  An engine step that straddles the deadline
+    /// is allowed to finish (overshoot is bounded by
+    /// [`SimOptions::time_slice_cycles`] plus one task's memory stalls), so a
+    /// quantum should be large relative to the time slice.
+    pub fn run_for(&mut self, budget: u64) -> EngineStatus {
+        if !self.started {
+            self.started = true;
+            self.policy.init(&self.dag);
+            self.policy.task_ready(self.dag.root(), None);
+            self.dispatch_idle_cores(self.now);
+        }
+        let deadline = self.now.saturating_add(budget);
+
+        while let Some(&Reverse((time, _))) = self.events.peek() {
+            if time > deadline {
+                // Nothing more to do inside this quantum; charge the idle gap.
+                self.now = deadline;
+                return EngineStatus::Running;
+            }
+            let Reverse((time, core)) = self.events.pop().expect("peeked event exists");
             self.now = time;
             self.inject_disturbance(time);
             let (elapsed, finished) = self.step(core, time);
@@ -238,8 +307,7 @@ impl<'a> SimEngine<'a> {
                 self.now = end;
             }
             if finished {
-                let task = self
-                    .cores[core]
+                let task = self.cores[core]
                     .running
                     .take()
                     .expect("finished step implies a running task")
@@ -247,6 +315,9 @@ impl<'a> SimEngine<'a> {
                 self.complete_task(task, core, end);
             } else {
                 self.events.push(Reverse((end, core)));
+            }
+            if self.now >= deadline && !self.events.is_empty() {
+                return EngineStatus::Running;
             }
         }
 
@@ -257,14 +328,35 @@ impl<'a> SimEngine<'a> {
             self.completed,
             self.dag.len()
         );
+        EngineStatus::Done
+    }
 
-        let makespan = self.now.max(
-            self.cores
-                .iter()
-                .map(|c| c.busy_cycles)
-                .max()
-                .unwrap_or(0),
+    /// Whether every task of the DAG has completed.
+    pub fn is_done(&self) -> bool {
+        self.completed == self.dag.len()
+    }
+
+    /// Simulated cycles elapsed on this engine's private clock so far.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Collect the measurements after [`SimEngine::run_for`] reported
+    /// [`EngineStatus::Done`] (or [`SimEngine::is_done`] turned true).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tasks remain unexecuted.
+    pub fn result(&mut self) -> SimResult {
+        assert!(
+            self.is_done(),
+            "result() requires a finished run ({} of {} tasks executed)",
+            self.completed,
+            self.dag.len()
         );
+        let makespan = self
+            .now
+            .max(self.cores.iter().map(|c| c.busy_cycles).max().unwrap_or(0));
         SimResult {
             scheduler: self.policy.name().to_string(),
             cores: self.config.cores,
@@ -278,6 +370,23 @@ impl<'a> SimEngine<'a> {
             hierarchy: self.hierarchy.stats(),
             working_set: self.profiler.take().map(WorkingSetProfiler::finish),
         }
+    }
+
+    /// Replace the multiprogramming co-runner between quanta.
+    ///
+    /// The job-stream supervisor uses this to model cache pressure from the
+    /// *other* co-resident jobs: the disturbance strength can be raised and
+    /// lowered as jobs are admitted and drain.  The next burst fires one
+    /// period after the engine's current time.
+    pub fn set_disturbance(&mut self, disturbance: Option<Disturbance>) {
+        if let Some(d) = &disturbance {
+            assert_valid_disturbance(d);
+        }
+        self.options.disturbance = disturbance;
+        self.next_disturbance_at = match disturbance {
+            Some(d) => self.now.saturating_add(d.period_cycles),
+            None => u64::MAX,
+        };
     }
 
     /// Number of references injected by the disturbance co-runner (not charged to
@@ -315,7 +424,7 @@ impl<'a> SimEngine<'a> {
                 continue;
             }
             // Issue the next memory reference.
-            let Some(acc) = running.next_access(self.dag) else {
+            let Some(acc) = running.next_access(&self.dag) else {
                 // No references left; only trailing compute remains (or nothing).
                 continue;
             };
@@ -382,18 +491,42 @@ impl<'a> SimEngine<'a> {
 
     fn start_task(&mut self, core: usize, task: TaskId, now: u64) {
         debug_assert!(self.cores[core].running.is_none());
-        self.cores[core].running = Some(RunningTask::new(self.dag, task));
+        self.cores[core].running = Some(RunningTask::new(&self.dag, task));
         self.idle[core] = false;
         self.events.push(Reverse((now, core)));
     }
 
     /// Inject any co-runner bursts due at or before `time`.
+    ///
+    /// The co-runner is a *rate*, not a backlog: if the measured program jumps
+    /// far ahead in one event (a long-latency access), missed periods beyond a
+    /// small catch-up window are dropped rather than replayed, and a burst
+    /// whose scheduled time finds the off-chip channel backlogged by more than
+    /// one period is skipped entirely — the co-runner is itself stalled on
+    /// memory.  Without this back-pressure an over-provisioned disturbance
+    /// (more bytes per period than the channel can move) would grow the
+    /// channel queue without bound and the simulation would never converge.
     fn inject_disturbance(&mut self, time: u64) {
         let Some(d) = self.options.disturbance else {
             return;
         };
+        if self.next_disturbance_at > time {
+            return;
+        }
+        // Fast-forward: replay at most a few missed periods.
+        const MAX_CATCHUP_PERIODS: u64 = 4;
+        let behind = (time - self.next_disturbance_at) / d.period_cycles;
+        if behind > MAX_CATCHUP_PERIODS {
+            self.next_disturbance_at += (behind - MAX_CATCHUP_PERIODS) * d.period_cycles;
+        }
         while self.next_disturbance_at <= time {
             let at = self.next_disturbance_at;
+            self.next_disturbance_at += d.period_cycles;
+            if self.offchip_busy_until > at.saturating_add(d.period_cycles) {
+                // Channel congested past the next period: the co-runner's own
+                // fetches stall, so this burst never issues.
+                continue;
+            }
             for _ in 0..d.blocks_per_burst {
                 let block = d.region_base_block + (self.disturbance_cursor % d.region_blocks);
                 self.disturbance_cursor += 1;
@@ -406,7 +539,6 @@ impl<'a> SimEngine<'a> {
                     self.offchip_busy_until = self.offchip_busy_until.max(at) + transfer;
                 }
             }
-            self.next_disturbance_at += d.period_cycles;
         }
     }
 }
@@ -420,9 +552,13 @@ mod tests {
     use pdfws_task_dag::AccessPattern;
 
     fn leaf_tree(leaves: usize, instr: u64) -> pdfws_task_dag::TaskDag {
-        SpTree::Par((0..leaves).map(|i| SpTree::leaf(&format!("l{i}"), instr)).collect())
-            .into_dag()
-            .unwrap()
+        SpTree::Par(
+            (0..leaves)
+                .map(|i| SpTree::leaf(&format!("l{i}"), instr))
+                .collect(),
+        )
+        .into_dag()
+        .unwrap()
     }
 
     #[test]
@@ -536,7 +672,12 @@ mod tests {
         thin.offchip_bytes_per_cycle = 0.5;
         let fast = simulate(&dag, &fat, SchedulerKind::Pdf, &SimOptions::default());
         let slow = simulate(&dag, &thin, SchedulerKind::Pdf, &SimOptions::default());
-        assert!(slow.cycles > fast.cycles * 2, "{} vs {}", slow.cycles, fast.cycles);
+        assert!(
+            slow.cycles > fast.cycles * 2,
+            "{} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
         assert!(slow.offchip_queue_cycles > 0);
         assert_eq!(fast.hierarchy.l2_misses(), slow.hierarchy.l2_misses());
     }
@@ -599,7 +740,12 @@ mod tests {
             ..SimOptions::default()
         };
         let noisy = simulate(&dag, &cfg, SchedulerKind::Pdf, &noisy_opts);
-        assert!(noisy.cycles > clean.cycles, "{} vs {}", noisy.cycles, clean.cycles);
+        assert!(
+            noisy.cycles > clean.cycles,
+            "{} vs {}",
+            noisy.cycles,
+            clean.cycles
+        );
         assert!(noisy.hierarchy.l2_misses() > clean.hierarchy.l2_misses());
     }
 
@@ -612,6 +758,115 @@ mod tests {
         let r = engine.run();
         assert_eq!(r.busy_cycles.len(), 2);
         assert_eq!(engine.disturbance_accesses(), 0);
+    }
+
+    #[test]
+    fn quantum_stepping_matches_a_single_run() {
+        let dag = leaf_tree(32, 700);
+        let cfg = default_config(4).unwrap();
+        for kind in SchedulerKind::PAPER_PAIR {
+            let full = simulate(&dag, &cfg, kind, &SimOptions::default());
+            let mut engine =
+                SimEngine::new(&dag, &cfg, make_policy(kind, 4), SimOptions::default());
+            let mut quanta = 0u32;
+            while engine.run_for(500) == EngineStatus::Running {
+                quanta += 1;
+                assert!(quanta < 1_000_000, "{kind}: engine failed to make progress");
+            }
+            assert!(engine.is_done());
+            assert_eq!(
+                engine.result(),
+                full,
+                "{kind}: stepping changed the simulation"
+            );
+        }
+    }
+
+    #[test]
+    fn run_for_reports_running_before_done() {
+        let dag = leaf_tree(16, 10_000);
+        let cfg = default_config(2).unwrap();
+        let mut engine = SimEngine::new(
+            &dag,
+            &cfg,
+            make_policy(SchedulerKind::Pdf, 2),
+            SimOptions::default(),
+        );
+        assert_eq!(engine.run_for(100), EngineStatus::Running);
+        assert!(!engine.is_done());
+        assert!(engine.now() >= 100);
+        assert_eq!(engine.run_for(u64::MAX), EngineStatus::Done);
+        assert!(engine.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a finished run")]
+    fn result_before_completion_panics() {
+        let dag = leaf_tree(16, 10_000);
+        let cfg = default_config(2).unwrap();
+        let mut engine = SimEngine::new(
+            &dag,
+            &cfg,
+            make_policy(SchedulerKind::Pdf, 2),
+            SimOptions::default(),
+        );
+        let _ = engine.run_for(100);
+        let _ = engine.result();
+    }
+
+    #[test]
+    fn disturbance_can_be_toggled_between_quanta() {
+        let mut b = DagBuilder::new();
+        let _ = b
+            .task("reuse")
+            .access(AccessPattern::repeated_read(0, 64 * 256, 40))
+            .build();
+        let dag = b.finish().unwrap();
+        let cfg = default_config(2).unwrap();
+        let mut engine = SimEngine::new(
+            &dag,
+            &cfg,
+            make_policy(SchedulerKind::Pdf, 2),
+            SimOptions::default(),
+        );
+        assert_eq!(engine.run_for(2_000), EngineStatus::Running);
+        assert_eq!(engine.disturbance_accesses(), 0);
+        // A light co-runner: well within the off-chip budget, so the run still
+        // converges quickly.
+        engine.set_disturbance(Some(Disturbance {
+            period_cycles: 2_000,
+            blocks_per_burst: 16,
+            region_base_block: 1 << 30,
+            region_blocks: 64,
+        }));
+        let mut quanta = 0u32;
+        while engine.run_for(50_000) == EngineStatus::Running {
+            quanta += 1;
+            assert!(quanta < 100_000, "engine failed to converge");
+        }
+        assert!(
+            engine.disturbance_accesses() > 0,
+            "co-runner never injected after being enabled mid-run"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disturbance period must be positive")]
+    fn zero_period_disturbance_is_rejected() {
+        let dag = leaf_tree(2, 10);
+        let cfg = default_config(1).unwrap();
+        let mut engine = SimEngine::new(
+            &dag,
+            &cfg,
+            make_policy(SchedulerKind::Pdf, 1),
+            SimOptions::default(),
+        );
+        engine.set_disturbance(Some(Disturbance {
+            period_cycles: 0,
+            blocks_per_burst: 1,
+            region_base_block: 0,
+            region_blocks: 1,
+        }));
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod result;
 pub mod static_partition;
 pub mod ws;
 
-pub use engine::{Disturbance, SimEngine, SimOptions};
+pub use engine::{Disturbance, EngineStatus, SimEngine, SimOptions};
 pub use pdf::PdfPolicy;
 pub use policy::SchedulerPolicy;
 pub use result::SimResult;
@@ -148,6 +148,9 @@ mod tests {
     fn make_policy_returns_matching_names() {
         assert_eq!(make_policy(SchedulerKind::Pdf, 4).name(), "pdf");
         assert_eq!(make_policy(SchedulerKind::WorkStealing, 4).name(), "ws");
-        assert_eq!(make_policy(SchedulerKind::StaticPartition, 4).name(), "static");
+        assert_eq!(
+            make_policy(SchedulerKind::StaticPartition, 4).name(),
+            "static"
+        );
     }
 }

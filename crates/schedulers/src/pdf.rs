@@ -127,7 +127,9 @@ mod tests {
             pdf.task_ready(l, Some(0));
         }
         let p = 4;
-        let mut handed: Vec<u64> = (0..p).map(|c| ranks[pdf.next_task(c).unwrap().index()]).collect();
+        let mut handed: Vec<u64> = (0..p)
+            .map(|c| ranks[pdf.next_task(c).unwrap().index()])
+            .collect();
         handed.sort_unstable();
         let mut all_ranks: Vec<u64> = leaves.iter().map(|l| ranks[l.index()]).collect();
         all_ranks.sort_unstable();

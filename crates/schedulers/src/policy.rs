@@ -124,11 +124,21 @@ mod tests {
                 &mut StaticPartitionPolicy::new(cores),
             ] {
                 let started = drain_policy(&dag, policy, cores);
-                assert_eq!(started.len(), dag.len(), "{} on {cores} cores", policy.name());
+                assert_eq!(
+                    started.len(),
+                    dag.len(),
+                    "{} on {cores} cores",
+                    policy.name()
+                );
                 let mut sorted: Vec<_> = started.iter().map(|t| t.index()).collect();
                 sorted.sort_unstable();
                 sorted.dedup();
-                assert_eq!(sorted.len(), dag.len(), "{} duplicated a task", policy.name());
+                assert_eq!(
+                    sorted.len(),
+                    dag.len(),
+                    "{} duplicated a task",
+                    policy.name()
+                );
                 assert_eq!(policy.ready_count(), 0);
             }
         }

@@ -92,7 +92,11 @@ mod tests {
         let t = sp.next_task(0).unwrap();
         assert_eq!(sp.home_core(t), 0);
         sp.next_task(0).unwrap();
-        assert_eq!(sp.next_task(0), None, "no stealing under static partitioning");
+        assert_eq!(
+            sp.next_task(0),
+            None,
+            "no stealing under static partitioning"
+        );
         assert!(sp.ready_count() > 0);
     }
 

@@ -108,7 +108,9 @@ mod tests {
     fn star_dag(children: usize) -> (pdfws_task_dag::TaskDag, Vec<TaskId>) {
         let mut b = DagBuilder::new();
         let root = b.task("root").build();
-        let kids: Vec<_> = (0..children).map(|i| b.task(&format!("c{i}")).build()).collect();
+        let kids: Vec<_> = (0..children)
+            .map(|i| b.task(&format!("c{i}")).build())
+            .collect();
         for &c in &kids {
             b.edge(root, c);
         }
@@ -205,6 +207,7 @@ mod tests {
         ws.task_ready(dag.root(), None);
         // Manually interleave: each round core 0 then core 1 takes and completes a task.
         let mut core_tasks: [Vec<TaskId>; 2] = [Vec::new(), Vec::new()];
+        #[allow(clippy::needless_range_loop)]
         for _ in 0..40 {
             for core in 0..2 {
                 if let Some(t) = ws.next_task(core) {

@@ -1,0 +1,178 @@
+//! Arrival processes: when jobs enter the system.
+//!
+//! Two standard traffic shapes from the queueing literature:
+//!
+//! * **Open loop** — arrivals are an exogenous process (Poisson or uniform)
+//!   that does not react to the system; if service is slower than the offered
+//!   load, the queue grows without bound.  This is the regime where PDF's
+//!   cache advantage compounds: faster drains mean shorter queues mean lower
+//!   sojourn times at the same arrival rate.
+//! * **Closed loop** — a fixed population of clients, each submitting its next
+//!   job a fixed think time after the previous one completes; in-flight jobs
+//!   never exceed the population size.
+//!
+//! All randomness is seeded: the same process, seed and job count produce the
+//! same arrival schedule, cycle for cycle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How jobs arrive.  Cycles are the simulator's time unit; the thread backend
+/// maps them to wall-clock microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson arrivals at `jobs_per_mcycle` jobs per million cycles
+    /// (exponential interarrival gaps), seeded for determinism.
+    OpenLoopPoisson {
+        /// Offered load in jobs per million cycles.
+        jobs_per_mcycle: f64,
+        /// Seed for the interarrival sampler.
+        seed: u64,
+    },
+    /// Open-loop arrivals with a fixed gap — the deterministic D/.../k analogue,
+    /// useful for bisecting queueing effects from arrival burstiness.
+    OpenLoopUniform {
+        /// Gap between consecutive arrivals, in cycles.
+        interarrival_cycles: u64,
+    },
+    /// Closed loop: `population` clients, each re-submitting `think_cycles`
+    /// after its previous job completes.
+    ClosedLoop {
+        /// Number of concurrent clients (the concurrency bound).
+        population: usize,
+        /// Idle gap between a completion and the client's next submission.
+        think_cycles: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Arrival times for `n` jobs under an open-loop process; `None` for
+    /// closed-loop processes (their arrivals depend on completions).
+    pub fn open_loop_schedule(&self, n: usize) -> Option<Vec<u64>> {
+        match *self {
+            ArrivalProcess::OpenLoopPoisson {
+                jobs_per_mcycle,
+                seed,
+            } => {
+                assert!(
+                    jobs_per_mcycle > 0.0,
+                    "Poisson arrivals need a positive rate"
+                );
+                let mean_gap = 1.0e6 / jobs_per_mcycle;
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xA881_7A15);
+                let mut t = 0.0f64;
+                Some(
+                    (0..n)
+                        .map(|_| {
+                            // Inverse-CDF exponential sample; clamp u away from 0
+                            // so ln is finite.
+                            let u: f64 = rng.gen::<f64>().max(1e-12);
+                            t += -u.ln() * mean_gap;
+                            t as u64
+                        })
+                        .collect(),
+                )
+            }
+            ArrivalProcess::OpenLoopUniform {
+                interarrival_cycles,
+            } => Some((0..n as u64).map(|i| i * interarrival_cycles).collect()),
+            ArrivalProcess::ClosedLoop { .. } => None,
+        }
+    }
+
+    /// The closed-loop population, if this is a closed-loop process.
+    pub fn population(&self) -> Option<usize> {
+        match *self {
+            ArrivalProcess::ClosedLoop { population, .. } => Some(population),
+            _ => None,
+        }
+    }
+
+    /// Short name used in tables.
+    pub fn label(&self) -> String {
+        match *self {
+            ArrivalProcess::OpenLoopPoisson {
+                jobs_per_mcycle, ..
+            } => format!("poisson@{jobs_per_mcycle}/Mcyc"),
+            ArrivalProcess::OpenLoopUniform {
+                interarrival_cycles,
+            } => {
+                format!("uniform@{interarrival_cycles}cyc")
+            }
+            ArrivalProcess::ClosedLoop {
+                population,
+                think_cycles,
+            } => format!("closed@{population}x{think_cycles}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_schedules_are_deterministic_and_increasing() {
+        let p = ArrivalProcess::OpenLoopPoisson {
+            jobs_per_mcycle: 100.0,
+            seed: 9,
+        };
+        let a = p.open_loop_schedule(50).unwrap();
+        let b = p.open_loop_schedule(50).unwrap();
+        assert_eq!(a, b);
+        assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals must be ordered"
+        );
+    }
+
+    #[test]
+    fn poisson_rate_matches_the_mean_gap() {
+        let p = ArrivalProcess::OpenLoopPoisson {
+            jobs_per_mcycle: 100.0, // mean gap 10_000 cycles
+            seed: 4,
+        };
+        let times = p.open_loop_schedule(2_000).unwrap();
+        let span = *times.last().unwrap() as f64;
+        let mean_gap = span / times.len() as f64;
+        assert!(
+            (mean_gap - 10_000.0).abs() < 1_500.0,
+            "mean interarrival {mean_gap} far from 10_000"
+        );
+    }
+
+    #[test]
+    fn uniform_schedule_is_an_arithmetic_sequence() {
+        let p = ArrivalProcess::OpenLoopUniform {
+            interarrival_cycles: 500,
+        };
+        assert_eq!(p.open_loop_schedule(4).unwrap(), vec![0, 500, 1000, 1500]);
+    }
+
+    #[test]
+    fn closed_loop_exposes_population_not_schedule() {
+        let p = ArrivalProcess::ClosedLoop {
+            population: 3,
+            think_cycles: 100,
+        };
+        assert_eq!(p.open_loop_schedule(10), None);
+        assert_eq!(p.population(), Some(3));
+        assert_eq!(
+            ArrivalProcess::OpenLoopUniform {
+                interarrival_cycles: 1
+            }
+            .population(),
+            None
+        );
+    }
+
+    #[test]
+    fn labels_identify_the_process() {
+        assert!(ArrivalProcess::ClosedLoop {
+            population: 2,
+            think_cycles: 5
+        }
+        .label()
+        .starts_with("closed@2"));
+    }
+}

@@ -1,0 +1,40 @@
+//! The unit the stream subsystem schedules: one DAG job with arrival metadata.
+
+use pdfws_task_dag::TaskDag;
+use pdfws_workloads::WorkloadClass;
+
+/// One job in the stream: an instantiated task DAG plus the metadata the
+/// admission layer and the metrics sink need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamJob {
+    /// Stream-unique id, in generation order.
+    pub id: u64,
+    /// Tenant the job belongs to (used by the fair-share admission policy).
+    pub tenant: u32,
+    /// Workload name ("spmv", "hashjoin", ...).
+    pub name: String,
+    /// The paper's application class for this job's program.
+    pub class: WorkloadClass,
+    /// The job's fine-grained task DAG.
+    pub dag: TaskDag,
+    /// Total instructions in the DAG (the job's *work*; the SJF admission
+    /// policy orders by this).
+    pub work: u64,
+    /// Cycle at which the job enters the system.  Assigned by the arrival
+    /// process: up front for open-loop runs, on predecessor completion for
+    /// closed-loop runs.
+    pub arrival_cycle: u64,
+}
+
+impl StreamJob {
+    /// Sort key for FIFO admission: arrival time, then generation order.
+    pub fn fifo_key(&self) -> (u64, u64) {
+        (self.arrival_cycle, self.id)
+    }
+
+    /// Sort key for shortest-job-first admission: work, then generation order
+    /// (the tie-break keeps the policy deterministic).
+    pub fn sjf_key(&self) -> (u64, u64) {
+        (self.work, self.id)
+    }
+}

@@ -1,0 +1,65 @@
+//! `pdfws-stream` — the multiprogrammed job-stream subsystem.
+//!
+//! The SPAA'06 paper compares PDF and WS one job at a time.  A serving system
+//! never sees one job at a time: independent DAG jobs arrive continuously,
+//! queue for admission, share the machine, and are judged by latency
+//! percentiles, not makespan.  This crate turns the repo's single-shot
+//! simulator and runtimes into that shape:
+//!
+//! * [`source::JobMix`] — deterministic sampling of mixed job classes from the
+//!   `pdfws-workloads` generators (the paper's class-A bandwidth-limited vs.
+//!   class-B neutral taxonomy).
+//! * [`arrival::ArrivalProcess`] — seeded open-loop Poisson / uniform arrivals
+//!   and closed-loop (fixed population + think time) submission.
+//! * [`admission::AdmissionQueue`] — FIFO, shortest-job-first and per-tenant
+//!   fair-share admission to a bounded set of machine slots.
+//! * [`sim_backend::run_stream_sim`] — time-multiplexes the cycle-level
+//!   [`SimEngine`](pdfws_schedulers::SimEngine) across co-resident jobs with
+//!   round-robin quanta, modelling cross-job cache pressure through the
+//!   engine's [`Disturbance`](pdfws_schedulers::Disturbance) hook.
+//! * [`thread_backend::run_stream_threads`] — serves the same stream on the
+//!   real [`WsPool`](pdfws_runtime::WsPool) / [`PdfPool`](pdfws_runtime::PdfPool)
+//!   runtimes, measuring wall-clock sojourn times.
+//! * [`record::StreamOutcome`] — the latency/throughput sink: p50/p95/p99
+//!   sojourn, queueing delay, achieved jobs-per-megacycle, per-job L2 MPKI and
+//!   SLO attainment, built on `pdfws-metrics`' [`Quantiles`](pdfws_metrics::Quantiles).
+//!
+//! The high-level entry point is `pdfws_core::StreamExperiment`, which sweeps
+//! schedulers over one stream the way `Experiment` sweeps them over one DAG.
+//!
+//! # Example
+//!
+//! ```
+//! use pdfws_stream::{
+//!     AdmissionPolicy, ArrivalProcess, JobMix, StreamConfig, run_stream_sim,
+//! };
+//! use pdfws_schedulers::SchedulerKind;
+//!
+//! let mix = JobMix::class_b();
+//! let mut cfg = StreamConfig::new(4, SchedulerKind::Pdf);
+//! cfg.arrivals = ArrivalProcess::ClosedLoop { population: 2, think_cycles: 1_000 };
+//! cfg.admission = AdmissionPolicy::Fifo;
+//! let outcome = run_stream_sim(&mix, 6, &cfg).unwrap();
+//! let summary = outcome.summary();
+//! assert_eq!(summary.jobs, 6);
+//! assert!(summary.sojourn.p99 >= summary.sojourn.p50);
+//! assert!(outcome.peak_concurrency <= 2);
+//! ```
+
+pub mod admission;
+pub mod arrival;
+pub mod job;
+pub mod record;
+pub mod sim_backend;
+pub mod source;
+pub mod thread_backend;
+
+pub use admission::{AdmissionPolicy, AdmissionQueue};
+pub use arrival::ArrivalProcess;
+pub use job::StreamJob;
+pub use record::{JobRecord, StreamOutcome, StreamSummary};
+pub use sim_backend::{run_stream_sim, StreamConfig};
+pub use source::{JobMix, JobTemplate};
+pub use thread_backend::{
+    run_stream_threads, ThreadJobRecord, ThreadStreamConfig, ThreadStreamOutcome,
+};

@@ -1,0 +1,179 @@
+//! The latency/throughput metrics sink: per-job records and stream summaries.
+
+use pdfws_metrics::Quantiles;
+use pdfws_schedulers::SchedulerKind;
+use pdfws_workloads::WorkloadClass;
+
+/// Everything measured about one completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The job's stream-unique id.
+    pub id: u64,
+    /// Tenant the job belonged to.
+    pub tenant: u32,
+    /// Workload name.
+    pub name: String,
+    /// Application class.
+    pub class: WorkloadClass,
+    /// Cycle the job entered the system.
+    pub arrival_cycle: u64,
+    /// Cycle the job was admitted to a slot.
+    pub admit_cycle: u64,
+    /// Cycle the job's last task finished (global clock).
+    pub completion_cycle: u64,
+    /// Cycles the job sat in the admission queue (`admit - arrival`).
+    pub queue_cycles: u64,
+    /// End-to-end latency (`completion - arrival`) — the SLO quantity.
+    pub sojourn_cycles: u64,
+    /// Cycles of machine time the job consumed (its engine's private clock).
+    pub service_cycles: u64,
+    /// Instructions the job executed.
+    pub instructions: u64,
+    /// The job's own L2 misses per 1000 instructions.
+    pub l2_mpki: f64,
+}
+
+/// The full result of driving one job stream through one scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// Scheduler that served the stream.
+    pub scheduler: SchedulerKind,
+    /// Cores of the machine (simulated) or worker threads (real).
+    pub cores: usize,
+    /// Per-job records, in completion order.
+    pub records: Vec<JobRecord>,
+    /// Job ids in the order the admission layer released them.
+    pub admission_order: Vec<u64>,
+    /// Largest number of jobs ever co-resident (admitted, not yet complete).
+    pub peak_concurrency: usize,
+    /// Global cycle at which the last job completed.
+    pub makespan_cycles: u64,
+}
+
+/// The aggregate numbers a serving dashboard would show for one stream run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSummary {
+    /// Jobs served.
+    pub jobs: usize,
+    /// Sojourn-time (end-to-end latency) quantiles, in cycles.
+    pub sojourn: Quantiles,
+    /// Queueing-delay quantiles, in cycles.
+    pub queue: Quantiles,
+    /// Achieved throughput in jobs per million cycles of wall-clock.
+    pub jobs_per_mcycle: f64,
+    /// Mean of the per-job L2 MPKI values.
+    pub mean_l2_mpki: f64,
+    /// Global makespan in cycles.
+    pub makespan_cycles: u64,
+    /// Largest observed co-residency.
+    pub peak_concurrency: usize,
+}
+
+impl StreamOutcome {
+    /// Summarise the run.
+    pub fn summary(&self) -> StreamSummary {
+        let sojourns: Vec<f64> = self
+            .records
+            .iter()
+            .map(|r| r.sojourn_cycles as f64)
+            .collect();
+        let queues: Vec<f64> = self.records.iter().map(|r| r.queue_cycles as f64).collect();
+        let mpki: Vec<f64> = self.records.iter().map(|r| r.l2_mpki).collect();
+        let jobs_per_mcycle = if self.makespan_cycles == 0 {
+            0.0
+        } else {
+            self.records.len() as f64 * 1.0e6 / self.makespan_cycles as f64
+        };
+        StreamSummary {
+            jobs: self.records.len(),
+            sojourn: Quantiles::from_values(&sojourns),
+            queue: Quantiles::from_values(&queues),
+            jobs_per_mcycle,
+            mean_l2_mpki: pdfws_metrics::mean(&mpki),
+            makespan_cycles: self.makespan_cycles,
+            peak_concurrency: self.peak_concurrency,
+        }
+    }
+
+    /// The record for a specific job id, if it completed.
+    pub fn record(&self, id: u64) -> Option<&JobRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Fraction of jobs whose sojourn time met `slo_cycles` (an SLO attainment
+    /// number in [0, 1]).
+    pub fn slo_attainment(&self, slo_cycles: u64) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let met = self
+            .records
+            .iter()
+            .filter(|r| r.sojourn_cycles <= slo_cycles)
+            .count();
+        met as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, sojourn: u64, queue: u64) -> JobRecord {
+        JobRecord {
+            id,
+            tenant: 0,
+            name: "t".into(),
+            class: WorkloadClass::ComputeBound,
+            arrival_cycle: 0,
+            admit_cycle: queue,
+            completion_cycle: sojourn,
+            queue_cycles: queue,
+            sojourn_cycles: sojourn,
+            service_cycles: sojourn - queue,
+            instructions: 1_000,
+            l2_mpki: 0.5,
+        }
+    }
+
+    fn outcome(sojourns: &[u64]) -> StreamOutcome {
+        StreamOutcome {
+            scheduler: SchedulerKind::Pdf,
+            cores: 4,
+            records: sojourns
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| record(i as u64, s, s / 10))
+                .collect(),
+            admission_order: (0..sojourns.len() as u64).collect(),
+            peak_concurrency: 2,
+            makespan_cycles: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn summary_computes_quantiles_and_throughput() {
+        let o = outcome(&[100, 200, 300, 400]);
+        let s = o.summary();
+        assert_eq!(s.jobs, 4);
+        assert_eq!(s.sojourn.p50, 200.0);
+        assert_eq!(s.sojourn.max, 400.0);
+        assert!((s.jobs_per_mcycle - 4.0).abs() < 1e-9);
+        assert_eq!(s.peak_concurrency, 2);
+    }
+
+    #[test]
+    fn slo_attainment_counts_met_jobs() {
+        let o = outcome(&[100, 200, 300, 400]);
+        assert!((o.slo_attainment(250) - 0.5).abs() < 1e-12);
+        assert_eq!(o.slo_attainment(1_000), 1.0);
+        assert_eq!(o.slo_attainment(10), 0.0);
+    }
+
+    #[test]
+    fn record_lookup_finds_by_id() {
+        let o = outcome(&[100, 200]);
+        assert_eq!(o.record(1).unwrap().sojourn_cycles, 200);
+        assert!(o.record(9).is_none());
+    }
+}

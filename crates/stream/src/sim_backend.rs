@@ -1,0 +1,427 @@
+//! The cycle-level stream backend: time-multiplexing one simulated CMP across
+//! a stream of DAG jobs.
+//!
+//! Each admitted job owns a [`SimEngine`] (its DAG, its scheduler policy
+//! instance, its cache state).  A supervisor loop grants the engines
+//! round-robin quanta of the machine via [`SimEngine::run_for`] and advances a
+//! global wall-clock by the cycles each quantum actually consumed — exactly an
+//! OS-style gang-scheduled time-share of the CMP.  Cache interference between
+//! co-resident jobs is modelled with the engine's [`Disturbance`]
+//! (multiprogramming) hook: while `k` jobs share the machine, each job's
+//! engine sees a co-runner polluting its shared L2 in proportion to `k - 1`,
+//! re-tuned at every admission and completion.
+//!
+//! Everything is deterministic for a fixed seed: job sampling, arrival times,
+//! admission order and per-job sojourn times are pure functions of the inputs.
+
+use crate::admission::{AdmissionPolicy, AdmissionQueue};
+use crate::arrival::ArrivalProcess;
+use crate::job::StreamJob;
+use crate::record::{JobRecord, StreamOutcome};
+use crate::source::JobMix;
+use pdfws_cmp_model::{default_config, CmpConfig, ModelError};
+use pdfws_schedulers::{
+    make_policy, Disturbance, EngineStatus, SchedulerKind, SimEngine, SimOptions,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of one stream run on the simulated backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Cores of the simulated CMP.
+    pub cores: usize,
+    /// Scheduler every job's engine uses.
+    pub scheduler: SchedulerKind,
+    /// Machine quantum granted per scheduling turn, in cycles.  Must be large
+    /// relative to [`SimOptions::time_slice_cycles`].
+    pub quantum_cycles: u64,
+    /// Maximum number of co-resident (admitted, unfinished) jobs.
+    pub max_concurrent: usize,
+    /// Which queued job gets a freed slot.
+    pub admission: AdmissionPolicy,
+    /// When jobs enter the system.
+    pub arrivals: ArrivalProcess,
+    /// Engine options applied to every job's engine.
+    pub sim_options: SimOptions,
+    /// Cache-interference model: L2 blocks polluted per co-resident rival per
+    /// disturbance period.  0 disables cross-job interference.
+    pub rival_pollution_blocks: u64,
+    /// Seed for job sampling (arrival sampling derives from the arrival
+    /// process's own seed).
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// Sensible defaults: open-loop Poisson at 40 jobs/Mcycle, FIFO admission,
+    /// 4 slots, 20k-cycle quanta.
+    pub fn new(cores: usize, scheduler: SchedulerKind) -> Self {
+        StreamConfig {
+            cores,
+            scheduler,
+            quantum_cycles: 20_000,
+            max_concurrent: 4,
+            admission: AdmissionPolicy::Fifo,
+            arrivals: ArrivalProcess::OpenLoopPoisson {
+                jobs_per_mcycle: 40.0,
+                seed: 0x57_2EA4,
+            },
+            sim_options: SimOptions::default(),
+            rival_pollution_blocks: 64,
+            seed: 42,
+        }
+    }
+}
+
+/// One admitted job: its engine plus bookkeeping.
+struct ActiveJob {
+    id: u64,
+    tenant: u32,
+    name: String,
+    class: pdfws_workloads::WorkloadClass,
+    arrival_cycle: u64,
+    admit_cycle: u64,
+    engine: SimEngine,
+}
+
+/// Drive `n_jobs` sampled from `mix` through the simulated CMP.
+///
+/// Returns the per-job records (in completion order) plus the admission trace.
+pub fn run_stream_sim(
+    mix: &JobMix,
+    n_jobs: usize,
+    cfg: &StreamConfig,
+) -> Result<StreamOutcome, ModelError> {
+    assert!(cfg.quantum_cycles > 0, "quantum must be positive");
+    assert!(cfg.max_concurrent > 0, "need at least one job slot");
+    if let Some(population) = cfg.arrivals.population() {
+        assert!(population > 0, "a closed loop needs at least one client");
+    }
+    let machine: CmpConfig = default_config(cfg.cores)?;
+
+    let mut jobs = mix.generate(n_jobs, cfg.seed);
+
+    // Arrival bookkeeping.  Open loop: all arrivals are known up front.
+    // Closed loop: the first `population` jobs arrive at cycle 0 and each
+    // completion releases the next job after the think time.
+    let mut future: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new(); // (arrival, id)
+    let mut unreleased: std::collections::VecDeque<StreamJob>;
+    let closed_loop = cfg.arrivals.population();
+    // Closed loop releases jobs in id order; this is the next id to hand to a
+    // client slot.
+    let mut next_release = 0u64;
+    match cfg.arrivals.open_loop_schedule(n_jobs) {
+        Some(schedule) => {
+            for (job, t) in jobs.iter_mut().zip(&schedule) {
+                job.arrival_cycle = *t;
+            }
+            for job in &jobs {
+                future.push(Reverse((job.arrival_cycle, job.id)));
+            }
+            unreleased = jobs.into_iter().collect();
+        }
+        None => {
+            let population = closed_loop.expect("no schedule implies closed loop");
+            // The first wave of clients submits together at cycle 0.
+            for id in 0..population.min(n_jobs) as u64 {
+                future.push(Reverse((0, id)));
+            }
+            next_release = population.min(n_jobs) as u64;
+            unreleased = jobs.into_iter().collect();
+        }
+    }
+
+    let mut queue = AdmissionQueue::new(cfg.admission, mix.tenants());
+    let mut active: Vec<ActiveJob> = Vec::new();
+    let mut records: Vec<JobRecord> = Vec::with_capacity(n_jobs);
+    let mut admission_order: Vec<u64> = Vec::with_capacity(n_jobs);
+    let mut peak_concurrency = 0usize;
+    let mut now: u64 = 0;
+    let mut turn = 0usize;
+    let think = match cfg.arrivals {
+        ArrivalProcess::ClosedLoop { think_cycles, .. } => think_cycles,
+        _ => 0,
+    };
+
+    while records.len() < n_jobs {
+        // 1. Move every job that has arrived by `now` into the admission queue.
+        while let Some(&Reverse((t, id))) = future.peek() {
+            if t > now {
+                break;
+            }
+            future.pop();
+            let idx = unreleased
+                .iter()
+                .position(|j| j.id == id)
+                .expect("arrival refers to an unreleased job");
+            let mut job = unreleased.remove(idx).expect("index in range");
+            job.arrival_cycle = t;
+            queue.push(job);
+        }
+
+        // 2. Fill free slots according to the admission policy.
+        while active.len() < cfg.max_concurrent {
+            let Some(job) = queue.pop() else { break };
+            admission_order.push(job.id);
+            let StreamJob {
+                id,
+                tenant,
+                name,
+                class,
+                dag,
+                arrival_cycle,
+                ..
+            } = job;
+            let engine = SimEngine::with_shared_dag(
+                std::sync::Arc::new(dag),
+                &machine,
+                make_policy(cfg.scheduler, machine.cores),
+                cfg.sim_options.clone(),
+            );
+            active.push(ActiveJob {
+                id,
+                tenant,
+                name,
+                class,
+                arrival_cycle,
+                admit_cycle: now,
+                engine,
+            });
+        }
+        peak_concurrency = peak_concurrency.max(active.len());
+
+        // 3. Nothing runnable: jump the clock to the next arrival.
+        if active.is_empty() {
+            let Some(&Reverse((t, _))) = future.peek() else {
+                panic!(
+                    "stream deadlocked: {} of {} jobs complete, queue {} deep, no future arrivals",
+                    records.len(),
+                    n_jobs,
+                    queue.len()
+                );
+            };
+            now = now.max(t);
+            continue;
+        }
+
+        // 4. Grant the next job its quantum, with the co-residency disturbance
+        // sized for the *other* jobs currently sharing the machine.
+        turn = turn.checked_rem(active.len()).unwrap_or(0);
+        let rivals = active.len() - 1;
+        let slot = &mut active[turn];
+        let disturbance = if rivals > 0 && cfg.rival_pollution_blocks > 0 {
+            let blocks = cfg.rival_pollution_blocks * rivals as u64;
+            Some(Disturbance {
+                period_cycles: (cfg.quantum_cycles / 4).max(1),
+                blocks_per_burst: blocks,
+                region_base_block: 1 << 32, // far above any workload's data
+                region_blocks: (blocks * 4).max(1),
+            })
+        } else {
+            None
+        };
+        slot.engine.set_disturbance(disturbance);
+        let before = slot.engine.now();
+        let status = slot.engine.run_for(cfg.quantum_cycles);
+        let consumed = slot.engine.now() - before;
+        // The machine was granted to this job for `consumed` cycles of
+        // wall-clock (time sharing: nobody else ran meanwhile).
+        now += consumed.max(1);
+
+        if status == EngineStatus::Done {
+            let mut done = active.swap_remove(turn);
+            let metrics = done.engine.result();
+            records.push(JobRecord {
+                id: done.id,
+                tenant: done.tenant,
+                name: std::mem::take(&mut done.name),
+                class: done.class,
+                arrival_cycle: done.arrival_cycle,
+                admit_cycle: done.admit_cycle,
+                completion_cycle: now,
+                queue_cycles: done.admit_cycle - done.arrival_cycle,
+                sojourn_cycles: now - done.arrival_cycle,
+                service_cycles: metrics.cycles,
+                instructions: metrics.instructions,
+                l2_mpki: metrics.l2_mpki(),
+            });
+            // Closed loop: the finishing client thinks, then submits the next
+            // job in the sequence.
+            if closed_loop.is_some() && next_release < n_jobs as u64 {
+                future.push(Reverse((now + think, next_release)));
+                next_release += 1;
+            }
+            // swap_remove moved the tail job into `turn`; do not advance, so
+            // the moved job is not skipped this round.
+        } else {
+            turn += 1;
+        }
+    }
+
+    Ok(StreamOutcome {
+        scheduler: cfg.scheduler,
+        cores: cfg.cores,
+        records,
+        admission_order,
+        peak_concurrency,
+        makespan_cycles: now,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(scheduler: SchedulerKind) -> StreamConfig {
+        let mut cfg = StreamConfig::new(4, scheduler);
+        cfg.quantum_cycles = 5_000;
+        cfg.arrivals = ArrivalProcess::OpenLoopPoisson {
+            jobs_per_mcycle: 200.0,
+            seed: 7,
+        };
+        cfg
+    }
+
+    #[test]
+    fn all_jobs_complete_and_are_recorded_once() {
+        let mix = JobMix::class_b();
+        let outcome = run_stream_sim(&mix, 10, &quick_cfg(SchedulerKind::Pdf)).unwrap();
+        assert_eq!(outcome.records.len(), 10);
+        assert_eq!(outcome.admission_order.len(), 10);
+        let mut ids: Vec<u64> = outcome.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        for r in &outcome.records {
+            assert!(r.admit_cycle >= r.arrival_cycle);
+            assert!(r.completion_cycle > r.admit_cycle);
+            assert_eq!(r.sojourn_cycles, r.completion_cycle - r.arrival_cycle);
+            assert!(r.service_cycles > 0);
+            assert!(r.instructions > 0);
+        }
+        assert!(outcome.peak_concurrency >= 1);
+        assert!(outcome.peak_concurrency <= 4);
+        assert!(
+            outcome.makespan_cycles
+                >= outcome
+                    .records
+                    .iter()
+                    .map(|r| r.completion_cycle)
+                    .max()
+                    .unwrap()
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_the_stream_exactly() {
+        let mix = JobMix::class_a();
+        let cfg = quick_cfg(SchedulerKind::WorkStealing);
+        let a = run_stream_sim(&mix, 8, &cfg).unwrap();
+        let b = run_stream_sim(&mix, 8, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn closed_loop_never_exceeds_the_population() {
+        let mix = JobMix::class_b();
+        let mut cfg = quick_cfg(SchedulerKind::Pdf);
+        cfg.arrivals = ArrivalProcess::ClosedLoop {
+            population: 2,
+            think_cycles: 500,
+        };
+        cfg.max_concurrent = 8; // slots are not the binding constraint
+        let outcome = run_stream_sim(&mix, 9, &cfg).unwrap();
+        assert_eq!(outcome.records.len(), 9);
+        assert!(
+            outcome.peak_concurrency <= 2,
+            "closed loop leaked concurrency: {}",
+            outcome.peak_concurrency
+        );
+    }
+
+    #[test]
+    fn sjf_admits_short_jobs_before_long_ones_under_backlog() {
+        let mix = JobMix::class_b();
+        // Everything arrives at cycle 0, one slot: admission order == policy order.
+        let mut cfg = quick_cfg(SchedulerKind::Pdf);
+        cfg.arrivals = ArrivalProcess::OpenLoopUniform {
+            interarrival_cycles: 0,
+        };
+        cfg.max_concurrent = 1;
+        cfg.admission = AdmissionPolicy::ShortestJobFirst;
+        let outcome = run_stream_sim(&mix, 8, &cfg).unwrap();
+        let jobs = mix.generate(8, cfg.seed);
+        let works: Vec<u64> = outcome
+            .admission_order
+            .iter()
+            .map(|&id| jobs[id as usize].work)
+            .collect();
+        assert!(
+            works.windows(2).all(|w| w[0] <= w[1]),
+            "SJF admission not sorted by work: {works:?}"
+        );
+    }
+
+    #[test]
+    fn higher_offered_load_increases_sojourn_times() {
+        let mix = JobMix::class_b();
+        let mut slow = quick_cfg(SchedulerKind::Pdf);
+        slow.arrivals = ArrivalProcess::OpenLoopPoisson {
+            jobs_per_mcycle: 5.0,
+            seed: 11,
+        };
+        let mut fast = slow.clone();
+        fast.arrivals = ArrivalProcess::OpenLoopPoisson {
+            jobs_per_mcycle: 500.0,
+            seed: 11,
+        };
+        let relaxed = run_stream_sim(&mix, 10, &slow).unwrap().summary();
+        let loaded = run_stream_sim(&mix, 10, &fast).unwrap().summary();
+        assert!(
+            loaded.sojourn.p95 > relaxed.sojourn.p95,
+            "overload should raise p95: {} vs {}",
+            loaded.sojourn.p95,
+            relaxed.sojourn.p95
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_population_closed_loops_are_rejected() {
+        let mix = JobMix::class_b();
+        let mut cfg = quick_cfg(SchedulerKind::Pdf);
+        cfg.arrivals = ArrivalProcess::ClosedLoop {
+            population: 0,
+            think_cycles: 100,
+        };
+        let _ = run_stream_sim(&mix, 3, &cfg);
+    }
+
+    #[test]
+    fn fair_share_serves_both_tenants_under_a_flood() {
+        let mix = JobMix::mixed();
+        let mut cfg = quick_cfg(SchedulerKind::Pdf);
+        cfg.arrivals = ArrivalProcess::OpenLoopUniform {
+            interarrival_cycles: 0,
+        };
+        cfg.max_concurrent = 1;
+        cfg.admission = AdmissionPolicy::FairShare;
+        let outcome = run_stream_sim(&mix, 12, &cfg).unwrap();
+        let jobs = mix.generate(12, cfg.seed);
+        // In the first `tenants` admissions every represented tenant appears at
+        // most twice (fair share cannot drain one tenant first).
+        let first: Vec<u32> = outcome
+            .admission_order
+            .iter()
+            .take(4)
+            .map(|&id| jobs[id as usize].tenant)
+            .collect();
+        let mut counts = std::collections::HashMap::new();
+        for t in &first {
+            *counts.entry(*t).or_insert(0u32) += 1;
+        }
+        assert!(
+            counts.values().all(|&c| c <= 2),
+            "fair share admitted one tenant repeatedly: {first:?}"
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Job sources: deterministic sampling of mixed job classes.
+//!
+//! A [`JobMix`] is a weighted set of job *templates*.  Each template wraps one
+//! of the `pdfws-workloads` generators at a stream-appropriate size and spans a
+//! small size range so the stream is heterogeneous (which is what makes the
+//! shortest-job-first admission policy differ from FIFO).  Sampling is a pure
+//! function of the mix and a seed, so a fixed seed reproduces the exact same
+//! job sequence — the property the determinism tests pin down.
+
+use crate::job::StreamJob;
+use pdfws_workloads::{
+    ComputeKernel, HashJoin, MergeSort, ParallelScan, SpMv, Workload, WorkloadClass,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The job templates a mix can draw from.  `size` scales the instance; the
+/// sampler draws `size` from the template's range per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobTemplate {
+    /// Sparse matrix–vector product — class A, bandwidth-limited irregular.
+    SpMv {
+        /// Matrix rows.
+        rows: u64,
+    },
+    /// Hash join — class A, bandwidth-limited irregular.
+    HashJoin {
+        /// Build-side tuples.
+        build_tuples: u64,
+    },
+    /// Parallel merge sort — class A via data reuse (divide-and-conquer).
+    MergeSort {
+        /// Keys to sort.
+        keys: u64,
+    },
+    /// Streaming scan — class B, little reuse, not bandwidth-bound at stream sizes.
+    Scan {
+        /// Elements.
+        n: u64,
+    },
+    /// Compute-bound kernel — class B, cache-neutral.
+    Compute {
+        /// Work items.
+        items: u64,
+    },
+}
+
+impl JobTemplate {
+    /// Instantiate this template at `scale` (a multiplier in [1, 4] drawn by
+    /// the sampler) with a per-job seed for the irregular generators.
+    fn instantiate(
+        self,
+        scale: u64,
+        seed: u64,
+    ) -> (&'static str, WorkloadClass, Box<dyn Workload>) {
+        match self {
+            JobTemplate::SpMv { rows } => {
+                let mut w = SpMv::small();
+                w.rows = rows * scale;
+                w.rows_per_task = 64;
+                w.seed = seed;
+                ("spmv", w.class(), Box::new(w))
+            }
+            JobTemplate::HashJoin { build_tuples } => {
+                let mut w = HashJoin::small();
+                w.build_tuples = build_tuples * scale;
+                w.probe_tuples = build_tuples * scale * 2;
+                w.seed = seed;
+                ("hashjoin", w.class(), Box::new(w))
+            }
+            JobTemplate::MergeSort { keys } => {
+                let mut w = MergeSort::small();
+                w.n_keys = (keys * scale).next_power_of_two();
+                ("mergesort", w.class(), Box::new(w))
+            }
+            JobTemplate::Scan { n } => {
+                let mut w = ParallelScan::small();
+                w.n = n * scale;
+                ("scan", w.class(), Box::new(w))
+            }
+            JobTemplate::Compute { items } => {
+                let mut w = ComputeKernel::small();
+                w.items = items * scale;
+                ("compute", w.class(), Box::new(w))
+            }
+        }
+    }
+}
+
+/// A weighted mix of job templates; the stream's traffic model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMix {
+    /// Mix name used in tables ("class-a", "class-b", "mixed").
+    pub name: String,
+    /// (template, weight) pairs; the tenant id of a sampled job is the index
+    /// of its template in this list.
+    entries: Vec<(JobTemplate, u32)>,
+}
+
+impl JobMix {
+    /// Build a mix from (template, weight) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or all weights are zero.
+    pub fn new(name: impl Into<String>, entries: Vec<(JobTemplate, u32)>) -> Self {
+        assert!(!entries.is_empty(), "a job mix needs at least one template");
+        assert!(
+            entries.iter().any(|&(_, w)| w > 0),
+            "a job mix needs a non-zero weight"
+        );
+        JobMix {
+            name: name.into(),
+            entries,
+        }
+    }
+
+    /// The paper's class-A traffic: bandwidth-limited irregular programs plus
+    /// divide-and-conquer sorts — the programs PDF's constructive cache
+    /// sharing helps most.
+    pub fn class_a() -> Self {
+        JobMix::new(
+            "class-a",
+            vec![
+                (JobTemplate::SpMv { rows: 256 }, 2),
+                (JobTemplate::HashJoin { build_tuples: 256 }, 2),
+                (JobTemplate::MergeSort { keys: 1024 }, 1),
+            ],
+        )
+    }
+
+    /// The paper's class-B traffic: cache-neutral programs (streaming scans
+    /// and compute-bound kernels) where PDF and WS should tie.
+    pub fn class_b() -> Self {
+        JobMix::new(
+            "class-b",
+            vec![
+                (JobTemplate::Compute { items: 1024 }, 2),
+                (JobTemplate::Scan { n: 2048 }, 1),
+            ],
+        )
+    }
+
+    /// Mixed tenancy: class-A and class-B jobs interleaved, the realistic
+    /// serving scenario.
+    pub fn mixed() -> Self {
+        JobMix::new(
+            "mixed",
+            vec![
+                (JobTemplate::SpMv { rows: 256 }, 1),
+                (JobTemplate::HashJoin { build_tuples: 256 }, 1),
+                (JobTemplate::Compute { items: 1024 }, 1),
+                (JobTemplate::Scan { n: 2048 }, 1),
+            ],
+        )
+    }
+
+    /// Number of distinct templates (== number of tenants).
+    pub fn tenants(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Generate `n` jobs deterministically from `seed`.  Arrival cycles are
+    /// left at 0; the arrival process assigns them.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<StreamJob> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5712_EA11_0B5E_11ED);
+        let total_weight: u64 = self.entries.iter().map(|&(_, w)| w as u64).sum();
+        (0..n as u64)
+            .map(|id| {
+                let mut pick = rng.gen_range(0..total_weight);
+                let mut tenant = 0usize;
+                for (i, &(_, w)) in self.entries.iter().enumerate() {
+                    if pick < w as u64 {
+                        tenant = i;
+                        break;
+                    }
+                    pick -= w as u64;
+                }
+                let template = self.entries[tenant].0;
+                let scale = rng.gen_range(1u64..=4);
+                let job_seed = rng.gen::<u64>();
+                let (name, class, workload) = template.instantiate(scale, job_seed);
+                let dag = workload.build_dag();
+                let work = dag.work();
+                StreamJob {
+                    id,
+                    tenant: tenant as u32,
+                    name: name.to_string(),
+                    class,
+                    dag,
+                    work,
+                    arrival_cycle: 0,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mix = JobMix::mixed();
+        let a = mix.generate(12, 42);
+        let b = mix.generate(12, 42);
+        assert_eq!(a, b);
+        let c = mix.generate(12, 43);
+        assert_ne!(a, c, "different seeds must produce different streams");
+    }
+
+    #[test]
+    fn jobs_carry_valid_dags_and_metadata() {
+        for mix in [JobMix::class_a(), JobMix::class_b(), JobMix::mixed()] {
+            let jobs = mix.generate(8, 7);
+            assert_eq!(jobs.len(), 8);
+            for (i, job) in jobs.iter().enumerate() {
+                assert_eq!(job.id, i as u64);
+                assert!((job.tenant as usize) < mix.tenants());
+                assert!(!job.dag.is_empty(), "{}", job.name);
+                assert_eq!(job.work, job.dag.work());
+                assert!(job.work > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn class_a_streams_are_bandwidth_heavy() {
+        let jobs = JobMix::class_a().generate(16, 1);
+        assert!(jobs.iter().all(|j| matches!(
+            j.class,
+            WorkloadClass::BandwidthLimitedIrregular | WorkloadClass::DivideAndConquer
+        )));
+        let classes: std::collections::HashSet<_> = jobs.iter().map(|j| j.name.as_str()).collect();
+        assert!(
+            classes.len() >= 2,
+            "mix collapsed to one template: {classes:?}"
+        );
+    }
+
+    #[test]
+    fn sizes_are_heterogeneous() {
+        let jobs = JobMix::class_b().generate(24, 3);
+        let works: std::collections::HashSet<u64> = jobs.iter().map(|j| j.work).collect();
+        assert!(works.len() > 4, "job sizes should vary for SJF to matter");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one template")]
+    fn empty_mixes_are_rejected() {
+        let _ = JobMix::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,288 @@
+//! The real-thread stream backend: serving the same job stream on the
+//! `pdfws-runtime` pools.
+//!
+//! Where the sim backend answers "what would the caches do", this backend
+//! answers "does the policy hold up as an actual runtime": a closed-loop
+//! population of client threads submits DAG jobs to a shared [`WsPool`] or
+//! [`PdfPool`], each job executes its DAG level-parallel with fork-join
+//! `join`s, and sojourn times are measured in wall-clock nanoseconds.
+//!
+//! DAG compute instructions are burned as arithmetic spins, scaled by
+//! [`ThreadStreamConfig::ns_per_kinstr`]; memory traces are not replayed (the
+//! cache story is the simulator's job).
+
+use crate::source::JobMix;
+use pdfws_metrics::Quantiles;
+use pdfws_runtime::{ForkJoinPool, PdfPool, PoolError, WsPool};
+use pdfws_schedulers::SchedulerKind;
+use pdfws_task_dag::{TaskDag, TaskId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration of one stream run on the real-thread backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadStreamConfig {
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Pool flavour: [`SchedulerKind::Pdf`] or [`SchedulerKind::WorkStealing`].
+    pub scheduler: SchedulerKind,
+    /// Closed-loop client population (concurrent submitters).
+    pub population: usize,
+    /// Client think time between a completion and the next submission.
+    pub think: Duration,
+    /// Wall-clock nanoseconds burned per 1000 DAG instructions.
+    pub ns_per_kinstr: u64,
+    /// Seed for job sampling.
+    pub seed: u64,
+}
+
+impl ThreadStreamConfig {
+    /// Defaults sized for tests: 2 workers, 2 clients, no think time.
+    pub fn new(threads: usize, scheduler: SchedulerKind) -> Self {
+        ThreadStreamConfig {
+            threads,
+            scheduler,
+            population: 2,
+            think: Duration::ZERO,
+            ns_per_kinstr: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// Wall-clock record for one job served by the thread backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadJobRecord {
+    /// The job's stream-unique id.
+    pub id: u64,
+    /// Workload name.
+    pub name: String,
+    /// Submission-to-completion latency.
+    pub sojourn: Duration,
+    /// Tasks in the job's DAG.
+    pub tasks: usize,
+}
+
+/// Result of one real-thread stream run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadStreamOutcome {
+    /// Pool flavour that served the stream.
+    pub scheduler: SchedulerKind,
+    /// Worker threads.
+    pub threads: usize,
+    /// Per-job records in completion order.
+    pub records: Vec<ThreadJobRecord>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+impl ThreadStreamOutcome {
+    /// Sojourn-time quantiles in microseconds.
+    pub fn sojourn_micros(&self) -> Quantiles {
+        let micros: Vec<f64> = self
+            .records
+            .iter()
+            .map(|r| r.sojourn.as_secs_f64() * 1e6)
+            .collect();
+        Quantiles::from_values(&micros)
+    }
+
+    /// Achieved throughput in jobs per second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.records.len() as f64 / secs
+        }
+    }
+}
+
+/// Burn roughly `instructions` worth of compute (scaled by `ns_per_kinstr`).
+fn burn(instructions: u64, ns_per_kinstr: u64) -> u64 {
+    // ~1 wrapping multiply-add per "instruction bundle"; the multiplier keeps
+    // the loop honest under optimisation via black_box on the result.
+    let iters = (instructions * ns_per_kinstr) / 1_000 / 4 + 1;
+    let mut acc = instructions | 1;
+    for _ in 0..iters {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    std::hint::black_box(acc)
+}
+
+/// Group the DAG's tasks into precedence levels (every task's predecessors are
+/// in strictly earlier levels).
+fn levels(dag: &TaskDag) -> Vec<Vec<TaskId>> {
+    let mut level_of = vec![0usize; dag.len()];
+    let mut grouped: Vec<Vec<TaskId>> = Vec::new();
+    for task in dag.topological_order() {
+        let level = dag
+            .predecessors(task)
+            .iter()
+            .map(|p| level_of[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        level_of[task.index()] = level;
+        if grouped.len() <= level {
+            grouped.resize_with(level + 1, Vec::new);
+        }
+        grouped[level].push(task);
+    }
+    grouped
+}
+
+/// Execute `tasks` (an independent set) in parallel via recursive joins.
+fn run_level<P: ForkJoinPool>(pool: &P, dag: &TaskDag, tasks: &[TaskId], ns_per_kinstr: u64) {
+    match tasks {
+        [] => {}
+        [one] => {
+            let node = dag.node(*one);
+            burn(
+                node.compute_instructions + node.memory_accesses(),
+                ns_per_kinstr,
+            );
+        }
+        many => {
+            let (left, right) = many.split_at(many.len() / 2);
+            pool.join(
+                || run_level(pool, dag, left, ns_per_kinstr),
+                || run_level(pool, dag, right, ns_per_kinstr),
+            );
+        }
+    }
+}
+
+/// Execute one whole DAG job on the pool, level by level.
+fn execute_dag<P: ForkJoinPool>(pool: &P, dag: &TaskDag, ns_per_kinstr: u64) {
+    for level in levels(dag) {
+        run_level(pool, dag, &level, ns_per_kinstr);
+    }
+}
+
+fn serve<P: ForkJoinPool>(
+    pool: &P,
+    mix: &JobMix,
+    n_jobs: usize,
+    cfg: &ThreadStreamConfig,
+) -> ThreadStreamOutcome {
+    let jobs = mix.generate(n_jobs, cfg.seed);
+    let next = AtomicUsize::new(0);
+    let records: Mutex<Vec<ThreadJobRecord>> = Mutex::new(Vec::with_capacity(n_jobs));
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.population.max(1) {
+            let next = &next;
+            let records = &records;
+            let jobs = &jobs;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let submitted = Instant::now();
+                pool.install(|| execute_dag(pool, &job.dag, cfg.ns_per_kinstr));
+                let record = ThreadJobRecord {
+                    id: job.id,
+                    name: job.name.clone(),
+                    sojourn: submitted.elapsed(),
+                    tasks: job.dag.len(),
+                };
+                records
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(record);
+                if !cfg.think.is_zero() {
+                    std::thread::sleep(cfg.think);
+                }
+            });
+        }
+    });
+
+    ThreadStreamOutcome {
+        scheduler: cfg.scheduler,
+        threads: cfg.threads,
+        records: records
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+        wall: start.elapsed(),
+    }
+}
+
+/// Drive `n_jobs` sampled from `mix` through a real thread pool, closed loop.
+pub fn run_stream_threads(
+    mix: &JobMix,
+    n_jobs: usize,
+    cfg: &ThreadStreamConfig,
+) -> Result<ThreadStreamOutcome, PoolError> {
+    match cfg.scheduler {
+        SchedulerKind::WorkStealing => {
+            let pool = WsPool::new(cfg.threads)?;
+            Ok(serve(&pool, mix, n_jobs, cfg))
+        }
+        SchedulerKind::Pdf => {
+            let pool = PdfPool::new(cfg.threads)?;
+            Ok(serve(&pool, mix, n_jobs, cfg))
+        }
+        SchedulerKind::StaticPartition => Err(PoolError::SpawnFailed {
+            message: "the thread backend implements only the paper pair (pdf, ws)".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdfws_task_dag::builder::SpTree;
+
+    #[test]
+    fn levels_respect_precedence() {
+        let dag = SpTree::Seq(vec![
+            SpTree::leaf("a", 10),
+            SpTree::Par(vec![SpTree::leaf("b", 10), SpTree::leaf("c", 10)]),
+            SpTree::leaf("d", 10),
+        ])
+        .into_dag()
+        .unwrap();
+        let ls = levels(&dag);
+        let mut level_of = vec![0usize; dag.len()];
+        for (i, level) in ls.iter().enumerate() {
+            for t in level {
+                level_of[t.index()] = i;
+            }
+        }
+        for t in dag.task_ids() {
+            for p in dag.predecessors(t) {
+                assert!(level_of[p.index()] < level_of[t.index()]);
+            }
+        }
+        assert_eq!(ls.iter().map(Vec::len).sum::<usize>(), dag.len());
+    }
+
+    #[test]
+    fn both_pools_serve_the_stream() {
+        let mix = JobMix::class_b();
+        for kind in SchedulerKind::PAPER_PAIR {
+            let mut cfg = ThreadStreamConfig::new(2, kind);
+            cfg.ns_per_kinstr = 5; // keep the test fast
+            let outcome = run_stream_threads(&mix, 6, &cfg).unwrap();
+            assert_eq!(outcome.records.len(), 6, "{kind}");
+            assert!(outcome.wall > Duration::ZERO);
+            assert!(outcome.jobs_per_sec() > 0.0);
+            let q = outcome.sojourn_micros();
+            assert_eq!(q.count, 6);
+            assert!(q.p99 >= q.p50);
+        }
+    }
+
+    #[test]
+    fn static_partition_is_rejected() {
+        let mix = JobMix::class_b();
+        let cfg = ThreadStreamConfig::new(2, SchedulerKind::StaticPartition);
+        assert!(run_stream_threads(&mix, 2, &cfg).is_err());
+    }
+}

@@ -132,7 +132,9 @@ mod tests {
 
     #[test]
     fn wide_fork_has_high_parallelism() {
-        let leaves: Vec<SpTree> = (0..64).map(|i| SpTree::leaf(&format!("l{i}"), 1_000)).collect();
+        let leaves: Vec<SpTree> = (0..64)
+            .map(|i| SpTree::leaf(&format!("l{i}"), 1_000))
+            .collect();
         let dag = SpTree::Par(leaves).into_dag().unwrap();
         let a = dag.analyze();
         // span = fork + one leaf + join.

@@ -144,10 +144,7 @@ impl TaskDag {
     /// Number of nodes reachable by Kahn's algorithm (equals `len()` iff acyclic).
     fn topological_order_len(&self) -> usize {
         let mut indeg = self.in_degrees();
-        let mut ready: Vec<TaskId> = self
-            .task_ids()
-            .filter(|t| indeg[t.index()] == 0)
-            .collect();
+        let mut ready: Vec<TaskId> = self.task_ids().filter(|t| indeg[t.index()] == 0).collect();
         let mut visited = 0;
         while let Some(t) = ready.pop() {
             visited += 1;
@@ -226,7 +223,11 @@ impl SpTree {
     }
 
     /// Convenience constructor for a leaf with accesses.
-    pub fn leaf_with_accesses(label: &str, instructions: u64, accesses: Vec<AccessPattern>) -> Self {
+    pub fn leaf_with_accesses(
+        label: &str,
+        instructions: u64,
+        accesses: Vec<AccessPattern>,
+    ) -> Self {
         SpTree::Leaf {
             label: label.to_string(),
             instructions,

@@ -43,7 +43,11 @@ impl fmt::Display for DagError {
             }
             DagError::Cyclic => write!(f, "the task graph contains a cycle"),
             DagError::MultipleRoots { roots } => {
-                write!(f, "the task graph has {} entry tasks; exactly one is required", roots.len())
+                write!(
+                    f,
+                    "the task graph has {} entry tasks; exactly one is required",
+                    roots.len()
+                )
             }
         }
     }
@@ -124,10 +128,7 @@ impl TaskDag {
     /// one is used for analyses that only need *some* valid order.
     pub fn topological_order(&self) -> Vec<TaskId> {
         let mut indeg = self.in_degrees();
-        let mut ready: Vec<TaskId> = self
-            .task_ids()
-            .filter(|t| indeg[t.index()] == 0)
-            .collect();
+        let mut ready: Vec<TaskId> = self.task_ids().filter(|t| indeg[t.index()] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         while let Some(t) = ready.pop() {
             order.push(t);

@@ -142,9 +142,7 @@ impl AccessPattern {
                     (*count - 1) * *stride + RANGE_STEP_BYTES.min(*stride).max(1)
                 }
             }
-            AccessPattern::Explicit { addrs, .. } => {
-                addrs.len() as u64 * RANGE_STEP_BYTES
-            }
+            AccessPattern::Explicit { addrs, .. } => addrs.len() as u64 * RANGE_STEP_BYTES,
         }
     }
 

@@ -87,7 +87,8 @@ impl Workload for ComputeKernel {
             b.edge(fork, task);
             b.edge(task, join);
         }
-        b.finish().expect("compute-kernel DAG is valid by construction")
+        b.finish()
+            .expect("compute-kernel DAG is valid by construction")
     }
 
     fn data_bytes(&self) -> u64 {
@@ -112,7 +113,11 @@ mod tests {
     #[test]
     fn one_task_per_grain_chunk() {
         let dag = ComputeKernel::small().build_dag(); // 2048/256 = 8
-        let tasks = dag.nodes().iter().filter(|n| n.label.starts_with("compute[")).count();
+        let tasks = dag
+            .nodes()
+            .iter()
+            .filter(|n| n.label.starts_with("compute["))
+            .count();
         assert_eq!(tasks, 8);
         assert_eq!(dag.len(), 10);
         assert!(dag.is_valid_schedule_order(&dag.one_df_order()));
@@ -121,6 +126,10 @@ mod tests {
     #[test]
     fn parallelism_matches_task_count() {
         let a = ComputeKernel::small().build_dag().analyze();
-        assert!(a.parallelism > 6.0 && a.parallelism < 9.0, "{}", a.parallelism);
+        assert!(
+            a.parallelism > 6.0 && a.parallelism < 9.0,
+            "{}",
+            a.parallelism
+        );
     }
 }

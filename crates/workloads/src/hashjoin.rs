@@ -163,8 +163,16 @@ mod tests {
     fn task_counts_match_partitioning() {
         let hj = HashJoin::small(); // 256/64 = 4 build, 512/64 = 8 probe
         let dag = hj.build_dag();
-        let builds = dag.nodes().iter().filter(|n| n.label.starts_with("build[")).count();
-        let probes = dag.nodes().iter().filter(|n| n.label.starts_with("probe[")).count();
+        let builds = dag
+            .nodes()
+            .iter()
+            .filter(|n| n.label.starts_with("build["))
+            .count();
+        let probes = dag
+            .nodes()
+            .iter()
+            .filter(|n| n.label.starts_with("probe["))
+            .count();
         assert_eq!(builds, 4);
         assert_eq!(probes, 8);
         assert_eq!(dag.len(), 4 + 8 + 3);

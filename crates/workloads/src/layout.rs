@@ -29,13 +29,19 @@ pub struct Region {
 impl Region {
     /// Byte address of element `index` for elements of `elem_bytes` bytes.
     pub fn element(&self, index: u64, elem_bytes: u64) -> u64 {
-        debug_assert!((index + 1) * elem_bytes <= self.len, "element out of region");
+        debug_assert!(
+            (index + 1) * elem_bytes <= self.len,
+            "element out of region"
+        );
         self.base + index * elem_bytes
     }
 
     /// The sub-region covering elements `[start, start + count)` of `elem_bytes` each.
     pub fn slice(&self, start: u64, count: u64, elem_bytes: u64) -> Region {
-        debug_assert!((start + count) * elem_bytes <= self.len, "slice out of region");
+        debug_assert!(
+            (start + count) * elem_bytes <= self.len,
+            "slice out of region"
+        );
         Region {
             base: self.base + start * elem_bytes,
             len: count * elem_bytes,
@@ -64,7 +70,7 @@ impl AddressSpace {
     /// Allocate `bytes` bytes, line-aligned, with a guard gap after the previous
     /// allocation.
     pub fn alloc(&mut self, bytes: u64) -> Region {
-        let base = (self.next + ALLOC_ALIGN - 1) / ALLOC_ALIGN * ALLOC_ALIGN;
+        let base = self.next.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
         self.next = base + bytes + GUARD_BYTES;
         Region { base, len: bytes }
     }

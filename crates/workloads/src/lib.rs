@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn class_display_names() {
-        assert_eq!(WorkloadClass::DivideAndConquer.to_string(), "divide-and-conquer");
+        assert_eq!(
+            WorkloadClass::DivideAndConquer.to_string(),
+            "divide-and-conquer"
+        );
         assert_eq!(
             WorkloadClass::BandwidthLimitedIrregular.to_string(),
             "bandwidth-limited irregular"
@@ -129,7 +132,7 @@ mod tests {
         ];
         for w in &workloads {
             let dag = w.build_dag();
-            assert!(dag.len() >= 1, "{}", w.name());
+            assert!(!dag.is_empty(), "{}", w.name());
             assert!(
                 dag.is_valid_schedule_order(&dag.one_df_order()),
                 "{}: 1DF order invalid",

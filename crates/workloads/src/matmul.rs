@@ -81,7 +81,15 @@ impl MatMul {
     /// and charge the row length via `passes` on a repeated range of the first row
     /// — the footprint and reference counts stay realistic while the pattern stays
     /// compact).
-    fn block_read(&self, m: &Region, r0: u64, c0: u64, rows: u64, cols: u64, passes: u32) -> Vec<AccessPattern> {
+    fn block_read(
+        &self,
+        m: &Region,
+        r0: u64,
+        c0: u64,
+        rows: u64,
+        cols: u64,
+        passes: u32,
+    ) -> Vec<AccessPattern> {
         let mut patterns = Vec::with_capacity(rows as usize);
         for r in 0..rows {
             patterns.push(AccessPattern::RepeatedRange {
@@ -94,7 +102,14 @@ impl MatMul {
         patterns
     }
 
-    fn block_write(&self, m: &Region, r0: u64, c0: u64, rows: u64, cols: u64) -> Vec<AccessPattern> {
+    fn block_write(
+        &self,
+        m: &Region,
+        r0: u64,
+        c0: u64,
+        rows: u64,
+        cols: u64,
+    ) -> Vec<AccessPattern> {
         (0..rows)
             .map(|r| AccessPattern::range_write(self.elem(m, r0 + r, c0), cols * ELEM_BYTES))
             .collect()
@@ -103,6 +118,7 @@ impl MatMul {
     /// Recursive quadrant decomposition of the output region C[r0..r0+size, c0..c0+size].
     /// Each recursion level forks the four quadrants; a leaf performs the full
     /// k-loop for its block (reading a row band of A and a column band of B).
+    #[allow(clippy::too_many_arguments)]
     fn build_block(
         &self,
         b: &mut DagBuilder,
@@ -137,8 +153,14 @@ impl MatMul {
             return (leaf, leaf);
         }
 
-        let fork = b.task(&format!("mm-fork[{r0},{c0}]x{size}")).instructions(30).build();
-        let join = b.task(&format!("mm-join[{r0},{c0}]x{size}")).instructions(20).build();
+        let fork = b
+            .task(&format!("mm-fork[{r0},{c0}]x{size}"))
+            .instructions(30)
+            .build();
+        let join = b
+            .task(&format!("mm-join[{r0},{c0}]x{size}"))
+            .instructions(20)
+            .build();
         let half = size / 2;
         for (dr, dc) in [(0, 0), (0, half), (half, 0), (half, half)] {
             let (entry, exit) = self.build_block(b, a_m, b_m, c_m, r0 + dr, c0 + dc, half);
@@ -188,7 +210,9 @@ impl MatMul {
             builder.edge(fork, t);
             builder.edge(t, join);
         }
-        builder.finish().expect("coarse matmul DAG is valid by construction")
+        builder
+            .finish()
+            .expect("coarse matmul DAG is valid by construction")
     }
 }
 
@@ -210,7 +234,10 @@ impl Workload for MatMul {
     }
 
     fn build_dag(&self) -> TaskDag {
-        assert!(self.n >= 2 && self.n.is_power_of_two(), "n must be a power of two >= 2");
+        assert!(
+            self.n >= 2 && self.n.is_power_of_two(),
+            "n must be a power of two >= 2"
+        );
         if let Some(chunks) = self.coarse_chunks {
             return self.build_coarse(chunks);
         }
@@ -250,13 +277,26 @@ mod tests {
         // Two leaves in the same block-row read overlapping parts of A.
         let mm = MatMul::small();
         let dag = mm.build_dag();
-        let leaf_a = dag.nodes().iter().find(|n| n.label == "mm-leaf[0,0]x8").unwrap();
-        let leaf_b = dag.nodes().iter().find(|n| n.label == "mm-leaf[0,8]x8").unwrap();
+        let leaf_a = dag
+            .nodes()
+            .iter()
+            .find(|n| n.label == "mm-leaf[0,0]x8")
+            .unwrap();
+        let leaf_b = dag
+            .nodes()
+            .iter()
+            .find(|n| n.label == "mm-leaf[0,8]x8")
+            .unwrap();
         let reads = |n: &pdfws_task_dag::TaskNode| -> Vec<(u64, u64)> {
             n.accesses
                 .iter()
                 .filter_map(|p| match p {
-                    AccessPattern::RepeatedRange { base, len, write: false, .. } => Some((*base, *len)),
+                    AccessPattern::RepeatedRange {
+                        base,
+                        len,
+                        write: false,
+                        ..
+                    } => Some((*base, *len)),
                     _ => None,
                 })
                 .collect()

@@ -110,7 +110,10 @@ impl MergeSort {
         }
 
         let half = len / 2;
-        let fork = b.task(&format!("fork[{start}..{}]", start + len)).instructions(30).build();
+        let fork = b
+            .task(&format!("fork[{start}..{}]", start + len))
+            .instructions(30)
+            .build();
         let (le, lx, ld) = self.build_range(b, buf_a, buf_b, start, half);
         let (re, rx, rd) = self.build_range(b, buf_a, buf_b, start + half, len - half);
 
@@ -118,7 +121,7 @@ impl MergeSort {
         // reads each child from wherever it wrote and writes the buffer opposite to
         // this node's own depth parity (unbalanced splits may read both buffers).
         let depth = ld.max(rd);
-        let buffer_for = |d: u64| if d % 2 == 0 { buf_a } else { buf_b };
+        let buffer_for = |d: u64| if d.is_multiple_of(2) { buf_a } else { buf_b };
         let left_region = buffer_for(ld).slice(start, half, KEY_BYTES);
         let right_region = buffer_for(rd).slice(start + half, len - half, KEY_BYTES);
         let dst = if depth % 2 == 0 { buf_b } else { buf_a };
@@ -127,7 +130,10 @@ impl MergeSort {
             .task(&format!("merge[{start}..{}]", start + len))
             .instructions(len * self.merge_instr_per_key)
             .access(AccessPattern::range_read(left_region.base, left_region.len))
-            .access(AccessPattern::range_read(right_region.base, right_region.len))
+            .access(AccessPattern::range_read(
+                right_region.base,
+                right_region.len,
+            ))
             .access(AccessPattern::range_write(out_region.base, out_region.len))
             .build();
 
@@ -184,7 +190,8 @@ impl MergeSort {
         for t in chunk_exits {
             b.edge(t, final_merge);
         }
-        b.finish().expect("coarse merge sort DAG is valid by construction")
+        b.finish()
+            .expect("coarse merge sort DAG is valid by construction")
     }
 }
 
@@ -277,11 +284,15 @@ mod tests {
             .find(|n| n.label == "merge[0..64]")
             .unwrap();
         let reads_a = first_level.accesses.iter().any(|p| match p {
-            AccessPattern::Range { base, write, .. } => !write && *base >= buf_a.base && *base < buf_a.end(),
+            AccessPattern::Range { base, write, .. } => {
+                !write && *base >= buf_a.base && *base < buf_a.end()
+            }
             _ => false,
         });
         let writes_b = first_level.accesses.iter().any(|p| match p {
-            AccessPattern::Range { base, write, .. } => *write && *base >= buf_b.base && *base < buf_b.end(),
+            AccessPattern::Range { base, write, .. } => {
+                *write && *base >= buf_b.base && *base < buf_b.end()
+            }
             _ => false,
         });
         assert!(reads_a && writes_b);
@@ -292,7 +303,9 @@ mod tests {
             .find(|n| n.label == "merge[0..128]")
             .unwrap();
         let reads_b = second_level.accesses.iter().any(|p| match p {
-            AccessPattern::Range { base, write, .. } => !write && *base >= buf_b.base && *base < buf_b.end(),
+            AccessPattern::Range { base, write, .. } => {
+                !write && *base >= buf_b.base && *base < buf_b.end()
+            }
             _ => false,
         });
         assert!(reads_b);

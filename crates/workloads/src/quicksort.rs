@@ -55,7 +55,13 @@ impl QuickSort {
 
     /// Recursive build: partition task, then the two half-sorts in parallel, then a
     /// zero-work join so every subtree has a single exit.
-    fn build_range(&self, b: &mut DagBuilder, data: &Region, start: u64, len: u64) -> (TaskId, TaskId) {
+    fn build_range(
+        &self,
+        b: &mut DagBuilder,
+        data: &Region,
+        start: u64,
+        len: u64,
+    ) -> (TaskId, TaskId) {
         let region = data.slice(start, len, ELEM_BYTES);
         if len <= self.grain_keys {
             let leaf = b

@@ -78,7 +78,10 @@ impl Workload for ParallelScan {
                     input.element(first, ELEM_BYTES),
                     count * ELEM_BYTES,
                 ))
-                .access(AccessPattern::range_write(partials.element(c, ELEM_BYTES), ELEM_BYTES))
+                .access(AccessPattern::range_write(
+                    partials.element(c, ELEM_BYTES),
+                    ELEM_BYTES,
+                ))
                 .build();
             b.edge(root, t);
             upsweep_tasks.push(t);
@@ -103,7 +106,10 @@ impl Workload for ParallelScan {
             let t = b
                 .task(&format!("downsweep[{c}]"))
                 .instructions(count * self.instr_per_elem)
-                .access(AccessPattern::range_read(partials.element(c, ELEM_BYTES), ELEM_BYTES))
+                .access(AccessPattern::range_read(
+                    partials.element(c, ELEM_BYTES),
+                    ELEM_BYTES,
+                ))
                 .access(AccessPattern::range_read(
                     input.element(first, ELEM_BYTES),
                     count * ELEM_BYTES,
@@ -131,8 +137,16 @@ mod tests {
     #[test]
     fn structure_is_upsweep_combine_downsweep() {
         let dag = ParallelScan::small().build_dag(); // 1024/128 = 8 chunks
-        let ups = dag.nodes().iter().filter(|n| n.label.starts_with("upsweep")).count();
-        let downs = dag.nodes().iter().filter(|n| n.label.starts_with("downsweep")).count();
+        let ups = dag
+            .nodes()
+            .iter()
+            .filter(|n| n.label.starts_with("upsweep"))
+            .count();
+        let downs = dag
+            .nodes()
+            .iter()
+            .filter(|n| n.label.starts_with("downsweep"))
+            .count();
         assert_eq!(ups, 8);
         assert_eq!(downs, 8);
         assert_eq!(dag.len(), 8 + 8 + 3);
@@ -148,7 +162,10 @@ mod tests {
         let accesses = small.analyze().memory_accesses;
         // 2 reads + 1 write of the main arrays (per 64-byte step) plus small extras.
         let steps = 1024 * ELEM_BYTES / 64;
-        assert!(accesses >= 3 * steps && accesses < 4 * steps + 64, "accesses = {accesses}");
+        assert!(
+            accesses >= 3 * steps && accesses < 4 * steps + 64,
+            "accesses = {accesses}"
+        );
     }
 
     #[test]

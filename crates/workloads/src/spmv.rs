@@ -93,7 +93,10 @@ impl Workload for SpMv {
 
         let tasks_per_iter = self.rows.div_ceil(self.rows_per_task);
         for iter in 0..self.iterations {
-            let join = b.task(&format!("spmv-iter-join[{iter}]")).instructions(50).build();
+            let join = b
+                .task(&format!("spmv-iter-join[{iter}]"))
+                .instructions(50)
+                .build();
             for t in 0..tasks_per_iter {
                 let row0 = t * self.rows_per_task;
                 let rows = self.rows_per_task.min(self.rows - row0);
@@ -121,7 +124,10 @@ impl Workload for SpMv {
                         nnz * 4,
                     ))
                     .access(AccessPattern::explicit_read(gathers))
-                    .access(AccessPattern::range_write(y.element(row0, ELEM_BYTES), rows * ELEM_BYTES))
+                    .access(AccessPattern::range_write(
+                        y.element(row0, ELEM_BYTES),
+                        rows * ELEM_BYTES,
+                    ))
                     .build();
                 b.edge(prev_join, task);
                 b.edge(task, join);
@@ -168,7 +174,12 @@ mod tests {
     fn iterations_are_serialised_through_joins() {
         let dag = SpMv::small().build_dag();
         let order = dag.one_df_order();
-        let pos = |label: &str| order.iter().position(|&t| dag.node(t).label == label).unwrap();
+        let pos = |label: &str| {
+            order
+                .iter()
+                .position(|&t| dag.node(t).label == label)
+                .unwrap()
+        };
         assert!(pos("spmv-iter-join[0]") < pos("spmv[1][0..64]"));
     }
 

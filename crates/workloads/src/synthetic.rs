@@ -89,8 +89,14 @@ impl SyntheticTree {
                 .build();
             return (leaf, leaf);
         }
-        let fork = b.task(&format!("syn-fork[{depth},{path}]")).instructions(20).build();
-        let join = b.task(&format!("syn-join[{depth},{path}]")).instructions(20).build();
+        let fork = b
+            .task(&format!("syn-fork[{depth},{path}]"))
+            .instructions(20)
+            .build();
+        let join = b
+            .task(&format!("syn-join[{depth},{path}]"))
+            .instructions(20)
+            .build();
         for c in 0..self.fanout {
             let (entry, exit) = self.build_node(
                 b,
@@ -125,7 +131,8 @@ impl Workload for SyntheticTree {
         let shared = space.alloc(self.shared_bytes.max(64));
         let mut b = DagBuilder::new();
         let _ = self.build_node(&mut b, &mut space, shared.base, self.depth, 0);
-        b.finish().expect("synthetic tree DAG is valid by construction")
+        b.finish()
+            .expect("synthetic tree DAG is valid by construction")
     }
 
     fn data_bytes(&self) -> u64 {
@@ -142,7 +149,11 @@ mod tests {
         let t = SyntheticTree::small();
         assert_eq!(t.leaves(), 8);
         let dag = t.build_dag();
-        let leaves = dag.nodes().iter().filter(|n| n.label.starts_with("syn-leaf")).count();
+        let leaves = dag
+            .nodes()
+            .iter()
+            .filter(|n| n.label.starts_with("syn-leaf"))
+            .count();
         assert_eq!(leaves, 8);
         assert!(dag.is_valid_schedule_order(&dag.one_df_order()));
     }

@@ -13,7 +13,9 @@ use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("running on {threads} hardware thread(s)\n");
 
     let mut rng = StdRng::seed_from_u64(42);
@@ -42,8 +44,14 @@ fn main() {
 
     println!("merge sort of 1M u64 keys:");
     println!("  sequential       : {seq_sort:?}");
-    println!("  work stealing    : {ws_sort:?}  (steals so far: {})", ws.steal_count());
-    println!("  parallel depth 1st: {pdf_sort:?}  (jobs executed: {})", pdf.executed_jobs());
+    println!(
+        "  work stealing    : {ws_sort:?}  (steals so far: {})",
+        ws.steal_count()
+    );
+    println!(
+        "  parallel depth 1st: {pdf_sort:?}  (jobs executed: {})",
+        pdf.executed_jobs()
+    );
 
     let t0 = Instant::now();
     let ws_sum = parallel_map_reduce(&ws, &data, 16_384, &|x| x.rotate_left(7) ^ 0x9E3779B9);

@@ -1,0 +1,79 @@
+//! Serving a stream of DAG jobs: the paper's schedulers as request servers.
+//!
+//! The single-job experiments ask "which scheduler finishes one program
+//! faster"; a serving system asks "which scheduler keeps p99 latency low while
+//! traffic keeps arriving".  This example drives the same seeded stream of
+//! mixed-class jobs through PDF and WS twice — once open loop (Poisson
+//! arrivals that don't wait for the system) and once closed loop (a fixed
+//! client population) — and prints the dashboard numbers, then serves a small
+//! closed-loop stream on the *real-thread* pools for comparison.
+//!
+//! Run with: `cargo run --release --example traffic_serving`
+
+use pdfws::prelude::*;
+use pdfws::stream::{run_stream_threads, ThreadStreamConfig};
+
+fn print_summary(label: &str, kind: SchedulerKind, s: &StreamSummary) {
+    println!(
+        "  {label} {kind:>4}: p50 {:>8.1} kcyc  p95 {:>8.1} kcyc  p99 {:>8.1} kcyc  \
+         {:.2} jobs/Mcyc  peak-conc {}  mean L2 MPKI {:.3}",
+        s.sojourn.p50 / 1e3,
+        s.sojourn.p95 / 1e3,
+        s.sojourn.p99 / 1e3,
+        s.jobs_per_mcycle,
+        s.peak_concurrency,
+        s.mean_l2_mpki,
+    );
+}
+
+fn main() {
+    let mix = JobMix::mixed();
+    println!("mix = {} ({} tenants)\n", mix.name, mix.tenants());
+
+    println!("open loop, Poisson @ 80 jobs/Mcycle, FIFO admission, 8 cores:");
+    let open = StreamExperiment::new(mix.clone())
+        .jobs(24)
+        .cores(8)
+        .arrivals(ArrivalProcess::OpenLoopPoisson {
+            jobs_per_mcycle: 80.0,
+            seed: 7,
+        })
+        .run()
+        .expect("8-core default configuration exists");
+    for kind in SchedulerKind::PAPER_PAIR {
+        print_summary("sim", kind, &open.summary(kind).expect("scheduler ran"));
+    }
+    if let Some(ratio) = open.ws_over_pdf_p95() {
+        println!("  ws p95 / pdf p95 = {ratio:.3}\n");
+    }
+
+    println!("closed loop, 3 clients, 2k-cycle think time, SJF admission:");
+    let closed = StreamExperiment::new(mix.clone())
+        .jobs(24)
+        .cores(8)
+        .arrivals(ArrivalProcess::ClosedLoop {
+            population: 3,
+            think_cycles: 2_000,
+        })
+        .admission(AdmissionPolicy::ShortestJobFirst)
+        .run()
+        .expect("8-core default configuration exists");
+    for kind in SchedulerKind::PAPER_PAIR {
+        print_summary("sim", kind, &closed.summary(kind).expect("scheduler ran"));
+    }
+    println!();
+
+    println!("real threads, closed loop, 2 clients on 2 workers:");
+    for kind in SchedulerKind::PAPER_PAIR {
+        let cfg = ThreadStreamConfig::new(2, kind);
+        let outcome = run_stream_threads(&mix, 12, &cfg).expect("pool spawns");
+        let q = outcome.sojourn_micros();
+        println!(
+            "  thread {kind:>4}: p50 {:>8.1} us  p95 {:>8.1} us  p99 {:>8.1} us  {:.0} jobs/s",
+            q.p50,
+            q.p95,
+            q.p99,
+            outcome.jobs_per_sec(),
+        );
+    }
+}

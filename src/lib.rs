@@ -13,9 +13,13 @@
 //! * [`runtime`] — real-thread fork-join runtimes implementing both policies.
 //! * [`workloads`] — the benchmark programs (merge sort, matmul, LU, SpMV, hash
 //!   join, scan, …) as DAG generators.
-//! * [`metrics`] — L2 misses per 1000 instructions, speedups, traffic, reporting.
+//! * [`metrics`] — L2 misses per 1000 instructions, speedups, latency quantiles,
+//!   traffic, reporting.
+//! * [`stream`] — the multiprogrammed job-stream subsystem: open/closed-loop DAG
+//!   arrivals, admission policies, and latency-SLO metrics under load.
 //! * [`core`](mod@core_api) — the high-level [`Experiment`](core_api::experiment::Experiment)
-//!   API used by every example and benchmark.
+//!   and [`StreamExperiment`](core_api::stream_experiment::StreamExperiment) APIs
+//!   used by every example and benchmark.
 //!
 //! # Quickstart
 //!
@@ -40,11 +44,11 @@ pub use pdfws_core as core_api;
 pub use pdfws_metrics as metrics;
 pub use pdfws_runtime as runtime;
 pub use pdfws_schedulers as schedulers;
+pub use pdfws_stream as stream;
 pub use pdfws_task_dag as task_dag;
 pub use pdfws_workloads as workloads;
 
 /// Convenience prelude re-exporting the types used by virtually every experiment.
 pub mod prelude {
-    pub use pdfws_cmp_model::{default_config, CmpConfig, ProcessNode};
     pub use pdfws_core::prelude::*;
 }

@@ -13,7 +13,10 @@ fn sweep_over_the_paper_core_counts_completes_for_a_small_mergesort() {
     for run in report.runs() {
         assert!(run.metrics.cycles > 0);
         assert_eq!(run.metrics.tasks, report.runs()[0].metrics.tasks);
-        assert_eq!(run.metrics.instructions, report.runs()[0].metrics.instructions);
+        assert_eq!(
+            run.metrics.instructions,
+            report.runs()[0].metrics.instructions
+        );
         assert!(report.speedup(run) > 0.0);
         assert!(run.metrics.utilization() <= 1.0 + 1e-9);
     }
@@ -64,7 +67,10 @@ fn speedups_are_monotone_enough_for_an_embarrassingly_parallel_workload() {
         for &cores in &[1usize, 2, 4, 8] {
             let s = report.speedup(report.find(cores, kind).unwrap());
             assert!(s + 1e-9 >= prev, "{kind} at {cores} cores: {s} < {prev}");
-            assert!(s > 0.8 * cores as f64 / 1.6, "{kind} at {cores} cores: speedup {s}");
+            assert!(
+                s > 0.8 * cores as f64 / 1.6,
+                "{kind} at {cores} cores: speedup {s}"
+            );
             prev = s;
         }
     }

@@ -1,0 +1,132 @@
+//! Cross-crate integration tests for the job-stream subsystem, through the
+//! umbrella crate's public API.
+
+use pdfws::prelude::*;
+use pdfws::stream::{run_stream_sim, run_stream_threads, StreamConfig, ThreadStreamConfig};
+
+#[test]
+fn same_seed_reproduces_admission_order_and_sojourn_times() {
+    let mix = JobMix::mixed();
+    for kind in SchedulerKind::PAPER_PAIR {
+        let mut cfg = StreamConfig::new(4, kind);
+        cfg.quantum_cycles = 8_000;
+        cfg.arrivals = ArrivalProcess::OpenLoopPoisson {
+            jobs_per_mcycle: 80.0,
+            seed: 21,
+        };
+        let a = run_stream_sim(&mix, 10, &cfg).unwrap();
+        let b = run_stream_sim(&mix, 10, &cfg).unwrap();
+        assert_eq!(a.admission_order, b.admission_order, "{kind}");
+        let sojourns_a: Vec<u64> = a.records.iter().map(|r| r.sojourn_cycles).collect();
+        let sojourns_b: Vec<u64> = b.records.iter().map(|r| r.sojourn_cycles).collect();
+        assert_eq!(sojourns_a, sojourns_b, "{kind}");
+        assert_eq!(a, b, "{kind}: full outcomes must be bit-identical");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_stream() {
+    let mix = JobMix::class_a();
+    let mut cfg = StreamConfig::new(4, SchedulerKind::Pdf);
+    cfg.quantum_cycles = 8_000;
+    let a = run_stream_sim(&mix, 8, &cfg).unwrap();
+    cfg.seed += 1;
+    let b = run_stream_sim(&mix, 8, &cfg).unwrap();
+    assert_ne!(a, b);
+}
+
+#[test]
+fn closed_loop_concurrency_never_exceeds_the_population() {
+    let mix = JobMix::mixed();
+    for population in [1usize, 2, 3] {
+        let mut cfg = StreamConfig::new(4, SchedulerKind::WorkStealing);
+        cfg.quantum_cycles = 8_000;
+        cfg.max_concurrent = 8; // slots must not be what bounds concurrency here
+        cfg.arrivals = ArrivalProcess::ClosedLoop {
+            population,
+            think_cycles: 300,
+        };
+        let outcome = run_stream_sim(&mix, 7, &cfg).unwrap();
+        assert_eq!(outcome.records.len(), 7);
+        assert!(
+            outcome.peak_concurrency <= population,
+            "population {population} but peak concurrency {}",
+            outcome.peak_concurrency
+        );
+    }
+}
+
+#[test]
+fn open_loop_respects_the_slot_limit() {
+    let mix = JobMix::class_b();
+    let mut cfg = StreamConfig::new(4, SchedulerKind::Pdf);
+    cfg.quantum_cycles = 8_000;
+    cfg.max_concurrent = 2;
+    cfg.arrivals = ArrivalProcess::OpenLoopUniform {
+        interarrival_cycles: 0, // everything arrives at once
+    };
+    let outcome = run_stream_sim(&mix, 9, &cfg).unwrap();
+    assert_eq!(outcome.records.len(), 9);
+    assert!(outcome.peak_concurrency <= 2);
+    // With an instantaneous backlog, later jobs must have queued.
+    assert!(outcome.records.iter().any(|r| r.queue_cycles > 0));
+}
+
+#[test]
+fn stream_experiment_compares_the_paper_pair() {
+    let report = StreamExperiment::new(JobMix::class_a())
+        .jobs(8)
+        .cores(4)
+        .quantum_cycles(8_000)
+        .arrivals(ArrivalProcess::OpenLoopPoisson {
+            jobs_per_mcycle: 60.0,
+            seed: 5,
+        })
+        .run()
+        .unwrap();
+    let pdf = report.summary(SchedulerKind::Pdf).unwrap();
+    let ws = report.summary(SchedulerKind::WorkStealing).unwrap();
+    assert_eq!(pdf.jobs, 8);
+    assert_eq!(ws.jobs, 8);
+    assert!(pdf.sojourn.p99 >= pdf.sojourn.p50);
+    assert!(pdf.jobs_per_mcycle > 0.0);
+    assert!(pdf.mean_l2_mpki >= 0.0);
+    assert!(report.ws_over_pdf_p95().unwrap() > 0.0);
+}
+
+#[test]
+fn admission_policies_change_the_order_not_the_job_set() {
+    let mix = JobMix::mixed();
+    let mut outcomes = Vec::new();
+    for policy in [
+        AdmissionPolicy::Fifo,
+        AdmissionPolicy::ShortestJobFirst,
+        AdmissionPolicy::FairShare,
+    ] {
+        let mut cfg = StreamConfig::new(4, SchedulerKind::Pdf);
+        cfg.quantum_cycles = 8_000;
+        cfg.max_concurrent = 1;
+        cfg.admission = policy;
+        cfg.arrivals = ArrivalProcess::OpenLoopUniform {
+            interarrival_cycles: 0,
+        };
+        let outcome = run_stream_sim(&mix, 8, &cfg).unwrap();
+        let mut ids: Vec<u64> = outcome.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>(), "{policy}");
+        outcomes.push(outcome.admission_order);
+    }
+    assert_ne!(outcomes[0], outcomes[1], "SJF should reorder a backlog");
+}
+
+#[test]
+fn thread_backend_serves_the_stream_on_both_pools() {
+    let mix = JobMix::class_b();
+    for kind in SchedulerKind::PAPER_PAIR {
+        let mut cfg = ThreadStreamConfig::new(2, kind);
+        cfg.ns_per_kinstr = 5;
+        let outcome = run_stream_threads(&mix, 5, &cfg).unwrap();
+        assert_eq!(outcome.records.len(), 5, "{kind}");
+        assert!(outcome.sojourn_micros().p99 > 0.0);
+    }
+}

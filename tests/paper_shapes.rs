@@ -42,7 +42,8 @@ fn mergesort_pdf_produces_no_more_l2_misses_than_ws_at_scale() {
             ws.metrics.l2_mpki()
         );
         assert!(
-            pdf.metrics.offchip_bytes() <= ws.metrics.offchip_bytes() + ws.metrics.offchip_bytes() / 50,
+            pdf.metrics.offchip_bytes()
+                <= ws.metrics.offchip_bytes() + ws.metrics.offchip_bytes() / 50,
             "{cores} cores: pdf traffic {} vs ws traffic {}",
             pdf.metrics.offchip_bytes(),
             ws.metrics.offchip_bytes()
@@ -123,7 +124,9 @@ fn coarse_grained_mergesort_cannot_exploit_constructive_sharing() {
             .unwrap()
     };
     let fine = run(MergeSort::new(1 << 16).with_grain(1 << 10).into_spec());
-    let coarse = run(MergeSort::new(1 << 16).coarse_grained(cores as u64).into_spec());
+    let coarse = run(MergeSort::new(1 << 16)
+        .coarse_grained(cores as u64)
+        .into_spec());
 
     let fine_reduction = fine.pdf_traffic_reduction_percent(cores).unwrap();
     let coarse_reduction = coarse.pdf_traffic_reduction_percent(cores).unwrap();

@@ -40,8 +40,16 @@ fn map_reduce_agrees_across_pools_and_grains() {
     let pdf = PdfPool::new(3).unwrap();
     for grain in [1usize, 64, 1_000, 100_000] {
         let f = |x: u64| x.wrapping_mul(31).rotate_left(11);
-        assert_eq!(parallel_map_reduce(&ws, &data, grain, &f), expected, "ws grain {grain}");
-        assert_eq!(parallel_map_reduce(&pdf, &data, grain, &f), expected, "pdf grain {grain}");
+        assert_eq!(
+            parallel_map_reduce(&ws, &data, grain, &f),
+            expected,
+            "ws grain {grain}"
+        );
+        assert_eq!(
+            parallel_map_reduce(&pdf, &data, grain, &f),
+            expected,
+            "pdf grain {grain}"
+        );
     }
 }
 

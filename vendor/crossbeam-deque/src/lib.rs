@@ -1,0 +1,199 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Provides `Worker` / `Stealer` / `Injector` with crossbeam's semantics —
+//! LIFO owner pops, FIFO steals from the opposite end, work-first injector —
+//! implemented over `Mutex<VecDeque>`.  Slower than the real lock-free
+//! Chase–Lev deque, but semantically identical, which is what the runtime
+//! crate's correctness (and this repo's scheduler comparisons) depend on.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Outcome of a steal attempt, mirroring crossbeam's enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.  The mutex-backed
+    /// implementation never loses races, so this variant is never produced,
+    /// but callers written against crossbeam still match on it.
+    Retry,
+}
+
+fn locked<T>(queue: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The owner's end of a work-stealing deque (LIFO pop, like crossbeam's
+/// `Worker::new_lifo`).
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// A deque whose owner pops the most recently pushed item first.
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push onto the owner's end.
+    pub fn push(&self, item: T) {
+        locked(&self.queue).push_back(item);
+    }
+
+    /// Pop from the owner's end (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_back()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// A handle other threads use to steal from the opposite (FIFO) end.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A thief's handle to a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one item from the end opposite the owner (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(item) => Steal::Success(item),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// A shared FIFO injection queue.
+#[derive(Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, item: T) {
+        locked(&self.queue).push_back(item);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Steal one item.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(item) => Steal::Success(item),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch into `worker`'s deque and pop one item to return, like
+    /// crossbeam's `steal_batch_and_pop`.
+    pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+        let mut queue = locked(&self.queue);
+        let Some(first) = queue.pop_front() else {
+            return Steal::Empty;
+        };
+        // Move up to half of the remainder over to the worker, preserving order.
+        let batch = queue.len() / 2;
+        if batch > 0 {
+            let mut dest = locked(&worker.queue);
+            for _ in 0..batch {
+                match queue.pop_front() {
+                    Some(item) => dest.push_back(item),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn injector_batch_steal_moves_items_to_the_worker() {
+        let inj = Injector::new();
+        for i in 0..7 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Half of the remaining six items moved over.
+        assert!(!w.is_empty());
+        assert!(!inj.is_empty());
+        let mut seen = vec![0];
+        while let Some(v) = w.pop() {
+            seen.push(v);
+        }
+        while let Steal::Success(v) = inj.steal() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steals_race_safely_across_threads() {
+        let w = Worker::new_lifo();
+        for i in 0..1_000 {
+            w.push(i);
+        }
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let total = &total;
+                scope.spawn(move || {
+                    while let Steal::Success(_) = s.steal() {
+                        total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 1_000);
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `rand` facade.
+//!
+//! Implements exactly the subset this workspace uses — `StdRng::seed_from_u64`,
+//! `Rng::gen`, `Rng::gen_range` over integer ranges, and `Rng::gen_bool` — on
+//! top of a SplitMix64 generator.  The stream differs from upstream `rand`'s
+//! StdRng (ChaCha12), which is fine: every consumer in this workspace only
+//! relies on *seeded determinism*, never on a specific stream.
+
+pub mod rngs {
+    /// A small deterministic PRNG (SplitMix64) standing in for `rand`'s StdRng.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+
+        /// Advance the state and return the next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Mix the seed once so nearby seeds produce unrelated streams.
+            let mut rng = StdRng::from_state(seed ^ 0x5DEE_CE66_D1CE_4E5B);
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            StdRng::next_u64(self)
+        }
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from the generator's raw 64-bit stream.
+pub trait Standard: Sized {
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(impl Standard for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        })*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {
+        $(impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        })*
+    };
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Ranges `gen_range` can sample from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut impl Rng) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut impl Rng) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "gen_range called with an empty range");
+        T::from_u64(lo + rng.next_u64() % (hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut impl Rng) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let width = hi - lo + 1; // callers never span the full u64 domain
+        T::from_u64(lo + rng.next_u64() % width)
+    }
+}
+
+/// The user-facing sampling interface (the subset this workspace uses).
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a uniformly distributed value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Draw uniformly from an integer range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u64 = rng.gen_range(5..=5);
+            assert_eq!(w, 5);
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_produces_all_supported_types() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let _: u64 = rng.gen();
+        let _: bool = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The container this workspace builds in has no registry access, so the real
+//! `serde` cannot be fetched.  The workspace only *derives* the traits (to keep
+//! its public types serialization-ready); nothing serializes at build or test
+//! time.  The traits are therefore markers and the derives are no-ops.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
