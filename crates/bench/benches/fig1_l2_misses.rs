@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pdfws_cmp_model::default_config;
-use pdfws_schedulers::{simulate, SchedulerKind, SimOptions};
+use pdfws_schedulers::{simulate, SchedulerSpec, SimOptions};
 use pdfws_workloads::{MergeSort, Workload};
 use std::hint::black_box;
 
@@ -20,17 +20,13 @@ fn bench_fig1(c: &mut Criterion) {
     let dag = MergeSort::new(1 << 14).build_dag();
     for &cores in &[1usize, 8, 32] {
         let cfg = default_config(cores).expect("default configuration");
-        for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.short_name(), cores),
-                &cores,
-                |b, _| {
-                    b.iter(|| {
-                        let result = simulate(black_box(&dag), &cfg, kind, &SimOptions::default());
-                        black_box(result.l2_mpki())
-                    })
-                },
-            );
+        for spec in SchedulerSpec::paper_pair() {
+            group.bench_with_input(BenchmarkId::new(spec.canonical(), cores), &cores, |b, _| {
+                b.iter(|| {
+                    let result = simulate(black_box(&dag), &cfg, &spec, &SimOptions::default());
+                    black_box(result.l2_mpki())
+                })
+            });
         }
     }
     group.finish();

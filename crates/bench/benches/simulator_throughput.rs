@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pdfws_cache_sim::CmpCacheHierarchy;
 use pdfws_cmp_model::default_config;
-use pdfws_schedulers::{simulate, SchedulerKind, SimOptions};
+use pdfws_schedulers::{simulate, SchedulerSpec, SimOptions};
 use pdfws_workloads::{SyntheticTree, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,9 +62,9 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(2));
     group.sample_size(10);
-    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
-        group.bench_function(format!("synthetic_tree_{}", kind.short_name()), |b| {
-            b.iter(|| black_box(simulate(&dag, &cfg, kind, &SimOptions::default()).cycles))
+    for spec in SchedulerSpec::paper_pair() {
+        group.bench_function(format!("synthetic_tree_{}", spec.canonical()), |b| {
+            b.iter(|| black_box(simulate(&dag, &cfg, &spec, &SimOptions::default()).cycles))
         });
     }
     group.finish();

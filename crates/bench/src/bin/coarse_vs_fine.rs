@@ -21,14 +21,14 @@ use pdfws_workloads::{MatMul, MergeSort, Workload};
 fn run_variant(workload: &dyn Workload, cores: &[usize]) -> (Vec<f64>, Vec<f64>) {
     let report = Experiment::new(WorkloadSpec::from_workload(workload))
         .core_sweep(cores)
-        .schedulers(&[SchedulerKind::Pdf])
+        .schedulers(&[SchedulerSpec::pdf()])
         .run()
         .expect("default configurations exist");
     let mpki = cores
         .iter()
         .map(|&c| {
             report
-                .find(c, SchedulerKind::Pdf)
+                .find(c, &SchedulerSpec::pdf())
                 .unwrap()
                 .metrics
                 .l2_mpki()
@@ -36,7 +36,7 @@ fn run_variant(workload: &dyn Workload, cores: &[usize]) -> (Vec<f64>, Vec<f64>)
         .collect();
     let speedup = cores
         .iter()
-        .map(|&c| report.speedup(report.find(c, SchedulerKind::Pdf).unwrap()))
+        .map(|&c| report.speedup(report.find(c, &SchedulerSpec::pdf()).unwrap()))
         .collect();
     (mpki, speedup)
 }

@@ -9,7 +9,11 @@
 //! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --quick # smoke test
 //! ```
 
-use pdfws_bench::{figure1_tables, paper_core_counts, quick_mode, scaled, sizes};
+use pdfws_bench::{
+    figure1_tables_from, paper_core_counts, quick_mode, scaled, sizes, steals_table_from,
+    sweep_report,
+};
+use pdfws_core::prelude::SchedulerSpec;
 use pdfws_workloads::MergeSort;
 
 fn main() {
@@ -21,9 +25,23 @@ fn main() {
         n_keys * 8 / (1024 * 1024),
         if quick { " [quick mode]" } else { "" }
     );
-    let (mpki, speedup) = figure1_tables(&workload, &paper_core_counts());
+    // One sweep feeds both the Figure-1 panels (pdf/ws) and the per-spec
+    // migrations table — no cell is simulated twice.
+    let specs: Vec<SchedulerSpec> = ["pdf", "ws", "ws:steal=half", "hybrid", "static"]
+        .iter()
+        .map(|s| s.parse().expect("built-in specs parse"))
+        .collect();
+    let cores = paper_core_counts();
+    let report = sweep_report(&workload, &cores, &specs);
+    let (mpki, speedup) = figure1_tables_from(&report, &cores);
     println!("{}", mpki.to_text());
     println!("{}", speedup.to_text());
     println!("CSV (L2 misses / 1000 instr):\n{}", mpki.to_csv());
     println!("CSV (speedup over sequential):\n{}", speedup.to_csv());
+
+    // Work migrations per scheduler spec (steal events / cross-core
+    // placements), including two parameterized variants of the same policy.
+    let steals = steals_table_from(&report, &cores, &specs);
+    println!("{}", steals.to_text());
+    println!("CSV (migrations):\n{}", steals.to_csv());
 }

@@ -42,8 +42,8 @@ fn main() {
                 .admission(AdmissionPolicy::Fifo)
                 .run()
                 .expect("default configurations exist for 8 cores");
-            let pdf = report.summary(SchedulerKind::Pdf).expect("pdf ran");
-            let ws = report.summary(SchedulerKind::WorkStealing).expect("ws ran");
+            let pdf = report.summary(&SchedulerSpec::pdf()).expect("pdf ran");
+            let ws = report.summary(&SchedulerSpec::ws()).expect("ws ran");
             rows.push(format!("{}@{}", mix.name, rate));
             pdf_p95.push(pdf.sojourn.p95 / 1_000.0);
             pdf_p99.push(pdf.sojourn.p99 / 1_000.0);

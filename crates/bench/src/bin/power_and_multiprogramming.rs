@@ -26,7 +26,7 @@ const CORES: usize = 8;
 fn main() {
     let quick = quick_mode();
     let n_keys = scaled(sizes::MERGESORT_KEYS, quick);
-    let spec = MergeSort::new(n_keys).into_spec();
+    let workload = MergeSort::new(n_keys).into_spec();
     let base_cfg = default_config(CORES).expect("8-core default configuration exists");
 
     // --- Part 1: powering down L2 segments -----------------------------------
@@ -47,17 +47,17 @@ fn main() {
         x,
     );
 
-    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+    for spec in SchedulerSpec::paper_pair() {
         let mut cycles = Vec::new();
         let mut energies = Vec::new();
         for (cfg, &fraction) in configs.iter().zip(&fractions) {
-            let report = Experiment::new(spec.clone())
+            let report = Experiment::new(workload.clone())
                 .cores(CORES)
                 .with_config(*cfg)
-                .schedulers(&[kind])
+                .schedulers(std::slice::from_ref(&spec))
                 .run()
                 .expect("experiment runs");
-            let run = report.find(CORES, kind).unwrap();
+            let run = report.find(CORES, &spec).unwrap();
             let energy = estimate_energy(
                 &run.metrics.hierarchy,
                 cfg,
@@ -70,10 +70,10 @@ fn main() {
         }
         let baseline = cycles[0];
         slowdown_table.push_series(Series::new(
-            kind.short_name(),
+            spec.canonical(),
             cycles.iter().map(|c| c / baseline).collect(),
         ));
-        energy_table.push_series(Series::new(kind.short_name(), energies));
+        energy_table.push_series(Series::new(spec.canonical(), energies));
     }
     println!("{}", slowdown_table.to_text());
     println!("{}", energy_table.to_text());
@@ -90,25 +90,25 @@ fn main() {
         "scenario",
         vec!["alone".to_string(), "with co-runner".to_string()],
     );
-    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
-        let alone = Experiment::new(spec.clone())
+    for spec in SchedulerSpec::paper_pair() {
+        let alone = Experiment::new(workload.clone())
             .cores(CORES)
-            .schedulers(&[kind])
+            .schedulers(std::slice::from_ref(&spec))
             .run()
             .expect("experiment runs");
-        let noisy = Experiment::new(spec.clone())
+        let noisy = Experiment::new(workload.clone())
             .cores(CORES)
-            .schedulers(&[kind])
+            .schedulers(std::slice::from_ref(&spec))
             .options(SimOptions {
                 disturbance: Some(disturbance),
                 ..SimOptions::default()
             })
             .run()
             .expect("experiment runs");
-        let alone_cycles = alone.find(CORES, kind).unwrap().metrics.cycles as f64;
-        let noisy_cycles = noisy.find(CORES, kind).unwrap().metrics.cycles as f64;
+        let alone_cycles = alone.find(CORES, &spec).unwrap().metrics.cycles as f64;
+        let noisy_cycles = noisy.find(CORES, &spec).unwrap().metrics.cycles as f64;
         mp_table.push_series(Series::new(
-            kind.short_name(),
+            spec.canonical(),
             vec![1.0, noisy_cycles / alone_cycles],
         ));
     }

@@ -34,22 +34,29 @@ pub mod sizes {
     pub const COMPUTE_ITEMS: u64 = 1 << 17;
 }
 
-/// Run one workload across the paper's core counts under PDF and WS and return
-/// the two Figure-1 panels: (L2 misses per 1000 instructions, speedup over the
-/// one-core run).
-pub fn figure1_tables(workload: &dyn Workload, core_counts: &[usize]) -> (Table, Table) {
-    let spec = WorkloadSpec::from_workload(workload);
-    let report = Experiment::new(spec)
+/// Run one (cores × specs) sweep and return the report, for deriving several
+/// tables from a single set of simulations.
+pub fn sweep_report(
+    workload: &dyn Workload,
+    core_counts: &[usize],
+    specs: &[SchedulerSpec],
+) -> ExperimentReport {
+    Experiment::new(WorkloadSpec::from_workload(workload))
         .core_sweep(core_counts)
-        .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+        .schedulers(specs)
         .run()
-        .expect("default configurations exist for the paper's core counts");
+        .expect("default configurations exist for the requested core counts")
+}
 
+/// The two Figure-1 panels (L2 misses per 1000 instructions, speedup over the
+/// one-core run) for PDF and WS, derived from an existing report that must
+/// contain those cells.
+pub fn figure1_tables_from(report: &ExperimentReport, core_counts: &[usize]) -> (Table, Table) {
     let x: Vec<String> = core_counts.iter().map(|c| c.to_string()).collect();
     let mut mpki = Table::new(
         format!(
             "{}: L2 misses per 1000 instructions (Figure 1, left)",
-            workload.name()
+            report.workload
         ),
         "cores",
         x.clone(),
@@ -57,25 +64,72 @@ pub fn figure1_tables(workload: &dyn Workload, core_counts: &[usize]) -> (Table,
     let mut speedup = Table::new(
         format!(
             "{}: speedup over sequential (Figure 1, right)",
-            workload.name()
+            report.workload
         ),
         "cores",
         x,
     );
-    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+    for spec in SchedulerSpec::paper_pair() {
         let mut mpki_vals = Vec::new();
         let mut speedup_vals = Vec::new();
         for &cores in core_counts {
             let run = report
-                .find(cores, kind)
+                .find(cores, &spec)
                 .expect("every sweep cell was simulated");
             mpki_vals.push(run.metrics.l2_mpki());
             speedup_vals.push(report.speedup(run));
         }
-        mpki.push_series(Series::new(kind.short_name(), mpki_vals));
-        speedup.push_series(Series::new(kind.short_name(), speedup_vals));
+        mpki.push_series(Series::new(spec.canonical(), mpki_vals));
+        speedup.push_series(Series::new(spec.canonical(), speedup_vals));
     }
     (mpki, speedup)
+}
+
+/// Run one workload across the paper's core counts under PDF and WS and return
+/// the two Figure-1 panels: (L2 misses per 1000 instructions, speedup over the
+/// one-core run).
+pub fn figure1_tables(workload: &dyn Workload, core_counts: &[usize]) -> (Table, Table) {
+    let report = sweep_report(workload, core_counts, &SchedulerSpec::paper_pair());
+    figure1_tables_from(&report, core_counts)
+}
+
+/// Per-spec scheduler counters derived from an existing report: one series per
+/// requested scheduler spec carrying its `steals` counter (work migrations —
+/// steal events for the deque policies, cross-core placements for `static`;
+/// see `SchedulerPolicy::steals`).  Surfaces the counter for *every* spec, not
+/// just the classic `ws` column, so parameterized variants are comparable.
+pub fn steals_table_from(
+    report: &ExperimentReport,
+    core_counts: &[usize],
+    specs: &[SchedulerSpec],
+) -> Table {
+    let x: Vec<String> = core_counts.iter().map(|c| c.to_string()).collect();
+    let mut table = Table::new(
+        format!(
+            "{}: work migrations (steals) per scheduler spec",
+            report.workload
+        ),
+        "cores",
+        x,
+    );
+    for spec in specs {
+        let values: Vec<f64> = core_counts
+            .iter()
+            .map(|&c| report.find(c, spec).expect("cell simulated").metrics.steals as f64)
+            .collect();
+        table.push_series(Series::new(spec.canonical(), values));
+    }
+    table
+}
+
+/// [`steals_table_from`] plus the sweep that feeds it.
+pub fn steals_table(
+    workload: &dyn Workload,
+    core_counts: &[usize],
+    specs: &[SchedulerSpec],
+) -> Table {
+    let report = sweep_report(workload, core_counts, specs);
+    steals_table_from(&report, core_counts, specs)
 }
 
 /// One row of the per-class comparison tables: the PDF-vs-WS comparison for one
@@ -103,14 +157,14 @@ pub fn compare_pdf_ws(workload: &dyn Workload, core_counts: &[usize]) -> Vec<Com
     let spec = WorkloadSpec::from_workload(workload);
     let report = Experiment::new(spec)
         .core_sweep(core_counts)
-        .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+        .schedulers(&SchedulerSpec::paper_pair())
         .run()
         .expect("default configurations exist for the requested core counts");
     core_counts
         .iter()
         .map(|&cores| {
-            let pdf = report.find(cores, SchedulerKind::Pdf).unwrap();
-            let ws = report.find(cores, SchedulerKind::WorkStealing).unwrap();
+            let pdf = report.find(cores, &SchedulerSpec::pdf()).unwrap();
+            let ws = report.find(cores, &SchedulerSpec::ws()).unwrap();
             ComparisonRow {
                 workload: workload.name().to_string(),
                 class: workload.class().to_string(),

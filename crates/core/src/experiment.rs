@@ -2,7 +2,7 @@
 
 use crate::spec::WorkloadSpec;
 use pdfws_cmp_model::{default_config, CmpConfig, ModelError};
-use pdfws_schedulers::{simulate, SchedulerKind, SimOptions, SimResult};
+use pdfws_schedulers::{simulate, SchedulerSpec, SimOptions, SimResult};
 use std::fmt;
 
 /// Errors from configuring or running an experiment.
@@ -39,8 +39,8 @@ impl From<ModelError> for ExperimentError {
 pub struct RunRecord {
     /// Number of cores simulated.
     pub cores: usize,
-    /// Scheduler used.
-    pub scheduler: SchedulerKind,
+    /// Full spec of the scheduler used.
+    pub scheduler: SchedulerSpec,
     /// The machine configuration used for this cell.
     pub config: CmpConfig,
     /// Everything measured during the run.
@@ -67,10 +67,10 @@ impl ExperimentReport {
     }
 
     /// The cell for a specific core count and scheduler, if it was part of the sweep.
-    pub fn find(&self, cores: usize, scheduler: SchedulerKind) -> Option<&RunRecord> {
+    pub fn find(&self, cores: usize, scheduler: &SchedulerSpec) -> Option<&RunRecord> {
         self.runs
             .iter()
-            .find(|r| r.cores == cores && r.scheduler == scheduler)
+            .find(|r| r.cores == cores && r.scheduler == *scheduler)
     }
 
     /// Speedup of a cell over the sequential baseline (the paper's Figure 1 right panel).
@@ -80,15 +80,15 @@ impl ExperimentReport {
 
     /// Relative speedup of PDF over WS at the given core count (> 1 means PDF is faster).
     pub fn pdf_over_ws_speedup(&self, cores: usize) -> Option<f64> {
-        let pdf = self.find(cores, SchedulerKind::Pdf)?;
-        let ws = self.find(cores, SchedulerKind::WorkStealing)?;
+        let pdf = self.find(cores, &SchedulerSpec::pdf())?;
+        let ws = self.find(cores, &SchedulerSpec::ws())?;
         Some(ws.metrics.cycles as f64 / pdf.metrics.cycles as f64)
     }
 
     /// Off-chip-traffic reduction (percent) of PDF relative to WS at the given core count.
     pub fn pdf_traffic_reduction_percent(&self, cores: usize) -> Option<f64> {
-        let pdf = self.find(cores, SchedulerKind::Pdf)?;
-        let ws = self.find(cores, SchedulerKind::WorkStealing)?;
+        let pdf = self.find(cores, &SchedulerSpec::pdf())?;
+        let ws = self.find(cores, &SchedulerSpec::ws())?;
         let wsb = ws.metrics.offchip_bytes();
         if wsb == 0 {
             return Some(0.0);
@@ -102,7 +102,7 @@ impl ExperimentReport {
 pub struct Experiment {
     workload: WorkloadSpec,
     cores: Vec<usize>,
-    schedulers: Vec<SchedulerKind>,
+    schedulers: Vec<SchedulerSpec>,
     fixed_config: Option<CmpConfig>,
     options: SimOptions,
 }
@@ -114,7 +114,7 @@ impl Experiment {
         Experiment {
             workload,
             cores: vec![8],
-            schedulers: SchedulerKind::PAPER_PAIR.to_vec(),
+            schedulers: SchedulerSpec::paper_pair().to_vec(),
             fixed_config: None,
             options: SimOptions::default(),
         }
@@ -132,9 +132,10 @@ impl Experiment {
         self
     }
 
-    /// Choose which schedulers to run.
-    pub fn schedulers(mut self, kinds: &[SchedulerKind]) -> Self {
-        self.schedulers = kinds.to_vec();
+    /// Choose which schedulers to run (any mix of registered specs, e.g.
+    /// `&[SchedulerSpec::pdf(), "ws:steal=half".parse().unwrap()]`).
+    pub fn schedulers(mut self, specs: &[SchedulerSpec]) -> Self {
+        self.schedulers = specs.to_vec();
         self
     }
 
@@ -173,24 +174,25 @@ impl Experiment {
             return Err(ExperimentError::NoSchedulers);
         }
 
-        // Sequential baseline: one core, PDF (on one core PDF *is* the sequential
-        // depth-first execution), on the one-core configuration.
+        // Sequential baseline: one core, SchedulerSpec::sequential_baseline()
+        // (on one core the PDF schedule *is* the sequential depth-first
+        // execution), on the one-core configuration.
         let baseline_config = self.config_for(1)?;
         let baseline = simulate(
             &self.workload.dag,
             &baseline_config,
-            SchedulerKind::Pdf,
+            &SchedulerSpec::sequential_baseline(),
             &self.options,
         );
 
         let mut runs = Vec::with_capacity(self.cores.len() * self.schedulers.len());
         for &cores in &self.cores {
             let config = self.config_for(cores)?;
-            for &scheduler in &self.schedulers {
+            for scheduler in &self.schedulers {
                 let metrics = simulate(&self.workload.dag, &config, scheduler, &self.options);
                 runs.push(RunRecord {
                     cores,
-                    scheduler,
+                    scheduler: scheduler.clone(),
                     config,
                     metrics,
                 });
@@ -218,9 +220,9 @@ mod tests {
             .unwrap();
         assert_eq!(report.runs().len(), 2);
         assert_eq!(report.workload, "mergesort");
-        assert!(report.find(8, SchedulerKind::Pdf).is_some());
-        assert!(report.find(8, SchedulerKind::WorkStealing).is_some());
-        assert!(report.find(4, SchedulerKind::Pdf).is_none());
+        assert!(report.find(8, &SchedulerSpec::pdf()).is_some());
+        assert!(report.find(8, &SchedulerSpec::ws()).is_some());
+        assert!(report.find(4, &SchedulerSpec::pdf()).is_none());
     }
 
     #[test]
@@ -228,9 +230,9 @@ mod tests {
         let report = Experiment::new(ParallelScan::small().into_spec())
             .core_sweep(&[1, 2, 4])
             .schedulers(&[
-                SchedulerKind::Pdf,
-                SchedulerKind::WorkStealing,
-                SchedulerKind::StaticPartition,
+                SchedulerSpec::pdf(),
+                SchedulerSpec::ws(),
+                SchedulerSpec::static_partition(),
             ])
             .run()
             .unwrap();
@@ -248,11 +250,11 @@ mod tests {
             .core_sweep(&[1, 4])
             .run()
             .unwrap();
-        let one_core_pdf = report.find(1, SchedulerKind::Pdf).unwrap();
+        let one_core_pdf = report.find(1, &SchedulerSpec::pdf()).unwrap();
         let s = report.speedup(one_core_pdf);
         // One core under the baseline configuration: speedup is exactly 1.
         assert!((s - 1.0).abs() < 1e-9, "speedup = {s}");
-        let four_core = report.find(4, SchedulerKind::Pdf).unwrap();
+        let four_core = report.find(4, &SchedulerSpec::pdf()).unwrap();
         assert!(report.speedup(four_core) >= 1.0);
     }
 
@@ -301,7 +303,7 @@ mod tests {
             .with_config(cfg)
             .run()
             .unwrap();
-        let run = report.find(4, SchedulerKind::Pdf).unwrap();
+        let run = report.find(4, &SchedulerSpec::pdf()).unwrap();
         assert_eq!(run.config.l2.capacity_bytes, 1024 * 1024);
         assert_eq!(report.baseline_config.cores, 1);
     }

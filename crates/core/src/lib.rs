@@ -8,7 +8,7 @@
 //!
 //! let report = Experiment::new(MergeSort::new(1 << 13).into_spec())
 //!     .core_sweep(&[1, 4, 8])
-//!     .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+//!     .schedulers(&[SchedulerSpec::pdf(), "ws:steal=half".parse().unwrap()])
 //!     .run()
 //!     .unwrap();
 //!
@@ -38,7 +38,12 @@ pub mod prelude {
     pub use crate::spec::{IntoSpec, WorkloadSpec};
     pub use crate::stream_experiment::{StreamExperiment, StreamReport};
     pub use pdfws_cmp_model::{default_config, default_core_counts, CmpConfig, ProcessNode};
-    pub use pdfws_schedulers::{Disturbance, SchedulerKind, SimOptions, SimResult};
+    #[allow(deprecated)]
+    pub use pdfws_schedulers::SchedulerKind;
+    pub use pdfws_schedulers::{
+        register, Disturbance, ParamKind, ParamSpec, PolicyFactory, Registry, SchedulerPolicy,
+        SchedulerSpec, SimOptions, SimResult, SpecError,
+    };
     pub use pdfws_stream::{AdmissionPolicy, ArrivalProcess, JobMix, StreamOutcome, StreamSummary};
     pub use pdfws_workloads::{
         ComputeKernel, HashJoin, LuDecomposition, MatMul, MergeSort, ParallelScan, QuickSort, SpMv,

@@ -7,7 +7,7 @@
 //! latency and throughput per scheduler.
 
 use crate::experiment::ExperimentError;
-use pdfws_schedulers::{SchedulerKind, SimOptions};
+use pdfws_schedulers::{SchedulerSpec, SimOptions};
 use pdfws_stream::{
     run_stream_sim, AdmissionPolicy, ArrivalProcess, JobMix, StreamConfig, StreamOutcome,
     StreamSummary,
@@ -22,7 +22,7 @@ use pdfws_stream::{
 pub struct StreamExperiment {
     mix: JobMix,
     jobs: usize,
-    schedulers: Vec<SchedulerKind>,
+    schedulers: Vec<SchedulerSpec>,
     config: StreamConfig,
 }
 
@@ -34,8 +34,8 @@ impl StreamExperiment {
         StreamExperiment {
             mix,
             jobs: 16,
-            schedulers: SchedulerKind::PAPER_PAIR.to_vec(),
-            config: StreamConfig::new(8, SchedulerKind::Pdf),
+            schedulers: SchedulerSpec::paper_pair().to_vec(),
+            config: StreamConfig::new(8, SchedulerSpec::pdf()),
         }
     }
 
@@ -51,9 +51,9 @@ impl StreamExperiment {
         self
     }
 
-    /// Which schedulers to compare.
-    pub fn schedulers(mut self, kinds: &[SchedulerKind]) -> Self {
-        self.schedulers = kinds.to_vec();
+    /// Which schedulers to compare (any mix of registered specs).
+    pub fn schedulers(mut self, specs: &[SchedulerSpec]) -> Self {
+        self.schedulers = specs.to_vec();
         self
     }
 
@@ -106,9 +106,9 @@ impl StreamExperiment {
             return Err(ExperimentError::NoSchedulers);
         }
         let mut outcomes = Vec::with_capacity(self.schedulers.len());
-        for &scheduler in &self.schedulers {
+        for scheduler in &self.schedulers {
             let cfg = StreamConfig {
-                scheduler,
+                scheduler: scheduler.clone(),
                 ..self.config.clone()
             };
             let outcome = run_stream_sim(&self.mix, self.jobs, &cfg)?;
@@ -136,20 +136,20 @@ impl StreamReport {
     }
 
     /// The outcome for one scheduler, if it was part of the experiment.
-    pub fn find(&self, scheduler: SchedulerKind) -> Option<&StreamOutcome> {
-        self.outcomes.iter().find(|o| o.scheduler == scheduler)
+    pub fn find(&self, scheduler: &SchedulerSpec) -> Option<&StreamOutcome> {
+        self.outcomes.iter().find(|o| o.scheduler == *scheduler)
     }
 
     /// Summary for one scheduler.
-    pub fn summary(&self, scheduler: SchedulerKind) -> Option<StreamSummary> {
+    pub fn summary(&self, scheduler: &SchedulerSpec) -> Option<StreamSummary> {
         self.find(scheduler).map(StreamOutcome::summary)
     }
 
     /// Ratio of WS p95 sojourn to PDF p95 sojourn (> 1 means PDF serves the
     /// tail faster under this load).
     pub fn ws_over_pdf_p95(&self) -> Option<f64> {
-        let pdf = self.summary(SchedulerKind::Pdf)?;
-        let ws = self.summary(SchedulerKind::WorkStealing)?;
+        let pdf = self.summary(&SchedulerSpec::pdf())?;
+        let ws = self.summary(&SchedulerSpec::ws())?;
         if pdf.sojourn.p95 <= 0.0 || ws.sojourn.p95 <= 0.0 {
             return None;
         }
@@ -177,9 +177,9 @@ mod tests {
         let report = quick().run().unwrap();
         assert_eq!(report.mix, "class-b");
         assert_eq!(report.outcomes().len(), 2);
-        assert!(report.find(SchedulerKind::Pdf).is_some());
-        assert!(report.find(SchedulerKind::WorkStealing).is_some());
-        assert!(report.find(SchedulerKind::StaticPartition).is_none());
+        assert!(report.find(&SchedulerSpec::pdf()).is_some());
+        assert!(report.find(&SchedulerSpec::ws()).is_some());
+        assert!(report.find(&SchedulerSpec::static_partition()).is_none());
         assert!(report.ws_over_pdf_p95().unwrap() > 0.0);
         for outcome in report.outcomes() {
             assert_eq!(outcome.records.len(), 8);

@@ -358,7 +358,7 @@ impl SimEngine {
             .now
             .max(self.cores.iter().map(|c| c.busy_cycles).max().unwrap_or(0));
         SimResult {
-            scheduler: self.policy.name().to_string(),
+            scheduler: self.policy.name(),
             cores: self.config.cores,
             cycles: makespan,
             instructions: self.instructions,
@@ -461,6 +461,9 @@ impl SimEngine {
     /// Handle completion of `task` on `core` at time `end`.
     fn complete_task(&mut self, task: TaskId, core: usize, end: u64) {
         self.completed += 1;
+        // Announce the completion first so frontier-tracking policies (e.g.
+        // pdf:lag=N) see a fresh window before being asked for work.
+        self.policy.task_complete(task, core);
         // Enable successors in reverse listing order (see module docs).
         for &s in self.dag.successors(task).iter().rev() {
             self.remaining_preds[s.index()] -= 1;
@@ -546,7 +549,7 @@ impl SimEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{make_policy, simulate, simulate_sequential, SchedulerKind};
+    use crate::{make_policy, simulate, simulate_sequential, SchedulerSpec};
     use pdfws_cmp_model::default_config;
     use pdfws_task_dag::builder::{DagBuilder, SpTree};
     use pdfws_task_dag::AccessPattern;
@@ -565,17 +568,17 @@ mod tests {
     fn all_tasks_execute_and_instructions_match_work() {
         let dag = leaf_tree(16, 1_000);
         let cfg = default_config(4).unwrap();
-        for kind in [
-            SchedulerKind::Pdf,
-            SchedulerKind::WorkStealing,
-            SchedulerKind::StaticPartition,
+        for spec in [
+            SchedulerSpec::pdf(),
+            SchedulerSpec::ws(),
+            SchedulerSpec::static_partition(),
         ] {
-            let r = simulate(&dag, &cfg, kind, &SimOptions::default());
+            let r = simulate(&dag, &cfg, &spec, &SimOptions::default());
             assert_eq!(r.tasks, dag.len());
-            assert_eq!(r.instructions, dag.work(), "{kind}");
+            assert_eq!(r.instructions, dag.work(), "{spec}");
             assert_eq!(r.memory_accesses, 0);
-            assert!(r.cycles >= dag.span(), "{kind}: makespan below the span");
-            assert!(r.cycles <= dag.work(), "{kind}: makespan above the work");
+            assert!(r.cycles >= dag.span(), "{spec}: makespan below the span");
+            assert!(r.cycles <= dag.work(), "{spec}: makespan above the work");
         }
     }
 
@@ -583,7 +586,7 @@ mod tests {
     fn single_core_makespan_equals_work_for_compute_only_dags() {
         let dag = leaf_tree(8, 500);
         let cfg = default_config(1).unwrap();
-        let r = simulate(&dag, &cfg, SchedulerKind::Pdf, &SimOptions::default());
+        let r = simulate(&dag, &cfg, &SchedulerSpec::pdf(), &SimOptions::default());
         assert_eq!(r.cycles, dag.work());
         assert!((r.utilization() - 1.0).abs() < 1e-9);
     }
@@ -594,12 +597,12 @@ mod tests {
         let seq = simulate_sequential(&dag, &default_config(1).unwrap(), &SimOptions::default());
         for (cores, min_speedup) in [(2usize, 1.8), (4, 3.5), (8, 6.0)] {
             let cfg = default_config(cores).unwrap();
-            for kind in SchedulerKind::PAPER_PAIR {
-                let r = simulate(&dag, &cfg, kind, &SimOptions::default());
+            for spec in SchedulerSpec::paper_pair() {
+                let r = simulate(&dag, &cfg, &spec, &SimOptions::default());
                 let s = r.speedup_over(&seq);
                 assert!(
                     s >= min_speedup && s <= cores as f64 + 1e-9,
-                    "{kind} on {cores} cores: speedup {s}"
+                    "{spec} on {cores} cores: speedup {s}"
                 );
             }
         }
@@ -611,15 +614,15 @@ mod tests {
         // near perfect for every policy (greedy scheduling).
         let dag = leaf_tree(256, 300);
         let cfg = default_config(8).unwrap();
-        for kind in [
-            SchedulerKind::Pdf,
-            SchedulerKind::WorkStealing,
-            SchedulerKind::StaticPartition,
+        for spec in [
+            SchedulerSpec::pdf(),
+            SchedulerSpec::ws(),
+            SchedulerSpec::static_partition(),
         ] {
-            let r = simulate(&dag, &cfg, kind, &SimOptions::default());
+            let r = simulate(&dag, &cfg, &spec, &SimOptions::default());
             assert!(
                 r.utilization() > 0.90,
-                "{kind}: utilisation {}",
+                "{spec}: utilisation {}",
                 r.utilization()
             );
         }
@@ -641,7 +644,7 @@ mod tests {
         b.edge(root, child);
         let dag = b.finish().unwrap();
         let cfg = default_config(2).unwrap();
-        let r = simulate(&dag, &cfg, SchedulerKind::Pdf, &SimOptions::default());
+        let r = simulate(&dag, &cfg, &SchedulerSpec::pdf(), &SimOptions::default());
         assert_eq!(r.memory_accesses, 200);
         assert_eq!(r.instructions, dag.work());
         // First pass misses (100 cold misses), second pass hits in cache.
@@ -670,8 +673,8 @@ mod tests {
         fat.offchip_bytes_per_cycle = 1024.0;
         let mut thin = fat;
         thin.offchip_bytes_per_cycle = 0.5;
-        let fast = simulate(&dag, &fat, SchedulerKind::Pdf, &SimOptions::default());
-        let slow = simulate(&dag, &thin, SchedulerKind::Pdf, &SimOptions::default());
+        let fast = simulate(&dag, &fat, &SchedulerSpec::pdf(), &SimOptions::default());
+        let slow = simulate(&dag, &thin, &SchedulerSpec::pdf(), &SimOptions::default());
         assert!(
             slow.cycles > fast.cycles * 2,
             "{} vs {}",
@@ -686,10 +689,15 @@ mod tests {
     fn deterministic_given_identical_inputs() {
         let dag = leaf_tree(32, 700);
         let cfg = default_config(4).unwrap();
-        for kind in SchedulerKind::PAPER_PAIR {
-            let a = simulate(&dag, &cfg, kind, &SimOptions::default());
-            let b = simulate(&dag, &cfg, kind, &SimOptions::default());
-            assert_eq!(a, b, "{kind} must be deterministic");
+        for spec in [
+            SchedulerSpec::pdf(),
+            SchedulerSpec::ws(),
+            "ws:victim=random,seed=11".parse().unwrap(),
+            "hybrid:threshold=2".parse().unwrap(),
+        ] {
+            let a = simulate(&dag, &cfg, &spec, &SimOptions::default());
+            let b = simulate(&dag, &cfg, &spec, &SimOptions::default());
+            assert_eq!(a, b, "{spec} must be deterministic");
         }
     }
 
@@ -706,7 +714,7 @@ mod tests {
             working_set_window: Some(100),
             ..SimOptions::default()
         };
-        let r = simulate(&dag, &cfg, SchedulerKind::Pdf, &opts);
+        let r = simulate(&dag, &cfg, &SchedulerSpec::pdf(), &opts);
         let ws = r.working_set.expect("profiling was enabled");
         assert_eq!(ws.footprint_blocks, 500);
         assert_eq!(ws.per_window_blocks.len(), 5);
@@ -729,7 +737,7 @@ mod tests {
         cfg.l2.capacity_bytes = 64 * 1024;
         cfg.l2.associativity = 8;
         cfg.validate().unwrap();
-        let clean = simulate(&dag, &cfg, SchedulerKind::Pdf, &SimOptions::default());
+        let clean = simulate(&dag, &cfg, &SchedulerSpec::pdf(), &SimOptions::default());
         let noisy_opts = SimOptions {
             disturbance: Some(Disturbance {
                 period_cycles: 2_000,
@@ -739,7 +747,7 @@ mod tests {
             }),
             ..SimOptions::default()
         };
-        let noisy = simulate(&dag, &cfg, SchedulerKind::Pdf, &noisy_opts);
+        let noisy = simulate(&dag, &cfg, &SchedulerSpec::pdf(), &noisy_opts);
         assert!(
             noisy.cycles > clean.cycles,
             "{} vs {}",
@@ -753,7 +761,7 @@ mod tests {
     fn make_policy_and_engine_agree_on_core_counts() {
         let dag = leaf_tree(4, 100);
         let cfg = default_config(2).unwrap();
-        let policy = make_policy(SchedulerKind::WorkStealing, cfg.cores);
+        let policy = make_policy(&SchedulerSpec::ws(), cfg.cores);
         let mut engine = SimEngine::new(&dag, &cfg, policy, SimOptions::default());
         let r = engine.run();
         assert_eq!(r.busy_cycles.len(), 2);
@@ -764,20 +772,20 @@ mod tests {
     fn quantum_stepping_matches_a_single_run() {
         let dag = leaf_tree(32, 700);
         let cfg = default_config(4).unwrap();
-        for kind in SchedulerKind::PAPER_PAIR {
-            let full = simulate(&dag, &cfg, kind, &SimOptions::default());
+        for spec in SchedulerSpec::paper_pair() {
+            let full = simulate(&dag, &cfg, &spec, &SimOptions::default());
             let mut engine =
-                SimEngine::new(&dag, &cfg, make_policy(kind, 4), SimOptions::default());
+                SimEngine::new(&dag, &cfg, make_policy(&spec, 4), SimOptions::default());
             let mut quanta = 0u32;
             while engine.run_for(500) == EngineStatus::Running {
                 quanta += 1;
-                assert!(quanta < 1_000_000, "{kind}: engine failed to make progress");
+                assert!(quanta < 1_000_000, "{spec}: engine failed to make progress");
             }
             assert!(engine.is_done());
             assert_eq!(
                 engine.result(),
                 full,
-                "{kind}: stepping changed the simulation"
+                "{spec}: stepping changed the simulation"
             );
         }
     }
@@ -789,7 +797,7 @@ mod tests {
         let mut engine = SimEngine::new(
             &dag,
             &cfg,
-            make_policy(SchedulerKind::Pdf, 2),
+            make_policy(&SchedulerSpec::pdf(), 2),
             SimOptions::default(),
         );
         assert_eq!(engine.run_for(100), EngineStatus::Running);
@@ -807,7 +815,7 @@ mod tests {
         let mut engine = SimEngine::new(
             &dag,
             &cfg,
-            make_policy(SchedulerKind::Pdf, 2),
+            make_policy(&SchedulerSpec::pdf(), 2),
             SimOptions::default(),
         );
         let _ = engine.run_for(100);
@@ -826,7 +834,7 @@ mod tests {
         let mut engine = SimEngine::new(
             &dag,
             &cfg,
-            make_policy(SchedulerKind::Pdf, 2),
+            make_policy(&SchedulerSpec::pdf(), 2),
             SimOptions::default(),
         );
         assert_eq!(engine.run_for(2_000), EngineStatus::Running);
@@ -858,7 +866,7 @@ mod tests {
         let mut engine = SimEngine::new(
             &dag,
             &cfg,
-            make_policy(SchedulerKind::Pdf, 1),
+            make_policy(&SchedulerSpec::pdf(), 1),
             SimOptions::default(),
         );
         engine.set_disturbance(Some(Disturbance {
@@ -878,6 +886,6 @@ mod tests {
             time_slice_cycles: 0,
             ..SimOptions::default()
         };
-        let _ = SimEngine::new(&dag, &cfg, make_policy(SchedulerKind::Pdf, 1), opts);
+        let _ = SimEngine::new(&dag, &cfg, make_policy(&SchedulerSpec::pdf(), 1), opts);
     }
 }

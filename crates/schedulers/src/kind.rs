@@ -1,0 +1,97 @@
+//! The deprecated closed scheduler enum, kept for one release as a migration
+//! alias for [`SchedulerSpec`](crate::SchedulerSpec).
+//!
+//! `SchedulerKind` froze the scheduler design space into three variants and
+//! forced every crate to pattern-match on it.  The open, parameterized
+//! [`SchedulerSpec`](crate::SchedulerSpec) replaces it everywhere; this module
+//! only provides the enum and its conversion so downstream code can migrate
+//! (`kind.into()` / `SchedulerSpec::from(kind)`) without a flag day.  Nothing
+//! in this workspace dispatches on the enum any more.
+#![allow(deprecated)]
+
+use crate::spec::SchedulerSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling policy to simulate (closed, deprecated form).
+#[deprecated(
+    since = "0.2.0",
+    note = "use SchedulerSpec: SchedulerSpec::pdf(), SchedulerSpec::ws(), or \"ws:steal=half\".parse()"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Parallel Depth First (constructive cache sharing).
+    Pdf,
+    /// Work Stealing (Blumofe–Leiserson style, as described in the paper).
+    WorkStealing,
+    /// Static round-robin partitioning with FIFO queues (SMP-style baseline).
+    StaticPartition,
+}
+
+impl SchedulerKind {
+    /// Short name used in tables and figures ("pdf", "ws", "static").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            SchedulerKind::Pdf => "pdf",
+            SchedulerKind::WorkStealing => "ws",
+            SchedulerKind::StaticPartition => "static",
+        }
+    }
+
+    /// The equivalent open spec.
+    pub fn to_spec(self) -> SchedulerSpec {
+        match self {
+            SchedulerKind::Pdf => SchedulerSpec::pdf(),
+            SchedulerKind::WorkStealing => SchedulerSpec::ws(),
+            SchedulerKind::StaticPartition => SchedulerSpec::static_partition(),
+        }
+    }
+
+    /// The two schedulers the paper compares.
+    pub const PAPER_PAIR: [SchedulerKind; 2] = [SchedulerKind::Pdf, SchedulerKind::WorkStealing];
+}
+
+impl From<SchedulerKind> for SchedulerSpec {
+    fn from(kind: SchedulerKind) -> Self {
+        kind.to_spec()
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_kind_names() {
+        assert_eq!(SchedulerKind::Pdf.short_name(), "pdf");
+        assert_eq!(SchedulerKind::WorkStealing.to_string(), "ws");
+        assert_eq!(SchedulerKind::StaticPartition.to_string(), "static");
+        assert_eq!(SchedulerKind::PAPER_PAIR.len(), 2);
+    }
+
+    #[test]
+    fn kinds_convert_to_their_specs() {
+        assert_eq!(
+            SchedulerSpec::from(SchedulerKind::Pdf),
+            SchedulerSpec::pdf()
+        );
+        assert_eq!(
+            SchedulerSpec::from(SchedulerKind::WorkStealing),
+            SchedulerSpec::ws()
+        );
+        assert_eq!(
+            SchedulerSpec::from(SchedulerKind::StaticPartition),
+            SchedulerSpec::static_partition()
+        );
+        // The conversion round-trips through the spec string form.
+        for kind in SchedulerKind::PAPER_PAIR {
+            let spec: SchedulerSpec = kind.into();
+            assert_eq!(spec.to_string(), kind.short_name());
+        }
+    }
+}

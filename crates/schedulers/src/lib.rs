@@ -1,5 +1,26 @@
-//! The paper's two schedulers — Parallel Depth First (PDF) and Work Stealing (WS)
-//! — plus baselines, and the cycle-level CMP execution engine they drive.
+//! The paper's two schedulers — Parallel Depth First (PDF) and Work Stealing
+//! (WS) — plus baselines and parameterized variants, behind an open
+//! [`SchedulerSpec`] API, and the cycle-level CMP execution engine they drive.
+//!
+//! # Scheduler specs
+//!
+//! "Which scheduler" is described by a [`SchedulerSpec`]: a policy name plus
+//! typed `key=value` parameters, parsed from strings like:
+//!
+//! ```text
+//! pdf                                  classic Parallel Depth First
+//! pdf:lag=4                            PDF with a bounded priority-lag window
+//! ws                                   classic work stealing
+//! ws:victim=random,steal=half,seed=7   parameterized work stealing
+//! static                               static round-robin partitioning
+//! hybrid:threshold=2                   PDF until ready depth > 2, then deques
+//! ```
+//!
+//! Specs resolve through the [`registry`] — a name-keyed set of
+//! [`PolicyFactory`] objects that declare their parameters (so parsing
+//! type-checks values and rejects unknown keys with helpful errors) and build
+//! the policy.  The registry is open: register your own factory and its name
+//! parses everywhere a spec is accepted (see `examples/custom_policy.rs`).
 //!
 //! # The schedulers
 //!
@@ -8,21 +29,23 @@
 //!   `pdfws-task-dag`).  A free core always receives the highest-priority ready
 //!   task.  Because co-scheduled tasks are adjacent in the sequential order, their
 //!   aggregate working set stays close to the sequential working set — the
-//!   *constructive cache sharing* the paper is about.
+//!   *constructive cache sharing* the paper is about.  `lag=N` bounds how far
+//!   past the sequential frontier the policy will run.
 //! * [`ws::WorkStealingPolicy`] — each core owns a deque of ready tasks.  Tasks a
 //!   core enables are pushed onto its own deque; the owner pops from the top
 //!   (LIFO, depth-first locally), and a core whose deque is empty steals from the
-//!   *bottom* of the first non-empty deque it finds, scanning round-robin from
-//!   itself.  Steals are rare when parallelism is plentiful, but the cores drift
-//!   into disjoint subtrees of the computation and their working sets become
-//!   disjoint.
+//!   *bottom* of a victim's deque.  `victim=` picks the scan strategy
+//!   (round-robin / seeded-random / nearest-neighbour), `steal=` the
+//!   granularity (one task or half the deque).
+//! * [`hybrid::HybridPolicy`] — PDF while the ready queue is shallow, per-core
+//!   deques once its depth exceeds `threshold`.
 //! * [`static_partition::StaticPartitionPolicy`] — an SMP-style baseline that
 //!   assigns ready tasks to cores statically (round-robin by task id) with FIFO
 //!   per-core queues; used by the coarse-grained-threading experiment.
 //!
-//! The sequential baseline the paper's speedups are measured against is simply the
-//! PDF policy on one core (on one core the PDF schedule *is* the sequential
-//! depth-first execution).
+//! The sequential baseline the paper's speedups are measured against is
+//! [`SchedulerSpec::sequential_baseline`] on one core (on one core the PDF
+//! schedule *is* the sequential depth-first execution).
 //!
 //! # The engine
 //!
@@ -33,11 +56,13 @@
 //! every completion enables successors and lets idle cores pick up work.  The
 //! result is a [`result::SimResult`] carrying the makespan, per-core utilisation,
 //! cache statistics and scheduler counters — everything the paper's figures need.
+//! The result's `scheduler` field is the spec's canonical string, so two
+//! parameterizations of the same policy stay distinguishable in reports.
 //!
 //! # Example
 //!
 //! ```
-//! use pdfws_schedulers::{simulate, SchedulerKind, SimOptions};
+//! use pdfws_schedulers::{simulate, SchedulerSpec, SimOptions};
 //! use pdfws_task_dag::builder::SpTree;
 //! use pdfws_cmp_model::default_config;
 //!
@@ -45,67 +70,42 @@
 //!     .into_dag()
 //!     .unwrap();
 //! let cfg = default_config(4).unwrap();
-//! let pdf = simulate(&dag, &cfg, SchedulerKind::Pdf, &SimOptions::default());
-//! let ws = simulate(&dag, &cfg, SchedulerKind::WorkStealing, &SimOptions::default());
+//! let pdf = simulate(&dag, &cfg, &SchedulerSpec::pdf(), &SimOptions::default());
+//! let ws: SchedulerSpec = "ws:steal=half".parse().unwrap();
+//! let ws = simulate(&dag, &cfg, &ws, &SimOptions::default());
 //! assert!(pdf.cycles > 0 && ws.cycles > 0);
+//! assert_eq!(ws.scheduler, "ws:steal=half");
 //! ```
 
 pub mod engine;
+pub mod hybrid;
+pub mod kind;
 pub mod pdf;
 pub mod policy;
+pub mod registry;
 pub mod result;
+pub mod spec;
 pub mod static_partition;
 pub mod ws;
 
 pub use engine::{Disturbance, EngineStatus, SimEngine, SimOptions};
+pub use hybrid::HybridPolicy;
+#[allow(deprecated)]
+pub use kind::SchedulerKind;
 pub use pdf::PdfPolicy;
 pub use policy::SchedulerPolicy;
+pub use registry::{register, ParamKind, ParamSpec, PolicyFactory, Registry};
 pub use result::SimResult;
+pub use spec::{SchedulerSpec, SpecError};
 pub use static_partition::StaticPartitionPolicy;
-pub use ws::WorkStealingPolicy;
+pub use ws::{StealGranularity, VictimSelect, WorkStealingPolicy};
 
 use pdfws_cmp_model::CmpConfig;
 use pdfws_task_dag::TaskDag;
-use serde::{Deserialize, Serialize};
 
-/// Which scheduling policy to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SchedulerKind {
-    /// Parallel Depth First (constructive cache sharing).
-    Pdf,
-    /// Work Stealing (Blumofe–Leiserson style, as described in the paper).
-    WorkStealing,
-    /// Static round-robin partitioning with FIFO queues (SMP-style baseline).
-    StaticPartition,
-}
-
-impl SchedulerKind {
-    /// Short name used in tables and figures ("pdf", "ws", "static").
-    pub fn short_name(self) -> &'static str {
-        match self {
-            SchedulerKind::Pdf => "pdf",
-            SchedulerKind::WorkStealing => "ws",
-            SchedulerKind::StaticPartition => "static",
-        }
-    }
-
-    /// The two schedulers the paper compares.
-    pub const PAPER_PAIR: [SchedulerKind; 2] = [SchedulerKind::Pdf, SchedulerKind::WorkStealing];
-}
-
-impl std::fmt::Display for SchedulerKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.short_name())
-    }
-}
-
-/// Build the policy object for a scheduler kind.
-pub fn make_policy(kind: SchedulerKind, cores: usize) -> Box<dyn SchedulerPolicy> {
-    match kind {
-        SchedulerKind::Pdf => Box::new(PdfPolicy::new()),
-        SchedulerKind::WorkStealing => Box::new(WorkStealingPolicy::new(cores)),
-        SchedulerKind::StaticPartition => Box::new(StaticPartitionPolicy::new(cores)),
-    }
+/// Build the policy object a spec describes, via the global [`Registry`].
+pub fn make_policy(spec: &SchedulerSpec, cores: usize) -> Box<dyn SchedulerPolicy> {
+    Registry::global().build(spec, cores)
 }
 
 /// Simulate `dag` on the machine described by `config` under the given scheduler.
@@ -115,10 +115,10 @@ pub fn make_policy(kind: SchedulerKind, cores: usize) -> Box<dyn SchedulerPolicy
 pub fn simulate(
     dag: &TaskDag,
     config: &CmpConfig,
-    kind: SchedulerKind,
+    spec: &SchedulerSpec,
     options: &SimOptions,
 ) -> SimResult {
-    let policy = make_policy(kind, config.cores);
+    let policy = make_policy(spec, config.cores);
     let mut engine = SimEngine::new(dag, config, policy, options.clone());
     engine.run()
 }
@@ -126,10 +126,13 @@ pub fn simulate(
 /// Simulate the sequential (single-core, depth-first) execution of `dag` on the
 /// given configuration but with exactly one core.  The paper's speedups divide
 /// this run's makespan by the parallel run's makespan.
+///
+/// The baseline scheduler is [`SchedulerSpec::sequential_baseline`] (PDF: on
+/// one core the PDF schedule *is* the sequential depth-first execution).
 pub fn simulate_sequential(dag: &TaskDag, config: &CmpConfig, options: &SimOptions) -> SimResult {
     let mut cfg = *config;
     cfg.cores = 1;
-    simulate(dag, &cfg, SchedulerKind::Pdf, options)
+    simulate(dag, &cfg, &SchedulerSpec::sequential_baseline(), options)
 }
 
 #[cfg(test)]
@@ -137,20 +140,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scheduler_kind_names() {
-        assert_eq!(SchedulerKind::Pdf.short_name(), "pdf");
-        assert_eq!(SchedulerKind::WorkStealing.to_string(), "ws");
-        assert_eq!(SchedulerKind::StaticPartition.to_string(), "static");
-        assert_eq!(SchedulerKind::PAPER_PAIR.len(), 2);
+    fn make_policy_returns_the_canonical_spec_as_name() {
+        assert_eq!(make_policy(&SchedulerSpec::pdf(), 4).name(), "pdf");
+        assert_eq!(make_policy(&SchedulerSpec::ws(), 4).name(), "ws");
+        assert_eq!(
+            make_policy(&SchedulerSpec::static_partition(), 4).name(),
+            "static"
+        );
+        let parameterized: SchedulerSpec = "ws:steal=half,victim=nearest".parse().unwrap();
+        assert_eq!(
+            make_policy(&parameterized, 4).name(),
+            "ws:steal=half,victim=nearest"
+        );
     }
 
     #[test]
-    fn make_policy_returns_matching_names() {
-        assert_eq!(make_policy(SchedulerKind::Pdf, 4).name(), "pdf");
-        assert_eq!(make_policy(SchedulerKind::WorkStealing, 4).name(), "ws");
-        assert_eq!(
-            make_policy(SchedulerKind::StaticPartition, 4).name(),
-            "static"
-        );
+    fn paper_pair_specs_resolve() {
+        for spec in SchedulerSpec::paper_pair() {
+            let policy = make_policy(&spec, 2);
+            assert_eq!(policy.name(), spec.canonical());
+        }
     }
 }

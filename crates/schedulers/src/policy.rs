@@ -4,7 +4,13 @@
 //! *which ready task a free core runs next*.  The interface mirrors how the two
 //! schedulers are described in the paper: the engine tells the policy when a task
 //! becomes ready (and which core enabled it, so WS can push it onto that core's
-//! local deque), and asks for work on behalf of an idle core.
+//! local deque), when a task completes (so windowed policies can track the
+//! execution frontier), and asks for work on behalf of an idle core.
+//!
+//! Policy objects are built from a [`SchedulerSpec`](crate::SchedulerSpec)
+//! through the [`registry`](crate::registry); [`SchedulerPolicy::name`] echoes
+//! the canonical spec string so results stay attributable to the exact
+//! parameterization that produced them.
 
 use pdfws_task_dag::{TaskDag, TaskId};
 
@@ -17,10 +23,15 @@ use pdfws_task_dag::{TaskDag, TaskId};
 /// * `task_ready` is called exactly once per task, only after all of the task's
 ///   predecessors have completed (`None` for the root task, which no core enabled);
 /// * `next_task` is only called for cores that are currently idle, and a returned
-///   task is immediately started on that core (it will not be offered again).
+///   task is immediately started on that core (it will not be offered again);
+/// * `task_complete` is called exactly once per task, before the completion's
+///   successors are announced via `task_ready`.
 pub trait SchedulerPolicy {
-    /// Short name used in reports ("pdf", "ws", "static").
-    fn name(&self) -> &'static str;
+    /// The canonical spec string of this policy instance (e.g. `"pdf"`,
+    /// `"ws:steal=half,victim=random"`).  Reports and job-stream records carry
+    /// this verbatim, so two parameterizations of the same policy remain
+    /// distinguishable in output.
+    fn name(&self) -> String;
 
     /// Inspect the DAG before simulation starts (e.g. to compute priorities).
     fn init(&mut self, dag: &TaskDag);
@@ -30,13 +41,26 @@ pub trait SchedulerPolicy {
     fn task_ready(&mut self, task: TaskId, enabling_core: Option<usize>);
 
     /// Core `core` is idle and asks for a task.  Returning `None` leaves the core
-    /// idle until the next `task_ready` event.
+    /// idle until the next `task_ready` or `task_complete` event.
     fn next_task(&mut self, core: usize) -> Option<TaskId>;
+
+    /// `task` has finished executing on `core`.  Policies that track the
+    /// execution frontier (e.g. `pdf:lag=N`) override this; the default is a
+    /// no-op.
+    fn task_complete(&mut self, _task: TaskId, _core: usize) {}
 
     /// Number of ready tasks currently queued (all cores combined).
     fn ready_count(&self) -> usize;
 
-    /// Number of steals performed so far (WS only; others report 0).
+    /// Number of work migrations performed so far.
+    ///
+    /// What counts as a migration depends on the policy: steal events for the
+    /// deque-based policies (`ws`, and `hybrid` after its switch), and
+    /// cross-core placements for `static` (a task queued on a home core other
+    /// than the core that enabled it).  `pdf` reports 0 by construction — its
+    /// single global queue gives tasks no home core, so no handoff is a
+    /// migration.  The default implementation returns 0 for policies with no
+    /// migration concept.
     fn steals(&self) -> u64 {
         0
     }
@@ -90,11 +114,13 @@ pub(crate) mod testing {
             if running.is_empty() {
                 break;
             }
-            // Complete them all and enable successors.  Successors are enabled in
-            // reverse listing order — the same convention the engine uses — so that
-            // a LIFO owner (WS) picks up the leftmost child first, matching the
-            // sequential depth-first descent.
+            // Complete them all and enable successors.  Completion is announced
+            // before the successors (the engine's convention), and successors
+            // are enabled in reverse listing order so that a LIFO owner (WS)
+            // picks up the leftmost child first, matching the sequential
+            // depth-first descent.
             for (core, t) in running {
+                policy.task_complete(t, core);
                 for &s in dag.successors(t).iter().rev() {
                     remaining_preds[s.index()] -= 1;
                     if remaining_preds[s.index()] == 0 {
@@ -110,6 +136,7 @@ pub(crate) mod testing {
 #[cfg(test)]
 mod tests {
     use super::testing::*;
+    use crate::hybrid::HybridPolicy;
     use crate::pdf::PdfPolicy;
     use crate::static_partition::StaticPartitionPolicy;
     use crate::ws::WorkStealingPolicy;
@@ -120,8 +147,10 @@ mod tests {
             let dag = binary_tree(4, 100);
             for policy in [
                 &mut PdfPolicy::new() as &mut dyn super::SchedulerPolicy,
+                &mut PdfPolicy::with_lag(2),
                 &mut WorkStealingPolicy::new(cores),
                 &mut StaticPartitionPolicy::new(cores),
+                &mut HybridPolicy::new(cores, 3),
             ] {
                 let started = drain_policy(&dag, policy, cores);
                 assert_eq!(
@@ -150,8 +179,10 @@ mod tests {
         for cores in [1usize, 3] {
             for policy in [
                 &mut PdfPolicy::new() as &mut dyn super::SchedulerPolicy,
+                &mut PdfPolicy::with_lag(1),
                 &mut WorkStealingPolicy::new(cores),
                 &mut StaticPartitionPolicy::new(cores),
+                &mut HybridPolicy::new(cores, 2),
             ] {
                 let started = drain_policy(&dag, policy, cores);
                 // In drain_policy a task only becomes ready after its predecessors

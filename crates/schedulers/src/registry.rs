@@ -1,0 +1,465 @@
+//! The policy registry: name → [`PolicyFactory`], the open half of the
+//! [`SchedulerSpec`](crate::SchedulerSpec) API.
+//!
+//! Each factory declares its parameters ([`ParamSpec`]) so the spec parser can
+//! type-check values and produce helpful unknown-key errors *before* anything
+//! is built, and builds the policy object from a validated spec.  The global
+//! registry starts with the built-in policies (`pdf`, `ws`, `static`,
+//! `hybrid`) and is open for extension: register your own factory and its name
+//! becomes parseable everywhere a spec string is accepted — experiments,
+//! stream configs, bench binaries (see `examples/custom_policy.rs`).
+
+use crate::hybrid::HybridPolicy;
+use crate::pdf::PdfPolicy;
+use crate::policy::SchedulerPolicy;
+use crate::spec::{SchedulerSpec, SpecError};
+use crate::static_partition::StaticPartitionPolicy;
+use crate::ws::{StealGranularity, VictimSelect, WorkStealingPolicy};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The type of one declared parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// An unsigned integer (`seed=7`).  Values are normalised (`007` → `7`).
+    U64,
+    /// One of a fixed set of words (`victim=random`).
+    Choice(&'static [&'static str]),
+}
+
+impl ParamKind {
+    /// Validate a raw value and return its canonical form.
+    fn canonicalise(&self, value: &str) -> Result<String, String> {
+        match self {
+            ParamKind::U64 => value
+                .parse::<u64>()
+                .map(|v| v.to_string())
+                .map_err(|_| "an unsigned integer".to_string()),
+            ParamKind::Choice(options) => {
+                if options.contains(&value) {
+                    Ok(value.to_string())
+                } else {
+                    Err(format!("one of {}", options.join(", ")))
+                }
+            }
+        }
+    }
+}
+
+/// One parameter a policy accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamSpec {
+    /// The key as it appears in spec strings (`"victim"`).
+    pub key: &'static str,
+    /// Value type and constraints.
+    pub kind: ParamKind,
+    /// One-line description, shown by [`Registry::help`].
+    pub doc: &'static str,
+}
+
+/// Builds a [`SchedulerPolicy`] from a validated [`SchedulerSpec`].
+///
+/// Implementations declare their parameters via [`PolicyFactory::params`]; the
+/// registry guarantees that `build` only ever sees specs whose keys and values
+/// passed those declarations, so `build` is infallible.
+pub trait PolicyFactory: Send + Sync {
+    /// The registry key (`"ws"`); also the spec's policy name.
+    fn name(&self) -> &'static str;
+    /// One-line description, shown by [`Registry::help`].
+    fn doc(&self) -> &'static str;
+    /// The parameters this policy accepts (empty slice: none).
+    fn params(&self) -> &'static [ParamSpec];
+    /// Check cross-parameter constraints after each key/value passed its
+    /// [`ParamSpec`] (e.g. "`seed` requires `victim=random`").  Return an
+    /// error message to reject the combination; the default accepts all.
+    fn validate_spec(&self, _spec: &SchedulerSpec) -> Result<(), String> {
+        Ok(())
+    }
+    /// Build the policy for a machine with `cores` cores.
+    fn build(&self, spec: &SchedulerSpec, cores: usize) -> Box<dyn SchedulerPolicy>;
+}
+
+/// A name-keyed set of [`PolicyFactory`] objects.
+///
+/// Almost all code uses the process-wide [`Registry::global`] instance, which
+/// the spec parser consults; separate instances exist only for tests.
+pub struct Registry {
+    factories: RwLock<BTreeMap<&'static str, Arc<dyn PolicyFactory>>>,
+}
+
+impl Registry {
+    /// An empty registry (no built-ins).
+    pub fn empty() -> Self {
+        Registry {
+            factories: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// A registry pre-loaded with the built-in policies.
+    pub fn with_builtins() -> Self {
+        let reg = Self::empty();
+        reg.register(Arc::new(PdfFactory));
+        reg.register(Arc::new(WsFactory));
+        reg.register(Arc::new(StaticFactory));
+        reg.register(Arc::new(HybridFactory));
+        reg
+    }
+
+    /// The process-wide registry every spec parse resolves through.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::with_builtins)
+    }
+
+    /// Add (or replace — last registration wins) a factory.  After this call,
+    /// `factory.name()` parses as a spec everywhere.
+    pub fn register(&self, factory: Arc<dyn PolicyFactory>) {
+        self.factories
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(factory.name(), factory);
+    }
+
+    /// The registered policy names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .map(|k| k.to_string())
+            .collect()
+    }
+
+    /// Look up one factory.
+    pub fn factory(&self, name: &str) -> Option<Arc<dyn PolicyFactory>> {
+        self.factories
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Validate a raw `(policy, params)` pair into a canonical
+    /// [`SchedulerSpec`]: the policy must be registered, every key declared,
+    /// and every value well-typed (values are canonicalised, e.g. `lag=007`
+    /// becomes `lag=7`).
+    pub fn validate(
+        &self,
+        policy: String,
+        params: BTreeMap<String, String>,
+    ) -> Result<SchedulerSpec, SpecError> {
+        let Some(factory) = self.factory(&policy) else {
+            return Err(SpecError::UnknownPolicy {
+                name: policy,
+                known: self.names(),
+            });
+        };
+        let declared = factory.params();
+        let mut canonical = BTreeMap::new();
+        for (key, value) in params {
+            let Some(decl) = declared.iter().find(|p| p.key == key) else {
+                return Err(SpecError::UnknownParam {
+                    policy,
+                    key,
+                    known: declared.iter().map(|p| p.key.to_string()).collect(),
+                });
+            };
+            match decl.kind.canonicalise(&value) {
+                Ok(v) => {
+                    canonical.insert(key, v);
+                }
+                Err(expected) => {
+                    return Err(SpecError::InvalidValue {
+                        policy,
+                        key,
+                        value,
+                        expected,
+                    })
+                }
+            }
+        }
+        let spec = SchedulerSpec::known_valid(&policy, canonical);
+        if let Err(message) = factory.validate_spec(&spec) {
+            return Err(SpecError::InvalidCombination { policy, message });
+        }
+        Ok(spec)
+    }
+
+    /// Build the policy object a spec describes for a `cores`-core machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's policy has been removed from the registry since
+    /// the spec was created (specs are validated at construction, so this is
+    /// the only failure mode).
+    pub fn build(&self, spec: &SchedulerSpec, cores: usize) -> Box<dyn SchedulerPolicy> {
+        let factory = self
+            .factory(spec.policy())
+            .unwrap_or_else(|| panic!("policy '{}' vanished from the registry", spec.policy()));
+        factory.build(spec, cores)
+    }
+
+    /// A human-readable listing of every registered policy and its parameters
+    /// (what a `--help` for the spec grammar prints).
+    pub fn help(&self) -> String {
+        let factories = self
+            .factories
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = String::new();
+        for factory in factories.values() {
+            out.push_str(&format!("{:<8} {}\n", factory.name(), factory.doc()));
+            for p in factory.params() {
+                let kind = match p.kind {
+                    ParamKind::U64 => "u64".to_string(),
+                    ParamKind::Choice(options) => options.join("|"),
+                };
+                out.push_str(&format!("  {}=<{}>  {}\n", p.key, kind, p.doc));
+            }
+        }
+        out
+    }
+}
+
+/// Register a factory with the global registry (sugar over
+/// [`Registry::global`] + [`Registry::register`]).
+pub fn register(factory: Arc<dyn PolicyFactory>) {
+    Registry::global().register(factory);
+}
+
+// ---------------------------------------------------------------------------
+// Built-in factories.
+// ---------------------------------------------------------------------------
+
+struct PdfFactory;
+
+impl PolicyFactory for PdfFactory {
+    fn name(&self) -> &'static str {
+        "pdf"
+    }
+    fn doc(&self) -> &'static str {
+        "Parallel Depth First: global ready queue prioritised by sequential (1DF) rank"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[ParamSpec {
+            key: "lag",
+            kind: ParamKind::U64,
+            doc: "bounded priority-lag window: at most lag+1 tasks in flight past the \
+                  sequential frontier (omit for the classic unbounded policy)",
+        }]
+    }
+    fn build(&self, spec: &SchedulerSpec, _cores: usize) -> Box<dyn SchedulerPolicy> {
+        let pdf = match spec.param("lag") {
+            Some(_) => PdfPolicy::with_lag(spec.u64_param("lag", 0)),
+            None => PdfPolicy::new(),
+        };
+        Box::new(pdf.named(spec.canonical()))
+    }
+}
+
+struct WsFactory;
+
+impl PolicyFactory for WsFactory {
+    fn name(&self) -> &'static str {
+        "ws"
+    }
+    fn doc(&self) -> &'static str {
+        "Work Stealing: per-core deques, owner LIFO, idle cores steal"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "victim",
+                kind: ParamKind::Choice(&["round-robin", "random", "nearest"]),
+                doc: "victim selection: scan round-robin from the thief (default), \
+                      seeded-random start, or nearest-neighbour by core distance",
+            },
+            ParamSpec {
+                key: "steal",
+                kind: ParamKind::Choice(&["one", "half"]),
+                doc: "steal granularity: one task per steal (default) or half the \
+                      victim's deque",
+            },
+            ParamSpec {
+                key: "seed",
+                kind: ParamKind::U64,
+                doc: "seed for victim=random (default 0)",
+            },
+        ]
+    }
+    fn validate_spec(&self, spec: &SchedulerSpec) -> Result<(), String> {
+        seed_requires_random_victim(spec)
+    }
+    fn build(&self, spec: &SchedulerSpec, cores: usize) -> Box<dyn SchedulerPolicy> {
+        let (victim, steal, seed) = ws_options_of(spec);
+        Box::new(
+            WorkStealingPolicy::with_options(cores, victim, steal, seed).named(spec.canonical()),
+        )
+    }
+}
+
+/// Decode the shared work-stealing parameters (`victim`, `steal`, `seed`)
+/// from a validated spec (used by both the `ws` and `hybrid` factories).
+fn ws_options_of(spec: &SchedulerSpec) -> (VictimSelect, StealGranularity, u64) {
+    let victim = match spec.param("victim").unwrap_or("round-robin") {
+        "random" => VictimSelect::Random,
+        "nearest" => VictimSelect::Nearest,
+        _ => VictimSelect::RoundRobin,
+    };
+    let steal = match spec.param("steal").unwrap_or("one") {
+        "half" => StealGranularity::Half,
+        _ => StealGranularity::One,
+    };
+    (victim, steal, spec.u64_param("seed", 0))
+}
+
+/// A `seed` with any victim strategy other than `random` would be silently
+/// inert while still producing a distinct spec string — reject it so identical
+/// runs cannot masquerade as different schedulers.
+fn seed_requires_random_victim(spec: &SchedulerSpec) -> Result<(), String> {
+    if spec.param("seed").is_some() && spec.param("victim") != Some("random") {
+        return Err("'seed' only affects victim=random; add victim=random or drop seed".into());
+    }
+    Ok(())
+}
+
+struct StaticFactory;
+
+impl PolicyFactory for StaticFactory {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+    fn doc(&self) -> &'static str {
+        "Static round-robin partitioning with per-core FIFO queues (SMP baseline)"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[]
+    }
+    fn build(&self, spec: &SchedulerSpec, cores: usize) -> Box<dyn SchedulerPolicy> {
+        Box::new(StaticPartitionPolicy::new(cores).named(spec.canonical()))
+    }
+}
+
+struct HybridFactory;
+
+impl PolicyFactory for HybridFactory {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+    fn doc(&self) -> &'static str {
+        "PDF while the ready queue is shallow, per-core deques (WS) once it exceeds the threshold"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "threshold",
+                kind: ParamKind::U64,
+                doc: "ready-queue depth that triggers the PDF -> deques switch \
+                      (default: 2 x cores)",
+            },
+            ParamSpec {
+                key: "victim",
+                kind: ParamKind::Choice(&["round-robin", "random", "nearest"]),
+                doc: "victim selection for the post-switch deque mode (as in ws)",
+            },
+            ParamSpec {
+                key: "steal",
+                kind: ParamKind::Choice(&["one", "half"]),
+                doc: "steal granularity for the post-switch deque mode (as in ws)",
+            },
+            ParamSpec {
+                key: "seed",
+                kind: ParamKind::U64,
+                doc: "seed for victim=random (default 0)",
+            },
+        ]
+    }
+    fn validate_spec(&self, spec: &SchedulerSpec) -> Result<(), String> {
+        seed_requires_random_victim(spec)
+    }
+    fn build(&self, spec: &SchedulerSpec, cores: usize) -> Box<dyn SchedulerPolicy> {
+        let threshold = spec.u64_param("threshold", 2 * cores as u64) as usize;
+        let (victim, steal, seed) = ws_options_of(spec);
+        Box::new(
+            HybridPolicy::with_ws_options(cores, threshold, victim, steal, seed)
+                .named(spec.canonical()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_knows_the_builtins() {
+        let names = Registry::global().names();
+        for name in ["hybrid", "pdf", "static", "ws"] {
+            assert!(names.contains(&name.to_string()), "{names:?}");
+        }
+    }
+
+    #[test]
+    fn build_resolves_each_builtin_spec() {
+        for s in [
+            "pdf",
+            "pdf:lag=2",
+            "ws",
+            "ws:steal=half",
+            "static",
+            "hybrid:threshold=3",
+        ] {
+            let spec: SchedulerSpec = s.parse().unwrap();
+            let policy = Registry::global().build(&spec, 4);
+            assert_eq!(policy.name(), spec.canonical(), "{s}");
+        }
+    }
+
+    #[test]
+    fn help_lists_policies_and_parameters() {
+        let help = Registry::global().help();
+        assert!(help.contains("pdf"), "{help}");
+        assert!(
+            help.contains("victim=<round-robin|random|nearest>"),
+            "{help}"
+        );
+        assert!(help.contains("threshold=<u64>"), "{help}");
+    }
+
+    #[test]
+    fn custom_factories_extend_the_spec_grammar() {
+        struct Lifo;
+        impl PolicyFactory for Lifo {
+            fn name(&self) -> &'static str {
+                "test-lifo"
+            }
+            fn doc(&self) -> &'static str {
+                "global LIFO stack (registered by a unit test)"
+            }
+            fn params(&self) -> &'static [ParamSpec] {
+                &[]
+            }
+            fn build(&self, spec: &SchedulerSpec, _cores: usize) -> Box<dyn SchedulerPolicy> {
+                // A LIFO stack is just the static policy on one queue for the
+                // purposes of this test; realism is not the point here.
+                Box::new(StaticPartitionPolicy::new(1).named(spec.canonical()))
+            }
+        }
+        register(Arc::new(Lifo));
+        let spec: SchedulerSpec = "test-lifo".parse().unwrap();
+        assert_eq!(Registry::global().build(&spec, 8).name(), "test-lifo");
+        // Unknown params still rejected for custom policies.
+        let err = "test-lifo:x=1".parse::<SchedulerSpec>().unwrap_err();
+        assert!(err.to_string().contains("takes no parameters"), "{err}");
+    }
+
+    #[test]
+    fn separate_registries_are_independent() {
+        let reg = Registry::empty();
+        assert!(reg.names().is_empty());
+        let err = reg
+            .validate("pdf".to_string(), BTreeMap::new())
+            .unwrap_err();
+        assert!(matches!(err, SpecError::UnknownPolicy { .. }));
+    }
+}

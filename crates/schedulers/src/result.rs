@@ -8,7 +8,8 @@ use serde::{Deserialize, Serialize};
 /// under one scheduler.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
-    /// Scheduler short name ("pdf", "ws", "static").
+    /// Canonical scheduler spec string (e.g. "pdf", "ws:steal=half,victim=random"),
+    /// so differently parameterized runs of the same policy stay distinguishable.
     pub scheduler: String,
     /// Number of cores simulated.
     pub cores: usize,
@@ -25,7 +26,9 @@ pub struct SimResult {
     /// Cycles spent stalled waiting for the off-chip channel (queueing delay on
     /// top of the raw memory latency), summed over cores.
     pub offchip_queue_cycles: u64,
-    /// Steals performed (work stealing only; 0 otherwise).
+    /// Work migrations performed: steal events for deque-based policies
+    /// (`ws`, post-switch `hybrid`), cross-core placements for `static`; 0 for
+    /// `pdf`, whose global queue has no migration concept.
     pub steals: u64,
     /// Cache-hierarchy statistics at the end of the run.
     pub hierarchy: HierarchyStats,

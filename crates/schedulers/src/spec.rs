@@ -1,0 +1,426 @@
+//! `SchedulerSpec` — the open, parameterized description of a scheduler.
+//!
+//! A spec is the system's currency for "which scheduler": a policy name plus
+//! typed `key=value` parameters, round-trippable through [`std::fmt::Display`]
+//! and [`std::str::FromStr`]:
+//!
+//! ```text
+//! pdf                                  the classic Parallel Depth First policy
+//! pdf:lag=4                            PDF with a bounded priority-lag window
+//! ws                                   work stealing, round-robin victims
+//! ws:seed=7,steal=half,victim=random   parameterized work stealing
+//! static                               static round-robin partitioning
+//! hybrid:threshold=2                   PDF until ready depth exceeds 2, then deques
+//! ```
+//!
+//! Parsing validates the policy name and every parameter against the
+//! [`registry`](crate::registry): unknown policies and unknown or malformed
+//! parameters are rejected at parse time with messages that list what *would*
+//! have been accepted.  The stored form is canonical — parameters are sorted
+//! by key and numeric values are normalised — so `to_string()` followed by
+//! `parse()` is the identity, and two equal specs render identically in
+//! reports and job-stream records.
+//!
+//! The serde derives are markers (see the vendored `serde` stand-in); actual
+//! serialization goes through the canonical string form, e.g. in
+//! `pdfws-stream`'s JSONL record path.
+
+use crate::registry::Registry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed, validated scheduler description: policy name + parameters.
+///
+/// Construct one with the named constructors ([`SchedulerSpec::pdf`],
+/// [`SchedulerSpec::ws`], ...), by parsing (`"ws:steal=half".parse()`), or via
+/// [`SchedulerSpec::with_param`].  Every constructor validates against the
+/// global [`Registry`], so a `SchedulerSpec` value is always resolvable into a
+/// policy object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SchedulerSpec {
+    policy: String,
+    /// Canonically sorted `key -> value` parameters (only the explicitly-given
+    /// ones; defaults are applied by the factory at build time).
+    params: BTreeMap<String, String>,
+}
+
+/// Errors from parsing or validating a [`SchedulerSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec string was empty.
+    Empty,
+    /// The policy name is not in the registry.
+    UnknownPolicy {
+        /// The name that failed to resolve.
+        name: String,
+        /// Registered policy names at the time of the error.
+        known: Vec<String>,
+    },
+    /// The policy exists but has no such parameter.
+    UnknownParam {
+        /// The policy the parameter was given to.
+        policy: String,
+        /// The unknown key.
+        key: String,
+        /// The keys the policy does accept.
+        known: Vec<String>,
+    },
+    /// A parameter was not of the form `key=value`.
+    MalformedParam {
+        /// The offending fragment.
+        fragment: String,
+    },
+    /// The same key appeared twice.
+    DuplicateParam {
+        /// The repeated key.
+        key: String,
+    },
+    /// A combination of individually-valid parameters that the policy's
+    /// factory rejected (e.g. `seed` without `victim=random`).
+    InvalidCombination {
+        /// The policy that rejected the combination.
+        policy: String,
+        /// The factory's explanation.
+        message: String,
+    },
+    /// The value could not be parsed as the parameter's declared type.
+    InvalidValue {
+        /// The policy the parameter belongs to.
+        policy: String,
+        /// The parameter key.
+        key: String,
+        /// The rejected value.
+        value: String,
+        /// Human description of what was expected.
+        expected: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "empty scheduler spec"),
+            SpecError::UnknownPolicy { name, known } => write!(
+                f,
+                "unknown scheduler policy '{name}'; known policies: {}",
+                known.join(", ")
+            ),
+            SpecError::UnknownParam { policy, key, known } => {
+                if known.is_empty() {
+                    write!(f, "scheduler '{policy}' takes no parameters, got '{key}'")
+                } else {
+                    write!(
+                        f,
+                        "scheduler '{policy}' has no parameter '{key}'; known parameters: {}",
+                        known.join(", ")
+                    )
+                }
+            }
+            SpecError::MalformedParam { fragment } => {
+                write!(f, "malformed parameter '{fragment}' (expected key=value)")
+            }
+            SpecError::DuplicateParam { key } => {
+                write!(f, "duplicate parameter '{key}' in scheduler spec")
+            }
+            SpecError::InvalidCombination { policy, message } => write!(
+                f,
+                "invalid parameter combination for scheduler '{policy}': {message}"
+            ),
+            SpecError::InvalidValue {
+                policy,
+                key,
+                value,
+                expected,
+            } => write!(
+                f,
+                "invalid value '{value}' for parameter '{key}' of scheduler '{policy}': expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SchedulerSpec {
+    /// Internal: build a spec that is already known valid (used by the named
+    /// constructors and by the registry after validation).
+    pub(crate) fn known_valid(policy: &str, params: BTreeMap<String, String>) -> Self {
+        SchedulerSpec {
+            policy: policy.to_string(),
+            params,
+        }
+    }
+
+    /// Parse and validate a spec string (same as `s.parse()`).
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        s.parse()
+    }
+
+    /// The classic Parallel Depth First policy (no parameters).
+    pub fn pdf() -> Self {
+        Self::known_valid("pdf", BTreeMap::new())
+    }
+
+    /// PDF with a bounded priority-lag window: at most `lag + 1` tasks may be
+    /// in flight beyond the sequential frontier (see `pdf::PdfPolicy`).
+    pub fn pdf_with_lag(lag: u64) -> Self {
+        let mut params = BTreeMap::new();
+        params.insert("lag".to_string(), lag.to_string());
+        Self::known_valid("pdf", params)
+    }
+
+    /// Classic work stealing: round-robin victim scan, steal-one (no parameters).
+    pub fn ws() -> Self {
+        Self::known_valid("ws", BTreeMap::new())
+    }
+
+    /// Static round-robin partitioning (no parameters).
+    pub fn static_partition() -> Self {
+        Self::known_valid("static", BTreeMap::new())
+    }
+
+    /// The adaptive hybrid with an explicit PDF→deques switch threshold.
+    pub fn hybrid(threshold: u64) -> Self {
+        let mut params = BTreeMap::new();
+        params.insert("threshold".to_string(), threshold.to_string());
+        Self::known_valid("hybrid", params)
+    }
+
+    /// The spec of the sequential baseline: on one core the PDF schedule *is*
+    /// the sequential depth-first execution, so the baseline is `pdf`.
+    pub fn sequential_baseline() -> Self {
+        Self::pdf()
+    }
+
+    /// The two schedulers the paper compares: `[pdf, ws]`.
+    pub fn paper_pair() -> [SchedulerSpec; 2] {
+        [Self::pdf(), Self::ws()]
+    }
+
+    /// The registry key this spec resolves through ("pdf", "ws", ...).
+    pub fn policy(&self) -> &str {
+        &self.policy
+    }
+
+    /// The explicitly-given parameters, in canonical (sorted-by-key) order.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// The raw value of one parameter, if it was given.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+
+    /// A `u64` parameter, or `default` if it was not given.  The value parses
+    /// by construction (validated against the registry's [`ParamKind::U64`]
+    /// declaration when the spec was created).
+    ///
+    /// [`ParamKind::U64`]: crate::registry::ParamKind::U64
+    pub fn u64_param(&self, key: &str, default: u64) -> u64 {
+        self.param(key)
+            .map(|v| v.parse().expect("validated u64 parameter"))
+            .unwrap_or(default)
+    }
+
+    /// Add or replace one parameter, revalidating the result.  Consumes and
+    /// returns the spec so calls chain.
+    pub fn with_param(mut self, key: &str, value: &str) -> Result<Self, SpecError> {
+        self.params.insert(key.to_string(), value.to_string());
+        Registry::global().validate(self.policy.clone(), self.params)
+    }
+
+    /// The canonical string form (what [`fmt::Display`] prints): reports,
+    /// tables and job-stream records all carry this, so two differently
+    /// parameterized instances of the same policy stay distinguishable.
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.policy)?;
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            f.write_str(if i == 0 { ":" } else { "," })?;
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for SchedulerSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        let (policy, rest) = match s.split_once(':') {
+            Some((p, rest)) => (p.trim(), Some(rest)),
+            None => (s, None),
+        };
+        if policy.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        let mut params = BTreeMap::new();
+        if let Some(rest) = rest {
+            for fragment in rest.split(',') {
+                let fragment = fragment.trim();
+                let Some((key, value)) = fragment.split_once('=') else {
+                    return Err(SpecError::MalformedParam {
+                        fragment: fragment.to_string(),
+                    });
+                };
+                let (key, value) = (key.trim(), value.trim());
+                if key.is_empty() || value.is_empty() {
+                    return Err(SpecError::MalformedParam {
+                        fragment: fragment.to_string(),
+                    });
+                }
+                if params.insert(key.to_string(), value.to_string()).is_some() {
+                    return Err(SpecError::DuplicateParam {
+                        key: key.to_string(),
+                    });
+                }
+            }
+        }
+        Registry::global().validate(policy.to_string(), params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_policy_names_parse_and_display() {
+        for name in ["pdf", "ws", "static", "hybrid"] {
+            let spec: SchedulerSpec = name.parse().unwrap();
+            assert_eq!(spec.policy(), name);
+            assert_eq!(spec.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn parameters_are_canonicalised_sorted_by_key() {
+        let spec: SchedulerSpec = "ws:victim=random,steal=half,seed=7".parse().unwrap();
+        assert_eq!(spec.to_string(), "ws:seed=7,steal=half,victim=random");
+        // Round trip through the canonical form.
+        let again: SchedulerSpec = spec.to_string().parse().unwrap();
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn numeric_values_are_normalised() {
+        let a: SchedulerSpec = "pdf:lag=007".parse().unwrap();
+        let b: SchedulerSpec = "pdf:lag=7".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "pdf:lag=7");
+        assert_eq!(a.u64_param("lag", 0), 7);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let spec: SchedulerSpec = "  ws : victim = random , seed = 3 ".parse().unwrap();
+        assert_eq!(spec.to_string(), "ws:seed=3,victim=random");
+    }
+
+    #[test]
+    fn unknown_policy_lists_known_names() {
+        let err = "bogus".parse::<SchedulerSpec>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown scheduler policy 'bogus'"), "{msg}");
+        assert!(msg.contains("pdf"), "{msg}");
+        assert!(msg.contains("ws"), "{msg}");
+        assert!(msg.contains("hybrid"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_parameter_lists_known_keys() {
+        let err = "ws:speed=9".parse::<SchedulerSpec>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("has no parameter 'speed'"), "{msg}");
+        assert!(msg.contains("victim"), "{msg}");
+        assert!(msg.contains("steal"), "{msg}");
+        assert!(msg.contains("seed"), "{msg}");
+    }
+
+    #[test]
+    fn parameterless_policies_reject_any_key() {
+        let err = "static:chunk=4".parse::<SchedulerSpec>().unwrap_err();
+        assert!(err.to_string().contains("takes no parameters"), "{err}");
+    }
+
+    #[test]
+    fn malformed_and_duplicate_params_are_rejected() {
+        let err = "ws:steal".parse::<SchedulerSpec>().unwrap_err();
+        assert!(matches!(err, SpecError::MalformedParam { .. }), "{err}");
+        assert!(err.to_string().contains("expected key=value"), "{err}");
+        let err = "ws:seed=1,seed=2".parse::<SchedulerSpec>().unwrap_err();
+        assert!(matches!(err, SpecError::DuplicateParam { .. }), "{err}");
+    }
+
+    #[test]
+    fn typed_values_are_checked() {
+        let err = "pdf:lag=soon".parse::<SchedulerSpec>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("invalid value 'soon'"), "{msg}");
+        assert!(msg.contains("unsigned integer"), "{msg}");
+        let err = "ws:victim=closest".parse::<SchedulerSpec>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("one of"), "{msg}");
+        assert!(msg.contains("nearest"), "{msg}");
+    }
+
+    #[test]
+    fn inert_parameter_combinations_are_rejected() {
+        let err = "ws:seed=7".parse::<SchedulerSpec>().unwrap_err();
+        assert!(matches!(err, SpecError::InvalidCombination { .. }), "{err}");
+        assert!(err.to_string().contains("victim=random"), "{err}");
+        let err = "hybrid:threshold=2,seed=7"
+            .parse::<SchedulerSpec>()
+            .unwrap_err();
+        assert!(err.to_string().contains("victim=random"), "{err}");
+        // With the random victim the seed is meaningful and accepted.
+        assert!("ws:victim=random,seed=7".parse::<SchedulerSpec>().is_ok());
+        assert!("hybrid:victim=random,seed=7,steal=half"
+            .parse::<SchedulerSpec>()
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_specs_are_rejected() {
+        assert_eq!("".parse::<SchedulerSpec>().unwrap_err(), SpecError::Empty);
+        assert_eq!("  ".parse::<SchedulerSpec>().unwrap_err(), SpecError::Empty);
+        assert_eq!(
+            ":lag=1".parse::<SchedulerSpec>().unwrap_err(),
+            SpecError::Empty
+        );
+    }
+
+    #[test]
+    fn with_param_revalidates() {
+        let spec = SchedulerSpec::ws().with_param("steal", "half").unwrap();
+        assert_eq!(spec.to_string(), "ws:steal=half");
+        let err = SchedulerSpec::ws().with_param("steal", "most").unwrap_err();
+        assert!(matches!(err, SpecError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn named_constructors_match_parsed_specs() {
+        assert_eq!(SchedulerSpec::pdf(), "pdf".parse().unwrap());
+        assert_eq!(SchedulerSpec::ws(), "ws".parse().unwrap());
+        assert_eq!(SchedulerSpec::static_partition(), "static".parse().unwrap());
+        assert_eq!(
+            SchedulerSpec::hybrid(2),
+            "hybrid:threshold=2".parse().unwrap()
+        );
+        assert_eq!(SchedulerSpec::pdf_with_lag(4), "pdf:lag=4".parse().unwrap());
+        assert_eq!(SchedulerSpec::sequential_baseline(), SchedulerSpec::pdf());
+        assert_eq!(SchedulerSpec::paper_pair().len(), 2);
+    }
+}

@@ -8,6 +8,12 @@
 //! core processes its queue FIFO.  Combined with the coarse-grained workload
 //! variants it reproduces the paper's finding that such programs "cannot exploit
 //! the constructive cache behavior inherent in PDF".
+//!
+//! The policy's [`steals`](SchedulerPolicy::steals) counter reports *cross-core
+//! placements*: tasks whose statically assigned home core differs from the core
+//! that enabled them.  Static partitioning never load-balances, but it moves
+//! work between cores constantly — every cross-core placement is a transfer a
+//! locality-aware scheduler would have avoided.
 
 use crate::policy::SchedulerPolicy;
 use pdfws_task_dag::{TaskDag, TaskId};
@@ -16,7 +22,10 @@ use std::collections::VecDeque;
 /// Static round-robin assignment with per-core FIFO queues.
 #[derive(Debug)]
 pub struct StaticPartitionPolicy {
+    name: String,
     queues: Vec<VecDeque<TaskId>>,
+    /// Tasks queued on a home core different from their enabling core.
+    migrations: u64,
 }
 
 impl StaticPartitionPolicy {
@@ -24,8 +33,16 @@ impl StaticPartitionPolicy {
     pub fn new(cores: usize) -> Self {
         assert!(cores > 0, "static partitioning needs at least one core");
         StaticPartitionPolicy {
+            name: "static".to_string(),
             queues: vec![VecDeque::new(); cores],
+            migrations: 0,
         }
+    }
+
+    /// Replace the reported name (the registry passes the canonical spec string).
+    pub fn named(mut self, name: String) -> Self {
+        self.name = name;
+        self
     }
 
     /// The core a task is statically assigned to.
@@ -40,18 +57,22 @@ impl StaticPartitionPolicy {
 }
 
 impl SchedulerPolicy for StaticPartitionPolicy {
-    fn name(&self) -> &'static str {
-        "static"
+    fn name(&self) -> String {
+        self.name.clone()
     }
 
     fn init(&mut self, _dag: &TaskDag) {
         for q in &mut self.queues {
             q.clear();
         }
+        self.migrations = 0;
     }
 
-    fn task_ready(&mut self, task: TaskId, _enabling_core: Option<usize>) {
+    fn task_ready(&mut self, task: TaskId, enabling_core: Option<usize>) {
         let home = self.home_core(task);
+        if enabling_core.is_some_and(|c| c != home) {
+            self.migrations += 1;
+        }
         self.queues[home].push_back(task);
     }
 
@@ -61,6 +82,10 @@ impl SchedulerPolicy for StaticPartitionPolicy {
 
     fn ready_count(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn steals(&self) -> u64 {
+        self.migrations
     }
 }
 
@@ -101,6 +126,29 @@ mod tests {
     }
 
     #[test]
+    fn cross_core_placements_are_counted_as_migrations() {
+        let mut b = DagBuilder::new();
+        let root = b.task("root").build();
+        let kids: Vec<_> = (0..6).map(|i| b.task(&format!("c{i}")).build()).collect();
+        for &c in &kids {
+            b.edge(root, c);
+        }
+        let dag = b.finish().unwrap();
+        let mut sp = StaticPartitionPolicy::new(3);
+        sp.init(&dag);
+        assert_eq!(sp.steals(), 0);
+        // The root has no enabling core: not a migration.
+        sp.task_ready(root, None);
+        assert_eq!(sp.steals(), 0);
+        // Core 0 enables all six kids; homes are 1,2,0,1,2,0 so four of them
+        // land away from core 0.
+        for &c in &kids {
+            sp.task_ready(c, Some(0));
+        }
+        assert_eq!(sp.steals(), 4);
+    }
+
+    #[test]
     fn fifo_order_within_a_core() {
         let mut b = DagBuilder::new();
         let root = b.task("root").build();
@@ -127,7 +175,14 @@ mod tests {
             let mut sp = StaticPartitionPolicy::new(cores);
             let started = drain_policy(&dag, &mut sp, cores);
             assert_eq!(started.len(), dag.len());
-            assert_eq!(sp.steals(), 0);
+            if cores == 1 {
+                assert_eq!(sp.steals(), 0, "one core: every placement is home");
+            } else {
+                assert!(
+                    sp.steals() > 0,
+                    "round-robin homes on {cores} cores must migrate some tasks"
+                );
+            }
         }
     }
 

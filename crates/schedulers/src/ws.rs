@@ -1,4 +1,5 @@
-//! The Work Stealing (WS) scheduler.
+//! The Work Stealing (WS) scheduler, with configurable victim selection and
+//! steal granularity.
 //!
 //! "Each processing core maintains a local work queue of ready-to-execute threads.
 //! Whenever its local queue is empty, the core steals a thread from the bottom of
@@ -8,33 +9,118 @@
 //! The owner pops from the *top* (most recently pushed — the leftmost newly
 //! enabled child first, so each core descends depth-first into its own subtree),
 //! while a thief removes from the *bottom* (the oldest entry, typically the root
-//! of the largest unexplored subtree).  Victims are scanned round-robin starting
-//! from the core after the thief, which matches the paper's "first non-empty queue
-//! it finds".
+//! of the largest unexplored subtree).
+//!
+//! The paper's scheduler scans victims round-robin starting from the core after
+//! the thief ("first non-empty queue it finds"); that is the default.  Two
+//! further strategies from the work-stealing literature are available through
+//! the [`SchedulerSpec`](crate::SchedulerSpec) parameters:
+//!
+//! * `victim=random` — the scan *starts* at a seeded-random victim (the
+//!   Blumofe–Leiserson randomized strategy, made deterministic for simulation);
+//! * `victim=nearest` — victims are tried in order of core distance, so steals
+//!   prefer the neighbour whose L1 is topologically closest;
+//! * `steal=half` — a successful steal transfers half of the victim's deque
+//!   (oldest entries) instead of a single task, amortising steal overhead at
+//!   the cost of coarser load balancing.
 
 use crate::policy::SchedulerPolicy;
 use pdfws_task_dag::{TaskDag, TaskId};
 use std::collections::VecDeque;
 
+/// How a thief chooses its victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimSelect {
+    /// Scan round-robin starting from the core after the thief (the paper's
+    /// "first non-empty queue it finds").
+    #[default]
+    RoundRobin,
+    /// Scan from a seeded-random starting core (deterministic for a fixed seed).
+    Random,
+    /// Try victims in order of increasing core distance (`core±1`, `core±2`, ...).
+    Nearest,
+}
+
+/// How much a successful steal transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealGranularity {
+    /// One task per steal (the classic discipline).
+    #[default]
+    One,
+    /// Half of the victim's deque (rounded up), oldest entries first; the
+    /// thief runs the oldest and keeps the rest on its own deque.
+    Half,
+}
+
 /// The WS policy: one double-ended queue per core.
 #[derive(Debug)]
 pub struct WorkStealingPolicy {
+    name: String,
     deques: Vec<VecDeque<TaskId>>,
     steals: u64,
+    tasks_stolen: u64,
+    victim: VictimSelect,
+    steal: StealGranularity,
+    seed: u64,
+    rng: u64,
     /// Tasks whose enabling core is unknown (only the root) go here and are taken
     /// by the first core that asks.
     unassigned: VecDeque<TaskId>,
 }
 
 impl WorkStealingPolicy {
-    /// Create a WS policy for `cores` cores.
+    /// Create the classic WS policy (round-robin victims, steal-one) for
+    /// `cores` cores.
     pub fn new(cores: usize) -> Self {
+        Self::with_options(cores, VictimSelect::RoundRobin, StealGranularity::One, 0)
+    }
+
+    /// Create a WS policy with explicit victim selection, steal granularity and
+    /// seed (the seed only matters for [`VictimSelect::Random`]).
+    pub fn with_options(
+        cores: usize,
+        victim: VictimSelect,
+        steal: StealGranularity,
+        seed: u64,
+    ) -> Self {
         assert!(cores > 0, "work stealing needs at least one core");
+        // Synthesize the canonical spec for direct construction (the registry
+        // overrides this with the exact spec it resolved) by building a real
+        // SchedulerSpec, so the one canonicalisation implementation is reused.
+        let mut params = std::collections::BTreeMap::new();
+        if seed != 0 {
+            params.insert("seed".to_string(), seed.to_string());
+        }
+        if steal == StealGranularity::Half {
+            params.insert("steal".to_string(), "half".to_string());
+        }
+        match victim {
+            VictimSelect::RoundRobin => {}
+            VictimSelect::Random => {
+                params.insert("victim".to_string(), "random".to_string());
+            }
+            VictimSelect::Nearest => {
+                params.insert("victim".to_string(), "nearest".to_string());
+            }
+        }
+        let name = crate::spec::SchedulerSpec::known_valid("ws", params).canonical();
         WorkStealingPolicy {
+            name,
             deques: vec![VecDeque::new(); cores],
             steals: 0,
+            tasks_stolen: 0,
+            victim,
+            steal,
+            seed,
+            rng: seed_state(seed),
             unassigned: VecDeque::new(),
         }
+    }
+
+    /// Replace the reported name (the registry passes the canonical spec string).
+    pub fn named(mut self, name: String) -> Self {
+        self.name = name;
+        self
     }
 
     /// Number of cores (deques).
@@ -46,11 +132,93 @@ impl WorkStealingPolicy {
     pub fn queue_len(&self, core: usize) -> usize {
         self.deques[core].len()
     }
+
+    /// Total tasks transferred by steals (equals [`SchedulerPolicy::steals`]
+    /// under `steal=one`; larger under `steal=half`).
+    pub fn tasks_stolen(&self) -> u64 {
+        self.tasks_stolen
+    }
+
+    /// The victim deque the thief on `core` tries at scan position `offset`
+    /// (`offset` in `1..cores`), under the configured strategy.
+    fn victim_at(&mut self, core: usize, offset: usize) -> usize {
+        let n = self.deques.len();
+        match self.victim {
+            VictimSelect::RoundRobin => (core + offset) % n,
+            VictimSelect::Random => {
+                // The scan starts at a random core and proceeds round-robin
+                // (skipping the thief) so no non-empty deque is ever missed.
+                // Draw once per scan.
+                if offset == 1 {
+                    self.rng = xorshift(self.rng);
+                }
+                let start = (self.rng as usize) % n;
+                let mut seen = 0usize;
+                for j in 0..n {
+                    let v = (start + j) % n;
+                    if v == core {
+                        continue;
+                    }
+                    seen += 1;
+                    if seen == offset {
+                        return v;
+                    }
+                }
+                unreachable!("offset {offset} out of range for {n} cores")
+            }
+            VictimSelect::Nearest => {
+                // Distance order: +1, -1, +2, -2, ... clamped to the chip.
+                let mut seen = 0usize;
+                for d in 1..n {
+                    if core + d < n {
+                        seen += 1;
+                        if seen == offset {
+                            return core + d;
+                        }
+                    }
+                    if core >= d {
+                        seen += 1;
+                        if seen == offset {
+                            return core - d;
+                        }
+                    }
+                }
+                unreachable!("offset {offset} out of range for {n} cores")
+            }
+        }
+    }
+
+    /// Execute one steal from `victim`'s deque on behalf of `core`, honouring
+    /// the configured granularity.  The victim's deque must be non-empty.
+    fn steal_from(&mut self, core: usize, victim: usize) -> TaskId {
+        self.steals += 1;
+        match self.steal {
+            StealGranularity::One => {
+                self.tasks_stolen += 1;
+                self.deques[victim].pop_front().expect("victim non-empty")
+            }
+            StealGranularity::Half => {
+                let take = self.deques[victim].len().div_ceil(2);
+                let mut stolen: Vec<TaskId> = self.deques[victim].drain(..take).collect();
+                self.tasks_stolen += stolen.len() as u64;
+                let first = stolen.remove(0);
+                // Keep the stolen run in age order on the thief's deque
+                // (front = oldest), preserving the deque invariant every
+                // other path maintains: the owner's LIFO pop takes the
+                // youngest, and a later thief's bottom steal takes the
+                // oldest.
+                for &t in &stolen {
+                    self.deques[core].push_back(t);
+                }
+                first
+            }
+        }
+    }
 }
 
 impl SchedulerPolicy for WorkStealingPolicy {
-    fn name(&self) -> &'static str {
-        "ws"
+    fn name(&self) -> String {
+        self.name.clone()
     }
 
     fn init(&mut self, _dag: &TaskDag) {
@@ -59,6 +227,8 @@ impl SchedulerPolicy for WorkStealingPolicy {
         }
         self.unassigned.clear();
         self.steals = 0;
+        self.tasks_stolen = 0;
+        self.rng = seed_state(self.seed);
     }
 
     fn task_ready(&mut self, task: TaskId, enabling_core: Option<usize>) {
@@ -77,14 +247,13 @@ impl SchedulerPolicy for WorkStealingPolicy {
         if let Some(task) = self.unassigned.pop_front() {
             return Some(task);
         }
-        // Steal from the bottom (front) of the first non-empty victim, scanning
-        // round-robin from the next core.
+        // Steal from the bottom (front) of the first non-empty victim, in the
+        // configured scan order.
         let n = self.deques.len();
         for offset in 1..n {
-            let victim = (core + offset) % n;
-            if let Some(task) = self.deques[victim].pop_front() {
-                self.steals += 1;
-                return Some(task);
+            let victim = self.victim_at(core, offset);
+            if !self.deques[victim].is_empty() {
+                return Some(self.steal_from(core, victim));
             }
         }
         None
@@ -97,6 +266,19 @@ impl SchedulerPolicy for WorkStealingPolicy {
     fn steals(&self) -> u64 {
         self.steals
     }
+}
+
+/// Non-zero xorshift64 state for a seed.
+fn seed_state(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// One xorshift64 step.
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
 }
 
 #[cfg(test)]
@@ -234,6 +416,161 @@ mod tests {
         // Core 0 descends the left half ("leaf-0..."), the thief owns the right half.
         assert!(l0.iter().all(|l| l.starts_with("leaf-0")), "{l0:?}");
         assert!(l1.iter().all(|l| l.starts_with("leaf-1")), "{l1:?}");
+    }
+
+    #[test]
+    fn steal_half_takes_half_the_victims_deque_in_one_event() {
+        let (dag, kids) = star_dag(6);
+        let mut ws = WorkStealingPolicy::with_options(
+            2,
+            VictimSelect::RoundRobin,
+            StealGranularity::Half,
+            0,
+        );
+        ws.init(&dag);
+        for &c in &kids {
+            ws.task_ready(c, Some(0));
+        }
+        // One steal event moves ceil(6/2) = 3 tasks: the thief runs the oldest
+        // (c0) and keeps c1, c2 on its own deque in age order (c1 at the
+        // bottom, c2 at the top).
+        assert_eq!(ws.next_task(1), Some(kids[0]));
+        assert_eq!(ws.steals(), 1);
+        assert_eq!(ws.tasks_stolen(), 3);
+        assert_eq!(ws.queue_len(1), 2);
+        assert_eq!(ws.queue_len(0), 3);
+        // The thief's own LIFO pop takes the youngest stolen task first (the
+        // usual deque discipline), with no new steal event.
+        assert_eq!(ws.next_task(1), Some(kids[2]));
+        assert_eq!(ws.next_task(1), Some(kids[1]));
+        assert_eq!(ws.steals(), 1);
+    }
+
+    #[test]
+    fn stolen_runs_keep_the_deque_age_invariant_for_later_thieves() {
+        let (dag, kids) = star_dag(6);
+        let mut ws = WorkStealingPolicy::with_options(
+            3,
+            VictimSelect::RoundRobin,
+            StealGranularity::Half,
+            0,
+        );
+        ws.init(&dag);
+        for &c in &kids {
+            ws.task_ready(c, Some(0));
+        }
+        // Core 1 steals half of core 0's deque: runs c0, keeps [c1, c2].
+        assert_eq!(ws.next_task(1), Some(kids[0]));
+        // Core 0 drains its own remainder (LIFO: c5, c4, c3).
+        assert_eq!(ws.next_task(0), Some(kids[5]));
+        assert_eq!(ws.next_task(0), Some(kids[4]));
+        assert_eq!(ws.next_task(0), Some(kids[3]));
+        // Core 2 now steals from core 1 and must receive the *oldest* of the
+        // stolen run (c1), not the youngest — the bottom-steal semantics hold
+        // for re-stolen work too.
+        assert_eq!(ws.next_task(2), Some(kids[1]));
+        assert_eq!(ws.steals(), 2);
+    }
+
+    #[test]
+    fn steal_half_performs_fewer_steals_than_steal_one_on_the_same_dag() {
+        // The acceptance property for the `steal` parameter: on the same seeded
+        // DAG, transferring half the deque per event needs fewer events.  A
+        // wide fork builds deep deques, which is where granularity matters (on
+        // a binary tree deques never exceed two entries and the two tie).
+        let dag = pdfws_task_dag::builder::SpTree::Par(
+            (0..64)
+                .map(|i| pdfws_task_dag::builder::SpTree::leaf(&format!("l{i}"), 50))
+                .collect(),
+        )
+        .into_dag()
+        .unwrap();
+        let run = |steal: StealGranularity| {
+            let mut ws = WorkStealingPolicy::with_options(4, VictimSelect::RoundRobin, steal, 0);
+            let started = drain_policy(&dag, &mut ws, 4);
+            assert_eq!(started.len(), dag.len());
+            ws.steals()
+        };
+        let one = run(StealGranularity::One);
+        let half = run(StealGranularity::Half);
+        assert!(
+            half < one,
+            "steal=half should need fewer steal events: half={half} one={one}"
+        );
+    }
+
+    #[test]
+    fn nearest_victim_prefers_the_closest_core() {
+        let (dag, kids) = star_dag(2);
+        let mut ws =
+            WorkStealingPolicy::with_options(4, VictimSelect::Nearest, StealGranularity::One, 0);
+        ws.init(&dag);
+        // Work on deques 0 and 2; the thief is core 3.
+        ws.task_ready(kids[0], Some(0));
+        ws.task_ready(kids[1], Some(2));
+        // Round-robin from core 3 would scan 0 first; nearest scans 2 first
+        // (distance 1 vs distance 3).
+        assert_eq!(ws.next_task(3), Some(kids[1]));
+        assert_eq!(ws.next_task(3), Some(kids[0]));
+        assert_eq!(ws.steals(), 2);
+    }
+
+    #[test]
+    fn random_victim_selection_is_seeded_and_changes_the_scan() {
+        let (dag, kids) = star_dag(2);
+        let setup = |victim: VictimSelect, seed: u64| {
+            let mut ws = WorkStealingPolicy::with_options(4, victim, StealGranularity::One, seed);
+            ws.init(&dag);
+            ws.task_ready(kids[0], Some(1));
+            ws.task_ready(kids[1], Some(3));
+            // Which deque does core 0's first steal hit?
+            ws.next_task(0)
+        };
+        let round_robin = setup(VictimSelect::RoundRobin, 0);
+        assert_eq!(round_robin, Some(kids[0]), "RR scans core 1 first");
+        // Same seed, same choice (determinism).
+        for seed in 0..8 {
+            assert_eq!(
+                setup(VictimSelect::Random, seed),
+                setup(VictimSelect::Random, seed),
+                "seed {seed} must be deterministic"
+            );
+        }
+        // Some seed starts the scan at core 2 or 3, finding kids[1] first —
+        // i.e. the parameter actually changes the schedule.
+        assert!(
+            (0..8).any(|seed| setup(VictimSelect::Random, seed) == Some(kids[1])),
+            "no seed in 0..8 changed the victim scan"
+        );
+    }
+
+    #[test]
+    fn random_victims_still_drain_whole_dags() {
+        let dag = binary_tree(7, 20);
+        for seed in [0u64, 1, 42] {
+            let mut ws = WorkStealingPolicy::with_options(
+                3,
+                VictimSelect::Random,
+                StealGranularity::One,
+                seed,
+            );
+            let started = drain_policy(&dag, &mut ws, 3);
+            assert_eq!(started.len(), dag.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn names_reflect_the_parameterization() {
+        assert_eq!(WorkStealingPolicy::new(2).name(), "ws");
+        let ws =
+            WorkStealingPolicy::with_options(2, VictimSelect::Random, StealGranularity::Half, 7);
+        assert_eq!(ws.name(), "ws:seed=7,steal=half,victim=random");
+        assert_eq!(
+            WorkStealingPolicy::new(2)
+                .named("ws:steal=one".into())
+                .name(),
+            "ws:steal=one"
+        );
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! * [`record::StreamOutcome`] — the latency/throughput sink: p50/p95/p99
 //!   sojourn, queueing delay, achieved jobs-per-megacycle, per-job L2 MPKI and
 //!   SLO attainment, built on `pdfws-metrics`' [`Quantiles`](pdfws_metrics::Quantiles).
+//!   Per-job [`JobRecord`](record::JobRecord)s carry the full
+//!   [`SchedulerSpec`](pdfws_schedulers::SchedulerSpec) string and round-trip
+//!   through JSONL ([`StreamOutcome::to_jsonl`](record::StreamOutcome::to_jsonl) /
+//!   [`records_from_jsonl`](record::records_from_jsonl)).
 //!
 //! The high-level entry point is `pdfws_core::StreamExperiment`, which sweeps
 //! schedulers over one stream the way `Experiment` sweeps them over one DAG.
@@ -33,10 +37,10 @@
 //! use pdfws_stream::{
 //!     AdmissionPolicy, ArrivalProcess, JobMix, StreamConfig, run_stream_sim,
 //! };
-//! use pdfws_schedulers::SchedulerKind;
+//! use pdfws_schedulers::SchedulerSpec;
 //!
 //! let mix = JobMix::class_b();
-//! let mut cfg = StreamConfig::new(4, SchedulerKind::Pdf);
+//! let mut cfg = StreamConfig::new(4, SchedulerSpec::pdf());
 //! cfg.arrivals = ArrivalProcess::ClosedLoop { population: 2, think_cycles: 1_000 };
 //! cfg.admission = AdmissionPolicy::Fifo;
 //! let outcome = run_stream_sim(&mix, 6, &cfg).unwrap();
@@ -57,7 +61,7 @@ pub mod thread_backend;
 pub use admission::{AdmissionPolicy, AdmissionQueue};
 pub use arrival::ArrivalProcess;
 pub use job::StreamJob;
-pub use record::{JobRecord, StreamOutcome, StreamSummary};
+pub use record::{records_from_jsonl, JobRecord, StreamOutcome, StreamSummary};
 pub use sim_backend::{run_stream_sim, StreamConfig};
 pub use source::{JobMix, JobTemplate};
 pub use thread_backend::{

@@ -1,7 +1,18 @@
-//! The latency/throughput metrics sink: per-job records and stream summaries.
+//! The latency/throughput metrics sink: per-job records, stream summaries, and
+//! the JSONL record serialization.
+//!
+//! Every [`JobRecord`] carries the full [`SchedulerSpec`] that served it (not
+//! just a short name), so records from two differently parameterized instances
+//! of the same policy — say `ws:steal=one` and `ws:steal=half` — stay
+//! distinguishable after they are written out.  [`StreamOutcome::to_jsonl`]
+//! and [`records_from_jsonl`] round-trip records through one JSON object per
+//! line; the spec travels as its canonical string and parses back to an
+//! identical [`SchedulerSpec`].  (The vendored `serde` is a no-op marker
+//! stand-in — see `vendor/serde` — so the JSON layer here is hand-rolled over
+//! the same canonical forms the serde derives would use.)
 
 use pdfws_metrics::Quantiles;
-use pdfws_schedulers::SchedulerKind;
+use pdfws_schedulers::SchedulerSpec;
 use pdfws_workloads::WorkloadClass;
 
 /// Everything measured about one completed job.
@@ -15,6 +26,8 @@ pub struct JobRecord {
     pub name: String,
     /// Application class.
     pub class: WorkloadClass,
+    /// Full spec of the scheduler that served this job.
+    pub scheduler: SchedulerSpec,
     /// Cycle the job entered the system.
     pub arrival_cycle: u64,
     /// Cycle the job was admitted to a slot.
@@ -33,11 +46,208 @@ pub struct JobRecord {
     pub l2_mpki: f64,
 }
 
+impl JobRecord {
+    /// Serialize as one JSON object (one JSONL line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"tenant\":{},\"name\":{},\"class\":{},\"scheduler\":{},\
+             \"arrival_cycle\":{},\"admit_cycle\":{},\"completion_cycle\":{},\
+             \"queue_cycles\":{},\"sojourn_cycles\":{},\"service_cycles\":{},\
+             \"instructions\":{},\"l2_mpki\":{:?}}}",
+            self.id,
+            self.tenant,
+            json_string(&self.name),
+            json_string(&self.class.to_string()),
+            json_string(&self.scheduler.to_string()),
+            self.arrival_cycle,
+            self.admit_cycle,
+            self.completion_cycle,
+            self.queue_cycles,
+            self.sojourn_cycles,
+            self.service_cycles,
+            self.instructions,
+            self.l2_mpki,
+        )
+    }
+
+    /// Parse one record back from its [`JobRecord::to_json`] form.
+    pub fn from_json(line: &str) -> Result<JobRecord, String> {
+        let fields = parse_json_object(line)?;
+        let get = |key: &str| -> Result<&JsonValue, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("job record is missing field '{key}'"))
+        };
+        let scheduler: SchedulerSpec = get("scheduler")?
+            .as_str()?
+            .parse()
+            .map_err(|e| format!("bad scheduler spec in record: {e}"))?;
+        let class: WorkloadClass = get("class")?.as_str()?.parse()?;
+        Ok(JobRecord {
+            id: get("id")?.as_u64()?,
+            tenant: get("tenant")?.as_u64()? as u32,
+            name: get("name")?.as_str()?.to_string(),
+            class,
+            scheduler,
+            arrival_cycle: get("arrival_cycle")?.as_u64()?,
+            admit_cycle: get("admit_cycle")?.as_u64()?,
+            completion_cycle: get("completion_cycle")?.as_u64()?,
+            queue_cycles: get("queue_cycles")?.as_u64()?,
+            sojourn_cycles: get("sojourn_cycles")?.as_u64()?,
+            service_cycles: get("service_cycles")?.as_u64()?,
+            instructions: get("instructions")?.as_u64()?,
+            l2_mpki: get("l2_mpki")?.as_f64()?,
+        })
+    }
+}
+
+/// Escape and quote a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The subset of JSON values job records use.  Integer tokens keep full u64
+/// precision (routing them through f64 would silently round values >= 2^53).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    String(String),
+    Unsigned(u64),
+    Number(f64),
+}
+
+impl JsonValue {
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            JsonValue::String(s) => Ok(s),
+            other => Err(format!("expected a string, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            JsonValue::Unsigned(n) => Ok(*n),
+            other => Err(format!("expected an unsigned integer, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            JsonValue::Number(n) => Ok(*n),
+            JsonValue::Unsigned(n) => Ok(*n as f64),
+            JsonValue::String(s) => Err(format!("expected a number, got string '{s}'")),
+        }
+    }
+}
+
+/// Parse one flat JSON object (`{"key":value,...}`) of strings and numbers.
+fn parse_json_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("job record must be a JSON object".to_string());
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some(',') | Some(' ') => {
+                chars.next();
+            }
+            Some('"') => {
+                let key = parse_string(&mut chars)?;
+                if chars.next() != Some(':') {
+                    return Err(format!("expected ':' after key '{key}'"));
+                }
+                let value = match chars.peek() {
+                    Some('"') => JsonValue::String(parse_string(&mut chars)?),
+                    Some(_) => {
+                        let mut num = String::new();
+                        while let Some(&c) = chars.peek() {
+                            if c == ',' || c == '}' {
+                                break;
+                            }
+                            num.push(c);
+                            chars.next();
+                        }
+                        match num.trim().parse::<u64>() {
+                            Ok(n) => JsonValue::Unsigned(n),
+                            Err(_) => JsonValue::Number(
+                                num.trim()
+                                    .parse::<f64>()
+                                    .map_err(|_| format!("bad number '{num}' for key '{key}'"))?,
+                            ),
+                        }
+                    }
+                    None => return Err("record ended mid-value".to_string()),
+                };
+                fields.push((key, value));
+            }
+            Some(c) => return Err(format!("unexpected character '{c}' in record")),
+            None => return Err("record ended before '}'".to_string()),
+        }
+    }
+    Ok(fields)
+}
+
+/// Parse a quoted JSON string (cursor on the opening quote).
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected a string".to_string());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                    out.push(char::from_u32(code).ok_or("invalid unicode escape")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+/// Parse a whole JSONL document of job records (blank lines ignored).
+pub fn records_from_jsonl(text: &str) -> Result<Vec<JobRecord>, String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(JobRecord::from_json)
+        .collect()
+}
+
 /// The full result of driving one job stream through one scheduler.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamOutcome {
-    /// Scheduler that served the stream.
-    pub scheduler: SchedulerKind,
+    /// Scheduler spec that served the stream.
+    pub scheduler: SchedulerSpec,
     /// Cores of the machine (simulated) or worker threads (real).
     pub cores: usize,
     /// Per-job records, in completion order.
@@ -113,6 +323,17 @@ impl StreamOutcome {
             .count();
         met as f64 / self.records.len() as f64
     }
+
+    /// Serialize every record as JSONL (one JSON object per line), each
+    /// carrying the full scheduler spec string.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +346,7 @@ mod tests {
             tenant: 0,
             name: "t".into(),
             class: WorkloadClass::ComputeBound,
+            scheduler: SchedulerSpec::pdf(),
             arrival_cycle: 0,
             admit_cycle: queue,
             completion_cycle: sojourn,
@@ -138,7 +360,7 @@ mod tests {
 
     fn outcome(sojourns: &[u64]) -> StreamOutcome {
         StreamOutcome {
-            scheduler: SchedulerKind::Pdf,
+            scheduler: SchedulerSpec::pdf(),
             cores: 4,
             records: sojourns
                 .iter()
@@ -175,5 +397,53 @@ mod tests {
         let o = outcome(&[100, 200]);
         assert_eq!(o.record(1).unwrap().sojourn_cycles, 200);
         assert!(o.record(9).is_none());
+    }
+
+    #[test]
+    fn json_round_trips_a_record_exactly() {
+        let mut r = record(3, 12_345, 678);
+        r.name = "merge \"sort\"\n".to_string();
+        r.scheduler = "ws:victim=random,seed=7".parse().unwrap();
+        r.l2_mpki = 0.123456789;
+        let line = r.to_json();
+        assert!(
+            line.contains("\"scheduler\":\"ws:seed=7,victim=random\""),
+            "{line}"
+        );
+        let back = JobRecord::from_json(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn jsonl_round_trips_whole_outcomes() {
+        let mut o = outcome(&[100, 200, 300]);
+        for r in &mut o.records {
+            r.scheduler = "hybrid:threshold=2".parse().unwrap();
+        }
+        let text = o.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        let back = records_from_jsonl(&text).unwrap();
+        assert_eq!(back, o.records);
+    }
+
+    #[test]
+    fn u64_fields_above_2_pow_53_survive_the_round_trip() {
+        let mut r = record(0, 10, 1);
+        r.instructions = u64::MAX - 1;
+        r.completion_cycle = (1u64 << 53) + 1;
+        let back = JobRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.instructions, u64::MAX - 1);
+        assert_eq!(back.completion_cycle, (1u64 << 53) + 1);
+    }
+
+    #[test]
+    fn malformed_records_are_rejected_with_context() {
+        assert!(JobRecord::from_json("not json").is_err());
+        let err = JobRecord::from_json("{\"id\":1}").unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+        let bad_spec = record(0, 10, 1).to_json().replace("\"pdf\"", "\"bogus\"");
+        let err = JobRecord::from_json(&bad_spec).unwrap_err();
+        assert!(err.contains("bad scheduler spec"), "{err}");
+        assert!(err.contains("unknown scheduler policy"), "{err}");
     }
 }

@@ -21,7 +21,7 @@ use crate::record::{JobRecord, StreamOutcome};
 use crate::source::JobMix;
 use pdfws_cmp_model::{default_config, CmpConfig, ModelError};
 use pdfws_schedulers::{
-    make_policy, Disturbance, EngineStatus, SchedulerKind, SimEngine, SimOptions,
+    make_policy, Disturbance, EngineStatus, SchedulerSpec, SimEngine, SimOptions,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -31,8 +31,9 @@ use std::collections::BinaryHeap;
 pub struct StreamConfig {
     /// Cores of the simulated CMP.
     pub cores: usize,
-    /// Scheduler every job's engine uses.
-    pub scheduler: SchedulerKind,
+    /// Scheduler spec every job's engine resolves (any registered policy,
+    /// with parameters — e.g. `"ws:victim=random,seed=7".parse()`).
+    pub scheduler: SchedulerSpec,
     /// Machine quantum granted per scheduling turn, in cycles.  Must be large
     /// relative to [`SimOptions::time_slice_cycles`].
     pub quantum_cycles: u64,
@@ -55,7 +56,7 @@ pub struct StreamConfig {
 impl StreamConfig {
     /// Sensible defaults: open-loop Poisson at 40 jobs/Mcycle, FIFO admission,
     /// 4 slots, 20k-cycle quanta.
-    pub fn new(cores: usize, scheduler: SchedulerKind) -> Self {
+    pub fn new(cores: usize, scheduler: SchedulerSpec) -> Self {
         StreamConfig {
             cores,
             scheduler,
@@ -175,7 +176,7 @@ pub fn run_stream_sim(
             let engine = SimEngine::with_shared_dag(
                 std::sync::Arc::new(dag),
                 &machine,
-                make_policy(cfg.scheduler, machine.cores),
+                make_policy(&cfg.scheduler, machine.cores),
                 cfg.sim_options.clone(),
             );
             active.push(ActiveJob {
@@ -236,6 +237,7 @@ pub fn run_stream_sim(
                 tenant: done.tenant,
                 name: std::mem::take(&mut done.name),
                 class: done.class,
+                scheduler: cfg.scheduler.clone(),
                 arrival_cycle: done.arrival_cycle,
                 admit_cycle: done.admit_cycle,
                 completion_cycle: now,
@@ -259,7 +261,7 @@ pub fn run_stream_sim(
     }
 
     Ok(StreamOutcome {
-        scheduler: cfg.scheduler,
+        scheduler: cfg.scheduler.clone(),
         cores: cfg.cores,
         records,
         admission_order,
@@ -272,7 +274,7 @@ pub fn run_stream_sim(
 mod tests {
     use super::*;
 
-    fn quick_cfg(scheduler: SchedulerKind) -> StreamConfig {
+    fn quick_cfg(scheduler: SchedulerSpec) -> StreamConfig {
         let mut cfg = StreamConfig::new(4, scheduler);
         cfg.quantum_cycles = 5_000;
         cfg.arrivals = ArrivalProcess::OpenLoopPoisson {
@@ -285,7 +287,7 @@ mod tests {
     #[test]
     fn all_jobs_complete_and_are_recorded_once() {
         let mix = JobMix::class_b();
-        let outcome = run_stream_sim(&mix, 10, &quick_cfg(SchedulerKind::Pdf)).unwrap();
+        let outcome = run_stream_sim(&mix, 10, &quick_cfg(SchedulerSpec::pdf())).unwrap();
         assert_eq!(outcome.records.len(), 10);
         assert_eq!(outcome.admission_order.len(), 10);
         let mut ids: Vec<u64> = outcome.records.iter().map(|r| r.id).collect();
@@ -314,7 +316,7 @@ mod tests {
     #[test]
     fn identical_seeds_reproduce_the_stream_exactly() {
         let mix = JobMix::class_a();
-        let cfg = quick_cfg(SchedulerKind::WorkStealing);
+        let cfg = quick_cfg(SchedulerSpec::ws());
         let a = run_stream_sim(&mix, 8, &cfg).unwrap();
         let b = run_stream_sim(&mix, 8, &cfg).unwrap();
         assert_eq!(a, b);
@@ -323,7 +325,7 @@ mod tests {
     #[test]
     fn closed_loop_never_exceeds_the_population() {
         let mix = JobMix::class_b();
-        let mut cfg = quick_cfg(SchedulerKind::Pdf);
+        let mut cfg = quick_cfg(SchedulerSpec::pdf());
         cfg.arrivals = ArrivalProcess::ClosedLoop {
             population: 2,
             think_cycles: 500,
@@ -342,7 +344,7 @@ mod tests {
     fn sjf_admits_short_jobs_before_long_ones_under_backlog() {
         let mix = JobMix::class_b();
         // Everything arrives at cycle 0, one slot: admission order == policy order.
-        let mut cfg = quick_cfg(SchedulerKind::Pdf);
+        let mut cfg = quick_cfg(SchedulerSpec::pdf());
         cfg.arrivals = ArrivalProcess::OpenLoopUniform {
             interarrival_cycles: 0,
         };
@@ -364,7 +366,7 @@ mod tests {
     #[test]
     fn higher_offered_load_increases_sojourn_times() {
         let mix = JobMix::class_b();
-        let mut slow = quick_cfg(SchedulerKind::Pdf);
+        let mut slow = quick_cfg(SchedulerSpec::pdf());
         slow.arrivals = ArrivalProcess::OpenLoopPoisson {
             jobs_per_mcycle: 5.0,
             seed: 11,
@@ -388,7 +390,7 @@ mod tests {
     #[should_panic(expected = "at least one client")]
     fn zero_population_closed_loops_are_rejected() {
         let mix = JobMix::class_b();
-        let mut cfg = quick_cfg(SchedulerKind::Pdf);
+        let mut cfg = quick_cfg(SchedulerSpec::pdf());
         cfg.arrivals = ArrivalProcess::ClosedLoop {
             population: 0,
             think_cycles: 100,
@@ -399,7 +401,7 @@ mod tests {
     #[test]
     fn fair_share_serves_both_tenants_under_a_flood() {
         let mix = JobMix::mixed();
-        let mut cfg = quick_cfg(SchedulerKind::Pdf);
+        let mut cfg = quick_cfg(SchedulerSpec::pdf());
         cfg.arrivals = ArrivalProcess::OpenLoopUniform {
             interarrival_cycles: 0,
         };

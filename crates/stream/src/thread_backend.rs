@@ -14,19 +14,21 @@
 use crate::source::JobMix;
 use pdfws_metrics::Quantiles;
 use pdfws_runtime::{ForkJoinPool, PdfPool, PoolError, WsPool};
-use pdfws_schedulers::SchedulerKind;
+use pdfws_schedulers::SchedulerSpec;
 use pdfws_task_dag::{TaskDag, TaskId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Configuration of one stream run on the real-thread backend.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreadStreamConfig {
     /// Worker threads in the pool.
     pub threads: usize,
-    /// Pool flavour: [`SchedulerKind::Pdf`] or [`SchedulerKind::WorkStealing`].
-    pub scheduler: SchedulerKind,
+    /// Pool flavour: a parameterless spec whose policy is `pdf` or `ws` (the
+    /// real-thread pools implement only the classic paper pair; parameterized
+    /// variants are rejected rather than silently served by the plain pool).
+    pub scheduler: SchedulerSpec,
     /// Closed-loop client population (concurrent submitters).
     pub population: usize,
     /// Client think time between a completion and the next submission.
@@ -39,7 +41,7 @@ pub struct ThreadStreamConfig {
 
 impl ThreadStreamConfig {
     /// Defaults sized for tests: 2 workers, 2 clients, no think time.
-    pub fn new(threads: usize, scheduler: SchedulerKind) -> Self {
+    pub fn new(threads: usize, scheduler: SchedulerSpec) -> Self {
         ThreadStreamConfig {
             threads,
             scheduler,
@@ -67,8 +69,8 @@ pub struct ThreadJobRecord {
 /// Result of one real-thread stream run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThreadStreamOutcome {
-    /// Pool flavour that served the stream.
-    pub scheduler: SchedulerKind,
+    /// Spec of the pool flavour that served the stream.
+    pub scheduler: SchedulerSpec,
     /// Worker threads.
     pub threads: usize,
     /// Per-job records in completion order.
@@ -204,7 +206,7 @@ fn serve<P: ForkJoinPool>(
     });
 
     ThreadStreamOutcome {
-        scheduler: cfg.scheduler,
+        scheduler: cfg.scheduler.clone(),
         threads: cfg.threads,
         records: records
             .into_inner()
@@ -219,17 +221,30 @@ pub fn run_stream_threads(
     n_jobs: usize,
     cfg: &ThreadStreamConfig,
 ) -> Result<ThreadStreamOutcome, PoolError> {
-    match cfg.scheduler {
-        SchedulerKind::WorkStealing => {
+    if let Some((key, _)) = cfg.scheduler.params().next() {
+        // Running the plain pool but labelling the outcome with a
+        // parameterized spec would misattribute the results.
+        return Err(PoolError::SpawnFailed {
+            message: format!(
+                "the thread backend implements only the classic pools; \
+                 parameter '{key}' in '{}' is not supported here",
+                cfg.scheduler
+            ),
+        });
+    }
+    match cfg.scheduler.policy() {
+        "ws" => {
             let pool = WsPool::new(cfg.threads)?;
             Ok(serve(&pool, mix, n_jobs, cfg))
         }
-        SchedulerKind::Pdf => {
+        "pdf" => {
             let pool = PdfPool::new(cfg.threads)?;
             Ok(serve(&pool, mix, n_jobs, cfg))
         }
-        SchedulerKind::StaticPartition => Err(PoolError::SpawnFailed {
-            message: "the thread backend implements only the paper pair (pdf, ws)".into(),
+        other => Err(PoolError::SpawnFailed {
+            message: format!(
+                "the thread backend implements only the paper pair (pdf, ws), got '{other}'"
+            ),
         }),
     }
 }
@@ -266,11 +281,11 @@ mod tests {
     #[test]
     fn both_pools_serve_the_stream() {
         let mix = JobMix::class_b();
-        for kind in SchedulerKind::PAPER_PAIR {
-            let mut cfg = ThreadStreamConfig::new(2, kind);
+        for spec in SchedulerSpec::paper_pair() {
+            let mut cfg = ThreadStreamConfig::new(2, spec.clone());
             cfg.ns_per_kinstr = 5; // keep the test fast
             let outcome = run_stream_threads(&mix, 6, &cfg).unwrap();
-            assert_eq!(outcome.records.len(), 6, "{kind}");
+            assert_eq!(outcome.records.len(), 6, "{spec}");
             assert!(outcome.wall > Duration::ZERO);
             assert!(outcome.jobs_per_sec() > 0.0);
             let q = outcome.sojourn_micros();
@@ -280,9 +295,21 @@ mod tests {
     }
 
     #[test]
-    fn static_partition_is_rejected() {
+    fn non_pool_policies_are_rejected() {
         let mix = JobMix::class_b();
-        let cfg = ThreadStreamConfig::new(2, SchedulerKind::StaticPartition);
-        assert!(run_stream_threads(&mix, 2, &cfg).is_err());
+        for spec in [SchedulerSpec::static_partition(), SchedulerSpec::hybrid(2)] {
+            let cfg = ThreadStreamConfig::new(2, spec);
+            assert!(run_stream_threads(&mix, 2, &cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn parameterized_pool_specs_are_rejected_not_misattributed() {
+        // "ws:steal=half" would run the plain WsPool while claiming to be the
+        // half-stealing variant; the backend must refuse instead.
+        let mix = JobMix::class_b();
+        let cfg = ThreadStreamConfig::new(2, "ws:steal=half".parse().unwrap());
+        let err = run_stream_threads(&mix, 2, &cfg).unwrap_err();
+        assert!(err.to_string().contains("steal"), "{err}");
     }
 }

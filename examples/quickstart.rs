@@ -13,7 +13,7 @@ fn main() {
 
     let report = Experiment::new(workload)
         .cores(8)
-        .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+        .schedulers(&SchedulerSpec::paper_pair())
         .run()
         .expect("the 8-core default configuration exists");
 

@@ -13,7 +13,7 @@ use pdfws::workloads::Workload;
 fn study(workload: &dyn Workload, cores: &[usize]) -> Table {
     let report = Experiment::new(WorkloadSpec::from_workload(workload))
         .core_sweep(cores)
-        .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+        .schedulers(&SchedulerSpec::paper_pair())
         .run()
         .expect("default configurations exist");
     let mut table = Table::new(
@@ -21,19 +21,19 @@ fn study(workload: &dyn Workload, cores: &[usize]) -> Table {
         "cores",
         cores.iter().map(|c| c.to_string()).collect(),
     );
-    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+    for spec in SchedulerSpec::paper_pair() {
         table.push_series(Series::new(
-            format!("{kind}_mpki"),
+            format!("{spec}_mpki"),
             cores
                 .iter()
-                .map(|&c| report.find(c, kind).unwrap().metrics.l2_mpki())
+                .map(|&c| report.find(c, &spec).unwrap().metrics.l2_mpki())
                 .collect(),
         ));
         table.push_series(Series::new(
-            format!("{kind}_speedup"),
+            format!("{spec}_speedup"),
             cores
                 .iter()
-                .map(|&c| report.speedup(report.find(c, kind).unwrap()))
+                .map(|&c| report.speedup(report.find(c, &spec).unwrap()))
                 .collect(),
         ));
     }

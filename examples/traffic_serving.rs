@@ -13,9 +13,9 @@
 use pdfws::prelude::*;
 use pdfws::stream::{run_stream_threads, ThreadStreamConfig};
 
-fn print_summary(label: &str, kind: SchedulerKind, s: &StreamSummary) {
+fn print_summary(label: &str, spec: &SchedulerSpec, s: &StreamSummary) {
     println!(
-        "  {label} {kind:>4}: p50 {:>8.1} kcyc  p95 {:>8.1} kcyc  p99 {:>8.1} kcyc  \
+        "  {label} {spec:>4}: p50 {:>8.1} kcyc  p95 {:>8.1} kcyc  p99 {:>8.1} kcyc  \
          {:.2} jobs/Mcyc  peak-conc {}  mean L2 MPKI {:.3}",
         s.sojourn.p50 / 1e3,
         s.sojourn.p95 / 1e3,
@@ -40,8 +40,8 @@ fn main() {
         })
         .run()
         .expect("8-core default configuration exists");
-    for kind in SchedulerKind::PAPER_PAIR {
-        print_summary("sim", kind, &open.summary(kind).expect("scheduler ran"));
+    for spec in SchedulerSpec::paper_pair() {
+        print_summary("sim", &spec, &open.summary(&spec).expect("scheduler ran"));
     }
     if let Some(ratio) = open.ws_over_pdf_p95() {
         println!("  ws p95 / pdf p95 = {ratio:.3}\n");
@@ -58,18 +58,18 @@ fn main() {
         .admission(AdmissionPolicy::ShortestJobFirst)
         .run()
         .expect("8-core default configuration exists");
-    for kind in SchedulerKind::PAPER_PAIR {
-        print_summary("sim", kind, &closed.summary(kind).expect("scheduler ran"));
+    for spec in SchedulerSpec::paper_pair() {
+        print_summary("sim", &spec, &closed.summary(&spec).expect("scheduler ran"));
     }
     println!();
 
     println!("real threads, closed loop, 2 clients on 2 workers:");
-    for kind in SchedulerKind::PAPER_PAIR {
-        let cfg = ThreadStreamConfig::new(2, kind);
+    for spec in SchedulerSpec::paper_pair() {
+        let cfg = ThreadStreamConfig::new(2, spec.clone());
         let outcome = run_stream_threads(&mix, 12, &cfg).expect("pool spawns");
         let q = outcome.sojourn_micros();
         println!(
-            "  thread {kind:>4}: p50 {:>8.1} us  p95 {:>8.1} us  p99 {:>8.1} us  {:.0} jobs/s",
+            "  thread {spec:>4}: p50 {:>8.1} us  p95 {:>8.1} us  p99 {:>8.1} us  {:.0} jobs/s",
             q.p50,
             q.p95,
             q.p99,

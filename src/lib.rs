@@ -8,8 +8,8 @@
 //!   "default configurations" for 1–32 cores on a 240 mm² die).
 //! * [`cache_sim`] — private-L1 / shared-L2 cache-hierarchy simulator.
 //! * [`task_dag`] — fine-grained fork-join task DAGs with per-task memory traces.
-//! * [`schedulers`] — the PDF and WS schedulers (plus sequential and coarse-grained
-//!   baselines) and the cycle-level execution engine.
+//! * [`schedulers`] — the open `SchedulerSpec` API (policy registry, parameterized
+//!   PDF/WS/hybrid/static policies) and the cycle-level execution engine.
 //! * [`runtime`] — real-thread fork-join runtimes implementing both policies.
 //! * [`workloads`] — the benchmark programs (merge sort, matmul, LU, SpMV, hash
 //!   join, scan, …) as DAG generators.
@@ -30,7 +30,7 @@
 //! let workload = MergeSort::new(1 << 14).into_spec();
 //! let report = Experiment::new(workload)
 //!     .cores(8)
-//!     .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+//!     .schedulers(&[SchedulerSpec::pdf(), "ws:steal=half".parse().unwrap()])
 //!     .run()
 //!     .expect("simulation succeeds");
 //! for run in report.runs() {

@@ -6,7 +6,7 @@ use pdfws::prelude::*;
 fn sweep_over_the_paper_core_counts_completes_for_a_small_mergesort() {
     let report = Experiment::new(MergeSort::new(1 << 12).into_spec())
         .core_sweep(&[1, 2, 4, 8, 16, 32])
-        .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+        .schedulers(&SchedulerSpec::paper_pair())
         .run()
         .expect("all default configurations exist");
     assert_eq!(report.runs().len(), 12);
@@ -41,9 +41,9 @@ fn every_workload_class_runs_under_every_scheduler() {
         let report = Experiment::new(spec)
             .cores(4)
             .schedulers(&[
-                SchedulerKind::Pdf,
-                SchedulerKind::WorkStealing,
-                SchedulerKind::StaticPartition,
+                SchedulerSpec::pdf(),
+                SchedulerSpec::ws(),
+                SchedulerSpec::static_partition(),
             ])
             .run()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -62,14 +62,14 @@ fn speedups_are_monotone_enough_for_an_embarrassingly_parallel_workload() {
         .core_sweep(&[1, 2, 4, 8])
         .run()
         .unwrap();
-    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+    for spec in SchedulerSpec::paper_pair() {
         let mut prev = 0.0;
         for &cores in &[1usize, 2, 4, 8] {
-            let s = report.speedup(report.find(cores, kind).unwrap());
-            assert!(s + 1e-9 >= prev, "{kind} at {cores} cores: {s} < {prev}");
+            let s = report.speedup(report.find(cores, &spec).unwrap());
+            assert!(s + 1e-9 >= prev, "{spec} at {cores} cores: {s} < {prev}");
             assert!(
                 s > 0.8 * cores as f64 / 1.6,
-                "{kind} at {cores} cores: speedup {s}"
+                "{spec} at {cores} cores: speedup {s}"
             );
             prev = s;
         }

@@ -2,13 +2,15 @@
 //! umbrella crate's public API.
 
 use pdfws::prelude::*;
-use pdfws::stream::{run_stream_sim, run_stream_threads, StreamConfig, ThreadStreamConfig};
+use pdfws::stream::{
+    records_from_jsonl, run_stream_sim, run_stream_threads, StreamConfig, ThreadStreamConfig,
+};
 
 #[test]
 fn same_seed_reproduces_admission_order_and_sojourn_times() {
     let mix = JobMix::mixed();
-    for kind in SchedulerKind::PAPER_PAIR {
-        let mut cfg = StreamConfig::new(4, kind);
+    for spec in SchedulerSpec::paper_pair() {
+        let mut cfg = StreamConfig::new(4, spec.clone());
         cfg.quantum_cycles = 8_000;
         cfg.arrivals = ArrivalProcess::OpenLoopPoisson {
             jobs_per_mcycle: 80.0,
@@ -16,18 +18,18 @@ fn same_seed_reproduces_admission_order_and_sojourn_times() {
         };
         let a = run_stream_sim(&mix, 10, &cfg).unwrap();
         let b = run_stream_sim(&mix, 10, &cfg).unwrap();
-        assert_eq!(a.admission_order, b.admission_order, "{kind}");
+        assert_eq!(a.admission_order, b.admission_order, "{spec}");
         let sojourns_a: Vec<u64> = a.records.iter().map(|r| r.sojourn_cycles).collect();
         let sojourns_b: Vec<u64> = b.records.iter().map(|r| r.sojourn_cycles).collect();
-        assert_eq!(sojourns_a, sojourns_b, "{kind}");
-        assert_eq!(a, b, "{kind}: full outcomes must be bit-identical");
+        assert_eq!(sojourns_a, sojourns_b, "{spec}");
+        assert_eq!(a, b, "{spec}: full outcomes must be bit-identical");
     }
 }
 
 #[test]
 fn different_seeds_change_the_stream() {
     let mix = JobMix::class_a();
-    let mut cfg = StreamConfig::new(4, SchedulerKind::Pdf);
+    let mut cfg = StreamConfig::new(4, SchedulerSpec::pdf());
     cfg.quantum_cycles = 8_000;
     let a = run_stream_sim(&mix, 8, &cfg).unwrap();
     cfg.seed += 1;
@@ -39,7 +41,7 @@ fn different_seeds_change_the_stream() {
 fn closed_loop_concurrency_never_exceeds_the_population() {
     let mix = JobMix::mixed();
     for population in [1usize, 2, 3] {
-        let mut cfg = StreamConfig::new(4, SchedulerKind::WorkStealing);
+        let mut cfg = StreamConfig::new(4, SchedulerSpec::ws());
         cfg.quantum_cycles = 8_000;
         cfg.max_concurrent = 8; // slots must not be what bounds concurrency here
         cfg.arrivals = ArrivalProcess::ClosedLoop {
@@ -59,7 +61,7 @@ fn closed_loop_concurrency_never_exceeds_the_population() {
 #[test]
 fn open_loop_respects_the_slot_limit() {
     let mix = JobMix::class_b();
-    let mut cfg = StreamConfig::new(4, SchedulerKind::Pdf);
+    let mut cfg = StreamConfig::new(4, SchedulerSpec::pdf());
     cfg.quantum_cycles = 8_000;
     cfg.max_concurrent = 2;
     cfg.arrivals = ArrivalProcess::OpenLoopUniform {
@@ -84,8 +86,8 @@ fn stream_experiment_compares_the_paper_pair() {
         })
         .run()
         .unwrap();
-    let pdf = report.summary(SchedulerKind::Pdf).unwrap();
-    let ws = report.summary(SchedulerKind::WorkStealing).unwrap();
+    let pdf = report.summary(&SchedulerSpec::pdf()).unwrap();
+    let ws = report.summary(&SchedulerSpec::ws()).unwrap();
     assert_eq!(pdf.jobs, 8);
     assert_eq!(ws.jobs, 8);
     assert!(pdf.sojourn.p99 >= pdf.sojourn.p50);
@@ -103,7 +105,7 @@ fn admission_policies_change_the_order_not_the_job_set() {
         AdmissionPolicy::ShortestJobFirst,
         AdmissionPolicy::FairShare,
     ] {
-        let mut cfg = StreamConfig::new(4, SchedulerKind::Pdf);
+        let mut cfg = StreamConfig::new(4, SchedulerSpec::pdf());
         cfg.quantum_cycles = 8_000;
         cfg.max_concurrent = 1;
         cfg.admission = policy;
@@ -120,13 +122,56 @@ fn admission_policies_change_the_order_not_the_job_set() {
 }
 
 #[test]
+fn parameterized_specs_drive_the_stream_and_round_trip_through_jsonl() {
+    // A parameterized spec must thread through the whole stream path: config ->
+    // per-job engines -> records -> JSONL -> parsed records, arriving back as
+    // an *identical* spec (not a lossy short name).
+    let spec: SchedulerSpec = "ws:victim=random,seed=7".parse().unwrap();
+    let mix = JobMix::class_b();
+    let mut cfg = StreamConfig::new(4, spec.clone());
+    cfg.quantum_cycles = 8_000;
+    let outcome = run_stream_sim(&mix, 6, &cfg).unwrap();
+    assert_eq!(outcome.scheduler, spec);
+    for r in &outcome.records {
+        assert_eq!(r.scheduler, spec, "job {} lost its spec", r.id);
+    }
+    let jsonl = outcome.to_jsonl();
+    assert_eq!(jsonl.lines().count(), 6);
+    assert!(
+        jsonl.contains("\"scheduler\":\"ws:seed=7,victim=random\""),
+        "records must carry the canonical spec string: {jsonl}"
+    );
+    let parsed = records_from_jsonl(&jsonl).expect("records parse back");
+    assert_eq!(parsed, outcome.records);
+    assert_eq!(
+        parsed[0].scheduler, spec,
+        "spec must round-trip identically"
+    );
+}
+
+#[test]
+fn hybrid_and_lagged_pdf_serve_streams_end_to_end() {
+    // The new registered policies are first-class citizens of the stream
+    // subsystem, not just the single-DAG simulator.
+    let mix = JobMix::class_b();
+    for spec in ["hybrid:threshold=2", "pdf:lag=8"] {
+        let spec: SchedulerSpec = spec.parse().unwrap();
+        let mut cfg = StreamConfig::new(4, spec.clone());
+        cfg.quantum_cycles = 8_000;
+        let outcome = run_stream_sim(&mix, 5, &cfg).unwrap();
+        assert_eq!(outcome.records.len(), 5, "{spec}");
+        assert!(outcome.summary().sojourn.p99 > 0.0, "{spec}");
+    }
+}
+
+#[test]
 fn thread_backend_serves_the_stream_on_both_pools() {
     let mix = JobMix::class_b();
-    for kind in SchedulerKind::PAPER_PAIR {
-        let mut cfg = ThreadStreamConfig::new(2, kind);
+    for spec in SchedulerSpec::paper_pair() {
+        let mut cfg = ThreadStreamConfig::new(2, spec.clone());
         cfg.ns_per_kinstr = 5;
         let outcome = run_stream_threads(&mix, 5, &cfg).unwrap();
-        assert_eq!(outcome.records.len(), 5, "{kind}");
+        assert_eq!(outcome.records.len(), 5, "{spec}");
         assert!(outcome.sojourn_micros().p99 > 0.0);
     }
 }

@@ -33,8 +33,8 @@ fn mergesort_pdf_produces_no_more_l2_misses_than_ws_at_scale() {
             .with_config(small_cache_config(cores))
             .run()
             .unwrap();
-        let pdf = report.find(cores, SchedulerKind::Pdf).unwrap();
-        let ws = report.find(cores, SchedulerKind::WorkStealing).unwrap();
+        let pdf = report.find(cores, &SchedulerSpec::pdf()).unwrap();
+        let ws = report.find(cores, &SchedulerSpec::ws()).unwrap();
         assert!(
             pdf.metrics.l2_mpki() <= ws.metrics.l2_mpki() * 1.02,
             "{cores} cores: pdf mpki {} vs ws mpki {}",
@@ -54,17 +54,18 @@ fn mergesort_pdf_produces_no_more_l2_misses_than_ws_at_scale() {
 #[test]
 fn ws_l2_misses_grow_with_cores_faster_than_pdf_for_mergesort() {
     let spec = MergeSort::new(1 << 16).with_grain(1 << 10).into_spec();
-    let mpki = |cores: usize, kind: SchedulerKind| {
+    let mpki = |cores: usize, scheduler: &SchedulerSpec| {
         let report = Experiment::new(spec.clone())
             .cores(cores)
             .with_config(small_cache_config(cores))
-            .schedulers(&[kind])
+            .schedulers(std::slice::from_ref(scheduler))
             .run()
             .unwrap();
-        report.find(cores, kind).unwrap().metrics.l2_mpki()
+        report.find(cores, scheduler).unwrap().metrics.l2_mpki()
     };
-    let pdf_growth = mpki(16, SchedulerKind::Pdf) / mpki(1, SchedulerKind::Pdf);
-    let ws_growth = mpki(16, SchedulerKind::WorkStealing) / mpki(1, SchedulerKind::WorkStealing);
+    let (pdf, ws) = (SchedulerSpec::pdf(), SchedulerSpec::ws());
+    let pdf_growth = mpki(16, &pdf) / mpki(1, &pdf);
+    let ws_growth = mpki(16, &ws) / mpki(1, &ws);
     assert!(
         ws_growth >= pdf_growth,
         "WS miss growth ({ws_growth:.3}x) should be at least PDF's ({pdf_growth:.3}x)"
@@ -80,8 +81,8 @@ fn low_reuse_scan_ties_between_schedulers() {
         .with_config(small_cache_config(cores))
         .run()
         .unwrap();
-    let pdf = report.find(cores, SchedulerKind::Pdf).unwrap();
-    let ws = report.find(cores, SchedulerKind::WorkStealing).unwrap();
+    let pdf = report.find(cores, &SchedulerSpec::pdf()).unwrap();
+    let ws = report.find(cores, &SchedulerSpec::ws()).unwrap();
     let rel = ws.metrics.cycles as f64 / pdf.metrics.cycles as f64;
     assert!(
         (0.85..=1.20).contains(&rel),
@@ -98,8 +99,8 @@ fn compute_bound_kernel_ties_between_schedulers() {
         .with_config(small_cache_config(cores))
         .run()
         .unwrap();
-    let pdf = report.find(cores, SchedulerKind::Pdf).unwrap();
-    let ws = report.find(cores, SchedulerKind::WorkStealing).unwrap();
+    let pdf = report.find(cores, &SchedulerSpec::pdf()).unwrap();
+    let ws = report.find(cores, &SchedulerSpec::ws()).unwrap();
     let rel = ws.metrics.cycles as f64 / pdf.metrics.cycles as f64;
     assert!(
         (0.9..=1.1).contains(&rel),
@@ -119,7 +120,7 @@ fn coarse_grained_mergesort_cannot_exploit_constructive_sharing() {
         Experiment::new(spec)
             .cores(cores)
             .with_config(small_cache_config(cores))
-            .schedulers(&[SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+            .schedulers(&SchedulerSpec::paper_pair())
             .run()
             .unwrap()
     };
@@ -153,20 +154,20 @@ fn shrinking_the_l2_hurts_ws_more_than_pdf() {
     half.l2.capacity_bytes = full.l2.capacity_bytes / 2;
     half.validate().unwrap();
 
-    let slowdown = |kind: SchedulerKind| {
+    let slowdown = |scheduler: &SchedulerSpec| {
         let run_with = |cfg: CmpConfig| {
             let report = Experiment::new(spec.clone())
                 .cores(cores)
                 .with_config(cfg)
-                .schedulers(&[kind])
+                .schedulers(std::slice::from_ref(scheduler))
                 .run()
                 .unwrap();
-            report.find(cores, kind).unwrap().metrics.cycles as f64
+            report.find(cores, scheduler).unwrap().metrics.cycles as f64
         };
         run_with(half) / run_with(full)
     };
-    let pdf_slowdown = slowdown(SchedulerKind::Pdf);
-    let ws_slowdown = slowdown(SchedulerKind::WorkStealing);
+    let pdf_slowdown = slowdown(&SchedulerSpec::pdf());
+    let ws_slowdown = slowdown(&SchedulerSpec::ws());
     assert!(
         pdf_slowdown <= ws_slowdown * 1.05,
         "pdf slowdown {pdf_slowdown:.3} vs ws slowdown {ws_slowdown:.3}"

@@ -2,7 +2,7 @@
 //! for arbitrary fork-join workloads on arbitrary (valid) machine shapes.
 
 use pdfws::cmp_model::default_config;
-use pdfws::schedulers::{simulate, SchedulerKind, SimOptions};
+use pdfws::schedulers::{simulate, SchedulerSpec, SimOptions};
 use pdfws::task_dag::builder::SpTree;
 use pdfws::task_dag::AccessPattern;
 use proptest::prelude::*;
@@ -39,8 +39,15 @@ proptest! {
     ) {
         let dag = tree.into_dag().unwrap();
         let cfg = default_config(cores).unwrap();
-        for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing, SchedulerKind::StaticPartition] {
-            let r = simulate(&dag, &cfg, kind, &SimOptions::default());
+        for spec in [
+            SchedulerSpec::pdf(),
+            SchedulerSpec::ws(),
+            SchedulerSpec::static_partition(),
+            "hybrid:threshold=4".parse().unwrap(),
+            "pdf:lag=6".parse().unwrap(),
+            "ws:steal=half,victim=nearest".parse().unwrap(),
+        ] {
+            let r = simulate(&dag, &cfg, &spec, &SimOptions::default());
             prop_assert_eq!(r.tasks, dag.len());
             prop_assert_eq!(r.instructions, dag.work());
             prop_assert_eq!(r.memory_accesses, dag.analyze().memory_accesses);
@@ -60,12 +67,12 @@ proptest! {
         let dag = tree.into_dag().unwrap();
         let cfg = default_config(4).unwrap();
         let seq_cfg = default_config(1).unwrap();
-        let seq = simulate(&dag, &seq_cfg, SchedulerKind::Pdf, &SimOptions::default());
-        for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
-            let par = simulate(&dag, &cfg, kind, &SimOptions::default());
+        let seq = simulate(&dag, &seq_cfg, &SchedulerSpec::pdf(), &SimOptions::default());
+        for spec in SchedulerSpec::paper_pair() {
+            let par = simulate(&dag, &cfg, &spec, &SimOptions::default());
             // Greedy scheduling on more cores with the same or larger L2 should not
             // lose more than 2x to cache/bandwidth interference on these tiny inputs.
-            prop_assert!(par.cycles <= seq.cycles * 2, "{}: {} vs {}", kind, par.cycles, seq.cycles);
+            prop_assert!(par.cycles <= seq.cycles * 2, "{}: {} vs {}", spec, par.cycles, seq.cycles);
         }
     }
 
@@ -76,7 +83,7 @@ proptest! {
     ) {
         let dag = tree.into_dag().unwrap();
         let cfg = default_config(cores).unwrap();
-        let r = simulate(&dag, &cfg, SchedulerKind::WorkStealing, &SimOptions::default());
+        let r = simulate(&dag, &cfg, &SchedulerSpec::ws(), &SimOptions::default());
         prop_assert!(r.hierarchy.l2_misses() <= r.memory_accesses);
         prop_assert!(r.hierarchy.memory_fills <= r.hierarchy.l2.misses());
         let l1_total = r.hierarchy.l1_total();
