@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pdfws_cache_sim::CmpCacheHierarchy;
 use pdfws_cmp_model::default_config;
-use pdfws_schedulers::{simulate, SchedulerSpec, SimOptions};
+use pdfws_schedulers::{simulate, simulate_sequential, SchedulerSpec, SimOptions};
 use pdfws_workloads::{SyntheticTree, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +67,14 @@ fn bench_engine_throughput(c: &mut Criterion) {
             b.iter(|| black_box(simulate(&dag, &cfg, &spec, &SimOptions::default()).cycles))
         });
     }
+    // The one-core baseline every sweep dedups and reruns constantly: with a
+    // single busy core the engine's event heap stays size <= 1, so this case
+    // isolates the heap-reuse fast path (strictly-earliest cores step without
+    // pop/push).
+    let one_core = default_config(1).expect("one-core configuration");
+    group.bench_function("sequential_baseline_1core", |b| {
+        b.iter(|| black_box(simulate_sequential(&dag, &one_core, &SimOptions::default()).cycles))
+    });
     group.finish();
 }
 

@@ -3,16 +3,17 @@
 //! relative speedup for PDF over WS and a 13–41 % reduction in off-chip traffic.
 //!
 //! ```text
-//! cargo run --release -p pdfws-bench --bin class_a_bandwidth_limited [-- --quick]
+//! cargo run --release -p pdfws-bench --bin class_a_bandwidth_limited [-- --quick] [--threads N]
 //! ```
 
-use pdfws_bench::{compare_pdf_ws, comparison_table, quick_mode, scaled, sizes, ComparisonRow};
+use pdfws_bench::{
+    compare_pdf_ws_all, comparison_table, quick_mode, scaled, sizes, threads_arg, ComparisonRow,
+};
 use pdfws_workloads::{HashJoin, LuDecomposition, MatMul, MergeSort, QuickSort, SpMv};
 
 fn main() {
     let quick = quick_mode();
     let cores = [8usize, 16, 32];
-    let mut rows: Vec<ComparisonRow> = Vec::new();
 
     let mergesort = MergeSort::new(scaled(sizes::MERGESORT_KEYS, quick));
     let quicksort = QuickSort::new(scaled(sizes::MERGESORT_KEYS, quick));
@@ -23,10 +24,15 @@ fn main() {
 
     let workloads: Vec<&dyn pdfws_workloads::Workload> =
         vec![&mergesort, &quicksort, &matmul, &lu, &spmv, &hashjoin];
-    for w in workloads {
-        eprintln!("# running {} ({}) ...", w.name(), w.class());
-        rows.extend(compare_pdf_ws(w, &cores));
-    }
+    eprintln!(
+        "# running {} workloads x {:?} cores on {} threads ...",
+        workloads.len(),
+        cores,
+        threads_arg()
+    );
+    // One grid: all (workload x cores x scheduler) cells execute on the shared
+    // worker pool, each workload's DAG built once.
+    let rows: Vec<ComparisonRow> = compare_pdf_ws_all(&workloads, &cores);
 
     let table = comparison_table(
         "Class A: divide-and-conquer + bandwidth-limited irregular (PDF vs WS)",

@@ -5,24 +5,28 @@
 //! power / multiprogramming findings) but does not change the running time much.
 //!
 //! ```text
-//! cargo run --release -p pdfws-bench --bin class_b_neutral [-- --quick]
+//! cargo run --release -p pdfws-bench --bin class_b_neutral [-- --quick] [--threads N]
 //! ```
 
-use pdfws_bench::{compare_pdf_ws, comparison_table, quick_mode, scaled, sizes, ComparisonRow};
+use pdfws_bench::{
+    compare_pdf_ws_all, comparison_table, quick_mode, scaled, sizes, threads_arg, ComparisonRow,
+};
 use pdfws_workloads::{ComputeKernel, ParallelScan};
 
 fn main() {
     let quick = quick_mode();
     let cores = [8usize, 16, 32];
-    let mut rows: Vec<ComparisonRow> = Vec::new();
 
     let scan = ParallelScan::new(scaled(sizes::SCAN_N, quick));
     let compute = ComputeKernel::new(scaled(sizes::COMPUTE_ITEMS, quick));
     let workloads: Vec<&dyn pdfws_workloads::Workload> = vec![&scan, &compute];
-    for w in workloads {
-        eprintln!("# running {} ({}) ...", w.name(), w.class());
-        rows.extend(compare_pdf_ws(w, &cores));
-    }
+    eprintln!(
+        "# running {} workloads x {:?} cores on {} threads ...",
+        workloads.len(),
+        cores,
+        threads_arg()
+    );
+    let rows: Vec<ComparisonRow> = compare_pdf_ws_all(&workloads, &cores);
 
     let table = comparison_table(
         "Class B: limited reuse / not bandwidth-bound (PDF vs WS, expected to tie)",

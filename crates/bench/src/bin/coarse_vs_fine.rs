@@ -10,36 +10,13 @@
 //! count: {fine, coarse} × {PDF, WS}, reporting L2 MPKI and speedup.
 //!
 //! ```text
-//! cargo run --release -p pdfws-bench --bin coarse_vs_fine [-- --quick]
+//! cargo run --release -p pdfws-bench --bin coarse_vs_fine [-- --quick] [--threads N]
 //! ```
 
-use pdfws_bench::{quick_mode, scaled, sizes};
+use pdfws_bench::{quick_mode, runner, scaled, sizes, threads_arg};
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
 use pdfws_workloads::{MatMul, MergeSort, Workload};
-
-fn run_variant(workload: &dyn Workload, cores: &[usize]) -> (Vec<f64>, Vec<f64>) {
-    let report = Experiment::new(WorkloadSpec::from_workload(workload))
-        .core_sweep(cores)
-        .schedulers(&[SchedulerSpec::pdf()])
-        .run()
-        .expect("default configurations exist");
-    let mpki = cores
-        .iter()
-        .map(|&c| {
-            report
-                .find(c, &SchedulerSpec::pdf())
-                .unwrap()
-                .metrics
-                .l2_mpki()
-        })
-        .collect();
-    let speedup = cores
-        .iter()
-        .map(|&c| report.speedup(report.find(c, &SchedulerSpec::pdf()).unwrap()))
-        .collect();
-    (mpki, speedup)
-}
 
 fn main() {
     let quick = quick_mode();
@@ -70,9 +47,40 @@ fn main() {
         ("matmul-coarse", Box::new(MatMul::new(n).coarse_grained(32))),
     ];
 
-    for (label, workload) in &variants {
-        eprintln!("# running {label} ...");
-        let (mpki, speedup) = run_variant(workload.as_ref(), &cores);
+    // All four variants go into one grid so every (variant x cores) cell runs
+    // on the shared worker pool.
+    eprintln!(
+        "# running {} variants x {:?} cores on {} threads ...",
+        variants.len(),
+        cores,
+        threads_arg()
+    );
+    let mut grid = SweepGrid::new()
+        .cores(&cores)
+        .specs(&[SchedulerSpec::pdf()]);
+    for (_, workload) in &variants {
+        grid = grid.workload(WorkloadSpec::from_workload(workload.as_ref()));
+    }
+    let reports = runner()
+        .run(&grid)
+        .expect("default configurations exist")
+        .into_reports();
+
+    for ((label, _), report) in variants.iter().zip(&reports) {
+        let mpki: Vec<f64> = cores
+            .iter()
+            .map(|&c| {
+                report
+                    .find(c, &SchedulerSpec::pdf())
+                    .unwrap()
+                    .metrics
+                    .l2_mpki()
+            })
+            .collect();
+        let speedup: Vec<f64> = cores
+            .iter()
+            .map(|&c| report.speedup(report.find(c, &SchedulerSpec::pdf()).unwrap()))
+            .collect();
         mpki_table.push_series(Series::new(*label, mpki));
         speedup_table.push_series(Series::new(*label, speedup));
     }

@@ -5,13 +5,14 @@
 //! one-core sequential run.
 //!
 //! ```text
-//! cargo run --release -p pdfws-bench --bin fig1_mergesort            # paper-scale
-//! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --quick # smoke test
+//! cargo run --release -p pdfws-bench --bin fig1_mergesort              # paper-scale
+//! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --quick   # smoke test
+//! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --threads 4
 //! ```
 
 use pdfws_bench::{
     figure1_tables_from, paper_core_counts, quick_mode, scaled, sizes, steals_table_from,
-    sweep_report,
+    sweep_report, threads_arg,
 };
 use pdfws_core::prelude::SchedulerSpec;
 use pdfws_workloads::MergeSort;
@@ -21,12 +22,14 @@ fn main() {
     let n_keys = scaled(sizes::MERGESORT_KEYS, quick);
     let workload = MergeSort::new(n_keys);
     eprintln!(
-        "# parallel merge sort, n = {n_keys} keys ({} MiB per buffer){}",
+        "# parallel merge sort, n = {n_keys} keys ({} MiB per buffer){}, {} sweep threads",
         n_keys * 8 / (1024 * 1024),
-        if quick { " [quick mode]" } else { "" }
+        if quick { " [quick mode]" } else { "" },
+        threads_arg()
     );
     // One sweep feeds both the Figure-1 panels (pdf/ws) and the per-spec
-    // migrations table — no cell is simulated twice.
+    // migrations table — no cell is simulated twice, the DAG is built once,
+    // and the cells execute on the shared worker pool.
     let specs: Vec<SchedulerSpec> = ["pdf", "ws", "ws:steal=half", "hybrid", "static"]
         .iter()
         .map(|s| s.parse().expect("built-in specs parse"))

@@ -7,15 +7,16 @@
 //! WS/PDF p95 ratio.  Deterministic for a fixed seed: running this binary twice
 //! prints identical numbers.
 //!
-//! Usage: `cargo run --release -p pdfws-bench --bin job_stream [--quick]`
+//! Usage: `cargo run --release -p pdfws-bench --bin job_stream [--quick] [--threads N]`
 
-use pdfws_bench::quick_mode;
+use pdfws_bench::{quick_mode, threads_arg};
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
 use pdfws_stream::JobMix;
 
 fn main() {
     let quick = quick_mode();
+    let threads = threads_arg();
     let jobs = if quick { 10 } else { 32 };
     let cores = 8;
     let rates = [20.0f64, 120.0];
@@ -40,6 +41,7 @@ fn main() {
                     seed: 0x57_2EA4,
                 })
                 .admission(AdmissionPolicy::Fifo)
+                .threads(threads)
                 .run()
                 .expect("default configurations exist for 8 cores");
             let pdf = report.summary(&SchedulerSpec::pdf()).expect("pdf ran");

@@ -12,10 +12,10 @@
 //!    slowdown from the co-runner should be smaller.
 //!
 //! ```text
-//! cargo run --release -p pdfws-bench --bin power_and_multiprogramming [-- --quick]
+//! cargo run --release -p pdfws-bench --bin power_and_multiprogramming [-- --quick] [--threads N]
 //! ```
 
-use pdfws_bench::{quick_mode, scaled, sizes};
+use pdfws_bench::{quick_mode, runner, scaled, sizes, threads_arg};
 use pdfws_cache_sim::power::{estimate_energy, EnergyModel};
 use pdfws_cmp_model::{default_config, sweep::sweep_l2_fraction};
 use pdfws_core::prelude::*;
@@ -47,16 +47,26 @@ fn main() {
         x,
     );
 
+    // One experiment per powered fraction, both schedulers as sweep cells, and
+    // the powered-fraction axis itself fanned out as runner cells — all
+    // 5 configs × (baseline + 2 schedulers) simulations are independent, so
+    // the whole part-1 table parallelizes (the DAG is built once up front and
+    // shared by every cell).
+    let threads = threads_arg();
+    eprintln!("# power-down sweep on {threads} threads ...");
+    let reports: Vec<ExperimentReport> = runner().run_cells(configs.len(), |i| {
+        Experiment::new(workload.clone())
+            .cores(CORES)
+            .with_config(configs[i])
+            .schedulers(&SchedulerSpec::paper_pair())
+            .threads(1) // the outer run_cells already owns the worker pool
+            .run()
+            .expect("experiment runs")
+    });
     for spec in SchedulerSpec::paper_pair() {
         let mut cycles = Vec::new();
         let mut energies = Vec::new();
-        for (cfg, &fraction) in configs.iter().zip(&fractions) {
-            let report = Experiment::new(workload.clone())
-                .cores(CORES)
-                .with_config(*cfg)
-                .schedulers(std::slice::from_ref(&spec))
-                .run()
-                .expect("experiment runs");
+        for ((report, cfg), &fraction) in reports.iter().zip(&configs).zip(&fractions) {
             let run = report.find(CORES, &spec).unwrap();
             let energy = estimate_energy(
                 &run.metrics.hierarchy,
@@ -90,21 +100,25 @@ fn main() {
         "scenario",
         vec!["alone".to_string(), "with co-runner".to_string()],
     );
+    // One experiment per scenario, both schedulers as cells of the same sweep.
+    eprintln!("# multiprogramming sweep on {threads} threads ...");
+    let alone = Experiment::new(workload.clone())
+        .cores(CORES)
+        .schedulers(&SchedulerSpec::paper_pair())
+        .threads(threads)
+        .run()
+        .expect("experiment runs");
+    let noisy = Experiment::new(workload.clone())
+        .cores(CORES)
+        .schedulers(&SchedulerSpec::paper_pair())
+        .options(SimOptions {
+            disturbance: Some(disturbance),
+            ..SimOptions::default()
+        })
+        .threads(threads)
+        .run()
+        .expect("experiment runs");
     for spec in SchedulerSpec::paper_pair() {
-        let alone = Experiment::new(workload.clone())
-            .cores(CORES)
-            .schedulers(std::slice::from_ref(&spec))
-            .run()
-            .expect("experiment runs");
-        let noisy = Experiment::new(workload.clone())
-            .cores(CORES)
-            .schedulers(std::slice::from_ref(&spec))
-            .options(SimOptions {
-                disturbance: Some(disturbance),
-                ..SimOptions::default()
-            })
-            .run()
-            .expect("experiment runs");
         let alone_cycles = alone.find(CORES, &spec).unwrap().metrics.cycles as f64;
         let noisy_cycles = noisy.find(CORES, &spec).unwrap().metrics.cycles as f64;
         mp_table.push_series(Series::new(

@@ -4,6 +4,10 @@
 //! ```text
 //! cargo run --release -p pdfws-bench --bin table_configs
 //! ```
+//!
+//! Accepts the harness's uniform `--quick` / `--threads N` flags for
+//! consistency, but derives its table analytically — nothing is simulated, so
+//! both are no-ops here.
 
 use pdfws_bench::{config_table, paper_core_counts};
 

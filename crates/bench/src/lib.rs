@@ -3,8 +3,12 @@
 //! Every figure and finding of the paper has a binary in `src/bin/` that prints
 //! the corresponding table (text + CSV); the functions here build those tables so
 //! the Criterion benches and the binaries measure exactly the same thing.
-//! See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
-//! results.
+//! See `DESIGN.md` in this crate's directory (§3) for the experiment index
+//! and `EXPERIMENTS.md` next to it for recorded results.
+//!
+//! Every sweep here executes through [`SweepRunner`]: the binaries share a
+//! uniform `--threads N` flag (or the `PDFWS_THREADS` environment variable)
+//! next to `--quick`, and parallel runs are bit-identical to sequential ones.
 
 use pdfws_cmp_model::default_config;
 use pdfws_core::prelude::*;
@@ -34,6 +38,82 @@ pub mod sizes {
     pub const COMPUTE_ITEMS: u64 = 1 << 17;
 }
 
+/// Worker threads for the sweep runner: `--threads N` (or `--threads=N`) on
+/// the command line, else the `PDFWS_THREADS` environment variable, else every
+/// available core.  This is the uniform threading knob of the experiment
+/// binaries, sitting next to `--quick`.
+pub fn threads_arg() -> usize {
+    // Parse (and possibly warn) once per process: the bins call this for
+    // their banner and every sweep helper calls it again via `runner()`.
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(threads_arg_uncached)
+}
+
+fn threads_arg_uncached() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--threads" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        match value.as_deref().map(pdfws_core::parse_threads) {
+            Some(Some(n)) => return n,
+            _ => {
+                // A typo must not silently saturate every core.
+                eprintln!(
+                    "warning: ignoring {} --threads value; falling back to {}/auto",
+                    match value.as_deref() {
+                        Some(v) => format!("malformed '{v}'"),
+                        None => "missing".to_string(),
+                    },
+                    pdfws_core::THREADS_ENV
+                );
+            }
+        }
+    }
+    // Same guard for the env knob: a typo'd PDFWS_THREADS must not silently
+    // saturate every core either (the library's `threads_from_env` stays
+    // silent by design; the CLI harness is where diagnostics belong).
+    if let Ok(v) = std::env::var(pdfws_core::THREADS_ENV) {
+        if pdfws_core::parse_threads(&v).is_none() {
+            eprintln!(
+                "warning: ignoring malformed {}='{v}'; using all available cores",
+                pdfws_core::THREADS_ENV
+            );
+        }
+    }
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    pdfws_core::threads_from_env(default)
+}
+
+/// The worker pool every bench binary sweeps on (sized by [`threads_arg`]).
+pub fn runner() -> SweepRunner {
+    SweepRunner::new(threads_arg())
+}
+
+/// Run one (workloads × cores × specs) grid on the shared runner and return
+/// one report per workload.  Every workload's DAG is built once and shared by
+/// all of its cells; results are deterministic for any `--threads` value.
+pub fn sweep_reports(
+    workloads: &[&dyn Workload],
+    core_counts: &[usize],
+    specs: &[SchedulerSpec],
+) -> Vec<ExperimentReport> {
+    let mut grid = SweepGrid::new().cores(core_counts).specs(specs);
+    for w in workloads {
+        grid = grid.workload(WorkloadSpec::from_workload(*w));
+    }
+    runner()
+        .run(&grid)
+        .expect("default configurations exist for the requested core counts")
+        .into_reports()
+}
+
 /// Run one (cores × specs) sweep and return the report, for deriving several
 /// tables from a single set of simulations.
 pub fn sweep_report(
@@ -41,11 +121,7 @@ pub fn sweep_report(
     core_counts: &[usize],
     specs: &[SchedulerSpec],
 ) -> ExperimentReport {
-    Experiment::new(WorkloadSpec::from_workload(workload))
-        .core_sweep(core_counts)
-        .schedulers(specs)
-        .run()
-        .expect("default configurations exist for the requested core counts")
+    sweep_reports(&[workload], core_counts, specs).swap_remove(0)
 }
 
 /// The two Figure-1 panels (L2 misses per 1000 instructions, speedup over the
@@ -152,20 +228,20 @@ pub struct ComparisonRow {
     pub ws_mpki: f64,
 }
 
-/// Compare PDF against WS for one workload at the given core counts.
-pub fn compare_pdf_ws(workload: &dyn Workload, core_counts: &[usize]) -> Vec<ComparisonRow> {
-    let spec = WorkloadSpec::from_workload(workload);
-    let report = Experiment::new(spec)
-        .core_sweep(core_counts)
-        .schedulers(&SchedulerSpec::paper_pair())
-        .run()
-        .expect("default configurations exist for the requested core counts");
-    core_counts
-        .iter()
-        .map(|&cores| {
+/// Compare PDF against WS for several workloads at the given core counts, as
+/// one grid: every (workload × cores × spec) cell is an independent runner
+/// cell, so the whole comparison parallelizes across workloads too.
+pub fn compare_pdf_ws_all(
+    workloads: &[&dyn Workload],
+    core_counts: &[usize],
+) -> Vec<ComparisonRow> {
+    let reports = sweep_reports(workloads, core_counts, &SchedulerSpec::paper_pair());
+    let mut rows = Vec::with_capacity(workloads.len() * core_counts.len());
+    for (workload, report) in workloads.iter().zip(&reports) {
+        for &cores in core_counts {
             let pdf = report.find(cores, &SchedulerSpec::pdf()).unwrap();
             let ws = report.find(cores, &SchedulerSpec::ws()).unwrap();
-            ComparisonRow {
+            rows.push(ComparisonRow {
                 workload: workload.name().to_string(),
                 class: workload.class().to_string(),
                 cores,
@@ -173,9 +249,15 @@ pub fn compare_pdf_ws(workload: &dyn Workload, core_counts: &[usize]) -> Vec<Com
                 traffic_reduction_percent: report.pdf_traffic_reduction_percent(cores).unwrap(),
                 pdf_mpki: pdf.metrics.l2_mpki(),
                 ws_mpki: ws.metrics.l2_mpki(),
-            }
-        })
-        .collect()
+            });
+        }
+    }
+    rows
+}
+
+/// Compare PDF against WS for one workload at the given core counts.
+pub fn compare_pdf_ws(workload: &dyn Workload, core_counts: &[usize]) -> Vec<ComparisonRow> {
+    compare_pdf_ws_all(&[workload], core_counts)
 }
 
 /// Render comparison rows as a table over "workload@cores".

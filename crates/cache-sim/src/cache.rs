@@ -1,7 +1,7 @@
 //! One set-associative, write-back / write-allocate cache level.
 
 use crate::addr::BlockAddr;
-use crate::replacement::{ReplacementPolicy, SetReplacementState};
+use crate::replacement::{next_random, oldest_way, set_rng_seed, ReplacementPolicy};
 use crate::stats::CacheStats;
 use pdfws_cmp_model::CacheGeometry;
 
@@ -47,23 +47,32 @@ impl Line {
     };
 }
 
-#[derive(Debug, Clone)]
-struct CacheSet {
-    lines: Vec<Line>,
-    repl: SetReplacementState,
-}
-
 /// A set-associative cache with write-back, write-allocate semantics.
 ///
 /// The cache stores block addresses only (no data): the simulator cares about
 /// hits, misses, evictions and write-backs, not values.
+///
+/// Storage is flat: all lines live in one set-major array (`sets × ways`), with
+/// a parallel stamp array for the replacement order and one RNG word per set
+/// for the Random policy.  An access therefore touches exactly one contiguous
+/// `associativity`-sized window — no per-set heap structures on the hot path.
 #[derive(Debug, Clone)]
 pub struct Cache {
     geometry: CacheGeometry,
     policy: ReplacementPolicy,
-    sets: Vec<CacheSet>,
+    /// All lines, set-major: set `s` owns `lines[s*assoc .. (s+1)*assoc]`.
+    lines: Box<[Line]>,
+    /// Replacement stamps parallel to `lines` (recency for LRU, fill time for
+    /// FIFO; unused for Random).
+    stamps: Box<[u64]>,
+    /// Per-set xorshift state for the Random policy.
+    rng: Box<[u64]>,
+    /// Cache-global monotone stamp counter (ordering is only compared within a
+    /// set, so one clock serves every set).
+    clock: u64,
     stats: CacheStats,
     set_mask: u64,
+    assoc: usize,
 }
 
 impl Cache {
@@ -78,18 +87,17 @@ impl Cache {
             .validate()
             .expect("cache geometry must be valid (validated by pdfws-cmp-model)");
         let num_sets = geometry.sets();
-        let sets = (0..num_sets)
-            .map(|i| CacheSet {
-                lines: vec![Line::INVALID; geometry.associativity],
-                repl: SetReplacementState::new(policy, geometry.associativity, i),
-            })
-            .collect();
+        let assoc = geometry.associativity;
         Cache {
             geometry,
             policy,
-            sets,
+            lines: vec![Line::INVALID; num_sets * assoc].into_boxed_slice(),
+            stamps: vec![0; num_sets * assoc].into_boxed_slice(),
+            rng: (0..num_sets).map(set_rng_seed).collect(),
+            clock: 0,
             stats: CacheStats::default(),
             set_mask: (num_sets - 1) as u64,
+            assoc,
         }
     }
 
@@ -113,25 +121,43 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// First line index of the set `block` maps to.
     #[inline]
-    fn set_index(&self, block: BlockAddr) -> usize {
-        (block & self.set_mask) as usize
+    fn set_base(&self, block: BlockAddr) -> usize {
+        (block & self.set_mask) as usize * self.assoc
     }
 
     /// Access `block`; on a miss the block is filled (write-allocate), possibly
     /// evicting another block from the same set.
     pub fn access(&mut self, block: BlockAddr, kind: AccessKind) -> CacheAccessResult {
-        let set_idx = self.set_index(block);
-        let set = &mut self.sets[set_idx];
+        let base = self.set_base(block);
+        let set = &mut self.lines[base..base + self.assoc];
 
-        // Hit path.
-        if let Some(way) = set.lines.iter().position(|l| l.valid && l.block == block) {
-            set.repl.on_hit(way);
+        // One scan finds both the hit way and the first free way.
+        let mut free_way = usize::MAX;
+        let mut hit_way = usize::MAX;
+        for (way, line) in set.iter().enumerate() {
+            if !line.valid {
+                if free_way == usize::MAX {
+                    free_way = way;
+                }
+            } else if line.block == block {
+                hit_way = way;
+                break;
+            }
+        }
+
+        self.clock += 1;
+
+        if hit_way != usize::MAX {
             if kind == AccessKind::Write {
-                set.lines[way].dirty = true;
+                set[hit_way].dirty = true;
                 self.stats.write_hits += 1;
             } else {
                 self.stats.read_hits += 1;
+            }
+            if self.policy == ReplacementPolicy::Lru {
+                self.stamps[base + hit_way] = self.clock;
             }
             return CacheAccessResult {
                 hit: true,
@@ -139,25 +165,33 @@ impl Cache {
             };
         }
 
-        // Miss: count it, then fill.
+        // Miss: count it, then fill — a free way if one exists, else the
+        // policy's victim.
         if kind == AccessKind::Write {
             self.stats.write_misses += 1;
         } else {
             self.stats.read_misses += 1;
         }
 
-        // Prefer an invalid way; otherwise ask the replacement policy.
-        let (way, evicted) = if let Some(way) = set.lines.iter().position(|l| !l.valid) {
-            (way, None)
+        let (way, evicted) = if free_way != usize::MAX {
+            (free_way, None)
         } else {
-            let victim = set.repl.victim();
-            let old = set.lines[victim];
+            let way = match self.policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                    oldest_way(&self.stamps[base..base + self.assoc])
+                }
+                ReplacementPolicy::Random => {
+                    let set_idx = base / self.assoc;
+                    (next_random(&mut self.rng[set_idx]) % self.assoc as u64) as usize
+                }
+            };
+            let old = set[way];
             self.stats.evictions += 1;
             if old.dirty {
                 self.stats.writebacks += 1;
             }
             (
-                victim,
+                way,
                 Some(EvictedBlock {
                     block: old.block,
                     dirty: old.dirty,
@@ -165,12 +199,14 @@ impl Cache {
             )
         };
 
-        set.lines[way] = Line {
+        set[way] = Line {
             block,
             dirty: kind == AccessKind::Write,
             valid: true,
         };
-        set.repl.on_fill(way);
+        if self.policy != ReplacementPolicy::Random {
+            self.stamps[base + way] = self.clock;
+        }
 
         CacheAccessResult {
             hit: false,
@@ -181,62 +217,60 @@ impl Cache {
     /// Check whether `block` is present without disturbing replacement state or
     /// statistics.
     pub fn probe(&self, block: BlockAddr) -> bool {
-        let set = &self.sets[self.set_index(block)];
-        set.lines.iter().any(|l| l.valid && l.block == block)
+        let base = self.set_base(block);
+        self.lines[base..base + self.assoc]
+            .iter()
+            .any(|l| l.valid && l.block == block)
     }
 
     /// Mark `block` dirty if it is resident, without touching statistics or
     /// replacement order.  Used to sink write-backs from an upper level into this
     /// one.  Returns whether the block was present.
     pub fn set_dirty(&mut self, block: BlockAddr) -> bool {
-        let set_idx = self.set_index(block);
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.lines.iter().position(|l| l.valid && l.block == block) {
-            set.lines[way].dirty = true;
-            true
-        } else {
-            false
+        let base = self.set_base(block);
+        for line in &mut self.lines[base..base + self.assoc] {
+            if line.valid && line.block == block {
+                line.dirty = true;
+                return true;
+            }
         }
+        false
     }
 
     /// Invalidate `block` if present.  Returns `Some(dirty)` if a line was
     /// invalidated, `None` if the block was not cached.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<bool> {
-        let set_idx = self.set_index(block);
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.lines.iter().position(|l| l.valid && l.block == block) {
-            let dirty = set.lines[way].dirty;
-            set.lines[way] = Line::INVALID;
-            self.stats.invalidations += 1;
-            Some(dirty)
-        } else {
-            None
+        let base = self.set_base(block);
+        for line in &mut self.lines[base..base + self.assoc] {
+            if line.valid && line.block == block {
+                let dirty = line.dirty;
+                *line = Line::INVALID;
+                self.stats.invalidations += 1;
+                return Some(dirty);
+            }
         }
+        None
     }
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.lines.iter().filter(|l| l.valid).count())
-            .sum()
+        self.lines.iter().filter(|l| l.valid).count()
     }
 
     /// Iterate over all resident block addresses (used by tests and the working-set
     /// profiler; order is unspecified).
     pub fn resident_blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
-        self.sets
-            .iter()
-            .flat_map(|s| s.lines.iter().filter(|l| l.valid).map(|l| l.block))
+        self.lines.iter().filter(|l| l.valid).map(|l| l.block)
     }
 
     /// Drop every line (contents and replacement state), keeping statistics.
     pub fn flush(&mut self) {
-        let assoc = self.geometry.associativity;
-        for (i, set) in self.sets.iter_mut().enumerate() {
-            set.lines = vec![Line::INVALID; assoc];
-            set.repl = SetReplacementState::new(self.policy, assoc, i);
+        self.lines.fill(Line::INVALID);
+        self.stamps.fill(0);
+        for (set_idx, state) in self.rng.iter_mut().enumerate() {
+            *state = set_rng_seed(set_idx);
         }
+        self.clock = 0;
     }
 }
 
@@ -245,13 +279,17 @@ mod tests {
     use super::*;
 
     fn tiny_cache(capacity: usize, assoc: usize) -> Cache {
+        tiny_cache_with(capacity, assoc, ReplacementPolicy::Lru)
+    }
+
+    fn tiny_cache_with(capacity: usize, assoc: usize, policy: ReplacementPolicy) -> Cache {
         let g = CacheGeometry {
             capacity_bytes: capacity,
             line_bytes: 64,
             associativity: assoc,
             latency_cycles: 1,
         };
-        Cache::new(g, ReplacementPolicy::Lru)
+        Cache::new(g, policy)
     }
 
     #[test]
@@ -302,6 +340,31 @@ mod tests {
         assert_eq!(r.evicted.unwrap().block, 2);
         assert!(c.probe(0));
         assert!(!c.probe(2));
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        // One set, 2 ways under FIFO: re-touching block 0 must not save it.
+        let mut c = tiny_cache_with(256, 2, ReplacementPolicy::Fifo);
+        c.access(0, AccessKind::Read);
+        c.access(2, AccessKind::Read);
+        c.access(0, AccessKind::Read); // hit; FIFO order unchanged
+        let r = c.access(4, AccessKind::Read); // evicts 0, the earliest fill
+        assert_eq!(r.evicted.unwrap().block, 0);
+        assert!(c.probe(2));
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_across_identical_caches() {
+        let run = || {
+            let mut c = tiny_cache_with(4096, 4, ReplacementPolicy::Random);
+            for b in 0..10_000u64 {
+                c.access(b % 509, AccessKind::Read);
+            }
+            (*c.stats(), c.resident_blocks().collect::<Vec<_>>())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

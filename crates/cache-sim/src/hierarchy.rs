@@ -9,12 +9,41 @@
 //! took and how many bytes it moved across the off-chip interface, which is what
 //! the execution engine needs to model bandwidth saturation.
 
-use crate::addr::{block_of, Addr, BlockAddr};
+use crate::addr::{Addr, BlockAddr};
 use crate::cache::{AccessKind, Cache};
 use crate::replacement::ReplacementPolicy;
 use crate::stats::HierarchyStats;
 use pdfws_cmp_model::CmpConfig;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-and-fold hasher for block addresses.
+///
+/// The sharer directory is probed on the access hot path; the standard
+/// `HashMap` hasher (SipHash) costs more than the cache lookup it guards.
+/// Block addresses are near-sequential integers, so one Fibonacci multiply
+/// with a xor-fold mixes them plenty.
+#[derive(Debug, Default, Clone)]
+struct BlockAddrHasher(u64);
+
+impl Hasher for BlockAddrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("the directory only hashes u64 block addresses");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type DirectoryMap = HashMap<BlockAddr, u64, BuildHasherDefault<BlockAddrHasher>>;
 
 /// Where in the hierarchy an access was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,11 +92,17 @@ pub struct CmpCacheHierarchy {
     l1s: Vec<Cache>,
     l2: Cache,
     line_bytes: u64,
+    /// `log2(line_bytes)`, precomputed so `access` turns a byte address into a
+    /// block number with one shift instead of re-deriving the shift per access.
+    block_shift: u32,
     l1_latency: u64,
     l2_latency: u64,
     memory_latency: u64,
     /// For every block resident in at least one L1: bitmask of the cores holding it.
-    directory: HashMap<BlockAddr, u64>,
+    ///
+    /// Sized at construction for the worst case (every L1 line holding a
+    /// distinct block), so the hot path never grows the table.
+    directory: DirectoryMap,
     offchip_bytes: u64,
     memory_fills: u64,
     coherence_invalidations: u64,
@@ -87,17 +122,22 @@ impl CmpCacheHierarchy {
             config.cores <= 64,
             "the sharer directory uses a 64-bit core mask"
         );
-        let l1s = (0..config.cores)
+        let l1s: Vec<Cache> = (0..config.cores)
             .map(|_| Cache::new(config.l1, policy))
             .collect();
+        let directory_capacity = config.cores * config.l1.lines();
         CmpCacheHierarchy {
             l1s,
             l2: Cache::new(config.l2, policy),
             line_bytes: config.l2.line_bytes as u64,
+            block_shift: (config.l2.line_bytes as u64).trailing_zeros(),
             l1_latency: config.l1.latency_cycles,
             l2_latency: config.l2.latency_cycles,
             memory_latency: config.memory_latency_cycles,
-            directory: HashMap::new(),
+            directory: DirectoryMap::with_capacity_and_hasher(
+                directory_capacity,
+                BuildHasherDefault::default(),
+            ),
             offchip_bytes: 0,
             memory_fills: 0,
             coherence_invalidations: 0,
@@ -115,9 +155,9 @@ impl CmpCacheHierarchy {
     }
 
     /// Issue one access by `core` to byte address `addr`.
+    #[inline]
     pub fn access(&mut self, core: usize, addr: Addr, write: bool) -> AccessOutcome {
-        let block = block_of(addr, self.line_bytes as usize);
-        self.access_block(core, block, write)
+        self.access_block(core, addr >> self.block_shift, write)
     }
 
     /// Issue one access by `core` to an already-computed block address.
@@ -213,17 +253,17 @@ impl CmpCacheHierarchy {
         let Some(&mask) = self.directory.get(&block) else {
             return;
         };
-        let others = mask & !(1 << writer);
+        let mut others = mask & !(1 << writer);
         if others == 0 {
             return;
         }
-        for core in 0..self.l1s.len() {
-            if others & (1 << core) != 0 {
-                if let Some(dirty) = self.l1s[core].invalidate(block) {
-                    self.coherence_invalidations += 1;
-                    if dirty {
-                        self.l2.set_dirty(block);
-                    }
+        while others != 0 {
+            let core = others.trailing_zeros() as usize;
+            others &= others - 1;
+            if let Some(dirty) = self.l1s[core].invalidate(block) {
+                self.coherence_invalidations += 1;
+                if dirty {
+                    self.l2.set_dirty(block);
                 }
             }
         }
@@ -237,11 +277,12 @@ impl CmpCacheHierarchy {
             return false;
         };
         let mut any_dirty = false;
-        for core in 0..self.l1s.len() {
-            if mask & (1 << core) != 0 {
-                if let Some(dirty) = self.l1s[core].invalidate(block) {
-                    any_dirty |= dirty;
-                }
+        let mut remaining = mask;
+        while remaining != 0 {
+            let core = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            if let Some(dirty) = self.l1s[core].invalidate(block) {
+                any_dirty |= dirty;
             }
         }
         any_dirty

@@ -1,7 +1,12 @@
-//! Replacement policies for one cache set.
+//! Replacement policies for the cache's sets.
 //!
 //! The study's caches use LRU; FIFO and a seeded pseudo-random policy are provided
 //! for sensitivity experiments and to exercise the policy abstraction in tests.
+//!
+//! The policy state itself lives inside [`Cache`](crate::cache::Cache) as flat
+//! per-line stamp and per-set RNG arrays (one contiguous allocation each, so the
+//! access hot path touches no nested structures); this module holds the policy
+//! enum and the pure decision helpers that operate on those arrays.
 
 use serde::{Deserialize, Serialize};
 
@@ -18,82 +23,40 @@ pub enum ReplacementPolicy {
     Random,
 }
 
-/// Per-set replacement state.
-///
-/// Tracks enough information to pick a victim among `ways` ways under any of the
-/// supported policies.  The cache itself stores tags and dirty bits; this struct
-/// only orders the ways.
-#[derive(Debug, Clone)]
-pub struct SetReplacementState {
-    policy: ReplacementPolicy,
-    /// For LRU: `order[i]` is a recency timestamp (larger = more recent).
-    /// For FIFO: fill timestamp.  Unused for Random.
-    order: Vec<u64>,
-    /// Monotone counter used to stamp touches / fills.
-    clock: u64,
-    /// Xorshift state for the Random policy (seeded from the set index so that the
-    /// whole simulation stays deterministic).
-    rng_state: u64,
+/// Initial xorshift64* state for set `set_index`, chosen so every set draws a
+/// different deterministic victim sequence.
+#[inline]
+pub(crate) fn set_rng_seed(set_index: usize) -> u64 {
+    0x9E37_79B9_7F4A_7C15 ^ (set_index as u64 + 1)
 }
 
-impl SetReplacementState {
-    /// Create state for a set with `ways` ways.
-    pub fn new(policy: ReplacementPolicy, ways: usize, set_index: usize) -> Self {
-        SetReplacementState {
-            policy,
-            order: vec![0; ways],
-            clock: 0,
-            rng_state: 0x9E37_79B9_7F4A_7C15 ^ (set_index as u64 + 1),
+/// Advance a set's xorshift64* state and return the next pseudo-random draw.
+#[inline]
+pub(crate) fn next_random(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The way with the smallest stamp — the LRU way when stamps are recency
+/// timestamps, the FIFO head when they are fill timestamps.  Callers only ask
+/// for a victim once every way has been filled, and the stamp clock is a
+/// monotone counter, so the stamps are distinct.
+#[inline]
+pub(crate) fn oldest_way(stamps: &[u64]) -> usize {
+    debug_assert!(!stamps.is_empty(), "sets have at least one way");
+    let mut way = 0;
+    let mut best = stamps[0];
+    for (w, &stamp) in stamps.iter().enumerate().skip(1) {
+        if stamp < best {
+            best = stamp;
+            way = w;
         }
     }
-
-    fn next_random(&mut self) -> u64 {
-        // xorshift64*
-        let mut x = self.rng_state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.rng_state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Record that `way` was touched by a hit.
-    pub fn on_hit(&mut self, way: usize) {
-        self.clock += 1;
-        match self.policy {
-            ReplacementPolicy::Lru => self.order[way] = self.clock,
-            ReplacementPolicy::Fifo | ReplacementPolicy::Random => {}
-        }
-    }
-
-    /// Record that `way` was filled with a new block.
-    pub fn on_fill(&mut self, way: usize) {
-        self.clock += 1;
-        match self.policy {
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self.order[way] = self.clock,
-            ReplacementPolicy::Random => {}
-        }
-    }
-
-    /// Pick the way to evict among the occupied ways (callers first fill invalid
-    /// ways, so every way is occupied when this is called).
-    pub fn victim(&mut self) -> usize {
-        match self.policy {
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self
-                .order
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &stamp)| stamp)
-                .map(|(i, _)| i)
-                .expect("sets have at least one way"),
-            ReplacementPolicy::Random => (self.next_random() % self.order.len() as u64) as usize,
-        }
-    }
-
-    /// Number of ways this state tracks.
-    pub fn ways(&self) -> usize {
-        self.order.len()
-    }
+    way
 }
 
 #[cfg(test)]
@@ -101,56 +64,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lru_evicts_least_recently_touched() {
-        let mut s = SetReplacementState::new(ReplacementPolicy::Lru, 4, 0);
-        for w in 0..4 {
-            s.on_fill(w);
-        }
-        // Touch ways 0, 2, 3; way 1 is now LRU.
-        s.on_hit(0);
-        s.on_hit(2);
-        s.on_hit(3);
-        assert_eq!(s.victim(), 1);
-        // Touch 1; now 0 is the stalest (filled first, touched before 2 and 3).
-        s.on_hit(1);
-        assert_eq!(s.victim(), 0);
+    fn oldest_way_picks_the_smallest_stamp() {
+        assert_eq!(oldest_way(&[5, 3, 9, 4]), 1);
+        assert_eq!(oldest_way(&[1]), 0);
+        // First way wins a (theoretical) tie, matching the previous
+        // `min_by_key` behavior.
+        assert_eq!(oldest_way(&[2, 2, 2]), 0);
     }
 
     #[test]
-    fn fifo_ignores_hits() {
-        let mut s = SetReplacementState::new(ReplacementPolicy::Fifo, 3, 0);
-        s.on_fill(0);
-        s.on_fill(1);
-        s.on_fill(2);
-        // Hitting way 0 must not save it under FIFO.
-        s.on_hit(0);
-        s.on_hit(0);
-        assert_eq!(s.victim(), 0);
-        // Refilling way 0 moves it to the back of the queue.
-        s.on_fill(0);
-        assert_eq!(s.victim(), 1);
-    }
-
-    #[test]
-    fn random_is_deterministic_per_seed_and_in_range() {
-        let mut a = SetReplacementState::new(ReplacementPolicy::Random, 8, 7);
-        let mut b = SetReplacementState::new(ReplacementPolicy::Random, 8, 7);
-        let seq_a: Vec<_> = (0..32).map(|_| a.victim()).collect();
-        let seq_b: Vec<_> = (0..32).map(|_| b.victim()).collect();
+    fn random_is_deterministic_per_seed_and_differs_across_sets() {
+        let mut a = set_rng_seed(7);
+        let mut b = set_rng_seed(7);
+        let seq_a: Vec<u64> = (0..32).map(|_| next_random(&mut a) % 8).collect();
+        let seq_b: Vec<u64> = (0..32).map(|_| next_random(&mut b) % 8).collect();
         assert_eq!(seq_a, seq_b);
         assert!(seq_a.iter().all(|&w| w < 8));
-        // Different sets get different sequences (with overwhelming probability).
-        let mut c = SetReplacementState::new(ReplacementPolicy::Random, 8, 8);
-        let seq_c: Vec<_> = (0..32).map(|_| c.victim()).collect();
+        let mut c = set_rng_seed(8);
+        let seq_c: Vec<u64> = (0..32).map(|_| next_random(&mut c) % 8).collect();
         assert_ne!(seq_a, seq_c);
-    }
-
-    #[test]
-    fn lru_single_way_always_evicts_way_zero() {
-        let mut s = SetReplacementState::new(ReplacementPolicy::Lru, 1, 0);
-        s.on_fill(0);
-        s.on_hit(0);
-        assert_eq!(s.victim(), 0);
     }
 
     #[test]

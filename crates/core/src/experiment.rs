@@ -1,13 +1,22 @@
 //! The experiment builder: sweep (cores × scheduler) cells over one workload.
+//!
+//! `Experiment` is a one-workload veneer over the workspace's single
+//! sweep-execution path, [`SweepGrid`](crate::sweep::SweepGrid) /
+//! [`SweepRunner`](crate::sweep::SweepRunner); multi-workload grids use that
+//! API directly.
 
 use crate::spec::WorkloadSpec;
-use pdfws_cmp_model::{default_config, CmpConfig, ModelError};
-use pdfws_schedulers::{simulate, SchedulerSpec, SimOptions, SimResult};
+use crate::sweep::{SweepGrid, SweepRunner};
+use pdfws_cmp_model::{CmpConfig, ModelError};
+use pdfws_schedulers::{SchedulerSpec, SimOptions, SimResult};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Errors from configuring or running an experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExperimentError {
+    /// No workloads were requested (sweep grids only; `Experiment` always has one).
+    NoWorkloads,
     /// No core counts were requested.
     NoCores,
     /// No schedulers were requested.
@@ -19,6 +28,7 @@ pub enum ExperimentError {
 impl fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ExperimentError::NoWorkloads => write!(f, "the sweep grid has no workloads to run"),
             ExperimentError::NoCores => write!(f, "the experiment has no core counts to run"),
             ExperimentError::NoSchedulers => write!(f, "the experiment has no schedulers to run"),
             ExperimentError::Model(e) => write!(f, "configuration error: {e}"),
@@ -48,7 +58,7 @@ pub struct RunRecord {
 }
 
 /// Results of a whole experiment: all cells plus the sequential baseline.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Workload name.
     pub workload: String,
@@ -57,20 +67,61 @@ pub struct ExperimentReport {
     /// Configuration used for the baseline run.
     pub baseline_config: CmpConfig,
     runs: Vec<RunRecord>,
+    /// `cores -> spec -> index into runs`, so the per-core lookups the table
+    /// builders do in loops are O(1) instead of a linear scan of the sweep.
+    index: HashMap<usize, HashMap<SchedulerSpec, usize>>,
+}
+
+impl PartialEq for ExperimentReport {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is derived from `runs`; comparing it would be redundant.
+        self.workload == other.workload
+            && self.baseline == other.baseline
+            && self.baseline_config == other.baseline_config
+            && self.runs == other.runs
+    }
 }
 
 impl ExperimentReport {
+    /// Assemble a report, building the `(cores, spec)` lookup index.  The
+    /// sweep runner is the only producer.
+    pub(crate) fn from_parts(
+        workload: String,
+        baseline: SimResult,
+        baseline_config: CmpConfig,
+        runs: Vec<RunRecord>,
+    ) -> Self {
+        let mut index: HashMap<usize, HashMap<SchedulerSpec, usize>> = HashMap::new();
+        for (i, run) in runs.iter().enumerate() {
+            // First occurrence wins, matching what a linear scan would find.
+            index
+                .entry(run.cores)
+                .or_default()
+                .entry(run.scheduler.clone())
+                .or_insert(i);
+        }
+        ExperimentReport {
+            workload,
+            baseline,
+            baseline_config,
+            runs,
+            index,
+        }
+    }
+
     /// All (cores, scheduler) cells, in the order they were run (cores outer,
     /// schedulers inner).
     pub fn runs(&self) -> &[RunRecord] {
         &self.runs
     }
 
-    /// The cell for a specific core count and scheduler, if it was part of the sweep.
+    /// The cell for a specific core count and scheduler, if it was part of the
+    /// sweep.  O(1): the report keeps a `(cores, canonical spec)` index.
     pub fn find(&self, cores: usize, scheduler: &SchedulerSpec) -> Option<&RunRecord> {
-        self.runs
-            .iter()
-            .find(|r| r.cores == cores && r.scheduler == *scheduler)
+        self.index
+            .get(&cores)
+            .and_then(|specs| specs.get(scheduler))
+            .map(|&i| &self.runs[i])
     }
 
     /// Speedup of a cell over the sequential baseline (the paper's Figure 1 right panel).
@@ -105,11 +156,14 @@ pub struct Experiment {
     schedulers: Vec<SchedulerSpec>,
     fixed_config: Option<CmpConfig>,
     options: SimOptions,
+    runner: SweepRunner,
 }
 
 impl Experiment {
     /// Start an experiment over a workload.  Defaults: 8 cores, the paper's two
-    /// schedulers (PDF and WS), default configurations, default engine options.
+    /// schedulers (PDF and WS), default configurations, default engine options,
+    /// and [`SweepRunner::from_env`] threading (sequential unless
+    /// `PDFWS_THREADS` is set).
     pub fn new(workload: WorkloadSpec) -> Self {
         Experiment {
             workload,
@@ -117,6 +171,7 @@ impl Experiment {
             schedulers: SchedulerSpec::paper_pair().to_vec(),
             fixed_config: None,
             options: SimOptions::default(),
+            runner: SweepRunner::from_env(),
         }
     }
 
@@ -153,57 +208,27 @@ impl Experiment {
         self
     }
 
-    fn config_for(&self, cores: usize) -> Result<CmpConfig, ExperimentError> {
-        match &self.fixed_config {
-            Some(cfg) => {
-                let mut cfg = *cfg;
-                cfg.cores = cores;
-                cfg.validate()?;
-                Ok(cfg)
-            }
-            None => Ok(default_config(cores)?),
-        }
+    /// Run the sweep's cells on `threads` worker threads.  Results are
+    /// bit-identical for every thread count (see [`SweepRunner`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.runner = SweepRunner::new(threads);
+        self
     }
 
-    /// Run every (cores × scheduler) cell plus the one-core sequential baseline.
+    /// Run every (cores × scheduler) cell plus the one-core sequential baseline
+    /// (on one core the PDF schedule *is* the sequential depth-first
+    /// execution), through the workspace's single sweep-execution path.
     pub fn run(self) -> Result<ExperimentReport, ExperimentError> {
-        if self.cores.is_empty() {
-            return Err(ExperimentError::NoCores);
+        let mut grid = SweepGrid::new()
+            .workload(self.workload)
+            .cores(&self.cores)
+            .specs(&self.schedulers)
+            .options(self.options);
+        if let Some(cfg) = self.fixed_config {
+            grid = grid.with_config(cfg);
         }
-        if self.schedulers.is_empty() {
-            return Err(ExperimentError::NoSchedulers);
-        }
-
-        // Sequential baseline: one core, SchedulerSpec::sequential_baseline()
-        // (on one core the PDF schedule *is* the sequential depth-first
-        // execution), on the one-core configuration.
-        let baseline_config = self.config_for(1)?;
-        let baseline = simulate(
-            &self.workload.dag,
-            &baseline_config,
-            &SchedulerSpec::sequential_baseline(),
-            &self.options,
-        );
-
-        let mut runs = Vec::with_capacity(self.cores.len() * self.schedulers.len());
-        for &cores in &self.cores {
-            let config = self.config_for(cores)?;
-            for scheduler in &self.schedulers {
-                let metrics = simulate(&self.workload.dag, &config, scheduler, &self.options);
-                runs.push(RunRecord {
-                    cores,
-                    scheduler: scheduler.clone(),
-                    config,
-                    metrics,
-                });
-            }
-        }
-        Ok(ExperimentReport {
-            workload: self.workload.name.clone(),
-            baseline,
-            baseline_config,
-            runs,
-        })
+        let mut reports = self.runner.run(&grid)?.into_reports();
+        Ok(reports.swap_remove(0))
     }
 }
 
@@ -211,6 +236,7 @@ impl Experiment {
 mod tests {
     use super::*;
     use crate::spec::IntoSpec;
+    use pdfws_cmp_model::default_config;
     use pdfws_workloads::{MergeSort, ParallelScan};
 
     #[test]

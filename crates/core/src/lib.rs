@@ -23,20 +23,34 @@
 //!     );
 //! }
 //! ```
+//!
+//! Underneath, everything executes through the [`sweep`] module —
+//! [`SweepGrid`](sweep::SweepGrid) describes a (workload × cores × spec)
+//! grid and [`SweepRunner`](sweep::SweepRunner) runs its cells on a worker
+//! pool with bit-identical results for every thread count, sharing each
+//! workload's DAG by `Arc` across all cells.  Multi-workload sweeps use that
+//! API directly; `Experiment::threads(n)` / `StreamExperiment::threads(n)`
+//! (or the `PDFWS_THREADS` environment variable) opt the builders into
+//! parallel execution.
 
 pub mod experiment;
 pub mod spec;
 pub mod stream_experiment;
+pub mod sweep;
 
 pub use experiment::{Experiment, ExperimentError, ExperimentReport, RunRecord};
 pub use spec::{IntoSpec, WorkloadSpec};
 pub use stream_experiment::{StreamExperiment, StreamReport};
+pub use sweep::{
+    parse_threads, threads_from_env, SweepGrid, SweepReport, SweepRunner, THREADS_ENV,
+};
 
 /// The types almost every experiment needs.
 pub mod prelude {
     pub use crate::experiment::{Experiment, ExperimentError, ExperimentReport, RunRecord};
     pub use crate::spec::{IntoSpec, WorkloadSpec};
     pub use crate::stream_experiment::{StreamExperiment, StreamReport};
+    pub use crate::sweep::{SweepGrid, SweepReport, SweepRunner};
     pub use pdfws_cmp_model::{default_config, default_core_counts, CmpConfig, ProcessNode};
     #[allow(deprecated)]
     pub use pdfws_schedulers::SchedulerKind;

@@ -1,11 +1,14 @@
 //! Workload specifications: a built task DAG plus the metadata experiments need.
 //!
 //! Building a DAG can be expensive for large instances, so a [`WorkloadSpec`]
-//! builds it once and lets every (cores × scheduler) cell of an experiment reuse
-//! it; the simulator never mutates the DAG.
+//! builds it once — `Workload::build_dag` is called exactly once per spec — and
+//! shares it behind an [`Arc`]: every (cores × scheduler) cell of a sweep, on
+//! every worker thread, simulates the same immutable DAG without rebuilding or
+//! cloning it.  The simulator never mutates the DAG.
 
 use pdfws_task_dag::TaskDag;
 use pdfws_workloads::{Workload, WorkloadClass};
+use std::sync::Arc;
 
 /// A workload that has been instantiated: its DAG plus reporting metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,19 +17,21 @@ pub struct WorkloadSpec {
     pub name: String,
     /// The paper's application class for this program.
     pub class: WorkloadClass,
-    /// The fine-grained task DAG.
-    pub dag: TaskDag,
+    /// The fine-grained task DAG, built once and shared by every sweep cell
+    /// (cloning a `WorkloadSpec` shares the DAG, it does not copy it).
+    pub dag: Arc<TaskDag>,
     /// Approximate input-data footprint in bytes.
     pub data_bytes: u64,
 }
 
 impl WorkloadSpec {
-    /// Build a spec from any workload generator.
+    /// Build a spec from any workload generator.  Calls `build_dag` exactly
+    /// once; the resulting DAG is shared by reference from then on.
     pub fn from_workload(w: &dyn Workload) -> Self {
         WorkloadSpec {
             name: w.name().to_string(),
             class: w.class(),
-            dag: w.build_dag(),
+            dag: Arc::new(w.build_dag()),
             data_bytes: w.data_bytes(),
         }
     }
@@ -41,7 +46,7 @@ impl WorkloadSpec {
         WorkloadSpec {
             name: name.into(),
             class,
-            dag,
+            dag: Arc::new(dag),
             data_bytes,
         }
     }

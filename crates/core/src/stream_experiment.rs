@@ -7,35 +7,42 @@
 //! latency and throughput per scheduler.
 
 use crate::experiment::ExperimentError;
+use crate::sweep::SweepRunner;
 use pdfws_schedulers::{SchedulerSpec, SimOptions};
 use pdfws_stream::{
-    run_stream_sim, AdmissionPolicy, ArrivalProcess, JobMix, StreamConfig, StreamOutcome,
-    StreamSummary,
+    run_stream_sim_with_jobs, validate_stream_cfg, AdmissionPolicy, ArrivalProcess, JobMix,
+    StreamConfig, StreamOutcome, StreamSummary,
 };
 
 /// Builder for one job-stream experiment.
 ///
 /// Wraps one [`StreamConfig`] (whose `scheduler` field is overridden per run)
 /// so every stream knob has exactly one home; the builder methods below are a
-/// fluent veneer over it.
+/// fluent veneer over it.  The per-scheduler streams are independent seeded
+/// simulations, so they execute through the same [`SweepRunner`] cell
+/// substrate as DAG sweeps — one scheduler per cell, deterministic for every
+/// thread count.
 #[derive(Debug, Clone)]
 pub struct StreamExperiment {
     mix: JobMix,
     jobs: usize,
     schedulers: Vec<SchedulerSpec>,
     config: StreamConfig,
+    runner: SweepRunner,
 }
 
 impl StreamExperiment {
     /// Start a stream experiment over a job mix.  Defaults: 16 jobs, 8 cores,
-    /// the paper's two schedulers, and [`StreamConfig::new`]'s stream knobs
-    /// (open-loop Poisson at 40 jobs/Mcycle, FIFO admission, 4 slots).
+    /// the paper's two schedulers, [`StreamConfig::new`]'s stream knobs
+    /// (open-loop Poisson at 40 jobs/Mcycle, FIFO admission, 4 slots), and
+    /// [`SweepRunner::from_env`] threading.
     pub fn new(mix: JobMix) -> Self {
         StreamExperiment {
             mix,
             jobs: 16,
             schedulers: SchedulerSpec::paper_pair().to_vec(),
             config: StreamConfig::new(8, SchedulerSpec::pdf()),
+            runner: SweepRunner::from_env(),
         }
     }
 
@@ -100,19 +107,38 @@ impl StreamExperiment {
         self
     }
 
-    /// Run the stream once per requested scheduler.
+    /// Run each scheduler's stream on its own worker thread (results are
+    /// bit-identical for every thread count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.runner = SweepRunner::new(threads);
+        self
+    }
+
+    /// Run the stream once per requested scheduler (one runner cell each).
+    ///
+    /// The job stream is sampled **once** — every scheduler replays clones of
+    /// the same jobs, whose DAGs are `Arc`-shared, so the comparison builds
+    /// each job's DAG exactly one time no matter how many schedulers compete.
     pub fn run(self) -> Result<StreamReport, ExperimentError> {
         if self.schedulers.is_empty() {
             return Err(ExperimentError::NoSchedulers);
         }
-        let mut outcomes = Vec::with_capacity(self.schedulers.len());
-        for scheduler in &self.schedulers {
+        // Validate before sampling (and before the worker pool): a bad config
+        // must panic here with its own message, not cost a stream of DAG
+        // builds and then surface as a scoped-thread panic.
+        validate_stream_cfg(&self.config);
+        let jobs = self.mix.generate(self.jobs, self.config.seed);
+        let tenants = self.mix.tenants();
+        let results = self.runner.run_cells(self.schedulers.len(), |i| {
             let cfg = StreamConfig {
-                scheduler: scheduler.clone(),
+                scheduler: self.schedulers[i].clone(),
                 ..self.config.clone()
             };
-            let outcome = run_stream_sim(&self.mix, self.jobs, &cfg)?;
-            outcomes.push(outcome);
+            run_stream_sim_with_jobs(jobs.clone(), tenants, &cfg)
+        });
+        let mut outcomes = Vec::with_capacity(results.len());
+        for result in results {
+            outcomes.push(result?);
         }
         Ok(StreamReport {
             mix: self.mix.name.clone(),

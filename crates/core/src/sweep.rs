@@ -1,0 +1,534 @@
+//! The shared-DAG sweep layer: describe a grid of simulation cells, execute it
+//! on a worker pool.
+//!
+//! Every result in the paper — and every binary in `pdfws-bench` — is a grid of
+//! *independent* simulations over some subset of the axes
+//! (workload × cores × scheduler spec × machine config × engine options).
+//! [`SweepGrid`] describes such a grid declaratively; [`SweepRunner`] executes
+//! its cells on a `std::thread` worker pool and assembles one
+//! [`ExperimentReport`] per workload.  This is the single sweep-execution path
+//! in the workspace: [`Experiment`](crate::experiment::Experiment),
+//! [`StreamExperiment`](crate::stream_experiment::StreamExperiment) and all the
+//! bench binaries route through it.
+//!
+//! # Determinism
+//!
+//! Each cell's simulation is deterministic (seeded RNGs everywhere), cells
+//! share no mutable state, and results are collected by cell index — so the
+//! report is **bit-identical for every thread count**, including the
+//! sequential path.  `tests/sweep_runner.rs` pins this with a property test
+//! over random grids.
+//!
+//! # DAG sharing and baseline dedup
+//!
+//! A workload's [`TaskDag`] is built once (when its [`WorkloadSpec`] is
+//! constructed) and shared by `Arc` across every cell and worker thread —
+//! a 6-cores × 5-specs sweep simulates 30 cells plus one baseline from one
+//! DAG build, where the pre-sweep code rebuilt or cloned the DAG per cell.
+//! The sequential baseline is likewise deduplicated per (workload DAG,
+//! baseline config): grids that list the same shared DAG several times run
+//! its baseline once.
+//!
+//! ```
+//! use pdfws_core::prelude::*;
+//!
+//! let grid = SweepGrid::new()
+//!     .workload(MergeSort::new(1 << 12).into_spec())
+//!     .workload(ParallelScan::new(1 << 14).into_spec())
+//!     .cores(&[1, 4])
+//!     .specs(&SchedulerSpec::paper_pair());
+//! let report = SweepRunner::new(2).run(&grid).unwrap();
+//! assert_eq!(report.reports().len(), 2);
+//! // Bit-identical to the sequential path:
+//! assert_eq!(report, SweepRunner::sequential().run(&grid).unwrap());
+//! ```
+
+use crate::experiment::{ExperimentError, ExperimentReport, RunRecord};
+use crate::spec::WorkloadSpec;
+use pdfws_cmp_model::{default_config, CmpConfig};
+use pdfws_schedulers::{simulate_shared, SchedulerSpec, SimOptions};
+use pdfws_task_dag::TaskDag;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Environment variable read by [`SweepRunner::from_env`] (same knob the bench
+/// binaries expose as `--threads N`).
+pub const THREADS_ENV: &str = "PDFWS_THREADS";
+
+/// Parse one thread-count value as every knob (`PDFWS_THREADS`, the bench
+/// binaries' `--threads`) accepts it: a whitespace-trimmed `usize`, with 0
+/// clamped to 1.  `None` means malformed — callers that face users (the CLI
+/// harness) warn on it; the library stays silent.
+pub fn parse_threads(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// Parse [`THREADS_ENV`] via [`parse_threads`], falling back to `default`
+/// when the variable is unset or malformed.
+pub fn threads_from_env(default: usize) -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| parse_threads(&v))
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// A declarative grid of sweep cells:
+/// (workload × cores × spec) under one machine config policy and one set of
+/// engine options.
+///
+/// The grid is inert data; hand it to a [`SweepRunner`] to execute.  Axes can
+/// be listed in any order and the report ordering is always workloads in
+/// insertion order, then cores (outer) × specs (inner) — the classic
+/// `Experiment` ordering.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    workloads: Vec<WorkloadSpec>,
+    cores: Vec<usize>,
+    specs: Vec<SchedulerSpec>,
+    fixed_config: Option<CmpConfig>,
+    options: SimOptions,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepGrid {
+    /// An empty grid with the paper's defaults for the non-workload axes:
+    /// 8 cores, the PDF/WS pair, default configurations, default options.
+    pub fn new() -> Self {
+        SweepGrid {
+            workloads: Vec::new(),
+            cores: vec![8],
+            specs: SchedulerSpec::paper_pair().to_vec(),
+            fixed_config: None,
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Add one workload to the workload axis.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workloads.push(spec);
+        self
+    }
+
+    /// Add several workloads to the workload axis.
+    pub fn workloads(mut self, specs: &[WorkloadSpec]) -> Self {
+        self.workloads.extend_from_slice(specs);
+        self
+    }
+
+    /// Replace the core-count axis (the Figure 1 x-axis).
+    pub fn cores(mut self, cores: &[usize]) -> Self {
+        self.cores = cores.to_vec();
+        self
+    }
+
+    /// Replace the scheduler axis (any mix of registered specs).
+    pub fn specs(mut self, specs: &[SchedulerSpec]) -> Self {
+        self.specs = specs.to_vec();
+        self
+    }
+
+    /// Use an explicit machine configuration for every cell instead of the
+    /// default configuration per core count (the core count still comes from
+    /// the sweep; only cache/bandwidth parameters are taken from `config`).
+    pub fn with_config(mut self, config: CmpConfig) -> Self {
+        self.fixed_config = Some(config);
+        self
+    }
+
+    /// Engine options applied to every cell (working-set profiling,
+    /// disturbance co-runner, ...).
+    pub fn options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Number of (workload × cores × spec) cells, excluding baselines.
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len() * self.cores.len() * self.specs.len()
+    }
+
+    fn config_for(&self, cores: usize) -> Result<CmpConfig, ExperimentError> {
+        match &self.fixed_config {
+            Some(cfg) => {
+                let mut cfg = *cfg;
+                cfg.cores = cores;
+                cfg.validate()?;
+                Ok(cfg)
+            }
+            None => Ok(default_config(cores)?),
+        }
+    }
+}
+
+/// One simulation the planner scheduled: a shared DAG, a resolved config, and
+/// the spec to run (baselines use [`SchedulerSpec::sequential_baseline`]).
+struct PlannedCell {
+    dag: Arc<TaskDag>,
+    config: CmpConfig,
+    spec: SchedulerSpec,
+}
+
+/// Everything needed to turn cell results back into per-workload reports.
+struct Plan {
+    cells: Vec<PlannedCell>,
+    /// Per workload: index into `cells` of its (deduplicated) baseline.
+    baseline_of: Vec<usize>,
+    /// Per workload: first run-cell index; run cells for one workload are
+    /// contiguous, cores outer × specs inner.
+    run_start: Vec<usize>,
+    /// Resolved config per entry of the cores axis (shared by every workload).
+    configs: Vec<CmpConfig>,
+}
+
+impl Plan {
+    /// Resolve every config and schedule the cells: deduped baselines first,
+    /// then each workload's (cores × specs) block.  All configuration errors
+    /// surface here, before anything is simulated.
+    fn build(grid: &SweepGrid) -> Result<Plan, ExperimentError> {
+        if grid.workloads.is_empty() {
+            return Err(ExperimentError::NoWorkloads);
+        }
+        if grid.cores.is_empty() {
+            return Err(ExperimentError::NoCores);
+        }
+        if grid.specs.is_empty() {
+            return Err(ExperimentError::NoSchedulers);
+        }
+
+        // Configs depend only on the grid's axes, never on the workload:
+        // resolve them once up front (this is also where every configuration
+        // error surfaces).
+        let baseline_config = grid.config_for(1)?;
+        let configs: Vec<CmpConfig> = grid
+            .cores
+            .iter()
+            .map(|&c| grid.config_for(c))
+            .collect::<Result<_, _>>()?;
+
+        let mut cells: Vec<PlannedCell> = Vec::new();
+        let mut baseline_of = Vec::with_capacity(grid.workloads.len());
+        // Dedup baselines per workload DAG (the baseline config is
+        // grid-constant): (workload idx, cell idx) of the first occurrence.
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        for (w_idx, w) in grid.workloads.iter().enumerate() {
+            let dup = seen
+                .iter()
+                .find(|&&(earlier, _)| Arc::ptr_eq(&grid.workloads[earlier].dag, &w.dag));
+            match dup {
+                Some(&(_, cell)) => baseline_of.push(cell),
+                None => {
+                    let cell = cells.len();
+                    cells.push(PlannedCell {
+                        dag: w.dag.clone(),
+                        config: baseline_config,
+                        spec: SchedulerSpec::sequential_baseline(),
+                    });
+                    seen.push((w_idx, cell));
+                    baseline_of.push(cell);
+                }
+            }
+        }
+
+        let mut run_start = Vec::with_capacity(grid.workloads.len());
+        for w in &grid.workloads {
+            run_start.push(cells.len());
+            for config in &configs {
+                for spec in &grid.specs {
+                    cells.push(PlannedCell {
+                        dag: w.dag.clone(),
+                        config: *config,
+                        spec: spec.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Plan {
+            cells,
+            baseline_of,
+            run_start,
+            configs,
+        })
+    }
+}
+
+/// Executes [`SweepGrid`]s (and any other list of independent cells) on a
+/// fixed-size `std::thread` worker pool.
+///
+/// Workers pull cell indices from a shared counter and write results back by
+/// index, so the output order never depends on thread scheduling; combined
+/// with each cell's own determinism this makes `run` return **bit-identical**
+/// reports for every thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner with `threads` workers (0 is clamped to 1).
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded reference path (identical results, no worker pool).
+    pub fn sequential() -> Self {
+        SweepRunner::new(1)
+    }
+
+    /// A runner sized from the `PDFWS_THREADS` environment variable, or
+    /// sequential when it is unset or unparsable.  Library entry points
+    /// ([`Experiment`](crate::experiment::Experiment),
+    /// [`StreamExperiment`](crate::stream_experiment::StreamExperiment))
+    /// default to this, so exported sweeps stay single-threaded unless the
+    /// user opts in; the bench binaries additionally accept `--threads N`.
+    pub fn from_env() -> Self {
+        SweepRunner::new(threads_from_env(1))
+    }
+
+    /// Number of worker threads this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute every cell of `grid` and assemble one [`ExperimentReport`] per
+    /// workload (in the grid's insertion order).
+    ///
+    /// All configuration errors are raised before any simulation starts.
+    pub fn run(&self, grid: &SweepGrid) -> Result<SweepReport, ExperimentError> {
+        let plan = Plan::build(grid)?;
+        let options = &grid.options;
+        let results = self.run_cells(plan.cells.len(), |i| {
+            let cell = &plan.cells[i];
+            simulate_shared(cell.dag.clone(), &cell.config, &cell.spec, options)
+        });
+
+        let reports = grid
+            .workloads
+            .iter()
+            .zip(plan.baseline_of.iter().zip(&plan.run_start))
+            .map(|(w, (&baseline_cell, &first))| {
+                let mut runs = Vec::with_capacity(plan.configs.len() * grid.specs.len());
+                let mut cell = first;
+                for (config, &cores) in plan.configs.iter().zip(&grid.cores) {
+                    for spec in &grid.specs {
+                        runs.push(RunRecord {
+                            cores,
+                            scheduler: spec.clone(),
+                            config: *config,
+                            metrics: results[cell].clone(),
+                        });
+                        cell += 1;
+                    }
+                }
+                ExperimentReport::from_parts(
+                    w.name.clone(),
+                    results[baseline_cell].clone(),
+                    plan.cells[baseline_cell].config,
+                    runs,
+                )
+            })
+            .collect();
+        Ok(SweepReport { reports })
+    }
+
+    /// The generic parallel substrate under [`SweepRunner::run`]: evaluate
+    /// `run_cell` for every index in `0..count` and return the results in
+    /// index order.
+    ///
+    /// With one thread (or one cell) this degenerates to a plain sequential
+    /// map on the calling thread — no pool, no locks.  A panicking cell
+    /// propagates the panic to the caller.
+    pub fn run_cells<T, F>(&self, count: usize, run_cell: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || count <= 1 {
+            return (0..count).map(run_cell).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..self.threads.min(count))
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let result = run_cell(i);
+                        *slots[i].lock().expect("no other holder of this slot") = Some(result);
+                    })
+                })
+                .collect();
+            // Join explicitly and re-raise the first worker's payload: the
+            // scope's automatic join would swallow the original panic message
+            // behind a generic "a scoped thread panicked".
+            for worker in workers {
+                if let Err(payload) = worker.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("workers released every slot")
+                    .expect("every cell index was claimed and run")
+            })
+            .collect()
+    }
+}
+
+/// Results of a grid: one [`ExperimentReport`] per workload, in the grid's
+/// insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    reports: Vec<ExperimentReport>,
+}
+
+impl SweepReport {
+    /// All per-workload reports, in the grid's workload insertion order.
+    pub fn reports(&self) -> &[ExperimentReport] {
+        &self.reports
+    }
+
+    /// Consume the sweep into its per-workload reports.
+    pub fn into_reports(self) -> Vec<ExperimentReport> {
+        self.reports
+    }
+
+    /// The first report for a workload with the given name.
+    pub fn for_workload(&self, name: &str) -> Option<&ExperimentReport> {
+        self.reports.iter().find(|r| r.workload == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::IntoSpec;
+    use pdfws_workloads::{MergeSort, ParallelScan};
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::new()
+            .workload(MergeSort::small().into_spec())
+            .workload(ParallelScan::small().into_spec())
+            .cores(&[1, 2])
+            .specs(&SchedulerSpec::paper_pair())
+    }
+
+    #[test]
+    fn grid_reports_one_report_per_workload_in_order() {
+        let sweep = SweepRunner::sequential().run(&small_grid()).unwrap();
+        let names: Vec<&str> = sweep
+            .reports()
+            .iter()
+            .map(|r| r.workload.as_str())
+            .collect();
+        assert_eq!(names, ["mergesort", "scan"]);
+        for report in sweep.reports() {
+            assert_eq!(report.runs().len(), 4);
+            assert_eq!(report.baseline_config.cores, 1);
+        }
+        assert!(sweep.for_workload("mergesort").is_some());
+        assert!(sweep.for_workload("nope").is_none());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let grid = small_grid();
+        let seq = SweepRunner::sequential().run(&grid).unwrap();
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                SweepRunner::new(threads).run(&grid).unwrap(),
+                seq,
+                "{threads} threads changed the results"
+            );
+        }
+    }
+
+    #[test]
+    fn baselines_are_deduplicated_per_shared_dag() {
+        let shared = MergeSort::small().into_spec();
+        let grid = SweepGrid::new()
+            .workload(shared.clone())
+            .workload(shared.clone()) // same Arc: baseline must not rerun
+            .cores(&[2])
+            .specs(&[SchedulerSpec::pdf()]);
+        let plan = Plan::build(&grid).unwrap();
+        // 1 shared baseline + 2 × (1 core × 1 spec) runs.
+        assert_eq!(plan.cells.len(), 3);
+        assert_eq!(plan.baseline_of, vec![0, 0]);
+
+        // A distinct DAG build of the same workload gets its own baseline.
+        let grid = SweepGrid::new()
+            .workload(MergeSort::small().into_spec())
+            .workload(MergeSort::small().into_spec())
+            .cores(&[2])
+            .specs(&[SchedulerSpec::pdf()]);
+        let plan = Plan::build(&grid).unwrap();
+        assert_eq!(plan.cells.len(), 4);
+        assert_eq!(plan.baseline_of, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_axes_are_rejected_before_simulation() {
+        let e = SweepRunner::sequential()
+            .run(&SweepGrid::new())
+            .unwrap_err();
+        assert_eq!(e, ExperimentError::NoWorkloads);
+        let e = SweepRunner::sequential()
+            .run(&small_grid().cores(&[]))
+            .unwrap_err();
+        assert_eq!(e, ExperimentError::NoCores);
+        let e = SweepRunner::sequential()
+            .run(&small_grid().specs(&[]))
+            .unwrap_err();
+        assert_eq!(e, ExperimentError::NoSchedulers);
+        let e = SweepRunner::sequential()
+            .run(&small_grid().cores(&[999]))
+            .unwrap_err();
+        assert!(matches!(e, ExperimentError::Model(_)));
+    }
+
+    #[test]
+    fn run_cells_preserves_index_order_under_parallelism() {
+        let runner = SweepRunner::new(4);
+        let out = runner.run_cells(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(runner.run_cells(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn run_cells_panics_preserve_the_cell_message() {
+        let result = std::panic::catch_unwind(|| {
+            SweepRunner::new(3).run_cells(8, |i| {
+                if i == 5 {
+                    panic!("cell five exploded");
+                }
+                i
+            })
+        });
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(
+            msg.contains("cell five exploded"),
+            "worker panic message lost: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_sequential() {
+        assert_eq!(SweepRunner::new(0).threads(), 1);
+        assert_eq!(SweepRunner::sequential().threads(), 1);
+    }
+}

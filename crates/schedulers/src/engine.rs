@@ -289,35 +289,54 @@ impl SimEngine {
         }
         let deadline = self.now.saturating_add(budget);
 
-        while let Some(&Reverse((time, _))) = self.events.peek() {
+        'events: while let Some(&Reverse((time, _))) = self.events.peek() {
             if time > deadline {
                 // Nothing more to do inside this quantum; charge the idle gap.
                 self.now = deadline;
                 return EngineStatus::Running;
             }
-            let Reverse((time, core)) = self.events.pop().expect("peeked event exists");
-            self.now = time;
-            self.inject_disturbance(time);
-            let (elapsed, finished) = self.step(core, time);
-            self.cores[core].busy_cycles += elapsed;
-            let end = time + elapsed;
-            // `now` must track step *ends*, not just event pop times, or the
-            // makespan would miss the final step of the run.
-            if end > self.now {
-                self.now = end;
-            }
-            if finished {
-                let task = self.cores[core]
-                    .running
-                    .take()
-                    .expect("finished step implies a running task")
-                    .task;
-                self.complete_task(task, core, end);
-            } else {
-                self.events.push(Reverse((end, core)));
-            }
-            if self.now >= deadline && !self.events.is_empty() {
-                return EngineStatus::Running;
+            let Reverse((mut time, core)) = self.events.pop().expect("peeked event exists");
+            // Step this core repeatedly while it remains *strictly* the
+            // earliest event: re-queueing it would only pop it right back, so
+            // the pop/push pair per bounded step is skipped entirely.  On a
+            // tie the event goes back into the heap, which breaks ties by core
+            // index exactly as a pop would, so the schedule (and therefore the
+            // whole simulation) is unchanged.
+            loop {
+                self.now = time;
+                self.inject_disturbance(time);
+                let (elapsed, finished) = self.step(core, time);
+                self.cores[core].busy_cycles += elapsed;
+                let end = time + elapsed;
+                // `now` must track step *ends*, not just event pop times, or the
+                // makespan would miss the final step of the run.
+                if end > self.now {
+                    self.now = end;
+                }
+                if finished {
+                    let task = self.cores[core]
+                        .running
+                        .take()
+                        .expect("finished step implies a running task")
+                        .task;
+                    self.complete_task(task, core, end);
+                    if self.now >= deadline && !self.events.is_empty() {
+                        return EngineStatus::Running;
+                    }
+                    continue 'events;
+                }
+                if self.now >= deadline {
+                    self.events.push(Reverse((end, core)));
+                    return EngineStatus::Running;
+                }
+                match self.events.peek() {
+                    Some(&Reverse((next, _))) if end >= next => {
+                        self.events.push(Reverse((end, core)));
+                        continue 'events;
+                    }
+                    // Strictly earliest (or the only busy core): keep going.
+                    _ => time = end,
+                }
             }
         }
 

@@ -123,6 +123,23 @@ pub fn simulate(
     engine.run()
 }
 
+/// [`simulate`] over an already-shared DAG: no per-run DAG clone.
+///
+/// This is the entry point the sweep runner uses — every (cores × scheduler)
+/// cell of a sweep holds the same `Arc<TaskDag>`, so a grid of N cells builds
+/// the DAG once instead of cloning it N times.  Results are bit-identical to
+/// [`simulate`] on the same inputs.
+pub fn simulate_shared(
+    dag: std::sync::Arc<TaskDag>,
+    config: &CmpConfig,
+    spec: &SchedulerSpec,
+    options: &SimOptions,
+) -> SimResult {
+    let policy = make_policy(spec, config.cores);
+    let mut engine = SimEngine::with_shared_dag(dag, config, policy, options.clone());
+    engine.run()
+}
+
 /// Simulate the sequential (single-core, depth-first) execution of `dag` on the
 /// given configuration but with exactly one core.  The paper's speedups divide
 /// this run's makespan by the parallel run's makespan.

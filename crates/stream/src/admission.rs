@@ -113,7 +113,7 @@ mod tests {
     use pdfws_workloads::WorkloadClass;
 
     fn job(id: u64, tenant: u32, work: u64, arrival: u64) -> StreamJob {
-        let dag = SpTree::leaf("t", work).into_dag().unwrap();
+        let dag = std::sync::Arc::new(SpTree::leaf("t", work).into_dag().unwrap());
         StreamJob {
             id,
             tenant,

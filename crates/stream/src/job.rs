@@ -2,6 +2,7 @@
 
 use pdfws_task_dag::TaskDag;
 use pdfws_workloads::WorkloadClass;
+use std::sync::Arc;
 
 /// One job in the stream: an instantiated task DAG plus the metadata the
 /// admission layer and the metrics sink need.
@@ -15,8 +16,10 @@ pub struct StreamJob {
     pub name: String,
     /// The paper's application class for this job's program.
     pub class: WorkloadClass,
-    /// The job's fine-grained task DAG.
-    pub dag: TaskDag,
+    /// The job's fine-grained task DAG, shared by reference: cloning a job
+    /// (e.g. to replay the same sampled stream under several schedulers)
+    /// shares the DAG instead of copying it.
+    pub dag: Arc<TaskDag>,
     /// Total instructions in the DAG (the job's *work*; the SJF admission
     /// policy orders by this).
     pub work: u64,

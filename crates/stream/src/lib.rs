@@ -62,7 +62,9 @@ pub use admission::{AdmissionPolicy, AdmissionQueue};
 pub use arrival::ArrivalProcess;
 pub use job::StreamJob;
 pub use record::{records_from_jsonl, JobRecord, StreamOutcome, StreamSummary};
-pub use sim_backend::{run_stream_sim, StreamConfig};
+pub use sim_backend::{
+    run_stream_sim, run_stream_sim_with_jobs, validate_stream_cfg, StreamConfig,
+};
 pub use source::{JobMix, JobTemplate};
 pub use thread_backend::{
     run_stream_threads, ThreadJobRecord, ThreadStreamConfig, ThreadStreamOutcome,

@@ -93,14 +93,45 @@ pub fn run_stream_sim(
     n_jobs: usize,
     cfg: &StreamConfig,
 ) -> Result<StreamOutcome, ModelError> {
+    // Validate before sampling: a bad config must not cost a stream of DAG
+    // builds first.
+    validate_stream_cfg(cfg);
+    run_stream_sim_with_jobs(mix.generate(n_jobs, cfg.seed), mix.tenants(), cfg)
+}
+
+/// Assert the config invariants both stream entry points require.  Public so
+/// callers that sample jobs themselves (e.g. `StreamExperiment`) can also
+/// validate *before* paying for DAG generation.
+///
+/// # Panics
+///
+/// Panics on a non-positive quantum, zero job slots, or an empty closed-loop
+/// population.
+pub fn validate_stream_cfg(cfg: &StreamConfig) {
     assert!(cfg.quantum_cycles > 0, "quantum must be positive");
     assert!(cfg.max_concurrent > 0, "need at least one job slot");
     if let Some(population) = cfg.arrivals.population() {
         assert!(population > 0, "a closed loop needs at least one client");
     }
+}
+
+/// [`run_stream_sim`] over already-sampled jobs.
+///
+/// Callers that replay the *same* stream under several schedulers (the
+/// `StreamExperiment` comparison) sample once and pass clones: each job's DAG
+/// is behind an `Arc`, so the clone shares every DAG instead of rebuilding
+/// the whole stream per scheduler.  `tenants` is the tenant count the
+/// fair-share admission policy partitions by (i.e. [`JobMix::tenants`]).
+pub fn run_stream_sim_with_jobs(
+    jobs: Vec<StreamJob>,
+    tenants: usize,
+    cfg: &StreamConfig,
+) -> Result<StreamOutcome, ModelError> {
+    validate_stream_cfg(cfg);
     let machine: CmpConfig = default_config(cfg.cores)?;
 
-    let mut jobs = mix.generate(n_jobs, cfg.seed);
+    let n_jobs = jobs.len();
+    let mut jobs = jobs;
 
     // Arrival bookkeeping.  Open loop: all arrivals are known up front.
     // Closed loop: the first `population` jobs arrive at cycle 0 and each
@@ -132,7 +163,7 @@ pub fn run_stream_sim(
         }
     }
 
-    let mut queue = AdmissionQueue::new(cfg.admission, mix.tenants());
+    let mut queue = AdmissionQueue::new(cfg.admission, tenants);
     let mut active: Vec<ActiveJob> = Vec::new();
     let mut records: Vec<JobRecord> = Vec::with_capacity(n_jobs);
     let mut admission_order: Vec<u64> = Vec::with_capacity(n_jobs);
@@ -174,7 +205,7 @@ pub fn run_stream_sim(
                 ..
             } = job;
             let engine = SimEngine::with_shared_dag(
-                std::sync::Arc::new(dag),
+                dag,
                 &machine,
                 make_policy(&cfg.scheduler, machine.cores),
                 cfg.sim_options.clone(),

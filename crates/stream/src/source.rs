@@ -180,7 +180,7 @@ impl JobMix {
                 let scale = rng.gen_range(1u64..=4);
                 let job_seed = rng.gen::<u64>();
                 let (name, class, workload) = template.instantiate(scale, job_seed);
-                let dag = workload.build_dag();
+                let dag = std::sync::Arc::new(workload.build_dag());
                 let work = dag.work();
                 StreamJob {
                     id,

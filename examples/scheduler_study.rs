@@ -2,22 +2,22 @@
 //! workload from each application class and print how the PDF-vs-WS comparison
 //! changes with the class.
 //!
+//! All four workloads go into one [`SweepGrid`], so every
+//! (workload × cores × scheduler) cell runs as one cell of a single sweep on
+//! the worker pool — and the output is bit-identical for any thread count.
+//!
 //! ```text
 //! cargo run --release --example scheduler_study
+//! PDFWS_THREADS=8 cargo run --release --example scheduler_study   # same output, more workers
 //! ```
 
 use pdfws::metrics::{Series, Table};
 use pdfws::prelude::*;
 use pdfws::workloads::Workload;
 
-fn study(workload: &dyn Workload, cores: &[usize]) -> Table {
-    let report = Experiment::new(WorkloadSpec::from_workload(workload))
-        .core_sweep(cores)
-        .schedulers(&SchedulerSpec::paper_pair())
-        .run()
-        .expect("default configurations exist");
+fn study(report: &ExperimentReport, class: &str, cores: &[usize]) -> Table {
     let mut table = Table::new(
-        format!("{} ({})", workload.name(), workload.class()),
+        format!("{} ({})", report.workload, class),
         "cores",
         cores.iter().map(|c| c.to_string()).collect(),
     );
@@ -49,8 +49,21 @@ fn main() {
     let compute = ComputeKernel::new(1 << 14);
     let workloads: Vec<&dyn Workload> = vec![&mergesort, &spmv, &scan, &compute];
 
-    for w in workloads {
-        println!("{}", study(w, &cores).to_text());
+    let mut grid = SweepGrid::new()
+        .cores(&cores)
+        .specs(&SchedulerSpec::paper_pair());
+    for w in &workloads {
+        grid = grid.workload(WorkloadSpec::from_workload(*w));
+    }
+    let sweep = SweepRunner::from_env()
+        .run(&grid)
+        .expect("default configurations exist");
+
+    for (w, report) in workloads.iter().zip(sweep.reports()) {
+        println!(
+            "{}",
+            study(report, &w.class().to_string(), &cores).to_text()
+        );
     }
     println!(
         "Reading the tables: for the divide-and-conquer and irregular workloads the ws_mpki\n\

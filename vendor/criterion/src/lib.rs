@@ -5,6 +5,10 @@
 //! numbers good enough to spot order-of-magnitude regressions.  This harness
 //! runs each benchmark for a fixed iteration budget and prints mean time per
 //! iteration; it performs no statistics, plotting, or baseline comparison.
+//!
+//! Like real criterion, `cargo bench -- --test` runs in **smoke mode**: every
+//! benchmark executes exactly once, just proving the harness still compiles
+//! and runs (CI uses this so the benches cannot rot).
 
 use std::time::{Duration, Instant};
 
@@ -81,11 +85,20 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let iterations = if self._criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
         let mut bencher = Bencher {
-            iterations: self.sample_size,
+            iterations,
             mean_ns: 0.0,
         };
         f(&mut bencher);
+        if self._criterion.test_mode {
+            println!("{}/{}: ok (smoke mode, 1 iter)", self.name, label);
+            return;
+        }
         let mut line = format!(
             "{}/{}: {:.1} ns/iter ({} iters)",
             self.name, label, bencher.mean_ns, bencher.iterations
@@ -125,8 +138,20 @@ impl BenchmarkGroup<'_> {
 }
 
 /// The benchmark driver.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    /// True when the binary was invoked with `--test` (`cargo bench -- --test`):
+    /// run every benchmark once, report "ok", measure nothing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
@@ -176,7 +201,9 @@ mod tests {
 
     #[test]
     fn groups_run_their_benchmarks() {
-        let mut c = Criterion::default();
+        // Construct directly: the surrounding test runner's argv must not be
+        // able to flip this test into smoke mode.
+        let mut c = Criterion { test_mode: false };
         let mut group = c.benchmark_group("demo");
         group.sample_size(3).throughput(Throughput::Elements(100));
         let mut runs = 0u64;
