@@ -4,26 +4,34 @@
 //!
 //! ```text
 //! cargo run --release -p pdfws-bench --bin class_a_bandwidth_limited [-- --quick] [--threads N]
+//! cargo run --release -p pdfws-bench --bin class_a_bandwidth_limited -- --workload spmv:rows=65536
 //! ```
+//!
+//! `--workload <spec>` (repeatable) replaces the default six-workload axis;
+//! `--list` prints the spec grammars.
 
 use pdfws_bench::{
-    compare_pdf_ws_all, comparison_table, quick_mode, scaled, sizes, threads_arg, ComparisonRow,
+    compare_pdf_ws_all, comparison_table, maybe_list, quick_mode, scaled, sizes, threads_arg,
+    workloads_or, ComparisonRow,
 };
+use pdfws_core::prelude::*;
 use pdfws_workloads::{HashJoin, LuDecomposition, MatMul, MergeSort, QuickSort, SpMv};
 
 fn main() {
+    maybe_list();
     let quick = quick_mode();
     let cores = [8usize, 16, 32];
 
-    let mergesort = MergeSort::new(scaled(sizes::MERGESORT_KEYS, quick));
-    let quicksort = QuickSort::new(scaled(sizes::MERGESORT_KEYS, quick));
-    let matmul = MatMul::new(if quick { 128 } else { sizes::MATRIX_N });
-    let lu = LuDecomposition::new(if quick { 128 } else { sizes::MATRIX_N });
-    let spmv = SpMv::new(scaled(sizes::SPMV_ROWS, quick));
-    let hashjoin = HashJoin::new(scaled(sizes::HASHJOIN_BUILD, quick));
-
-    let workloads: Vec<&dyn pdfws_workloads::Workload> =
-        vec![&mergesort, &quicksort, &matmul, &lu, &spmv, &hashjoin];
+    let workloads = workloads_or(|| {
+        vec![
+            MergeSort::new(scaled(sizes::MERGESORT_KEYS, quick)).into_instance(),
+            QuickSort::new(scaled(sizes::MERGESORT_KEYS, quick)).into_instance(),
+            MatMul::new(if quick { 128 } else { sizes::MATRIX_N }).into_instance(),
+            LuDecomposition::new(if quick { 128 } else { sizes::MATRIX_N }).into_instance(),
+            SpMv::new(scaled(sizes::SPMV_ROWS, quick)).into_instance(),
+            HashJoin::new(scaled(sizes::HASHJOIN_BUILD, quick)).into_instance(),
+        ]
+    });
     eprintln!(
         "# running {} workloads x {:?} cores on {} threads ...",
         workloads.len(),

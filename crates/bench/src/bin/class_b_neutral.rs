@@ -6,20 +6,30 @@
 //!
 //! ```text
 //! cargo run --release -p pdfws-bench --bin class_b_neutral [-- --quick] [--threads N]
+//! cargo run --release -p pdfws-bench --bin class_b_neutral -- --workload scan:n=1048576
 //! ```
+//!
+//! `--workload <spec>` (repeatable) replaces the default two-workload axis;
+//! `--list` prints the spec grammars.
 
 use pdfws_bench::{
-    compare_pdf_ws_all, comparison_table, quick_mode, scaled, sizes, threads_arg, ComparisonRow,
+    compare_pdf_ws_all, comparison_table, maybe_list, quick_mode, scaled, sizes, threads_arg,
+    workloads_or, ComparisonRow,
 };
+use pdfws_core::prelude::*;
 use pdfws_workloads::{ComputeKernel, ParallelScan};
 
 fn main() {
+    maybe_list();
     let quick = quick_mode();
     let cores = [8usize, 16, 32];
 
-    let scan = ParallelScan::new(scaled(sizes::SCAN_N, quick));
-    let compute = ComputeKernel::new(scaled(sizes::COMPUTE_ITEMS, quick));
-    let workloads: Vec<&dyn pdfws_workloads::Workload> = vec![&scan, &compute];
+    let workloads = workloads_or(|| {
+        vec![
+            ParallelScan::new(scaled(sizes::SCAN_N, quick)).into_instance(),
+            ComputeKernel::new(scaled(sizes::COMPUTE_ITEMS, quick)).into_instance(),
+        ]
+    });
     eprintln!(
         "# running {} workloads x {:?} cores on {} threads ...",
         workloads.len(),

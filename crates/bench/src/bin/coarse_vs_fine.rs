@@ -6,19 +6,27 @@
 //! behavior inherent in PDF.  We find that mechanisms to finely grain
 //! multithreaded applications are crucial to achieving good performance on CMPs."
 //!
-//! For merge sort and matmul this binary compares four variants at each core
-//! count: {fine, coarse} × {PDF, WS}, reporting L2 MPKI and speedup.
+//! By default this binary compares four variants at each core count — {fine,
+//! coarse} merge sort and matmul under PDF, i.e. the workload specs
+//! `mergesort:n=…`, `mergesort:coarse=32,n=…`, `matmul:n=…`,
+//! `matmul:coarse=32,n=…` — reporting L2 MPKI and speedup.  `--workload
+//! <spec>` (repeatable) replaces the variant list with any registered specs
+//! (series are labelled by canonical spec string); `--list` prints the spec
+//! grammars.
 //!
 //! ```text
 //! cargo run --release -p pdfws-bench --bin coarse_vs_fine [-- --quick] [--threads N]
+//! cargo run --release -p pdfws-bench --bin coarse_vs_fine -- \
+//!     --workload mergesort:n=65536 --workload mergesort:coarse=8,n=65536
 //! ```
 
-use pdfws_bench::{quick_mode, runner, scaled, sizes, threads_arg};
+use pdfws_bench::{maybe_list, quick_mode, runner, scaled, sizes, threads_arg, workloads_or};
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
-use pdfws_workloads::{MatMul, MergeSort, Workload};
+use pdfws_workloads::{MatMul, MergeSort};
 
 fn main() {
+    maybe_list();
     let quick = quick_mode();
     let cores = [8usize, 16, 32];
     let x: Vec<String> = cores.iter().map(|c| c.to_string()).collect();
@@ -37,36 +45,33 @@ fn main() {
         x,
     );
 
-    let variants: Vec<(&str, Box<dyn Workload>)> = vec![
-        ("mergesort-fine", Box::new(MergeSort::new(n_keys))),
-        (
-            "mergesort-coarse",
-            Box::new(MergeSort::new(n_keys).coarse_grained(32)),
-        ),
-        ("matmul-fine", Box::new(MatMul::new(n))),
-        ("matmul-coarse", Box::new(MatMul::new(n).coarse_grained(32))),
-    ];
+    let variants = workloads_or(|| {
+        vec![
+            MergeSort::new(n_keys).into_instance(),
+            MergeSort::new(n_keys).coarse_grained(32).into_instance(),
+            MatMul::new(n).into_instance(),
+            MatMul::new(n).coarse_grained(32).into_instance(),
+        ]
+    });
 
-    // All four variants go into one grid so every (variant x cores) cell runs
-    // on the shared worker pool.
+    // All variants go into one grid so every (variant x cores) cell runs on
+    // the shared worker pool.
     eprintln!(
         "# running {} variants x {:?} cores on {} threads ...",
         variants.len(),
         cores,
         threads_arg()
     );
-    let mut grid = SweepGrid::new()
+    let grid = SweepGrid::new()
+        .workloads(&variants)
         .cores(&cores)
         .specs(&[SchedulerSpec::pdf()]);
-    for (_, workload) in &variants {
-        grid = grid.workload(WorkloadSpec::from_workload(workload.as_ref()));
-    }
     let reports = runner()
         .run(&grid)
         .expect("default configurations exist")
         .into_reports();
 
-    for ((label, _), report) in variants.iter().zip(&reports) {
+    for (variant, report) in variants.iter().zip(&reports) {
         let mpki: Vec<f64> = cores
             .iter()
             .map(|&c| {
@@ -81,8 +86,8 @@ fn main() {
             .iter()
             .map(|&c| report.speedup(report.find(c, &SchedulerSpec::pdf()).unwrap()))
             .collect();
-        mpki_table.push_series(Series::new(*label, mpki));
-        speedup_table.push_series(Series::new(*label, speedup));
+        mpki_table.push_series(Series::new(variant.spec.canonical(), mpki));
+        speedup_table.push_series(Series::new(variant.spec.canonical(), speedup));
     }
 
     println!("{}", mpki_table.to_text());

@@ -8,43 +8,56 @@
 //! cargo run --release -p pdfws-bench --bin fig1_mergesort              # paper-scale
 //! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --quick   # smoke test
 //! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --threads 4
+//! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --workload mergesort:n=4096
+//! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --list    # spec grammars
 //! ```
+//!
+//! `--workload <spec>` (repeatable) replaces the default merge sort with any
+//! registered workload spec, so the same harness draws Figure-1-shaped panels
+//! for arbitrary programs.
 
 use pdfws_bench::{
-    figure1_tables_from, paper_core_counts, quick_mode, scaled, sizes, steals_table_from,
-    sweep_report, threads_arg,
+    figure1_tables_from, maybe_list, paper_core_counts, quick_mode, scaled, sizes,
+    steals_table_from, sweep_reports, threads_arg, workloads_or,
 };
-use pdfws_core::prelude::SchedulerSpec;
+use pdfws_core::prelude::*;
 use pdfws_workloads::MergeSort;
 
 fn main() {
+    maybe_list();
     let quick = quick_mode();
     let n_keys = scaled(sizes::MERGESORT_KEYS, quick);
-    let workload = MergeSort::new(n_keys);
-    eprintln!(
-        "# parallel merge sort, n = {n_keys} keys ({} MiB per buffer){}, {} sweep threads",
-        n_keys * 8 / (1024 * 1024),
-        if quick { " [quick mode]" } else { "" },
-        threads_arg()
-    );
-    // One sweep feeds both the Figure-1 panels (pdf/ws) and the per-spec
-    // migrations table — no cell is simulated twice, the DAG is built once,
-    // and the cells execute on the shared worker pool.
+    let workloads = workloads_or(|| vec![MergeSort::new(n_keys).into_instance()]);
     let specs: Vec<SchedulerSpec> = ["pdf", "ws", "ws:steal=half", "hybrid", "static"]
         .iter()
         .map(|s| s.parse().expect("built-in specs parse"))
         .collect();
     let cores = paper_core_counts();
-    let report = sweep_report(&workload, &cores, &specs);
-    let (mpki, speedup) = figure1_tables_from(&report, &cores);
-    println!("{}", mpki.to_text());
-    println!("{}", speedup.to_text());
-    println!("CSV (L2 misses / 1000 instr):\n{}", mpki.to_csv());
-    println!("CSV (speedup over sequential):\n{}", speedup.to_csv());
+    for workload in &workloads {
+        eprintln!(
+            "# {}: {:.1} MiB of data{}, {} sweep threads",
+            workload.spec.canonical(),
+            workload.data_bytes as f64 / (1024.0 * 1024.0),
+            if quick { " [quick mode]" } else { "" },
+            threads_arg()
+        );
+    }
+    // One grid feeds both the Figure-1 panels (pdf/ws) and the per-spec
+    // migrations table for every requested workload — no cell is simulated
+    // twice, each DAG is built once, and all (workload × cores × spec) cells
+    // execute on the shared worker pool.
+    let reports = sweep_reports(&workloads, &cores, &specs);
+    for report in &reports {
+        let (mpki, speedup) = figure1_tables_from(report, &cores);
+        println!("{}", mpki.to_text());
+        println!("{}", speedup.to_text());
+        println!("CSV (L2 misses / 1000 instr):\n{}", mpki.to_csv());
+        println!("CSV (speedup over sequential):\n{}", speedup.to_csv());
 
-    // Work migrations per scheduler spec (steal events / cross-core
-    // placements), including two parameterized variants of the same policy.
-    let steals = steals_table_from(&report, &cores, &specs);
-    println!("{}", steals.to_text());
-    println!("CSV (migrations):\n{}", steals.to_csv());
+        // Work migrations per scheduler spec (steal events / cross-core
+        // placements), including two parameterized variants of the same policy.
+        let steals = steals_table_from(report, &cores, &specs);
+        println!("{}", steals.to_text());
+        println!("CSV (migrations):\n{}", steals.to_csv());
+    }
 }

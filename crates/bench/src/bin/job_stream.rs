@@ -8,19 +8,33 @@
 //! prints identical numbers.
 //!
 //! Usage: `cargo run --release -p pdfws-bench --bin job_stream [--quick] [--threads N]`
+//!
+//! `--workload <spec>` (repeatable) serves a custom mix of the given workload
+//! specs (equal weights) instead of the three built-in class mixes; `--list`
+//! prints the spec grammars.
 
-use pdfws_bench::{quick_mode, threads_arg};
+use pdfws_bench::{maybe_list, quick_mode, threads_arg, workload_spec_args};
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
 use pdfws_stream::JobMix;
 
 fn main() {
+    maybe_list();
     let quick = quick_mode();
     let threads = threads_arg();
     let jobs = if quick { 10 } else { 32 };
     let cores = 8;
     let rates = [20.0f64, 120.0];
-    let mixes = [JobMix::class_a(), JobMix::class_b(), JobMix::mixed()];
+    let custom = workload_spec_args();
+    let mixes = if custom.is_empty() {
+        vec![JobMix::class_a(), JobMix::class_b(), JobMix::mixed()]
+    } else {
+        // One mix of the requested specs, equally weighted.
+        vec![JobMix::new(
+            "custom",
+            custom.into_iter().map(|s| (s, 1)).collect(),
+        )]
+    };
 
     let mut rows: Vec<String> = Vec::new();
     let mut pdf_p95 = Vec::new();

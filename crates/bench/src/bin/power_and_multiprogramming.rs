@@ -13,20 +13,32 @@
 //!
 //! ```text
 //! cargo run --release -p pdfws-bench --bin power_and_multiprogramming [-- --quick] [--threads N]
+//! cargo run --release -p pdfws-bench --bin power_and_multiprogramming -- --workload spmv:rows=65536
 //! ```
+//!
+//! `--workload <spec>` replaces the default merge sort (the first spec is
+//! used; both parts study one program); `--list` prints the spec grammars.
 
-use pdfws_bench::{quick_mode, runner, scaled, sizes, threads_arg};
+use pdfws_bench::{maybe_list, quick_mode, runner, scaled, sizes, threads_arg, workload_spec_args};
 use pdfws_cache_sim::power::{estimate_energy, EnergyModel};
 use pdfws_cmp_model::{default_config, sweep::sweep_l2_fraction};
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
+use pdfws_workloads::MergeSort;
 
 const CORES: usize = 8;
 
 fn main() {
+    maybe_list();
     let quick = quick_mode();
     let n_keys = scaled(sizes::MERGESORT_KEYS, quick);
-    let workload = MergeSort::new(n_keys).into_spec();
+    // Both parts study one program: instantiate only the first --workload
+    // spec (or the default merge sort).
+    let workload = match workload_spec_args().first() {
+        Some(spec) => WorkloadInstance::from_spec(spec),
+        None => MergeSort::new(n_keys).into_instance(),
+    };
+    eprintln!("# workload: {}", workload.spec.canonical());
     let base_cfg = default_config(CORES).expect("8-core default configuration exists");
 
     // --- Part 1: powering down L2 segments -----------------------------------

@@ -3,15 +3,29 @@
 //!
 //! ```text
 //! cargo run --release -p pdfws-bench --bin table_configs
+//! cargo run --release -p pdfws-bench --bin table_configs -- --list
 //! ```
 //!
-//! Accepts the harness's uniform `--quick` / `--threads N` flags for
-//! consistency, but derives its table analytically — nothing is simulated, so
-//! both are no-ops here.
+//! Accepts the harness's uniform flags for consistency: `--list` prints the
+//! scheduler and workload spec grammars; `--quick`, `--threads N` and
+//! `--workload <spec>` are validated but no-ops here — the table is derived
+//! analytically, nothing is simulated.
 
-use pdfws_bench::{config_table, paper_core_counts};
+use pdfws_bench::{config_table, maybe_list, paper_core_counts, workload_spec_args};
 
 fn main() {
+    maybe_list();
+    let ignored = workload_spec_args();
+    if !ignored.is_empty() {
+        eprintln!(
+            "note: this table is configuration-only; ignoring --workload {}",
+            ignored
+                .iter()
+                .map(|s| s.canonical())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
     let table = config_table(&paper_core_counts());
     println!("{}", table.to_text());
     println!("CSV:\n{}", table.to_csv());

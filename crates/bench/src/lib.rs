@@ -9,11 +9,16 @@
 //! Every sweep here executes through [`SweepRunner`]: the binaries share a
 //! uniform `--threads N` flag (or the `PDFWS_THREADS` environment variable)
 //! next to `--quick`, and parallel runs are bit-identical to sequential ones.
+//!
+//! Every binary also accepts the workload-spec flags: repeatable
+//! `--workload <spec>` (replace the binary's default workload axis with any
+//! registered workload specs, e.g. `--workload mergesort:n=4096 --workload
+//! spmv`) and `--list` (print both registries' grammars — every scheduler
+//! policy and workload with its typed parameters — and exit).
 
 use pdfws_cmp_model::default_config;
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
-use pdfws_workloads::Workload;
 
 /// The core counts on the x-axis of Figure 1.
 pub fn paper_core_counts() -> Vec<usize> {
@@ -96,18 +101,78 @@ pub fn runner() -> SweepRunner {
     SweepRunner::new(threads_arg())
 }
 
+/// If the binary was invoked with `--list`, print both registries' spec
+/// grammars — every scheduler policy and every workload, with their typed
+/// parameters — and exit.  Call this before doing any work.
+pub fn maybe_list() {
+    if std::env::args().any(|a| a == "--list") {
+        println!(
+            "Scheduler specs (policy:key=value,...):\n{}",
+            Registry::global().help()
+        );
+        println!(
+            "Workload specs (name:key=value,...):\n{}",
+            WorkloadRegistry::global().help()
+        );
+        std::process::exit(0);
+    }
+}
+
+/// Parse every repeatable `--workload <spec>` / `--workload=<spec>` flag into
+/// validated specs (no DAGs are built).  A malformed or unknown spec aborts
+/// with the registry's error message (which lists what would have been
+/// accepted).
+pub fn workload_spec_args() -> Vec<WorkloadSpec> {
+    let mut specs = Vec::new();
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--workload" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--workload=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        let Some(raw) = value else {
+            eprintln!("error: --workload needs a spec argument (try --list)");
+            std::process::exit(2);
+        };
+        match raw.parse::<WorkloadSpec>() {
+            Ok(spec) => specs.push(spec),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    specs
+}
+
+/// The binary's workload axis: the `--workload` specs when any were given,
+/// instantiated through the registry, else `defaults()`.  Defaults are built
+/// lazily so an overridden run never pays for the (possibly paper-scale)
+/// default DAGs.
+pub fn workloads_or(defaults: impl FnOnce() -> Vec<WorkloadInstance>) -> Vec<WorkloadInstance> {
+    let specs = workload_spec_args();
+    if specs.is_empty() {
+        defaults()
+    } else {
+        specs.iter().map(WorkloadInstance::from_spec).collect()
+    }
+}
+
 /// Run one (workloads × cores × specs) grid on the shared runner and return
 /// one report per workload.  Every workload's DAG is built once and shared by
 /// all of its cells; results are deterministic for any `--threads` value.
 pub fn sweep_reports(
-    workloads: &[&dyn Workload],
+    workloads: &[WorkloadInstance],
     core_counts: &[usize],
     specs: &[SchedulerSpec],
 ) -> Vec<ExperimentReport> {
-    let mut grid = SweepGrid::new().cores(core_counts).specs(specs);
-    for w in workloads {
-        grid = grid.workload(WorkloadSpec::from_workload(*w));
-    }
+    let grid = SweepGrid::new()
+        .workloads(workloads)
+        .cores(core_counts)
+        .specs(specs);
     runner()
         .run(&grid)
         .expect("default configurations exist for the requested core counts")
@@ -117,11 +182,11 @@ pub fn sweep_reports(
 /// Run one (cores × specs) sweep and return the report, for deriving several
 /// tables from a single set of simulations.
 pub fn sweep_report(
-    workload: &dyn Workload,
+    workload: &WorkloadInstance,
     core_counts: &[usize],
     specs: &[SchedulerSpec],
 ) -> ExperimentReport {
-    sweep_reports(&[workload], core_counts, specs).swap_remove(0)
+    sweep_reports(std::slice::from_ref(workload), core_counts, specs).swap_remove(0)
 }
 
 /// The two Figure-1 panels (L2 misses per 1000 instructions, speedup over the
@@ -164,7 +229,7 @@ pub fn figure1_tables_from(report: &ExperimentReport, core_counts: &[usize]) -> 
 /// Run one workload across the paper's core counts under PDF and WS and return
 /// the two Figure-1 panels: (L2 misses per 1000 instructions, speedup over the
 /// one-core run).
-pub fn figure1_tables(workload: &dyn Workload, core_counts: &[usize]) -> (Table, Table) {
+pub fn figure1_tables(workload: &WorkloadInstance, core_counts: &[usize]) -> (Table, Table) {
     let report = sweep_report(workload, core_counts, &SchedulerSpec::paper_pair());
     figure1_tables_from(&report, core_counts)
 }
@@ -200,7 +265,7 @@ pub fn steals_table_from(
 
 /// [`steals_table_from`] plus the sweep that feeds it.
 pub fn steals_table(
-    workload: &dyn Workload,
+    workload: &WorkloadInstance,
     core_counts: &[usize],
     specs: &[SchedulerSpec],
 ) -> Table {
@@ -212,7 +277,7 @@ pub fn steals_table(
 /// workload at one core count.
 #[derive(Debug, Clone)]
 pub struct ComparisonRow {
-    /// Workload name.
+    /// Canonical workload spec string.
     pub workload: String,
     /// Application class.
     pub class: String,
@@ -232,7 +297,7 @@ pub struct ComparisonRow {
 /// one grid: every (workload × cores × spec) cell is an independent runner
 /// cell, so the whole comparison parallelizes across workloads too.
 pub fn compare_pdf_ws_all(
-    workloads: &[&dyn Workload],
+    workloads: &[WorkloadInstance],
     core_counts: &[usize],
 ) -> Vec<ComparisonRow> {
     let reports = sweep_reports(workloads, core_counts, &SchedulerSpec::paper_pair());
@@ -242,8 +307,8 @@ pub fn compare_pdf_ws_all(
             let pdf = report.find(cores, &SchedulerSpec::pdf()).unwrap();
             let ws = report.find(cores, &SchedulerSpec::ws()).unwrap();
             rows.push(ComparisonRow {
-                workload: workload.name().to_string(),
-                class: workload.class().to_string(),
+                workload: workload.spec.canonical(),
+                class: workload.class.to_string(),
                 cores,
                 relative_speedup: report.pdf_over_ws_speedup(cores).unwrap(),
                 traffic_reduction_percent: report.pdf_traffic_reduction_percent(cores).unwrap(),
@@ -256,8 +321,8 @@ pub fn compare_pdf_ws_all(
 }
 
 /// Compare PDF against WS for one workload at the given core counts.
-pub fn compare_pdf_ws(workload: &dyn Workload, core_counts: &[usize]) -> Vec<ComparisonRow> {
-    compare_pdf_ws_all(&[workload], core_counts)
+pub fn compare_pdf_ws(workload: &WorkloadInstance, core_counts: &[usize]) -> Vec<ComparisonRow> {
+    compare_pdf_ws_all(std::slice::from_ref(workload), core_counts)
 }
 
 /// Render comparison rows as a table over "workload@cores".
@@ -349,7 +414,7 @@ mod tests {
 
     #[test]
     fn figure1_tables_have_two_series_each() {
-        let (mpki, speedup) = figure1_tables(&MergeSort::small(), &[1, 2]);
+        let (mpki, speedup) = figure1_tables(&MergeSort::small().into_instance(), &[1, 2]);
         assert_eq!(mpki.series.len(), 2);
         assert_eq!(speedup.series.len(), 2);
         assert_eq!(mpki.rows(), 2);
@@ -358,7 +423,7 @@ mod tests {
 
     #[test]
     fn comparison_rows_cover_requested_cores() {
-        let rows = compare_pdf_ws(&ParallelScan::small(), &[2, 4]);
+        let rows = compare_pdf_ws(&ParallelScan::small().into_instance(), &[2, 4]);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].cores, 2);
         assert_eq!(rows[1].cores, 4);

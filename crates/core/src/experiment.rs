@@ -5,10 +5,11 @@
 //! [`SweepRunner`](crate::sweep::SweepRunner); multi-workload grids use that
 //! API directly.
 
-use crate::spec::WorkloadSpec;
+use crate::spec::WorkloadInstance;
 use crate::sweep::{SweepGrid, SweepRunner};
 use pdfws_cmp_model::{CmpConfig, ModelError};
 use pdfws_schedulers::{SchedulerSpec, SimOptions, SimResult};
+use pdfws_workloads::WorkloadSpecError;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -23,6 +24,8 @@ pub enum ExperimentError {
     NoSchedulers,
     /// A machine configuration could not be derived or validated.
     Model(ModelError),
+    /// A workload spec string did not validate against the workload registry.
+    Workload(WorkloadSpecError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -32,6 +35,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::NoCores => write!(f, "the experiment has no core counts to run"),
             ExperimentError::NoSchedulers => write!(f, "the experiment has no schedulers to run"),
             ExperimentError::Model(e) => write!(f, "configuration error: {e}"),
+            ExperimentError::Workload(e) => write!(f, "workload spec error: {e}"),
         }
     }
 }
@@ -41,6 +45,12 @@ impl std::error::Error for ExperimentError {}
 impl From<ModelError> for ExperimentError {
     fn from(e: ModelError) -> Self {
         ExperimentError::Model(e)
+    }
+}
+
+impl From<WorkloadSpecError> for ExperimentError {
+    fn from(e: WorkloadSpecError) -> Self {
+        ExperimentError::Workload(e)
     }
 }
 
@@ -60,7 +70,10 @@ pub struct RunRecord {
 /// Results of a whole experiment: all cells plus the sequential baseline.
 #[derive(Debug, Clone)]
 pub struct ExperimentReport {
-    /// Workload name.
+    /// The canonical workload spec string of the instance that was swept
+    /// (`"mergesort"` for default-sized instances, `"mergesort:n=1048576"`
+    /// for parameterized ones) — the workload-side twin of each run's
+    /// scheduler spec string.
     pub workload: String,
     /// The one-core sequential baseline the speedups are measured against.
     pub baseline: SimResult,
@@ -151,7 +164,7 @@ impl ExperimentReport {
 /// Builder for one experiment over one workload.
 #[derive(Debug, Clone)]
 pub struct Experiment {
-    workload: WorkloadSpec,
+    workload: WorkloadInstance,
     cores: Vec<usize>,
     schedulers: Vec<SchedulerSpec>,
     fixed_config: Option<CmpConfig>,
@@ -164,7 +177,7 @@ impl Experiment {
     /// schedulers (PDF and WS), default configurations, default engine options,
     /// and [`SweepRunner::from_env`] threading (sequential unless
     /// `PDFWS_THREADS` is set).
-    pub fn new(workload: WorkloadSpec) -> Self {
+    pub fn new(workload: WorkloadInstance) -> Self {
         Experiment {
             workload,
             cores: vec![8],
@@ -173,6 +186,13 @@ impl Experiment {
             options: SimOptions::default(),
             runner: SweepRunner::from_env(),
         }
+    }
+
+    /// Start an experiment over a workload spec string
+    /// (`Experiment::for_spec("mergesort:n=4096")?`), resolved through the
+    /// global workload registry.
+    pub fn for_spec(s: &str) -> Result<Self, ExperimentError> {
+        Ok(Self::new(s.parse::<WorkloadInstance>()?))
     }
 
     /// Run at a single core count.
@@ -235,7 +255,7 @@ impl Experiment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::IntoSpec;
+    use crate::spec::Instantiate;
     use pdfws_cmp_model::default_config;
     use pdfws_workloads::{MergeSort, ParallelScan};
 

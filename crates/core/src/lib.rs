@@ -39,7 +39,8 @@ pub mod stream_experiment;
 pub mod sweep;
 
 pub use experiment::{Experiment, ExperimentError, ExperimentReport, RunRecord};
-pub use spec::{IntoSpec, WorkloadSpec};
+pub use spec::Instantiate as IntoSpec;
+pub use spec::{Instantiate, WorkloadInstance};
 pub use stream_experiment::{StreamExperiment, StreamReport};
 pub use sweep::{
     parse_threads, threads_from_env, SweepGrid, SweepReport, SweepRunner, THREADS_ENV,
@@ -48,7 +49,7 @@ pub use sweep::{
 /// The types almost every experiment needs.
 pub mod prelude {
     pub use crate::experiment::{Experiment, ExperimentError, ExperimentReport, RunRecord};
-    pub use crate::spec::{IntoSpec, WorkloadSpec};
+    pub use crate::spec::{Instantiate, WorkloadInstance};
     pub use crate::stream_experiment::{StreamExperiment, StreamReport};
     pub use crate::sweep::{SweepGrid, SweepReport, SweepRunner};
     pub use pdfws_cmp_model::{default_config, default_core_counts, CmpConfig, ProcessNode};
@@ -60,7 +61,8 @@ pub mod prelude {
     };
     pub use pdfws_stream::{AdmissionPolicy, ArrivalProcess, JobMix, StreamOutcome, StreamSummary};
     pub use pdfws_workloads::{
-        ComputeKernel, HashJoin, LuDecomposition, MatMul, MergeSort, ParallelScan, QuickSort, SpMv,
-        SyntheticTree, Workload, WorkloadClass,
+        register_workload, ComputeKernel, HashJoin, LuDecomposition, MatMul, MergeSort,
+        ParallelScan, QuickSort, SpMv, SyntheticTree, Workload, WorkloadClass, WorkloadFactory,
+        WorkloadRegistry, WorkloadSpec, WorkloadSpecError,
     };
 }

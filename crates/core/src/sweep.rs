@@ -21,7 +21,7 @@
 //!
 //! # DAG sharing and baseline dedup
 //!
-//! A workload's [`TaskDag`] is built once (when its [`WorkloadSpec`] is
+//! A workload's [`TaskDag`] is built once (when its [`WorkloadInstance`] is
 //! constructed) and shared by `Arc` across every cell and worker thread —
 //! a 6-cores × 5-specs sweep simulates 30 cells plus one baseline from one
 //! DAG build, where the pre-sweep code rebuilt or cloned the DAG per cell.
@@ -44,10 +44,11 @@
 //! ```
 
 use crate::experiment::{ExperimentError, ExperimentReport, RunRecord};
-use crate::spec::WorkloadSpec;
+use crate::spec::WorkloadInstance;
 use pdfws_cmp_model::{default_config, CmpConfig};
 use pdfws_schedulers::{simulate_shared, SchedulerSpec, SimOptions};
 use pdfws_task_dag::TaskDag;
+use pdfws_workloads::WorkloadSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -83,7 +84,7 @@ pub fn threads_from_env(default: usize) -> usize {
 /// `Experiment` ordering.
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
-    workloads: Vec<WorkloadSpec>,
+    workloads: Vec<WorkloadInstance>,
     cores: Vec<usize>,
     specs: Vec<SchedulerSpec>,
     fixed_config: Option<CmpConfig>,
@@ -110,15 +111,27 @@ impl SweepGrid {
     }
 
     /// Add one workload to the workload axis.
-    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
-        self.workloads.push(spec);
+    pub fn workload(mut self, instance: WorkloadInstance) -> Self {
+        self.workloads.push(instance);
         self
     }
 
     /// Add several workloads to the workload axis.
-    pub fn workloads(mut self, specs: &[WorkloadSpec]) -> Self {
-        self.workloads.extend_from_slice(specs);
+    pub fn workloads(mut self, instances: &[WorkloadInstance]) -> Self {
+        self.workloads.extend_from_slice(instances);
         self
+    }
+
+    /// Add one workload by validated spec (instantiates it, building the DAG
+    /// once).
+    pub fn workload_spec(self, spec: &WorkloadSpec) -> Self {
+        self.workload(WorkloadInstance::from_spec(spec))
+    }
+
+    /// Add one workload by spec string (`"mergesort:n=4096"`), resolved
+    /// through the global workload registry.
+    pub fn workload_str(self, s: &str) -> Result<Self, ExperimentError> {
+        Ok(self.workload(s.parse::<WorkloadInstance>()?))
     }
 
     /// Replace the core-count axis (the Figure 1 x-axis).
@@ -328,7 +341,7 @@ impl SweepRunner {
                     }
                 }
                 ExperimentReport::from_parts(
-                    w.name.clone(),
+                    w.spec.canonical(),
                     results[baseline_cell].clone(),
                     plan.cells[baseline_cell].config,
                     runs,
@@ -406,16 +419,29 @@ impl SweepReport {
         self.reports
     }
 
-    /// The first report for a workload with the given name.
+    /// The first report for a workload with the given canonical spec string,
+    /// or — when `name` has no parameters and no exact match exists — the
+    /// first report whose workload name matches (`for_workload("mergesort")`
+    /// finds `"mergesort:n=1048576"`).  Exact matches win over base-name
+    /// matches regardless of grid order.
     pub fn for_workload(&self, name: &str) -> Option<&ExperimentReport> {
-        self.reports.iter().find(|r| r.workload == name)
+        self.reports
+            .iter()
+            .find(|r| r.workload == name)
+            .or_else(|| {
+                self.reports.iter().find(|r| {
+                    r.workload
+                        .split_once(':')
+                        .is_some_and(|(base, _)| base == name)
+                })
+            })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::IntoSpec;
+    use crate::spec::Instantiate;
     use pdfws_workloads::{MergeSort, ParallelScan};
 
     fn small_grid() -> SweepGrid {

@@ -66,11 +66,11 @@ impl HybridPolicy {
         // Synthesize the canonical spec for direct construction (the registry
         // overrides this with the exact spec it resolved) through a real
         // SchedulerSpec, reusing the one canonicalisation implementation.
+        // Inert parameters are dropped — a seed only matters for the random
+        // victim — so the synthesized name always re-parses through
+        // `SchedulerSpec::from_str` (the factories reject inert combinations).
         let mut params = std::collections::BTreeMap::new();
         params.insert("threshold".to_string(), threshold.to_string());
-        if seed != 0 {
-            params.insert("seed".to_string(), seed.to_string());
-        }
         if steal == StealGranularity::Half {
             params.insert("steal".to_string(), "half".to_string());
         }
@@ -78,6 +78,9 @@ impl HybridPolicy {
             VictimSelect::RoundRobin => {}
             VictimSelect::Random => {
                 params.insert("victim".to_string(), "random".to_string());
+                if seed != 0 {
+                    params.insert("seed".to_string(), seed.to_string());
+                }
             }
             VictimSelect::Nearest => {
                 params.insert("victim".to_string(), "nearest".to_string());
@@ -280,6 +283,31 @@ mod tests {
             tuned.name(),
             "hybrid:seed=7,steal=half,threshold=5,victim=random"
         );
+    }
+
+    #[test]
+    fn every_constructor_path_synthesizes_a_reparseable_name() {
+        // Mirror of the WS regression: direct construction must only report
+        // spec strings `SchedulerSpec::from_str` accepts (inert seeds dropped).
+        use crate::spec::SchedulerSpec;
+        for victim in [
+            VictimSelect::RoundRobin,
+            VictimSelect::Random,
+            VictimSelect::Nearest,
+        ] {
+            for steal in [StealGranularity::One, StealGranularity::Half] {
+                for seed in [0u64, 7] {
+                    let name = HybridPolicy::with_ws_options(2, 3, victim, steal, seed).name();
+                    let spec: SchedulerSpec = name
+                        .parse()
+                        .unwrap_or_else(|e| panic!("'{name}' does not re-parse: {e}"));
+                    assert_eq!(spec.canonical(), name, "{victim:?}/{steal:?}/seed={seed}");
+                }
+            }
+        }
+        let inert =
+            HybridPolicy::with_ws_options(2, 3, VictimSelect::RoundRobin, StealGranularity::One, 9);
+        assert_eq!(inert.name(), "hybrid:threshold=3");
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! `hybrid`) and is open for extension: register your own factory and its name
 //! becomes parseable everywhere a spec string is accepted — experiments,
 //! stream configs, bench binaries (see `examples/custom_policy.rs`).
+//!
+//! The grammar, typed-parameter declarations and registry substrate are the
+//! shared `pdfws-spec` machinery (the same machinery `pdfws-workloads` builds
+//! its [`WorkloadRegistry`] on); this module adds the scheduler-specific half:
+//! the [`PolicyFactory`] trait with its `build` method and cross-parameter
+//! validation hook, and the scheduler error vocabulary.
+//!
+//! [`WorkloadRegistry`]: https://docs.rs/pdfws-workloads
 
 use crate::hybrid::HybridPolicy;
 use crate::pdf::PdfPolicy;
@@ -15,47 +23,19 @@ use crate::policy::SchedulerPolicy;
 use crate::spec::{SchedulerSpec, SpecError};
 use crate::static_partition::StaticPartitionPolicy;
 use crate::ws::{StealGranularity, VictimSelect, WorkStealingPolicy};
+use pdfws_spec::{SpecFamily, SpecTable, Vocab};
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 
-/// The type of one declared parameter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ParamKind {
-    /// An unsigned integer (`seed=7`).  Values are normalised (`007` → `7`).
-    U64,
-    /// One of a fixed set of words (`victim=random`).
-    Choice(&'static [&'static str]),
-}
+pub use pdfws_spec::{ParamKind, ParamSpec};
 
-impl ParamKind {
-    /// Validate a raw value and return its canonical form.
-    fn canonicalise(&self, value: &str) -> Result<String, String> {
-        match self {
-            ParamKind::U64 => value
-                .parse::<u64>()
-                .map(|v| v.to_string())
-                .map_err(|_| "an unsigned integer".to_string()),
-            ParamKind::Choice(options) => {
-                if options.contains(&value) {
-                    Ok(value.to_string())
-                } else {
-                    Err(format!("one of {}", options.join(", ")))
-                }
-            }
-        }
-    }
-}
-
-/// One parameter a policy accepts.
-#[derive(Debug, Clone, Copy)]
-pub struct ParamSpec {
-    /// The key as it appears in spec strings (`"victim"`).
-    pub key: &'static str,
-    /// Value type and constraints.
-    pub kind: ParamKind,
-    /// One-line description, shown by [`Registry::help`].
-    pub doc: &'static str,
-}
+/// The scheduler domain's error wording ("unknown scheduler policy …;
+/// known policies: …").
+pub(crate) static SCHEDULER_VOCAB: Vocab = Vocab {
+    subject: "scheduler",
+    entity: "scheduler policy",
+    known_label: "known policies",
+};
 
 /// Builds a [`SchedulerPolicy`] from a validated [`SchedulerSpec`].
 ///
@@ -79,19 +59,34 @@ pub trait PolicyFactory: Send + Sync {
     fn build(&self, spec: &SchedulerSpec, cores: usize) -> Box<dyn SchedulerPolicy>;
 }
 
+/// Adapter letting the shared [`SpecTable`] read a policy factory's
+/// declarations (`PolicyFactory` keeps its own `name`/`doc`/`params` method
+/// names for source compatibility).
+impl SpecFamily for dyn PolicyFactory {
+    fn family_name(&self) -> &'static str {
+        self.name()
+    }
+    fn family_doc(&self) -> &'static str {
+        self.doc()
+    }
+    fn family_params(&self) -> &'static [ParamSpec] {
+        self.params()
+    }
+}
+
 /// A name-keyed set of [`PolicyFactory`] objects.
 ///
 /// Almost all code uses the process-wide [`Registry::global`] instance, which
 /// the spec parser consults; separate instances exist only for tests.
 pub struct Registry {
-    factories: RwLock<BTreeMap<&'static str, Arc<dyn PolicyFactory>>>,
+    factories: SpecTable<dyn PolicyFactory>,
 }
 
 impl Registry {
     /// An empty registry (no built-ins).
     pub fn empty() -> Self {
         Registry {
-            factories: RwLock::new(BTreeMap::new()),
+            factories: SpecTable::new(&SCHEDULER_VOCAB),
         }
     }
 
@@ -114,73 +109,37 @@ impl Registry {
     /// Add (or replace — last registration wins) a factory.  After this call,
     /// `factory.name()` parses as a spec everywhere.
     pub fn register(&self, factory: Arc<dyn PolicyFactory>) {
-        self.factories
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(factory.name(), factory);
+        self.factories.register(factory);
     }
 
     /// The registered policy names, sorted.
     pub fn names(&self) -> Vec<String> {
-        self.factories
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .keys()
-            .map(|k| k.to_string())
-            .collect()
+        self.factories.names()
     }
 
     /// Look up one factory.
     pub fn factory(&self, name: &str) -> Option<Arc<dyn PolicyFactory>> {
-        self.factories
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(name)
-            .cloned()
+        self.factories.get(name)
     }
 
     /// Validate a raw `(policy, params)` pair into a canonical
     /// [`SchedulerSpec`]: the policy must be registered, every key declared,
     /// and every value well-typed (values are canonicalised, e.g. `lag=007`
-    /// becomes `lag=7`).
+    /// becomes `lag=7`).  The shared table checks names and declarations;
+    /// the factory's cross-parameter hook ([`PolicyFactory::validate_spec`])
+    /// runs on the canonical result.
     pub fn validate(
         &self,
         policy: String,
         params: BTreeMap<String, String>,
     ) -> Result<SchedulerSpec, SpecError> {
-        let Some(factory) = self.factory(&policy) else {
-            return Err(SpecError::UnknownPolicy {
-                name: policy,
-                known: self.names(),
-            });
-        };
-        let declared = factory.params();
-        let mut canonical = BTreeMap::new();
-        for (key, value) in params {
-            let Some(decl) = declared.iter().find(|p| p.key == key) else {
-                return Err(SpecError::UnknownParam {
-                    policy,
-                    key,
-                    known: declared.iter().map(|p| p.key.to_string()).collect(),
-                });
-            };
-            match decl.kind.canonicalise(&value) {
-                Ok(v) => {
-                    canonical.insert(key, v);
-                }
-                Err(expected) => {
-                    return Err(SpecError::InvalidValue {
-                        policy,
-                        key,
-                        value,
-                        expected,
-                    })
-                }
-            }
-        }
-        let spec = SchedulerSpec::known_valid(&policy, canonical);
+        let (factory, canonical) = self.factories.validate(policy, params)?;
+        let spec = SchedulerSpec::known_valid(factory.name(), canonical);
         if let Err(message) = factory.validate_spec(&spec) {
-            return Err(SpecError::InvalidCombination { policy, message });
+            return Err(SpecError::InvalidCombination {
+                policy: factory.name().to_string(),
+                message,
+            });
         }
         Ok(spec)
     }
@@ -202,22 +161,7 @@ impl Registry {
     /// A human-readable listing of every registered policy and its parameters
     /// (what a `--help` for the spec grammar prints).
     pub fn help(&self) -> String {
-        let factories = self
-            .factories
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let mut out = String::new();
-        for factory in factories.values() {
-            out.push_str(&format!("{:<8} {}\n", factory.name(), factory.doc()));
-            for p in factory.params() {
-                let kind = match p.kind {
-                    ParamKind::U64 => "u64".to_string(),
-                    ParamKind::Choice(options) => options.join("|"),
-                };
-                out.push_str(&format!("  {}=<{}>  {}\n", p.key, kind, p.doc));
-            }
-        }
-        out
+        self.factories.help()
     }
 }
 

@@ -143,6 +143,41 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+/// Map the shared grammar/registry machinery's error into the scheduler
+/// domain's public error enum (`pdfws-spec` reports generic kinds; this enum
+/// is the crate's stable API and what tests pattern-match on).
+impl From<pdfws_spec::SpecError> for SpecError {
+    fn from(e: pdfws_spec::SpecError) -> Self {
+        use pdfws_spec::SpecErrorKind as K;
+        match e.kind {
+            K::Empty => SpecError::Empty,
+            K::UnknownName { name, known } => SpecError::UnknownPolicy { name, known },
+            K::UnknownParam { owner, key, known } => SpecError::UnknownParam {
+                policy: owner,
+                key,
+                known,
+            },
+            K::MalformedParam { fragment } => SpecError::MalformedParam { fragment },
+            K::DuplicateParam { key } => SpecError::DuplicateParam { key },
+            K::InvalidCombination { owner, message } => SpecError::InvalidCombination {
+                policy: owner,
+                message,
+            },
+            K::InvalidValue {
+                owner,
+                key,
+                value,
+                expected,
+            } => SpecError::InvalidValue {
+                policy: owner,
+                key,
+                value,
+                expected,
+            },
+        }
+    }
+}
+
 impl SchedulerSpec {
     /// Internal: build a spec that is already known valid (used by the named
     /// constructors and by the registry after validation).
@@ -242,12 +277,7 @@ impl SchedulerSpec {
 
 impl fmt::Display for SchedulerSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.policy)?;
-        for (i, (k, v)) in self.params.iter().enumerate() {
-            f.write_str(if i == 0 { ":" } else { "," })?;
-            write!(f, "{k}={v}")?;
-        }
-        Ok(())
+        pdfws_spec::format_spec(f, &self.policy, &self.params)
     }
 }
 
@@ -255,40 +285,8 @@ impl FromStr for SchedulerSpec {
     type Err = SpecError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let s = s.trim();
-        if s.is_empty() {
-            return Err(SpecError::Empty);
-        }
-        let (policy, rest) = match s.split_once(':') {
-            Some((p, rest)) => (p.trim(), Some(rest)),
-            None => (s, None),
-        };
-        if policy.is_empty() {
-            return Err(SpecError::Empty);
-        }
-        let mut params = BTreeMap::new();
-        if let Some(rest) = rest {
-            for fragment in rest.split(',') {
-                let fragment = fragment.trim();
-                let Some((key, value)) = fragment.split_once('=') else {
-                    return Err(SpecError::MalformedParam {
-                        fragment: fragment.to_string(),
-                    });
-                };
-                let (key, value) = (key.trim(), value.trim());
-                if key.is_empty() || value.is_empty() {
-                    return Err(SpecError::MalformedParam {
-                        fragment: fragment.to_string(),
-                    });
-                }
-                if params.insert(key.to_string(), value.to_string()).is_some() {
-                    return Err(SpecError::DuplicateParam {
-                        key: key.to_string(),
-                    });
-                }
-            }
-        }
-        Registry::global().validate(policy.to_string(), params)
+        let (policy, params) = pdfws_spec::parse_spec(s, &crate::registry::SCHEDULER_VOCAB)?;
+        Registry::global().validate(policy, params)
     }
 }
 

@@ -87,10 +87,10 @@ impl WorkStealingPolicy {
         // Synthesize the canonical spec for direct construction (the registry
         // overrides this with the exact spec it resolved) by building a real
         // SchedulerSpec, so the one canonicalisation implementation is reused.
+        // Inert parameters are dropped — a seed only matters for the random
+        // victim — so the synthesized name always re-parses through
+        // `SchedulerSpec::from_str` (the factories reject inert combinations).
         let mut params = std::collections::BTreeMap::new();
-        if seed != 0 {
-            params.insert("seed".to_string(), seed.to_string());
-        }
         if steal == StealGranularity::Half {
             params.insert("steal".to_string(), "half".to_string());
         }
@@ -98,6 +98,9 @@ impl WorkStealingPolicy {
             VictimSelect::RoundRobin => {}
             VictimSelect::Random => {
                 params.insert("victim".to_string(), "random".to_string());
+                if seed != 0 {
+                    params.insert("seed".to_string(), seed.to_string());
+                }
             }
             VictimSelect::Nearest => {
                 params.insert("victim".to_string(), "nearest".to_string());
@@ -571,6 +574,33 @@ mod tests {
                 .name(),
             "ws:steal=one"
         );
+    }
+
+    #[test]
+    fn every_constructor_path_synthesizes_a_reparseable_name() {
+        // A directly-constructed policy must never report a spec string the
+        // parser rejects (the ROADMAP's inert-parameter bug: `ws:seed=7` with
+        // a non-random victim).  Inert seeds are dropped from the name.
+        use crate::spec::SchedulerSpec;
+        for victim in [
+            VictimSelect::RoundRobin,
+            VictimSelect::Random,
+            VictimSelect::Nearest,
+        ] {
+            for steal in [StealGranularity::One, StealGranularity::Half] {
+                for seed in [0u64, 7] {
+                    let name = WorkStealingPolicy::with_options(2, victim, steal, seed).name();
+                    let spec: SchedulerSpec = name
+                        .parse()
+                        .unwrap_or_else(|e| panic!("'{name}' does not re-parse: {e}"));
+                    assert_eq!(spec.canonical(), name, "{victim:?}/{steal:?}/seed={seed}");
+                }
+            }
+        }
+        // The inert seed is dropped, not round-tripped into an invalid spec.
+        let inert =
+            WorkStealingPolicy::with_options(2, VictimSelect::Nearest, StealGranularity::One, 7);
+        assert_eq!(inert.name(), "ws:victim=nearest");
     }
 
     #[test]

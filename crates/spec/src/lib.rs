@@ -1,0 +1,562 @@
+//! `pdfws-spec` — the shared machinery behind every string-addressable spec
+//! axis in the workspace.
+//!
+//! Two of the experiment axes are open registries addressed by strings of the
+//! same shape: `name:key=value,key=value` — scheduler specs
+//! (`ws:steal=half,victim=random`, resolved by `pdfws-schedulers`) and
+//! workload specs (`mergesort:grain=64,n=262144`, resolved by
+//! `pdfws-workloads`).  This crate holds the domain-independent half both are
+//! built on:
+//!
+//! * the **grammar** — [`parse_spec`] splits, trims, and rejects malformed or
+//!   duplicated `key=value` fragments; [`format_spec`] prints the canonical
+//!   (sorted-by-key) form, so `Display` → `FromStr` is the identity for every
+//!   domain spec type;
+//! * **typed parameters** — [`ParamSpec`] declares one parameter's key, value
+//!   type ([`ParamKind`]) and help line, so registries can type-check values
+//!   (and normalise them: `lag=007` → `lag=7`) before anything is built;
+//! * the **registry substrate** — [`SpecTable`] maps names to factories
+//!   implementing [`SpecFamily`], validates raw `(name, params)` pairs
+//!   against their declarations, and renders the `--list` help text;
+//! * **errors** — [`SpecError`] carries a [`Vocab`] word pack so the same
+//!   machinery reports "unknown scheduler policy 'x'; known policies: …" in
+//!   one domain and "unknown workload 'x'; known workloads: …" in the other.
+//!
+//! Domain crates keep their own spec types (`SchedulerSpec`, `WorkloadSpec`)
+//! and factory traits (which add the domain `build` method and cross-parameter
+//! validation hooks); everything name- and parameter-shaped routes through
+//! here.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// The word pack a spec domain reports its errors with.
+///
+/// All three fields are substituted into the fixed [`SpecError`] message
+/// templates, so two domains produce structurally identical — but correctly
+/// worded — diagnostics.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Vocab {
+    /// The domain noun: "scheduler" / "workload".
+    pub subject: &'static str,
+    /// What an unknown name is called: "scheduler policy" / "workload".
+    pub entity: &'static str,
+    /// Label for the known-names list: "known policies" / "known workloads".
+    pub known_label: &'static str,
+}
+
+/// The type of one declared parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// An unsigned integer (`seed=7`).  Values are normalised (`007` → `7`).
+    U64,
+    /// A real number in `[0, 1]` (`shared-fraction=0.5`).  Values are
+    /// normalised through `f64` (`0.50` → `0.5`).
+    Fraction,
+    /// One of a fixed set of words (`victim=random`).
+    Choice(&'static [&'static str]),
+}
+
+impl ParamKind {
+    /// Validate a raw value and return its canonical form, or a description of
+    /// what was expected.
+    pub fn canonicalise(&self, value: &str) -> Result<String, String> {
+        match self {
+            ParamKind::U64 => value
+                .parse::<u64>()
+                .map(|v| v.to_string())
+                .map_err(|_| "an unsigned integer".to_string()),
+            ParamKind::Fraction => match value.parse::<f64>() {
+                Ok(v) if (0.0..=1.0).contains(&v) => Ok(v.to_string()),
+                _ => Err("a fraction between 0 and 1".to_string()),
+            },
+            ParamKind::Choice(options) => {
+                if options.contains(&value) {
+                    Ok(value.to_string())
+                } else {
+                    Err(format!("one of {}", options.join(", ")))
+                }
+            }
+        }
+    }
+
+    /// How the value type renders in help text (`u64`, `0..1`, `a|b|c`).
+    pub fn help_token(&self) -> String {
+        match self {
+            ParamKind::U64 => "u64".to_string(),
+            ParamKind::Fraction => "0..1".to_string(),
+            ParamKind::Choice(options) => options.join("|"),
+        }
+    }
+}
+
+/// One parameter a factory accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamSpec {
+    /// The key as it appears in spec strings (`"victim"`).
+    pub key: &'static str,
+    /// Value type and constraints.
+    pub kind: ParamKind,
+    /// One-line description, shown by [`SpecTable::help`].
+    pub doc: &'static str,
+}
+
+/// What went wrong parsing or validating a spec (domain-independent shape;
+/// the [`Vocab`] on the enclosing [`SpecError`] supplies the wording).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecErrorKind {
+    /// The spec string was empty.
+    Empty,
+    /// The name is not in the registry.
+    UnknownName {
+        /// The name that failed to resolve.
+        name: String,
+        /// Registered names at the time of the error.
+        known: Vec<String>,
+    },
+    /// The named factory has no such parameter.
+    UnknownParam {
+        /// The registered name the parameter was given to.
+        owner: String,
+        /// The unknown key.
+        key: String,
+        /// The keys the factory does accept.
+        known: Vec<String>,
+    },
+    /// A parameter was not of the form `key=value`.
+    MalformedParam {
+        /// The offending fragment.
+        fragment: String,
+    },
+    /// The same key appeared twice.
+    DuplicateParam {
+        /// The repeated key.
+        key: String,
+    },
+    /// A combination of individually-valid parameters the factory rejected.
+    InvalidCombination {
+        /// The registered name that rejected the combination.
+        owner: String,
+        /// The factory's explanation.
+        message: String,
+    },
+    /// The value could not be parsed as the parameter's declared type.
+    InvalidValue {
+        /// The registered name the parameter belongs to.
+        owner: String,
+        /// The parameter key.
+        key: String,
+        /// The rejected value.
+        value: String,
+        /// Human description of what was expected.
+        expected: String,
+    },
+}
+
+/// An error from parsing or validating a spec, with the domain's [`Vocab`]
+/// attached so [`fmt::Display`] speaks the right language.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// Word pack of the domain the error came from.
+    pub vocab: &'static Vocab,
+    /// What went wrong.
+    pub kind: SpecErrorKind,
+}
+
+impl SpecError {
+    /// Construct an error in the given domain.
+    pub fn new(vocab: &'static Vocab, kind: SpecErrorKind) -> Self {
+        SpecError { vocab, kind }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.vocab;
+        match &self.kind {
+            SpecErrorKind::Empty => write!(f, "empty {} spec", v.subject),
+            SpecErrorKind::UnknownName { name, known } => write!(
+                f,
+                "unknown {} '{name}'; {}: {}",
+                v.entity,
+                v.known_label,
+                known.join(", ")
+            ),
+            SpecErrorKind::UnknownParam { owner, key, known } => {
+                if known.is_empty() {
+                    write!(
+                        f,
+                        "{} '{owner}' takes no parameters, got '{key}'",
+                        v.subject
+                    )
+                } else {
+                    write!(
+                        f,
+                        "{} '{owner}' has no parameter '{key}'; known parameters: {}",
+                        v.subject,
+                        known.join(", ")
+                    )
+                }
+            }
+            SpecErrorKind::MalformedParam { fragment } => {
+                write!(f, "malformed parameter '{fragment}' (expected key=value)")
+            }
+            SpecErrorKind::DuplicateParam { key } => {
+                write!(f, "duplicate parameter '{key}' in {} spec", v.subject)
+            }
+            SpecErrorKind::InvalidCombination { owner, message } => write!(
+                f,
+                "invalid parameter combination for {} '{owner}': {message}",
+                v.subject
+            ),
+            SpecErrorKind::InvalidValue {
+                owner,
+                key,
+                value,
+                expected,
+            } => write!(
+                f,
+                "invalid value '{value}' for parameter '{key}' of {} '{owner}': expected {expected}",
+                v.subject
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Split a raw `name:key=value,key=value` string into its name and parameter
+/// map, without consulting any registry.
+///
+/// Whitespace around the name, keys and values is tolerated; malformed
+/// fragments, duplicated keys and empty names are rejected.  Validation of the
+/// name and the parameter values against declarations is the registry's job
+/// ([`SpecTable::validate`]).
+pub fn parse_spec(
+    s: &str,
+    vocab: &'static Vocab,
+) -> Result<(String, BTreeMap<String, String>), SpecError> {
+    let err = |kind| Err(SpecError::new(vocab, kind));
+    let s = s.trim();
+    if s.is_empty() {
+        return err(SpecErrorKind::Empty);
+    }
+    let (name, rest) = match s.split_once(':') {
+        Some((n, rest)) => (n.trim(), Some(rest)),
+        None => (s, None),
+    };
+    if name.is_empty() {
+        return err(SpecErrorKind::Empty);
+    }
+    let mut params = BTreeMap::new();
+    if let Some(rest) = rest {
+        for fragment in rest.split(',') {
+            let fragment = fragment.trim();
+            let Some((key, value)) = fragment.split_once('=') else {
+                return err(SpecErrorKind::MalformedParam {
+                    fragment: fragment.to_string(),
+                });
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key.is_empty() || value.is_empty() {
+                return err(SpecErrorKind::MalformedParam {
+                    fragment: fragment.to_string(),
+                });
+            }
+            if params.insert(key.to_string(), value.to_string()).is_some() {
+                return err(SpecErrorKind::DuplicateParam {
+                    key: key.to_string(),
+                });
+            }
+        }
+    }
+    Ok((name.to_string(), params))
+}
+
+/// Print the canonical form of a spec: the name, then `:key=value` pairs in
+/// map (sorted) order, comma-separated.  The inverse of [`parse_spec`] on
+/// canonical input.
+pub fn format_spec(
+    f: &mut fmt::Formatter<'_>,
+    name: &str,
+    params: &BTreeMap<String, String>,
+) -> fmt::Result {
+    f.write_str(name)?;
+    for (i, (k, v)) in params.iter().enumerate() {
+        f.write_str(if i == 0 { ":" } else { "," })?;
+        write!(f, "{k}={v}")?;
+    }
+    Ok(())
+}
+
+/// What a registry needs to know about a factory: its name and declared
+/// parameters.  Domain factory traits (`PolicyFactory`, `WorkloadFactory`)
+/// keep their own `name`/`doc`/`params` methods for source compatibility and
+/// forward them to this trait from an `impl SpecFamily for dyn …Factory`.
+pub trait SpecFamily: Send + Sync {
+    /// The registry key; also the spec's name component.
+    fn family_name(&self) -> &'static str;
+    /// One-line description, shown by [`SpecTable::help`].
+    fn family_doc(&self) -> &'static str;
+    /// The parameters this factory accepts (empty slice: none).
+    fn family_params(&self) -> &'static [ParamSpec];
+}
+
+/// The name-keyed factory table both domain registries wrap: registration,
+/// lookup, declared-parameter validation and help-text rendering.
+///
+/// `F` is the domain's factory object type (e.g. `dyn PolicyFactory`); it must
+/// implement [`SpecFamily`] so the table can read declarations.
+pub struct SpecTable<F: SpecFamily + ?Sized> {
+    vocab: &'static Vocab,
+    entries: RwLock<BTreeMap<&'static str, Arc<F>>>,
+}
+
+impl<F: SpecFamily + ?Sized> SpecTable<F> {
+    /// An empty table for the given domain.
+    pub fn new(vocab: &'static Vocab) -> Self {
+        SpecTable {
+            vocab,
+            entries: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The domain's word pack (for callers building their own errors).
+    pub fn vocab(&self) -> &'static Vocab {
+        self.vocab
+    }
+
+    /// Add (or replace — last registration wins) a factory.
+    pub fn register(&self, factory: Arc<F>) {
+        self.entries
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(factory.family_name(), factory);
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .map(|k| k.to_string())
+            .collect()
+    }
+
+    /// Look up one factory.
+    pub fn get(&self, name: &str) -> Option<Arc<F>> {
+        self.entries
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Validate a raw `(name, params)` pair against the named factory's
+    /// declarations: the name must be registered, every key declared, and
+    /// every value well-typed.  Returns the factory and the canonicalised
+    /// parameters (e.g. `lag=007` → `lag=7`); cross-parameter constraints are
+    /// the caller's (domain's) job.
+    #[allow(clippy::type_complexity)]
+    pub fn validate(
+        &self,
+        name: String,
+        params: BTreeMap<String, String>,
+    ) -> Result<(Arc<F>, BTreeMap<String, String>), SpecError> {
+        let err = |kind| Err(SpecError::new(self.vocab, kind));
+        let Some(factory) = self.get(&name) else {
+            return err(SpecErrorKind::UnknownName {
+                name,
+                known: self.names(),
+            });
+        };
+        let declared = factory.family_params();
+        let mut canonical = BTreeMap::new();
+        for (key, value) in params {
+            let Some(decl) = declared.iter().find(|p| p.key == key) else {
+                return err(SpecErrorKind::UnknownParam {
+                    owner: name,
+                    key,
+                    known: declared.iter().map(|p| p.key.to_string()).collect(),
+                });
+            };
+            match decl.kind.canonicalise(&value) {
+                Ok(v) => {
+                    canonical.insert(key, v);
+                }
+                Err(expected) => {
+                    return err(SpecErrorKind::InvalidValue {
+                        owner: name,
+                        key,
+                        value,
+                        expected,
+                    })
+                }
+            }
+        }
+        Ok((factory, canonical))
+    }
+
+    /// A human-readable listing of every registered factory and its
+    /// parameters (what a `--list` for the spec grammar prints).
+    pub fn help(&self) -> String {
+        let entries = self
+            .entries
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = String::new();
+        for factory in entries.values() {
+            out.push_str(&format!(
+                "{:<8} {}\n",
+                factory.family_name(),
+                factory.family_doc()
+            ));
+            for p in factory.family_params() {
+                out.push_str(&format!(
+                    "  {}=<{}>  {}\n",
+                    p.key,
+                    p.kind.help_token(),
+                    p.doc
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl<F: SpecFamily + ?Sized> fmt::Debug for SpecTable<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpecTable")
+            .field("subject", &self.vocab.subject)
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_VOCAB: Vocab = Vocab {
+        subject: "widget",
+        entity: "widget kind",
+        known_label: "known widgets",
+    };
+
+    #[derive(Debug)]
+    struct Gear;
+    impl SpecFamily for Gear {
+        fn family_name(&self) -> &'static str {
+            "gear"
+        }
+        fn family_doc(&self) -> &'static str {
+            "a test factory"
+        }
+        fn family_params(&self) -> &'static [ParamSpec] {
+            &[
+                ParamSpec {
+                    key: "teeth",
+                    kind: ParamKind::U64,
+                    doc: "number of teeth",
+                },
+                ParamSpec {
+                    key: "bias",
+                    kind: ParamKind::Fraction,
+                    doc: "load bias",
+                },
+                ParamSpec {
+                    key: "metal",
+                    kind: ParamKind::Choice(&["steel", "brass"]),
+                    doc: "material",
+                },
+            ]
+        }
+    }
+
+    fn table() -> SpecTable<Gear> {
+        let t = SpecTable::new(&TEST_VOCAB);
+        t.register(Arc::new(Gear));
+        t
+    }
+
+    #[test]
+    fn grammar_splits_and_trims() {
+        let (name, params) =
+            parse_spec(" gear : teeth = 12 , metal = brass ", &TEST_VOCAB).unwrap();
+        assert_eq!(name, "gear");
+        assert_eq!(params.get("teeth").map(String::as_str), Some("12"));
+        assert_eq!(params.get("metal").map(String::as_str), Some("brass"));
+    }
+
+    #[test]
+    fn grammar_rejects_empty_malformed_and_duplicates() {
+        let e = parse_spec("  ", &TEST_VOCAB).unwrap_err();
+        assert_eq!(e.kind, SpecErrorKind::Empty);
+        assert_eq!(e.to_string(), "empty widget spec");
+        let e = parse_spec(":x=1", &TEST_VOCAB).unwrap_err();
+        assert_eq!(e.kind, SpecErrorKind::Empty);
+        let e = parse_spec("gear:teeth", &TEST_VOCAB).unwrap_err();
+        assert!(matches!(e.kind, SpecErrorKind::MalformedParam { .. }));
+        assert!(e.to_string().contains("expected key=value"), "{e}");
+        let e = parse_spec("gear:teeth=1,teeth=2", &TEST_VOCAB).unwrap_err();
+        assert!(matches!(e.kind, SpecErrorKind::DuplicateParam { .. }));
+        assert!(e.to_string().contains("in widget spec"), "{e}");
+    }
+
+    #[test]
+    fn validate_canonicalises_typed_values() {
+        let t = table();
+        let (name, raw) = parse_spec("gear:teeth=007,bias=0.50", &TEST_VOCAB).unwrap();
+        let (_, canonical) = t.validate(name, raw).unwrap();
+        assert_eq!(canonical.get("teeth").map(String::as_str), Some("7"));
+        assert_eq!(canonical.get("bias").map(String::as_str), Some("0.5"));
+    }
+
+    #[test]
+    fn validate_speaks_the_domain_vocabulary() {
+        let t = table();
+        let e = t.validate("sprocket".into(), BTreeMap::new()).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "unknown widget kind 'sprocket'; known widgets: gear"
+        );
+        let (name, raw) = parse_spec("gear:size=3", &TEST_VOCAB).unwrap();
+        let e = t.validate(name, raw).unwrap_err();
+        assert!(
+            e.to_string()
+                .starts_with("widget 'gear' has no parameter 'size'"),
+            "{e}"
+        );
+        let (name, raw) = parse_spec("gear:bias=1.5", &TEST_VOCAB).unwrap();
+        let e = t.validate(name, raw).unwrap_err();
+        assert!(e.to_string().contains("a fraction between 0 and 1"), "{e}");
+        let (name, raw) = parse_spec("gear:metal=wood", &TEST_VOCAB).unwrap();
+        let e = t.validate(name, raw).unwrap_err();
+        assert!(e.to_string().contains("one of steel, brass"), "{e}");
+    }
+
+    #[test]
+    fn help_lists_names_params_and_kinds() {
+        let help = table().help();
+        assert!(help.contains("gear"), "{help}");
+        assert!(help.contains("teeth=<u64>"), "{help}");
+        assert!(help.contains("bias=<0..1>"), "{help}");
+        assert!(help.contains("metal=<steel|brass>"), "{help}");
+    }
+
+    #[test]
+    fn format_spec_is_the_inverse_of_parse_spec_on_canonical_input() {
+        struct Disp(String, BTreeMap<String, String>);
+        impl fmt::Display for Disp {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                format_spec(f, &self.0, &self.1)
+            }
+        }
+        let (name, params) = parse_spec("gear:teeth=9,metal=steel", &TEST_VOCAB).unwrap();
+        let printed = Disp(name.clone(), params.clone()).to_string();
+        assert_eq!(printed, "gear:metal=steel,teeth=9");
+        assert_eq!(parse_spec(&printed, &TEST_VOCAB).unwrap(), (name, params));
+    }
+}

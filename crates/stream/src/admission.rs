@@ -117,7 +117,7 @@ mod tests {
         StreamJob {
             id,
             tenant,
-            name: format!("job{id}"),
+            workload: pdfws_workloads::WorkloadSpec::unregistered(format!("job{id}")),
             class: WorkloadClass::ComputeBound,
             work: dag.work(),
             dag,

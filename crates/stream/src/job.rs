@@ -1,7 +1,7 @@
 //! The unit the stream subsystem schedules: one DAG job with arrival metadata.
 
 use pdfws_task_dag::TaskDag;
-use pdfws_workloads::WorkloadClass;
+use pdfws_workloads::{WorkloadClass, WorkloadSpec};
 use std::sync::Arc;
 
 /// One job in the stream: an instantiated task DAG plus the metadata the
@@ -12,8 +12,10 @@ pub struct StreamJob {
     pub id: u64,
     /// Tenant the job belongs to (used by the fair-share admission policy).
     pub tenant: u32,
-    /// Workload name ("spmv", "hashjoin", ...).
-    pub name: String,
+    /// The canonical workload spec this job was instantiated from
+    /// (`"spmv:rows=512,seed=…"`) — carried through to the job record, so
+    /// any job in a JSONL trace can be rebuilt.
+    pub workload: WorkloadSpec,
     /// The paper's application class for this job's program.
     pub class: WorkloadClass,
     /// The job's fine-grained task DAG, shared by reference: cloning a job

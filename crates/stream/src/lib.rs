@@ -6,9 +6,10 @@
 //! percentiles, not makespan.  This crate turns the repo's single-shot
 //! simulator and runtimes into that shape:
 //!
-//! * [`source::JobMix`] — deterministic sampling of mixed job classes from the
-//!   `pdfws-workloads` generators (the paper's class-A bandwidth-limited vs.
-//!   class-B neutral taxonomy).
+//! * [`source::JobMix`] — deterministic sampling of weighted
+//!   [`WorkloadSpec`](pdfws_workloads::WorkloadSpec) mixes (the paper's
+//!   class-A bandwidth-limited vs. class-B neutral taxonomy ships as built-in
+//!   mixes; any registered workload spec string can serve traffic).
 //! * [`arrival::ArrivalProcess`] — seeded open-loop Poisson / uniform arrivals
 //!   and closed-loop (fixed population + think time) submission.
 //! * [`admission::AdmissionQueue`] — FIFO, shortest-job-first and per-tenant
@@ -24,7 +25,8 @@
 //!   sojourn, queueing delay, achieved jobs-per-megacycle, per-job L2 MPKI and
 //!   SLO attainment, built on `pdfws-metrics`' [`Quantiles`](pdfws_metrics::Quantiles).
 //!   Per-job [`JobRecord`](record::JobRecord)s carry the full
-//!   [`SchedulerSpec`](pdfws_schedulers::SchedulerSpec) string and round-trip
+//!   [`SchedulerSpec`](pdfws_schedulers::SchedulerSpec) *and*
+//!   [`WorkloadSpec`](pdfws_workloads::WorkloadSpec) strings and round-trip
 //!   through JSONL ([`StreamOutcome::to_jsonl`](record::StreamOutcome::to_jsonl) /
 //!   [`records_from_jsonl`](record::records_from_jsonl)).
 //!
@@ -65,7 +67,7 @@ pub use record::{records_from_jsonl, JobRecord, StreamOutcome, StreamSummary};
 pub use sim_backend::{
     run_stream_sim, run_stream_sim_with_jobs, validate_stream_cfg, StreamConfig,
 };
-pub use source::{JobMix, JobTemplate};
+pub use source::JobMix;
 pub use thread_backend::{
     run_stream_threads, ThreadJobRecord, ThreadStreamConfig, ThreadStreamOutcome,
 };

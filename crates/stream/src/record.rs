@@ -1,19 +1,20 @@
 //! The latency/throughput metrics sink: per-job records, stream summaries, and
 //! the JSONL record serialization.
 //!
-//! Every [`JobRecord`] carries the full [`SchedulerSpec`] that served it (not
-//! just a short name), so records from two differently parameterized instances
-//! of the same policy — say `ws:steal=one` and `ws:steal=half` — stay
-//! distinguishable after they are written out.  [`StreamOutcome::to_jsonl`]
-//! and [`records_from_jsonl`] round-trip records through one JSON object per
-//! line; the spec travels as its canonical string and parses back to an
-//! identical [`SchedulerSpec`].  (The vendored `serde` is a no-op marker
-//! stand-in — see `vendor/serde` — so the JSON layer here is hand-rolled over
-//! the same canonical forms the serde derives would use.)
+//! Every [`JobRecord`] carries the full [`SchedulerSpec`] that served it *and*
+//! the full [`WorkloadSpec`] it was instantiated from (not just short names),
+//! so records from two differently parameterized instances of the same policy
+//! or program — say `ws:steal=one` vs `ws:steal=half`, or `spmv:rows=256` vs
+//! `spmv:rows=1024` — stay distinguishable after they are written out.
+//! [`StreamOutcome::to_jsonl`] and [`records_from_jsonl`] round-trip records
+//! through one JSON object per line; both specs travel as their canonical
+//! strings and parse back to identical values.  (The vendored `serde` is a
+//! no-op marker stand-in — see `vendor/serde` — so the JSON layer here is
+//! hand-rolled over the same canonical forms the serde derives would use.)
 
 use pdfws_metrics::Quantiles;
 use pdfws_schedulers::SchedulerSpec;
-use pdfws_workloads::WorkloadClass;
+use pdfws_workloads::{WorkloadClass, WorkloadSpec};
 
 /// Everything measured about one completed job.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,8 +23,8 @@ pub struct JobRecord {
     pub id: u64,
     /// Tenant the job belonged to.
     pub tenant: u32,
-    /// Workload name.
-    pub name: String,
+    /// Full spec of the workload this job was instantiated from.
+    pub workload: WorkloadSpec,
     /// Application class.
     pub class: WorkloadClass,
     /// Full spec of the scheduler that served this job.
@@ -50,13 +51,13 @@ impl JobRecord {
     /// Serialize as one JSON object (one JSONL line, no trailing newline).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"id\":{},\"tenant\":{},\"name\":{},\"class\":{},\"scheduler\":{},\
+            "{{\"id\":{},\"tenant\":{},\"workload\":{},\"class\":{},\"scheduler\":{},\
              \"arrival_cycle\":{},\"admit_cycle\":{},\"completion_cycle\":{},\
              \"queue_cycles\":{},\"sojourn_cycles\":{},\"service_cycles\":{},\
              \"instructions\":{},\"l2_mpki\":{:?}}}",
             self.id,
             self.tenant,
-            json_string(&self.name),
+            json_string(&self.workload.to_string()),
             json_string(&self.class.to_string()),
             json_string(&self.scheduler.to_string()),
             self.arrival_cycle,
@@ -84,11 +85,15 @@ impl JobRecord {
             .as_str()?
             .parse()
             .map_err(|e| format!("bad scheduler spec in record: {e}"))?;
+        let workload: WorkloadSpec = get("workload")?
+            .as_str()?
+            .parse()
+            .map_err(|e| format!("bad workload spec in record: {e}"))?;
         let class: WorkloadClass = get("class")?.as_str()?.parse()?;
         Ok(JobRecord {
             id: get("id")?.as_u64()?,
             tenant: get("tenant")?.as_u64()? as u32,
-            name: get("name")?.as_str()?.to_string(),
+            workload,
             class,
             scheduler,
             arrival_cycle: get("arrival_cycle")?.as_u64()?,
@@ -344,7 +349,7 @@ mod tests {
         JobRecord {
             id,
             tenant: 0,
-            name: "t".into(),
+            workload: "compute-kernel".parse().unwrap(),
             class: WorkloadClass::ComputeBound,
             scheduler: SchedulerSpec::pdf(),
             arrival_cycle: 0,
@@ -402,7 +407,7 @@ mod tests {
     #[test]
     fn json_round_trips_a_record_exactly() {
         let mut r = record(3, 12_345, 678);
-        r.name = "merge \"sort\"\n".to_string();
+        r.workload = "mergesort:n=4096,grain=64".parse().unwrap();
         r.scheduler = "ws:victim=random,seed=7".parse().unwrap();
         r.l2_mpki = 0.123456789;
         let line = r.to_json();
@@ -410,8 +415,26 @@ mod tests {
             line.contains("\"scheduler\":\"ws:seed=7,victim=random\""),
             "{line}"
         );
+        assert!(
+            line.contains("\"workload\":\"mergesort:grain=64,n=4096\""),
+            "{line}"
+        );
         let back = JobRecord::from_json(&line).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        // Ad-hoc workload names can contain anything; serialization must
+        // escape them even though such records only parse back once the name
+        // is registered.
+        let mut r = record(0, 10, 1);
+        r.workload = pdfws_workloads::WorkloadSpec::unregistered("merge \"sort\"\n");
+        let line = r.to_json();
+        assert!(
+            line.contains("\"workload\":\"merge \\\"sort\\\"\\n\""),
+            "{line}"
+        );
     }
 
     #[test]

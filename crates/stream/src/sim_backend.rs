@@ -78,7 +78,7 @@ impl StreamConfig {
 struct ActiveJob {
     id: u64,
     tenant: u32,
-    name: String,
+    workload: pdfws_workloads::WorkloadSpec,
     class: pdfws_workloads::WorkloadClass,
     arrival_cycle: u64,
     admit_cycle: u64,
@@ -198,7 +198,7 @@ pub fn run_stream_sim_with_jobs(
             let StreamJob {
                 id,
                 tenant,
-                name,
+                workload,
                 class,
                 dag,
                 arrival_cycle,
@@ -213,7 +213,7 @@ pub fn run_stream_sim_with_jobs(
             active.push(ActiveJob {
                 id,
                 tenant,
-                name,
+                workload,
                 class,
                 arrival_cycle,
                 admit_cycle: now,
@@ -266,7 +266,7 @@ pub fn run_stream_sim_with_jobs(
             records.push(JobRecord {
                 id: done.id,
                 tenant: done.tenant,
-                name: std::mem::take(&mut done.name),
+                workload: done.workload,
                 class: done.class,
                 scheduler: cfg.scheduler.clone(),
                 arrival_cycle: done.arrival_cycle,

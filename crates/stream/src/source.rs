@@ -1,109 +1,48 @@
-//! Job sources: deterministic sampling of mixed job classes.
+//! Job sources: deterministic sampling of weighted workload-spec mixes.
 //!
-//! A [`JobMix`] is a weighted set of job *templates*.  Each template wraps one
-//! of the `pdfws-workloads` generators at a stream-appropriate size and spans a
-//! small size range so the stream is heterogeneous (which is what makes the
-//! shortest-job-first admission policy differ from FIFO).  Sampling is a pure
+//! A [`JobMix`] is a weighted set of **workload spec strings**
+//! (`"spmv:rows=256"`, `"compute-kernel:items=1024"`, …) — the job-stream
+//! configuration is expressed in the same open, string-addressable
+//! [`WorkloadSpec`] grammar the rest of the system uses, so any registered
+//! workload (including user-registered ones) can serve traffic without
+//! touching this crate.
+//!
+//! Per sampled job the mix draws a size multiplier in `[1, 4]` and a fresh
+//! seed, and applies them through the workload factory's
+//! [`scale`](pdfws_workloads::WorkloadFactory::scale) and
+//! [`reseed`](pdfws_workloads::WorkloadFactory::reseed) hooks — the sampler
+//! does not need to know which parameter carries a workload's problem size.
+//! The resulting stream is heterogeneous (which is what makes the
+//! shortest-job-first admission policy differ from FIFO), and each job
+//! carries the exact canonical spec it was built from.  Sampling is a pure
 //! function of the mix and a seed, so a fixed seed reproduces the exact same
 //! job sequence — the property the determinism tests pin down.
 
 use crate::job::StreamJob;
-use pdfws_workloads::{
-    ComputeKernel, HashJoin, MergeSort, ParallelScan, SpMv, Workload, WorkloadClass,
-};
+use pdfws_workloads::{WorkloadRegistry, WorkloadSpec, WorkloadSpecError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// The job templates a mix can draw from.  `size` scales the instance; the
-/// sampler draws `size` from the template's range per job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JobTemplate {
-    /// Sparse matrix–vector product — class A, bandwidth-limited irregular.
-    SpMv {
-        /// Matrix rows.
-        rows: u64,
-    },
-    /// Hash join — class A, bandwidth-limited irregular.
-    HashJoin {
-        /// Build-side tuples.
-        build_tuples: u64,
-    },
-    /// Parallel merge sort — class A via data reuse (divide-and-conquer).
-    MergeSort {
-        /// Keys to sort.
-        keys: u64,
-    },
-    /// Streaming scan — class B, little reuse, not bandwidth-bound at stream sizes.
-    Scan {
-        /// Elements.
-        n: u64,
-    },
-    /// Compute-bound kernel — class B, cache-neutral.
-    Compute {
-        /// Work items.
-        items: u64,
-    },
-}
-
-impl JobTemplate {
-    /// Instantiate this template at `scale` (a multiplier in [1, 4] drawn by
-    /// the sampler) with a per-job seed for the irregular generators.
-    fn instantiate(
-        self,
-        scale: u64,
-        seed: u64,
-    ) -> (&'static str, WorkloadClass, Box<dyn Workload>) {
-        match self {
-            JobTemplate::SpMv { rows } => {
-                let mut w = SpMv::small();
-                w.rows = rows * scale;
-                w.rows_per_task = 64;
-                w.seed = seed;
-                ("spmv", w.class(), Box::new(w))
-            }
-            JobTemplate::HashJoin { build_tuples } => {
-                let mut w = HashJoin::small();
-                w.build_tuples = build_tuples * scale;
-                w.probe_tuples = build_tuples * scale * 2;
-                w.seed = seed;
-                ("hashjoin", w.class(), Box::new(w))
-            }
-            JobTemplate::MergeSort { keys } => {
-                let mut w = MergeSort::small();
-                w.n_keys = (keys * scale).next_power_of_two();
-                ("mergesort", w.class(), Box::new(w))
-            }
-            JobTemplate::Scan { n } => {
-                let mut w = ParallelScan::small();
-                w.n = n * scale;
-                ("scan", w.class(), Box::new(w))
-            }
-            JobTemplate::Compute { items } => {
-                let mut w = ComputeKernel::small();
-                w.items = items * scale;
-                ("compute", w.class(), Box::new(w))
-            }
-        }
-    }
-}
-
-/// A weighted mix of job templates; the stream's traffic model.
+/// A weighted mix of workload specs; the stream's traffic model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobMix {
     /// Mix name used in tables ("class-a", "class-b", "mixed").
     pub name: String,
-    /// (template, weight) pairs; the tenant id of a sampled job is the index
-    /// of its template in this list.
-    entries: Vec<(JobTemplate, u32)>,
+    /// (spec, weight) pairs; the tenant id of a sampled job is the index of
+    /// its spec in this list.
+    entries: Vec<(WorkloadSpec, u32)>,
 }
 
 impl JobMix {
-    /// Build a mix from (template, weight) pairs.
+    /// Build a mix from (workload spec, weight) pairs.  Every spec must
+    /// resolve through the global registry when the mix generates jobs —
+    /// parsed specs always do; [`WorkloadSpec::unregistered`] values only
+    /// after their name is registered.
     ///
     /// # Panics
     ///
     /// Panics if `entries` is empty or all weights are zero.
-    pub fn new(name: impl Into<String>, entries: Vec<(JobTemplate, u32)>) -> Self {
+    pub fn new(name: impl Into<String>, entries: Vec<(WorkloadSpec, u32)>) -> Self {
         assert!(!entries.is_empty(), "a job mix needs at least one template");
         assert!(
             entries.iter().any(|&(_, w)| w > 0),
@@ -115,44 +54,70 @@ impl JobMix {
         }
     }
 
+    /// Build a mix from weighted spec *strings*, validating each against the
+    /// global workload registry — the form job-stream configuration files and
+    /// command lines use.
+    ///
+    /// ```
+    /// use pdfws_stream::JobMix;
+    /// let mix = JobMix::from_specs("custom", &[("spmv:rows=256", 2), ("scan", 1)]).unwrap();
+    /// assert_eq!(mix.tenants(), 2);
+    /// assert!(JobMix::from_specs("typo", &[("bogosort", 1)]).is_err());
+    /// ```
+    pub fn from_specs(
+        name: impl Into<String>,
+        entries: &[(&str, u32)],
+    ) -> Result<Self, WorkloadSpecError> {
+        let parsed = entries
+            .iter()
+            .map(|&(s, w)| Ok((s.parse::<WorkloadSpec>()?, w)))
+            .collect::<Result<Vec<_>, WorkloadSpecError>>()?;
+        Ok(JobMix::new(name, parsed))
+    }
+
     /// The paper's class-A traffic: bandwidth-limited irregular programs plus
     /// divide-and-conquer sorts — the programs PDF's constructive cache
     /// sharing helps most.
     pub fn class_a() -> Self {
-        JobMix::new(
+        JobMix::from_specs(
             "class-a",
-            vec![
-                (JobTemplate::SpMv { rows: 256 }, 2),
-                (JobTemplate::HashJoin { build_tuples: 256 }, 2),
-                (JobTemplate::MergeSort { keys: 1024 }, 1),
+            &[
+                ("spmv:rows=256", 2),
+                ("hashjoin", 2),
+                ("mergesort:n=1024", 1),
             ],
         )
+        .expect("built-in specs parse")
     }
 
     /// The paper's class-B traffic: cache-neutral programs (streaming scans
     /// and compute-bound kernels) where PDF and WS should tie.
     pub fn class_b() -> Self {
-        JobMix::new(
+        JobMix::from_specs(
             "class-b",
-            vec![
-                (JobTemplate::Compute { items: 1024 }, 2),
-                (JobTemplate::Scan { n: 2048 }, 1),
-            ],
+            &[("compute-kernel:items=1024", 2), ("scan:n=2048", 1)],
         )
+        .expect("built-in specs parse")
     }
 
     /// Mixed tenancy: class-A and class-B jobs interleaved, the realistic
     /// serving scenario.
     pub fn mixed() -> Self {
-        JobMix::new(
+        JobMix::from_specs(
             "mixed",
-            vec![
-                (JobTemplate::SpMv { rows: 256 }, 1),
-                (JobTemplate::HashJoin { build_tuples: 256 }, 1),
-                (JobTemplate::Compute { items: 1024 }, 1),
-                (JobTemplate::Scan { n: 2048 }, 1),
+            &[
+                ("spmv:rows=256", 1),
+                ("hashjoin", 1),
+                ("compute-kernel:items=1024", 1),
+                ("scan:n=2048", 1),
             ],
         )
+        .expect("built-in specs parse")
+    }
+
+    /// The weighted entries, in tenant order.
+    pub fn entries(&self) -> impl Iterator<Item = (&WorkloadSpec, u32)> {
+        self.entries.iter().map(|(s, w)| (s, *w))
     }
 
     /// Number of distinct templates (== number of tenants).
@@ -162,6 +127,11 @@ impl JobMix {
 
     /// Generate `n` jobs deterministically from `seed`.  Arrival cycles are
     /// left at 0; the arrival process assigns them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mix entry's workload has been removed from the registry
+    /// since the mix was built.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<StreamJob> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5712_EA11_0B5E_11ED);
         let total_weight: u64 = self.entries.iter().map(|&(_, w)| w as u64).sum();
@@ -176,17 +146,27 @@ impl JobMix {
                     }
                     pick -= w as u64;
                 }
-                let template = self.entries[tenant].0;
+                let base = &self.entries[tenant].0;
                 let scale = rng.gen_range(1u64..=4);
                 let job_seed = rng.gen::<u64>();
-                let (name, class, workload) = template.instantiate(scale, job_seed);
+                let factory = WorkloadRegistry::global()
+                    .factory(base.name())
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "workload '{}' is not in the registry (an unregistered ad-hoc \
+                             spec, or removed since the mix was built)",
+                            base.name()
+                        )
+                    });
+                let spec = factory.reseed(&factory.scale(base, scale), job_seed);
+                let workload = spec.build();
                 let dag = std::sync::Arc::new(workload.build_dag());
                 let work = dag.work();
                 StreamJob {
                     id,
                     tenant: tenant as u32,
-                    name: name.to_string(),
-                    class,
+                    class: workload.class(),
+                    workload: spec,
                     dag,
                     work,
                     arrival_cycle: 0,
@@ -199,6 +179,7 @@ impl JobMix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pdfws_workloads::WorkloadClass;
 
     #[test]
     fn generation_is_deterministic_per_seed() {
@@ -211,16 +192,21 @@ mod tests {
     }
 
     #[test]
-    fn jobs_carry_valid_dags_and_metadata() {
+    fn jobs_carry_valid_dags_and_canonical_specs() {
         for mix in [JobMix::class_a(), JobMix::class_b(), JobMix::mixed()] {
             let jobs = mix.generate(8, 7);
             assert_eq!(jobs.len(), 8);
             for (i, job) in jobs.iter().enumerate() {
                 assert_eq!(job.id, i as u64);
                 assert!((job.tenant as usize) < mix.tenants());
-                assert!(!job.dag.is_empty(), "{}", job.name);
+                assert!(!job.dag.is_empty(), "{}", job.workload);
                 assert_eq!(job.work, job.dag.work());
                 assert!(job.work > 0);
+                // Each job's spec string re-parses to the identical spec …
+                let reparsed: WorkloadSpec = job.workload.to_string().parse().unwrap();
+                assert_eq!(reparsed, job.workload);
+                // … and rebuilds the identical DAG.
+                assert_eq!(*job.dag, reparsed.build().build_dag(), "{}", job.workload);
             }
         }
     }
@@ -232,11 +218,8 @@ mod tests {
             j.class,
             WorkloadClass::BandwidthLimitedIrregular | WorkloadClass::DivideAndConquer
         )));
-        let classes: std::collections::HashSet<_> = jobs.iter().map(|j| j.name.as_str()).collect();
-        assert!(
-            classes.len() >= 2,
-            "mix collapsed to one template: {classes:?}"
-        );
+        let names: std::collections::HashSet<_> = jobs.iter().map(|j| j.workload.name()).collect();
+        assert!(names.len() >= 2, "mix collapsed to one template: {names:?}");
     }
 
     #[test]
@@ -244,6 +227,21 @@ mod tests {
         let jobs = JobMix::class_b().generate(24, 3);
         let works: std::collections::HashSet<u64> = jobs.iter().map(|j| j.work).collect();
         assert!(works.len() > 4, "job sizes should vary for SJF to matter");
+    }
+
+    #[test]
+    fn custom_spec_mixes_drive_any_registered_workload() {
+        let mix = JobMix::from_specs("sorts", &[("quicksort:n=600", 1), ("mergesort", 1)]).unwrap();
+        let jobs = mix.generate(8, 5);
+        assert!(jobs
+            .iter()
+            .all(|j| matches!(j.workload.name(), "quicksort" | "mergesort")));
+    }
+
+    #[test]
+    fn unknown_specs_are_rejected_at_mix_build_time() {
+        let err = JobMix::from_specs("broken", &[("spmv:rows=abc", 1)]).unwrap_err();
+        assert!(err.to_string().contains("unsigned integer"), "{err}");
     }
 
     #[test]

@@ -58,8 +58,8 @@ impl ThreadStreamConfig {
 pub struct ThreadJobRecord {
     /// The job's stream-unique id.
     pub id: u64,
-    /// Workload name.
-    pub name: String,
+    /// Canonical workload spec string the job was instantiated from.
+    pub workload: String,
     /// Submission-to-completion latency.
     pub sojourn: Duration,
     /// Tasks in the job's DAG.
@@ -190,7 +190,7 @@ fn serve<P: ForkJoinPool>(
                 pool.install(|| execute_dag(pool, &job.dag, cfg.ns_per_kinstr));
                 let record = ThreadJobRecord {
                     id: job.id,
-                    name: job.name.clone(),
+                    workload: job.workload.canonical(),
                     sojourn: submitted.elapsed(),
                     tasks: job.dag.len(),
                 };

@@ -8,6 +8,7 @@
 //! power/multiprogramming benefits the paper notes.
 
 use crate::layout::AddressSpace;
+use crate::spec::{SpecSynth, WorkloadSpec};
 use crate::{Workload, WorkloadClass};
 use pdfws_task_dag::builder::DagBuilder;
 use pdfws_task_dag::{AccessPattern, TaskDag};
@@ -93,6 +94,15 @@ impl Workload for ComputeKernel {
 
     fn data_bytes(&self) -> u64 {
         2 * self.items * ELEM_BYTES
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        let d = ComputeKernel::small();
+        SpecSynth::new("compute-kernel")
+            .u64_if("items", self.items, d.items)
+            .u64_if("grain", self.grain, d.grain)
+            .u64_if("instr-per-item", self.instr_per_item, d.instr_per_item)
+            .finish()
     }
 }
 

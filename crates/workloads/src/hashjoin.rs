@@ -8,6 +8,7 @@
 //! controls.
 
 use crate::layout::AddressSpace;
+use crate::spec::{SpecSynth, WorkloadSpec};
 use crate::{Workload, WorkloadClass};
 use pdfws_task_dag::builder::DagBuilder;
 use pdfws_task_dag::{AccessPattern, TaskDag};
@@ -134,6 +135,18 @@ impl Workload for HashJoin {
 
     fn data_bytes(&self) -> u64 {
         (self.build_tuples + 2 * self.probe_tuples) * TUPLE_BYTES + self.buckets * BUCKET_BYTES
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        let d = HashJoin::small();
+        SpecSynth::new("hashjoin")
+            .u64_if("build-tuples", self.build_tuples, d.build_tuples)
+            .u64_if("probe-tuples", self.probe_tuples, d.probe_tuples)
+            .u64_if("tuples-per-task", self.tuples_per_task, d.tuples_per_task)
+            .u64_if("buckets", self.buckets, d.buckets)
+            .u64_if("seed", self.seed, d.seed)
+            .u64_if("instr-per-tuple", self.instr_per_tuple, d.instr_per_tuple)
+            .finish()
     }
 }
 

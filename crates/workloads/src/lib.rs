@@ -19,6 +19,14 @@
 //! sparse matrix–vector product, hash join, parallel scan/map and a compute-bound
 //! kernel, plus deliberately coarse-grained variants of merge sort and matmul.
 //!
+//! "Which workload" is an open, string-addressable [`WorkloadSpec`]
+//! (`"mergesort:grain=64,n=262144"`), the workload-side twin of
+//! `pdfws-schedulers`' `SchedulerSpec`: every generator is registered in the
+//! global [`WorkloadRegistry`] with typed parameters whose defaults are its
+//! `small()` constructor, every constructor reports its canonical spec
+//! ([`Workload::spec`]), and user workloads register through
+//! [`WorkloadFactory`] (see `examples/custom_workload.rs`).
+//!
 //! The [`threaded`] module additionally contains real-thread implementations of
 //! merge sort and map/reduce on top of `pdfws-runtime`'s pools, used by the
 //! examples and the runtime-overhead benches.
@@ -30,7 +38,9 @@ pub mod lu;
 pub mod matmul;
 pub mod mergesort;
 pub mod quicksort;
+pub mod registry;
 pub mod scan;
+pub mod spec;
 pub mod spmv;
 pub mod synthetic;
 pub mod threaded;
@@ -41,7 +51,9 @@ pub use lu::LuDecomposition;
 pub use matmul::MatMul;
 pub use mergesort::MergeSort;
 pub use quicksort::QuickSort;
+pub use registry::{register_workload, WorkloadFactory, WorkloadRegistry};
 pub use scan::ParallelScan;
+pub use spec::{SpecSynth, WorkloadSpec, WorkloadSpecError};
 pub use spmv::SpMv;
 pub use synthetic::SyntheticTree;
 
@@ -108,6 +120,20 @@ pub trait Workload {
     /// Approximate input-data footprint in bytes (used to size experiments
     /// relative to the L2 capacity).
     fn data_bytes(&self) -> u64;
+
+    /// The canonical [`WorkloadSpec`] describing this instance: the registered
+    /// name plus every parameter that differs from its registered (`small()`)
+    /// default.  For registered workloads
+    /// `spec().to_string().parse::<WorkloadSpec>()` reproduces an identical
+    /// spec and [`WorkloadSpec::build`] an equivalent instance, so reports and
+    /// job-stream records can carry the string and get the workload back.
+    ///
+    /// The default implementation reports the bare name, which is right for
+    /// parameterless custom workloads; parameterized ones should override it
+    /// (see the built-in programs and `examples/custom_workload.rs`).
+    fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec::unregistered(self.name())
+    }
 }
 
 /// A boxed workload plus its parameters, convenient for experiment sweeps.

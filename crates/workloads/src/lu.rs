@@ -9,6 +9,7 @@
 //! decreasing parallelism per step, heavy block reuse and a long critical path.
 
 use crate::layout::{AddressSpace, Region};
+use crate::spec::{SpecSynth, WorkloadSpec};
 use crate::{Workload, WorkloadClass};
 use pdfws_task_dag::builder::DagBuilder;
 use pdfws_task_dag::{AccessPattern, TaskDag, TaskId};
@@ -174,6 +175,15 @@ impl Workload for LuDecomposition {
 
     fn data_bytes(&self) -> u64 {
         self.n * self.n * ELEM_BYTES
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        let d = LuDecomposition::small();
+        SpecSynth::new("lu")
+            .u64_if("n", self.n, d.n)
+            .u64_if("block", self.block, d.block)
+            .u64_if("instr-per-elem", self.instr_per_elem, d.instr_per_elem)
+            .finish()
     }
 }
 

@@ -13,6 +13,7 @@
 //! handled by one big task each — the SMP-style program.
 
 use crate::layout::{AddressSpace, Region};
+use crate::spec::{SpecSynth, WorkloadSpec};
 use crate::{Workload, WorkloadClass};
 use pdfws_task_dag::builder::DagBuilder;
 use pdfws_task_dag::{AccessPattern, TaskDag, TaskId};
@@ -252,6 +253,18 @@ impl Workload for MatMul {
 
     fn data_bytes(&self) -> u64 {
         3 * self.matrix_bytes()
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        let d = MatMul::small();
+        let mut s = SpecSynth::new("matmul")
+            .u64_if("n", self.n, d.n)
+            .u64_if("grain", self.grain, d.grain)
+            .u64_if("instr-per-madd", self.instr_per_madd, d.instr_per_madd);
+        if let Some(chunks) = self.coarse_chunks {
+            s = s.u64("coarse", chunks);
+        }
+        s.finish()
     }
 }
 

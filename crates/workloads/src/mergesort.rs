@@ -19,6 +19,7 @@
 //! structure (and with it the constructive-sharing opportunity) is gone.
 
 use crate::layout::{AddressSpace, Region};
+use crate::spec::{SpecSynth, WorkloadSpec};
 use crate::{Workload, WorkloadClass};
 use pdfws_task_dag::builder::DagBuilder;
 use pdfws_task_dag::{AccessPattern, TaskDag, TaskId};
@@ -225,6 +226,23 @@ impl Workload for MergeSort {
 
     fn data_bytes(&self) -> u64 {
         2 * self.n_keys * KEY_BYTES
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        let d = MergeSort::small();
+        let mut s = SpecSynth::new("mergesort")
+            .u64_if("n", self.n_keys, d.n_keys)
+            .u64_if("grain", self.grain_keys, d.grain_keys)
+            .u64_if("leaf-instr", self.leaf_instr_per_key, d.leaf_instr_per_key)
+            .u64_if(
+                "merge-instr",
+                self.merge_instr_per_key,
+                d.merge_instr_per_key,
+            );
+        if let Some(chunks) = self.coarse_chunks {
+            s = s.u64("coarse", chunks);
+        }
+        s.finish()
     }
 }
 

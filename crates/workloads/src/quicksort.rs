@@ -6,6 +6,7 @@
 //! The sort is in place: one array, no ping-pong buffer.
 
 use crate::layout::{AddressSpace, Region};
+use crate::spec::{SpecSynth, WorkloadSpec};
 use crate::{Workload, WorkloadClass};
 use pdfws_task_dag::builder::DagBuilder;
 use pdfws_task_dag::{AccessPattern, TaskDag, TaskId};
@@ -117,6 +118,20 @@ impl Workload for QuickSort {
 
     fn data_bytes(&self) -> u64 {
         self.n_keys * ELEM_BYTES
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        let d = QuickSort::small();
+        SpecSynth::new("quicksort")
+            .u64_if("n", self.n_keys, d.n_keys)
+            .u64_if("grain", self.grain_keys, d.grain_keys)
+            .u64_if(
+                "partition-instr",
+                self.partition_instr_per_key,
+                d.partition_instr_per_key,
+            )
+            .u64_if("leaf-instr", self.leaf_instr_per_key, d.leaf_instr_per_key)
+            .finish()
     }
 }
 

@@ -8,6 +8,7 @@
 //! there is only limited data reuse that can be exploited ...").
 
 use crate::layout::AddressSpace;
+use crate::spec::{SpecSynth, WorkloadSpec};
 use crate::{Workload, WorkloadClass};
 use pdfws_task_dag::builder::DagBuilder;
 use pdfws_task_dag::{AccessPattern, TaskDag};
@@ -127,6 +128,15 @@ impl Workload for ParallelScan {
 
     fn data_bytes(&self) -> u64 {
         2 * self.n * ELEM_BYTES
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        let d = ParallelScan::small();
+        SpecSynth::new("scan")
+            .u64_if("n", self.n, d.n)
+            .u64_if("grain", self.grain, d.grain)
+            .u64_if("instr-per-elem", self.instr_per_elem, d.instr_per_elem)
+            .finish()
     }
 }
 

@@ -1,0 +1,301 @@
+//! `WorkloadSpec` — the open, parameterized description of a benchmark
+//! program, mirroring the scheduler side's `SchedulerSpec`.
+//!
+//! A spec is the system's currency for "which workload": a registered name
+//! plus typed `key=value` parameters, round-trippable through
+//! [`std::fmt::Display`] and [`std::str::FromStr`]:
+//!
+//! ```text
+//! mergesort                         the Figure-1 merge sort at test-size defaults
+//! mergesort:grain=64,n=262144       parameterized instance
+//! mergesort:coarse=32,n=1048576     the coarse-grained SMP-style variant
+//! spmv:nnz-per-row=8,rows=65536     bandwidth-limited irregular
+//! synthetic:depth=12,fanout=2       the tunable fork-join tree
+//! matmul:coarse=4,n=256             coarse-grained blocked matmul
+//! ```
+//!
+//! Parsing validates the name and every parameter against the
+//! [`WorkloadRegistry`](crate::registry::WorkloadRegistry): unknown workloads
+//! and unknown or malformed parameters are rejected at parse time with
+//! messages that list what *would* have been accepted, and each factory's
+//! structural constraints (`matmul`'s power-of-two dimension, `lu`'s
+//! block-divisibility) are checked before any DAG is built.  The stored form
+//! is canonical — parameters sorted by key, numeric values normalised — so
+//! `to_string()` followed by `parse()` is the identity, and the same instance
+//! renders identically in reports, sweep tables and job-stream records.
+//!
+//! Every parameter has a default equal to the workload's `small()`
+//! constructor, so the bare name builds exactly the instance the unit tests
+//! exercise, and `small()`/`new(n)` constructors now *are* canonical strings
+//! (see [`Workload::spec`](crate::Workload::spec)).
+//!
+//! The serde derives are markers (see the vendored `serde` stand-in); actual
+//! serialization goes through the canonical string form, e.g. in
+//! `pdfws-stream`'s JSONL record path.
+
+use crate::registry::{WorkloadRegistry, WORKLOAD_VOCAB};
+use crate::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors from parsing or validating a [`WorkloadSpec`] (the shared
+/// `pdfws-spec` error with the workload vocabulary attached).
+pub type WorkloadSpecError = pdfws_spec::SpecError;
+
+/// A parsed, validated workload description: registered name + parameters.
+///
+/// Construct one by parsing (`"mergesort:n=4096".parse()`), from a live
+/// workload value ([`Workload::spec`]), or via [`WorkloadSpec::with_param`].
+/// Every parsed spec validates against the global
+/// [`WorkloadRegistry`](crate::registry::WorkloadRegistry), so it is always
+/// resolvable into a workload object with [`WorkloadSpec::build`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    name: String,
+    /// Canonically sorted `key -> value` parameters (only the explicitly-given
+    /// ones; defaults are applied by the factory at build time).
+    params: BTreeMap<String, String>,
+}
+
+impl WorkloadSpec {
+    /// Internal: build a spec that is already known valid (used by the
+    /// registry after validation and by the [`SpecSynth`] the workload
+    /// constructors report themselves through).
+    pub(crate) fn known_valid(name: &str, params: BTreeMap<String, String>) -> Self {
+        WorkloadSpec {
+            name: name.to_string(),
+            params,
+        }
+    }
+
+    /// A bare, *unvalidated* spec for an ad-hoc workload that is not in the
+    /// registry (e.g. a hand-built DAG).  It renders and compares like any
+    /// other spec but will not re-parse unless the name gets registered.
+    pub fn unregistered(name: impl Into<String>) -> Self {
+        WorkloadSpec {
+            name: name.into(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Parse and validate a spec string (same as `s.parse()`).
+    pub fn parse(s: &str) -> Result<Self, WorkloadSpecError> {
+        s.parse()
+    }
+
+    /// The registry key this spec resolves through ("mergesort", "spmv", ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The explicitly-given parameters, in canonical (sorted-by-key) order.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// The raw value of one parameter, if it was given.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+
+    /// A `u64` parameter, or `default` if it was not given.  The value parses
+    /// by construction (validated against the registry's
+    /// [`ParamKind::U64`](pdfws_spec::ParamKind::U64) declaration when the
+    /// spec was created).
+    pub fn u64_param(&self, key: &str, default: u64) -> u64 {
+        self.param(key)
+            .map(|v| v.parse().expect("validated u64 parameter"))
+            .unwrap_or(default)
+    }
+
+    /// A fraction parameter in `[0, 1]`, or `default` if it was not given.
+    pub fn fraction_param(&self, key: &str, default: f64) -> f64 {
+        self.param(key)
+            .map(|v| v.parse().expect("validated fraction parameter"))
+            .unwrap_or(default)
+    }
+
+    /// Add or replace one parameter, revalidating the result.  Consumes and
+    /// returns the spec so calls chain.
+    pub fn with_param(mut self, key: &str, value: &str) -> Result<Self, WorkloadSpecError> {
+        self.params.insert(key.to_string(), value.to_string());
+        WorkloadRegistry::global().validate(self.name, self.params)
+    }
+
+    /// The canonical string form (what [`fmt::Display`] prints): reports,
+    /// sweep tables and job-stream records all carry this, so two differently
+    /// parameterized instances of the same program stay distinguishable.
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+
+    /// Instantiate the workload this spec describes, via the global
+    /// [`WorkloadRegistry`](crate::registry::WorkloadRegistry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's name is not (or no longer) registered — parsed
+    /// specs are validated at construction, so this only affects
+    /// [`WorkloadSpec::unregistered`] values.
+    pub fn build(&self) -> Box<dyn Workload> {
+        WorkloadRegistry::global().build(self)
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        pdfws_spec::format_spec(f, &self.name, &self.params)
+    }
+}
+
+impl FromStr for WorkloadSpec {
+    type Err = WorkloadSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, params) = pdfws_spec::parse_spec(s, &WORKLOAD_VOCAB)?;
+        WorkloadRegistry::global().validate(name, params)
+    }
+}
+
+/// Builder the workload constructors use to report themselves as canonical
+/// specs: parameters equal to the registered (`small()`) defaults are omitted,
+/// so `MergeSort::small().spec()` is just `"mergesort"` and every synthesized
+/// spec re-parses to an identical value.
+#[derive(Debug)]
+pub struct SpecSynth {
+    name: &'static str,
+    params: BTreeMap<String, String>,
+}
+
+impl SpecSynth {
+    /// Start a synthesis for the registered `name`.
+    pub fn new(name: &'static str) -> Self {
+        SpecSynth {
+            name,
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Record a `u64` parameter if it differs from its registered default.
+    pub fn u64_if(mut self, key: &str, value: u64, default: u64) -> Self {
+        if value != default {
+            self.params.insert(key.to_string(), value.to_string());
+        }
+        self
+    }
+
+    /// Record a fraction parameter if it differs from its registered default.
+    pub fn fraction_if(mut self, key: &str, value: f64, default: f64) -> Self {
+        if value != default {
+            self.params.insert(key.to_string(), value.to_string());
+        }
+        self
+    }
+
+    /// Record a parameter unconditionally (used for `coarse`, whose absence
+    /// *is* the default).
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.params.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Finish into the canonical spec.
+    pub fn finish(self) -> WorkloadSpec {
+        WorkloadSpec::known_valid(self.name, self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_names_parse_and_display() {
+        for name in ["mergesort", "quicksort", "spmv", "scan", "synthetic"] {
+            let spec: WorkloadSpec = name.parse().unwrap();
+            assert_eq!(spec.name(), name);
+            assert_eq!(spec.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn parameters_are_canonicalised_sorted_by_key() {
+        let spec: WorkloadSpec = "mergesort:n=4096,grain=064".parse().unwrap();
+        assert_eq!(spec.to_string(), "mergesort:grain=64,n=4096");
+        let again: WorkloadSpec = spec.to_string().parse().unwrap();
+        assert_eq!(again, spec);
+        assert_eq!(spec.u64_param("grain", 32), 64);
+        assert_eq!(spec.u64_param("leaf-instr", 12), 12);
+    }
+
+    #[test]
+    fn unknown_workloads_and_params_are_rejected_helpfully() {
+        let err = "bogosort".parse::<WorkloadSpec>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown workload 'bogosort'"), "{msg}");
+        assert!(msg.contains("known workloads"), "{msg}");
+        assert!(msg.contains("mergesort"), "{msg}");
+
+        let err = "mergesort:keys=4".parse::<WorkloadSpec>().unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("workload 'mergesort' has no parameter 'keys'"),
+            "{msg}"
+        );
+        assert!(msg.contains("grain"), "{msg}");
+
+        let err = "mergesort:n=lots".parse::<WorkloadSpec>().unwrap_err();
+        assert!(err.to_string().contains("unsigned integer"), "{err}");
+    }
+
+    #[test]
+    fn structural_constraints_are_checked_at_parse_time() {
+        let err = "matmul:n=48".parse::<WorkloadSpec>().unwrap_err();
+        assert!(err.to_string().contains("power of two"), "{err}");
+        let err = "lu:block=48".parse::<WorkloadSpec>().unwrap_err();
+        assert!(err.to_string().contains("multiple"), "{err}");
+        let err = "mergesort:n=1".parse::<WorkloadSpec>().unwrap_err();
+        assert!(err.to_string().contains("at least"), "{err}");
+        let err = "mergesort:coarse=0".parse::<WorkloadSpec>().unwrap_err();
+        assert!(err.to_string().contains("coarse"), "{err}");
+    }
+
+    #[test]
+    fn fractions_parse_and_normalise() {
+        let spec: WorkloadSpec = "synthetic:shared-fraction=0.50".parse().unwrap();
+        assert_eq!(spec.to_string(), "synthetic:shared-fraction=0.5");
+        assert_eq!(spec.fraction_param("shared-fraction", 0.0), 0.5);
+        let err = "synthetic:shared-fraction=1.5"
+            .parse::<WorkloadSpec>()
+            .unwrap_err();
+        assert!(err.to_string().contains("between 0 and 1"), "{err}");
+    }
+
+    #[test]
+    fn with_param_revalidates() {
+        let spec: WorkloadSpec = "scan".parse().unwrap();
+        let spec = spec.with_param("n", "2048").unwrap();
+        assert_eq!(spec.to_string(), "scan:n=2048");
+        let err = spec.with_param("n", "minus-one").unwrap_err();
+        assert!(err.to_string().contains("unsigned integer"), "{err}");
+    }
+
+    #[test]
+    fn unregistered_specs_render_but_do_not_parse() {
+        let spec = WorkloadSpec::unregistered("adhoc-dag");
+        assert_eq!(spec.to_string(), "adhoc-dag");
+        assert!("adhoc-dag".parse::<WorkloadSpec>().is_err());
+    }
+
+    #[test]
+    fn empty_specs_are_rejected() {
+        use pdfws_spec::SpecErrorKind;
+        for raw in ["", "   ", ":n=1"] {
+            let err = raw.parse::<WorkloadSpec>().unwrap_err();
+            assert_eq!(err.kind, SpecErrorKind::Empty, "{raw:?}");
+            assert_eq!(err.to_string(), "empty workload spec");
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! L2; scattered co-scheduling keeps re-fetching it.
 
 use crate::layout::AddressSpace;
+use crate::spec::{SpecSynth, WorkloadSpec};
 use crate::{Workload, WorkloadClass};
 use pdfws_task_dag::builder::DagBuilder;
 use pdfws_task_dag::{AccessPattern, TaskDag};
@@ -140,6 +141,19 @@ impl Workload for SpMv {
     fn data_bytes(&self) -> u64 {
         let nnz_total = self.rows * self.nnz_per_row;
         nnz_total * ELEM_BYTES + nnz_total * 4 + 2 * self.rows * ELEM_BYTES
+    }
+
+    fn spec(&self) -> WorkloadSpec {
+        let d = SpMv::small();
+        SpecSynth::new("spmv")
+            .u64_if("rows", self.rows, d.rows)
+            .u64_if("nnz-per-row", self.nnz_per_row, d.nnz_per_row)
+            .u64_if("rows-per-task", self.rows_per_task, d.rows_per_task)
+            .u64_if("iterations", self.iterations as u64, d.iterations as u64)
+            .u64_if("locality-window", self.locality_window, d.locality_window)
+            .u64_if("seed", self.seed, d.seed)
+            .u64_if("instr-per-nnz", self.instr_per_nnz, d.instr_per_nnz)
+            .finish()
     }
 }
 

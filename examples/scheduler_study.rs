@@ -2,9 +2,11 @@
 //! workload from each application class and print how the PDF-vs-WS comparison
 //! changes with the class.
 //!
-//! All four workloads go into one [`SweepGrid`], so every
+//! The workload axis is expressed entirely as **workload spec strings** — the
+//! same grammar the bench binaries' `--workload` flag and the job-stream mixes
+//! accept — and all four go into one [`SweepGrid`], so every
 //! (workload × cores × scheduler) cell runs as one cell of a single sweep on
-//! the worker pool — and the output is bit-identical for any thread count.
+//! the worker pool, and the output is bit-identical for any thread count.
 //!
 //! ```text
 //! cargo run --release --example scheduler_study
@@ -13,7 +15,6 @@
 
 use pdfws::metrics::{Series, Table};
 use pdfws::prelude::*;
-use pdfws::workloads::Workload;
 
 fn study(report: &ExperimentReport, class: &str, cores: &[usize]) -> Table {
     let mut table = Table::new(
@@ -42,28 +43,31 @@ fn study(report: &ExperimentReport, class: &str, cores: &[usize]) -> Table {
 
 fn main() {
     let cores = [1usize, 4, 16];
-    // One representative per class, at example-friendly sizes.
-    let mergesort = MergeSort::new(1 << 16);
-    let spmv = SpMv::new(1 << 14);
-    let scan = ParallelScan::new(1 << 18);
-    let compute = ComputeKernel::new(1 << 14);
-    let workloads: Vec<&dyn Workload> = vec![&mergesort, &spmv, &scan, &compute];
+    // One representative per class, at example-friendly sizes, each named by
+    // its spec string — edit these lines (or pass different strings from your
+    // own config) to study any registered workload.
+    let workloads = [
+        "mergesort:grain=2048,n=65536",          // divide-and-conquer
+        "spmv:rows=16384",                       // bandwidth-limited irregular
+        "scan:n=262144,grain=8192",              // low data reuse
+        "compute-kernel:items=16384,grain=1024", // compute-bound
+    ];
 
     let mut grid = SweepGrid::new()
         .cores(&cores)
         .specs(&SchedulerSpec::paper_pair());
-    for w in &workloads {
-        grid = grid.workload(WorkloadSpec::from_workload(*w));
+    let mut classes = Vec::new();
+    for w in workloads {
+        let instance: WorkloadInstance = w.parse().expect("example specs are registered");
+        classes.push(instance.class);
+        grid = grid.workload(instance);
     }
     let sweep = SweepRunner::from_env()
         .run(&grid)
         .expect("default configurations exist");
 
-    for (w, report) in workloads.iter().zip(sweep.reports()) {
-        println!(
-            "{}",
-            study(report, &w.class().to_string(), &cores).to_text()
-        );
+    for (class, report) in classes.iter().zip(sweep.reports()) {
+        println!("{}", study(report, &class.to_string(), &cores).to_text());
     }
     println!(
         "Reading the tables: for the divide-and-conquer and irregular workloads the ws_mpki\n\

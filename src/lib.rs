@@ -12,7 +12,8 @@
 //!   PDF/WS/hybrid/static policies) and the cycle-level execution engine.
 //! * [`runtime`] — real-thread fork-join runtimes implementing both policies.
 //! * [`workloads`] — the benchmark programs (merge sort, matmul, LU, SpMV, hash
-//!   join, scan, …) as DAG generators.
+//!   join, scan, …) as DAG generators behind the open `WorkloadSpec` API
+//!   (workload registry, typed `name:key=value` parameters).
 //! * [`metrics`] — L2 misses per 1000 instructions, speedups, latency quantiles,
 //!   traffic, reporting.
 //! * [`stream`] — the multiprogrammed job-stream subsystem: open/closed-loop DAG

@@ -24,7 +24,7 @@ fn sweep_over_the_paper_core_counts_completes_for_a_small_mergesort() {
 
 #[test]
 fn every_workload_class_runs_under_every_scheduler() {
-    let workloads: Vec<WorkloadSpec> = vec![
+    let workloads: Vec<WorkloadInstance> = vec![
         MergeSort::small().into_spec(),
         QuickSort::small().into_spec(),
         MatMul::small().into_spec(),

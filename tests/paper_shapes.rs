@@ -116,7 +116,7 @@ fn coarse_grained_mergesort_cannot_exploit_constructive_sharing() {
     // thing, so PDF's traffic advantage disappears, while the fine-grained version
     // of the same program retains it.
     let cores = 8;
-    let run = |spec: WorkloadSpec| {
+    let run = |spec: WorkloadInstance| {
         Experiment::new(spec)
             .cores(cores)
             .with_config(small_cache_config(cores))

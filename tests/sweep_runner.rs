@@ -62,13 +62,13 @@ proptest! {
             ],
         };
         let grid = SweepGrid::new()
-            .workload(WorkloadSpec::from_parts(
+            .workload(WorkloadInstance::from_parts(
                 "a",
                 WorkloadClass::DivideAndConquer,
                 tree_a.into_dag().unwrap(),
                 1 << 16,
             ))
-            .workload(WorkloadSpec::from_parts(
+            .workload(WorkloadInstance::from_parts(
                 "b",
                 WorkloadClass::LowReuse,
                 tree_b.into_dag().unwrap(),
@@ -134,7 +134,7 @@ impl<W: Workload> Workload for CountingWorkload<W> {
 #[test]
 fn build_dag_runs_exactly_once_per_sweep() {
     let counting = CountingWorkload::new(MergeSort::small());
-    let spec = WorkloadSpec::from_workload(&counting);
+    let spec = WorkloadInstance::from_workload(&counting);
     assert_eq!(counting.builds.load(Ordering::SeqCst), 1);
 
     let grid = SweepGrid::new()
@@ -163,7 +163,7 @@ fn build_dag_runs_exactly_once_per_sweep() {
     assert_eq!(
         counting.builds.load(Ordering::SeqCst),
         1,
-        "re-running experiments over the same WorkloadSpec must not rebuild"
+        "re-running experiments over the same WorkloadInstance must not rebuild"
     );
 }
 
@@ -171,7 +171,7 @@ fn build_dag_runs_exactly_once_per_sweep() {
 /// stay deterministic under it.
 #[test]
 fn experiment_and_stream_threads_are_deterministic() {
-    let spec = WorkloadSpec::from_workload(&ParallelScan::small());
+    let spec = WorkloadInstance::from_workload(&ParallelScan::small());
     let seq = Experiment::new(spec.clone())
         .core_sweep(&[1, 2])
         .threads(1)
