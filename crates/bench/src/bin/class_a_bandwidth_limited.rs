@@ -11,13 +11,18 @@
 //! `--list` prints the spec grammars.
 
 use pdfws_bench::{
-    compare_pdf_ws_all, comparison_table, maybe_list, quick_mode, scaled, sizes, threads_arg,
-    workloads_or, ComparisonRow,
+    compare_pdf_ws_all, comparison_table, emit_tables, maybe_help, maybe_list, quick_mode, scaled,
+    sizes, text_output, threads_arg, workloads_or, ComparisonRow,
 };
 use pdfws_core::prelude::*;
 use pdfws_workloads::{HashJoin, LuDecomposition, MatMul, MergeSort, QuickSort, SpMv};
 
 fn main() {
+    maybe_help(
+        "class_a_bandwidth_limited",
+        "Class A: divide-and-conquer + bandwidth-limited irregular programs, PDF vs WS (the paper's 1.3-1.6x / 13-41% claims)",
+        &[],
+    );
     maybe_list();
     let quick = quick_mode();
     let cores = [8usize, 16, 32];
@@ -46,12 +51,12 @@ fn main() {
         "Class A: divide-and-conquer + bandwidth-limited irregular (PDF vs WS)",
         &rows,
     );
-    println!("{}", table.to_text());
-    println!("CSV:\n{}", table.to_csv());
+    emit_tables(&[&table]);
 
-    // Summary against the paper's headline numbers (at 32 cores).
+    // Summary against the paper's headline numbers (at 32 cores) — prose, so
+    // text mode only (--csv/--json stdout stays machine-parseable).
     let at32: Vec<&ComparisonRow> = rows.iter().filter(|r| r.cores == 32).collect();
-    if !at32.is_empty() {
+    if text_output() && !at32.is_empty() {
         let speedups: Vec<f64> = at32.iter().map(|r| r.relative_speedup).collect();
         let reductions: Vec<f64> = at32.iter().map(|r| r.traffic_reduction_percent).collect();
         println!(

@@ -13,13 +13,18 @@
 //! `--list` prints the spec grammars.
 
 use pdfws_bench::{
-    compare_pdf_ws_all, comparison_table, maybe_list, quick_mode, scaled, sizes, threads_arg,
-    workloads_or, ComparisonRow,
+    compare_pdf_ws_all, comparison_table, emit_tables, maybe_help, maybe_list, quick_mode, scaled,
+    sizes, text_output, threads_arg, workloads_or, ComparisonRow,
 };
 use pdfws_core::prelude::*;
 use pdfws_workloads::{ComputeKernel, ParallelScan};
 
 fn main() {
+    maybe_help(
+        "class_b_neutral",
+        "Class B: limited-reuse and compute-bound programs where PDF and WS are expected to tie",
+        &[],
+    );
     maybe_list();
     let quick = quick_mode();
     let cores = [8usize, 16, 32];
@@ -42,15 +47,16 @@ fn main() {
         "Class B: limited reuse / not bandwidth-bound (PDF vs WS, expected to tie)",
         &rows,
     );
-    println!("{}", table.to_text());
-    println!("CSV:\n{}", table.to_csv());
+    emit_tables(&[&table]);
 
     let max_gap = rows
         .iter()
         .map(|r| (r.relative_speedup - 1.0).abs())
         .fold(0.0f64, f64::max);
-    println!(
-        "Largest |relative speedup - 1| across class-B cells: {:.3} (paper: roughly the same execution times)",
-        max_gap
-    );
+    if text_output() {
+        println!(
+            "Largest |relative speedup - 1| across class-B cells: {:.3} (paper: roughly the same execution times)",
+            max_gap
+        );
+    }
 }

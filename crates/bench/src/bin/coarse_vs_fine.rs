@@ -20,12 +20,20 @@
 //!     --workload mergesort:n=65536 --workload mergesort:coarse=8,n=65536
 //! ```
 
-use pdfws_bench::{maybe_list, quick_mode, runner, scaled, sizes, threads_arg, workloads_or};
+use pdfws_bench::{
+    emit_tables, maybe_help, maybe_list, quick_mode, runner, scaled, sizes, text_output,
+    threads_arg, workloads_or,
+};
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
 use pdfws_workloads::{MatMul, MergeSort};
 
 fn main() {
+    maybe_help(
+        "coarse_vs_fine",
+        "Coarse-grained (SMP-style) vs fine-grained threading under PDF: L2 MPKI and speedup",
+        &[],
+    );
     maybe_list();
     let quick = quick_mode();
     let cores = [8usize, 16, 32];
@@ -90,12 +98,11 @@ fn main() {
         speedup_table.push_series(Series::new(variant.spec.canonical(), speedup));
     }
 
-    println!("{}", mpki_table.to_text());
-    println!("{}", speedup_table.to_text());
-    println!("CSV (mpki):\n{}", mpki_table.to_csv());
-    println!("CSV (speedup):\n{}", speedup_table.to_csv());
-    println!(
-        "Expected shape: the fine-grained variants scale and keep MPKI low; the coarse \
-         variants lose both the load balance and the constructive-sharing benefit."
-    );
+    emit_tables(&[&mpki_table, &speedup_table]);
+    if text_output() {
+        println!(
+            "Expected shape: the fine-grained variants scale and keep MPKI low; the coarse \
+             variants lose both the load balance and the constructive-sharing benefit."
+        );
+    }
 }

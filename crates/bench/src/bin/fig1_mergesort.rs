@@ -9,6 +9,8 @@
 //! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --quick   # smoke test
 //! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --threads 4
 //! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --workload mergesort:n=4096
+//! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --csv     # CSV blocks
+//! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --json    # JSONL rows
 //! cargo run --release -p pdfws-bench --bin fig1_mergesort -- --list    # spec grammars
 //! ```
 //!
@@ -17,13 +19,18 @@
 //! for arbitrary programs.
 
 use pdfws_bench::{
-    figure1_tables_from, maybe_list, paper_core_counts, quick_mode, scaled, sizes,
-    steals_table_from, sweep_reports, threads_arg, workloads_or,
+    emit_tables, figure1_tables_from, maybe_help, maybe_list, paper_core_counts, quick_mode,
+    scaled, sizes, steals_table_from, sweep_reports, threads_arg, workloads_or,
 };
 use pdfws_core::prelude::*;
 use pdfws_workloads::MergeSort;
 
 fn main() {
+    maybe_help(
+        "fig1_mergesort",
+        "Figure 1: merge sort L2 MPKI + speedup under PDF vs WS (plus the per-spec work-migration table), 1-32 cores",
+        &[],
+    );
     maybe_list();
     let quick = quick_mode();
     let n_keys = scaled(sizes::MERGESORT_KEYS, quick);
@@ -49,15 +56,9 @@ fn main() {
     let reports = sweep_reports(&workloads, &cores, &specs);
     for report in &reports {
         let (mpki, speedup) = figure1_tables_from(report, &cores);
-        println!("{}", mpki.to_text());
-        println!("{}", speedup.to_text());
-        println!("CSV (L2 misses / 1000 instr):\n{}", mpki.to_csv());
-        println!("CSV (speedup over sequential):\n{}", speedup.to_csv());
-
         // Work migrations per scheduler spec (steal events / cross-core
         // placements), including two parameterized variants of the same policy.
         let steals = steals_table_from(report, &cores, &specs);
-        println!("{}", steals.to_text());
-        println!("CSV (migrations):\n{}", steals.to_csv());
+        emit_tables(&[&mpki, &speedup, &steals]);
     }
 }

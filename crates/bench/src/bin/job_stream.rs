@@ -11,14 +11,28 @@
 //!
 //! `--workload <spec>` (repeatable) serves a custom mix of the given workload
 //! specs (equal weights) instead of the three built-in class mixes; `--list`
-//! prints the spec grammars.
+//! prints the spec grammars.  `--json` emits the raw per-job [`JobRecord`]
+//! JSONL instead of the summary table — each record carries its full
+//! scheduler and workload spec strings plus the `mix`/`jobs_per_mcycle`
+//! coordinates of its (mix × offered load) cell, so the concatenated stream
+//! stays attributable per load point; `--csv` emits the summary as CSV.
+//!
+//! [`JobRecord`]: pdfws_stream::JobRecord
 
-use pdfws_bench::{maybe_list, quick_mode, threads_arg, workload_spec_args};
+use pdfws_bench::{
+    emit_tables, maybe_help, maybe_list, output_mode, quick_mode, threads_arg, workload_spec_args,
+    OutputMode,
+};
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
 use pdfws_stream::JobMix;
 
 fn main() {
+    maybe_help(
+        "job_stream",
+        "PDF vs WS serving a multiprogrammed job stream: tail latency and throughput per (mix x offered load)",
+        &[],
+    );
     maybe_list();
     let quick = quick_mode();
     let threads = threads_arg();
@@ -45,6 +59,7 @@ fn main() {
     let mut ws_tput = Vec::new();
     let mut tail_ratio = Vec::new();
 
+    let json = output_mode() == OutputMode::Json;
     for mix in &mixes {
         for &rate in &rates {
             let report = StreamExperiment::new(mix.clone())
@@ -58,6 +73,18 @@ fn main() {
                 .threads(threads)
                 .run()
                 .expect("default configurations exist for 8 cores");
+            if json {
+                // The per-job record sink: one JSONL line per completed job,
+                // each carrying its full scheduler and workload spec strings.
+                // Job ids restart per (mix × rate) cell, so prepend the cell
+                // coordinates to every record to keep the concatenated stream
+                // attributable to its load point.
+                let mix_name = mix.name.replace('\\', "\\\\").replace('"', "\\\"");
+                for line in report.to_jsonl().lines() {
+                    let record = line.strip_prefix('{').expect("records are JSON objects");
+                    println!("{{\"mix\":\"{mix_name}\",\"jobs_per_mcycle\":{rate},{record}");
+                }
+            }
             let pdf = report.summary(&SchedulerSpec::pdf()).expect("pdf ran");
             let ws = report.summary(&SchedulerSpec::ws()).expect("ws ran");
             rows.push(format!("{}@{}", mix.name, rate));
@@ -86,6 +113,7 @@ fn main() {
     table.push_series(Series::new("ws_jobs_per_Mcyc", ws_tput));
     table.push_series(Series::new("ws/pdf_p95", tail_ratio));
 
-    println!("{}", table.to_text());
-    println!("{}", table.to_csv());
+    if !json {
+        emit_tables(&[&table]);
+    }
 }

@@ -19,7 +19,10 @@
 //! `--workload <spec>` replaces the default merge sort (the first spec is
 //! used; both parts study one program); `--list` prints the spec grammars.
 
-use pdfws_bench::{maybe_list, quick_mode, runner, scaled, sizes, threads_arg, workload_spec_args};
+use pdfws_bench::{
+    emit_tables, maybe_help, maybe_list, quick_mode, runner, scaled, sizes, text_output,
+    threads_arg, workload_spec_args,
+};
 use pdfws_cache_sim::power::{estimate_energy, EnergyModel};
 use pdfws_cmp_model::{default_config, sweep::sweep_l2_fraction};
 use pdfws_core::prelude::*;
@@ -29,6 +32,11 @@ use pdfws_workloads::MergeSort;
 const CORES: usize = 8;
 
 fn main() {
+    maybe_help(
+        "power_and_multiprogramming",
+        "PDF's smaller working set: L2 power-down slowdown/energy and co-runner (multiprogramming) slowdown",
+        &[],
+    );
     maybe_list();
     let quick = quick_mode();
     let n_keys = scaled(sizes::MERGESORT_KEYS, quick);
@@ -97,8 +105,7 @@ fn main() {
         ));
         energy_table.push_series(Series::new(spec.canonical(), energies));
     }
-    println!("{}", slowdown_table.to_text());
-    println!("{}", energy_table.to_text());
+    emit_tables(&[&slowdown_table, &energy_table]);
 
     // --- Part 2: multiprogramming (co-runner polluting the shared L2) --------
     let disturbance = Disturbance {
@@ -138,9 +145,11 @@ fn main() {
             vec![1.0, noisy_cycles / alone_cycles],
         ));
     }
-    println!("{}", mp_table.to_text());
-    println!(
-        "Expected shape: PDF's slowdown under reduced L2 and under the co-runner is smaller \
-         than WS's, and powering down segments saves leakage energy."
-    );
+    emit_tables(&[&mp_table]);
+    if text_output() {
+        println!(
+            "Expected shape: PDF's slowdown under reduced L2 and under the co-runner is smaller \
+             than WS's, and powering down segments saves leakage energy."
+        );
+    }
 }

@@ -11,9 +11,16 @@
 //! `--workload <spec>` are validated but no-ops here — the table is derived
 //! analytically, nothing is simulated.
 
-use pdfws_bench::{config_table, maybe_list, paper_core_counts, workload_spec_args};
+use pdfws_bench::{
+    config_table, emit_tables, maybe_help, maybe_list, paper_core_counts, workload_spec_args,
+};
 
 fn main() {
+    maybe_help(
+        "table_configs",
+        "The paper's 'CMP configurations studied' table (240 mm2 die, 1-32 cores) — analytic, nothing is simulated",
+        &[],
+    );
     maybe_list();
     let ignored = workload_spec_args();
     if !ignored.is_empty() {
@@ -27,6 +34,5 @@ fn main() {
         );
     }
     let table = config_table(&paper_core_counts());
-    println!("{}", table.to_text());
-    println!("CSV:\n{}", table.to_csv());
+    emit_tables(&[&table]);
 }

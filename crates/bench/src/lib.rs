@@ -15,10 +15,17 @@
 //! registered workload specs, e.g. `--workload mergesort:n=4096 --workload
 //! spmv`) and `--list` (print both registries' grammars — every scheduler
 //! policy and workload with its typed parameters — and exit).
+//!
+//! Output flows through one shared emission path ([`emit_tables`] /
+//! [`emit_figures`], built on the `pdfws-report` renderers): the default is
+//! aligned text tables, `--csv` switches every binary to CSV blocks, and
+//! `--json` to self-describing JSONL rows (`job_stream --json` emits the
+//! per-job records instead).  `--help` prints the uniform flag table.
 
 use pdfws_cmp_model::default_config;
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
+use pdfws_report::Figure;
 
 /// The core counts on the x-axis of Figure 1.
 pub fn paper_core_counts() -> Vec<usize> {
@@ -101,6 +108,49 @@ pub fn runner() -> SweepRunner {
     SweepRunner::new(threads_arg())
 }
 
+/// The uniform flags every experiment binary accepts, as (flag, help) pairs —
+/// the rows [`maybe_help`] prints and `DESIGN.md`'s flag table documents.
+pub const UNIFORM_FLAGS: &[(&str, &str)] = &[
+    ("--quick", "shrink problem sizes to smoke-test scale"),
+    (
+        "--threads N",
+        "sweep worker threads (default: PDFWS_THREADS, else all cores); output is bit-identical for every N",
+    ),
+    (
+        "--workload <spec>",
+        "(repeatable) replace the default workload axis with registered workload specs",
+    ),
+    ("--csv", "print CSV blocks instead of aligned text tables"),
+    ("--json", "print self-describing JSONL rows instead of tables"),
+    (
+        "--list",
+        "print both registries' spec grammars (schedulers and workloads) and exit",
+    ),
+    ("--help", "print this flag table and exit"),
+];
+
+/// If the binary was invoked with `--help` (or `-h`), print the description
+/// and the uniform flag table — plus any binary-specific `extra` flags — and
+/// exit.  Call this before doing any work.
+pub fn maybe_help(bin: &str, about: &str, extra: &[(&str, &str)]) {
+    if !std::env::args().any(|a| a == "--help" || a == "-h") {
+        return;
+    }
+    println!("{bin} — {about}\n");
+    println!("Usage: cargo run --release -p pdfws-bench --bin {bin} [-- FLAGS]\n");
+    println!("Flags:");
+    let width = UNIFORM_FLAGS
+        .iter()
+        .chain(extra)
+        .map(|(f, _)| f.len())
+        .max()
+        .unwrap_or(0);
+    for (flag, help) in extra.iter().chain(UNIFORM_FLAGS) {
+        println!("  {flag:<width$}  {help}");
+    }
+    std::process::exit(0);
+}
+
 /// If the binary was invoked with `--list`, print both registries' spec
 /// grammars — every scheduler policy and every workload, with their typed
 /// parameters — and exit.  Call this before doing any work.
@@ -161,6 +211,69 @@ pub fn workloads_or(defaults: impl FnOnce() -> Vec<WorkloadInstance>) -> Vec<Wor
     }
 }
 
+/// How a binary renders its tables, selected by the uniform `--csv` /
+/// `--json` flags (default: aligned text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Aligned, human-readable text tables (the default).
+    Text,
+    /// CSV blocks, each preceded by a `# figure: <id>` comment line.
+    Csv,
+    /// Self-describing JSONL rows (one object per table row, tagged with the
+    /// figure id).
+    Json,
+}
+
+/// The output mode selected on the command line.  `--csv` and `--json`
+/// together abort: the modes are exclusive.
+pub fn output_mode() -> OutputMode {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let json = std::env::args().any(|a| a == "--json");
+    match (csv, json) {
+        (true, true) => {
+            eprintln!("error: --csv and --json are mutually exclusive");
+            std::process::exit(2);
+        }
+        (true, false) => OutputMode::Csv,
+        (false, true) => OutputMode::Json,
+        (false, false) => OutputMode::Text,
+    }
+}
+
+/// Print figures in the selected [`output_mode`] — the single emission path
+/// of the experiment binaries, built on the `pdfws-report` renderers.
+pub fn emit_figures(figures: &[Figure]) {
+    emit_figures_as(output_mode(), figures);
+}
+
+/// [`emit_figures`] with an explicit mode (testable without process args).
+pub fn emit_figures_as(mode: OutputMode, figures: &[Figure]) {
+    for figure in figures {
+        match mode {
+            OutputMode::Text => println!("{}", figure.table.to_text()),
+            OutputMode::Csv => print!("# figure: {}\n{}\n", figure.id, figure.to_csv()),
+            OutputMode::Json => print!("{}", figure.to_jsonl()),
+        }
+    }
+}
+
+/// Wrap tables as figures (id derived from each title) and emit them in the
+/// selected output mode.
+pub fn emit_tables(tables: &[&Table]) {
+    let figures: Vec<Figure> = tables
+        .iter()
+        .map(|&t| Figure::from_table(t.clone()))
+        .collect();
+    emit_figures(&figures);
+}
+
+/// True when the selected output mode is the human-readable text default —
+/// the binaries gate their prose summary lines on this, so `--csv` / `--json`
+/// stdout stays machine-parseable.
+pub fn text_output() -> bool {
+    output_mode() == OutputMode::Text
+}
+
 /// Run one (workloads × cores × specs) grid on the shared runner and return
 /// one report per workload.  Every workload's DAG is built once and shared by
 /// all of its cells; results are deterministic for any `--threads` value.
@@ -191,39 +304,14 @@ pub fn sweep_report(
 
 /// The two Figure-1 panels (L2 misses per 1000 instructions, speedup over the
 /// one-core run) for PDF and WS, derived from an existing report that must
-/// contain those cells.
+/// contain those cells.  Thin veneer over the report's own table emission
+/// ([`ExperimentReport::mpki_table`] / [`ExperimentReport::speedup_table`]).
 pub fn figure1_tables_from(report: &ExperimentReport, core_counts: &[usize]) -> (Table, Table) {
-    let x: Vec<String> = core_counts.iter().map(|c| c.to_string()).collect();
-    let mut mpki = Table::new(
-        format!(
-            "{}: L2 misses per 1000 instructions (Figure 1, left)",
-            report.workload
-        ),
-        "cores",
-        x.clone(),
-    );
-    let mut speedup = Table::new(
-        format!(
-            "{}: speedup over sequential (Figure 1, right)",
-            report.workload
-        ),
-        "cores",
-        x,
-    );
-    for spec in SchedulerSpec::paper_pair() {
-        let mut mpki_vals = Vec::new();
-        let mut speedup_vals = Vec::new();
-        for &cores in core_counts {
-            let run = report
-                .find(cores, &spec)
-                .expect("every sweep cell was simulated");
-            mpki_vals.push(run.metrics.l2_mpki());
-            speedup_vals.push(report.speedup(run));
-        }
-        mpki.push_series(Series::new(spec.canonical(), mpki_vals));
-        speedup.push_series(Series::new(spec.canonical(), speedup_vals));
-    }
-    (mpki, speedup)
+    let pair = SchedulerSpec::paper_pair();
+    (
+        report.mpki_table(core_counts, &pair),
+        report.speedup_table(core_counts, &pair),
+    )
 }
 
 /// Run one workload across the paper's core counts under PDF and WS and return
@@ -244,23 +332,7 @@ pub fn steals_table_from(
     core_counts: &[usize],
     specs: &[SchedulerSpec],
 ) -> Table {
-    let x: Vec<String> = core_counts.iter().map(|c| c.to_string()).collect();
-    let mut table = Table::new(
-        format!(
-            "{}: work migrations (steals) per scheduler spec",
-            report.workload
-        ),
-        "cores",
-        x,
-    );
-    for spec in specs {
-        let values: Vec<f64> = core_counts
-            .iter()
-            .map(|&c| report.find(c, spec).expect("cell simulated").metrics.steals as f64)
-            .collect();
-        table.push_series(Series::new(spec.canonical(), values));
-    }
-    table
+    report.migrations_table(core_counts, specs)
 }
 
 /// [`steals_table_from`] plus the sweep that feeds it.

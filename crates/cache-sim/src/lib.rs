@@ -12,9 +12,10 @@
 //! * [`hierarchy::CmpCacheHierarchy`] — per-core private L1s in front of one shared,
 //!   inclusive L2 with a directory of L1 sharers, MSI-style invalidations and
 //!   back-invalidation on L2 eviction.
-//! * [`power::PoweredL2`] — the cache-segment power-down model used for the paper's
-//!   "PDF's smaller working sets provide opportunities to power down segments of
-//!   the cache" finding.
+//! * [`power::estimate_energy`] / [`power::EnergyModel`] — the leakage/dynamic
+//!   energy model behind the paper's "PDF's smaller working sets provide
+//!   opportunities to power down segments of the cache" finding (the powered
+//!   L2 fractions themselves come from `pdfws_cmp_model::sweep::sweep_l2_fraction`).
 //! * [`working_set::WorkingSetProfiler`] — distinct-blocks-in-window profiling used
 //!   to compare aggregate working sets under the two schedulers.
 //!

@@ -1,13 +1,14 @@
 //! The experiment builder: sweep (cores × scheduler) cells over one workload.
 //!
 //! `Experiment` is a one-workload veneer over the workspace's single
-//! sweep-execution path, [`SweepGrid`](crate::sweep::SweepGrid) /
-//! [`SweepRunner`](crate::sweep::SweepRunner); multi-workload grids use that
+//! sweep-execution path, [`SweepGrid`] /
+//! [`SweepRunner`]; multi-workload grids use that
 //! API directly.
 
 use crate::spec::WorkloadInstance;
 use crate::sweep::{SweepGrid, SweepRunner};
 use pdfws_cmp_model::{CmpConfig, ModelError};
+use pdfws_metrics::{Series, Table};
 use pdfws_schedulers::{SchedulerSpec, SimOptions, SimResult};
 use pdfws_workloads::WorkloadSpecError;
 use std::collections::HashMap;
@@ -158,6 +159,83 @@ impl ExperimentReport {
             return Some(0.0);
         }
         Some((wsb as f64 - pdf.metrics.offchip_bytes() as f64) / wsb as f64 * 100.0)
+    }
+
+    /// Render one derived metric as a [`Table`] over `core_counts` (rows) ×
+    /// `specs` (one series per scheduler spec, labelled by canonical string).
+    /// This is the single table-emission path the figure builders and the
+    /// artifact renderers (`pdfws-report`) share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested `(cores, spec)` cell was not part of the sweep.
+    pub fn metric_table(
+        &self,
+        title: impl Into<String>,
+        core_counts: &[usize],
+        specs: &[SchedulerSpec],
+        metric: impl Fn(&ExperimentReport, &RunRecord) -> f64,
+    ) -> Table {
+        let x: Vec<String> = core_counts.iter().map(|c| c.to_string()).collect();
+        let mut table = Table::new(title, "cores", x);
+        for spec in specs {
+            let values: Vec<f64> = core_counts
+                .iter()
+                .map(|&cores| {
+                    let run = self.find(cores, spec).unwrap_or_else(|| {
+                        panic!(
+                            "no ({cores} cores, {spec}) cell in the {} sweep",
+                            self.workload
+                        )
+                    });
+                    metric(self, run)
+                })
+                .collect();
+            table.push_series(Series::new(spec.canonical(), values));
+        }
+        table
+    }
+
+    /// L2 misses per 1000 instructions over `core_counts` × `specs` — the
+    /// paper's Figure 1 left panel.
+    pub fn mpki_table(&self, core_counts: &[usize], specs: &[SchedulerSpec]) -> Table {
+        self.metric_table(
+            format!(
+                "{}: L2 misses per 1000 instructions (Figure 1, left)",
+                self.workload
+            ),
+            core_counts,
+            specs,
+            |_, run| run.metrics.l2_mpki(),
+        )
+    }
+
+    /// Speedup over the one-core sequential baseline over `core_counts` ×
+    /// `specs` — the paper's Figure 1 right panel.
+    pub fn speedup_table(&self, core_counts: &[usize], specs: &[SchedulerSpec]) -> Table {
+        self.metric_table(
+            format!(
+                "{}: speedup over sequential (Figure 1, right)",
+                self.workload
+            ),
+            core_counts,
+            specs,
+            |report, run| report.speedup(run),
+        )
+    }
+
+    /// Work migrations (steal events for the deque policies, cross-core
+    /// placements for `static`) over `core_counts` × `specs`.
+    pub fn migrations_table(&self, core_counts: &[usize], specs: &[SchedulerSpec]) -> Table {
+        self.metric_table(
+            format!(
+                "{}: work migrations (steals) per scheduler spec",
+                self.workload
+            ),
+            core_counts,
+            specs,
+            |_, run| run.metrics.steals as f64,
+        )
     }
 }
 
@@ -313,6 +391,35 @@ mod tests {
         assert!(report.pdf_over_ws_speedup(4).is_some());
         assert!(report.pdf_traffic_reduction_percent(4).is_some());
         assert!(report.pdf_over_ws_speedup(16).is_none());
+    }
+
+    #[test]
+    fn metric_tables_render_requested_cells() {
+        let specs = [SchedulerSpec::pdf(), SchedulerSpec::ws()];
+        let report = Experiment::new(MergeSort::small().into_spec())
+            .core_sweep(&[1, 2])
+            .schedulers(&specs)
+            .run()
+            .unwrap();
+        let mpki = report.mpki_table(&[1, 2], &specs);
+        assert_eq!(mpki.rows(), 2);
+        assert_eq!(mpki.series.len(), 2);
+        assert!(mpki.title.starts_with("mergesort:"));
+        let speedup = report.speedup_table(&[1], &specs);
+        // One core under the baseline configuration: PDF speedup is exactly 1.
+        assert!((speedup.series[0].values[0] - 1.0).abs() < 1e-9);
+        let migrations = report.migrations_table(&[2], &specs);
+        assert_eq!(migrations.series[0].values, vec![0.0]); // pdf never migrates
+    }
+
+    #[test]
+    #[should_panic(expected = "no (16 cores, pdf) cell")]
+    fn metric_tables_panic_on_missing_cells() {
+        let report = Experiment::new(MergeSort::small().into_spec())
+            .cores(2)
+            .run()
+            .unwrap();
+        report.mpki_table(&[16], &[SchedulerSpec::pdf()]);
     }
 
     #[test]

@@ -25,8 +25,8 @@
 //! ```
 //!
 //! Underneath, everything executes through the [`sweep`] module —
-//! [`SweepGrid`](sweep::SweepGrid) describes a (workload × cores × spec)
-//! grid and [`SweepRunner`](sweep::SweepRunner) runs its cells on a worker
+//! [`SweepGrid`] describes a (workload × cores × spec)
+//! grid and [`SweepRunner`] runs its cells on a worker
 //! pool with bit-identical results for every thread count, sharing each
 //! workload's DAG by `Arc` across all cells.  Multi-workload sweeps use that
 //! API directly; `Experiment::threads(n)` / `StreamExperiment::threads(n)`

@@ -8,6 +8,7 @@
 
 use crate::experiment::ExperimentError;
 use crate::sweep::SweepRunner;
+use pdfws_metrics::{Series, Table};
 use pdfws_schedulers::{SchedulerSpec, SimOptions};
 use pdfws_stream::{
     run_stream_sim_with_jobs, validate_stream_cfg, AdmissionPolicy, ArrivalProcess, JobMix,
@@ -171,6 +172,44 @@ impl StreamReport {
         self.find(scheduler).map(StreamOutcome::summary)
     }
 
+    /// Render the per-scheduler summaries as one [`Table`]: one row per
+    /// scheduler spec, one series per dashboard quantity (p50/p95/p99 sojourn
+    /// in kcycles, p95 queueing delay, jobs per megacycle, mean per-job L2
+    /// MPKI, peak co-residency).  This is the table the artifact renderers
+    /// (`pdfws-report`) and the `job_stream` binary share.
+    pub fn summary_table(&self) -> Table {
+        let x: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|o| o.scheduler.canonical())
+            .collect();
+        let summaries: Vec<StreamSummary> =
+            self.outcomes.iter().map(StreamOutcome::summary).collect();
+        let mut table = Table::new(
+            format!("Job stream '{}': per-scheduler serving summary", self.mix),
+            "scheduler",
+            x,
+        );
+        let col = |name: &str, f: &dyn Fn(&StreamSummary) -> f64| {
+            Series::new(name, summaries.iter().map(f).collect())
+        };
+        table.push_series(col("p50_sojourn_kcyc", &|s| s.sojourn.p50 / 1_000.0));
+        table.push_series(col("p95_sojourn_kcyc", &|s| s.sojourn.p95 / 1_000.0));
+        table.push_series(col("p99_sojourn_kcyc", &|s| s.sojourn.p99 / 1_000.0));
+        table.push_series(col("p95_queue_kcyc", &|s| s.queue.p95 / 1_000.0));
+        table.push_series(col("jobs_per_mcyc", &|s| s.jobs_per_mcycle));
+        table.push_series(col("mean_l2_mpki", &|s| s.mean_l2_mpki));
+        table.push_series(col("peak_concurrency", &|s| s.peak_concurrency as f64));
+        table
+    }
+
+    /// Serialize every scheduler's per-job records as one JSONL document (the
+    /// records carry both the scheduler and workload spec strings, so the
+    /// streams stay distinguishable after concatenation).
+    pub fn to_jsonl(&self) -> String {
+        self.outcomes.iter().map(StreamOutcome::to_jsonl).collect()
+    }
+
     /// Ratio of WS p95 sojourn to PDF p95 sojourn (> 1 means PDF serves the
     /// tail faster under this load).
     pub fn ws_over_pdf_p95(&self) -> Option<f64> {
@@ -229,6 +268,19 @@ mod tests {
     fn model_errors_surface() {
         let err = quick().cores(999).run().unwrap_err();
         assert!(matches!(err, ExperimentError::Model(_)));
+    }
+
+    #[test]
+    fn summary_table_has_one_row_per_scheduler() {
+        let report = quick().run().unwrap();
+        let table = report.summary_table();
+        assert_eq!(table.rows(), 2);
+        assert_eq!(table.x_values, vec!["pdf".to_string(), "ws".to_string()]);
+        assert_eq!(table.series.len(), 7);
+        let jsonl = report.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 16); // 8 jobs x 2 schedulers
+        let records = pdfws_stream::records_from_jsonl(&jsonl).unwrap();
+        assert_eq!(records.len(), 16);
     }
 
     #[test]

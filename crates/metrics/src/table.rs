@@ -114,20 +114,145 @@ impl Table {
         out
     }
 
-    /// Render as CSV (header row, then one row per x value).
+    /// Render as a GitHub-flavoured markdown table (header, separator, one row
+    /// per x value).  Values print with full round-trip precision, the same as
+    /// [`Table::to_csv`], so a markdown artifact carries the exact numbers;
+    /// `|` in labels is escaped so arbitrary spec strings cannot break the
+    /// table structure.
+    pub fn to_markdown(&self) -> String {
+        let escape = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        let mut headers = vec![escape(&self.x_name)];
+        headers.extend(self.series.iter().map(|s| escape(&s.name)));
+        out.push_str(&format!("| {} |\n", headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for (i, x) in self.x_values.iter().enumerate() {
+            let mut row = vec![escape(x)];
+            row.extend(self.series.iter().map(|s| format!("{}", s.values[i])));
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Parse a table back from its [`Table::to_csv`] rendering.
+    ///
+    /// The exact inverse of `to_csv`: quoted cells (labels containing commas,
+    /// quotes, or line breaks — workload spec strings like
+    /// `mergesort:grain=2048,n=65536` routinely carry commas) are unescaped,
+    /// so `Table::from_csv(title, &t.to_csv())` reproduces `t`'s x-axis and
+    /// series exactly (`f64` values render in shortest round-trip form).
+    pub fn from_csv(title: impl Into<String>, csv: &str) -> Result<Table, String> {
+        let mut lines = csv.lines();
+        let header = lines.next().ok_or("empty CSV: no header row")?;
+        let mut columns = split_csv_line(header)?.into_iter();
+        let x_name = columns.next().ok_or("CSV header has no columns")?;
+        let names: Vec<String> = columns.collect();
+        let mut x_values = Vec::new();
+        let mut values: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+        for (row_idx, line) in lines.filter(|l| !l.trim().is_empty()).enumerate() {
+            let mut cells = split_csv_line(line)
+                .map_err(|e| format!("row {row_idx}: {e}"))?
+                .into_iter();
+            x_values.push(
+                cells
+                    .next()
+                    .ok_or_else(|| format!("row {row_idx} is empty"))?,
+            );
+            let mut got = 0;
+            for (col, cell) in cells.enumerate() {
+                let slot = values.get_mut(col).ok_or_else(|| {
+                    format!(
+                        "row {row_idx} has more cells than the {} headers",
+                        1 + names.len()
+                    )
+                })?;
+                slot.push(cell.parse::<f64>().map_err(|_| {
+                    format!(
+                        "row {row_idx}, column '{}': bad number '{cell}'",
+                        names[col]
+                    )
+                })?);
+                got += 1;
+            }
+            if got != names.len() {
+                return Err(format!(
+                    "row {row_idx} has {got} value cells but the header names {} series",
+                    names.len()
+                ));
+            }
+        }
+        let mut table = Table::new(title, x_name, x_values);
+        for (name, vals) in names.iter().zip(values) {
+            table.push_series(Series::new(name.clone(), vals));
+        }
+        Ok(table)
+    }
+
+    /// Render as CSV (header row, then one row per x value).  Cells
+    /// containing commas, quotes, or line breaks are quoted per RFC 4180
+    /// (workload spec strings like `mergesort:grain=2048,n=65536` appear as
+    /// both labels and x values), so every table round-trips through
+    /// [`Table::from_csv`].
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let mut headers = vec![self.x_name.clone()];
-        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        let mut headers = vec![csv_cell(&self.x_name)];
+        headers.extend(self.series.iter().map(|s| csv_cell(&s.name)));
         out.push_str(&headers.join(","));
         out.push('\n');
         for (i, x) in self.x_values.iter().enumerate() {
-            let mut row = vec![x.clone()];
+            let mut row = vec![csv_cell(x)];
             row.extend(self.series.iter().map(|s| format!("{}", s.values[i])));
             out.push_str(&row.join(","));
             out.push('\n');
         }
         out
+    }
+}
+
+/// Quote one CSV cell if it needs it (RFC 4180: embedded commas, quotes, or
+/// line breaks; inner quotes double).
+fn csv_cell(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split one CSV line into unescaped cells (the inverse of [`csv_cell`]
+/// joining; multi-line quoted cells are not produced by `to_csv`'s
+/// line-oriented layout, so a dangling quote is an error).
+fn split_csv_line(line: &str) -> Result<Vec<String>, String> {
+    let mut cells = Vec::new();
+    let mut cell = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    loop {
+        match chars.next() {
+            Some('"') if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cell.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            Some('"') if cell.is_empty() => quoted = true,
+            Some(',') if !quoted => {
+                cells.push(std::mem::take(&mut cell));
+            }
+            Some(c) => cell.push(c),
+            None => {
+                if quoted {
+                    return Err(format!("unterminated quoted cell in '{line}'"));
+                }
+                cells.push(cell);
+                return Ok(cells);
+            }
+        }
     }
 }
 
@@ -176,5 +301,67 @@ mod tests {
     fn mismatched_series_length_panics() {
         let mut t = sample();
         t.push_series(Series::new("bad", vec![1.0]));
+    }
+
+    #[test]
+    fn markdown_rendering_is_a_pipe_table() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| cores | pdf | ws |");
+        assert_eq!(lines[1], "|---|---|---|");
+        assert_eq!(lines[2], "| 1 | 0.5 | 0.5 |");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_parses_back_to_the_same_table() {
+        let t = sample();
+        let back = Table::from_csv(t.title.clone(), &t.to_csv()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comma_bearing_labels_quote_and_round_trip() {
+        // Workload spec strings carry commas; they appear as x values (the
+        // replication suite's C5 figure) and as series names (coarse_vs_fine).
+        let mut t = Table::new(
+            "granularity",
+            "workload",
+            vec![
+                "mergesort:grain=2048,n=65536".into(),
+                "mergesort:coarse=32,grain=2048,n=65536".into(),
+            ],
+        );
+        t.push_series(Series::new("pdf_speedup", vec![4.1, 1.5]));
+        t.push_series(Series::new("per \"spec\", quoted", vec![1.0, 2.0]));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "workload,pdf_speedup,\"per \"\"spec\"\", quoted\""
+        );
+        assert_eq!(lines[1], "\"mergesort:grain=2048,n=65536\",4.1,1");
+        let back = Table::from_csv(t.title.clone(), &csv).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn markdown_escapes_pipes_in_labels() {
+        let mut t = Table::new("t", "a|b", vec!["x|y".into()]);
+        t.push_series(Series::new("s|1", vec![2.0]));
+        let md = t.to_markdown();
+        assert!(md.contains("| a\\|b | s\\|1 |"), "{md}");
+        assert!(md.contains("| x\\|y | 2 |"), "{md}");
+    }
+
+    #[test]
+    fn csv_parse_errors_carry_context() {
+        assert!(Table::from_csv("t", "").is_err());
+        let err = Table::from_csv("t", "cores,pdf\n1,abc\n").unwrap_err();
+        assert!(err.contains("bad number 'abc'"), "{err}");
+        let err = Table::from_csv("t", "cores,pdf\n1\n").unwrap_err();
+        assert!(err.contains("1 series"), "{err}");
+        let err = Table::from_csv("t", "cores,pdf\n1,2,3\n").unwrap_err();
+        assert!(err.contains("more cells"), "{err}");
     }
 }

@@ -1,0 +1,160 @@
+//! In-memory artifact sets and their (only) filesystem touchpoint.
+//!
+//! Renderers produce [`Artifact`]s — relative path + contents — entirely in
+//! memory, so golden-file tests can compare artifact bytes without touching
+//! disk; [`ArtifactSet::write_to`] is the single place the `replicate` binary
+//! materialises them under `--out`.
+
+use crate::figure::Figure;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One durable artifact: a relative path (always `/`-separated) and its
+/// full contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// Path relative to the artifact root (e.g. `claims/c1-fig1-mpki/fig1-mpki.csv`).
+    pub rel_path: String,
+    /// The file contents.
+    pub contents: String,
+}
+
+/// An ordered set of artifacts with unique relative paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArtifactSet {
+    artifacts: Vec<Artifact>,
+}
+
+impl ArtifactSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel_path` is already present — a duplicate means two
+    /// renderers raced for one file name, which is a bug, not a runtime
+    /// condition.
+    pub fn push(&mut self, rel_path: impl Into<String>, contents: impl Into<String>) {
+        let rel_path = rel_path.into();
+        assert!(
+            self.get(&rel_path).is_none(),
+            "duplicate artifact path '{rel_path}'"
+        );
+        self.artifacts.push(Artifact {
+            rel_path,
+            contents: contents.into(),
+        });
+    }
+
+    /// Add every rendering of a figure under `dir`: `<dir>/<id>.csv`,
+    /// `<dir>/<id>.jsonl`, and `<dir>/<id>.md`.
+    pub fn push_figure(&mut self, dir: &str, figure: &Figure) {
+        let stem = if dir.is_empty() {
+            figure.id.clone()
+        } else {
+            format!("{dir}/{}", figure.id)
+        };
+        self.push(format!("{stem}.csv"), figure.to_csv());
+        self.push(format!("{stem}.jsonl"), figure.to_jsonl());
+        self.push(format!("{stem}.md"), figure.to_markdown());
+    }
+
+    /// All artifacts in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Artifact> {
+        self.artifacts.iter()
+    }
+
+    /// Number of artifacts.
+    pub fn len(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    /// True when no artifact has been added.
+    pub fn is_empty(&self) -> bool {
+        self.artifacts.is_empty()
+    }
+
+    /// Contents of the artifact at `rel_path`, if present.
+    pub fn get(&self, rel_path: &str) -> Option<&str> {
+        self.artifacts
+            .iter()
+            .find(|a| a.rel_path == rel_path)
+            .map(|a| a.contents.as_str())
+    }
+
+    /// Write every artifact under `root`, creating directories as needed, and
+    /// return the paths written (in insertion order).
+    pub fn write_to(&self, root: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut written = Vec::with_capacity(self.artifacts.len());
+        for artifact in &self.artifacts {
+            let mut path = root.to_path_buf();
+            path.extend(artifact.rel_path.split('/'));
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&path, &artifact.contents)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdfws_metrics::{Series, Table};
+
+    fn fig() -> Figure {
+        let mut t = Table::new("t", "x", vec!["1".into()]);
+        t.push_series(Series::new("s", vec![2.0]));
+        Figure::new("small-fig", "A small figure", t)
+    }
+
+    #[test]
+    fn push_figure_adds_all_three_renderings() {
+        let mut set = ArtifactSet::new();
+        set.push_figure("claims/c1", &fig());
+        assert_eq!(set.len(), 3);
+        assert!(set
+            .get("claims/c1/small-fig.csv")
+            .unwrap()
+            .starts_with("x,s\n"));
+        assert!(set
+            .get("claims/c1/small-fig.jsonl")
+            .unwrap()
+            .contains("\"figure\":\"small-fig\""));
+        assert!(set
+            .get("claims/c1/small-fig.md")
+            .unwrap()
+            .starts_with("### A small figure"));
+        assert!(set.get("claims/c1/small-fig.txt").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate artifact path")]
+    fn duplicate_paths_panic() {
+        let mut set = ArtifactSet::new();
+        set.push("a.txt", "1");
+        set.push("a.txt", "2");
+    }
+
+    #[test]
+    fn write_to_materialises_the_tree() {
+        let mut set = ArtifactSet::new();
+        set.push("REPLICATION.md", "# hi\n");
+        set.push_figure("claims/c1", &fig());
+        let root = std::env::temp_dir().join(format!("pdfws-report-test-{}", std::process::id()));
+        let written = set.write_to(&root).unwrap();
+        assert_eq!(written.len(), 4);
+        assert_eq!(
+            std::fs::read_to_string(root.join("REPLICATION.md")).unwrap(),
+            "# hi\n"
+        );
+        assert!(root.join("claims/c1/small-fig.csv").is_file());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

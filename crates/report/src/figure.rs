@@ -1,0 +1,276 @@
+//! The [`Figure`] model: a named, captioned table rendered to every artifact
+//! format — CSV, JSONL, markdown, and a deterministic ASCII bar chart.
+
+use pdfws_metrics::Table;
+use std::fmt;
+
+/// Bar width of the ASCII charts, in characters.
+const CHART_WIDTH: usize = 40;
+
+/// Reduce an arbitrary title to a stable, filesystem- and anchor-safe slug:
+/// lowercase alphanumerics with single `-` separators (`"Figure 1 (left): L2
+/// MPKI"` → `"figure-1-left-l2-mpki"`).
+pub fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut pending_dash = false;
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_dash && !out.is_empty() {
+                out.push('-');
+            }
+            pending_dash = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            pending_dash = true;
+        }
+    }
+    out
+}
+
+/// One figure of a report: an id (used for file names and JSONL tags), a
+/// caption, and the underlying [`Table`] of series over a shared x-axis.
+///
+/// A `Figure` is inert data; the rendering methods are pure and deterministic,
+/// so two runs that produce equal tables produce byte-identical artifacts in
+/// every format (the golden-file tests in `tests/report_artifacts.rs` pin
+/// this across sweep thread counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Stable identifier (slug): artifact file stem and the `"figure"` field
+    /// of every JSONL line.
+    pub id: String,
+    /// Human caption (markdown heading).
+    pub caption: String,
+    /// The numbers: one series per column over the shared x-axis.
+    pub table: Table,
+}
+
+impl Figure {
+    /// Create a figure.  The id is slugged (`Figure::new("Fig 1 (left)", ...)`
+    /// gets id `"fig-1-left"`).
+    pub fn new(id: &str, caption: impl Into<String>, table: Table) -> Self {
+        Figure {
+            id: slug(id),
+            caption: caption.into(),
+            table,
+        }
+    }
+
+    /// Wrap a table as a figure, deriving the id from the table title and
+    /// using the title as the caption.
+    pub fn from_table(table: Table) -> Self {
+        Figure {
+            id: slug(&table.title),
+            caption: table.title.clone(),
+            table,
+        }
+    }
+
+    /// Render the table as CSV (header row, one row per x value) — the format
+    /// plotting scripts consume.
+    pub fn to_csv(&self) -> String {
+        self.table.to_csv()
+    }
+
+    /// Parse a figure back from its [`Figure::to_csv`] rendering — the exact
+    /// inverse: comma-bearing labels (workload spec strings) are quoted on
+    /// emission and unescaped here, and x-axis and series reproduce
+    /// bit-for-bit (`f64` renders in shortest round-trip form), which
+    /// `tests/report_artifacts.rs` property-tests.
+    pub fn from_csv(id: &str, caption: impl Into<String>, csv: &str) -> Result<Figure, String> {
+        let caption = caption.into();
+        let table = Table::from_csv(caption.clone(), csv)?;
+        Ok(Figure {
+            id: slug(id),
+            caption,
+            table,
+        })
+    }
+
+    /// Render as JSONL: one self-describing JSON object per x-axis row,
+    /// tagged with the figure id, so concatenated figure streams stay
+    /// distinguishable.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (i, x) in self.table.x_values.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"figure\":{},\"x_name\":{},\"x\":{},\"values\":{{",
+                json_string(&self.id),
+                json_string(&self.table.x_name),
+                json_string(x),
+            ));
+            for (j, s) in self.table.series.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json_string(&s.name), s.values[i]));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Render as markdown: caption heading, pipe table with full-precision
+    /// values, and the ASCII chart in a code fence.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "### {}\n\n{}\n```text\n{}```\n",
+            self.caption,
+            self.table.to_markdown(),
+            self.ascii_chart()
+        )
+    }
+
+    /// Render a deterministic grouped ASCII bar chart (the Figure-1-style
+    /// panel view): one group per x value, one bar per series, bars scaled to
+    /// the largest value in the figure.
+    pub fn ascii_chart(&self) -> String {
+        let max = self
+            .table
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter().copied())
+            .fold(0.0_f64, f64::max);
+        let name_w = self
+            .table
+            .series
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(0);
+        let x_w = self
+            .table
+            .x_values
+            .iter()
+            .map(|x| x.len())
+            .chain(std::iter::once(self.table.x_name.len()))
+            .max()
+            .unwrap_or(0);
+        let mut out = format!("{} (bars scaled to max = {max})\n", self.table.title);
+        for (i, x) in self.table.x_values.iter().enumerate() {
+            for (j, s) in self.table.series.iter().enumerate() {
+                let v = s.values[i];
+                let bar = if max > 0.0 && v > 0.0 {
+                    (((v / max) * CHART_WIDTH as f64).round() as usize).min(CHART_WIDTH)
+                } else {
+                    0
+                };
+                out.push_str(&format!(
+                    "{:>xw$} {:<nw$} |{:<cw$}| {v}\n",
+                    if j == 0 { x.as_str() } else { "" },
+                    s.name,
+                    "#".repeat(bar),
+                    xw = x_w,
+                    nw = name_w,
+                    cw = CHART_WIDTH,
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.caption, self.id)
+    }
+}
+
+/// Escape and quote a string for JSON.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdfws_metrics::Series;
+
+    fn sample() -> Figure {
+        let mut t = Table::new(
+            "mergesort: L2 misses per 1000 instructions (Figure 1, left)",
+            "cores",
+            vec!["1".into(), "2".into(), "4".into()],
+        );
+        t.push_series(Series::new("pdf", vec![0.5, 0.45, 0.4]));
+        t.push_series(Series::new("ws", vec![0.5, 0.8, 1.2]));
+        Figure::new("fig1-mpki", "Figure 1 (left): L2 MPKI, PDF vs WS", t)
+    }
+
+    #[test]
+    fn slugs_are_stable_and_safe() {
+        assert_eq!(slug("Fig 1 (left): L2 MPKI"), "fig-1-left-l2-mpki");
+        assert_eq!(slug("c1-fig1-mpki"), "c1-fig1-mpki");
+        assert_eq!(slug("  --weird__ "), "weird");
+        assert_eq!(slug(""), "");
+    }
+
+    #[test]
+    fn csv_round_trips_through_from_csv() {
+        let fig = sample();
+        let back = Figure::from_csv(&fig.id, fig.caption.clone(), &fig.to_csv()).unwrap();
+        assert_eq!(back.table.x_values, fig.table.x_values);
+        assert_eq!(back.table.series, fig.table.series);
+        assert_eq!(back.id, fig.id);
+    }
+
+    #[test]
+    fn jsonl_is_one_tagged_object_per_row() {
+        let jsonl = sample().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"figure\":\"fig1-mpki\",\"x_name\":\"cores\",\"x\":\"1\",\"values\":{\"pdf\":0.5,\"ws\":0.5}}"
+        );
+        assert!(lines[2].contains("\"x\":\"4\""));
+    }
+
+    #[test]
+    fn markdown_contains_table_and_chart() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### Figure 1 (left): L2 MPKI, PDF vs WS\n"));
+        assert!(md.contains("| cores | pdf | ws |"));
+        assert!(md.contains("```text\n"));
+        assert!(md.contains('#'));
+    }
+
+    #[test]
+    fn ascii_chart_scales_bars_to_the_max() {
+        let chart = sample().ascii_chart();
+        // ws at 4 cores is the max (1.2): full-width bar.
+        assert!(chart.contains(&format!("|{}| 1.2", "#".repeat(CHART_WIDTH))));
+        // pdf at 4 cores is 0.4/1.2 of the width.
+        let third = ((0.4 / 1.2) * CHART_WIDTH as f64).round() as usize;
+        assert!(chart.contains(&format!(
+            "{}{}| 0.4",
+            "#".repeat(third),
+            " ".repeat(CHART_WIDTH - third)
+        )));
+        // Deterministic: same figure, same bytes.
+        assert_eq!(chart, sample().ascii_chart());
+    }
+
+    #[test]
+    fn zero_and_negative_values_draw_empty_bars() {
+        let mut t = Table::new("t", "x", vec!["a".into()]);
+        t.push_series(Series::new("s", vec![0.0]));
+        t.push_series(Series::new("n", vec![-1.0]));
+        let chart = Figure::new("z", "z", t).ascii_chart();
+        assert!(chart.contains(&format!("|{}| 0", " ".repeat(CHART_WIDTH))));
+        assert!(chart.contains(&format!("|{}| -1", " ".repeat(CHART_WIDTH))));
+    }
+}

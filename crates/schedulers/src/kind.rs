@@ -1,9 +1,9 @@
 //! The deprecated closed scheduler enum, kept for one release as a migration
-//! alias for [`SchedulerSpec`](crate::SchedulerSpec).
+//! alias for [`SchedulerSpec`].
 //!
 //! `SchedulerKind` froze the scheduler design space into three variants and
 //! forced every crate to pattern-match on it.  The open, parameterized
-//! [`SchedulerSpec`](crate::SchedulerSpec) replaces it everywhere; this module
+//! [`SchedulerSpec`] replaces it everywhere; this module
 //! only provides the enum and its conversion so downstream code can migrate
 //! (`kind.into()` / `SchedulerSpec::from(kind)`) without a flag day.  Nothing
 //! in this workspace dispatches on the enum any more.

@@ -1,5 +1,5 @@
 //! The policy registry: name → [`PolicyFactory`], the open half of the
-//! [`SchedulerSpec`](crate::SchedulerSpec) API.
+//! [`SchedulerSpec`] API.
 //!
 //! Each factory declares its parameters ([`ParamSpec`]) so the spec parser can
 //! type-check values and produce helpful unknown-key errors *before* anything

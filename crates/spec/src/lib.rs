@@ -26,6 +26,26 @@
 //! and factory traits (which add the domain `build` method and cross-parameter
 //! validation hooks); everything name- and parameter-shaped routes through
 //! here.
+//!
+//! ```
+//! use pdfws_spec::{parse_spec, Vocab};
+//!
+//! static VOCAB: Vocab = Vocab {
+//!     subject: "scheduler",
+//!     entity: "scheduler policy",
+//!     known_label: "known policies",
+//! };
+//!
+//! // The grammar splits `name:key=value,...` and trims whitespace ...
+//! let (name, params) = parse_spec("ws: steal=half, victim=random", &VOCAB).unwrap();
+//! assert_eq!(name, "ws");
+//! assert_eq!(params.get("steal").map(String::as_str), Some("half"));
+//! assert_eq!(params.len(), 2);
+//!
+//! // ... and rejects malformed fragments with the domain's vocabulary.
+//! let err = parse_spec("ws:steal", &VOCAB).unwrap_err();
+//! assert!(err.to_string().contains("key=value"), "{err}");
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -24,11 +24,11 @@
 //! * [`record::StreamOutcome`] — the latency/throughput sink: p50/p95/p99
 //!   sojourn, queueing delay, achieved jobs-per-megacycle, per-job L2 MPKI and
 //!   SLO attainment, built on `pdfws-metrics`' [`Quantiles`](pdfws_metrics::Quantiles).
-//!   Per-job [`JobRecord`](record::JobRecord)s carry the full
+//!   Per-job [`JobRecord`]s carry the full
 //!   [`SchedulerSpec`](pdfws_schedulers::SchedulerSpec) *and*
 //!   [`WorkloadSpec`](pdfws_workloads::WorkloadSpec) strings and round-trip
 //!   through JSONL ([`StreamOutcome::to_jsonl`](record::StreamOutcome::to_jsonl) /
-//!   [`records_from_jsonl`](record::records_from_jsonl)).
+//!   [`records_from_jsonl`]).
 //!
 //! The high-level entry point is `pdfws_core::StreamExperiment`, which sweeps
 //! schedulers over one stream the way `Experiment` sweeps them over one DAG.

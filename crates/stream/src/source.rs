@@ -75,19 +75,21 @@ impl JobMix {
         Ok(JobMix::new(name, parsed))
     }
 
+    /// The exact (workload spec, weight) entries of [`JobMix::class_a`] —
+    /// exposed so consumers that must name the mix's spec strings verbatim
+    /// (the replication suite's stream claim) cannot drift from the built-in
+    /// mix.
+    pub const CLASS_A_ENTRIES: &'static [(&'static str, u32)] = &[
+        ("spmv:rows=256", 2),
+        ("hashjoin", 2),
+        ("mergesort:n=1024", 1),
+    ];
+
     /// The paper's class-A traffic: bandwidth-limited irregular programs plus
     /// divide-and-conquer sorts — the programs PDF's constructive cache
     /// sharing helps most.
     pub fn class_a() -> Self {
-        JobMix::from_specs(
-            "class-a",
-            &[
-                ("spmv:rows=256", 2),
-                ("hashjoin", 2),
-                ("mergesort:n=1024", 1),
-            ],
-        )
-        .expect("built-in specs parse")
+        JobMix::from_specs("class-a", Self::CLASS_A_ENTRIES).expect("built-in specs parse")
     }
 
     /// The paper's class-B traffic: cache-neutral programs (streaming scans

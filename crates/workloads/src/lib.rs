@@ -13,7 +13,7 @@
 //!
 //! Each workload in this crate is a generator that lays its data structures out in
 //! a flat simulated address space and produces a fine-grained fork-join
-//! [`TaskDag`](pdfws_task_dag::TaskDag) whose tasks carry realistic memory-access
+//! [`TaskDag`] whose tasks carry realistic memory-access
 //! patterns for that program.  The figure-1 workload is [`mergesort::MergeSort`];
 //! the other classes are covered by matrix multiply, LU decomposition, quicksort,
 //! sparse matrix–vector product, hash join, parallel scan/map and a compute-bound

@@ -1,5 +1,5 @@
 //! The workload registry: name → [`WorkloadFactory`], the open half of the
-//! [`WorkloadSpec`](crate::spec::WorkloadSpec) API.
+//! [`WorkloadSpec`] API.
 //!
 //! Each factory declares its parameters ([`ParamSpec`]) so the spec parser can
 //! type-check values and produce helpful unknown-key errors *before* any DAG

@@ -15,7 +15,7 @@
 //! ```
 //!
 //! Parsing validates the name and every parameter against the
-//! [`WorkloadRegistry`](crate::registry::WorkloadRegistry): unknown workloads
+//! [`WorkloadRegistry`]: unknown workloads
 //! and unknown or malformed parameters are rejected at parse time with
 //! messages that list what *would* have been accepted, and each factory's
 //! structural constraints (`matmul`'s power-of-two dimension, `lu`'s
@@ -27,7 +27,7 @@
 //! Every parameter has a default equal to the workload's `small()`
 //! constructor, so the bare name builds exactly the instance the unit tests
 //! exercise, and `small()`/`new(n)` constructors now *are* canonical strings
-//! (see [`Workload::spec`](crate::Workload::spec)).
+//! (see [`Workload::spec`]).
 //!
 //! The serde derives are markers (see the vendored `serde` stand-in); actual
 //! serialization goes through the canonical string form, e.g. in
@@ -49,7 +49,7 @@ pub type WorkloadSpecError = pdfws_spec::SpecError;
 /// Construct one by parsing (`"mergesort:n=4096".parse()`), from a live
 /// workload value ([`Workload::spec`]), or via [`WorkloadSpec::with_param`].
 /// Every parsed spec validates against the global
-/// [`WorkloadRegistry`](crate::registry::WorkloadRegistry), so it is always
+/// [`WorkloadRegistry`], so it is always
 /// resolvable into a workload object with [`WorkloadSpec::build`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct WorkloadSpec {
@@ -132,7 +132,7 @@ impl WorkloadSpec {
     }
 
     /// Instantiate the workload this spec describes, via the global
-    /// [`WorkloadRegistry`](crate::registry::WorkloadRegistry).
+    /// [`WorkloadRegistry`].
     ///
     /// # Panics
     ///

@@ -21,6 +21,10 @@
 //! * [`core`](mod@core_api) — the high-level [`Experiment`](core_api::experiment::Experiment)
 //!   and [`StreamExperiment`](core_api::stream_experiment::StreamExperiment) APIs
 //!   used by every example and benchmark.
+//! * [`report`] — durable artifacts: [`Figure`](report::Figure) renderers
+//!   (CSV/JSONL/markdown/ASCII charts) and the paper-claim
+//!   [`ReplicationSuite`](report::ReplicationSuite) behind the `replicate`
+//!   binary.
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,7 @@ pub use pdfws_cache_sim as cache_sim;
 pub use pdfws_cmp_model as cmp_model;
 pub use pdfws_core as core_api;
 pub use pdfws_metrics as metrics;
+pub use pdfws_report as report;
 pub use pdfws_runtime as runtime;
 pub use pdfws_schedulers as schedulers;
 pub use pdfws_stream as stream;

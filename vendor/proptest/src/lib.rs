@@ -1,6 +1,6 @@
 //! Offline stand-in for `proptest`.
 //!
-//! Implements the subset the workspace's property tests use: the [`Strategy`]
+//! Implements the subset the workspace's property tests use: the [`Strategy`](strategy::Strategy)
 //! trait with `prop_map` / `prop_recursive` / boxing, integer-range and tuple
 //! strategies, `prop::collection::vec`, and the `proptest!`, `prop_oneof!`,
 //! `prop_assert!`, `prop_assert_eq!` macros.  Cases are generated from a fixed
