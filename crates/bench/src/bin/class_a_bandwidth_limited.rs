@@ -11,8 +11,8 @@
 //! `--list` prints the spec grammars.
 
 use pdfws_bench::{
-    compare_pdf_ws_all, comparison_table, emit_tables, maybe_help, maybe_list, quick_mode, scaled,
-    sizes, text_output, threads_arg, workloads_or, ComparisonRow,
+    compare_pdf_ws_all, comparison_table, emit_tables, emit_trace, maybe_help, maybe_list,
+    quick_mode, scaled, sizes, text_output, threads_arg, workloads_or, ComparisonRow,
 };
 use pdfws_core::prelude::*;
 use pdfws_workloads::{HashJoin, LuDecomposition, MatMul, MergeSort, QuickSort, SpMv};
@@ -67,5 +67,11 @@ fn main() {
             reductions.iter().cloned().fold(f64::INFINITY, f64::min),
             reductions.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
         );
+    }
+
+    // --trace / --trace-summary: a PDF-vs-WS timeline of the first workload at
+    // the headline core count.
+    if let Some(workload) = workloads.first() {
+        emit_trace(workload, 32, &SchedulerSpec::paper_pair());
     }
 }

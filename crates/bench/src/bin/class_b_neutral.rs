@@ -13,8 +13,8 @@
 //! `--list` prints the spec grammars.
 
 use pdfws_bench::{
-    compare_pdf_ws_all, comparison_table, emit_tables, maybe_help, maybe_list, quick_mode, scaled,
-    sizes, text_output, threads_arg, workloads_or, ComparisonRow,
+    compare_pdf_ws_all, comparison_table, emit_tables, emit_trace, maybe_help, maybe_list,
+    quick_mode, scaled, sizes, text_output, threads_arg, workloads_or, ComparisonRow,
 };
 use pdfws_core::prelude::*;
 use pdfws_workloads::{ComputeKernel, ParallelScan};
@@ -58,5 +58,11 @@ fn main() {
             "Largest |relative speedup - 1| across class-B cells: {:.3} (paper: roughly the same execution times)",
             max_gap
         );
+    }
+
+    // --trace / --trace-summary: a PDF-vs-WS timeline of the first workload at
+    // the headline core count.
+    if let Some(workload) = workloads.first() {
+        emit_trace(workload, 32, &SchedulerSpec::paper_pair());
     }
 }

@@ -21,8 +21,8 @@
 //! ```
 
 use pdfws_bench::{
-    emit_tables, maybe_help, maybe_list, quick_mode, runner, scaled, sizes, text_output,
-    threads_arg, workloads_or,
+    emit_tables, emit_trace, maybe_help, maybe_list, quick_mode, runner, scaled, sizes,
+    text_output, threads_arg, workloads_or,
 };
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
@@ -103,6 +103,17 @@ fn main() {
         println!(
             "Expected shape: the fine-grained variants scale and keep MPKI low; the coarse \
              variants lose both the load balance and the constructive-sharing benefit."
+        );
+    }
+
+    // --trace / --trace-summary: one timeline per variant under PDF at the
+    // largest swept core count, so the coarse/fine contrast is visible as
+    // per-core slice density in Perfetto.
+    for variant in &variants {
+        emit_trace(
+            variant,
+            *cores.last().expect("core axis nonempty"),
+            &[SchedulerSpec::pdf()],
         );
     }
 }

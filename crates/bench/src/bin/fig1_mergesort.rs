@@ -19,8 +19,8 @@
 //! for arbitrary programs.
 
 use pdfws_bench::{
-    emit_tables, figure1_tables_from, maybe_help, maybe_list, paper_core_counts, quick_mode,
-    scaled, sizes, steals_table_from, sweep_reports, threads_arg, workloads_or,
+    emit_tables, emit_trace, figure1_tables_from, maybe_help, maybe_list, migrations_table_from,
+    paper_core_counts, quick_mode, scaled, sizes, sweep_reports, threads_arg, workloads_or,
 };
 use pdfws_core::prelude::*;
 use pdfws_workloads::MergeSort;
@@ -58,7 +58,12 @@ fn main() {
         let (mpki, speedup) = figure1_tables_from(report, &cores);
         // Work migrations per scheduler spec (steal events / cross-core
         // placements), including two parameterized variants of the same policy.
-        let steals = steals_table_from(report, &cores, &specs);
-        emit_tables(&[&mpki, &speedup, &steals]);
+        let migrations = migrations_table_from(report, &cores, &specs);
+        emit_tables(&[&mpki, &speedup, &migrations]);
+    }
+    // --trace / --trace-summary: one representative timeline per spec at the
+    // largest swept core count.
+    for workload in &workloads {
+        emit_trace(workload, *cores.last().expect("core axis nonempty"), &specs);
     }
 }

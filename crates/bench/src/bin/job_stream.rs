@@ -20,12 +20,12 @@
 //! [`JobRecord`]: pdfws_stream::JobRecord
 
 use pdfws_bench::{
-    emit_tables, maybe_help, maybe_list, output_mode, quick_mode, threads_arg, workload_spec_args,
-    OutputMode,
+    emit_stream_trace, emit_tables, maybe_help, maybe_list, output_mode, quick_mode, threads_arg,
+    workload_spec_args, OutputMode,
 };
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
-use pdfws_stream::JobMix;
+use pdfws_stream::{JobMix, StreamConfig};
 
 fn main() {
     maybe_help(
@@ -115,5 +115,18 @@ fn main() {
 
     if !json {
         emit_tables(&[&table]);
+    }
+
+    // --trace / --trace-summary: a PDF-vs-WS timeline of the first mix at the
+    // lower offered load, with async job slices spanning admit -> complete and
+    // an outstanding-jobs counter.
+    if let Some(mix) = mixes.first() {
+        let mut cfg = StreamConfig::new(cores, SchedulerSpec::pdf());
+        cfg.arrivals = ArrivalProcess::OpenLoopPoisson {
+            jobs_per_mcycle: rates[0],
+            seed: 0x57_2EA4,
+        };
+        cfg.admission = AdmissionPolicy::Fifo;
+        emit_stream_trace(mix, jobs, &cfg, &SchedulerSpec::paper_pair());
     }
 }

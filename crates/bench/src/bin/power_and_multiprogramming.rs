@@ -20,8 +20,8 @@
 //! used; both parts study one program); `--list` prints the spec grammars.
 
 use pdfws_bench::{
-    emit_tables, maybe_help, maybe_list, quick_mode, runner, scaled, sizes, text_output,
-    threads_arg, workload_spec_args,
+    emit_tables, emit_trace, maybe_help, maybe_list, quick_mode, runner, scaled, sizes,
+    text_output, threads_arg, workload_spec_args,
 };
 use pdfws_cache_sim::power::{estimate_energy, EnergyModel};
 use pdfws_cmp_model::{default_config, sweep::sweep_l2_fraction};
@@ -152,4 +152,8 @@ fn main() {
              than WS's, and powering down segments saves leakage energy."
         );
     }
+
+    // --trace / --trace-summary: a PDF-vs-WS timeline of the studied workload
+    // at the experiment's core count (the "alone" scenario).
+    emit_trace(&workload, CORES, &SchedulerSpec::paper_pair());
 }

@@ -79,12 +79,18 @@ fn main() {
         threads,
     );
     let cfg = SuiteConfig::new(quick).threads(threads);
-    let report = suite
+    let mut report = suite
         .run(cfg, |claim| eprintln!("# running {} ...", claim.id))
         .unwrap_or_else(|e| {
             eprintln!("error: replication suite failed: {e}");
             std::process::exit(2);
         });
+    if out_dir.is_some() {
+        // One summarized timeline figure per claim, written under traces/<id>/
+        // and linked from the generated REPLICATION.md.
+        eprintln!("# attaching per-claim execution timelines ...");
+        report.attach_traces();
+    }
 
     // The claim ↔ result matrix, with observed numbers, always goes to the
     // log so a CI failure is diagnosable from stdout alone.

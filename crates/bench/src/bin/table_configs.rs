@@ -12,7 +12,8 @@
 //! analytically, nothing is simulated.
 
 use pdfws_bench::{
-    config_table, emit_tables, maybe_help, maybe_list, paper_core_counts, workload_spec_args,
+    config_table, emit_tables, maybe_help, maybe_list, paper_core_counts, trace_args,
+    workload_spec_args,
 };
 
 fn main() {
@@ -31,6 +32,12 @@ fn main() {
                 .map(|s| s.canonical())
                 .collect::<Vec<_>>()
                 .join(", ")
+        );
+    }
+    if trace_args().enabled() {
+        eprintln!(
+            "note: this table is derived analytically — nothing is simulated, so \
+             --trace/--trace-summary produce no timeline here"
         );
     }
     let table = config_table(&paper_core_counts());

@@ -26,6 +26,9 @@ use pdfws_cmp_model::default_config;
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
 use pdfws_report::Figure;
+use pdfws_schedulers::{simulate_traced, SimOptions};
+use pdfws_stream::{run_stream_sim_traced, JobMix, StreamConfig};
+use pdfws_trace::{chrome_trace_json, timeline_table, EventTrace, TraceTrack};
 
 /// The core counts on the x-axis of Figure 1.
 pub fn paper_core_counts() -> Vec<usize> {
@@ -122,6 +125,14 @@ pub const UNIFORM_FLAGS: &[(&str, &str)] = &[
     ),
     ("--csv", "print CSV blocks instead of aligned text tables"),
     ("--json", "print self-describing JSONL rows instead of tables"),
+    (
+        "--trace <out.json>",
+        "export a Perfetto/Chrome trace-event timeline of one representative cell per scheduler spec (open in ui.perfetto.dev)",
+    ),
+    (
+        "--trace-summary",
+        "print binned timeline tables (busy fraction, steals, ready depth) plus the sweep worker-utilization profile",
+    ),
     (
         "--list",
         "print both registries' spec grammars (schedulers and workloads) and exit",
@@ -323,11 +334,11 @@ pub fn figure1_tables(workload: &WorkloadInstance, core_counts: &[usize]) -> (Ta
 }
 
 /// Per-spec scheduler counters derived from an existing report: one series per
-/// requested scheduler spec carrying its `steals` counter (work migrations —
-/// steal events for the deque policies, cross-core placements for `static`;
-/// see `SchedulerPolicy::steals`).  Surfaces the counter for *every* spec, not
-/// just the classic `ws` column, so parameterized variants are comparable.
-pub fn steals_table_from(
+/// requested scheduler spec carrying its `migrations` counter (work migrations
+/// — steal events for the deque policies, cross-core placements for `static`;
+/// see `SchedulerPolicy::migrations`).  Surfaces the counter for *every* spec,
+/// not just the classic `ws` column, so parameterized variants are comparable.
+pub fn migrations_table_from(
     report: &ExperimentReport,
     core_counts: &[usize],
     specs: &[SchedulerSpec],
@@ -335,14 +346,34 @@ pub fn steals_table_from(
     report.migrations_table(core_counts, specs)
 }
 
-/// [`steals_table_from`] plus the sweep that feeds it.
-pub fn steals_table(
+/// [`migrations_table_from`] plus the sweep that feeds it.
+pub fn migrations_table(
     workload: &WorkloadInstance,
     core_counts: &[usize],
     specs: &[SchedulerSpec],
 ) -> Table {
     let report = sweep_report(workload, core_counts, specs);
-    steals_table_from(&report, core_counts, specs)
+    migrations_table_from(&report, core_counts, specs)
+}
+
+/// Deprecated name for [`migrations_table_from`].
+#[deprecated(since = "0.1.0", note = "renamed to `migrations_table_from`")]
+pub fn steals_table_from(
+    report: &ExperimentReport,
+    core_counts: &[usize],
+    specs: &[SchedulerSpec],
+) -> Table {
+    migrations_table_from(report, core_counts, specs)
+}
+
+/// Deprecated name for [`migrations_table`].
+#[deprecated(since = "0.1.0", note = "renamed to `migrations_table`")]
+pub fn steals_table(
+    workload: &WorkloadInstance,
+    core_counts: &[usize],
+    specs: &[SchedulerSpec],
+) -> Table {
+    migrations_table(workload, core_counts, specs)
 }
 
 /// One row of the per-class comparison tables: the PDF-vs-WS comparison for one
@@ -463,6 +494,223 @@ pub fn config_table(core_counts: &[usize]) -> Table {
     ));
     t
 }
+
+/// The tracing selections of one invocation, parsed from the uniform
+/// `--trace <out.json>` / `--trace=<out.json>` and `--trace-summary` flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceArgs {
+    /// Where to write the Perfetto/Chrome trace-event JSON, if requested.
+    pub path: Option<std::path::PathBuf>,
+    /// Whether to print binned timeline summary tables and the sweep
+    /// worker-utilization profile.
+    pub summary: bool,
+}
+
+impl TraceArgs {
+    /// Whether any tracing output was requested at all.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some() || self.summary
+    }
+}
+
+/// Parse the uniform tracing flags.  A `--trace` with no path aborts rather
+/// than silently tracing nowhere.
+pub fn trace_args() -> TraceArgs {
+    let mut parsed = TraceArgs::default();
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--trace-summary" {
+            parsed.summary = true;
+            continue;
+        }
+        let value = if arg == "--trace" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--trace=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        match value {
+            Some(path) => parsed.path = Some(path.into()),
+            None => {
+                eprintln!("error: --trace needs an output path (e.g. --trace target/trace.json)");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+/// Honor the uniform `--trace` / `--trace-summary` flags for a sweep binary:
+/// re-simulate one representative (workload × `cores` × spec) cell per
+/// scheduler spec with tracing on, then export a Perfetto JSON (one process
+/// track per spec, one thread per core) and/or print binned timeline tables
+/// plus the worker pool's wall-clock profile.
+///
+/// The traced cells run on the shared [`runner`] pool, and every cell's event
+/// stream is deterministic — the exported JSON is byte-identical for every
+/// `--threads` value.  (The `--trace-summary` *profile* table is wall-clock
+/// and host-dependent by design; it is printed, never written to the trace.)
+///
+/// No-op when neither flag was given, so the binaries can call this
+/// unconditionally after their sweep.
+pub fn emit_trace(workload: &WorkloadInstance, cores: usize, specs: &[SchedulerSpec]) {
+    emit_trace_as(trace_args(), workload, cores, specs);
+}
+
+/// [`emit_trace`] with explicit selections (testable without process args).
+pub fn emit_trace_as(
+    args: TraceArgs,
+    workload: &WorkloadInstance,
+    cores: usize,
+    specs: &[SchedulerSpec],
+) {
+    if !args.enabled() {
+        return;
+    }
+    let config = default_config(cores).expect("default configuration exists for traced cell");
+    let options = SimOptions::default();
+    let (cells, profile) = runner().run_cells_profiled(specs.len(), |i| {
+        simulate_traced(&workload.dag, &config, &specs[i], &options)
+    });
+
+    if let Some(path) = &args.path {
+        let tracks: Vec<TraceTrack> = specs
+            .iter()
+            .zip(&cells)
+            .enumerate()
+            .map(|(i, (spec, (_, events)))| {
+                TraceTrack::new(
+                    (i + 1) as u64,
+                    format!("{spec} · {} @ {cores} cores", workload.spec.canonical()),
+                    cores,
+                    events.clone(),
+                )
+            })
+            .collect();
+        let json = chrome_trace_json(&tracks);
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!(
+                "# wrote {} ({} bytes) — open in ui.perfetto.dev",
+                path.display(),
+                json.len()
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if args.summary {
+        let tables: Vec<Table> = specs
+            .iter()
+            .zip(&cells)
+            .map(|(spec, (_, events))| {
+                timeline_table(
+                    &format!(
+                        "{}: timeline under {spec} @ {cores} cores",
+                        workload.spec.canonical()
+                    ),
+                    events,
+                    cores,
+                    TRACE_SUMMARY_BINS,
+                )
+            })
+            .chain(std::iter::once(profile.to_table()))
+            .collect();
+        let refs: Vec<&Table> = tables.iter().collect();
+        emit_tables(&refs);
+    }
+}
+
+/// Honor the uniform `--trace` / `--trace-summary` flags for a job-stream
+/// binary: re-serve one representative (mix × scheduler) cell of the stream on
+/// the simulated backend with tracing on.  Each scheduler gets one process
+/// track whose async job slices span admit → complete (with a dispatch
+/// instant at the first quantum grant) and whose `outstanding_jobs` counter
+/// tracks co-residency — the stream-tier analogue of [`emit_trace`].
+///
+/// No-op when neither flag was given.
+pub fn emit_stream_trace(mix: &JobMix, jobs: usize, cfg: &StreamConfig, specs: &[SchedulerSpec]) {
+    emit_stream_trace_as(trace_args(), mix, jobs, cfg, specs);
+}
+
+/// [`emit_stream_trace`] with explicit selections (testable without process
+/// args).
+pub fn emit_stream_trace_as(
+    args: TraceArgs,
+    mix: &JobMix,
+    jobs: usize,
+    cfg: &StreamConfig,
+    specs: &[SchedulerSpec],
+) {
+    if !args.enabled() {
+        return;
+    }
+    let cells: Vec<Vec<pdfws_trace::TraceEvent>> = specs
+        .iter()
+        .map(|spec| {
+            let mut cell_cfg = cfg.clone();
+            cell_cfg.scheduler = spec.clone();
+            let mut trace = EventTrace::new();
+            run_stream_sim_traced(mix, jobs, &cell_cfg, &mut trace)
+                .expect("traced stream cell runs");
+            trace.into_events()
+        })
+        .collect();
+
+    if let Some(path) = &args.path {
+        let tracks: Vec<TraceTrack> = specs
+            .iter()
+            .zip(&cells)
+            .enumerate()
+            .map(|(i, (spec, events))| {
+                TraceTrack::new(
+                    (i + 1) as u64,
+                    format!("{spec} · stream {} @ {} cores", mix.name, cfg.cores),
+                    cfg.cores,
+                    events.clone(),
+                )
+            })
+            .collect();
+        let json = chrome_trace_json(&tracks);
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!(
+                "# wrote {} ({} bytes) — open in ui.perfetto.dev",
+                path.display(),
+                json.len()
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if args.summary {
+        let tables: Vec<Table> = specs
+            .iter()
+            .zip(&cells)
+            .map(|(spec, events)| {
+                timeline_table(
+                    &format!(
+                        "stream {}: timeline under {spec} @ {} cores",
+                        mix.name, cfg.cores
+                    ),
+                    events,
+                    cfg.cores,
+                    TRACE_SUMMARY_BINS,
+                )
+            })
+            .collect();
+        let refs: Vec<&Table> = tables.iter().collect();
+        emit_tables(&refs);
+    }
+}
+
+/// Bins of the `--trace-summary` timeline tables.
+pub const TRACE_SUMMARY_BINS: usize = 24;
 
 /// Returns true when the binary was invoked with `--quick` (smaller problem
 /// sizes, for smoke-testing the harness).

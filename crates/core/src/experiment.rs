@@ -234,7 +234,7 @@ impl ExperimentReport {
             ),
             core_counts,
             specs,
-            |_, run| run.metrics.steals as f64,
+            |_, run| run.metrics.migrations as f64,
         )
     }
 }

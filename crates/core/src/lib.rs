@@ -43,7 +43,7 @@ pub use spec::Instantiate as IntoSpec;
 pub use spec::{Instantiate, WorkloadInstance};
 pub use stream_experiment::{StreamExperiment, StreamReport};
 pub use sweep::{
-    parse_threads, threads_from_env, SweepGrid, SweepReport, SweepRunner, THREADS_ENV,
+    parse_threads, threads_from_env, SweepGrid, SweepProfile, SweepReport, SweepRunner, THREADS_ENV,
 };
 
 /// The types almost every experiment needs.
@@ -51,7 +51,7 @@ pub mod prelude {
     pub use crate::experiment::{Experiment, ExperimentError, ExperimentReport, RunRecord};
     pub use crate::spec::{Instantiate, WorkloadInstance};
     pub use crate::stream_experiment::{StreamExperiment, StreamReport};
-    pub use crate::sweep::{SweepGrid, SweepReport, SweepRunner};
+    pub use crate::sweep::{SweepGrid, SweepProfile, SweepReport, SweepRunner};
     pub use pdfws_cmp_model::{default_config, default_core_counts, CmpConfig, ProcessNode};
     #[allow(deprecated)]
     pub use pdfws_schedulers::SchedulerKind;

@@ -46,11 +46,13 @@
 use crate::experiment::{ExperimentError, ExperimentReport, RunRecord};
 use crate::spec::WorkloadInstance;
 use pdfws_cmp_model::{default_config, CmpConfig};
-use pdfws_schedulers::{simulate_shared, SchedulerSpec, SimOptions};
+use pdfws_metrics::{Series, Table};
+use pdfws_schedulers::{simulate_shared, SchedulerSpec, SimOptions, SimResult};
 use pdfws_task_dag::TaskDag;
 use pdfws_workloads::WorkloadSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Environment variable read by [`SweepRunner::from_env`] (same knob the bench
 /// binaries expose as `--threads N`).
@@ -321,34 +323,29 @@ impl SweepRunner {
             let cell = &plan.cells[i];
             simulate_shared(cell.dag.clone(), &cell.config, &cell.spec, options)
         });
+        Ok(assemble_reports(grid, &plan, &results))
+    }
 
-        let reports = grid
-            .workloads
-            .iter()
-            .zip(plan.baseline_of.iter().zip(&plan.run_start))
-            .map(|(w, (&baseline_cell, &first))| {
-                let mut runs = Vec::with_capacity(plan.configs.len() * grid.specs.len());
-                let mut cell = first;
-                for (config, &cores) in plan.configs.iter().zip(&grid.cores) {
-                    for spec in &grid.specs {
-                        runs.push(RunRecord {
-                            cores,
-                            scheduler: spec.clone(),
-                            config: *config,
-                            metrics: results[cell].clone(),
-                        });
-                        cell += 1;
-                    }
-                }
-                ExperimentReport::from_parts(
-                    w.spec.canonical(),
-                    results[baseline_cell].clone(),
-                    plan.cells[baseline_cell].config,
-                    runs,
-                )
-            })
-            .collect();
-        Ok(SweepReport { reports })
+    /// [`SweepRunner::run`] plus a wall-clock [`SweepProfile`] of the
+    /// execution: per-cell wall time, which worker ran each cell, and overall
+    /// worker utilization.
+    ///
+    /// The report half is **bit-identical** to [`SweepRunner::run`] — wall
+    /// clocks are observed, never fed back into any simulated quantity — so
+    /// profiled runs stay safe to use for deterministic artifacts.  The
+    /// profile half is host- and scheduling-dependent by nature; keep it out
+    /// of golden files.
+    pub fn run_profiled(
+        &self,
+        grid: &SweepGrid,
+    ) -> Result<(SweepReport, SweepProfile), ExperimentError> {
+        let plan = Plan::build(grid)?;
+        let options = &grid.options;
+        let (results, profile) = self.run_cells_profiled(plan.cells.len(), |i| {
+            let cell = &plan.cells[i];
+            simulate_shared(cell.dag.clone(), &cell.config, &cell.spec, options)
+        });
+        Ok((assemble_reports(grid, &plan, &results), profile))
     }
 
     /// The generic parallel substrate under [`SweepRunner::run`]: evaluate
@@ -398,6 +395,205 @@ impl SweepRunner {
                     .expect("every cell index was claimed and run")
             })
             .collect()
+    }
+
+    /// [`SweepRunner::run_cells`] plus a wall-clock [`SweepProfile`]: each
+    /// cell is timed and attributed to the worker that ran it.
+    ///
+    /// Results are returned in index order exactly as `run_cells` would; the
+    /// timing is purely observational.
+    pub fn run_cells_profiled<T, F>(&self, count: usize, run_cell: F) -> (Vec<T>, SweepProfile)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let started = Instant::now();
+        if self.threads == 1 || count <= 1 {
+            let mut cells = Vec::with_capacity(count);
+            let results = (0..count)
+                .map(|i| {
+                    let cell_start = Instant::now();
+                    let result = run_cell(i);
+                    cells.push((cell_start.elapsed(), 0));
+                    result
+                })
+                .collect();
+            return (
+                results,
+                SweepProfile {
+                    threads: 1,
+                    cells,
+                    wall: started.elapsed(),
+                },
+            );
+        }
+        let workers_used = self.threads.min(count);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(T, Duration, usize)>>> =
+            (0..count).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            let next = &next;
+            let slots = &slots;
+            let run_cell = &run_cell;
+            let workers: Vec<_> = (0..workers_used)
+                .map(|worker| {
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let cell_start = Instant::now();
+                        let result = run_cell(i);
+                        *slots[i].lock().expect("no other holder of this slot") =
+                            Some((result, cell_start.elapsed(), worker));
+                    })
+                })
+                .collect();
+            for worker in workers {
+                if let Err(payload) = worker.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        let mut results = Vec::with_capacity(count);
+        let mut cells = Vec::with_capacity(count);
+        for slot in slots {
+            let (result, wall, worker) = slot
+                .into_inner()
+                .expect("workers released every slot")
+                .expect("every cell index was claimed and run");
+            results.push(result);
+            cells.push((wall, worker));
+        }
+        (
+            results,
+            SweepProfile {
+                threads: workers_used,
+                cells,
+                wall: started.elapsed(),
+            },
+        )
+    }
+}
+
+/// Turn cell results back into per-workload reports (the shared tail of
+/// [`SweepRunner::run`] and [`SweepRunner::run_profiled`]).
+fn assemble_reports(grid: &SweepGrid, plan: &Plan, results: &[SimResult]) -> SweepReport {
+    let reports = grid
+        .workloads
+        .iter()
+        .zip(plan.baseline_of.iter().zip(&plan.run_start))
+        .map(|(w, (&baseline_cell, &first))| {
+            let mut runs = Vec::with_capacity(plan.configs.len() * grid.specs.len());
+            let mut cell = first;
+            for (config, &cores) in plan.configs.iter().zip(&grid.cores) {
+                for spec in &grid.specs {
+                    runs.push(RunRecord {
+                        cores,
+                        scheduler: spec.clone(),
+                        config: *config,
+                        metrics: results[cell].clone(),
+                    });
+                    cell += 1;
+                }
+            }
+            ExperimentReport::from_parts(
+                w.spec.canonical(),
+                results[baseline_cell].clone(),
+                plan.cells[baseline_cell].config,
+                runs,
+            )
+        })
+        .collect();
+    SweepReport { reports }
+}
+
+/// Wall-clock profile of one profiled sweep execution
+/// ([`SweepRunner::run_profiled`] / [`SweepRunner::run_cells_profiled`]).
+///
+/// Everything here is measured in host wall-clock time and therefore varies
+/// run to run — it exists for `--trace-summary` style diagnostics and must
+/// never be mixed into simulated results or golden artifacts.
+#[derive(Debug, Clone)]
+pub struct SweepProfile {
+    /// Worker threads actually used (≤ the runner's configured threads).
+    threads: usize,
+    /// Per cell, in cell-index order: wall time and the worker that ran it.
+    cells: Vec<(Duration, usize)>,
+    /// Wall time of the whole `run_cells` call.
+    wall: Duration,
+}
+
+impl SweepProfile {
+    /// Worker threads that participated.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of cells executed.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Wall time of cell `i`.
+    pub fn cell_wall(&self, i: usize) -> Duration {
+        self.cells[i].0
+    }
+
+    /// Worker that executed cell `i`.
+    pub fn cell_worker(&self, i: usize) -> usize {
+        self.cells[i].1
+    }
+
+    /// Wall time of the whole sweep (including pool setup and joins).
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Per-worker busy time (sum of the wall times of the cells it ran).
+    pub fn worker_busy(&self) -> Vec<Duration> {
+        let mut busy = vec![Duration::ZERO; self.threads];
+        for &(wall, worker) in &self.cells {
+            busy[worker] += wall;
+        }
+        busy
+    }
+
+    /// Pool utilization in [0, 1]: total busy time / (threads × wall).
+    pub fn utilization(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 || self.threads == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.worker_busy().iter().map(Duration::as_secs_f64).sum();
+        busy / (wall * self.threads as f64)
+    }
+
+    /// Render the profile as a per-worker [`Table`]: cells run and busy
+    /// milliseconds, with the overall wall time and utilization in the title.
+    pub fn to_table(&self) -> Table {
+        let busy = self.worker_busy();
+        let mut cells_run = vec![0f64; self.threads];
+        for &(_, worker) in &self.cells {
+            cells_run[worker] += 1.0;
+        }
+        let mut table = Table::new(
+            format!(
+                "sweep execution profile: {} cells on {} workers, {:.1} ms wall, {:.0}% utilization",
+                self.cells.len(),
+                self.threads,
+                self.wall.as_secs_f64() * 1e3,
+                self.utilization() * 100.0
+            ),
+            "worker",
+            (0..self.threads).map(|w| w.to_string()).collect(),
+        );
+        table.push_series(Series::new("cells", cells_run));
+        table.push_series(Series::new(
+            "busy_ms",
+            busy.iter().map(|d| d.as_secs_f64() * 1e3).collect(),
+        ));
+        table
     }
 }
 
@@ -556,5 +752,42 @@ mod tests {
     fn zero_threads_clamps_to_sequential() {
         assert_eq!(SweepRunner::new(0).threads(), 1);
         assert_eq!(SweepRunner::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_bit_for_bit() {
+        let grid = small_grid();
+        let plain = SweepRunner::sequential().run(&grid).unwrap();
+        for threads in [1usize, 3] {
+            let (report, profile) = SweepRunner::new(threads).run_profiled(&grid).unwrap();
+            assert_eq!(
+                report, plain,
+                "{threads} threads: profiling changed results"
+            );
+            // 1 shared... actually 2 distinct DAGs: 2 baselines + 2×(2 cores × 2 specs).
+            assert_eq!(profile.cell_count(), 10);
+            assert!(profile.threads() >= 1 && profile.threads() <= threads);
+            assert!(profile.wall() > Duration::ZERO);
+            let busy: Duration = profile.worker_busy().iter().sum();
+            assert!(busy > Duration::ZERO);
+            let u = profile.utilization();
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&u),
+                "utilization {u} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn run_cells_profiled_attributes_every_cell_to_a_worker() {
+        let runner = SweepRunner::new(4);
+        let (out, profile) = runner.run_cells_profiled(32, |i| i * 2);
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(profile.cell_count(), 32);
+        for i in 0..32 {
+            assert!(profile.cell_worker(i) < profile.threads());
+        }
+        let table = profile.to_table();
+        assert!(table.title.contains("32 cells"));
     }
 }

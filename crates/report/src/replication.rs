@@ -19,8 +19,11 @@
 
 use crate::artifact::ArtifactSet;
 use crate::figure::{json_string, slug, Figure};
+use pdfws_cmp_model::default_config;
 use pdfws_core::prelude::*;
 use pdfws_core::sweep::{SweepGrid, SweepRunner};
+use pdfws_schedulers::{simulate_traced, SimOptions};
+use pdfws_trace::timeline_table;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -310,6 +313,10 @@ pub struct ClaimResult {
     pub figures: Vec<Figure>,
     /// Extra raw artifacts (file name, contents).
     pub raw: Vec<(String, String)>,
+    /// A summarized execution timeline of one representative cell, attached
+    /// by [`ReplicationReport::attach_traces`] (rendered under `traces/<id>/`
+    /// in the artifact tree).  `None` until attached.
+    pub timeline: Option<Figure>,
 }
 
 /// An ordered, open set of claims.
@@ -376,6 +383,7 @@ impl ReplicationSuite {
                 cores: evaluation.cores,
                 figures: evaluation.figures,
                 raw: evaluation.raw,
+                timeline: None,
             });
         }
         Ok(ReplicationReport {
@@ -439,6 +447,23 @@ impl ReplicationReport {
             ));
         }
         out
+    }
+
+    /// Attach a summarized execution timeline to every claim: re-simulate one
+    /// representative cell per claim — its first workload spec at its largest
+    /// core count under its first scheduler spec — with event tracing on, and
+    /// bin the stream into a [`timeline_table`] figure.  The figures land
+    /// under `traces/<id>/` in [`ReplicationReport::artifacts_in`] and are
+    /// linked from the claim's `REPLICATION.md` section.
+    ///
+    /// Claims whose recorded axes cannot be re-instantiated (no workloads, an
+    /// unparseable spec, or a core count without a default configuration) are
+    /// skipped, not failed.  Only the `replicate` binary calls this; plain
+    /// suite runs stay trace-free.
+    pub fn attach_traces(&mut self) {
+        for r in &mut self.results {
+            r.timeline = timeline_figure_for(r);
+        }
     }
 
     /// The command that reproduces this run (or one claim of it).
@@ -545,6 +570,14 @@ impl ReplicationReport {
                     .collect();
                 out.push_str(&format!("\nArtifacts: {}\n", files.join(" · ")));
             }
+            if let Some(timeline) = &r.timeline {
+                let files: Vec<String> = ["csv", "jsonl", "md"]
+                    .iter()
+                    .map(|ext| format!("traces/{}/{}.{ext}", r.id, timeline.id))
+                    .map(|p| format!("[{p}]({p})"))
+                    .collect();
+                out.push_str(&format!("\nTimeline: {}\n", files.join(" · ")));
+            }
             for figure in &r.figures {
                 out.push('\n');
                 out.push_str(&figure.to_markdown());
@@ -577,9 +610,40 @@ impl ReplicationReport {
             for (name, contents) in &r.raw {
                 set.push(format!("{dir}/{name}"), contents.clone());
             }
+            if let Some(timeline) = &r.timeline {
+                set.push_figure(&format!("traces/{}", r.id), timeline);
+            }
         }
         set
     }
+}
+
+/// Bins of the per-claim timeline figures.
+const TRACE_FIGURE_BINS: usize = 24;
+
+/// The representative-cell timeline of one claim (see
+/// [`ReplicationReport::attach_traces`]), or `None` when the claim's recorded
+/// axes cannot be re-instantiated.
+fn timeline_figure_for(r: &ClaimResult) -> Option<Figure> {
+    let workload = r.workloads.first()?;
+    let scheduler = r.schedulers.first()?;
+    let cores = r.cores.iter().copied().max()?;
+    let wspec = workload.parse::<pdfws_workloads::WorkloadSpec>().ok()?;
+    let sspec = scheduler.parse::<SchedulerSpec>().ok()?;
+    let config = default_config(cores).ok()?;
+    let instance = WorkloadInstance::from_spec(&wspec);
+    let (_, events) = simulate_traced(&instance.dag, &config, &sspec, &SimOptions::default());
+    let table = timeline_table(
+        &format!("{workload} under {scheduler} @ {cores} cores"),
+        &events,
+        cores,
+        TRACE_FIGURE_BINS,
+    );
+    Some(Figure::new(
+        &format!("{}-timeline", r.id),
+        format!("Execution timeline: `{workload}` under `{scheduler}` @ {cores} cores"),
+        table,
+    ))
 }
 
 /// Escape `|` for use inside a markdown table cell.
@@ -729,6 +793,31 @@ mod tests {
         assert!(set.get("claims/ok-claim/syn-fig.md").is_some());
         assert!(set.get("claims/ok-claim/syn-fig.jsonl").is_some());
         assert_eq!(set.get("claims/bad-claim/notes.txt"), Some("hello\n"));
+    }
+
+    #[test]
+    fn attach_traces_adds_timeline_figures_and_artifacts() {
+        let mut report = two_claim_suite()
+            .run(SuiteConfig::new(true), |_| {})
+            .unwrap();
+        assert!(report.results.iter().all(|r| r.timeline.is_none()));
+        report.attach_traces();
+        // The synthetic claims record a real, re-instantiable cell
+        // (mergesort:n=1024 under pdf @ 8 cores), so every claim gets a
+        // timeline figure with populated bins.
+        for r in &report.results {
+            let timeline = r.timeline.as_ref().expect("timeline attached");
+            assert_eq!(timeline.id, format!("{}-timeline", r.id));
+            assert!(!timeline.table.x_values.is_empty());
+        }
+        let set = report.artifacts();
+        assert!(set.get("traces/ok-claim/ok-claim-timeline.csv").is_some());
+        assert!(set.get("traces/bad-claim/bad-claim-timeline.md").is_some());
+        let md = set.get("REPLICATION.md").unwrap();
+        assert!(
+            md.contains("(traces/ok-claim/ok-claim-timeline.csv)"),
+            "{md}"
+        );
     }
 
     #[test]

@@ -26,8 +26,14 @@ use pdfws_cache_sim::hierarchy::CmpCacheHierarchy;
 use pdfws_cache_sim::working_set::WorkingSetProfiler;
 use pdfws_cmp_model::CmpConfig;
 use pdfws_task_dag::{MemAccess, TaskDag, TaskId};
+use pdfws_trace::{PolicyEvent, TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Default period, in simulated cycles, of the windowed cache-counter samples
+/// emitted while a trace sink is installed (see
+/// [`SimEngine::set_trace_cache_window`]).
+pub const DEFAULT_TRACE_CACHE_WINDOW: u64 = 8_192;
 
 /// A synthetic co-runner that periodically touches the shared L2, used by the
 /// multiprogramming experiment and the job-stream subsystem.  Its references
@@ -202,6 +208,26 @@ pub struct SimEngine {
     next_disturbance_at: u64,
     disturbance_accesses: u64,
     started: bool,
+    /// Where emitted trace events go; `None` (the default) disables tracing
+    /// at the cost of one branch per emit site.
+    trace: Option<Box<dyn TraceSink>>,
+    /// Scratch buffer reused when draining policy-buffered events.
+    policy_events: Vec<PolicyEvent>,
+    /// Period of the windowed cache-counter samples.
+    trace_cache_window: u64,
+    /// Cycle at which the next cache-counter sample is due (`u64::MAX` while
+    /// tracing is off).
+    next_cache_sample_at: u64,
+    /// (accesses, l1 misses, l2 misses) totals at the previous window sample.
+    cache_sample_base: (u64, u64, u64),
+    /// Last emitted ready-depth value (consecutive duplicates are elided).
+    last_ready_depth: Option<u64>,
+    /// Per-core trace clocks: the timestamp of each core's last emitted
+    /// event.  The event loop can complete an overshooting core before an
+    /// earlier-queued one, so dispatch decisions made "in the past" of a core
+    /// that already ran ahead are re-stamped at the core's local clock —
+    /// per-core event streams are monotone non-decreasing by construction.
+    trace_core_clock: Vec<u64>,
 }
 
 impl SimEngine {
@@ -261,7 +287,116 @@ impl SimEngine {
             next_disturbance_at,
             disturbance_accesses: 0,
             started: false,
+            trace: None,
+            policy_events: Vec::new(),
+            trace_cache_window: DEFAULT_TRACE_CACHE_WINDOW,
+            next_cache_sample_at: u64::MAX,
+            cache_sample_base: (0, 0, 0),
+            last_ready_depth: None,
+            trace_core_clock: vec![0; config.cores],
         }
+    }
+
+    /// Install a trace sink and enable event emission.
+    ///
+    /// From now on the engine emits [`TraceEvent`]s (task start/complete,
+    /// core idle/busy transitions, ready-depth and windowed cache counters)
+    /// and drains the policy's buffered events (steals, migrations, the
+    /// hybrid switch), stamping them with simulation time.  Use a
+    /// [`pdfws_trace::SharedTrace`] handle to read the events back after the
+    /// run.  Install the sink before the first [`SimEngine::run_for`] call so
+    /// the initial dispatches are captured.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.policy.trace_enable();
+        self.next_cache_sample_at = self.now.saturating_add(self.trace_cache_window);
+        self.trace = Some(sink);
+    }
+
+    /// Remove the installed trace sink (if any), disabling event emission.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.next_cache_sample_at = u64::MAX;
+        self.trace.take()
+    }
+
+    /// Change the period of the windowed cache-counter samples (default
+    /// [`DEFAULT_TRACE_CACHE_WINDOW`] cycles).  The hierarchy's counters are
+    /// snapshotted once per window and emitted as deltas — per-access events
+    /// would dwarf everything else in the trace.
+    pub fn set_trace_cache_window(&mut self, cycles: u64) {
+        assert!(cycles > 0, "cache sample window must be positive");
+        self.trace_cache_window = cycles;
+        if self.trace.is_some() {
+            self.next_cache_sample_at = self.now.saturating_add(cycles);
+        }
+    }
+
+    /// Emit one event if a sink is installed.  Per-core events are clamped to
+    /// the core's local trace clock (see `trace_core_clock`).
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            match event.core() {
+                Some(core) => {
+                    let clock = &mut self.trace_core_clock[core];
+                    let t = event.time().max(*clock);
+                    *clock = t;
+                    sink.emit(event.with_time(t));
+                }
+                None => sink.emit(event),
+            }
+        }
+    }
+
+    /// Drain policy-buffered events, stamping them with time `t`.
+    fn drain_policy_trace(&mut self, t: u64) {
+        if self.trace.is_none() {
+            return;
+        }
+        let mut buffered = std::mem::take(&mut self.policy_events);
+        self.policy.trace_drain(&mut buffered);
+        for event in buffered.drain(..) {
+            self.emit(event.at(t));
+        }
+        self.policy_events = buffered;
+    }
+
+    /// Emit a ready-depth counter sample at time `t` unless unchanged.
+    fn emit_ready_depth(&mut self, t: u64) {
+        if self.trace.is_none() {
+            return;
+        }
+        let depth = self.policy.ready_count() as u64;
+        if self.last_ready_depth != Some(depth) {
+            self.last_ready_depth = Some(depth);
+            self.emit(TraceEvent::ReadyDepth { t, depth });
+        }
+    }
+
+    /// Emit the windowed cache-counter sample if one is due at time `t`.
+    /// With tracing off `next_cache_sample_at` is `u64::MAX`, so the inlined
+    /// fast path is a single compare on the simulation hot loop.
+    #[inline]
+    fn sample_cache_window(&mut self, t: u64) {
+        if t < self.next_cache_sample_at {
+            return;
+        }
+        let stats = self.hierarchy.stats();
+        let l1: u64 = stats.l1.iter().map(|c| c.misses()).sum();
+        let l2 = stats.l2.misses();
+        let accesses = self.memory_accesses + self.disturbance_accesses;
+        let (base_acc, base_l1, base_l2) = self.cache_sample_base;
+        self.cache_sample_base = (accesses, l1, l2);
+        while self.next_cache_sample_at <= t {
+            self.next_cache_sample_at = self
+                .next_cache_sample_at
+                .saturating_add(self.trace_cache_window);
+        }
+        self.emit(TraceEvent::CacheWindow {
+            t,
+            accesses: accesses - base_acc,
+            l1_misses: l1 - base_l1,
+            l2_misses: l2 - base_l2,
+        });
     }
 
     /// Run the simulation to completion and return the measurements.
@@ -286,6 +421,7 @@ impl SimEngine {
             self.policy.init(&self.dag);
             self.policy.task_ready(self.dag.root(), None);
             self.dispatch_idle_cores(self.now);
+            self.emit_ready_depth(self.now);
         }
         let deadline = self.now.saturating_add(budget);
 
@@ -313,6 +449,7 @@ impl SimEngine {
                 if end > self.now {
                     self.now = end;
                 }
+                self.sample_cache_window(self.now);
                 if finished {
                     let task = self.cores[core]
                         .running
@@ -385,7 +522,7 @@ impl SimEngine {
             tasks: self.dag.len(),
             busy_cycles: self.cores.iter().map(|c| c.busy_cycles).collect(),
             offchip_queue_cycles: self.offchip_queue_cycles,
-            steals: self.policy.steals(),
+            migrations: self.policy.migrations(),
             hierarchy: self.hierarchy.stats(),
             working_set: self.profiler.take().map(WorkingSetProfiler::finish),
         }
@@ -480,6 +617,11 @@ impl SimEngine {
     /// Handle completion of `task` on `core` at time `end`.
     fn complete_task(&mut self, task: TaskId, core: usize, end: u64) {
         self.completed += 1;
+        self.emit(TraceEvent::TaskComplete {
+            t: end,
+            core,
+            task: task.index() as u64,
+        });
         // Announce the completion first so frontier-tracking policies (e.g.
         // pdf:lag=N) see a fresh window before being asked for work.
         self.policy.task_complete(task, core);
@@ -490,14 +632,18 @@ impl SimEngine {
                 self.policy.task_ready(s, Some(core));
             }
         }
+        // Flush migrations buffered by `task_ready` before dispatch events.
+        self.drain_policy_trace(end);
         // This core asks for work first (keeps locality for LIFO policies), then
         // every idle core gets a chance.
         if let Some(next) = self.policy.next_task(core) {
             self.start_task(core, next, end);
         } else {
             self.idle[core] = true;
+            self.emit(TraceEvent::CoreIdle { t: end, core });
         }
         self.dispatch_idle_cores(end);
+        self.emit_ready_depth(end);
     }
 
     /// Give every idle core a chance to pick up work at time `now`.
@@ -509,10 +655,22 @@ impl SimEngine {
                 }
             }
         }
+        // Flush steal attempts/successes buffered by the `next_task` calls.
+        self.drain_policy_trace(now);
     }
 
     fn start_task(&mut self, core: usize, task: TaskId, now: u64) {
         debug_assert!(self.cores[core].running.is_none());
+        if self.trace.is_some() {
+            if self.idle[core] {
+                self.emit(TraceEvent::CoreBusy { t: now, core });
+            }
+            self.emit(TraceEvent::TaskStart {
+                t: now,
+                core,
+                task: task.index() as u64,
+            });
+        }
         self.cores[core].running = Some(RunningTask::new(&self.dag, task));
         self.idle[core] = false;
         self.events.push(Reverse((now, core)));

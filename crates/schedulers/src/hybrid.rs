@@ -22,6 +22,7 @@
 use crate::policy::SchedulerPolicy;
 use crate::ws::{StealGranularity, VictimSelect, WorkStealingPolicy};
 use pdfws_task_dag::{TaskDag, TaskId};
+use pdfws_trace::PolicyEvent;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -37,6 +38,11 @@ pub struct HybridPolicy {
     heap: BinaryHeap<Reverse<(u64, TaskId)>>,
     /// The post-switch engine; unused until the switch.
     ws: WorkStealingPolicy,
+    /// Whether the switch event is buffered for the engine's trace drain.
+    tracing: bool,
+    /// Buffered switch event since the last `trace_drain` (steals live in the
+    /// embedded WS policy's own buffer).
+    pending: Vec<PolicyEvent>,
 }
 
 impl HybridPolicy {
@@ -94,6 +100,8 @@ impl HybridPolicy {
             ranks: Vec::new(),
             heap: BinaryHeap::new(),
             ws,
+            tracing: false,
+            pending: Vec::new(),
         }
     }
 
@@ -113,6 +121,11 @@ impl HybridPolicy {
     /// sequentially-adjacent run of tasks — and enter WS mode.
     fn switch_to_deques(&mut self) {
         self.switched = true;
+        if self.tracing {
+            self.pending.push(PolicyEvent::HybridSwitch {
+                ready: self.heap.len() as u64,
+            });
+        }
         let mut backlog = Vec::with_capacity(self.heap.len());
         while let Some(Reverse((_, task))) = self.heap.pop() {
             backlog.push(task);
@@ -134,6 +147,8 @@ impl SchedulerPolicy for HybridPolicy {
         self.heap.clear();
         self.ws.init(dag);
         self.switched = false;
+        // `tracing` survives init, matching the embedded WS policy.
+        self.pending.clear();
     }
 
     fn task_ready(&mut self, task: TaskId, enabling_core: Option<usize>) {
@@ -160,8 +175,19 @@ impl SchedulerPolicy for HybridPolicy {
         self.heap.len() + self.ws.ready_count()
     }
 
-    fn steals(&self) -> u64 {
-        self.ws.steals()
+    fn migrations(&self) -> u64 {
+        self.ws.migrations()
+    }
+
+    fn trace_enable(&mut self) {
+        self.tracing = true;
+        self.ws.trace_enable();
+    }
+
+    fn trace_drain(&mut self, out: &mut Vec<PolicyEvent>) {
+        // The switch event precedes any steal the deque mode performed.
+        out.append(&mut self.pending);
+        self.ws.trace_drain(out);
     }
 }
 
@@ -183,7 +209,7 @@ mod tests {
             let pdf_order = drain_policy(&dag, &mut pdf, cores);
             assert_eq!(hybrid_order, pdf_order, "{cores} cores");
             assert!(!hybrid.switched());
-            assert_eq!(hybrid.steals(), 0, "never switched, never stole");
+            assert_eq!(hybrid.migrations(), 0, "never switched, never stole");
         }
     }
 
@@ -200,7 +226,7 @@ mod tests {
         let lazy_order = drain_policy(&dag, &mut lazy, cores);
         assert!(eager.switched());
         assert!(!lazy.switched());
-        assert!(eager.steals() > 0, "deque mode must have stolen");
+        assert!(eager.migrations() > 0, "deque mode must have stolen");
         assert_ne!(
             eager_order, lazy_order,
             "threshold did not change the schedule"
@@ -228,7 +254,11 @@ mod tests {
         assert_eq!(hybrid.next_task(1), Some(by_rank[3]));
         assert_eq!(hybrid.next_task(0), Some(by_rank[0]));
         assert_eq!(hybrid.next_task(1), Some(by_rank[2]));
-        assert_eq!(hybrid.steals(), 0, "everyone worked from their own deque");
+        assert_eq!(
+            hybrid.migrations(),
+            0,
+            "everyone worked from their own deque"
+        );
     }
 
     #[test]
@@ -238,7 +268,7 @@ mod tests {
         let started = drain_policy(&dag, &mut hybrid, 4);
         assert_eq!(started.len(), dag.len());
         assert!(hybrid.switched());
-        assert!(hybrid.steals() > 0);
+        assert!(hybrid.migrations() > 0);
     }
 
     #[test]
@@ -257,7 +287,7 @@ mod tests {
                 HybridPolicy::with_ws_options(4, 0, VictimSelect::RoundRobin, steal, 0);
             let started = drain_policy(&wide, &mut hybrid, 4);
             assert_eq!(started.len(), wide.len());
-            hybrid.steals()
+            hybrid.migrations()
         };
         let one = run(StealGranularity::One);
         let half = run(StealGranularity::Half);

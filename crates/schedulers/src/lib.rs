@@ -140,6 +140,28 @@ pub fn simulate_shared(
     engine.run()
 }
 
+/// [`simulate`] with a trace: returns the result plus every [`pdfws_trace::TraceEvent`]
+/// the run emitted (task start/complete per core, steals and migrations,
+/// idle/busy transitions, ready-depth and windowed cache counters).
+///
+/// Tracing buffers events but never perturbs the simulation: the returned
+/// [`SimResult`] is bit-identical to [`simulate`] on the same inputs.  Feed the
+/// events to [`pdfws_trace::chrome_trace_json`] for a Perfetto timeline or to
+/// [`pdfws_trace::timeline_table`] for a binned summary table.
+pub fn simulate_traced(
+    dag: &TaskDag,
+    config: &CmpConfig,
+    spec: &SchedulerSpec,
+    options: &SimOptions,
+) -> (SimResult, Vec<pdfws_trace::TraceEvent>) {
+    let policy = make_policy(spec, config.cores);
+    let mut engine = SimEngine::new(dag, config, policy, options.clone());
+    let shared = pdfws_trace::SharedTrace::new();
+    engine.set_trace_sink(Box::new(shared.clone()));
+    let result = engine.run();
+    (result, shared.take_events())
+}
+
 /// Simulate the sequential (single-core, depth-first) execution of `dag` on the
 /// given configuration but with exactly one core.  The paper's speedups divide
 /// this run's makespan by the parallel run's makespan.
@@ -177,5 +199,62 @@ mod tests {
             let policy = make_policy(&spec, 2);
             assert_eq!(policy.name(), spec.canonical());
         }
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        use pdfws_task_dag::builder::SpTree;
+        let dag = SpTree::Par(
+            (0..16)
+                .map(|i| SpTree::leaf(&format!("leaf{i}"), 5_000))
+                .collect(),
+        )
+        .into_dag()
+        .unwrap();
+        let cfg = pdfws_cmp_model::default_config(4).unwrap();
+        let options = SimOptions::default();
+        for spec in ["pdf", "ws", "static", "hybrid:threshold=2"] {
+            let spec: SchedulerSpec = spec.parse().unwrap();
+            let plain = simulate(&dag, &cfg, &spec, &options);
+            let (traced, events) = simulate_traced(&dag, &cfg, &spec, &options);
+            assert_eq!(plain, traced, "{}: tracing changed the result", spec);
+            let starts = events.iter().filter(|e| e.kind() == "task_start").count();
+            let completes = events
+                .iter()
+                .filter(|e| e.kind() == "task_complete")
+                .count();
+            assert_eq!(starts, dag.len(), "{spec}: one start per task");
+            assert_eq!(completes, dag.len(), "{spec}: one complete per task");
+        }
+    }
+
+    #[test]
+    fn traced_runs_capture_policy_events() {
+        use pdfws_task_dag::builder::SpTree;
+        let dag = SpTree::Par(
+            (0..32)
+                .map(|i| SpTree::leaf(&format!("leaf{i}"), 2_000))
+                .collect(),
+        )
+        .into_dag()
+        .unwrap();
+        let cfg = pdfws_cmp_model::default_config(4).unwrap();
+        let options = SimOptions::default();
+
+        let (ws, events) = simulate_traced(&dag, &cfg, &"ws".parse().unwrap(), &options);
+        let steals = events.iter().filter(|e| e.kind() == "steal").count() as u64;
+        assert_eq!(steals, ws.migrations, "every steal shows up in the trace");
+
+        let (st, events) = simulate_traced(&dag, &cfg, &"static".parse().unwrap(), &options);
+        let migrations = events.iter().filter(|e| e.kind() == "migration").count() as u64;
+        assert_eq!(migrations, st.migrations, "every migration is traced");
+
+        let (_hy, events) =
+            simulate_traced(&dag, &cfg, &"hybrid:threshold=2".parse().unwrap(), &options);
+        let switches = events
+            .iter()
+            .filter(|e| e.kind() == "hybrid_switch")
+            .count();
+        assert_eq!(switches, 1, "hybrid switches exactly once on this DAG");
     }
 }

@@ -236,7 +236,7 @@ mod tests {
         assert_eq!(pdf.ready_count(), 1);
         pdf.next_task(0);
         assert_eq!(pdf.ready_count(), 0);
-        assert_eq!(pdf.steals(), 0, "pdf has no migration concept");
+        assert_eq!(pdf.migrations(), 0, "pdf has no migration concept");
     }
 
     #[test]

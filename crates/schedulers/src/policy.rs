@@ -13,6 +13,7 @@
 //! parameterization that produced them.
 
 use pdfws_task_dag::{TaskDag, TaskId};
+use pdfws_trace::PolicyEvent;
 
 /// A scheduling policy: decides which ready task each free core executes next.
 ///
@@ -61,9 +62,36 @@ pub trait SchedulerPolicy {
     /// single global queue gives tasks no home core, so no handoff is a
     /// migration.  The default implementation returns 0 for policies with no
     /// migration concept.
-    fn steals(&self) -> u64 {
+    fn migrations(&self) -> u64 {
         0
     }
+
+    /// Deprecated name for [`migrations`](SchedulerPolicy::migrations).
+    ///
+    /// The counter has always mixed steal events with static cross-core
+    /// placements; `migrations` is the vocabulary the trace events and
+    /// `SimResult` use, so the old name survives only as an alias.
+    #[deprecated(since = "0.1.0", note = "renamed to `migrations`")]
+    fn steals(&self) -> u64 {
+        self.migrations()
+    }
+
+    /// Switch on buffering of scheduler-internal trace events.
+    ///
+    /// The engine calls this once when a trace sink is installed.  Policies
+    /// that have nothing to report (or custom registered policies that predate
+    /// tracing) keep the default no-op and stay trace-silent; the in-tree
+    /// policies start buffering [`PolicyEvent`]s for the engine to drain.
+    /// Buffering must survive a subsequent [`init`](SchedulerPolicy::init).
+    fn trace_enable(&mut self) {}
+
+    /// Drain buffered [`PolicyEvent`]s into `out`, preserving emission order.
+    ///
+    /// Policies do not know the simulation clock, so events are drained by the
+    /// engine right after the policy call that produced them and stamped with
+    /// the current simulation time.  The default is a no-op for policies that
+    /// never buffer.
+    fn trace_drain(&mut self, _out: &mut Vec<PolicyEvent>) {}
 }
 
 #[cfg(test)]

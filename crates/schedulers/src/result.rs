@@ -29,7 +29,7 @@ pub struct SimResult {
     /// Work migrations performed: steal events for deque-based policies
     /// (`ws`, post-switch `hybrid`), cross-core placements for `static`; 0 for
     /// `pdf`, whose global queue has no migration concept.
-    pub steals: u64,
+    pub migrations: u64,
     /// Cache-hierarchy statistics at the end of the run.
     pub hierarchy: HierarchyStats,
     /// Working-set profile of the interleaved access stream, if profiling was
@@ -67,6 +67,12 @@ impl SimResult {
         }
         baseline.cycles as f64 / self.cycles as f64
     }
+
+    /// Deprecated name for the [`migrations`](SimResult::migrations) field.
+    #[deprecated(since = "0.1.0", note = "renamed to the `migrations` field")]
+    pub fn steals(&self) -> u64 {
+        self.migrations
+    }
 }
 
 #[cfg(test)]
@@ -86,7 +92,7 @@ mod tests {
             tasks: 10,
             busy_cycles: busy,
             offchip_queue_cycles: 0,
-            steals: 0,
+            migrations: 0,
             hierarchy,
             working_set: None,
         }
@@ -105,6 +111,14 @@ mod tests {
         assert!((r.utilization() - 0.5).abs() < 1e-12);
         let empty = result(0, 0, 0, vec![]);
         assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_steals_alias_reads_the_migrations_field() {
+        let mut r = result(1000, 1, 0, vec![1000]);
+        r.migrations = 7;
+        assert_eq!(r.steals(), 7);
     }
 
     #[test]

@@ -9,14 +9,15 @@
 //! variants it reproduces the paper's finding that such programs "cannot exploit
 //! the constructive cache behavior inherent in PDF".
 //!
-//! The policy's [`steals`](SchedulerPolicy::steals) counter reports *cross-core
-//! placements*: tasks whose statically assigned home core differs from the core
-//! that enabled them.  Static partitioning never load-balances, but it moves
+//! The policy's [`migrations`](SchedulerPolicy::migrations) counter reports
+//! *cross-core placements*: tasks whose statically assigned home core differs
+//! from the core that enabled them.  Static partitioning never load-balances, but it moves
 //! work between cores constantly — every cross-core placement is a transfer a
 //! locality-aware scheduler would have avoided.
 
 use crate::policy::SchedulerPolicy;
 use pdfws_task_dag::{TaskDag, TaskId};
+use pdfws_trace::PolicyEvent;
 use std::collections::VecDeque;
 
 /// Static round-robin assignment with per-core FIFO queues.
@@ -26,6 +27,10 @@ pub struct StaticPartitionPolicy {
     queues: Vec<VecDeque<TaskId>>,
     /// Tasks queued on a home core different from their enabling core.
     migrations: u64,
+    /// Whether migration events are buffered for the engine's trace drain.
+    tracing: bool,
+    /// Buffered migration events since the last `trace_drain`.
+    pending: Vec<PolicyEvent>,
 }
 
 impl StaticPartitionPolicy {
@@ -36,6 +41,8 @@ impl StaticPartitionPolicy {
             name: "static".to_string(),
             queues: vec![VecDeque::new(); cores],
             migrations: 0,
+            tracing: false,
+            pending: Vec::new(),
         }
     }
 
@@ -66,12 +73,21 @@ impl SchedulerPolicy for StaticPartitionPolicy {
             q.clear();
         }
         self.migrations = 0;
+        // `tracing` survives init; the engine enables it before the run.
+        self.pending.clear();
     }
 
     fn task_ready(&mut self, task: TaskId, enabling_core: Option<usize>) {
         let home = self.home_core(task);
-        if enabling_core.is_some_and(|c| c != home) {
+        if let Some(core) = enabling_core.filter(|&c| c != home) {
             self.migrations += 1;
+            if self.tracing {
+                self.pending.push(PolicyEvent::Migration {
+                    core,
+                    home,
+                    task: task.index() as u64,
+                });
+            }
         }
         self.queues[home].push_back(task);
     }
@@ -84,8 +100,16 @@ impl SchedulerPolicy for StaticPartitionPolicy {
         self.queues.iter().map(VecDeque::len).sum()
     }
 
-    fn steals(&self) -> u64 {
+    fn migrations(&self) -> u64 {
         self.migrations
+    }
+
+    fn trace_enable(&mut self) {
+        self.tracing = true;
+    }
+
+    fn trace_drain(&mut self, out: &mut Vec<PolicyEvent>) {
+        out.append(&mut self.pending);
     }
 }
 
@@ -136,16 +160,16 @@ mod tests {
         let dag = b.finish().unwrap();
         let mut sp = StaticPartitionPolicy::new(3);
         sp.init(&dag);
-        assert_eq!(sp.steals(), 0);
+        assert_eq!(sp.migrations(), 0);
         // The root has no enabling core: not a migration.
         sp.task_ready(root, None);
-        assert_eq!(sp.steals(), 0);
+        assert_eq!(sp.migrations(), 0);
         // Core 0 enables all six kids; homes are 1,2,0,1,2,0 so four of them
         // land away from core 0.
         for &c in &kids {
             sp.task_ready(c, Some(0));
         }
-        assert_eq!(sp.steals(), 4);
+        assert_eq!(sp.migrations(), 4);
     }
 
     #[test]
@@ -176,10 +200,10 @@ mod tests {
             let started = drain_policy(&dag, &mut sp, cores);
             assert_eq!(started.len(), dag.len());
             if cores == 1 {
-                assert_eq!(sp.steals(), 0, "one core: every placement is home");
+                assert_eq!(sp.migrations(), 0, "one core: every placement is home");
             } else {
                 assert!(
-                    sp.steals() > 0,
+                    sp.migrations() > 0,
                     "round-robin homes on {cores} cores must migrate some tasks"
                 );
             }

@@ -26,6 +26,7 @@
 
 use crate::policy::SchedulerPolicy;
 use pdfws_task_dag::{TaskDag, TaskId};
+use pdfws_trace::PolicyEvent;
 use std::collections::VecDeque;
 
 /// How a thief chooses its victim.
@@ -66,6 +67,10 @@ pub struct WorkStealingPolicy {
     /// Tasks whose enabling core is unknown (only the root) go here and are taken
     /// by the first core that asks.
     unassigned: VecDeque<TaskId>,
+    /// Whether steal events are buffered for the engine's trace drain.
+    tracing: bool,
+    /// Buffered scheduler events since the last `trace_drain`.
+    pending: Vec<PolicyEvent>,
 }
 
 impl WorkStealingPolicy {
@@ -117,6 +122,8 @@ impl WorkStealingPolicy {
             seed,
             rng: seed_state(seed),
             unassigned: VecDeque::new(),
+            tracing: false,
+            pending: Vec::new(),
         }
     }
 
@@ -136,8 +143,9 @@ impl WorkStealingPolicy {
         self.deques[core].len()
     }
 
-    /// Total tasks transferred by steals (equals [`SchedulerPolicy::steals`]
-    /// under `steal=one`; larger under `steal=half`).
+    /// Total tasks transferred by steals (equals
+    /// [`SchedulerPolicy::migrations`] under `steal=one`; larger under
+    /// `steal=half`).
     pub fn tasks_stolen(&self) -> u64 {
         self.tasks_stolen
     }
@@ -195,10 +203,13 @@ impl WorkStealingPolicy {
     /// the configured granularity.  The victim's deque must be non-empty.
     fn steal_from(&mut self, core: usize, victim: usize) -> TaskId {
         self.steals += 1;
-        match self.steal {
+        let (first, moved) = match self.steal {
             StealGranularity::One => {
                 self.tasks_stolen += 1;
-                self.deques[victim].pop_front().expect("victim non-empty")
+                (
+                    self.deques[victim].pop_front().expect("victim non-empty"),
+                    1,
+                )
             }
             StealGranularity::Half => {
                 let take = self.deques[victim].len().div_ceil(2);
@@ -213,9 +224,18 @@ impl WorkStealingPolicy {
                 for &t in &stolen {
                     self.deques[core].push_back(t);
                 }
-                first
+                (first, take as u64)
             }
+        };
+        if self.tracing {
+            self.pending.push(PolicyEvent::Steal {
+                core,
+                victim,
+                task: first.index() as u64,
+                tasks: moved,
+            });
         }
+        first
     }
 }
 
@@ -232,6 +252,9 @@ impl SchedulerPolicy for WorkStealingPolicy {
         self.steals = 0;
         self.tasks_stolen = 0;
         self.rng = seed_state(self.seed);
+        // `tracing` survives init: the engine enables it when the sink is
+        // installed, before the run (and its init) begins.
+        self.pending.clear();
     }
 
     fn task_ready(&mut self, task: TaskId, enabling_core: Option<usize>) {
@@ -253,6 +276,9 @@ impl SchedulerPolicy for WorkStealingPolicy {
         // Steal from the bottom (front) of the first non-empty victim, in the
         // configured scan order.
         let n = self.deques.len();
+        if self.tracing && n > 1 {
+            self.pending.push(PolicyEvent::StealAttempt { core });
+        }
         for offset in 1..n {
             let victim = self.victim_at(core, offset);
             if !self.deques[victim].is_empty() {
@@ -266,8 +292,16 @@ impl SchedulerPolicy for WorkStealingPolicy {
         self.unassigned.len() + self.deques.iter().map(VecDeque::len).sum::<usize>()
     }
 
-    fn steals(&self) -> u64 {
+    fn migrations(&self) -> u64 {
         self.steals
+    }
+
+    fn trace_enable(&mut self) {
+        self.tracing = true;
+    }
+
+    fn trace_drain(&mut self, out: &mut Vec<PolicyEvent>) {
+        out.append(&mut self.pending);
     }
 }
 
@@ -316,11 +350,11 @@ mod tests {
         assert_eq!(ws.next_task(0), Some(kids[3]));
         // Thief (core 1) steals the oldest: c0.
         assert_eq!(ws.next_task(1), Some(kids[0]));
-        assert_eq!(ws.steals(), 1);
+        assert_eq!(ws.migrations(), 1);
         // Owner continues LIFO with c2; thief steals c1.
         assert_eq!(ws.next_task(0), Some(kids[2]));
         assert_eq!(ws.next_task(1), Some(kids[1]));
-        assert_eq!(ws.steals(), 2);
+        assert_eq!(ws.migrations(), 2);
         assert_eq!(ws.next_task(0), None);
         assert_eq!(ws.next_task(1), None);
     }
@@ -337,7 +371,7 @@ mod tests {
         assert_eq!(ws.next_task(1), Some(kids[0]));
         // Core 0 scans 1, 2, 3 -> also reaches core 3.
         assert_eq!(ws.next_task(0), Some(kids[1]));
-        assert_eq!(ws.steals(), 2);
+        assert_eq!(ws.migrations(), 2);
     }
 
     #[test]
@@ -349,7 +383,7 @@ mod tests {
         assert_eq!(ws.next_task(0), Some(dag.root()));
         ws.task_ready(kids[0], Some(0));
         assert_eq!(ws.next_task(0), Some(kids[0]));
-        assert_eq!(ws.steals(), 0);
+        assert_eq!(ws.migrations(), 0);
     }
 
     #[test]
@@ -360,7 +394,7 @@ mod tests {
         let mut ws = WorkStealingPolicy::new(1);
         let started = drain_policy(&dag, &mut ws, 1);
         assert_eq!(started, dag.one_df_order());
-        assert_eq!(ws.steals(), 0);
+        assert_eq!(ws.migrations(), 0);
     }
 
     #[test]
@@ -373,9 +407,9 @@ mod tests {
         let started = drain_policy(&dag, &mut ws, 4);
         assert_eq!(started.len(), dag.len());
         assert!(
-            (ws.steals() as usize) < dag.len() / 10,
+            (ws.migrations() as usize) < dag.len() / 10,
             "steals = {} out of {} tasks",
-            ws.steals(),
+            ws.migrations(),
             dag.len()
         );
     }
@@ -438,7 +472,7 @@ mod tests {
         // (c0) and keeps c1, c2 on its own deque in age order (c1 at the
         // bottom, c2 at the top).
         assert_eq!(ws.next_task(1), Some(kids[0]));
-        assert_eq!(ws.steals(), 1);
+        assert_eq!(ws.migrations(), 1);
         assert_eq!(ws.tasks_stolen(), 3);
         assert_eq!(ws.queue_len(1), 2);
         assert_eq!(ws.queue_len(0), 3);
@@ -446,7 +480,7 @@ mod tests {
         // usual deque discipline), with no new steal event.
         assert_eq!(ws.next_task(1), Some(kids[2]));
         assert_eq!(ws.next_task(1), Some(kids[1]));
-        assert_eq!(ws.steals(), 1);
+        assert_eq!(ws.migrations(), 1);
     }
 
     #[test]
@@ -472,7 +506,7 @@ mod tests {
         // stolen run (c1), not the youngest — the bottom-steal semantics hold
         // for re-stolen work too.
         assert_eq!(ws.next_task(2), Some(kids[1]));
-        assert_eq!(ws.steals(), 2);
+        assert_eq!(ws.migrations(), 2);
     }
 
     #[test]
@@ -492,7 +526,7 @@ mod tests {
             let mut ws = WorkStealingPolicy::with_options(4, VictimSelect::RoundRobin, steal, 0);
             let started = drain_policy(&dag, &mut ws, 4);
             assert_eq!(started.len(), dag.len());
-            ws.steals()
+            ws.migrations()
         };
         let one = run(StealGranularity::One);
         let half = run(StealGranularity::Half);
@@ -515,7 +549,7 @@ mod tests {
         // (distance 1 vs distance 3).
         assert_eq!(ws.next_task(3), Some(kids[1]));
         assert_eq!(ws.next_task(3), Some(kids[0]));
-        assert_eq!(ws.steals(), 2);
+        assert_eq!(ws.migrations(), 2);
     }
 
     #[test]

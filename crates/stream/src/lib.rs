@@ -65,9 +65,11 @@ pub use arrival::ArrivalProcess;
 pub use job::StreamJob;
 pub use record::{records_from_jsonl, JobRecord, StreamOutcome, StreamSummary};
 pub use sim_backend::{
-    run_stream_sim, run_stream_sim_with_jobs, validate_stream_cfg, StreamConfig,
+    run_stream_sim, run_stream_sim_traced, run_stream_sim_traced_with_jobs,
+    run_stream_sim_with_jobs, validate_stream_cfg, StreamConfig,
 };
 pub use source::JobMix;
 pub use thread_backend::{
-    run_stream_threads, ThreadJobRecord, ThreadStreamConfig, ThreadStreamOutcome,
+    run_stream_threads, run_stream_threads_traced, ThreadJobRecord, ThreadStreamConfig,
+    ThreadStreamOutcome,
 };

@@ -33,6 +33,9 @@ pub struct JobRecord {
     pub arrival_cycle: u64,
     /// Cycle the job was admitted to a slot.
     pub admit_cycle: u64,
+    /// Cycle the job first ran on the machine (its first quantum grant).
+    /// Equals `admit_cycle` when the supervisor dispatched it immediately.
+    pub dispatch_cycle: u64,
     /// Cycle the job's last task finished (global clock).
     pub completion_cycle: u64,
     /// Cycles the job sat in the admission queue (`admit - arrival`).
@@ -49,12 +52,18 @@ pub struct JobRecord {
 
 impl JobRecord {
     /// Serialize as one JSON object (one JSONL line, no trailing newline).
+    ///
+    /// The lifecycle timestamps additionally travel under the dashboard-style
+    /// aliases `t_admit` / `t_dispatch` / `t_complete` (`t_admit` =
+    /// `admit_cycle`, `t_complete` = `completion_cycle`; `t_dispatch` is the
+    /// only serialized form of `dispatch_cycle`).
     pub fn to_json(&self) -> String {
         format!(
             "{{\"id\":{},\"tenant\":{},\"workload\":{},\"class\":{},\"scheduler\":{},\
              \"arrival_cycle\":{},\"admit_cycle\":{},\"completion_cycle\":{},\
              \"queue_cycles\":{},\"sojourn_cycles\":{},\"service_cycles\":{},\
-             \"instructions\":{},\"l2_mpki\":{:?}}}",
+             \"instructions\":{},\"l2_mpki\":{:?},\
+             \"t_admit\":{},\"t_dispatch\":{},\"t_complete\":{}}}",
             self.id,
             self.tenant,
             json_string(&self.workload.to_string()),
@@ -68,6 +77,9 @@ impl JobRecord {
             self.service_cycles,
             self.instructions,
             self.l2_mpki,
+            self.admit_cycle,
+            self.dispatch_cycle,
+            self.completion_cycle,
         )
     }
 
@@ -98,6 +110,7 @@ impl JobRecord {
             scheduler,
             arrival_cycle: get("arrival_cycle")?.as_u64()?,
             admit_cycle: get("admit_cycle")?.as_u64()?,
+            dispatch_cycle: get("t_dispatch")?.as_u64()?,
             completion_cycle: get("completion_cycle")?.as_u64()?,
             queue_cycles: get("queue_cycles")?.as_u64()?,
             sojourn_cycles: get("sojourn_cycles")?.as_u64()?,
@@ -354,6 +367,7 @@ mod tests {
             scheduler: SchedulerSpec::pdf(),
             arrival_cycle: 0,
             admit_cycle: queue,
+            dispatch_cycle: queue,
             completion_cycle: sojourn,
             queue_cycles: queue,
             sojourn_cycles: sojourn,
@@ -447,6 +461,19 @@ mod tests {
         assert_eq!(text.lines().count(), 3);
         let back = records_from_jsonl(&text).unwrap();
         assert_eq!(back, o.records);
+    }
+
+    #[test]
+    fn lifecycle_timestamps_travel_as_t_aliases() {
+        let mut r = record(5, 10_000, 100);
+        r.dispatch_cycle = 250;
+        let line = r.to_json();
+        assert!(line.contains("\"t_admit\":100"), "{line}");
+        assert!(line.contains("\"t_dispatch\":250"), "{line}");
+        assert!(line.contains("\"t_complete\":10000"), "{line}");
+        let back = JobRecord::from_json(&line).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.dispatch_cycle, 250);
     }
 
     #[test]

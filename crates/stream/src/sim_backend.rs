@@ -23,6 +23,7 @@ use pdfws_cmp_model::{default_config, CmpConfig, ModelError};
 use pdfws_schedulers::{
     make_policy, Disturbance, EngineStatus, SchedulerSpec, SimEngine, SimOptions,
 };
+use pdfws_trace::{TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -82,6 +83,8 @@ struct ActiveJob {
     class: pdfws_workloads::WorkloadClass,
     arrival_cycle: u64,
     admit_cycle: u64,
+    /// Global cycle of the job's first quantum grant (None until it runs).
+    dispatch_cycle: Option<u64>,
     engine: SimEngine,
 }
 
@@ -127,6 +130,50 @@ pub fn run_stream_sim_with_jobs(
     tenants: usize,
     cfg: &StreamConfig,
 ) -> Result<StreamOutcome, ModelError> {
+    stream_sim_impl(jobs, tenants, cfg, None)
+}
+
+/// [`run_stream_sim`] with a trace sink: the supervisor additionally emits
+/// job-lifecycle [`TraceEvent`]s — `JobAdmit` when a job wins a slot,
+/// `JobDispatch` at its first quantum grant, `JobComplete` when it finishes,
+/// and an `OutstandingJobs` counter tracking co-residency — all stamped with
+/// the stream's global cycle clock.
+///
+/// Tracing never perturbs the run: the returned [`StreamOutcome`] is
+/// bit-identical to [`run_stream_sim`] on the same inputs.
+pub fn run_stream_sim_traced(
+    mix: &JobMix,
+    n_jobs: usize,
+    cfg: &StreamConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<StreamOutcome, ModelError> {
+    validate_stream_cfg(cfg);
+    stream_sim_impl(
+        mix.generate(n_jobs, cfg.seed),
+        mix.tenants(),
+        cfg,
+        Some(sink),
+    )
+}
+
+/// [`run_stream_sim_traced`] over already-sampled jobs (see
+/// [`run_stream_sim_with_jobs`] for the sharing rationale).
+pub fn run_stream_sim_traced_with_jobs(
+    jobs: Vec<StreamJob>,
+    tenants: usize,
+    cfg: &StreamConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<StreamOutcome, ModelError> {
+    stream_sim_impl(jobs, tenants, cfg, Some(sink))
+}
+
+/// The supervisor loop shared by the traced and untraced entry points.
+fn stream_sim_impl(
+    jobs: Vec<StreamJob>,
+    tenants: usize,
+    cfg: &StreamConfig,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> Result<StreamOutcome, ModelError> {
     validate_stream_cfg(cfg);
     let machine: CmpConfig = default_config(cfg.cores)?;
 
@@ -167,6 +214,7 @@ pub fn run_stream_sim_with_jobs(
     let mut active: Vec<ActiveJob> = Vec::new();
     let mut records: Vec<JobRecord> = Vec::with_capacity(n_jobs);
     let mut admission_order: Vec<u64> = Vec::with_capacity(n_jobs);
+    let mut last_outstanding: Option<u64> = None;
     let mut peak_concurrency = 0usize;
     let mut now: u64 = 0;
     let mut turn = 0usize;
@@ -210,6 +258,9 @@ pub fn run_stream_sim_with_jobs(
                 make_policy(&cfg.scheduler, machine.cores),
                 cfg.sim_options.clone(),
             );
+            if let Some(s) = sink.as_deref_mut() {
+                s.emit(TraceEvent::JobAdmit { t: now, job: id });
+            }
             active.push(ActiveJob {
                 id,
                 tenant,
@@ -217,10 +268,21 @@ pub fn run_stream_sim_with_jobs(
                 class,
                 arrival_cycle,
                 admit_cycle: now,
+                dispatch_cycle: None,
                 engine,
             });
         }
         peak_concurrency = peak_concurrency.max(active.len());
+        if let Some(s) = sink.as_deref_mut() {
+            let jobs_now = active.len() as u64;
+            if last_outstanding != Some(jobs_now) {
+                last_outstanding = Some(jobs_now);
+                s.emit(TraceEvent::OutstandingJobs {
+                    t: now,
+                    jobs: jobs_now,
+                });
+            }
+        }
 
         // 3. Nothing runnable: jump the clock to the next arrival.
         if active.is_empty() {
@@ -253,6 +315,13 @@ pub fn run_stream_sim_with_jobs(
             None
         };
         slot.engine.set_disturbance(disturbance);
+        if slot.dispatch_cycle.is_none() {
+            slot.dispatch_cycle = Some(now);
+            if let Some(s) = sink.as_deref_mut() {
+                let job = slot.id;
+                s.emit(TraceEvent::JobDispatch { t: now, job });
+            }
+        }
         let before = slot.engine.now();
         let status = slot.engine.run_for(cfg.quantum_cycles);
         let consumed = slot.engine.now() - before;
@@ -263,6 +332,18 @@ pub fn run_stream_sim_with_jobs(
         if status == EngineStatus::Done {
             let mut done = active.swap_remove(turn);
             let metrics = done.engine.result();
+            if let Some(s) = sink.as_deref_mut() {
+                s.emit(TraceEvent::JobComplete {
+                    t: now,
+                    job: done.id,
+                });
+                let jobs_now = active.len() as u64;
+                last_outstanding = Some(jobs_now);
+                s.emit(TraceEvent::OutstandingJobs {
+                    t: now,
+                    jobs: jobs_now,
+                });
+            }
             records.push(JobRecord {
                 id: done.id,
                 tenant: done.tenant,
@@ -271,6 +352,9 @@ pub fn run_stream_sim_with_jobs(
                 scheduler: cfg.scheduler.clone(),
                 arrival_cycle: done.arrival_cycle,
                 admit_cycle: done.admit_cycle,
+                dispatch_cycle: done
+                    .dispatch_cycle
+                    .expect("a completed job was dispatched at least once"),
                 completion_cycle: now,
                 queue_cycles: done.admit_cycle - done.arrival_cycle,
                 sojourn_cycles: now - done.arrival_cycle,
@@ -342,6 +426,24 @@ mod tests {
                     .max()
                     .unwrap()
         );
+    }
+
+    #[test]
+    fn traced_stream_matches_untraced_and_captures_job_lifecycles() {
+        let mix = JobMix::class_b();
+        let cfg = quick_cfg(SchedulerSpec::pdf());
+        let plain = run_stream_sim(&mix, 8, &cfg).unwrap();
+        let mut trace = pdfws_trace::EventTrace::new();
+        let traced = run_stream_sim_traced(&mix, 8, &cfg, &mut trace).unwrap();
+        assert_eq!(plain, traced, "tracing changed the stream outcome");
+        assert_eq!(trace.count("job_admit"), 8);
+        assert_eq!(trace.count("job_dispatch"), 8);
+        assert_eq!(trace.count("job_complete"), 8);
+        assert!(trace.count("outstanding_jobs") > 0);
+        for r in &traced.records {
+            assert!(r.dispatch_cycle >= r.admit_cycle);
+            assert!(r.dispatch_cycle < r.completion_cycle);
+        }
     }
 
     #[test]

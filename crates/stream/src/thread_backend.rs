@@ -64,6 +64,12 @@ pub struct ThreadJobRecord {
     pub sojourn: Duration,
     /// Tasks in the job's DAG.
     pub tasks: usize,
+    /// Offset from run start when a client thread picked the job up.
+    pub t_admit: Duration,
+    /// Offset from run start when the pool began executing the job's DAG.
+    pub t_dispatch: Duration,
+    /// Offset from run start when the job's last task finished.
+    pub t_complete: Duration,
 }
 
 /// Result of one real-thread stream run.
@@ -187,12 +193,20 @@ fn serve<P: ForkJoinPool>(
                 }
                 let job = &jobs[i];
                 let submitted = Instant::now();
-                pool.install(|| execute_dag(pool, &job.dag, cfg.ns_per_kinstr));
+                let t_admit = submitted.duration_since(start);
+                let mut t_dispatch = t_admit;
+                pool.install(|| {
+                    t_dispatch = start.elapsed();
+                    execute_dag(pool, &job.dag, cfg.ns_per_kinstr)
+                });
                 let record = ThreadJobRecord {
                     id: job.id,
                     workload: job.workload.canonical(),
                     sojourn: submitted.elapsed(),
                     tasks: job.dag.len(),
+                    t_admit,
+                    t_dispatch,
+                    t_complete: start.elapsed(),
                 };
                 records
                     .lock()
@@ -249,6 +263,47 @@ pub fn run_stream_threads(
     }
 }
 
+/// [`run_stream_threads`] with a trace sink: after the run, job-lifecycle
+/// [`TraceEvent`](pdfws_trace::TraceEvent)s (`JobAdmit` / `JobDispatch` /
+/// `JobComplete`) are
+/// synthesized from the per-job wall-clock records and emitted in timestamp
+/// order, with nanosecond offsets from run start as the time base.
+///
+/// Events are synthesized post-run rather than emitted live because the sink
+/// trait is single-threaded and the serving loop runs on scoped client
+/// threads.  Wall-clock timestamps are host-dependent by nature — thread-tier
+/// traces are for inspection, never for golden files.
+pub fn run_stream_threads_traced(
+    mix: &JobMix,
+    n_jobs: usize,
+    cfg: &ThreadStreamConfig,
+    sink: &mut dyn pdfws_trace::TraceSink,
+) -> Result<ThreadStreamOutcome, PoolError> {
+    use pdfws_trace::TraceEvent;
+    let outcome = run_stream_threads(mix, n_jobs, cfg)?;
+    let mut events: Vec<TraceEvent> = Vec::with_capacity(outcome.records.len() * 3);
+    for r in &outcome.records {
+        events.push(TraceEvent::JobAdmit {
+            t: r.t_admit.as_nanos() as u64,
+            job: r.id,
+        });
+        events.push(TraceEvent::JobDispatch {
+            t: r.t_dispatch.as_nanos() as u64,
+            job: r.id,
+        });
+        events.push(TraceEvent::JobComplete {
+            t: r.t_complete.as_nanos() as u64,
+            job: r.id,
+        });
+    }
+    // Stable sort: equal timestamps keep admit -> dispatch -> complete order.
+    events.sort_by_key(TraceEvent::time);
+    for event in events {
+        sink.emit(event);
+    }
+    Ok(outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,7 +346,33 @@ mod tests {
             let q = outcome.sojourn_micros();
             assert_eq!(q.count, 6);
             assert!(q.p99 >= q.p50);
+            for r in &outcome.records {
+                assert!(r.t_admit <= r.t_dispatch, "{spec}: dispatch before admit");
+                assert!(
+                    r.t_dispatch <= r.t_complete,
+                    "{spec}: complete before dispatch"
+                );
+                assert!(r.t_complete <= outcome.wall + Duration::from_millis(1));
+            }
         }
+    }
+
+    #[test]
+    fn traced_thread_stream_synthesizes_sorted_job_events() {
+        let mix = JobMix::class_b();
+        let mut cfg = ThreadStreamConfig::new(2, SchedulerSpec::ws());
+        cfg.ns_per_kinstr = 5;
+        let mut trace = pdfws_trace::EventTrace::new();
+        let outcome = run_stream_threads_traced(&mix, 5, &cfg, &mut trace).unwrap();
+        assert_eq!(outcome.records.len(), 5);
+        assert_eq!(trace.count("job_admit"), 5);
+        assert_eq!(trace.count("job_dispatch"), 5);
+        assert_eq!(trace.count("job_complete"), 5);
+        let times: Vec<u64> = trace.events().iter().map(|e| e.time()).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "unsorted: {times:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Deterministic Chrome trace-event (Perfetto) JSON export.
+//!
+//! Emits the JSON object format `{"traceEvents":[...]}` understood by
+//! `ui.perfetto.dev` and `chrome://tracing`:
+//!
+//! * one *process* per [`TraceTrack`] (one simulated run, e.g. one scheduler
+//!   spec), one *thread* per core, so WS and PDF runs of the same cell sit
+//!   side by side in the viewer;
+//! * `"X"` complete slices for task executions (paired from
+//!   `TaskStart`/`TaskComplete`);
+//! * `"i"` instant events for steal attempts, steals (with the victim in
+//!   `args`), migrations, and the hybrid PDF→WS switch;
+//! * `"C"` counter tracks for ready-queue depth, busy cores, windowed cache
+//!   misses, and outstanding stream jobs;
+//! * `"b"`/`"n"`/`"e"` async slices spanning each stream job's
+//!   admit→dispatch→complete lifetime.
+//!
+//! Timestamps are the raw [`TraceTime`](crate::event::TraceTime) integers
+//! (simulated cycles); the viewer labels them "µs", which is harmless for the
+//! relative timeline.  The output is byte-deterministic: integers only, fixed
+//! key order, no hash-map iteration — a golden-bytes test pins it across
+//! `SweepRunner` thread counts.
+
+use crate::event::TraceEvent;
+
+/// One process row in the exported trace: a named run over `cores` cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceTrack {
+    /// Process id in the viewer; keep these unique and small (1, 2, ...).
+    pub pid: u64,
+    /// Process name, e.g. the canonical scheduler spec (`ws:steal=half`).
+    pub name: String,
+    /// Number of cores (threads) the run simulated.
+    pub cores: usize,
+    /// The run's events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceTrack {
+    /// Bundle a run's events into a track.
+    pub fn new(pid: u64, name: impl Into<String>, cores: usize, events: Vec<TraceEvent>) -> Self {
+        TraceTrack {
+            pid,
+            name: name.into(),
+            cores,
+            events,
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal (without quotes).
+fn json_escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Append one track's events to `out` as trace-event JSON objects.
+fn push_track(out: &mut Vec<String>, track: &TraceTrack) {
+    let pid = track.pid;
+    out.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
+        json_escaped(&track.name)
+    ));
+    out.push(format!(
+        "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"sort_index\":{pid}}}}}"
+    ));
+    for core in 0..track.cores {
+        out.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{core},\"args\":{{\"name\":\"core {core}\"}}}}"
+        ));
+    }
+
+    // One open (task, start-time) slot per core; the engines run at most one
+    // task per core at a time.
+    let mut open: Vec<Option<(u64, u64)>> = vec![None; track.cores];
+    let mut busy_cores: u64 = 0;
+    let mut end: u64 = 0;
+
+    for event in &track.events {
+        end = end.max(event.time());
+        match *event {
+            TraceEvent::TaskStart { t, core, task } => {
+                if core < open.len() {
+                    open[core] = Some((task, t));
+                }
+            }
+            TraceEvent::TaskComplete { t, core, task } => {
+                let start = match open.get_mut(core).and_then(Option::take) {
+                    Some((_, start)) => start,
+                    None => t,
+                };
+                out.push(format!(
+                    "{{\"name\":\"task {task}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{start},\"dur\":{},\"pid\":{pid},\"tid\":{core},\"args\":{{\"task\":{task}}}}}",
+                    t.saturating_sub(start)
+                ));
+            }
+            TraceEvent::StealAttempt { t, core } => {
+                out.push(format!(
+                    "{{\"name\":\"steal_attempt\",\"cat\":\"steal\",\"ph\":\"i\",\"ts\":{t},\"pid\":{pid},\"tid\":{core},\"s\":\"t\"}}"
+                ));
+            }
+            TraceEvent::Steal {
+                t,
+                core,
+                victim,
+                task,
+                tasks,
+            } => {
+                out.push(format!(
+                    "{{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"i\",\"ts\":{t},\"pid\":{pid},\"tid\":{core},\"s\":\"t\",\"args\":{{\"victim\":{victim},\"task\":{task},\"tasks\":{tasks}}}}}"
+                ));
+            }
+            TraceEvent::Migration {
+                t,
+                core,
+                home,
+                task,
+            } => {
+                out.push(format!(
+                    "{{\"name\":\"migration\",\"cat\":\"migration\",\"ph\":\"i\",\"ts\":{t},\"pid\":{pid},\"tid\":{home},\"s\":\"t\",\"args\":{{\"from\":{core},\"task\":{task}}}}}"
+                ));
+            }
+            TraceEvent::HybridSwitch { t, ready } => {
+                out.push(format!(
+                    "{{\"name\":\"hybrid_switch\",\"cat\":\"scheduler\",\"ph\":\"i\",\"ts\":{t},\"pid\":{pid},\"tid\":0,\"s\":\"p\",\"args\":{{\"ready\":{ready}}}}}"
+                ));
+            }
+            TraceEvent::CoreBusy { t, .. } => {
+                busy_cores += 1;
+                out.push(format!(
+                    "{{\"name\":\"busy_cores\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"busy\":{busy_cores}}}}}"
+                ));
+            }
+            TraceEvent::CoreIdle { t, .. } => {
+                busy_cores = busy_cores.saturating_sub(1);
+                out.push(format!(
+                    "{{\"name\":\"busy_cores\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"busy\":{busy_cores}}}}}"
+                ));
+            }
+            TraceEvent::ReadyDepth { t, depth } => {
+                out.push(format!(
+                    "{{\"name\":\"ready_depth\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"ready\":{depth}}}}}"
+                ));
+            }
+            TraceEvent::CacheWindow {
+                t,
+                accesses,
+                l1_misses,
+                l2_misses,
+            } => {
+                out.push(format!(
+                    "{{\"name\":\"cache_misses\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"l1\":{l1_misses},\"l2\":{l2_misses}}}}}"
+                ));
+                out.push(format!(
+                    "{{\"name\":\"mem_accesses\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"accesses\":{accesses}}}}}"
+                ));
+            }
+            TraceEvent::JobAdmit { t, job } => {
+                out.push(format!(
+                    "{{\"name\":\"job\",\"cat\":\"job\",\"ph\":\"b\",\"id\":{job},\"ts\":{t},\"pid\":{pid},\"tid\":0}}"
+                ));
+            }
+            TraceEvent::JobDispatch { t, job } => {
+                out.push(format!(
+                    "{{\"name\":\"dispatch\",\"cat\":\"job\",\"ph\":\"n\",\"id\":{job},\"ts\":{t},\"pid\":{pid},\"tid\":0}}"
+                ));
+            }
+            TraceEvent::JobComplete { t, job } => {
+                out.push(format!(
+                    "{{\"name\":\"job\",\"cat\":\"job\",\"ph\":\"e\",\"id\":{job},\"ts\":{t},\"pid\":{pid},\"tid\":0}}"
+                ));
+            }
+            TraceEvent::OutstandingJobs { t, jobs } => {
+                out.push(format!(
+                    "{{\"name\":\"outstanding_jobs\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"jobs\":{jobs}}}}}"
+                ));
+            }
+        }
+    }
+
+    // Close any slice still open at the end of the run (a task the trace saw
+    // start but not finish) at the last observed timestamp.
+    for (core, slot) in open.iter().enumerate() {
+        if let Some((task, start)) = *slot {
+            out.push(format!(
+                "{{\"name\":\"task {task}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{start},\"dur\":{},\"pid\":{pid},\"tid\":{core},\"args\":{{\"task\":{task}}}}}",
+                end.saturating_sub(start)
+            ));
+        }
+    }
+}
+
+/// Render tracks as a Chrome trace-event JSON document.
+///
+/// The output is byte-deterministic for identical inputs; load it in
+/// `ui.perfetto.dev` or `chrome://tracing`.
+pub fn chrome_trace_json(tracks: &[TraceTrack]) -> String {
+    let mut objects: Vec<String> = Vec::new();
+    for track in tracks {
+        push_track(&mut objects, track);
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&objects.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_track() -> TraceTrack {
+        TraceTrack::new(
+            1,
+            "ws",
+            2,
+            vec![
+                TraceEvent::CoreBusy { t: 0, core: 0 },
+                TraceEvent::TaskStart {
+                    t: 0,
+                    core: 0,
+                    task: 0,
+                },
+                TraceEvent::ReadyDepth { t: 0, depth: 2 },
+                TraceEvent::StealAttempt { t: 3, core: 1 },
+                TraceEvent::Steal {
+                    t: 3,
+                    core: 1,
+                    victim: 0,
+                    task: 2,
+                    tasks: 1,
+                },
+                TraceEvent::TaskComplete {
+                    t: 10,
+                    core: 0,
+                    task: 0,
+                },
+                TraceEvent::CoreIdle { t: 10, core: 0 },
+                TraceEvent::CacheWindow {
+                    t: 8,
+                    accesses: 64,
+                    l1_misses: 9,
+                    l2_misses: 3,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn exports_slices_instants_and_counters() {
+        let json = chrome_trace_json(&[small_track()]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"ws\""));
+        assert!(json.contains("\"name\":\"core 1\""));
+        assert!(json.contains("\"ph\":\"X\",\"ts\":0,\"dur\":10"));
+        assert!(json.contains("\"name\":\"steal\""));
+        assert!(json.contains("\"victim\":0"));
+        assert!(json.contains("\"name\":\"ready_depth\""));
+        assert!(json.contains("\"l2\":3"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let a = chrome_trace_json(&[small_track()]);
+        let b = chrome_trace_json(&[small_track()]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unclosed_tasks_are_closed_at_trace_end() {
+        let track = TraceTrack::new(
+            1,
+            "pdf",
+            1,
+            vec![
+                TraceEvent::TaskStart {
+                    t: 5,
+                    core: 0,
+                    task: 9,
+                },
+                TraceEvent::ReadyDepth { t: 20, depth: 0 },
+            ],
+        );
+        let json = chrome_trace_json(&[track]);
+        assert!(json.contains("\"name\":\"task 9\""));
+        assert!(json.contains("\"ts\":5,\"dur\":15"));
+    }
+
+    #[test]
+    fn job_lifecycle_becomes_async_slices() {
+        let track = TraceTrack::new(
+            3,
+            "stream",
+            1,
+            vec![
+                TraceEvent::JobAdmit { t: 1, job: 42 },
+                TraceEvent::OutstandingJobs { t: 1, jobs: 1 },
+                TraceEvent::JobDispatch { t: 2, job: 42 },
+                TraceEvent::JobComplete { t: 9, job: 42 },
+            ],
+        );
+        let json = chrome_trace_json(&[track]);
+        assert!(json.contains("\"ph\":\"b\",\"id\":42"));
+        assert!(json.contains("\"ph\":\"n\",\"id\":42"));
+        assert!(json.contains("\"ph\":\"e\",\"id\":42"));
+        assert!(json.contains("\"outstanding_jobs\""));
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let track = TraceTrack::new(1, "a\"b\\c", 1, Vec::new());
+        let json = chrome_trace_json(&[track]);
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+}

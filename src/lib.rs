@@ -18,6 +18,8 @@
 //!   traffic, reporting.
 //! * [`stream`] — the multiprogrammed job-stream subsystem: open/closed-loop DAG
 //!   arrivals, admission policies, and latency-SLO metrics under load.
+//! * [`trace`] — structured event tracing: typed per-core/steal/cache-window
+//!   events, Perfetto (Chrome trace-event) export, and binned timeline tables.
 //! * [`core`](mod@core_api) — the high-level [`Experiment`](core_api::experiment::Experiment)
 //!   and [`StreamExperiment`](core_api::stream_experiment::StreamExperiment) APIs
 //!   used by every example and benchmark.
@@ -52,6 +54,7 @@ pub use pdfws_runtime as runtime;
 pub use pdfws_schedulers as schedulers;
 pub use pdfws_stream as stream;
 pub use pdfws_task_dag as task_dag;
+pub use pdfws_trace as trace;
 pub use pdfws_workloads as workloads;
 
 /// Convenience prelude re-exporting the types used by virtually every experiment.

@@ -185,10 +185,10 @@ fn experiments_distinguish_two_variants_of_the_same_policy() {
     assert_eq!(half.metrics.scheduler, "ws:steal=half");
     // And the parameter is really live: coarser steals -> fewer steal events.
     assert!(
-        half.metrics.steals <= one.metrics.steals,
+        half.metrics.migrations <= one.metrics.migrations,
         "steal=half should not out-steal steal=one: {} vs {}",
-        half.metrics.steals,
-        one.metrics.steals
+        half.metrics.migrations,
+        one.metrics.migrations
     );
 }
 
