@@ -21,8 +21,8 @@
 //! ```
 
 use pdfws_bench::{
-    emit_tables, emit_trace, maybe_help, maybe_list, quick_mode, runner, scaled, sizes,
-    text_output, threads_arg, workloads_or,
+    emit_tables, emit_trace, grid_with_memsys, maybe_help, maybe_list, quick_mode, runner, scaled,
+    sizes, text_output, threads_arg, workloads_or,
 };
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
@@ -70,10 +70,12 @@ fn main() {
         cores,
         threads_arg()
     );
-    let grid = SweepGrid::new()
-        .workloads(&variants)
-        .cores(&cores)
-        .specs(&[SchedulerSpec::pdf()]);
+    let grid = grid_with_memsys(
+        SweepGrid::new()
+            .workloads(&variants)
+            .cores(&cores)
+            .specs(&[SchedulerSpec::pdf()]),
+    );
     let reports = runner()
         .run(&grid)
         .expect("default configurations exist")

@@ -20,8 +20,8 @@
 //! [`JobRecord`]: pdfws_stream::JobRecord
 
 use pdfws_bench::{
-    emit_stream_trace, emit_tables, maybe_help, maybe_list, output_mode, quick_mode, threads_arg,
-    workload_spec_args, OutputMode,
+    emit_stream_trace, emit_tables, maybe_help, maybe_list, output_mode, quick_mode,
+    stream_with_memsys, threads_arg, workload_spec_args, OutputMode,
 };
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
@@ -62,17 +62,19 @@ fn main() {
     let json = output_mode() == OutputMode::Json;
     for mix in &mixes {
         for &rate in &rates {
-            let report = StreamExperiment::new(mix.clone())
-                .jobs(jobs)
-                .cores(cores)
-                .arrivals(ArrivalProcess::OpenLoopPoisson {
-                    jobs_per_mcycle: rate,
-                    seed: 0x57_2EA4,
-                })
-                .admission(AdmissionPolicy::Fifo)
-                .threads(threads)
-                .run()
-                .expect("default configurations exist for 8 cores");
+            let report = stream_with_memsys(
+                StreamExperiment::new(mix.clone())
+                    .jobs(jobs)
+                    .cores(cores)
+                    .arrivals(ArrivalProcess::OpenLoopPoisson {
+                        jobs_per_mcycle: rate,
+                        seed: 0x57_2EA4,
+                    })
+                    .admission(AdmissionPolicy::Fifo)
+                    .threads(threads),
+            )
+            .run()
+            .expect("default configurations exist for 8 cores");
             if json {
                 // The per-job record sink: one JSONL line per completed job,
                 // each carrying its full scheduler and workload spec strings.

@@ -20,8 +20,8 @@
 //! used; both parts study one program); `--list` prints the spec grammars.
 
 use pdfws_bench::{
-    emit_tables, emit_trace, maybe_help, maybe_list, quick_mode, runner, scaled, sizes,
-    text_output, threads_arg, workload_spec_args,
+    emit_tables, emit_trace, experiment_with_memsys, maybe_help, maybe_list, quick_mode, runner,
+    scaled, sizes, text_output, threads_arg, workload_spec_args,
 };
 use pdfws_cache_sim::power::{estimate_energy, EnergyModel};
 use pdfws_cmp_model::{default_config, sweep::sweep_l2_fraction};
@@ -75,13 +75,15 @@ fn main() {
     let threads = threads_arg();
     eprintln!("# power-down sweep on {threads} threads ...");
     let reports: Vec<ExperimentReport> = runner().run_cells(configs.len(), |i| {
-        Experiment::new(workload.clone())
-            .cores(CORES)
-            .with_config(configs[i])
-            .schedulers(&SchedulerSpec::paper_pair())
-            .threads(1) // the outer run_cells already owns the worker pool
-            .run()
-            .expect("experiment runs")
+        experiment_with_memsys(
+            Experiment::new(workload.clone())
+                .cores(CORES)
+                .with_config(configs[i])
+                .schedulers(&SchedulerSpec::paper_pair())
+                .threads(1), // the outer run_cells already owns the worker pool
+        )
+        .run()
+        .expect("experiment runs")
     });
     for spec in SchedulerSpec::paper_pair() {
         let mut cycles = Vec::new();
@@ -121,22 +123,26 @@ fn main() {
     );
     // One experiment per scenario, both schedulers as cells of the same sweep.
     eprintln!("# multiprogramming sweep on {threads} threads ...");
-    let alone = Experiment::new(workload.clone())
-        .cores(CORES)
-        .schedulers(&SchedulerSpec::paper_pair())
-        .threads(threads)
-        .run()
-        .expect("experiment runs");
-    let noisy = Experiment::new(workload.clone())
-        .cores(CORES)
-        .schedulers(&SchedulerSpec::paper_pair())
-        .options(SimOptions {
-            disturbance: Some(disturbance),
-            ..SimOptions::default()
-        })
-        .threads(threads)
-        .run()
-        .expect("experiment runs");
+    let alone = experiment_with_memsys(
+        Experiment::new(workload.clone())
+            .cores(CORES)
+            .schedulers(&SchedulerSpec::paper_pair())
+            .threads(threads),
+    )
+    .run()
+    .expect("experiment runs");
+    let noisy = experiment_with_memsys(
+        Experiment::new(workload.clone())
+            .cores(CORES)
+            .schedulers(&SchedulerSpec::paper_pair())
+            .options(SimOptions {
+                disturbance: Some(disturbance),
+                ..SimOptions::default()
+            })
+            .threads(threads),
+    )
+    .run()
+    .expect("experiment runs");
     for spec in SchedulerSpec::paper_pair() {
         let alone_cycles = alone.find(CORES, &spec).unwrap().metrics.cycles as f64;
         let noisy_cycles = noisy.find(CORES, &spec).unwrap().metrics.cycles as f64;

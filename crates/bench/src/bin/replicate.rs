@@ -21,7 +21,9 @@
 //! Exits non-zero iff any claim evaluates to `Deviation`, so CI (and any
 //!"fast path" PR) trips the moment a paper-shaped result flips.
 
-use pdfws_bench::{maybe_help, maybe_list, quick_mode, threads_arg, workload_spec_args};
+use pdfws_bench::{
+    maybe_help, maybe_list, memsys_spec_arg, quick_mode, threads_arg, workload_spec_args,
+};
 use pdfws_report::{ClaimStatus, ReplicationSuite, SuiteConfig};
 use std::path::{Component, Path, PathBuf};
 
@@ -78,7 +80,12 @@ fn main() {
         if quick { "quick" } else { "paper-scale" },
         threads,
     );
-    let cfg = SuiteConfig::new(quick).threads(threads);
+    let mut cfg = SuiteConfig::new(quick).threads(threads);
+    if let Some(spec) = memsys_spec_arg() {
+        // The whole suite re-runs under the selected model (e.g. `--memsys
+        // legacy` compares the claims against the pre-memsys formula).
+        cfg = cfg.memsys(spec);
+    }
     let mut report = suite
         .run(cfg, |claim| eprintln!("# running {} ...", claim.id))
         .unwrap_or_else(|e| {

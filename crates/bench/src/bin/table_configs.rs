@@ -12,8 +12,8 @@
 //! analytically, nothing is simulated.
 
 use pdfws_bench::{
-    config_table, emit_tables, maybe_help, maybe_list, paper_core_counts, trace_args,
-    workload_spec_args,
+    config_table, emit_tables, maybe_help, maybe_list, memsys_spec_arg, paper_core_counts,
+    trace_args, workload_spec_args,
 };
 
 fn main() {
@@ -32,6 +32,13 @@ fn main() {
                 .map(|s| s.canonical())
                 .collect::<Vec<_>>()
                 .join(", ")
+        );
+    }
+    if let Some(spec) = memsys_spec_arg() {
+        eprintln!(
+            "note: this table lists the baseline channel parameters; --memsys {} changes \
+             simulated cells, not this analytic table",
+            spec.canonical()
         );
     }
     if trace_args().enabled() {

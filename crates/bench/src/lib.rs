@@ -10,11 +10,13 @@
 //! uniform `--threads N` flag (or the `PDFWS_THREADS` environment variable)
 //! next to `--quick`, and parallel runs are bit-identical to sequential ones.
 //!
-//! Every binary also accepts the workload-spec flags: repeatable
-//! `--workload <spec>` (replace the binary's default workload axis with any
-//! registered workload specs, e.g. `--workload mergesort:n=4096 --workload
-//! spmv`) and `--list` (print both registries' grammars — every scheduler
-//! policy and workload with its typed parameters — and exit).
+//! Every binary also accepts the spec flags: repeatable `--workload <spec>`
+//! (replace the binary's default workload axis with any registered workload
+//! specs, e.g. `--workload mergesort:n=4096 --workload spmv`), `--memsys
+//! <spec>` (select the memory-system model for every simulated cell, e.g.
+//! `--memsys legacy` or `--memsys bus:dram:banks=32`), and `--list` (print
+//! all three registries' grammars — every scheduler policy, workload and
+//! memory-system model with its typed parameters — and exit).
 //!
 //! Output flows through one shared emission path ([`emit_tables`] /
 //! [`emit_figures`], built on the `pdfws-report` renderers): the default is
@@ -123,6 +125,10 @@ pub const UNIFORM_FLAGS: &[(&str, &str)] = &[
         "--workload <spec>",
         "(repeatable) replace the default workload axis with registered workload specs",
     ),
+    (
+        "--memsys <spec>",
+        "memory-system model for every simulated cell (e.g. 'legacy' or 'bus:dram:banks=32'; default: the component bus+DRAM model)",
+    ),
     ("--csv", "print CSV blocks instead of aligned text tables"),
     ("--json", "print self-describing JSONL rows instead of tables"),
     (
@@ -135,7 +141,7 @@ pub const UNIFORM_FLAGS: &[(&str, &str)] = &[
     ),
     (
         "--list",
-        "print both registries' spec grammars (schedulers and workloads) and exit",
+        "print the spec grammars of all three registries (schedulers, workloads, memory-system models) and exit",
     ),
     ("--help", "print this flag table and exit"),
 ];
@@ -162,9 +168,10 @@ pub fn maybe_help(bin: &str, about: &str, extra: &[(&str, &str)]) {
     std::process::exit(0);
 }
 
-/// If the binary was invoked with `--list`, print both registries' spec
-/// grammars — every scheduler policy and every workload, with their typed
-/// parameters — and exit.  Call this before doing any work.
+/// If the binary was invoked with `--list`, print all three registries' spec
+/// grammars — every scheduler policy, every workload and every memory-system
+/// model, with their typed parameters — and exit.  Call this before doing any
+/// work.
 pub fn maybe_list() {
     if std::env::args().any(|a| a == "--list") {
         println!(
@@ -175,7 +182,70 @@ pub fn maybe_list() {
             "Workload specs (name:key=value,...):\n{}",
             WorkloadRegistry::global().help()
         );
+        println!(
+            "Memory-system specs (model:key=value,...):\n{}",
+            MemSysRegistry::global().help()
+        );
         std::process::exit(0);
+    }
+}
+
+/// The memory-system model selected on the command line: `--memsys <spec>` /
+/// `--memsys=<spec>`, validated against the memsys registry.  `None` when the
+/// flag was not given — cells then run the configuration's own model (the
+/// component bus+DRAM system).  A malformed or unknown spec aborts with the
+/// registry's error message.
+pub fn memsys_spec_arg() -> Option<MemSysSpec> {
+    static SPEC: std::sync::OnceLock<Option<MemSysSpec>> = std::sync::OnceLock::new();
+    SPEC.get_or_init(memsys_spec_arg_uncached).clone()
+}
+
+fn memsys_spec_arg_uncached() -> Option<MemSysSpec> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--memsys" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--memsys=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        let Some(raw) = value else {
+            eprintln!("error: --memsys needs a spec argument (try --list)");
+            std::process::exit(2);
+        };
+        match raw.parse::<MemSysSpec>() {
+            Ok(spec) => return Some(spec),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
+}
+
+/// Apply the `--memsys` selection (if any) to a sweep grid.
+pub fn grid_with_memsys(grid: SweepGrid) -> SweepGrid {
+    match memsys_spec_arg() {
+        Some(spec) => grid.memsys(spec),
+        None => grid,
+    }
+}
+
+/// Apply the `--memsys` selection (if any) to an experiment builder.
+pub fn experiment_with_memsys(experiment: Experiment) -> Experiment {
+    match memsys_spec_arg() {
+        Some(spec) => experiment.memsys(spec),
+        None => experiment,
+    }
+}
+
+/// Apply the `--memsys` selection (if any) to a stream-experiment builder.
+pub fn stream_with_memsys(experiment: StreamExperiment) -> StreamExperiment {
+    match memsys_spec_arg() {
+        Some(spec) => experiment.memsys(spec),
+        None => experiment,
     }
 }
 
@@ -293,10 +363,12 @@ pub fn sweep_reports(
     core_counts: &[usize],
     specs: &[SchedulerSpec],
 ) -> Vec<ExperimentReport> {
-    let grid = SweepGrid::new()
-        .workloads(workloads)
-        .cores(core_counts)
-        .specs(specs);
+    let grid = grid_with_memsys(
+        SweepGrid::new()
+            .workloads(workloads)
+            .cores(core_counts)
+            .specs(specs),
+    );
     runner()
         .run(&grid)
         .expect("default configurations exist for the requested core counts")
@@ -354,26 +426,6 @@ pub fn migrations_table(
 ) -> Table {
     let report = sweep_report(workload, core_counts, specs);
     migrations_table_from(&report, core_counts, specs)
-}
-
-/// Deprecated name for [`migrations_table_from`].
-#[deprecated(since = "0.1.0", note = "renamed to `migrations_table_from`")]
-pub fn steals_table_from(
-    report: &ExperimentReport,
-    core_counts: &[usize],
-    specs: &[SchedulerSpec],
-) -> Table {
-    migrations_table_from(report, core_counts, specs)
-}
-
-/// Deprecated name for [`migrations_table`].
-#[deprecated(since = "0.1.0", note = "renamed to `migrations_table`")]
-pub fn steals_table(
-    workload: &WorkloadInstance,
-    core_counts: &[usize],
-    specs: &[SchedulerSpec],
-) -> Table {
-    migrations_table(workload, core_counts, specs)
 }
 
 /// One row of the per-class comparison tables: the PDF-vs-WS comparison for one
@@ -568,7 +620,15 @@ pub fn emit_trace_as(
     if !args.enabled() {
         return;
     }
-    let config = default_config(cores).expect("default configuration exists for traced cell");
+    let mut config = default_config(cores).expect("default configuration exists for traced cell");
+    // The traced cell must run under the same memory-system model as the
+    // sweep it represents.
+    if let Some(spec) = memsys_spec_arg() {
+        config.memsys = spec.memsys_params();
+        config
+            .validate()
+            .expect("validated memsys spec stays valid");
+    }
     let options = SimOptions::default();
     let (cells, profile) = runner().run_cells_profiled(specs.len(), |i| {
         simulate_traced(&workload.dag, &config, &specs[i], &options)
@@ -647,6 +707,12 @@ pub fn emit_stream_trace_as(
 ) {
     if !args.enabled() {
         return;
+    }
+    // The traced stream must serve under the same memory-system model as the
+    // sweep it represents.
+    let mut cfg = cfg.clone();
+    if let Some(spec) = memsys_spec_arg() {
+        cfg.memsys = Some(spec.memsys_params());
     }
     let cells: Vec<Vec<pdfws_trace::TraceEvent>> = specs
         .iter()

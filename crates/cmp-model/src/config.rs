@@ -11,6 +11,7 @@
 use crate::area::{AreaModel, L1_BYTES_PER_CORE};
 use crate::error::ModelError;
 use crate::latency;
+use crate::memsys::{MemSysMode, MemSysParams, ResolvedMemSys};
 use crate::tech::ProcessNode;
 use crate::LINE_BYTES;
 use serde::{Deserialize, Serialize};
@@ -88,6 +89,9 @@ pub struct CmpConfig {
     pub context_switch_cycles: u64,
     /// Core clock frequency in GHz (only used to convert cycles to seconds in reports).
     pub frequency_ghz: f64,
+    /// Memory-system model selection and sizing overrides (the default derives
+    /// a shared bus + DRAM controller from the channel parameters above).
+    pub memsys: MemSysParams,
 }
 
 impl CmpConfig {
@@ -108,7 +112,20 @@ impl CmpConfig {
                 reason: "off-chip bandwidth must be positive".to_string(),
             });
         }
+        self.memsys
+            .validate()
+            .map_err(|reason| ModelError::InvalidCacheGeometry { reason })?;
         Ok(())
+    }
+
+    /// Resolve the configuration's memory-system overrides into concrete
+    /// component sizes (bus width, DRAM bandwidth, banks, row latencies).
+    pub fn resolved_memsys(&self) -> ResolvedMemSys {
+        self.memsys.resolve(
+            self.offchip_bytes_per_cycle,
+            self.memory_latency_cycles,
+            self.l2.line_bytes,
+        )
     }
 
     /// Total private L1 capacity across all cores, in bytes.
@@ -123,8 +140,12 @@ impl CmpConfig {
 
     /// A compact single-line description, used by the experiment binaries.
     pub fn describe(&self) -> String {
+        let memsys = match self.memsys.mode {
+            MemSysMode::BusDram => "bus+dram",
+            MemSysMode::Legacy => "legacy channel",
+        };
         format!(
-            "{} core(s) @ {:?}: L1 {} KiB/core, L2 {} KiB shared, mem {} cyc, {:.2} B/cyc off-chip",
+            "{} core(s) @ {:?}: L1 {} KiB/core, L2 {} KiB shared, mem {} cyc, {:.2} B/cyc off-chip ({memsys})",
             self.cores,
             self.node,
             self.l1.capacity_bytes / 1024,
@@ -203,6 +224,7 @@ pub fn config_for(
         offchip_bytes_per_cycle: node.offchip_bytes_per_cycle(),
         context_switch_cycles: latency::CONTEXT_SWITCH_CYCLES,
         frequency_ghz: node.frequency_ghz(),
+        memsys: MemSysParams::bus_dram(),
     };
     cfg.validate()?;
     Ok(cfg)
@@ -337,6 +359,33 @@ mod tests {
         let d = cfg.describe();
         assert!(d.contains("8 core"));
         assert!(d.contains("KiB shared"));
+        assert!(d.contains("bus+dram"));
+    }
+
+    #[test]
+    fn default_configs_use_the_component_memory_model() {
+        for cfg in default_sweep() {
+            assert_eq!(cfg.memsys.mode, MemSysMode::BusDram);
+            let r = cfg.resolved_memsys();
+            // The bus is the off-chip pin budget, and the unloaded row-missing
+            // line fill is calibrated to the config's memory latency.
+            assert!((r.bus_bytes_per_cycle - cfg.offchip_bytes_per_cycle).abs() < 1e-12);
+            let bus_line = crate::memsys::transfer_cycles(64, r.bus_bytes_per_cycle);
+            let dram_line = crate::memsys::transfer_cycles(64, r.dram_bytes_per_cycle);
+            assert_eq!(
+                bus_line + r.dram_miss_cycles + dram_line,
+                cfg.memory_latency_cycles,
+                "cores={}",
+                cfg.cores
+            );
+        }
+    }
+
+    #[test]
+    fn config_rejects_invalid_memsys_overrides() {
+        let mut cfg = default_config(2).unwrap();
+        cfg.memsys.dram_banks = Some(0);
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -46,12 +46,14 @@ pub mod area;
 pub mod config;
 pub mod error;
 pub mod latency;
+pub mod memsys;
 pub mod sweep;
 pub mod tech;
 
 pub use area::AreaModel;
 pub use config::{default_config, default_core_counts, default_sweep, CacheGeometry, CmpConfig};
 pub use error::ModelError;
+pub use memsys::{MemSysMode, MemSysParams, ResolvedMemSys};
 pub use tech::ProcessNode;
 
 /// Fixed die area used throughout the paper's evaluation, in mm².

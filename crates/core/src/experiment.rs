@@ -8,6 +8,7 @@
 use crate::spec::WorkloadInstance;
 use crate::sweep::{SweepGrid, SweepRunner};
 use pdfws_cmp_model::{CmpConfig, ModelError};
+use pdfws_memsys::MemSysSpec;
 use pdfws_metrics::{Series, Table};
 use pdfws_schedulers::{SchedulerSpec, SimOptions, SimResult};
 use pdfws_workloads::WorkloadSpecError;
@@ -246,6 +247,7 @@ pub struct Experiment {
     cores: Vec<usize>,
     schedulers: Vec<SchedulerSpec>,
     fixed_config: Option<CmpConfig>,
+    memsys: Option<MemSysSpec>,
     options: SimOptions,
     runner: SweepRunner,
 }
@@ -261,6 +263,7 @@ impl Experiment {
             cores: vec![8],
             schedulers: SchedulerSpec::paper_pair().to_vec(),
             fixed_config: None,
+            memsys: None,
             options: SimOptions::default(),
             runner: SweepRunner::from_env(),
         }
@@ -300,6 +303,15 @@ impl Experiment {
         self
     }
 
+    /// Use a memory-system model for every cell, e.g.
+    /// `"legacy".parse().unwrap()` or `"bus:dram:banks=32".parse().unwrap()`.
+    /// Overrides the `memsys` block of both the default and any
+    /// [`Experiment::with_config`] configuration.
+    pub fn memsys(mut self, spec: MemSysSpec) -> Self {
+        self.memsys = Some(spec);
+        self
+    }
+
     /// Set engine options (working-set profiling, disturbance co-runner, ...).
     pub fn options(mut self, options: SimOptions) -> Self {
         self.options = options;
@@ -324,6 +336,9 @@ impl Experiment {
             .options(self.options);
         if let Some(cfg) = self.fixed_config {
             grid = grid.with_config(cfg);
+        }
+        if let Some(spec) = self.memsys {
+            grid = grid.memsys(spec);
         }
         let mut reports = self.runner.run(&grid)?.into_reports();
         Ok(reports.swap_remove(0))

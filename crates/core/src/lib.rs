@@ -53,6 +53,10 @@ pub mod prelude {
     pub use crate::stream_experiment::{StreamExperiment, StreamReport};
     pub use crate::sweep::{SweepGrid, SweepProfile, SweepReport, SweepRunner};
     pub use pdfws_cmp_model::{default_config, default_core_counts, CmpConfig, ProcessNode};
+    pub use pdfws_memsys::{
+        register as register_memsys_model, MemSysSpec, ModelFactory, Registry as MemSysRegistry,
+        SpecError as MemSysSpecError,
+    };
     #[allow(deprecated)]
     pub use pdfws_schedulers::SchedulerKind;
     pub use pdfws_schedulers::{

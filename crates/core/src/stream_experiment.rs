@@ -108,6 +108,14 @@ impl StreamExperiment {
         self
     }
 
+    /// Memory-system model for the simulated machine, e.g.
+    /// `"legacy".parse().unwrap()` (default: the configuration's component
+    /// bus+DRAM model).
+    pub fn memsys(mut self, spec: pdfws_memsys::MemSysSpec) -> Self {
+        self.config.memsys = Some(spec.memsys_params());
+        self
+    }
+
     /// Run each scheduler's stream on its own worker thread (results are
     /// bit-identical for every thread count).
     pub fn threads(mut self, threads: usize) -> Self {

@@ -46,6 +46,7 @@
 use crate::experiment::{ExperimentError, ExperimentReport, RunRecord};
 use crate::spec::WorkloadInstance;
 use pdfws_cmp_model::{default_config, CmpConfig};
+use pdfws_memsys::MemSysSpec;
 use pdfws_metrics::{Series, Table};
 use pdfws_schedulers::{simulate_shared, SchedulerSpec, SimOptions, SimResult};
 use pdfws_task_dag::TaskDag;
@@ -90,6 +91,7 @@ pub struct SweepGrid {
     cores: Vec<usize>,
     specs: Vec<SchedulerSpec>,
     fixed_config: Option<CmpConfig>,
+    memsys: Option<MemSysSpec>,
     options: SimOptions,
 }
 
@@ -108,6 +110,7 @@ impl SweepGrid {
             cores: vec![8],
             specs: SchedulerSpec::paper_pair().to_vec(),
             fixed_config: None,
+            memsys: None,
             options: SimOptions::default(),
         }
     }
@@ -156,6 +159,15 @@ impl SweepGrid {
         self
     }
 
+    /// Use a memory-system model (parsed from a `--memsys` string such as
+    /// `"bus:dram:banks=32"` or `"legacy"`) for every cell.  Applied on top
+    /// of the per-cell config — including an explicit [`SweepGrid::with_config`]
+    /// one, whose own `memsys` block it replaces.
+    pub fn memsys(mut self, spec: MemSysSpec) -> Self {
+        self.memsys = Some(spec);
+        self
+    }
+
     /// Engine options applied to every cell (working-set profiling,
     /// disturbance co-runner, ...).
     pub fn options(mut self, options: SimOptions) -> Self {
@@ -169,15 +181,19 @@ impl SweepGrid {
     }
 
     fn config_for(&self, cores: usize) -> Result<CmpConfig, ExperimentError> {
-        match &self.fixed_config {
+        let mut cfg = match &self.fixed_config {
             Some(cfg) => {
                 let mut cfg = *cfg;
                 cfg.cores = cores;
-                cfg.validate()?;
-                Ok(cfg)
+                cfg
             }
-            None => Ok(default_config(cores)?),
+            None => default_config(cores)?,
+        };
+        if let Some(spec) = &self.memsys {
+            cfg.memsys = spec.memsys_params();
         }
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -700,6 +716,26 @@ mod tests {
         let plan = Plan::build(&grid).unwrap();
         assert_eq!(plan.cells.len(), 4);
         assert_eq!(plan.baseline_of, vec![0, 1]);
+    }
+
+    #[test]
+    fn memsys_spec_overrides_both_config_paths() {
+        use pdfws_cmp_model::MemSysMode;
+        let legacy: pdfws_memsys::MemSysSpec = "legacy".parse().unwrap();
+        // Default-config path.
+        let grid = small_grid().memsys(legacy.clone());
+        assert_eq!(grid.config_for(2).unwrap().memsys.mode, MemSysMode::Legacy);
+        // Fixed-config path: the spec replaces the config's own memsys block.
+        let cfg = default_config(2).unwrap();
+        assert_eq!(cfg.memsys.mode, MemSysMode::BusDram);
+        let grid = small_grid().with_config(cfg).memsys(legacy);
+        assert_eq!(grid.config_for(2).unwrap().memsys.mode, MemSysMode::Legacy);
+        // And a bus spec with explicit parameters lands in the config.
+        let banks: pdfws_memsys::MemSysSpec = "bus:dram:banks=4".parse().unwrap();
+        let grid = small_grid().memsys(banks);
+        let cfg = grid.config_for(2).unwrap();
+        assert_eq!(cfg.memsys.mode, MemSysMode::BusDram);
+        assert_eq!(cfg.memsys.dram_banks, Some(4));
     }
 
     #[test]

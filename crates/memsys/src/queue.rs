@@ -1,0 +1,106 @@
+//! The deterministic event queue every component (and the execution engine's
+//! cores) schedules on.
+//!
+//! Events are `(time, id)` pairs ordered lexicographically: earliest time
+//! first, ties broken by the smaller id.  The tie-break is what makes whole
+//! simulations reproducible — two components (or cores) due at the same cycle
+//! always run in id order, independent of insertion order or of how many
+//! worker threads drive independent simulations.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic min-heap of `(time, id)` events.
+#[derive(Debug, Default, Clone)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `id` to run at `time`.  Duplicate entries are allowed; each
+    /// pop returns one.
+    pub fn push(&mut self, time: u64, id: usize) {
+        self.heap.push(Reverse((time, id)));
+    }
+
+    /// The earliest `(time, id)` event without removing it.
+    pub fn peek(&self) -> Option<(u64, usize)> {
+        self.heap.peek().map(|&Reverse(e)| e)
+    }
+
+    /// Remove and return the earliest `(time, id)` event.
+    pub fn pop(&mut self) -> Option<(u64, usize)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every scheduled event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_id_tie_break() {
+        let mut q = EventQueue::new();
+        q.push(5, 2);
+        q.push(3, 9);
+        q.push(5, 0);
+        q.push(3, 1);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek(), Some((3, 1)));
+        assert_eq!(q.pop(), Some((3, 1)));
+        assert_eq!(q.pop(), Some((3, 9)));
+        assert_eq!(q.pop(), Some((5, 0)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn order_is_independent_of_insertion_order() {
+        let events = [(7u64, 1usize), (2, 3), (7, 0), (2, 2), (9, 5)];
+        let mut fwd = EventQueue::new();
+        let mut rev = EventQueue::new();
+        for &(t, id) in &events {
+            fwd.push(t, id);
+        }
+        for &(t, id) in events.iter().rev() {
+            rev.push(t, id);
+        }
+        loop {
+            let (a, b) = (fwd.pop(), rev.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn clear_empties_the_queue() {
+        let mut q = EventQueue::new();
+        q.push(1, 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,306 @@
+//! The memory-system model registry: name → [`ModelFactory`], the open half
+//! of the [`MemSysSpec`] API.
+//!
+//! Built on the same `pdfws-spec` substrate as the scheduler and workload
+//! registries, so `--memsys` strings get the same typed-parameter validation
+//! and `--list` help treatment as `--scheduler` and `--workload` strings.
+//! Two models ship built in: `bus` (the component bus+DRAM system) and
+//! `legacy` (the old serializing-channel formula); registering another
+//! factory makes its name parseable everywhere a memsys spec is accepted.
+
+use crate::spec::{MemSysSpec, SpecError};
+use pdfws_cmp_model::MemSysParams;
+use pdfws_spec::{SpecErrorKind, SpecFamily, SpecTable, Vocab};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+pub use pdfws_spec::{ParamKind, ParamSpec};
+
+/// The memsys domain's error wording ("unknown memory-system model …;
+/// known models: …").
+pub(crate) static MEMSYS_VOCAB: Vocab = Vocab {
+    subject: "memsys",
+    entity: "memory-system model",
+    known_label: "known models",
+};
+
+/// Turns a validated [`MemSysSpec`] into the [`MemSysParams`] override block
+/// a `CmpConfig` stores.
+///
+/// The registry guarantees `memsys_params` only ever sees specs whose keys
+/// and values passed the factory's [`ModelFactory::params`] declarations, so
+/// it is infallible.
+pub trait ModelFactory: Send + Sync {
+    /// The registry key (`"bus"`); also the spec's model name.
+    fn name(&self) -> &'static str;
+    /// One-line description, shown by [`Registry::help`].
+    fn doc(&self) -> &'static str;
+    /// The parameters this model accepts (empty slice: none).
+    fn params(&self) -> &'static [ParamSpec];
+    /// Check cross-parameter constraints after each key/value passed its
+    /// [`ParamSpec`] (e.g. reject a zero bank count).  Return an error
+    /// message to reject the combination; the default accepts all.
+    fn validate_spec(&self, _spec: &MemSysSpec) -> Result<(), String> {
+        Ok(())
+    }
+    /// The parameter block the spec describes.
+    fn memsys_params(&self, spec: &MemSysSpec) -> MemSysParams;
+}
+
+/// Adapter letting the shared [`SpecTable`] read a model factory's
+/// declarations.
+impl SpecFamily for dyn ModelFactory {
+    fn family_name(&self) -> &'static str {
+        self.name()
+    }
+    fn family_doc(&self) -> &'static str {
+        self.doc()
+    }
+    fn family_params(&self) -> &'static [ParamSpec] {
+        self.params()
+    }
+}
+
+/// A name-keyed set of [`ModelFactory`] objects.  Almost all code uses the
+/// process-wide [`Registry::global`] instance.
+pub struct Registry {
+    factories: SpecTable<dyn ModelFactory>,
+}
+
+impl Registry {
+    /// An empty registry (no built-ins).
+    pub fn empty() -> Self {
+        Registry {
+            factories: SpecTable::new(&MEMSYS_VOCAB),
+        }
+    }
+
+    /// A registry pre-loaded with the built-in models.
+    pub fn with_builtins() -> Self {
+        let reg = Self::empty();
+        reg.register(Arc::new(BusFactory));
+        reg.register(Arc::new(LegacyFactory));
+        reg
+    }
+
+    /// The process-wide registry every spec parse resolves through.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::with_builtins)
+    }
+
+    /// Add (or replace — last registration wins) a factory.
+    pub fn register(&self, factory: Arc<dyn ModelFactory>) {
+        self.factories.register(factory);
+    }
+
+    /// The registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.names()
+    }
+
+    /// Look up one factory.
+    pub fn factory(&self, name: &str) -> Option<Arc<dyn ModelFactory>> {
+        self.factories.get(name)
+    }
+
+    /// Validate a raw `(model, params)` pair into a canonical
+    /// [`MemSysSpec`].
+    pub fn validate(
+        &self,
+        model: String,
+        params: BTreeMap<String, String>,
+    ) -> Result<MemSysSpec, SpecError> {
+        let (factory, canonical) = self.factories.validate(model, params)?;
+        let spec = MemSysSpec::known_valid(factory.name(), canonical);
+        if let Err(message) = factory.validate_spec(&spec) {
+            return Err(SpecError::new(
+                &MEMSYS_VOCAB,
+                SpecErrorKind::InvalidCombination {
+                    owner: factory.name().to_string(),
+                    message,
+                },
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// The [`MemSysParams`] block a spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's model has been removed from the registry since
+    /// the spec was created (specs are validated at construction, so this is
+    /// the only failure mode).
+    pub fn params_for(&self, spec: &MemSysSpec) -> MemSysParams {
+        let factory = self
+            .factory(spec.model())
+            .unwrap_or_else(|| panic!("model '{}' vanished from the registry", spec.model()));
+        factory.memsys_params(spec)
+    }
+
+    /// A human-readable listing of every registered model and its parameters
+    /// (what `--list` prints for the memsys axis).
+    pub fn help(&self) -> String {
+        self.factories.help()
+    }
+}
+
+/// Register a factory with the global registry (sugar over
+/// [`Registry::global`] + [`Registry::register`]).
+pub fn register(factory: Arc<dyn ModelFactory>) {
+    Registry::global().register(factory);
+}
+
+// ---------------------------------------------------------------------------
+// Built-in factories.
+// ---------------------------------------------------------------------------
+
+struct BusFactory;
+
+impl ModelFactory for BusFactory {
+    fn name(&self) -> &'static str {
+        "bus"
+    }
+    fn doc(&self) -> &'static str {
+        "shared split-transaction bus + banked DRAM controller (contention is emergent)"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "width",
+                kind: ParamKind::PositiveF64,
+                doc: "bus width in bytes per bus cycle (default: the config's off-chip \
+                      channel bandwidth; 'inf' for an unbounded bus)",
+            },
+            ParamSpec {
+                key: "clock",
+                kind: ParamKind::U64,
+                doc: "bus clock period in core cycles per bus cycle (default 1)",
+            },
+            ParamSpec {
+                key: "bw",
+                kind: ParamKind::PositiveF64,
+                doc: "DRAM data bandwidth in bytes per core cycle (default: 2x the bus \
+                      width; 'inf' for unbounded pins)",
+            },
+            ParamSpec {
+                key: "dram:banks",
+                kind: ParamKind::U64,
+                doc: "number of DRAM banks (default 16: two dual-rank DIMMs)",
+            },
+            ParamSpec {
+                key: "dram:hit",
+                kind: ParamKind::U64,
+                doc: "open-row hit latency in cycles (default: a quarter of the miss \
+                      latency)",
+            },
+            ParamSpec {
+                key: "dram:miss",
+                kind: ParamKind::U64,
+                doc: "row activate+access latency in cycles (default: calibrated so an \
+                      unloaded row miss costs the config's memory latency)",
+            },
+        ]
+    }
+    fn validate_spec(&self, spec: &MemSysSpec) -> Result<(), String> {
+        if spec.u64_param("clock") == Some(0) {
+            return Err("'clock' must be at least 1 core cycle per bus cycle".into());
+        }
+        if spec.u64_param("dram:banks") == Some(0) {
+            return Err("'dram:banks' must be at least 1".into());
+        }
+        if spec.u64_param("dram:miss") == Some(0) {
+            return Err("'dram:miss' must be at least 1 cycle".into());
+        }
+        Ok(())
+    }
+    fn memsys_params(&self, spec: &MemSysSpec) -> MemSysParams {
+        MemSysParams {
+            bus_bytes_per_cycle: spec.f64_param("width"),
+            bus_clock_period: spec.u64_param("clock"),
+            dram_bytes_per_cycle: spec.f64_param("bw"),
+            dram_banks: spec.u64_param("dram:banks"),
+            dram_hit_cycles: spec.u64_param("dram:hit"),
+            dram_miss_cycles: spec.u64_param("dram:miss"),
+            ..MemSysParams::bus_dram()
+        }
+    }
+}
+
+struct LegacyFactory;
+
+impl ModelFactory for LegacyFactory {
+    fn name(&self) -> &'static str {
+        "legacy"
+    }
+    fn doc(&self) -> &'static str {
+        "pre-memsys serializing channel: per-miss transfer formula, single busy window"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[]
+    }
+    fn memsys_params(&self, _spec: &MemSysSpec) -> MemSysParams {
+        MemSysParams::legacy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdfws_cmp_model::MemSysMode;
+
+    #[test]
+    fn global_registry_knows_the_builtins() {
+        let names = Registry::global().names();
+        for name in ["bus", "legacy"] {
+            assert!(names.contains(&name.to_string()), "{names:?}");
+        }
+    }
+
+    #[test]
+    fn help_lists_models_and_parameters() {
+        let help = Registry::global().help();
+        assert!(help.contains("bus"), "{help}");
+        assert!(help.contains("legacy"), "{help}");
+        assert!(help.contains("width=<f64>0>"), "{help}");
+        assert!(help.contains("dram:banks=<u64>"), "{help}");
+    }
+
+    #[test]
+    fn custom_factories_extend_the_grammar() {
+        struct Perfect;
+        impl ModelFactory for Perfect {
+            fn name(&self) -> &'static str {
+                "test-perfect"
+            }
+            fn doc(&self) -> &'static str {
+                "infinite everything (registered by a unit test)"
+            }
+            fn params(&self) -> &'static [ParamSpec] {
+                &[]
+            }
+            fn memsys_params(&self, _spec: &MemSysSpec) -> MemSysParams {
+                MemSysParams {
+                    bus_bytes_per_cycle: Some(f64::INFINITY),
+                    dram_bytes_per_cycle: Some(f64::INFINITY),
+                    ..MemSysParams::bus_dram()
+                }
+            }
+        }
+        register(Arc::new(Perfect));
+        let spec: MemSysSpec = "test-perfect".parse().unwrap();
+        let params = spec.memsys_params();
+        assert_eq!(params.mode, MemSysMode::BusDram);
+        assert_eq!(params.bus_bytes_per_cycle, Some(f64::INFINITY));
+        let err = "test-perfect:x=1".parse::<MemSysSpec>().unwrap_err();
+        assert!(err.to_string().contains("takes no parameters"), "{err}");
+    }
+
+    #[test]
+    fn separate_registries_are_independent() {
+        let reg = Registry::empty();
+        assert!(reg.names().is_empty());
+        assert!(reg.validate("bus".to_string(), BTreeMap::new()).is_err());
+    }
+}

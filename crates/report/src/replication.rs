@@ -30,7 +30,7 @@ use std::fmt;
 use std::rc::Rc;
 
 /// How a suite run is scaled and executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuiteConfig {
     /// Quick mode: CI-sized problem instances (validates claim *shape*, not
     /// paper-scale magnitudes — quick datasets can fit in the shared L2).
@@ -38,17 +38,31 @@ pub struct SuiteConfig {
     /// Worker threads for the sweep runner (results are bit-identical for
     /// every value).
     pub threads: usize,
+    /// Memory-system model every claim simulates under (`None`: the default
+    /// configuration's component bus+DRAM model).  `replicate --memsys
+    /// legacy` re-runs the whole suite on the pre-memsys formula.
+    pub memsys: Option<MemSysSpec>,
 }
 
 impl SuiteConfig {
     /// A configuration with the given mode and one worker thread.
     pub fn new(quick: bool) -> Self {
-        SuiteConfig { quick, threads: 1 }
+        SuiteConfig {
+            quick,
+            threads: 1,
+            memsys: None,
+        }
     }
 
     /// Set the sweep worker-thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Run every claim under a memory-system model spec.
+    pub fn memsys(mut self, spec: MemSysSpec) -> Self {
+        self.memsys = Some(spec);
         self
     }
 
@@ -214,13 +228,19 @@ impl EvalCtx {
         cores: &[usize],
         schedulers: &[&str],
     ) -> Result<Rc<Vec<ExperimentReport>>, ExperimentError> {
-        let key = format!("w={workloads:?};c={cores:?};s={schedulers:?}");
+        let key = format!(
+            "w={workloads:?};c={cores:?};s={schedulers:?};m={:?}",
+            self.cfg.memsys
+        );
         if let Some(hit) = self.cache.borrow().get(&key) {
             return Ok(hit.clone());
         }
         let mut grid = SweepGrid::new()
             .cores(cores)
             .specs(&parse_schedulers(schedulers));
+        if let Some(spec) = &self.cfg.memsys {
+            grid = grid.memsys(spec.clone());
+        }
         for w in workloads {
             grid = grid.workload_str(w)?;
         }
@@ -365,6 +385,7 @@ impl ReplicationSuite {
         cfg: SuiteConfig,
         mut progress: impl FnMut(&Claim),
     ) -> Result<ReplicationReport, ExperimentError> {
+        let quick = cfg.quick;
         let ctx = EvalCtx::new(cfg);
         let mut results = Vec::with_capacity(self.claims.len());
         for claim in &self.claims {
@@ -386,10 +407,7 @@ impl ReplicationSuite {
                 timeline: None,
             });
         }
-        Ok(ReplicationReport {
-            quick: cfg.quick,
-            results,
-        })
+        Ok(ReplicationReport { quick, results })
     }
 }
 

@@ -4,9 +4,13 @@
 //! [`SchedulerPolicy`].  Each core executes its current task as an interleaving of
 //! compute instructions (one per cycle) and memory references; references go
 //! through the shared [`CmpCacheHierarchy`], and any reference that goes off chip
-//! additionally contends for the configuration's off-chip bandwidth (a single
-//! serialising channel), which is how bandwidth-limited programs actually become
-//! bandwidth-limited in the model.
+//! traverses the modelled memory system: by default a shared split-transaction
+//! bus feeding a banked DRAM controller (the `pdfws-memsys` components), so
+//! bandwidth-limited programs become bandwidth-limited through *emergent*
+//! queuing at the bus arbiter and the controller's banks and data pins.  A
+//! configuration whose `memsys` selects [`MemSysMode::Legacy`] (`--memsys
+//! legacy` on the bench bins) instead charges the old closed-form cost: a
+//! single serialising channel with one busy window.
 //!
 //! Time advances event-by-event: the engine repeatedly picks the core whose next
 //! step starts earliest, simulates a bounded *step* of that task (at most
@@ -24,11 +28,10 @@ use crate::result::SimResult;
 use pdfws_cache_sim::addr::block_of;
 use pdfws_cache_sim::hierarchy::CmpCacheHierarchy;
 use pdfws_cache_sim::working_set::WorkingSetProfiler;
-use pdfws_cmp_model::CmpConfig;
+use pdfws_cmp_model::{CmpConfig, MemSysMode};
+use pdfws_memsys::{EventQueue, MemSystem};
 use pdfws_task_dag::{MemAccess, TaskDag, TaskId};
 use pdfws_trace::{PolicyEvent, TraceEvent, TraceSink};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Default period, in simulated cycles, of the windowed cache-counter samples
 /// emitted while a trace sink is installed (see
@@ -41,10 +44,11 @@ pub const DEFAULT_TRACE_CACHE_WINDOW: u64 = 8_192;
 /// that core), consume off-chip bandwidth, and pollute the shared L2 — but are
 /// *not* charged to the measured program's instructions.
 ///
-/// The configured rate is best-effort: bursts are skipped while the off-chip
-/// channel is congested (the co-runner stalls on memory like everything else),
+/// The configured rate is best-effort: bursts are skipped while the memory
+/// system is congested (the co-runner stalls on memory like everything else),
 /// so a disturbance demanding more bandwidth than the machine has degrades the
-/// program as far as the channel allows instead of diverging the simulation.
+/// program as far as the memory system allows instead of diverging the
+/// simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Disturbance {
     /// A burst is injected every `period_cycles` cycles.
@@ -163,6 +167,21 @@ struct CoreState {
     busy_cycles: u64,
 }
 
+/// The off-chip model the engine drives, instantiated from the
+/// configuration's resolved `memsys` parameters.
+enum MemSysModel {
+    /// The pre-component formula: one busy window, per-miss transfer cost
+    /// `ceil(bytes / bandwidth)`.
+    Legacy {
+        bytes_per_cycle: f64,
+        /// Time until which the channel is occupied by earlier transfers.
+        busy_until: u64,
+    },
+    /// The component model: a shared bus in front of a banked DRAM
+    /// controller; queuing delays emerge from resource occupancy.
+    BusDram(Box<MemSystem>),
+}
+
 /// A zero period or empty region would divide by zero in the injection loop.
 fn assert_valid_disturbance(d: &Disturbance) {
     assert!(d.period_cycles > 0, "disturbance period must be positive");
@@ -192,15 +211,21 @@ pub struct SimEngine {
     options: SimOptions,
     hierarchy: CmpCacheHierarchy,
     cores: Vec<CoreState>,
-    /// Earliest time each busy core can take its next step.
-    events: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Earliest time each busy core can take its next step (cores are the
+    /// scheduled ids; the memory-system components are driven synchronously
+    /// from the issuing core's timeline).
+    events: EventQueue,
     idle: Vec<bool>,
     remaining_preds: Vec<usize>,
     completed: usize,
     now: u64,
-    /// Time until which the off-chip channel is occupied by earlier transfers.
-    offchip_busy_until: u64,
+    /// The off-chip model every L2 miss (and writeback) goes through.
+    memsys: MemSysModel,
+    /// Legacy-mode queuing accumulator; in bus/DRAM mode the components keep
+    /// their own counters and `result()` reads them back.
     offchip_queue_cycles: u64,
+    /// Bus busy-cycle total at the previous trace window sample.
+    bus_busy_base: u64,
     instructions: u64,
     memory_accesses: u64,
     profiler: Option<WorkingSetProfiler>,
@@ -266,6 +291,14 @@ impl SimEngine {
             .map(|d| d.period_cycles)
             .unwrap_or(u64::MAX);
         let remaining_preds = dag.in_degrees();
+        let resolved = config.resolved_memsys();
+        let memsys = match resolved.mode {
+            MemSysMode::Legacy => MemSysModel::Legacy {
+                bytes_per_cycle: config.offchip_bytes_per_cycle,
+                busy_until: 0,
+            },
+            MemSysMode::BusDram => MemSysModel::BusDram(Box::new(MemSystem::new(&resolved))),
+        };
         SimEngine {
             dag,
             config: *config,
@@ -273,13 +306,14 @@ impl SimEngine {
             options,
             hierarchy: CmpCacheHierarchy::new(config),
             cores: (0..config.cores).map(|_| CoreState::default()).collect(),
-            events: BinaryHeap::new(),
+            events: EventQueue::new(),
             idle: vec![true; config.cores],
             remaining_preds,
             completed: 0,
             now: 0,
-            offchip_busy_until: 0,
+            memsys,
             offchip_queue_cycles: 0,
+            bus_busy_base: 0,
             instructions: 0,
             memory_accesses: 0,
             profiler,
@@ -397,6 +431,14 @@ impl SimEngine {
             l1_misses: l1 - base_l1,
             l2_misses: l2 - base_l2,
         });
+        if let MemSysModel::BusDram(mem) = &self.memsys {
+            let busy = mem.bus_busy_cycles();
+            let depth = mem.backlog_cycles(t);
+            let busy_cycles = busy - self.bus_busy_base;
+            self.bus_busy_base = busy;
+            self.emit(TraceEvent::BusOccupancy { t, busy_cycles });
+            self.emit(TraceEvent::DramQueueDepth { t, depth });
+        }
     }
 
     /// Run the simulation to completion and return the measurements.
@@ -425,13 +467,13 @@ impl SimEngine {
         }
         let deadline = self.now.saturating_add(budget);
 
-        'events: while let Some(&Reverse((time, _))) = self.events.peek() {
+        'events: while let Some((time, _)) = self.events.peek() {
             if time > deadline {
                 // Nothing more to do inside this quantum; charge the idle gap.
                 self.now = deadline;
                 return EngineStatus::Running;
             }
-            let Reverse((mut time, core)) = self.events.pop().expect("peeked event exists");
+            let (mut time, core) = self.events.pop().expect("peeked event exists");
             // Step this core repeatedly while it remains *strictly* the
             // earliest event: re-queueing it would only pop it right back, so
             // the pop/push pair per bounded step is skipped entirely.  On a
@@ -441,7 +483,18 @@ impl SimEngine {
             loop {
                 self.now = time;
                 self.inject_disturbance(time);
-                let (elapsed, finished) = self.step(core, time);
+                let bound = match &self.memsys {
+                    MemSysModel::Legacy { .. } => u64::MAX,
+                    // A contention-free system (infinite capacity, flat
+                    // latency) prices traffic independently of issue order, so
+                    // the coarse legacy batching — and with it the exact event
+                    // schedule — is preserved in the limiting case.
+                    MemSysModel::BusDram(mem) if mem.contention_free() => u64::MAX,
+                    MemSysModel::BusDram(_) => {
+                        self.events.peek().map_or(u64::MAX, |(next, _)| next)
+                    }
+                };
+                let (elapsed, finished) = self.step(core, time, bound);
                 self.cores[core].busy_cycles += elapsed;
                 let end = time + elapsed;
                 // `now` must track step *ends*, not just event pop times, or the
@@ -463,12 +516,12 @@ impl SimEngine {
                     continue 'events;
                 }
                 if self.now >= deadline {
-                    self.events.push(Reverse((end, core)));
+                    self.events.push(end, core);
                     return EngineStatus::Running;
                 }
                 match self.events.peek() {
-                    Some(&Reverse((next, _))) if end >= next => {
-                        self.events.push(Reverse((end, core)));
+                    Some((next, _)) if end >= next => {
+                        self.events.push(end, core);
                         continue 'events;
                     }
                     // Strictly earliest (or the only busy core): keep going.
@@ -513,6 +566,14 @@ impl SimEngine {
         let makespan = self
             .now
             .max(self.cores.iter().map(|c| c.busy_cycles).max().unwrap_or(0));
+        let (offchip_queue_cycles, bus_queue_cycles, dram_queue_cycles) = match &self.memsys {
+            MemSysModel::Legacy { .. } => (self.offchip_queue_cycles, 0, 0),
+            MemSysModel::BusDram(mem) => {
+                let bus = mem.bus_queue_cycles();
+                let dram = mem.dram_queue_cycles();
+                (bus + dram, bus, dram)
+            }
+        };
         SimResult {
             scheduler: self.policy.name(),
             cores: self.config.cores,
@@ -521,7 +582,9 @@ impl SimEngine {
             memory_accesses: self.memory_accesses,
             tasks: self.dag.len(),
             busy_cycles: self.cores.iter().map(|c| c.busy_cycles).collect(),
-            offchip_queue_cycles: self.offchip_queue_cycles,
+            offchip_queue_cycles,
+            bus_queue_cycles,
+            dram_queue_cycles,
             migrations: self.policy.migrations(),
             hierarchy: self.hierarchy.stats(),
             working_set: self.profiler.take().map(WorkingSetProfiler::finish),
@@ -553,7 +616,22 @@ impl SimEngine {
 
     /// Simulate one bounded step of `core`'s running task starting at `start`.
     /// Returns the elapsed cycles and whether the task finished.
-    fn step(&mut self, core: usize, start: u64) -> (u64, bool) {
+    ///
+    /// `bound` is the next pending event time of any *other* core: under the
+    /// component memory-system model the step yields before issuing work at or
+    /// past it, so every bus/DRAM transaction is made in global time order.
+    /// (The first access or burn always runs — the event queue already decided
+    /// this core goes first at `start` — which guarantees progress.)  The
+    /// stateful components require this temporal coherence: a core simulated
+    /// thousands of cycles ahead would occupy the bus and banks "in the
+    /// future", and a core popped later at an earlier timestamp would queue
+    /// behind phantom traffic.  The legacy closed-form channel keeps the old
+    /// coarse batching (`bound == u64::MAX`) and its exact cycle counts, as
+    /// does a contention-free component system (see
+    /// `MemSystem::contention_free`), whose costs cannot depend on issue
+    /// order — that exemption is what makes the infinite-capacity limiting
+    /// case reproduce legacy schedules bit-for-bit.
+    fn step(&mut self, core: usize, start: u64, bound: u64) -> (u64, bool) {
         let slice = self.options.time_slice_cycles;
         let max_accesses = self.options.max_accesses_per_step as u64;
         let mut elapsed = 0u64;
@@ -570,6 +648,9 @@ impl SimEngine {
                 break true;
             }
             if elapsed >= slice || accesses_this_step >= max_accesses {
+                break false;
+            }
+            if elapsed > 0 && start + elapsed >= bound {
                 break false;
             }
             if running.pending_compute > 0 {
@@ -595,21 +676,54 @@ impl SimEngine {
         (elapsed, finished)
     }
 
-    /// Issue one reference through the hierarchy at absolute time `at`, modelling
-    /// off-chip bandwidth contention.  Returns the reference's total latency.
+    /// Issue one reference through the hierarchy at absolute time `at`,
+    /// sending any off-chip traffic through the memory-system model.  Returns
+    /// the reference's total latency.
+    ///
+    /// Under the component model an L2 *miss* replaces the hierarchy's flat
+    /// memory latency with the transaction's end-to-end time (bus grant +
+    /// DRAM service + data return), while a dirty-victim writeback from an L2
+    /// *hit* is fully posted: the eviction drains from a write buffer off the
+    /// core's critical path, costing the requester nothing but still
+    /// occupying the bus and DRAM banks that later requests queue behind.
     fn issue_access(&mut self, core: usize, acc: MemAccess, at: u64) -> u64 {
+        let line_bytes = self.hierarchy.line_bytes() as usize;
         if let Some(p) = &mut self.profiler {
-            p.record(block_of(acc.addr, self.hierarchy.line_bytes() as usize));
+            p.record(block_of(acc.addr, line_bytes));
         }
         let outcome = self.hierarchy.access(core, acc.addr, acc.write);
         let mut latency = outcome.latency;
         if outcome.offchip_bytes > 0 {
-            let queue_delay = self.offchip_busy_until.saturating_sub(at);
-            let transfer_cycles =
-                (outcome.offchip_bytes as f64 / self.config.offchip_bytes_per_cycle).ceil() as u64;
-            self.offchip_busy_until = at + queue_delay + transfer_cycles;
-            self.offchip_queue_cycles += queue_delay;
-            latency += queue_delay;
+            match &mut self.memsys {
+                MemSysModel::Legacy {
+                    bytes_per_cycle,
+                    busy_until,
+                } => {
+                    let transfer_cycles =
+                        (outcome.offchip_bytes as f64 / *bytes_per_cycle).ceil() as u64;
+                    // A zero-cycle transfer (unbounded channel) occupies the
+                    // channel for nothing and cannot queue — the same guard
+                    // the component bus applies to zero-duration grants.
+                    if transfer_cycles > 0 {
+                        let queue_delay = busy_until.saturating_sub(at);
+                        *busy_until = at + queue_delay + transfer_cycles;
+                        self.offchip_queue_cycles += queue_delay;
+                        latency += queue_delay;
+                    }
+                }
+                MemSysModel::BusDram(mem) => {
+                    let block = block_of(acc.addr, line_bytes);
+                    let tx = mem.transact(core, block, outcome.offchip_bytes, at);
+                    if outcome.is_offchip() {
+                        // The hierarchy charged its flat memory latency; the
+                        // transaction's observed end-to-end time replaces it.
+                        latency = latency.saturating_sub(self.config.memory_latency_cycles)
+                            + tx.total_cycles;
+                    }
+                    // Writeback-only traffic (a dirty victim behind an L2
+                    // hit) is posted: no latency charge, only occupancy.
+                }
+            }
         }
         latency
     }
@@ -673,7 +787,7 @@ impl SimEngine {
         }
         self.cores[core].running = Some(RunningTask::new(&self.dag, task));
         self.idle[core] = false;
-        self.events.push(Reverse((now, core)));
+        self.events.push(now, core);
     }
 
     /// Inject any co-runner bursts due at or before `time`.
@@ -681,11 +795,11 @@ impl SimEngine {
     /// The co-runner is a *rate*, not a backlog: if the measured program jumps
     /// far ahead in one event (a long-latency access), missed periods beyond a
     /// small catch-up window are dropped rather than replayed, and a burst
-    /// whose scheduled time finds the off-chip channel backlogged by more than
+    /// whose scheduled time finds the memory system backlogged by more than
     /// one period is skipped entirely — the co-runner is itself stalled on
     /// memory.  Without this back-pressure an over-provisioned disturbance
-    /// (more bytes per period than the channel can move) would grow the
-    /// channel queue without bound and the simulation would never converge.
+    /// (more bytes per period than the memory system can move) would grow the
+    /// queues without bound and the simulation would never converge.
     fn inject_disturbance(&mut self, time: u64) {
         let Some(d) = self.options.disturbance else {
             return;
@@ -702,9 +816,13 @@ impl SimEngine {
         while self.next_disturbance_at <= time {
             let at = self.next_disturbance_at;
             self.next_disturbance_at += d.period_cycles;
-            if self.offchip_busy_until > at.saturating_add(d.period_cycles) {
-                // Channel congested past the next period: the co-runner's own
-                // fetches stall, so this burst never issues.
+            let backlog_until = match &self.memsys {
+                MemSysModel::Legacy { busy_until, .. } => *busy_until,
+                MemSysModel::BusDram(mem) => mem.backlog_until(),
+            };
+            if backlog_until > at.saturating_add(d.period_cycles) {
+                // Memory system backlogged past the next period: the
+                // co-runner's own fetches stall, so this burst never issues.
                 continue;
             }
             for _ in 0..d.blocks_per_burst {
@@ -713,10 +831,21 @@ impl SimEngine {
                 let outcome = self.hierarchy.access_block(0, block, false);
                 self.disturbance_accesses += 1;
                 if outcome.offchip_bytes > 0 {
-                    let transfer = (outcome.offchip_bytes as f64
-                        / self.config.offchip_bytes_per_cycle)
-                        .ceil() as u64;
-                    self.offchip_busy_until = self.offchip_busy_until.max(at) + transfer;
+                    match &mut self.memsys {
+                        MemSysModel::Legacy {
+                            bytes_per_cycle,
+                            busy_until,
+                        } => {
+                            let transfer =
+                                (outcome.offchip_bytes as f64 / *bytes_per_cycle).ceil() as u64;
+                            *busy_until = (*busy_until).max(at) + transfer;
+                        }
+                        // The co-runner is its own bus requester, one id past
+                        // the real cores.
+                        MemSysModel::BusDram(mem) => {
+                            mem.transact(self.config.cores, block, outcome.offchip_bytes, at);
+                        }
+                    }
                 }
             }
         }
@@ -727,7 +856,7 @@ impl SimEngine {
 mod tests {
     use super::*;
     use crate::{make_policy, simulate, simulate_sequential, SchedulerSpec};
-    use pdfws_cmp_model::default_config;
+    use pdfws_cmp_model::{default_config, MemSysParams};
     use pdfws_task_dag::builder::{DagBuilder, SpTree};
     use pdfws_task_dag::AccessPattern;
 
@@ -833,19 +962,9 @@ mod tests {
 
     #[test]
     fn offchip_bandwidth_contention_slows_missing_workloads() {
-        // A DAG whose leaves all stream disjoint data (every reference misses).
         // With a tiny off-chip bandwidth the run must take far longer and record
         // queueing cycles.
-        let leaves: Vec<SpTree> = (0..8)
-            .map(|i| {
-                SpTree::leaf_with_accesses(
-                    &format!("s{i}"),
-                    100,
-                    vec![AccessPattern::range_read(i as u64 * (1 << 22), 64 * 2_000)],
-                )
-            })
-            .collect();
-        let dag = SpTree::Par(leaves).into_dag().unwrap();
+        let dag = streaming_dag();
         let mut fat = default_config(8).unwrap();
         fat.offchip_bytes_per_cycle = 1024.0;
         let mut thin = fat;
@@ -860,6 +979,79 @@ mod tests {
         );
         assert!(slow.offchip_queue_cycles > 0);
         assert_eq!(fast.hierarchy.l2_misses(), slow.hierarchy.l2_misses());
+        // Under the default component model the queuing is split between the
+        // bus and the DRAM controller, and the split accounts for the total.
+        assert_eq!(
+            slow.bus_queue_cycles + slow.dram_queue_cycles,
+            slow.offchip_queue_cycles
+        );
+        assert!(slow.bus_queue_cycles > 0);
+    }
+
+    /// A DAG whose leaves stream disjoint data, so every reference misses.
+    fn streaming_dag() -> pdfws_task_dag::TaskDag {
+        let leaves: Vec<SpTree> = (0..8)
+            .map(|i| {
+                SpTree::leaf_with_accesses(
+                    &format!("s{i}"),
+                    100,
+                    vec![AccessPattern::range_read(i as u64 * (1 << 22), 64 * 2_000)],
+                )
+            })
+            .collect();
+        SpTree::Par(leaves).into_dag().unwrap()
+    }
+
+    #[test]
+    fn legacy_model_is_selectable_and_differs_from_the_component_model() {
+        let dag = streaming_dag();
+        let mut cfg = default_config(8).unwrap();
+        cfg.offchip_bytes_per_cycle = 1.0;
+        let mut legacy_cfg = cfg;
+        legacy_cfg.memsys = MemSysParams::legacy();
+        let component = simulate(&dag, &cfg, &SchedulerSpec::pdf(), &SimOptions::default());
+        let legacy = simulate(
+            &dag,
+            &legacy_cfg,
+            &SchedulerSpec::pdf(),
+            &SimOptions::default(),
+        );
+        // Both models make the thin channel hurt...
+        assert!(component.offchip_queue_cycles > 0);
+        assert!(legacy.offchip_queue_cycles > 0);
+        // ...but the component model splits its queuing while legacy cannot,
+        // and the two cost models disagree on the makespan.
+        assert!(component.bus_queue_cycles > 0);
+        assert_eq!(legacy.bus_queue_cycles, 0);
+        assert_eq!(legacy.dram_queue_cycles, 0);
+        assert_ne!(component.cycles, legacy.cycles);
+    }
+
+    #[test]
+    fn infinite_capacity_component_model_reproduces_legacy_exactly() {
+        // With an unbounded bus and controller and hit == miss == the flat
+        // memory latency, every transaction costs exactly what the legacy
+        // model charges an uncontended miss — so on an uncontended channel
+        // (infinite bandwidth) the two models must agree cycle-for-cycle.
+        let dag = streaming_dag();
+        let mut cfg = default_config(8).unwrap();
+        cfg.offchip_bytes_per_cycle = f64::INFINITY;
+        let mut legacy_cfg = cfg;
+        legacy_cfg.memsys = MemSysParams::legacy();
+        let mut pinned_cfg = cfg;
+        pinned_cfg.memsys = MemSysParams {
+            dram_hit_cycles: Some(cfg.memory_latency_cycles),
+            dram_miss_cycles: Some(cfg.memory_latency_cycles),
+            ..MemSysParams::bus_dram()
+        };
+        for spec in SchedulerSpec::paper_pair() {
+            let legacy = simulate(&dag, &legacy_cfg, &spec, &SimOptions::default());
+            let pinned = simulate(&dag, &pinned_cfg, &spec, &SimOptions::default());
+            assert_eq!(legacy.cycles, pinned.cycles, "{spec}");
+            assert_eq!(legacy.offchip_queue_cycles, 0, "{spec}");
+            assert_eq!(pinned.offchip_queue_cycles, 0, "{spec}");
+            assert_eq!(legacy.busy_cycles, pinned.busy_cycles, "{spec}");
+        }
     }
 
     #[test]

@@ -52,8 +52,10 @@
 //! [`engine::SimEngine`] advances a set of simulated cores through the task DAG:
 //! each core executes its current task's compute instructions (one per cycle) and
 //! memory references (through the shared [`pdfws_cache_sim::CmpCacheHierarchy`]),
-//! off-chip transfers contend for the configuration's off-chip bandwidth, and
-//! every completion enables successors and lets idle cores pick up work.  The
+//! every L2 miss crosses the component memory system (`pdfws-memsys`'s shared
+//! bus and banked DRAM controller, where queuing delay is emergent; the
+//! pre-component serializing channel survives as `memsys=legacy`), and every
+//! completion enables successors and lets idle cores pick up work.  The
 //! result is a [`result::SimResult`] carrying the makespan, per-core utilisation,
 //! cache statistics and scheduler counters — everything the paper's figures need.
 //! The result's `scheduler` field is the spec's canonical string, so two

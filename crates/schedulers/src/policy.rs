@@ -66,16 +66,6 @@ pub trait SchedulerPolicy {
         0
     }
 
-    /// Deprecated name for [`migrations`](SchedulerPolicy::migrations).
-    ///
-    /// The counter has always mixed steal events with static cross-core
-    /// placements; `migrations` is the vocabulary the trace events and
-    /// `SimResult` use, so the old name survives only as an alias.
-    #[deprecated(since = "0.1.0", note = "renamed to `migrations`")]
-    fn steals(&self) -> u64 {
-        self.migrations()
-    }
-
     /// Switch on buffering of scheduler-internal trace events.
     ///
     /// The engine calls this once when a trace sink is installed.  Policies

@@ -23,9 +23,18 @@ pub struct SimResult {
     pub tasks: usize,
     /// Per-core busy cycles (executing a task).
     pub busy_cycles: Vec<u64>,
-    /// Cycles spent stalled waiting for the off-chip channel (queueing delay on
-    /// top of the raw memory latency), summed over cores.
+    /// Cycles spent stalled waiting for the memory system (queueing delay on
+    /// top of the raw access latency), summed over cores.  Under the
+    /// component model this is `bus_queue_cycles + dram_queue_cycles`; under
+    /// the legacy serializing-channel model it is the channel's busy-window
+    /// wait.
     pub offchip_queue_cycles: u64,
+    /// Cycles requests waited for a shared-bus grant (component memory-system
+    /// model only; 0 under `--memsys legacy`).
+    pub bus_queue_cycles: u64,
+    /// Cycles requests waited inside the DRAM controller — bank busy windows
+    /// plus data-pin contention (component model only; 0 under legacy).
+    pub dram_queue_cycles: u64,
     /// Work migrations performed: steal events for deque-based policies
     /// (`ws`, post-switch `hybrid`), cross-core placements for `static`; 0 for
     /// `pdf`, whose global queue has no migration concept.
@@ -67,12 +76,6 @@ impl SimResult {
         }
         baseline.cycles as f64 / self.cycles as f64
     }
-
-    /// Deprecated name for the [`migrations`](SimResult::migrations) field.
-    #[deprecated(since = "0.1.0", note = "renamed to the `migrations` field")]
-    pub fn steals(&self) -> u64 {
-        self.migrations
-    }
 }
 
 #[cfg(test)]
@@ -92,6 +95,8 @@ mod tests {
             tasks: 10,
             busy_cycles: busy,
             offchip_queue_cycles: 0,
+            bus_queue_cycles: 0,
+            dram_queue_cycles: 0,
             migrations: 0,
             hierarchy,
             working_set: None,
@@ -111,14 +116,6 @@ mod tests {
         assert!((r.utilization() - 0.5).abs() < 1e-12);
         let empty = result(0, 0, 0, vec![]);
         assert_eq!(empty.utilization(), 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_steals_alias_reads_the_migrations_field() {
-        let mut r = result(1000, 1, 0, vec![1000]);
-        r.migrations = 7;
-        assert_eq!(r.steals(), 7);
     }
 
     #[test]

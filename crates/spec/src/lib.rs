@@ -74,6 +74,10 @@ pub enum ParamKind {
     /// A real number in `[0, 1]` (`shared-fraction=0.5`).  Values are
     /// normalised through `f64` (`0.50` → `0.5`).
     Fraction,
+    /// A strictly positive real number (`width=2.67`).  Values are normalised
+    /// through `f64` (`2.50` → `2.5`); infinities are accepted (an unbounded
+    /// resource), NaN and non-positive values are not.
+    PositiveF64,
     /// One of a fixed set of words (`victim=random`).
     Choice(&'static [&'static str]),
 }
@@ -91,6 +95,10 @@ impl ParamKind {
                 Ok(v) if (0.0..=1.0).contains(&v) => Ok(v.to_string()),
                 _ => Err("a fraction between 0 and 1".to_string()),
             },
+            ParamKind::PositiveF64 => match value.parse::<f64>() {
+                Ok(v) if v > 0.0 => Ok(v.to_string()),
+                _ => Err("a positive real number".to_string()),
+            },
             ParamKind::Choice(options) => {
                 if options.contains(&value) {
                     Ok(value.to_string())
@@ -106,6 +114,7 @@ impl ParamKind {
         match self {
             ParamKind::U64 => "u64".to_string(),
             ParamKind::Fraction => "0..1".to_string(),
+            ParamKind::PositiveF64 => "f64>0".to_string(),
             ParamKind::Choice(options) => options.join("|"),
         }
     }
@@ -491,6 +500,11 @@ mod tests {
                     kind: ParamKind::Choice(&["steel", "brass"]),
                     doc: "material",
                 },
+                ParamSpec {
+                    key: "width",
+                    kind: ParamKind::PositiveF64,
+                    doc: "face width in mm",
+                },
             ]
         }
     }
@@ -532,6 +546,22 @@ mod tests {
         let (_, canonical) = t.validate(name, raw).unwrap();
         assert_eq!(canonical.get("teeth").map(String::as_str), Some("7"));
         assert_eq!(canonical.get("bias").map(String::as_str), Some("0.5"));
+    }
+
+    #[test]
+    fn positive_f64_accepts_positive_reals_and_infinity_only() {
+        let t = table();
+        let (name, raw) = parse_spec("gear:width=2.50", &TEST_VOCAB).unwrap();
+        let (_, canonical) = t.validate(name, raw).unwrap();
+        assert_eq!(canonical.get("width").map(String::as_str), Some("2.5"));
+        let (name, raw) = parse_spec("gear:width=inf", &TEST_VOCAB).unwrap();
+        let (_, canonical) = t.validate(name, raw).unwrap();
+        assert_eq!(canonical.get("width").map(String::as_str), Some("inf"));
+        for bad in ["0", "-1", "NaN", "wide"] {
+            let (name, raw) = parse_spec(&format!("gear:width={bad}"), &TEST_VOCAB).unwrap();
+            let e = t.validate(name, raw).unwrap_err();
+            assert!(e.to_string().contains("a positive real number"), "{e}");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::arrival::ArrivalProcess;
 use crate::job::StreamJob;
 use crate::record::{JobRecord, StreamOutcome};
 use crate::source::JobMix;
-use pdfws_cmp_model::{default_config, CmpConfig, ModelError};
+use pdfws_cmp_model::{default_config, CmpConfig, MemSysParams, ModelError};
 use pdfws_schedulers::{
     make_policy, Disturbance, EngineStatus, SchedulerSpec, SimEngine, SimOptions,
 };
@@ -46,6 +46,11 @@ pub struct StreamConfig {
     pub arrivals: ArrivalProcess,
     /// Engine options applied to every job's engine.
     pub sim_options: SimOptions,
+    /// Memory-system model override for the simulated machine (`None`: the
+    /// default configuration's own model, the component bus+DRAM system).
+    /// Parse a `--memsys` string into a `pdfws_memsys::MemSysSpec` and store
+    /// its `memsys_params()` here.
+    pub memsys: Option<MemSysParams>,
     /// Cache-interference model: L2 blocks polluted per co-resident rival per
     /// disturbance period.  0 disables cross-job interference.
     pub rival_pollution_blocks: u64,
@@ -69,6 +74,7 @@ impl StreamConfig {
                 seed: 0x57_2EA4,
             },
             sim_options: SimOptions::default(),
+            memsys: None,
             rival_pollution_blocks: 64,
             seed: 42,
         }
@@ -175,7 +181,11 @@ fn stream_sim_impl(
     mut sink: Option<&mut dyn TraceSink>,
 ) -> Result<StreamOutcome, ModelError> {
     validate_stream_cfg(cfg);
-    let machine: CmpConfig = default_config(cfg.cores)?;
+    let mut machine: CmpConfig = default_config(cfg.cores)?;
+    if let Some(memsys) = cfg.memsys {
+        machine.memsys = memsys;
+        machine.validate()?;
+    }
 
     let n_jobs = jobs.len();
     let mut jobs = jobs;

@@ -108,6 +108,25 @@ pub enum TraceEvent {
         /// Shared-L2 misses during the window.
         l2_misses: u64,
     },
+    /// Counter sample: cycles the shared memory bus spent occupied by
+    /// transfers since the previous sample (a delta, like
+    /// [`CacheWindow`](TraceEvent::CacheWindow)).  Only emitted by the
+    /// component memory-system model.
+    BusOccupancy {
+        /// Timestamp (end of the window).
+        t: TraceTime,
+        /// Bus-busy cycles accumulated during the window.
+        busy_cycles: u64,
+    },
+    /// Counter sample: outstanding memory-system backlog at the sample
+    /// instant — how many cycles of committed bus/DRAM work are still ahead
+    /// of the clock.  Only emitted by the component memory-system model.
+    DramQueueDepth {
+        /// Timestamp.
+        t: TraceTime,
+        /// Backlog in cycles (0 when the memory system is idle).
+        depth: u64,
+    },
     /// A stream job was admitted into the serving slots.
     JobAdmit {
         /// Timestamp.
@@ -152,6 +171,8 @@ impl TraceEvent {
             | TraceEvent::CoreIdle { t, .. }
             | TraceEvent::ReadyDepth { t, .. }
             | TraceEvent::CacheWindow { t, .. }
+            | TraceEvent::BusOccupancy { t, .. }
+            | TraceEvent::DramQueueDepth { t, .. }
             | TraceEvent::JobAdmit { t, .. }
             | TraceEvent::JobDispatch { t, .. }
             | TraceEvent::JobComplete { t, .. }
@@ -177,6 +198,8 @@ impl TraceEvent {
             | TraceEvent::CoreIdle { t, .. }
             | TraceEvent::ReadyDepth { t, .. }
             | TraceEvent::CacheWindow { t, .. }
+            | TraceEvent::BusOccupancy { t, .. }
+            | TraceEvent::DramQueueDepth { t, .. }
             | TraceEvent::JobAdmit { t, .. }
             | TraceEvent::JobDispatch { t, .. }
             | TraceEvent::JobComplete { t, .. }
@@ -220,6 +243,8 @@ impl TraceEvent {
             TraceEvent::CoreIdle { .. } => "core_idle",
             TraceEvent::ReadyDepth { .. } => "ready_depth",
             TraceEvent::CacheWindow { .. } => "cache_window",
+            TraceEvent::BusOccupancy { .. } => "bus_occupancy",
+            TraceEvent::DramQueueDepth { .. } => "dram_queue_depth",
             TraceEvent::JobAdmit { .. } => "job_admit",
             TraceEvent::JobDispatch { .. } => "job_dispatch",
             TraceEvent::JobComplete { .. } => "job_complete",
@@ -337,10 +362,15 @@ mod tests {
                 l1_misses: 10,
                 l2_misses: 2,
             },
-            TraceEvent::JobAdmit { t: 11, job: 1 },
-            TraceEvent::JobDispatch { t: 12, job: 1 },
-            TraceEvent::JobComplete { t: 13, job: 1 },
-            TraceEvent::OutstandingJobs { t: 14, jobs: 3 },
+            TraceEvent::BusOccupancy {
+                t: 11,
+                busy_cycles: 512,
+            },
+            TraceEvent::DramQueueDepth { t: 12, depth: 40 },
+            TraceEvent::JobAdmit { t: 13, job: 1 },
+            TraceEvent::JobDispatch { t: 14, job: 1 },
+            TraceEvent::JobComplete { t: 15, job: 1 },
+            TraceEvent::OutstandingJobs { t: 16, jobs: 3 },
         ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.time(), (i + 1) as u64);
@@ -350,7 +380,8 @@ mod tests {
         assert_eq!(events[3].core(), Some(1), "steal reports the thief");
         assert_eq!(events[4].core(), Some(0), "migration reports the enabler");
         assert_eq!(events[8].core(), None, "counters are process-wide");
-        assert_eq!(events[10].core(), None, "job events are process-wide");
+        assert_eq!(events[10].core(), None, "memsys counters are process-wide");
+        assert_eq!(events[12].core(), None, "job events are process-wide");
     }
 
     #[test]

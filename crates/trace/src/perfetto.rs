@@ -11,7 +11,8 @@
 //! * `"i"` instant events for steal attempts, steals (with the victim in
 //!   `args`), migrations, and the hybrid PDF→WS switch;
 //! * `"C"` counter tracks for ready-queue depth, busy cores, windowed cache
-//!   misses, and outstanding stream jobs;
+//!   misses, bus occupancy, memory-system backlog, and outstanding stream
+//!   jobs;
 //! * `"b"`/`"n"`/`"e"` async slices spanning each stream job's
 //!   admit→dispatch→complete lifetime.
 //!
@@ -166,6 +167,16 @@ fn push_track(out: &mut Vec<String>, track: &TraceTrack) {
                     "{{\"name\":\"mem_accesses\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"accesses\":{accesses}}}}}"
                 ));
             }
+            TraceEvent::BusOccupancy { t, busy_cycles } => {
+                out.push(format!(
+                    "{{\"name\":\"bus_occupancy\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"busy_cycles\":{busy_cycles}}}}}"
+                ));
+            }
+            TraceEvent::DramQueueDepth { t, depth } => {
+                out.push(format!(
+                    "{{\"name\":\"dram_queue_depth\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"depth\":{depth}}}}}"
+                ));
+            }
             TraceEvent::JobAdmit { t, job } => {
                 out.push(format!(
                     "{{\"name\":\"job\",\"cat\":\"job\",\"ph\":\"b\",\"id\":{job},\"ts\":{t},\"pid\":{pid},\"tid\":0}}"
@@ -253,6 +264,11 @@ mod tests {
                     l1_misses: 9,
                     l2_misses: 3,
                 },
+                TraceEvent::BusOccupancy {
+                    t: 8,
+                    busy_cycles: 192,
+                },
+                TraceEvent::DramQueueDepth { t: 8, depth: 37 },
             ],
         )
     }
@@ -270,6 +286,10 @@ mod tests {
         assert!(json.contains("\"victim\":0"));
         assert!(json.contains("\"name\":\"ready_depth\""));
         assert!(json.contains("\"l2\":3"));
+        assert!(json.contains("\"name\":\"bus_occupancy\""));
+        assert!(json.contains("\"busy_cycles\":192"));
+        assert!(json.contains("\"name\":\"dram_queue_depth\""));
+        assert!(json.contains("\"depth\":37"));
     }
 
     #[test]

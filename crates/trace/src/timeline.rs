@@ -20,7 +20,12 @@ use pdfws_metrics::{Series, Table};
 /// * `migrations` — cross-core placements per bin;
 /// * `ready_depth` — mean of the ready-queue samples in the bin (the last
 ///   observed sample carries forward through empty bins);
-/// * `l2_misses` — shared-L2 misses from `CacheWindow` samples per bin.
+/// * `l2_misses` — shared-L2 misses from `CacheWindow` samples per bin;
+/// * `bus_occupancy` — cycles the shared bus spent occupied per bin, from
+///   `BusOccupancy` samples;
+/// * `dram_queue_depth` — mean memory-system backlog (cycles of outstanding
+///   work) over the bin's `DramQueueDepth` samples (the last observed sample
+///   carries forward through empty bins).
 ///
 /// The x-axis is the bin's end timestamp in cycles.  An empty event slice
 /// yields an all-zero table (the bins still exist).
@@ -41,8 +46,11 @@ pub fn timeline_table(title: &str, events: &[TraceEvent], cores: usize, bins: us
     let mut attempts = vec![0.0f64; bins];
     let mut migrations = vec![0.0f64; bins];
     let mut l2 = vec![0.0f64; bins];
+    let mut bus_busy = vec![0.0f64; bins];
     let mut depth_sum = vec![0.0f64; bins];
     let mut depth_n = vec![0u64; bins];
+    let mut dram_sum = vec![0.0f64; bins];
+    let mut dram_n = vec![0u64; bins];
 
     // Per-core currently-open task start time; tasks still open at the end of
     // the trace are treated as running through the makespan.
@@ -79,6 +87,14 @@ pub fn timeline_table(title: &str, events: &[TraceEvent], cores: usize, bins: us
                 depth_n[b] += 1;
             }
             TraceEvent::CacheWindow { t, l2_misses, .. } => l2[bin_of(t)] += l2_misses as f64,
+            TraceEvent::BusOccupancy { t, busy_cycles } => {
+                bus_busy[bin_of(t)] += busy_cycles as f64;
+            }
+            TraceEvent::DramQueueDepth { t, depth } => {
+                let b = bin_of(t);
+                dram_sum[b] += depth as f64;
+                dram_n[b] += 1;
+            }
             _ => {}
         }
     }
@@ -90,14 +106,19 @@ pub fn timeline_table(title: &str, events: &[TraceEvent], cores: usize, bins: us
 
     let core_time = (cores as u64 * width) as f64;
     let busy_frac: Vec<f64> = busy.iter().map(|b| b / core_time).collect();
-    let mut ready = Vec::with_capacity(bins);
-    let mut carry = 0.0f64;
-    for b in 0..bins {
-        if depth_n[b] > 0 {
-            carry = depth_sum[b] / depth_n[b] as f64;
+    let mean_with_carry = |sums: &[f64], counts: &[u64]| {
+        let mut out = Vec::with_capacity(bins);
+        let mut carry = 0.0f64;
+        for b in 0..bins {
+            if counts[b] > 0 {
+                carry = sums[b] / counts[b] as f64;
+            }
+            out.push(carry);
         }
-        ready.push(carry);
-    }
+        out
+    };
+    let ready = mean_with_carry(&depth_sum, &depth_n);
+    let dram_depth = mean_with_carry(&dram_sum, &dram_n);
 
     let x_values: Vec<String> = (0..bins)
         .map(|i| (((i as u64) + 1) * width).min(makespan).to_string())
@@ -109,6 +130,8 @@ pub fn timeline_table(title: &str, events: &[TraceEvent], cores: usize, bins: us
     table.push_series(Series::new("migrations", migrations));
     table.push_series(Series::new("ready_depth", ready));
     table.push_series(Series::new("l2_misses", l2));
+    table.push_series(Series::new("bus_occupancy", bus_busy));
+    table.push_series(Series::new("dram_queue_depth", dram_depth));
     table
 }
 
@@ -189,6 +212,36 @@ mod tests {
         assert_eq!(series("migrations"), vec![0.0, 1.0]);
         assert_eq!(series("l2_misses"), vec![0.0, 4.0]);
         assert_eq!(series("ready_depth"), vec![0.0, 8.0]);
+    }
+
+    #[test]
+    fn memsys_counters_bin_and_carry() {
+        let events = vec![
+            TraceEvent::BusOccupancy {
+                t: 10,
+                busy_cycles: 30,
+            },
+            TraceEvent::BusOccupancy {
+                t: 20,
+                busy_cycles: 12,
+            },
+            TraceEvent::DramQueueDepth { t: 15, depth: 100 },
+            TraceEvent::ReadyDepth { t: 99, depth: 0 },
+        ];
+        let table = timeline_table("memsys", &events, 2, 2);
+        let series = |name: &str| {
+            table
+                .series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+                .values
+                .clone()
+        };
+        // Both occupancy samples land in the first bin; the backlog sample
+        // carries its mean into the empty second bin.
+        assert_eq!(series("bus_occupancy"), vec![42.0, 0.0]);
+        assert_eq!(series("dram_queue_depth"), vec![100.0, 100.0]);
     }
 
     #[test]

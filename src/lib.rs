@@ -8,6 +8,9 @@
 //!   "default configurations" for 1–32 cores on a 240 mm² die).
 //! * [`cache_sim`] — private-L1 / shared-L2 cache-hierarchy simulator.
 //! * [`task_dag`] — fine-grained fork-join task DAGs with per-task memory traces.
+//! * [`memsys`] — the discrete-event memory-system substrate: shared
+//!   split-transaction bus + banked DRAM controller components behind the open
+//!   `MemSysSpec` API (`--memsys bus:dram:banks=32` / `--memsys legacy`).
 //! * [`schedulers`] — the open `SchedulerSpec` API (policy registry, parameterized
 //!   PDF/WS/hybrid/static policies) and the cycle-level execution engine.
 //! * [`runtime`] — real-thread fork-join runtimes implementing both policies.
@@ -48,6 +51,7 @@
 pub use pdfws_cache_sim as cache_sim;
 pub use pdfws_cmp_model as cmp_model;
 pub use pdfws_core as core_api;
+pub use pdfws_memsys as memsys;
 pub use pdfws_metrics as metrics;
 pub use pdfws_report as report;
 pub use pdfws_runtime as runtime;
