@@ -1,0 +1,41 @@
+//! Criterion bench: the cache-mode axis — exact vs sampled vs analytic.
+//!
+//! Measures the same (DAG × config × scheduler) cell priced by each
+//! registered cache mode, so the speedup `cache=sampled:rate=N` and
+//! `cache=analytic` buy over exact per-access simulation is tracked per PR
+//! (recorded in `EXPERIMENTS.md` and, with `--json`, in `BENCH_<n>.json`).
+//! The analytic benchmark includes the DAG's one-pass stack-distance
+//! profiling each iteration (a fresh DAG `Arc` per run would hit the profile
+//! cache and measure nothing), so its number is the *worst* case — sweeps
+//! amortise one profile across every cell.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdfws_cmp_model::default_config;
+use pdfws_schedulers::{simulate, CacheModeSpec, SchedulerSpec, SimOptions};
+use pdfws_workloads::{MergeSort, Workload};
+use std::hint::black_box;
+
+fn bench_cache_modes(c: &mut Criterion) {
+    let dag = MergeSort::new(1 << 16).build_dag();
+    let refs = dag.analyze().memory_accesses;
+    let cfg = default_config(8).expect("default configuration");
+    let spec = SchedulerSpec::pdf();
+    let mut group = c.benchmark_group("cache_modes");
+    group.throughput(Throughput::Elements(refs));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for mode in ["exact", "sampled:rate=16", "analytic"] {
+        let options = SimOptions {
+            cache_mode: mode.parse::<CacheModeSpec>().expect("registered mode"),
+            ..SimOptions::default()
+        };
+        group.bench_function(format!("mergesort_64k_pdf_{mode}"), |b| {
+            b.iter(|| black_box(simulate(&dag, &cfg, &spec, &options).cycles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_modes);
+criterion_main!(benches);

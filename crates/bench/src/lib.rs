@@ -14,9 +14,11 @@
 //! (replace the binary's default workload axis with any registered workload
 //! specs, e.g. `--workload mergesort:n=4096 --workload spmv`), `--memsys
 //! <spec>` (select the memory-system model for every simulated cell, e.g.
-//! `--memsys legacy` or `--memsys bus:dram:banks=32`), and `--list` (print
-//! all three registries' grammars — every scheduler policy, workload and
-//! memory-system model with its typed parameters — and exit).
+//! `--memsys legacy` or `--memsys bus:dram:banks=32`), `--cache <spec>`
+//! (select the cache simulation mode — `exact`, `sampled:rate=N` or
+//! `analytic`), and `--list` (print all four registries' grammars — every
+//! scheduler policy, workload, memory-system model and cache mode with its
+//! typed parameters — and exit).
 //!
 //! Output flows through one shared emission path ([`emit_tables`] /
 //! [`emit_figures`], built on the `pdfws-report` renderers): the default is
@@ -129,6 +131,10 @@ pub const UNIFORM_FLAGS: &[(&str, &str)] = &[
         "--memsys <spec>",
         "memory-system model for every simulated cell (e.g. 'legacy' or 'bus:dram:banks=32'; default: the component bus+DRAM model)",
     ),
+    (
+        "--cache <spec>",
+        "cache simulation mode for every cell ('exact' (default), 'sampled:rate=N', 'analytic')",
+    ),
     ("--csv", "print CSV blocks instead of aligned text tables"),
     ("--json", "print self-describing JSONL rows instead of tables"),
     (
@@ -141,7 +147,7 @@ pub const UNIFORM_FLAGS: &[(&str, &str)] = &[
     ),
     (
         "--list",
-        "print the spec grammars of all three registries (schedulers, workloads, memory-system models) and exit",
+        "print the spec grammars of all four registries (schedulers, workloads, memory-system models, cache modes) and exit",
     ),
     ("--help", "print this flag table and exit"),
 ];
@@ -168,9 +174,9 @@ pub fn maybe_help(bin: &str, about: &str, extra: &[(&str, &str)]) {
     std::process::exit(0);
 }
 
-/// If the binary was invoked with `--list`, print all three registries' spec
-/// grammars — every scheduler policy, every workload and every memory-system
-/// model, with their typed parameters — and exit.  Call this before doing any
+/// If the binary was invoked with `--list`, print all four registries' spec
+/// grammars — every scheduler policy, workload, memory-system model and cache
+/// mode, with their typed parameters — and exit.  Call this before doing any
 /// work.
 pub fn maybe_list() {
     if std::env::args().any(|a| a == "--list") {
@@ -185,6 +191,10 @@ pub fn maybe_list() {
         println!(
             "Memory-system specs (model:key=value,...):\n{}",
             MemSysRegistry::global().help()
+        );
+        println!(
+            "Cache-mode specs (mode:key=value,...):\n{}",
+            CacheModeRegistry::global().help()
         );
         std::process::exit(0);
     }
@@ -225,24 +235,63 @@ fn memsys_spec_arg_uncached() -> Option<MemSysSpec> {
     None
 }
 
-/// Apply the `--memsys` selection (if any) to a sweep grid.
+/// The cache simulation mode selected on the command line: `--cache <spec>` /
+/// `--cache=<spec>`, validated against the cache-mode registry.  Defaults to
+/// `exact` (the bit-exact per-access path) when the flag was not given.  A
+/// malformed or unknown spec aborts with the registry's error message.
+pub fn cache_mode_arg() -> CacheModeSpec {
+    static SPEC: std::sync::OnceLock<CacheModeSpec> = std::sync::OnceLock::new();
+    SPEC.get_or_init(cache_mode_arg_uncached).clone()
+}
+
+fn cache_mode_arg_uncached() -> CacheModeSpec {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--cache" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--cache=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        let Some(raw) = value else {
+            eprintln!("error: --cache needs a mode argument (try --list)");
+            std::process::exit(2);
+        };
+        match raw.parse::<CacheModeSpec>() {
+            Ok(spec) => return spec,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    CacheModeSpec::exact()
+}
+
+/// Apply the `--memsys` and `--cache` selections (if any) to a sweep grid.
 pub fn grid_with_memsys(grid: SweepGrid) -> SweepGrid {
+    let grid = grid.cache(cache_mode_arg());
     match memsys_spec_arg() {
         Some(spec) => grid.memsys(spec),
         None => grid,
     }
 }
 
-/// Apply the `--memsys` selection (if any) to an experiment builder.
+/// Apply the `--memsys` and `--cache` selections (if any) to an experiment
+/// builder.
 pub fn experiment_with_memsys(experiment: Experiment) -> Experiment {
+    let experiment = experiment.cache(cache_mode_arg());
     match memsys_spec_arg() {
         Some(spec) => experiment.memsys(spec),
         None => experiment,
     }
 }
 
-/// Apply the `--memsys` selection (if any) to a stream-experiment builder.
+/// Apply the `--memsys` and `--cache` selections (if any) to a
+/// stream-experiment builder.
 pub fn stream_with_memsys(experiment: StreamExperiment) -> StreamExperiment {
+    let experiment = experiment.cache(cache_mode_arg());
     match memsys_spec_arg() {
         Some(spec) => experiment.memsys(spec),
         None => experiment,
@@ -629,7 +678,11 @@ pub fn emit_trace_as(
             .validate()
             .expect("validated memsys spec stays valid");
     }
-    let options = SimOptions::default();
+    // ... and under the same cache mode.
+    let options = SimOptions {
+        cache_mode: cache_mode_arg(),
+        ..SimOptions::default()
+    };
     let (cells, profile) = runner().run_cells_profiled(specs.len(), |i| {
         simulate_traced(&workload.dag, &config, &specs[i], &options)
     });
@@ -708,12 +761,13 @@ pub fn emit_stream_trace_as(
     if !args.enabled() {
         return;
     }
-    // The traced stream must serve under the same memory-system model as the
-    // sweep it represents.
+    // The traced stream must serve under the same memory-system model and
+    // cache mode as the sweep it represents.
     let mut cfg = cfg.clone();
     if let Some(spec) = memsys_spec_arg() {
         cfg.memsys = Some(spec.memsys_params());
     }
+    cfg.sim_options.cache_mode = cache_mode_arg();
     let cells: Vec<Vec<pdfws_trace::TraceEvent>> = specs
         .iter()
         .map(|spec| {

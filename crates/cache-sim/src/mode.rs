@@ -1,0 +1,391 @@
+//! `CacheModeSpec` — the open, parameterized description of *how* the cache
+//! hierarchy is evaluated, in the workspace's shared `name:key=value` grammar:
+//!
+//! ```text
+//! exact                 per-access simulation of every set (the default)
+//! sampled:rate=16       systematic set-sampling: simulate 1/16th of the sets,
+//!                       scale the statistics back up
+//! analytic              reuse-distance histograms profiled once per DAG,
+//!                       composed per cache size without replaying the stream
+//! ```
+//!
+//! The three modes trade fidelity for speed.  `exact` is bit-exact and is what
+//! every claim evaluation defaults to; `sampled` keeps the full engine
+//! interleaving but touches only the sampled sets; `analytic` prices each
+//! task's references from its profiled stack-distance histogram, so a sweep
+//! over schedulers × cores × cache sizes never re-simulates the address
+//! stream.  The declared accuracy contracts ([`MPKI_TOLERANCE_SAMPLED`],
+//! [`MPKI_TOLERANCE_ANALYTIC`]) are enforced against `exact` by property
+//! tests over every registered workload × scheduler.
+//!
+//! Parsing validates the mode name and parameters against the global
+//! [`CacheModeRegistry`]; the stored form is canonical, so `to_string()` then
+//! `parse()` is the identity — the same contract as the scheduler, workload
+//! and memsys grammars.
+
+use pdfws_spec::{ParamKind, ParamSpec, SpecErrorKind, SpecFamily, SpecTable, Vocab};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, OnceLock};
+
+/// Errors from parsing or validating a [`CacheModeSpec`] (the shared
+/// [`pdfws_spec::SpecError`], worded with the cache vocabulary).
+pub type CacheModeError = pdfws_spec::SpecError;
+
+/// The cache domain's error wording ("unknown cache mode …; known modes: …").
+static CACHE_VOCAB: Vocab = Vocab {
+    subject: "cache",
+    entity: "cache mode",
+    known_label: "known modes",
+};
+
+/// Declared accuracy contract of `sampled` (any legal rate) against `exact`:
+/// L2 MPKI must agree within this relative fraction plus [`MPKI_SLACK_ABS`]
+/// absolute misses-per-kilo-instruction.
+pub const MPKI_TOLERANCE_SAMPLED: f64 = 0.25;
+
+/// Declared accuracy contract of `analytic` against `exact` (same form as
+/// [`MPKI_TOLERANCE_SAMPLED`]; looser because the composed histograms model
+/// capacity, not scheduler-induced sharing).
+pub const MPKI_TOLERANCE_ANALYTIC: f64 = 0.60;
+
+/// Absolute MPKI slack added to both relative tolerances, so near-zero miss
+/// rates (everything fits in the L2) cannot fail on rounding noise.
+pub const MPKI_SLACK_ABS: f64 = 2.0;
+
+/// Describes an accepted cache mode: name, doc line, parameters.
+///
+/// The registry guarantees validated specs only carry declared, well-typed
+/// parameters, so consumers (`pdfws-schedulers`' engine) can `expect`-parse.
+pub trait CacheModeFactory: Send + Sync {
+    /// The registry key (`"exact"`); also the spec's name component.
+    fn name(&self) -> &'static str;
+    /// One-line description, shown by [`CacheModeRegistry::help`].
+    fn doc(&self) -> &'static str;
+    /// The parameters this mode accepts (empty slice: none).
+    fn params(&self) -> &'static [ParamSpec];
+    /// Check cross-parameter constraints after each key/value passed its
+    /// [`ParamSpec`].  Return an error message to reject the combination.
+    fn validate_spec(&self, _spec: &CacheModeSpec) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Adapter letting the shared [`SpecTable`] read a mode factory's
+/// declarations.
+impl SpecFamily for dyn CacheModeFactory {
+    fn family_name(&self) -> &'static str {
+        self.name()
+    }
+    fn family_doc(&self) -> &'static str {
+        self.doc()
+    }
+    fn family_params(&self) -> &'static [ParamSpec] {
+        self.params()
+    }
+}
+
+/// A name-keyed set of [`CacheModeFactory`] objects.  Almost all code uses
+/// the process-wide [`CacheModeRegistry::global`] instance.
+pub struct CacheModeRegistry {
+    factories: SpecTable<dyn CacheModeFactory>,
+}
+
+impl CacheModeRegistry {
+    /// An empty registry (no built-ins).
+    pub fn empty() -> Self {
+        CacheModeRegistry {
+            factories: SpecTable::new(&CACHE_VOCAB),
+        }
+    }
+
+    /// A registry pre-loaded with the built-in modes.
+    pub fn with_builtins() -> Self {
+        let reg = Self::empty();
+        reg.register(Arc::new(ExactFactory));
+        reg.register(Arc::new(SampledFactory));
+        reg.register(Arc::new(AnalyticFactory));
+        reg
+    }
+
+    /// The process-wide registry every cache-mode spec parse resolves through.
+    pub fn global() -> &'static CacheModeRegistry {
+        static GLOBAL: OnceLock<CacheModeRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(CacheModeRegistry::with_builtins)
+    }
+
+    /// Add (or replace — last registration wins) a factory.
+    pub fn register(&self, factory: Arc<dyn CacheModeFactory>) {
+        self.factories.register(factory);
+    }
+
+    /// The registered mode names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.names()
+    }
+
+    /// Look up one factory.
+    pub fn factory(&self, name: &str) -> Option<Arc<dyn CacheModeFactory>> {
+        self.factories.get(name)
+    }
+
+    /// Validate a raw `(mode, params)` pair into a canonical
+    /// [`CacheModeSpec`].
+    pub fn validate(
+        &self,
+        mode: String,
+        params: BTreeMap<String, String>,
+    ) -> Result<CacheModeSpec, CacheModeError> {
+        let (factory, canonical) = self.factories.validate(mode, params)?;
+        let spec = CacheModeSpec::known_valid(factory.name(), canonical);
+        if let Err(message) = factory.validate_spec(&spec) {
+            return Err(CacheModeError::new(
+                &CACHE_VOCAB,
+                SpecErrorKind::InvalidCombination {
+                    owner: factory.name().to_string(),
+                    message,
+                },
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// A human-readable listing of every registered mode and its parameters
+    /// (what `--list` prints for the cache axis).
+    pub fn help(&self) -> String {
+        self.factories.help()
+    }
+}
+
+/// A parsed, validated cache-evaluation mode: mode name + parameters.
+///
+/// Construct one with the named constructors ([`CacheModeSpec::exact`],
+/// [`CacheModeSpec::sampled`], [`CacheModeSpec::analytic`]) or by parsing
+/// (`"sampled:rate=16".parse()`); every path validates against the global
+/// [`CacheModeRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CacheModeSpec {
+    mode: String,
+    /// Canonically sorted `key -> value` parameters.
+    params: BTreeMap<String, String>,
+}
+
+impl Default for CacheModeSpec {
+    /// `exact` — the bit-exact per-access path every claim defaults to.
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
+impl CacheModeSpec {
+    /// Internal: build a spec that is already known valid.
+    fn known_valid(mode: &str, params: BTreeMap<String, String>) -> Self {
+        CacheModeSpec {
+            mode: mode.to_string(),
+            params,
+        }
+    }
+
+    /// Parse and validate a spec string (same as `s.parse()`).
+    pub fn parse(s: &str) -> Result<Self, CacheModeError> {
+        s.parse()
+    }
+
+    /// Per-access exact simulation of every set (the default).
+    pub fn exact() -> Self {
+        Self::known_valid("exact", BTreeMap::new())
+    }
+
+    /// Systematic set-sampling at the given rate (a power of two ≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not a power of two ≥ 2 (use `parse` for fallible
+    /// construction).
+    pub fn sampled(rate: u64) -> Self {
+        format!("sampled:rate={rate}")
+            .parse()
+            .expect("rate must be a power of two >= 2")
+    }
+
+    /// Reuse-distance histograms profiled once per DAG, composed per cache
+    /// size.
+    pub fn analytic() -> Self {
+        Self::known_valid("analytic", BTreeMap::new())
+    }
+
+    /// The registry key this spec resolves through (`"exact"`, `"sampled"`,
+    /// `"analytic"`).
+    pub fn mode(&self) -> &str {
+        &self.mode
+    }
+
+    /// Whether this is the bit-exact default mode.
+    pub fn is_exact(&self) -> bool {
+        self.mode == "exact"
+    }
+
+    /// The sampling rate, if this is a `sampled` spec (defaults to 16 when
+    /// the parameter was omitted).
+    pub fn sample_rate(&self) -> Option<u64> {
+        if self.mode != "sampled" {
+            return None;
+        }
+        Some(
+            self.params
+                .get("rate")
+                .map(|v| v.parse().expect("validated u64 parameter"))
+                .unwrap_or(16),
+        )
+    }
+
+    /// The canonical string form (what [`fmt::Display`] prints).
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for CacheModeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        pdfws_spec::format_spec(f, &self.mode, &self.params)
+    }
+}
+
+impl FromStr for CacheModeSpec {
+    type Err = CacheModeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (mode, params) = pdfws_spec::parse_spec(s, &CACHE_VOCAB)?;
+        CacheModeRegistry::global().validate(mode, params)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in factories.
+// ---------------------------------------------------------------------------
+
+struct ExactFactory;
+
+impl CacheModeFactory for ExactFactory {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+    fn doc(&self) -> &'static str {
+        "per-access simulation of every set (bit-exact; the default)"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[]
+    }
+}
+
+struct SampledFactory;
+
+impl CacheModeFactory for SampledFactory {
+    fn name(&self) -> &'static str {
+        "sampled"
+    }
+    fn doc(&self) -> &'static str {
+        "systematic set-sampling: simulate 1/rate of the sets, scale the stats back up"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[ParamSpec {
+            key: "rate",
+            kind: ParamKind::U64,
+            doc: "sample 1 in <rate> sets; a power of two >= 2 (default 16)",
+        }]
+    }
+    fn validate_spec(&self, spec: &CacheModeSpec) -> Result<(), String> {
+        let rate = spec.sample_rate().expect("sampled spec");
+        if rate < 2 || !rate.is_power_of_two() {
+            return Err(format!("'rate' must be a power of two >= 2, got {rate}"));
+        }
+        Ok(())
+    }
+}
+
+struct AnalyticFactory;
+
+impl CacheModeFactory for AnalyticFactory {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+    fn doc(&self) -> &'static str {
+        "stack-distance histograms profiled once per DAG, composed per cache size"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_mode_names_parse_and_display() {
+        for name in ["exact", "sampled", "analytic"] {
+            let spec: CacheModeSpec = name.parse().unwrap();
+            assert_eq!(spec.mode(), name);
+            assert_eq!(spec.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn default_is_exact() {
+        assert_eq!(CacheModeSpec::default(), CacheModeSpec::exact());
+        assert!(CacheModeSpec::exact().is_exact());
+        assert!(!CacheModeSpec::analytic().is_exact());
+    }
+
+    #[test]
+    fn sampled_rates_canonicalise_and_round_trip() {
+        let spec: CacheModeSpec = "sampled:rate=032".parse().unwrap();
+        assert_eq!(spec.to_string(), "sampled:rate=32");
+        assert_eq!(spec.sample_rate(), Some(32));
+        let again: CacheModeSpec = spec.to_string().parse().unwrap();
+        assert_eq!(again, spec);
+        // A bare `sampled` means the default rate.
+        let bare: CacheModeSpec = "sampled".parse().unwrap();
+        assert_eq!(bare.sample_rate(), Some(16));
+        assert_eq!(CacheModeSpec::sampled(8).to_string(), "sampled:rate=8");
+    }
+
+    #[test]
+    fn degenerate_rates_are_rejected() {
+        for bad in ["sampled:rate=0", "sampled:rate=1", "sampled:rate=3"] {
+            let err = bad.parse::<CacheModeSpec>().unwrap_err();
+            assert!(err.to_string().contains("power of two"), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_modes_and_params_are_rejected_with_vocabulary() {
+        let err = "oracle".parse::<CacheModeSpec>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown cache mode 'oracle'"), "{msg}");
+        assert!(msg.contains("known modes"), "{msg}");
+        assert!(msg.contains("exact"), "{msg}");
+        let err = "exact:rate=2".parse::<CacheModeSpec>().unwrap_err();
+        assert!(err.to_string().contains("takes no parameters"), "{err}");
+        let err = "sampled:sets=2".parse::<CacheModeSpec>().unwrap_err();
+        assert!(err.to_string().contains("has no parameter 'sets'"), "{err}");
+    }
+
+    #[test]
+    fn help_lists_modes_and_parameters() {
+        let help = CacheModeRegistry::global().help();
+        assert!(help.contains("exact"), "{help}");
+        assert!(help.contains("sampled"), "{help}");
+        assert!(help.contains("analytic"), "{help}");
+        assert!(help.contains("rate=<u64>"), "{help}");
+    }
+
+    #[test]
+    fn separate_registries_are_independent() {
+        let reg = CacheModeRegistry::empty();
+        assert!(reg.names().is_empty());
+        assert!(reg.validate("exact".to_string(), BTreeMap::new()).is_err());
+    }
+}

@@ -318,6 +318,13 @@ impl Experiment {
         self
     }
 
+    /// Cache simulation mode for every cell (`exact`, `sampled:rate=N`,
+    /// `analytic`); default `exact`.
+    pub fn cache(mut self, mode: pdfws_schedulers::CacheModeSpec) -> Self {
+        self.options.cache_mode = mode;
+        self
+    }
+
     /// Run the sweep's cells on `threads` worker threads.  Results are
     /// bit-identical for every thread count (see [`SweepRunner`]).
     pub fn threads(mut self, threads: usize) -> Self {

@@ -60,8 +60,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use pdfws_schedulers::SchedulerKind;
     pub use pdfws_schedulers::{
-        register, Disturbance, ParamKind, ParamSpec, PolicyFactory, Registry, SchedulerPolicy,
-        SchedulerSpec, SimOptions, SimResult, SpecError,
+        register, CacheModeRegistry, CacheModeSpec, Disturbance, ParamKind, ParamSpec,
+        PolicyFactory, Registry, SchedulerPolicy, SchedulerSpec, SimOptions, SimResult, SpecError,
     };
     pub use pdfws_stream::{AdmissionPolicy, ArrivalProcess, JobMix, StreamOutcome, StreamSummary};
     pub use pdfws_workloads::{

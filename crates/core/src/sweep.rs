@@ -17,7 +17,9 @@
 //! share no mutable state, and results are collected by cell index — so the
 //! report is **bit-identical for every thread count**, including the
 //! sequential path.  `tests/sweep_runner.rs` pins this with a property test
-//! over random grids.
+//! over random grids.  Internally cells execute longest-first (LPT, costed
+//! by instructions ÷ cores) so the serial baselines don't straggle at the
+//! tail of the pool; the order is invisible in the report.
 //!
 //! # DAG sharing and baseline dedup
 //!
@@ -48,7 +50,7 @@ use crate::spec::WorkloadInstance;
 use pdfws_cmp_model::{default_config, CmpConfig};
 use pdfws_memsys::MemSysSpec;
 use pdfws_metrics::{Series, Table};
-use pdfws_schedulers::{simulate_shared, SchedulerSpec, SimOptions, SimResult};
+use pdfws_schedulers::{simulate_shared, CacheModeSpec, SchedulerSpec, SimOptions, SimResult};
 use pdfws_task_dag::TaskDag;
 use pdfws_workloads::WorkloadSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -175,6 +177,15 @@ impl SweepGrid {
         self
     }
 
+    /// Select the cache simulation mode (`exact`, `sampled:rate=N`,
+    /// `analytic`) for every cell.  Shorthand for setting
+    /// [`SimOptions::cache_mode`] through [`SweepGrid::options`]; the default
+    /// is `exact`, the full trace-driven hierarchy.
+    pub fn cache(mut self, mode: CacheModeSpec) -> Self {
+        self.options.cache_mode = mode;
+        self
+    }
+
     /// Number of (workload × cores × spec) cells, excluding baselines.
     pub fn cell_count(&self) -> usize {
         self.workloads.len() * self.cores.len() * self.specs.len()
@@ -218,6 +229,32 @@ struct Plan {
 }
 
 impl Plan {
+    /// Longest-processing-time-first execution order over the plan's cells.
+    ///
+    /// A cell's cost is estimated as its DAG's total instruction count
+    /// divided by its core count, so the serial baselines and
+    /// biggest-workload cells enter the pool first and short cells backfill
+    /// the tail — the classic LPT bound on makespan.  Ties keep cell-index
+    /// order (stable sort), and results are always written back by cell
+    /// index, so the order is invisible in the report.
+    fn lpt_order(&self) -> Vec<usize> {
+        let costs: Vec<u64> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let work: u64 = cell
+                    .dag
+                    .task_ids()
+                    .map(|t| cell.dag.node(t).total_instructions())
+                    .sum();
+                work / cell.config.cores.max(1) as u64
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..self.cells.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+        order
+    }
+
     /// Resolve every config and schedule the cells: deduped baselines first,
     /// then each workload's (cores × specs) block.  All configuration errors
     /// surface here, before anything is simulated.
@@ -334,11 +371,13 @@ impl SweepRunner {
     /// All configuration errors are raised before any simulation starts.
     pub fn run(&self, grid: &SweepGrid) -> Result<SweepReport, ExperimentError> {
         let plan = Plan::build(grid)?;
+        let order = plan.lpt_order();
         let options = &grid.options;
-        let results = self.run_cells(plan.cells.len(), |i| {
-            let cell = &plan.cells[i];
+        let permuted = self.run_cells(order.len(), |pos| {
+            let cell = &plan.cells[order[pos]];
             simulate_shared(cell.dag.clone(), &cell.config, &cell.spec, options)
         });
+        let results = unpermute(&order, permuted);
         Ok(assemble_reports(grid, &plan, &results))
     }
 
@@ -356,11 +395,16 @@ impl SweepRunner {
         grid: &SweepGrid,
     ) -> Result<(SweepReport, SweepProfile), ExperimentError> {
         let plan = Plan::build(grid)?;
+        let order = plan.lpt_order();
         let options = &grid.options;
-        let (results, profile) = self.run_cells_profiled(plan.cells.len(), |i| {
-            let cell = &plan.cells[i];
+        let (permuted, mut profile) = self.run_cells_profiled(order.len(), |pos| {
+            let cell = &plan.cells[order[pos]];
             simulate_shared(cell.dag.clone(), &cell.config, &cell.spec, options)
         });
+        let results = unpermute(&order, permuted);
+        // The profile is indexed like the results: per cell, not per
+        // execution position.
+        profile.cells = unpermute(&order, profile.cells);
         Ok((assemble_reports(grid, &plan, &results), profile))
     }
 
@@ -490,6 +534,19 @@ impl SweepRunner {
             },
         )
     }
+}
+
+/// Invert an execution permutation: `permuted[pos]` was produced for cell
+/// `order[pos]`; the return value is indexed by cell.
+fn unpermute<T>(order: &[usize], permuted: Vec<T>) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..permuted.len()).map(|_| None).collect();
+    for (pos, value) in permuted.into_iter().enumerate() {
+        slots[order[pos]] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("order is a permutation of the cell indices"))
+        .collect()
 }
 
 /// Turn cell results back into per-workload reports (the shared tail of
@@ -736,6 +793,38 @@ mod tests {
         let cfg = grid.config_for(2).unwrap();
         assert_eq!(cfg.memsys.mode, MemSysMode::BusDram);
         assert_eq!(cfg.memsys.dram_banks, Some(4));
+    }
+
+    #[test]
+    fn lpt_order_is_a_permutation_with_serial_baselines_first() {
+        let grid = small_grid();
+        let plan = Plan::build(&grid).unwrap();
+        let order = plan.lpt_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..plan.cells.len()).collect::<Vec<_>>());
+        // The costliest cell of each workload is its one-core baseline;
+        // mergesort's (the bigger DAG's) baseline goes first overall.
+        assert_eq!(order[0], plan.baseline_of[0]);
+        assert!(
+            order
+                .iter()
+                .position(|&c| c == plan.baseline_of[1])
+                .unwrap()
+                < plan.run_start[1],
+            "scan's baseline beats scan's parallel cells into the pool"
+        );
+    }
+
+    #[test]
+    fn cache_builder_sets_the_mode_for_every_cell() {
+        let mode: CacheModeSpec = "sampled:rate=8".parse().unwrap();
+        let grid = small_grid().cache(mode.clone());
+        assert_eq!(grid.options.cache_mode, mode);
+        // And the grid still runs (deterministically) under the mode.
+        let a = SweepRunner::sequential().run(&grid).unwrap();
+        let b = SweepRunner::new(4).run(&grid).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

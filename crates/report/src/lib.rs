@@ -45,6 +45,7 @@ pub mod artifact;
 pub mod figure;
 mod paper;
 pub mod replication;
+pub mod validation;
 
 pub use artifact::{Artifact, ArtifactSet};
 pub use figure::{slug, Figure};
@@ -52,3 +53,4 @@ pub use replication::{
     Claim, ClaimResult, ClaimStatus, Direction, EvalCtx, Evaluation, Expectation, Observation,
     ReplicationReport, ReplicationSuite, SuiteConfig,
 };
+pub use validation::cache_mode_validation_figure;

@@ -350,6 +350,7 @@ fn claim_c6_power_down() -> Claim {
                     .cores(cores)
                     .with_config(*config)
                     .schedulers(&paper_pair())
+                    .cache(ctx.cfg.cache.clone())
                     .threads(ctx.cfg.threads);
                 if let Some(spec) = &ctx.cfg.memsys {
                     experiment = experiment.memsys(spec.clone());
@@ -433,6 +434,7 @@ fn claim_c7_stream_tail() -> Claim {
                 })
                 .admission(AdmissionPolicy::Fifo)
                 .seed(STREAM_SEED)
+                .cache(ctx.cfg.cache.clone())
                 .threads(ctx.cfg.threads);
             if let Some(spec) = &ctx.cfg.memsys {
                 experiment = experiment.memsys(spec.clone());

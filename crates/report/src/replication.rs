@@ -42,6 +42,10 @@ pub struct SuiteConfig {
     /// configuration's component bus+DRAM model).  `replicate --memsys
     /// legacy` re-runs the whole suite on the pre-memsys formula.
     pub memsys: Option<MemSysSpec>,
+    /// Cache simulation mode every claim simulates under (default `exact`).
+    /// `replicate --cache analytic` re-prices the whole suite from per-task
+    /// reuse-distance profiles, making paper-scale runs CI-cheap.
+    pub cache: CacheModeSpec,
 }
 
 impl SuiteConfig {
@@ -51,6 +55,7 @@ impl SuiteConfig {
             quick,
             threads: 1,
             memsys: None,
+            cache: CacheModeSpec::exact(),
         }
     }
 
@@ -63,6 +68,12 @@ impl SuiteConfig {
     /// Run every claim under a memory-system model spec.
     pub fn memsys(mut self, spec: MemSysSpec) -> Self {
         self.memsys = Some(spec);
+        self
+    }
+
+    /// Run every claim under a cache simulation mode.
+    pub fn cache(mut self, mode: CacheModeSpec) -> Self {
+        self.cache = mode;
         self
     }
 
@@ -229,15 +240,16 @@ impl EvalCtx {
         schedulers: &[&str],
     ) -> Result<Rc<Vec<ExperimentReport>>, ExperimentError> {
         let key = format!(
-            "w={workloads:?};c={cores:?};s={schedulers:?};m={:?}",
-            self.cfg.memsys
+            "w={workloads:?};c={cores:?};s={schedulers:?};m={:?};k={}",
+            self.cfg.memsys, self.cfg.cache
         );
         if let Some(hit) = self.cache.borrow().get(&key) {
             return Ok(hit.clone());
         }
         let mut grid = SweepGrid::new()
             .cores(cores)
-            .specs(&parse_schedulers(schedulers));
+            .specs(&parse_schedulers(schedulers))
+            .cache(self.cfg.cache.clone());
         if let Some(spec) = &self.cfg.memsys {
             grid = grid.memsys(spec.clone());
         }
@@ -386,6 +398,7 @@ impl ReplicationSuite {
         mut progress: impl FnMut(&Claim),
     ) -> Result<ReplicationReport, ExperimentError> {
         let quick = cfg.quick;
+        let cache = cfg.cache.clone();
         let ctx = EvalCtx::new(cfg);
         let mut results = Vec::with_capacity(self.claims.len());
         for claim in &self.claims {
@@ -407,7 +420,11 @@ impl ReplicationSuite {
                 timeline: None,
             });
         }
-        Ok(ReplicationReport { quick, results })
+        Ok(ReplicationReport {
+            quick,
+            cache,
+            results,
+        })
     }
 }
 
@@ -416,6 +433,8 @@ impl ReplicationSuite {
 pub struct ReplicationReport {
     /// Whether this was a quick (CI-sized) run.
     pub quick: bool,
+    /// The cache simulation mode the suite ran under.
+    pub cache: CacheModeSpec,
     /// Per-claim results, in suite order.
     pub results: Vec<ClaimResult>,
 }
@@ -480,7 +499,7 @@ impl ReplicationReport {
     /// suite runs stay trace-free.
     pub fn attach_traces(&mut self) {
         for r in &mut self.results {
-            r.timeline = timeline_figure_for(r);
+            r.timeline = timeline_figure_for(r, &self.cache);
         }
     }
 
@@ -489,6 +508,9 @@ impl ReplicationReport {
         let mut cmd = String::from("cargo run --release -p pdfws-bench --bin replicate --");
         if self.quick {
             cmd.push_str(" --quick");
+        }
+        if self.cache != CacheModeSpec::exact() {
+            cmd.push_str(&format!(" --cache {}", self.cache));
         }
         if let Some(id) = claim {
             cmd.push_str(&format!(" --claim {id}"));
@@ -514,13 +536,14 @@ impl ReplicationReport {
         let mut out = String::new();
         out.push_str("# Replication report\n\n");
         out.push_str(&format!(
-            "Generated by `{}`.  Mode: **{}**.\n\n",
+            "Generated by `{}`.  Mode: **{}**.  Cache mode: **`{}`**.\n\n",
             self.reproduce_command(None),
             if self.quick {
                 "quick (CI problem sizes — validates claim shape, not paper-scale magnitudes)"
             } else {
                 "paper-scale"
-            }
+            },
+            self.cache,
         ));
         out.push_str(&format!(
             "Each claim is checked against the paper statement it replicates \
@@ -642,7 +665,7 @@ const TRACE_FIGURE_BINS: usize = 24;
 /// The representative-cell timeline of one claim (see
 /// [`ReplicationReport::attach_traces`]), or `None` when the claim's recorded
 /// axes cannot be re-instantiated.
-fn timeline_figure_for(r: &ClaimResult) -> Option<Figure> {
+fn timeline_figure_for(r: &ClaimResult, cache: &CacheModeSpec) -> Option<Figure> {
     let workload = r.workloads.first()?;
     let scheduler = r.schedulers.first()?;
     let cores = r.cores.iter().copied().max()?;
@@ -650,7 +673,11 @@ fn timeline_figure_for(r: &ClaimResult) -> Option<Figure> {
     let sspec = scheduler.parse::<SchedulerSpec>().ok()?;
     let config = default_config(cores).ok()?;
     let instance = WorkloadInstance::from_spec(&wspec);
-    let (_, events) = simulate_traced(&instance.dag, &config, &sspec, &SimOptions::default());
+    let options = SimOptions {
+        cache_mode: cache.clone(),
+        ..SimOptions::default()
+    };
+    let (_, events) = simulate_traced(&instance.dag, &config, &sspec, &options);
     let table = timeline_table(
         &format!("{workload} under {scheduler} @ {cores} cores"),
         &events,

@@ -1,0 +1,105 @@
+//! The sampled-vs-exact validation figure: one paper-shaped cell priced by
+//! every cache mode side by side.
+//!
+//! The statistical cache modes (`sampled:rate=N`, `analytic`) exist to make
+//! paper-scale replication CI-cheap, which only helps if their numbers stay
+//! close to the exact simulation.  [`cache_mode_validation_figure`] runs the
+//! Figure-1 merge sort over the paper's core axis under both paper schedulers
+//! in all three modes and tabulates the L2 MPKI per mode, so a drifting
+//! estimator is visible as diverging columns in the rendered artifact (the
+//! `replicate --out` tree writes it under `validation/`).  The hard accuracy
+//! contract itself — `MPKI_TOLERANCE_SAMPLED` / `MPKI_TOLERANCE_ANALYTIC` —
+//! is enforced by `tests/cache_modes.rs`; this figure is the human-readable
+//! companion.
+
+use crate::figure::Figure;
+use pdfws_core::prelude::*;
+use pdfws_core::sweep::{SweepGrid, SweepRunner};
+use pdfws_metrics::{Series, Table};
+
+/// The cache modes the figure compares (every registered mode, one
+/// representative rate for `sampled`).
+const VALIDATION_MODES: &[&str] = &["exact", "sampled:rate=16", "analytic"];
+
+/// Build the validation figure: L2 MPKI of the Figure-1 merge sort per
+/// (scheduler × cache mode) over the paper's core axis.  `quick` shrinks the
+/// dataset exactly like the replication suite does; `threads` feeds the sweep
+/// runner (results are bit-identical for every value).
+pub fn cache_mode_validation_figure(
+    quick: bool,
+    threads: usize,
+) -> Result<Figure, ExperimentError> {
+    let workload = if quick {
+        "mergesort:grain=2048,n=65536"
+    } else {
+        "mergesort:grain=2048,n=1048576"
+    };
+    let cores: &[usize] = &[1, 2, 4, 8, 16, 32];
+    let schedulers = [SchedulerSpec::pdf(), SchedulerSpec::ws()];
+    let mut table = Table::new(
+        "L2 misses per 1000 instructions",
+        "cores",
+        cores.iter().map(|c| c.to_string()).collect(),
+    );
+    for mode in VALIDATION_MODES {
+        let cache: CacheModeSpec = mode.parse().expect("built-in cache mode specs parse");
+        let report = SweepRunner::new(threads)
+            .run(
+                &SweepGrid::new()
+                    .workload_str(workload)?
+                    .cores(cores)
+                    .specs(&schedulers)
+                    .cache(cache),
+            )?
+            .into_reports()
+            .remove(0);
+        for spec in &schedulers {
+            let mpki: Vec<f64> = cores
+                .iter()
+                .map(|&c| {
+                    report
+                        .find(c, spec)
+                        .expect("cell simulated")
+                        .metrics
+                        .l2_mpki()
+                })
+                .collect();
+            table.push_series(Series::new(format!("{spec} ({mode})"), mpki));
+        }
+    }
+    Ok(Figure::new(
+        "cache-mode-validation",
+        format!(
+            "Cache-mode validation: `{workload}` L2 MPKI under every cache mode \
+             (statistical modes must track `exact`; contract pinned in tests/cache_modes.rs)"
+        ),
+        table,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_figure_has_one_series_per_scheduler_mode_pair() {
+        let figure = cache_mode_validation_figure(true, 2).expect("figure builds");
+        assert_eq!(figure.id, "cache-mode-validation");
+        assert_eq!(figure.table.series.len(), 6, "2 schedulers × 3 modes");
+        let names: Vec<&str> = figure
+            .table
+            .series
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(names.contains(&"pdf (exact)"), "{names:?}");
+        assert!(names.contains(&"ws (analytic)"), "{names:?}");
+        // Every mode priced every cell of the core axis.
+        for series in &figure.table.series {
+            assert_eq!(series.values.len(), 6, "{}", series.name);
+        }
+        // The figure is deterministic for every sweep thread count.
+        let again = cache_mode_validation_figure(true, 1).expect("figure builds");
+        assert_eq!(again.table.series, figure.table.series);
+    }
+}

@@ -23,15 +23,17 @@
 //! Completions enable successor tasks (in reverse listing order, so LIFO policies
 //! descend leftmost-first like the sequential program) and wake idle cores.
 
+use crate::analytic::{profile_for, DagCacheProfile};
 use crate::policy::SchedulerPolicy;
 use crate::result::SimResult;
-use pdfws_cache_sim::addr::block_of;
 use pdfws_cache_sim::hierarchy::CmpCacheHierarchy;
 use pdfws_cache_sim::working_set::WorkingSetProfiler;
+use pdfws_cache_sim::{CacheModeSpec, HierarchyStats};
 use pdfws_cmp_model::{CmpConfig, MemSysMode};
 use pdfws_memsys::{EventQueue, MemSystem};
 use pdfws_task_dag::{MemAccess, TaskDag, TaskId};
 use pdfws_trace::{PolicyEvent, TraceEvent, TraceSink};
+use std::sync::Arc;
 
 /// Default period, in simulated cycles, of the windowed cache-counter samples
 /// emitted while a trace sink is installed (see
@@ -75,6 +77,12 @@ pub struct SimOptions {
     pub working_set_window: Option<u64>,
     /// Optional multiprogramming co-runner.
     pub disturbance: Option<Disturbance>,
+    /// How memory references are priced (see [`CacheModeSpec`]):
+    /// `exact` — full trace-driven simulation (the default);
+    /// `sampled:rate=N` — 1-in-N set sampling with scaled-up statistics;
+    /// `analytic` — reuse-distance histograms composed per task, no
+    /// per-reference simulation at all.
+    pub cache_mode: CacheModeSpec,
 }
 
 impl Default for SimOptions {
@@ -84,6 +92,7 @@ impl Default for SimOptions {
             max_accesses_per_step: 64,
             working_set_window: None,
             disturbance: None,
+            cache_mode: CacheModeSpec::exact(),
         }
     }
 }
@@ -133,27 +142,50 @@ impl RunningTask {
         }
     }
 
-    /// The next reference, advancing the iteration state.
-    fn next_access(&mut self, dag: &TaskDag) -> Option<MemAccess> {
-        let node = dag.node(self.task);
-        while self.pattern_idx < node.accesses.len() {
-            let pattern = &node.accesses[self.pattern_idx];
-            if let Some(acc) = pattern.get(self.within_idx) {
-                self.within_idx += 1;
-                self.issued += 1;
-                // Refill the compute gap that follows this reference.
-                self.pending_compute = self.compute_per_gap
-                    + if self.issued == self.total_accesses {
-                        self.compute_remainder
-                    } else {
-                        0
-                    };
-                return Some(acc);
-            }
-            self.pattern_idx += 1;
-            self.within_idx = 0;
+    /// An analytic-mode task: no references to expand, just `t_total` cycles
+    /// to burn (compute plus the composed memory time).  The engine's burn
+    /// loop drives it; the pro-rata crediting lives in [`AnalyticCosts`].
+    fn new_analytic(task: TaskId, t_total: u64) -> Self {
+        RunningTask {
+            task,
+            pattern_idx: 0,
+            within_idx: 0,
+            issued: 0,
+            total_accesses: 0,
+            pending_compute: t_total,
+            compute_per_gap: 0,
+            compute_remainder: 0,
         }
-        None
+    }
+
+    /// Expand up to `want` upcoming references into `buf`, advancing the
+    /// pattern cursor (but not `issued` — references become "issued" when the
+    /// step loop consumes them via [`RunningTask::note_issued`]).
+    fn expand(&mut self, dag: &TaskDag, want: u64, buf: &mut Vec<MemAccess>) {
+        let node = dag.node(self.task);
+        let mut need = want;
+        while need > 0 && self.pattern_idx < node.accesses.len() {
+            let pattern = &node.accesses[self.pattern_idx];
+            let n = pattern.expand_into(self.within_idx, need, buf);
+            self.within_idx += n;
+            need -= n;
+            if self.within_idx >= pattern.len() {
+                self.pattern_idx += 1;
+                self.within_idx = 0;
+            }
+        }
+    }
+
+    /// Account one consumed reference: refill the compute gap that follows it.
+    #[inline]
+    fn note_issued(&mut self) {
+        self.issued += 1;
+        self.pending_compute = self.compute_per_gap
+            + if self.issued == self.total_accesses {
+                self.compute_remainder
+            } else {
+                0
+            };
     }
 
     fn finished(&self) -> bool {
@@ -161,10 +193,168 @@ impl RunningTask {
     }
 }
 
+/// References expanded per buffer refill.  Pattern runs are expanded in
+/// chunks with the per-reference division/modulo hoisted
+/// ([`AccessPattern::expand_into`](pdfws_task_dag::AccessPattern::expand_into));
+/// the step loop still consumes one reference at a time, so slice/step bounds
+/// and memory-system event ordering — and with them exact-mode results — are
+/// untouched.
+const ACCESS_BUFFER_CHUNK: u64 = 1024;
+
+/// A reusable per-core buffer of expanded upcoming references.
+#[derive(Debug, Default)]
+struct AccessBuffer {
+    items: Vec<MemAccess>,
+    cursor: usize,
+}
+
+impl AccessBuffer {
+    /// The next buffered reference, if any.
+    #[inline]
+    fn next(&mut self) -> Option<MemAccess> {
+        let item = self.items.get(self.cursor).copied();
+        self.cursor += item.is_some() as usize;
+        item
+    }
+
+    /// Refill from the running task's patterns (clears consumed items).
+    fn refill(&mut self, running: &mut RunningTask, dag: &TaskDag) {
+        self.items.clear();
+        self.cursor = 0;
+        running.expand(dag, ACCESS_BUFFER_CHUNK, &mut self.items);
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+        self.cursor = 0;
+    }
+}
+
+/// Analytic-mode cost totals of one running task, with Bresenham-style
+/// pro-rata crediting: every burned chunk of the task's `t_total` cycles
+/// credits its proportional share of instructions, references, misses and
+/// off-chip bytes, and the final chunk lands every counter exactly on its
+/// total (`credited = total * cycles / t_total` is exact at
+/// `cycles == t_total`).
+#[derive(Debug, Clone, Copy, Default)]
+struct AnalyticCosts {
+    instr_total: u64,
+    refs: u64,
+    l1_hits: u64,
+    l2_hits: u64,
+    misses: u64,
+    writebacks: u64,
+    bytes_total: u64,
+    t_total: u64,
+    credited_cycles: u64,
+    credited_instr: u64,
+    credited_refs: u64,
+    credited_l1m: u64,
+    credited_l2m: u64,
+    credited_bytes: u64,
+}
+
+/// `total * cycles / t_total - already_credited`, advancing the credit.
+#[inline]
+fn credit_share(total: u64, cycles: u64, t_total: u64, credited: &mut u64) -> u64 {
+    let new = (total as u128 * cycles as u128 / t_total as u128) as u64;
+    let delta = new - *credited;
+    *credited = new;
+    delta
+}
+
+impl AnalyticCosts {
+    /// Credit `burn` more cycles and return the freshly credited off-chip
+    /// bytes.  Only the byte share is computed per chunk — it paces the
+    /// closed-form channel, so its granularity is observable.  The remaining
+    /// counters are synced in bulk by [`Self::sync_counters`] at step end:
+    /// nothing reads them at sub-step granularity, and the four u128
+    /// divisions this skips per chunk are most of an analytic cell's cost.
+    fn credit_bytes(&mut self, burn: u64) -> u64 {
+        self.credited_cycles += burn;
+        credit_share(
+            self.bytes_total,
+            self.credited_cycles,
+            self.t_total,
+            &mut self.credited_bytes,
+        )
+    }
+
+    /// Sync the non-paced counters up to `credited_cycles`; returns the
+    /// freshly credited (instructions, references, l1 misses, l2 misses).
+    /// The shares are cut at the same cycle boundary `credit_bytes` advanced
+    /// to, so totals at every step end are identical to per-chunk crediting.
+    fn sync_counters(&mut self) -> (u64, u64, u64, u64) {
+        let t = self.t_total;
+        let c = self.credited_cycles;
+        (
+            credit_share(self.instr_total, c, t, &mut self.credited_instr),
+            credit_share(self.refs, c, t, &mut self.credited_refs),
+            credit_share(self.l2_hits + self.misses, c, t, &mut self.credited_l1m),
+            credit_share(self.misses, c, t, &mut self.credited_l2m),
+        )
+    }
+}
+
 #[derive(Debug, Default)]
 struct CoreState {
     running: Option<RunningTask>,
     busy_cycles: u64,
+    /// Expanded-but-unconsumed references of the running task.
+    buffer: AccessBuffer,
+    /// Analytic-mode cost state of the running task.
+    analytic: Option<AnalyticCosts>,
+    /// Sampled-mode per-task estimator: (count, total observed cycles) of
+    /// the *running task's* sampled references (reset at task start).  Tasks
+    /// are the natural phase boundary — a streaming task and a reuse task on
+    /// sibling cores must not share one latency estimate.
+    sample_est: (u64, u64),
+}
+
+/// Sampled-mode latency estimator window: once this many sampled references
+/// accumulate, the per-level counts are halved, giving an exponentially
+/// decayed average that follows the program's current phase.
+const SAMPLED_LATENCY_WINDOW: u64 = 256;
+
+/// Analytic-mode step stretch: an analytic compute burn may span up to this
+/// many time slices per event-loop iteration (still clipped to the run_for
+/// deadline and the next disturbance/trace-window horizon).  Analytic tasks
+/// issue no per-reference events, so the stretch only amortizes event-loop
+/// overhead; credit chunks keep single-slice granularity.
+const ANALYTIC_STEP_STRETCH: u64 = 64;
+
+/// How the engine prices memory references (resolved from
+/// [`SimOptions::cache_mode`] at construction).
+enum CacheModel {
+    /// Every reference goes through the full hierarchy (today's default).
+    Exact,
+    /// 1-in-`rate` systematic set sampling: the engine's hierarchy is built
+    /// with capacities divided by `rate`, blocks whose low bits are zero are
+    /// simulated against it at `block >> shift` (exactly the original sets
+    /// ≡ 0 mod rate), and unsampled references are charged the running
+    /// average hit-level latency.  `result()` scales the statistics back up.
+    Sampled {
+        rate: u64,
+        shift: u32,
+        mask: u64,
+        l1_lat: u64,
+        /// Engine-wide fallback estimator: (count, total observed cycles) of
+        /// sampled references, used until the running task has samples of
+        /// its own.
+        est: (u64, u64),
+    },
+    /// Reuse-distance composition: tasks are priced from the DAG's profile,
+    /// no reference-level simulation at all.  Statistics are synthesized per
+    /// completed task.
+    Analytic {
+        profile: Arc<DagCacheProfile>,
+        l1_blocks: u64,
+        l2_blocks: u64,
+        stats: HierarchyStats,
+        /// Credited L1/L2 misses so far (drives the windowed trace samples).
+        l1_miss_credit: u64,
+        l2_miss_credit: u64,
+    },
 }
 
 /// The off-chip model the engine drives, instantiated from the
@@ -180,6 +370,28 @@ enum MemSysModel {
     /// The component model: a shared bus in front of a banked DRAM
     /// controller; queuing delays emerge from resource occupancy.
     BusDram(Box<MemSystem>),
+}
+
+/// Scale every counter of a sampled run's statistics back up: each sampled
+/// set stands for `rate` sets of the full-size hierarchy.
+fn scale_hierarchy_stats(mut stats: HierarchyStats, rate: u64) -> HierarchyStats {
+    let scale = |c: &mut pdfws_cache_sim::CacheStats| {
+        c.read_hits *= rate;
+        c.read_misses *= rate;
+        c.write_hits *= rate;
+        c.write_misses *= rate;
+        c.evictions *= rate;
+        c.writebacks *= rate;
+        c.invalidations *= rate;
+    };
+    for c in &mut stats.l1 {
+        scale(c);
+    }
+    scale(&mut stats.l2);
+    stats.offchip_bytes *= rate;
+    stats.memory_fills *= rate;
+    stats.coherence_invalidations *= rate;
+    stats
 }
 
 /// A zero period or empty region would divide by zero in the injection loop.
@@ -210,6 +422,11 @@ pub struct SimEngine {
     policy: Box<dyn SchedulerPolicy>,
     options: SimOptions,
     hierarchy: CmpCacheHierarchy,
+    /// How references are priced (exact / sampled / analytic).
+    cache_model: CacheModel,
+    /// `log2(line_bytes)` — hoisted so the hot path shifts instead of
+    /// dividing.
+    block_shift: u32,
     cores: Vec<CoreState>,
     /// Earliest time each busy core can take its next step (cores are the
     /// scheduled ids; the memory-system components are driven synchronously
@@ -285,26 +502,85 @@ impl SimEngine {
         if let Some(d) = &options.disturbance {
             assert_valid_disturbance(d);
         }
-        let profiler = options.working_set_window.map(WorkingSetProfiler::new);
+        let analytic_mode = options.cache_mode.mode() == "analytic";
+        // Analytic mode has no reference stream to profile working sets from.
+        let profiler = if analytic_mode {
+            None
+        } else {
+            options.working_set_window.map(WorkingSetProfiler::new)
+        };
         let next_disturbance_at = options
             .disturbance
             .map(|d| d.period_cycles)
             .unwrap_or(u64::MAX);
         let remaining_preds = dag.in_degrees();
         let resolved = config.resolved_memsys();
-        let memsys = match resolved.mode {
-            MemSysMode::Legacy => MemSysModel::Legacy {
+        let memsys = if analytic_mode {
+            // The component model needs per-transaction block addresses the
+            // analytic composition never produces; off-chip bandwidth is
+            // modelled by the closed-form channel in every analytic run.
+            MemSysModel::Legacy {
                 bytes_per_cycle: config.offchip_bytes_per_cycle,
                 busy_until: 0,
-            },
-            MemSysMode::BusDram => MemSysModel::BusDram(Box::new(MemSystem::new(&resolved))),
+            }
+        } else {
+            match resolved.mode {
+                MemSysMode::Legacy => MemSysModel::Legacy {
+                    bytes_per_cycle: config.offchip_bytes_per_cycle,
+                    busy_until: 0,
+                },
+                MemSysMode::BusDram => MemSysModel::BusDram(Box::new(MemSystem::new(&resolved))),
+            }
         };
+        let (hierarchy, cache_model) = match options.cache_mode.mode() {
+            "sampled" => {
+                let requested = options
+                    .cache_mode
+                    .sample_rate()
+                    .expect("sampled cache mode always carries a rate");
+                // The scaled hierarchy must keep at least one set per level,
+                // so the rate is clamped to the smaller set count (both are
+                // powers of two, so the clamp stays a power of two).
+                let rate = (requested.min(config.l1.sets() as u64)).min(config.l2.sets() as u64);
+                let mut scaled = *config;
+                scaled.l1.capacity_bytes /= rate as usize;
+                scaled.l2.capacity_bytes /= rate as usize;
+                (
+                    CmpCacheHierarchy::new(&scaled),
+                    CacheModel::Sampled {
+                        rate,
+                        shift: rate.trailing_zeros(),
+                        mask: rate - 1,
+                        l1_lat: config.l1.latency_cycles,
+                        est: (0, 0),
+                    },
+                )
+            }
+            "analytic" => {
+                let hierarchy = CmpCacheHierarchy::new(config);
+                let line = hierarchy.line_bytes();
+                let profile = profile_for(&dag, line);
+                let model = CacheModel::Analytic {
+                    profile,
+                    l1_blocks: config.l1.capacity_bytes as u64 / line,
+                    l2_blocks: config.l2.capacity_bytes as u64 / line,
+                    stats: HierarchyStats::new(config.cores),
+                    l1_miss_credit: 0,
+                    l2_miss_credit: 0,
+                };
+                (hierarchy, model)
+            }
+            _ => (CmpCacheHierarchy::new(config), CacheModel::Exact),
+        };
+        let block_shift = hierarchy.line_bytes().trailing_zeros();
         SimEngine {
             dag,
             config: *config,
             policy,
             options,
-            hierarchy: CmpCacheHierarchy::new(config),
+            hierarchy,
+            cache_model,
+            block_shift,
             cores: (0..config.cores).map(|_| CoreState::default()).collect(),
             events: EventQueue::new(),
             idle: vec![true; config.cores],
@@ -414,9 +690,27 @@ impl SimEngine {
         if t < self.next_cache_sample_at {
             return;
         }
-        let stats = self.hierarchy.stats();
-        let l1: u64 = stats.l1.iter().map(|c| c.misses()).sum();
-        let l2 = stats.l2.misses();
+        // Windows are emitted in every cache mode: exact reads the hierarchy
+        // counters, sampled scales them back up, analytic reports the
+        // pro-rata credited misses of the in-flight tasks.
+        let (l1, l2) = match &self.cache_model {
+            CacheModel::Exact => {
+                let stats = self.hierarchy.stats();
+                (stats.l1.iter().map(|c| c.misses()).sum(), stats.l2.misses())
+            }
+            CacheModel::Sampled { rate, .. } => {
+                let stats = self.hierarchy.stats();
+                (
+                    stats.l1.iter().map(|c| c.misses()).sum::<u64>() * rate,
+                    stats.l2.misses() * rate,
+                )
+            }
+            CacheModel::Analytic {
+                l1_miss_credit,
+                l2_miss_credit,
+                ..
+            } => (*l1_miss_credit, *l2_miss_credit),
+        };
         let accesses = self.memory_accesses + self.disturbance_accesses;
         let (base_acc, base_l1, base_l2) = self.cache_sample_base;
         self.cache_sample_base = (accesses, l1, l2);
@@ -455,8 +749,10 @@ impl SimEngine {
     /// each one bounded quanta, time-multiplexing the modelled cores across
     /// concurrently admitted jobs.  An engine step that straddles the deadline
     /// is allowed to finish (overshoot is bounded by
-    /// [`SimOptions::time_slice_cycles`] plus one task's memory stalls), so a
-    /// quantum should be large relative to the time slice.
+    /// [`SimOptions::time_slice_cycles`] plus one task's memory stalls; in
+    /// `cache=analytic` mode by `ANALYTIC_STEP_STRETCH` slices, since analytic
+    /// burns batch whole stretches per step), so a quantum should be large
+    /// relative to the time slice.
     pub fn run_for(&mut self, budget: u64) -> EngineStatus {
         if !self.started {
             self.started = true;
@@ -586,7 +882,13 @@ impl SimEngine {
             bus_queue_cycles,
             dram_queue_cycles,
             migrations: self.policy.migrations(),
-            hierarchy: self.hierarchy.stats(),
+            hierarchy: match &self.cache_model {
+                CacheModel::Exact => self.hierarchy.stats(),
+                CacheModel::Sampled { rate, .. } => {
+                    scale_hierarchy_stats(self.hierarchy.stats(), *rate)
+                }
+                CacheModel::Analytic { stats, .. } => stats.clone(),
+            },
             working_set: self.profiler.take().map(WorkingSetProfiler::finish),
         }
     }
@@ -632,16 +934,39 @@ impl SimEngine {
     /// order — that exemption is what makes the infinite-capacity limiting
     /// case reproduce legacy schedules bit-for-bit.
     fn step(&mut self, core: usize, start: u64, bound: u64) -> (u64, bool) {
-        let slice = self.options.time_slice_cycles;
+        let base_slice = self.options.time_slice_cycles;
+        // Analytic tasks are single pre-priced compute burns with no
+        // per-reference events, so the only reasons to return to the event
+        // loop are a pending disturbance burst and the next trace-window
+        // sample.  Stretch the step bound to the nearest of those horizons
+        // (hard-capped at [`ANALYTIC_STEP_STRETCH`] slices) instead of
+        // bouncing through the event loop once per time slice; the credit
+        // chunks below keep `time_slice_cycles` granularity, so channel
+        // pacing is unchanged.  The stretch deliberately ignores the run_for
+        // deadline — step sizes must not depend on how a run is quantized, or
+        // stepped and un-stepped runs would diverge — which widens the
+        // documented quantum overshoot to the stretched slice.
+        let slice = if self.cores[core].analytic.is_some() {
+            self.next_disturbance_at
+                .min(self.next_cache_sample_at)
+                .saturating_sub(start)
+                .min(base_slice.saturating_mul(ANALYTIC_STEP_STRETCH))
+                .max(base_slice)
+        } else {
+            base_slice
+        };
         let max_accesses = self.options.max_accesses_per_step as u64;
         let mut elapsed = 0u64;
         let mut accesses_this_step = 0u64;
 
-        // Take the running task out to avoid aliasing with `self` during accesses.
+        // Take the running task (and its access buffer / analytic state) out
+        // to avoid aliasing with `self` during accesses.
         let mut running = self.cores[core]
             .running
             .take()
             .expect("step called on a core with no running task");
+        let mut buffer = std::mem::take(&mut self.cores[core].buffer);
+        let mut analytic = self.cores[core].analytic.take();
 
         let finished = loop {
             if running.finished() {
@@ -654,17 +979,54 @@ impl SimEngine {
                 break false;
             }
             if running.pending_compute > 0 {
-                let burn = running.pending_compute.min(slice - elapsed).max(1);
+                let burn = running
+                    .pending_compute
+                    .min(slice - elapsed)
+                    .min(base_slice)
+                    .max(1);
                 running.pending_compute -= burn;
                 elapsed += burn;
-                self.instructions += burn;
+                match analytic.as_mut() {
+                    None => self.instructions += burn,
+                    Some(costs) => {
+                        // Analytic mode: the whole task is one compute burn of
+                        // its composed total time; pace this chunk's off-chip
+                        // bytes through the closed-form channel.  The other
+                        // counters are synced once per step, below.
+                        let d_bytes = costs.credit_bytes(burn);
+                        if d_bytes > 0 {
+                            if let MemSysModel::Legacy {
+                                bytes_per_cycle,
+                                busy_until,
+                            } = &mut self.memsys
+                            {
+                                let transfer = (d_bytes as f64 / *bytes_per_cycle).ceil() as u64;
+                                if transfer > 0 {
+                                    let at = start + elapsed;
+                                    let queue_delay = busy_until.saturating_sub(at);
+                                    *busy_until = at + queue_delay + transfer;
+                                    self.offchip_queue_cycles += queue_delay;
+                                    // Queuing stalls the core without
+                                    // consuming composed task time.
+                                    elapsed += queue_delay;
+                                }
+                            }
+                        }
+                    }
+                }
                 continue;
             }
-            // Issue the next memory reference.
-            let Some(acc) = running.next_access(&self.dag) else {
+            // Issue the next memory reference (pattern runs are expanded into
+            // the per-core buffer in chunks; see `ACCESS_BUFFER_CHUNK`).
+            let acc = buffer.next().or_else(|| {
+                buffer.refill(&mut running, &self.dag);
+                buffer.next()
+            });
+            let Some(acc) = acc else {
                 // No references left; only trailing compute remains (or nothing).
                 continue;
             };
+            running.note_issued();
             let latency = self.issue_access(core, acc, start + elapsed);
             elapsed += latency;
             self.instructions += 1;
@@ -672,7 +1034,23 @@ impl SimEngine {
             accesses_this_step += 1;
         };
 
+        if let Some(costs) = analytic.as_mut() {
+            let (d_instr, d_refs, d_l1m, d_l2m) = costs.sync_counters();
+            self.instructions += d_instr;
+            self.memory_accesses += d_refs;
+            if let CacheModel::Analytic {
+                l1_miss_credit,
+                l2_miss_credit,
+                ..
+            } = &mut self.cache_model
+            {
+                *l1_miss_credit += d_l1m;
+                *l2_miss_credit += d_l2m;
+            }
+        }
         self.cores[core].running = Some(running);
+        self.cores[core].buffer = buffer;
+        self.cores[core].analytic = analytic;
         (elapsed, finished)
     }
 
@@ -687,20 +1065,58 @@ impl SimEngine {
     /// core's critical path, costing the requester nothing but still
     /// occupying the bus and DRAM banks that later requests queue behind.
     fn issue_access(&mut self, core: usize, acc: MemAccess, at: u64) -> u64 {
-        let line_bytes = self.hierarchy.line_bytes() as usize;
+        // Set/tag math is hoisted: the block address is computed once here
+        // and reused by the profiler, the hierarchy and the memory system.
+        let block = acc.addr >> self.block_shift;
         if let Some(p) = &mut self.profiler {
-            p.record(block_of(acc.addr, line_bytes));
+            p.record(block);
         }
-        let outcome = self.hierarchy.access(core, acc.addr, acc.write);
+        // Sampled mode: only blocks landing in the sampled sets (low bits
+        // zero) are simulated, against the capacity-scaled hierarchy at
+        // `block >> shift` — exactly the original sets ≡ 0 (mod rate).
+        // Everything else is charged the running average hit-level latency.
+        let (block, byte_scale) = match &self.cache_model {
+            CacheModel::Sampled {
+                rate,
+                shift,
+                mask,
+                l1_lat,
+                est,
+            } => {
+                if block & *mask != 0 {
+                    // Charge the mean *observed* latency of recent sampled
+                    // references — preferring the running task's own samples
+                    // (tasks are the natural phase boundary), falling back
+                    // to the engine-wide estimator, then to the L1 latency
+                    // before any sample exists.  Observed latencies include
+                    // the queuing the sampled transactions saw; unsampled
+                    // references add no occupancy of their own, so this
+                    // mirrors — not double-counts — the bandwidth pressure.
+                    let (count, cycles) = match self.cores[core].sample_est {
+                        (0, _) => *est,
+                        task_est => task_est,
+                    };
+                    return match (cycles + count / 2).checked_div(count) {
+                        Some(mean) => mean,
+                        None => *l1_lat,
+                    };
+                }
+                (block >> *shift, *rate)
+            }
+            _ => (block, 1),
+        };
+        let outcome = self.hierarchy.access_block(core, block, acc.write);
         let mut latency = outcome.latency;
         if outcome.offchip_bytes > 0 {
+            // A sampled reference stands for `rate` of them: its off-chip
+            // traffic occupies the memory system at scale.
+            let offchip_bytes = outcome.offchip_bytes * byte_scale;
             match &mut self.memsys {
                 MemSysModel::Legacy {
                     bytes_per_cycle,
                     busy_until,
                 } => {
-                    let transfer_cycles =
-                        (outcome.offchip_bytes as f64 / *bytes_per_cycle).ceil() as u64;
+                    let transfer_cycles = (offchip_bytes as f64 / *bytes_per_cycle).ceil() as u64;
                     // A zero-cycle transfer (unbounded channel) occupies the
                     // channel for nothing and cannot queue — the same guard
                     // the component bus applies to zero-duration grants.
@@ -712,16 +1128,37 @@ impl SimEngine {
                     }
                 }
                 MemSysModel::BusDram(mem) => {
-                    let block = block_of(acc.addr, line_bytes);
-                    let tx = mem.transact(core, block, outcome.offchip_bytes, at);
+                    let tx = mem.transact(core, block, offchip_bytes, at);
                     if outcome.is_offchip() {
                         // The hierarchy charged its flat memory latency; the
                         // transaction's observed end-to-end time replaces it.
+                        // A sampled transaction moves `rate` lines of data in
+                        // one transfer for occupancy's sake, but the single
+                        // sampled reference only waits for its own line:
+                        // queue delays in full, service pro-rata.  (With
+                        // byte_scale == 1 this is exactly `tx.total_cycles`.)
+                        let queue = tx.bus_queue_cycles + tx.dram_queue_cycles;
+                        let service = tx.total_cycles - queue;
                         latency = latency.saturating_sub(self.config.memory_latency_cycles)
-                            + tx.total_cycles;
+                            + queue
+                            + service.div_ceil(byte_scale);
                     }
                     // Writeback-only traffic (a dirty victim behind an L2
                     // hit) is posted: no latency charge, only occupancy.
+                }
+            }
+        }
+        if let CacheModel::Sampled { est, .. } = &mut self.cache_model {
+            // Feed the final observed latency (hit level plus any queuing)
+            // into both estimators.  Halving a full window makes each an
+            // exponentially-decayed mean, so estimates track the current
+            // phase instead of the whole history.
+            for e in [est, &mut self.cores[core].sample_est] {
+                e.0 += 1;
+                e.1 += latency;
+                if e.0 >= SAMPLED_LATENCY_WINDOW {
+                    e.0 /= 2;
+                    e.1 /= 2;
                 }
             }
         }
@@ -731,6 +1168,21 @@ impl SimEngine {
     /// Handle completion of `task` on `core` at time `end`.
     fn complete_task(&mut self, task: TaskId, core: usize, end: u64) {
         self.completed += 1;
+        if let Some(a) = self.cores[core].analytic.take() {
+            if let CacheModel::Analytic { stats, .. } = &mut self.cache_model {
+                // Synthesize hierarchy counters from the composed costs.  No
+                // read/write split is available (reuse distances are
+                // kind-blind), so everything lands in the read columns; the
+                // derived metrics (misses, MPKI, off-chip bytes) are exact.
+                stats.l1[core].read_hits += a.l1_hits;
+                stats.l1[core].read_misses += a.l2_hits + a.misses;
+                stats.l2.read_hits += a.l2_hits;
+                stats.l2.read_misses += a.misses;
+                stats.l2.writebacks += a.writebacks;
+                stats.offchip_bytes += a.bytes_total;
+                stats.memory_fills += a.misses;
+            }
+        }
         self.emit(TraceEvent::TaskComplete {
             t: end,
             core,
@@ -785,7 +1237,40 @@ impl SimEngine {
                 task: task.index() as u64,
             });
         }
-        self.cores[core].running = Some(RunningTask::new(&self.dag, task));
+        let running = if let CacheModel::Analytic {
+            profile,
+            l1_blocks,
+            l2_blocks,
+            ..
+        } = &self.cache_model
+        {
+            // Compose the task's cache behaviour from its reuse-distance
+            // profile: two histogram lookups price the whole task.
+            let c = profile.task_costs(task, *l1_blocks, *l2_blocks);
+            let node = self.dag.node(task);
+            let t_total = node.compute_instructions
+                + c.l1_hits * self.config.l1.latency_cycles
+                + c.l2_hits * self.config.l2.latency_cycles
+                + c.misses * self.config.memory_latency_cycles;
+            let line = profile.line_bytes();
+            self.cores[core].analytic = Some(AnalyticCosts {
+                instr_total: node.compute_instructions + c.refs,
+                refs: c.refs,
+                l1_hits: c.l1_hits,
+                l2_hits: c.l2_hits,
+                misses: c.misses,
+                writebacks: c.writebacks,
+                bytes_total: (c.misses + c.writebacks) * line,
+                t_total,
+                ..AnalyticCosts::default()
+            });
+            RunningTask::new_analytic(task, t_total)
+        } else {
+            RunningTask::new(&self.dag, task)
+        };
+        self.cores[core].running = Some(running);
+        self.cores[core].buffer.clear();
+        self.cores[core].sample_est = (0, 0);
         self.idle[core] = false;
         self.events.push(now, core);
     }
@@ -828,22 +1313,38 @@ impl SimEngine {
             for _ in 0..d.blocks_per_burst {
                 let block = d.region_base_block + (self.disturbance_cursor % d.region_blocks);
                 self.disturbance_cursor += 1;
-                let outcome = self.hierarchy.access_block(0, block, false);
                 self.disturbance_accesses += 1;
-                if outcome.offchip_bytes > 0 {
+                // The co-runner's pollution is filtered the same way the
+                // program's references are: in sampled mode only sampled
+                // blocks touch the (scaled) hierarchy, standing for `rate`
+                // of them.  (Analytic program stats ignore the hierarchy,
+                // but the channel occupancy below still applies pressure.)
+                let (block, byte_scale) = match &self.cache_model {
+                    CacheModel::Sampled {
+                        mask, shift, rate, ..
+                    } => {
+                        if block & *mask != 0 {
+                            continue;
+                        }
+                        (block >> *shift, *rate)
+                    }
+                    _ => (block, 1),
+                };
+                let outcome = self.hierarchy.access_block(0, block, false);
+                let offchip_bytes = outcome.offchip_bytes * byte_scale;
+                if offchip_bytes > 0 {
                     match &mut self.memsys {
                         MemSysModel::Legacy {
                             bytes_per_cycle,
                             busy_until,
                         } => {
-                            let transfer =
-                                (outcome.offchip_bytes as f64 / *bytes_per_cycle).ceil() as u64;
+                            let transfer = (offchip_bytes as f64 / *bytes_per_cycle).ceil() as u64;
                             *busy_until = (*busy_until).max(at) + transfer;
                         }
                         // The co-runner is its own bus requester, one id past
                         // the real cores.
                         MemSysModel::BusDram(mem) => {
-                            mem.transact(self.config.cores, block, outcome.offchip_bytes, at);
+                            mem.transact(self.config.cores, block, offchip_bytes, at);
                         }
                     }
                 }
@@ -1244,6 +1745,143 @@ mod tests {
             region_base_block: 0,
             region_blocks: 1,
         }));
+    }
+
+    /// A reuse-heavy DAG: every leaf streams a range, then a second wave
+    /// re-reads it (hits if the cache holds it).
+    fn reuse_dag(leaves: usize, blocks_per_leaf: u64) -> pdfws_task_dag::TaskDag {
+        let mut b = DagBuilder::new();
+        let root = b.task("root").instructions(10).build();
+        for i in 0..leaves {
+            let base = i as u64 * (1 << 24);
+            let first = b
+                .task(&format!("fill{i}"))
+                .instructions(500)
+                .access(AccessPattern::range_read(base, 64 * blocks_per_leaf))
+                .build();
+            let second = b
+                .task(&format!("reuse{i}"))
+                .instructions(500)
+                .access(AccessPattern::range_write(base, 64 * blocks_per_leaf))
+                .build();
+            b.edge(root, first);
+            b.edge(first, second);
+        }
+        b.finish().unwrap()
+    }
+
+    fn options_with_mode(mode: &str) -> SimOptions {
+        SimOptions {
+            cache_mode: mode.parse().unwrap(),
+            ..SimOptions::default()
+        }
+    }
+
+    #[test]
+    fn sampled_mode_tracks_exact_statistics() {
+        let dag = reuse_dag(8, 4_000);
+        let cfg = default_config(4).unwrap();
+        for spec in SchedulerSpec::paper_pair() {
+            let exact = simulate(&dag, &cfg, &spec, &SimOptions::default());
+            let sampled = simulate(&dag, &cfg, &spec, &options_with_mode("sampled:rate=16"));
+            // Same program: instruction and reference counts are exact.
+            assert_eq!(sampled.instructions, exact.instructions, "{spec}");
+            assert_eq!(sampled.memory_accesses, exact.memory_accesses, "{spec}");
+            // Cache statistics are estimates within the declared tolerance.
+            let (em, sm) = (exact.l2_mpki(), sampled.l2_mpki());
+            let budget =
+                pdfws_cache_sim::MPKI_TOLERANCE_SAMPLED * em + pdfws_cache_sim::MPKI_SLACK_ABS;
+            assert!(
+                (sm - em).abs() <= budget,
+                "{spec}: sampled MPKI {sm} vs exact {em}"
+            );
+            // Makespan should be in the same regime (not an accuracy claim,
+            // a sanity bound: the expected-latency path can't collapse time).
+            let ratio = sampled.cycles as f64 / exact.cycles as f64;
+            assert!((0.5..2.0).contains(&ratio), "{spec}: cycle ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn sampled_rate_is_clamped_to_the_set_count() {
+        // A tiny L1 (few sets): an absurd rate must clamp, not panic.
+        let dag = reuse_dag(2, 500);
+        let mut cfg = default_config(2).unwrap();
+        cfg.l1.capacity_bytes = 64 * 4 * 8; // 8 sets at 4-way
+        cfg.validate().unwrap();
+        let r = simulate(
+            &dag,
+            &cfg,
+            &SchedulerSpec::pdf(),
+            &options_with_mode("sampled:rate=1024"),
+        );
+        assert_eq!(r.tasks, dag.len());
+        assert!(r.hierarchy.l2_misses() > 0);
+    }
+
+    #[test]
+    fn analytic_mode_reproduces_program_totals_and_plausible_cache_stats() {
+        let dag = reuse_dag(8, 4_000);
+        let cfg = default_config(4).unwrap();
+        for spec in SchedulerSpec::paper_pair() {
+            let exact = simulate(&dag, &cfg, &spec, &SimOptions::default());
+            let analytic = simulate(&dag, &cfg, &spec, &options_with_mode("analytic"));
+            assert_eq!(analytic.tasks, dag.len(), "{spec}");
+            assert_eq!(analytic.instructions, exact.instructions, "{spec}");
+            assert_eq!(analytic.memory_accesses, exact.memory_accesses, "{spec}");
+            let (em, am) = (exact.l2_mpki(), analytic.l2_mpki());
+            let budget =
+                pdfws_cache_sim::MPKI_TOLERANCE_ANALYTIC * em + pdfws_cache_sim::MPKI_SLACK_ABS;
+            assert!(
+                (am - em).abs() <= budget,
+                "{spec}: analytic MPKI {am} vs exact {em}"
+            );
+            assert!(analytic.offchip_bytes() > 0, "{spec}");
+            assert!(analytic.cycles > 0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn analytic_mode_is_deterministic_and_quantum_safe() {
+        let dag = reuse_dag(4, 1_000);
+        let cfg = default_config(4).unwrap();
+        let opts = options_with_mode("analytic");
+        let a = simulate(&dag, &cfg, &SchedulerSpec::pdf(), &opts);
+        let b = simulate(&dag, &cfg, &SchedulerSpec::pdf(), &opts);
+        assert_eq!(a, b, "analytic mode must be deterministic");
+        // Quantum stepping must agree with a single run, as in exact mode.
+        let mut engine = SimEngine::new(&dag, &cfg, make_policy(&SchedulerSpec::pdf(), 4), opts);
+        while engine.run_for(700) == EngineStatus::Running {}
+        assert_eq!(engine.result(), a, "stepping changed the analytic run");
+    }
+
+    #[test]
+    fn analytic_mode_forces_the_legacy_channel_and_skips_working_sets() {
+        let dag = reuse_dag(2, 500);
+        let cfg = default_config(2).unwrap();
+        let opts = SimOptions {
+            working_set_window: Some(100),
+            ..options_with_mode("analytic")
+        };
+        let r = simulate(&dag, &cfg, &SchedulerSpec::pdf(), &opts);
+        // The component bus/DRAM split never applies in analytic mode.
+        assert_eq!(r.bus_queue_cycles, 0);
+        assert_eq!(r.dram_queue_cycles, 0);
+        // There is no reference stream to profile.
+        assert!(r.working_set.is_none());
+    }
+
+    #[test]
+    fn compute_only_dags_are_identical_across_all_modes() {
+        // With no memory references the three modes must agree exactly.
+        let dag = leaf_tree(16, 1_000);
+        let cfg = default_config(4).unwrap();
+        let exact = simulate(&dag, &cfg, &SchedulerSpec::ws(), &SimOptions::default());
+        for mode in ["sampled:rate=8", "analytic"] {
+            let r = simulate(&dag, &cfg, &SchedulerSpec::ws(), &options_with_mode(mode));
+            assert_eq!(r.cycles, exact.cycles, "{mode}");
+            assert_eq!(r.instructions, exact.instructions, "{mode}");
+        }
     }
 
     #[test]

@@ -79,6 +79,7 @@
 //! assert_eq!(ws.scheduler, "ws:steal=half");
 //! ```
 
+pub mod analytic;
 pub mod engine;
 pub mod hybrid;
 pub mod kind;
@@ -90,11 +91,13 @@ pub mod spec;
 pub mod static_partition;
 pub mod ws;
 
+pub use analytic::{DagCacheProfile, TaskCacheCosts};
 pub use engine::{Disturbance, EngineStatus, SimEngine, SimOptions};
 pub use hybrid::HybridPolicy;
 #[allow(deprecated)]
 pub use kind::SchedulerKind;
 pub use pdf::PdfPolicy;
+pub use pdfws_cache_sim::{CacheModeRegistry, CacheModeSpec};
 pub use policy::SchedulerPolicy;
 pub use registry::{register, ParamKind, ParamSpec, PolicyFactory, Registry};
 pub use result::SimResult;

@@ -154,6 +154,75 @@ impl AccessPattern {
         }
     }
 
+    /// Append up to `count` references starting at position `from` to `buf`,
+    /// returning how many were appended.  Equivalent to `count` calls of
+    /// [`get`](Self::get) but with the per-reference division/modulo hoisted
+    /// out of the loop — the batch expansion behind the engine's per-core
+    /// access buffer.
+    pub fn expand_into(&self, from: u64, count: u64, buf: &mut Vec<MemAccess>) -> u64 {
+        let total = self.len();
+        if from >= total {
+            return 0;
+        }
+        let n = count.min(total - from);
+        buf.reserve(n as usize);
+        match self {
+            AccessPattern::Range { base, write, .. } => {
+                let mut addr = base + from * RANGE_STEP_BYTES;
+                for _ in 0..n {
+                    buf.push(MemAccess {
+                        addr,
+                        write: *write,
+                    });
+                    addr += RANGE_STEP_BYTES;
+                }
+            }
+            AccessPattern::RepeatedRange {
+                base, len, write, ..
+            } => {
+                let steps_per_pass = len.div_ceil(RANGE_STEP_BYTES);
+                let end = base + steps_per_pass * RANGE_STEP_BYTES;
+                let mut addr = base + (from % steps_per_pass) * RANGE_STEP_BYTES;
+                for _ in 0..n {
+                    buf.push(MemAccess {
+                        addr,
+                        write: *write,
+                    });
+                    addr += RANGE_STEP_BYTES;
+                    if addr >= end {
+                        addr = *base;
+                    }
+                }
+            }
+            AccessPattern::Strided {
+                base,
+                stride,
+                write,
+                ..
+            } => {
+                let mut addr = base + from * stride;
+                for _ in 0..n {
+                    buf.push(MemAccess {
+                        addr,
+                        write: *write,
+                    });
+                    addr += stride;
+                }
+            }
+            AccessPattern::Explicit { addrs, write } => {
+                buf.extend(
+                    addrs[from as usize..(from + n) as usize]
+                        .iter()
+                        .map(|&addr| MemAccess {
+                            addr,
+                            write: *write,
+                        }),
+                );
+            }
+        }
+        n
+    }
+
     /// The reference at position `index`, if any.  Random access allows the
     /// execution engine to pause and resume a task mid-trace without allocating.
     pub fn get(&self, index: u64) -> Option<MemAccess> {
@@ -306,6 +375,52 @@ mod tests {
             assert_eq!(p.get(p.len()), None);
             assert_eq!(p.iter().len() as u64, p.len());
         }
+    }
+
+    #[test]
+    fn expand_into_matches_get_for_every_window() {
+        let patterns = vec![
+            AccessPattern::range_write(64, 1000),
+            AccessPattern::repeated_read(0, 300, 3),
+            AccessPattern::Strided {
+                base: 7,
+                count: 9,
+                stride: 129,
+                write: false,
+            },
+            AccessPattern::explicit_write(vec![3, 8, 3, 12, 1]),
+            AccessPattern::range_read(0, 0),
+        ];
+        for p in &patterns {
+            let expected: Vec<_> = p.iter().collect();
+            for from in 0..=p.len() {
+                for count in [0, 1, 2, p.len(), p.len() + 5] {
+                    let mut buf = Vec::new();
+                    let n = p.expand_into(from, count, &mut buf);
+                    let want_n = count.min(p.len().saturating_sub(from));
+                    assert_eq!(n, want_n, "{p:?} from={from} count={count}");
+                    assert_eq!(
+                        buf,
+                        expected[from as usize..(from + n) as usize],
+                        "{p:?} from={from} count={count}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expand_into_appends_without_clearing() {
+        let p = AccessPattern::range_read(0, 128);
+        let mut buf = vec![MemAccess {
+            addr: 999,
+            write: true,
+        }];
+        assert_eq!(p.expand_into(0, 10, &mut buf), 2);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf[0].addr, 999);
+        assert_eq!(buf[1].addr, 0);
+        assert_eq!(buf[2].addr, 64);
     }
 
     #[test]

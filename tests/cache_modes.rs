@@ -1,0 +1,127 @@
+//! Cross-crate accuracy contract of the cache-mode axis.
+//!
+//! `cache=sampled:rate=N` and `cache=analytic` are statistical estimators of
+//! the exact per-access simulation, and their declared accuracy contract
+//! (`MPKI_TOLERANCE_SAMPLED` / `MPKI_TOLERANCE_ANALYTIC` relative plus
+//! `MPKI_SLACK_ABS` absolute, on L2 MPKI) is pinned here against *every*
+//! registered workload under both paper schedulers.  `cache=exact` is not an
+//! estimator at all: an explicit `exact` spec must reproduce the default path
+//! bit for bit.
+
+use pdfws::cache_sim::{MPKI_SLACK_ABS, MPKI_TOLERANCE_ANALYTIC, MPKI_TOLERANCE_SAMPLED};
+use pdfws::prelude::*;
+use pdfws::schedulers::simulate;
+use proptest::prelude::*;
+
+fn options_for(mode: &str) -> SimOptions {
+    SimOptions {
+        cache_mode: mode.parse().unwrap_or_else(|e| panic!("'{mode}': {e}")),
+        ..SimOptions::default()
+    }
+}
+
+/// |observed − exact| ≤ tolerance·exact + slack, the contract the constants
+/// in `pdfws-cache-sim` declare.
+fn assert_mpki_within(label: &str, exact: f64, observed: f64, tolerance: f64) {
+    let budget = tolerance * exact + MPKI_SLACK_ABS;
+    assert!(
+        (observed - exact).abs() <= budget,
+        "{label}: L2 MPKI {observed:.3} vs exact {exact:.3} exceeds {tolerance:.0}% + {MPKI_SLACK_ABS} slack"
+    );
+}
+
+#[test]
+fn statistical_modes_honor_their_mpki_contract_on_every_registered_workload() {
+    let config = default_config(4).expect("default configuration");
+    // Every registered workload at its registry defaults, plus scaled
+    // instances of the two paper staples big enough to actually miss in L2 —
+    // the defaults are unit-test sized and mostly cache-resident, which would
+    // let a broken estimator pass on slack alone.
+    let mut specs: Vec<String> = WorkloadRegistry::global().names();
+    specs.push("mergesort:n=65536".into());
+    specs.push("spmv:rows=4096,iterations=1".into());
+    for wspec in specs {
+        let instance = WorkloadInstance::from_spec(&wspec.parse().unwrap());
+        for sched in ["pdf", "ws"] {
+            let spec: SchedulerSpec = sched.parse().unwrap();
+            let exact = simulate(&instance.dag, &config, &spec, &options_for("exact"));
+            let sampled = simulate(
+                &instance.dag,
+                &config,
+                &spec,
+                &options_for("sampled:rate=8"),
+            );
+            let analytic = simulate(&instance.dag, &config, &spec, &options_for("analytic"));
+            assert_mpki_within(
+                &format!("{wspec} × {sched} (sampled)"),
+                exact.l2_mpki(),
+                sampled.l2_mpki(),
+                MPKI_TOLERANCE_SAMPLED,
+            );
+            assert_mpki_within(
+                &format!("{wspec} × {sched} (analytic)"),
+                exact.l2_mpki(),
+                analytic.l2_mpki(),
+                MPKI_TOLERANCE_ANALYTIC,
+            );
+            // The statistical modes must also keep the run's shape sane: the
+            // same tasks execute, and instructions are conserved exactly.
+            for (label, r) in [("sampled", &sampled), ("analytic", &analytic)] {
+                assert_eq!(r.tasks, exact.tasks, "{wspec} × {sched} ({label})");
+                assert_eq!(
+                    r.instructions, exact.instructions,
+                    "{wspec} × {sched} ({label})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn explicit_exact_spec_is_bit_identical_to_the_default() {
+    let config = default_config(8).expect("default configuration");
+    for wspec in ["mergesort:n=16384", "spmv:rows=1024"] {
+        let instance = WorkloadInstance::from_spec(&wspec.parse().unwrap());
+        for sched in ["pdf", "ws"] {
+            let spec: SchedulerSpec = sched.parse().unwrap();
+            let default = simulate(&instance.dag, &config, &spec, &SimOptions::default());
+            let exact = simulate(&instance.dag, &config, &spec, &options_for("exact"));
+            assert_eq!(exact, default, "{wspec} × {sched}: explicit exact spec");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The sampled contract holds across sizes, core counts, sampling rates
+    // and schedulers, not just the hand-picked cells above.
+    #[test]
+    fn sampled_mpki_contract_holds_across_the_parameter_space(
+        n_shift in 12u32..17,
+        cores in prop::sample::select(vec![2usize, 4, 8]),
+        rate in prop::sample::select(vec![2u64, 4, 8, 16, 32]),
+        sched in prop::sample::select(vec!["pdf", "ws", "hybrid"]),
+    ) {
+        let instance = WorkloadInstance::from_spec(
+            &format!("mergesort:n={}", 1u64 << n_shift).parse().unwrap(),
+        );
+        let config = default_config(cores).expect("default configuration");
+        let spec: SchedulerSpec = sched.parse().unwrap();
+        let exact = simulate(&instance.dag, &config, &spec, &options_for("exact"));
+        let sampled = simulate(
+            &instance.dag,
+            &config,
+            &spec,
+            &options_for(&format!("sampled:rate={rate}")),
+        );
+        let budget = MPKI_TOLERANCE_SAMPLED * exact.l2_mpki() + MPKI_SLACK_ABS;
+        prop_assert!(
+            (sampled.l2_mpki() - exact.l2_mpki()).abs() <= budget,
+            "n=2^{n_shift} cores={cores} rate={rate} {sched}: {:.3} vs {:.3}",
+            sampled.l2_mpki(),
+            exact.l2_mpki(),
+        );
+        prop_assert_eq!(sampled.instructions, exact.instructions);
+    }
+}

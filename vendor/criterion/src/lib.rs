@@ -9,7 +9,14 @@
 //! Like real criterion, `cargo bench -- --test` runs in **smoke mode**: every
 //! benchmark executes exactly once, just proving the harness still compiles
 //! and runs (CI uses this so the benches cannot rot).
+//!
+//! `cargo bench -- --json <path>` additionally appends one JSON object per
+//! measured benchmark to `<path>` (JSONL: `{"id":"group/label",
+//! "ns_per_iter":..., "melem_per_s":...|null}`), so per-PR perf numbers can
+//! be recorded as machine-readable artifacts (`BENCH_<n>.json`) instead of
+//! only in prose.  Smoke mode records nothing.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -103,15 +110,20 @@ impl BenchmarkGroup<'_> {
             "{}/{}: {:.1} ns/iter ({} iters)",
             self.name, label, bencher.mean_ns, bencher.iterations
         );
+        let mut melem_per_s = None;
         if let Some(Throughput::Elements(n)) = self.throughput {
             if bencher.mean_ns > 0.0 {
-                line.push_str(&format!(
-                    ", {:.1} Melem/s",
-                    n as f64 / bencher.mean_ns * 1e3
-                ));
+                let rate = n as f64 / bencher.mean_ns * 1e3;
+                line.push_str(&format!(", {rate:.1} Melem/s"));
+                melem_per_s = Some(rate);
             }
         }
         println!("{line}");
+        self._criterion.record_json(
+            &format!("{}/{}", self.name, label),
+            bencher.mean_ns,
+            melem_per_s,
+        );
     }
 
     pub fn bench_function(
@@ -143,17 +155,67 @@ pub struct Criterion {
     /// True when the binary was invoked with `--test` (`cargo bench -- --test`):
     /// run every benchmark once, report "ok", measure nothing.
     test_mode: bool,
+    /// `--json <path>`: append one JSONL record per measured benchmark here.
+    json_path: Option<std::path::PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let mut json_path = None;
+        let mut args = std::env::args();
+        while let Some(arg) = args.next() {
+            if arg == "--json" {
+                json_path = args.next().map(std::path::PathBuf::from);
+            } else if let Some(v) = arg.strip_prefix("--json=") {
+                json_path = Some(std::path::PathBuf::from(v));
+            }
+        }
         Criterion {
             test_mode: std::env::args().any(|a| a == "--test"),
+            json_path,
         }
     }
 }
 
 impl Criterion {
+    /// Append one benchmark record to the `--json` file, if one was selected.
+    /// Appending (not truncating) lets several bench binaries share one
+    /// artifact file across a `cargo bench` invocation.
+    fn record_json(&self, id: &str, ns_per_iter: f64, melem_per_s: Option<f64>) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        let rate = match melem_per_s {
+            Some(r) => format!("{r:.3}"),
+            None => "null".to_string(),
+        };
+        let line = format!(
+            "{{\"id\":\"{}\",\"ns_per_iter\":{:.1},\"melem_per_s\":{rate}}}\n",
+            id.replace('\\', "\\\\").replace('"', "\\\""),
+            ns_per_iter,
+        );
+        // Bench harnesses run with the package (not workspace) root as CWD,
+        // so a relative path like `target/bench.json` may name a directory
+        // that does not exist yet.
+        let written = path
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| {
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+            })
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = written {
+            eprintln!(
+                "warning: cannot record bench JSON to {}: {e}",
+                path.display()
+            );
+        }
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
@@ -203,7 +265,10 @@ mod tests {
     fn groups_run_their_benchmarks() {
         // Construct directly: the surrounding test runner's argv must not be
         // able to flip this test into smoke mode.
-        let mut c = Criterion { test_mode: false };
+        let mut c = Criterion {
+            test_mode: false,
+            json_path: None,
+        };
         let mut group = c.benchmark_group("demo");
         group.sample_size(3).throughput(Throughput::Elements(100));
         let mut runs = 0u64;
@@ -217,5 +282,32 @@ mod tests {
         });
         group.finish();
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn json_records_append_one_line_per_benchmark() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-json-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion {
+            test_mode: false,
+            json_path: Some(path.clone()),
+        };
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2).throughput(Throughput::Elements(1000));
+        group.bench_function("with-rate", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_function("no-rate", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        let recorded = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = recorded.lines().collect();
+        assert_eq!(lines.len(), 2, "{recorded}");
+        assert!(lines[0].starts_with("{\"id\":\"grp/with-rate\",\"ns_per_iter\":"));
+        assert!(lines[0].contains("\"melem_per_s\":"), "{recorded}");
+        assert!(!lines[0].contains("\"melem_per_s\":null"), "{recorded}");
+        assert!(lines[1].contains("\"melem_per_s\":null"), "{recorded}");
     }
 }
