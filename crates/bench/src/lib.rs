@@ -16,9 +16,9 @@
 //! <spec>` (select the memory-system model for every simulated cell, e.g.
 //! `--memsys legacy` or `--memsys bus:dram:banks=32`), `--cache <spec>`
 //! (select the cache simulation mode — `exact`, `sampled:rate=N` or
-//! `analytic`), and `--list` (print all four registries' grammars — every
-//! scheduler policy, workload, memory-system model and cache mode with its
-//! typed parameters — and exit).
+//! `analytic`), and `--list` (print all five registries' grammars — every
+//! scheduler policy, workload, memory-system model, cache mode and arrival
+//! process with its typed parameters — and exit).
 //!
 //! Output flows through one shared emission path ([`emit_tables`] /
 //! [`emit_figures`], built on the `pdfws-report` renderers): the default is
@@ -31,6 +31,7 @@ use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
 use pdfws_report::Figure;
 use pdfws_schedulers::{simulate_traced, SimOptions};
+use pdfws_serve::ArrivalRegistry;
 use pdfws_stream::{run_stream_sim_traced, JobMix, StreamConfig};
 use pdfws_trace::{chrome_trace_json, timeline_table, EventTrace, TraceTrack};
 
@@ -147,7 +148,7 @@ pub const UNIFORM_FLAGS: &[(&str, &str)] = &[
     ),
     (
         "--list",
-        "print the spec grammars of all four registries (schedulers, workloads, memory-system models, cache modes) and exit",
+        "print the spec grammars of all five registries (schedulers, workloads, memory-system models, cache modes, arrival processes) and exit",
     ),
     ("--help", "print this flag table and exit"),
 ];
@@ -174,10 +175,10 @@ pub fn maybe_help(bin: &str, about: &str, extra: &[(&str, &str)]) {
     std::process::exit(0);
 }
 
-/// If the binary was invoked with `--list`, print all four registries' spec
-/// grammars — every scheduler policy, workload, memory-system model and cache
-/// mode, with their typed parameters — and exit.  Call this before doing any
-/// work.
+/// If the binary was invoked with `--list`, print all five registries' spec
+/// grammars — every scheduler policy, workload, memory-system model, cache
+/// mode and arrival process, with their typed parameters — and exit.  Call
+/// this before doing any work.
 pub fn maybe_list() {
     if std::env::args().any(|a| a == "--list") {
         println!(
@@ -195,6 +196,10 @@ pub fn maybe_list() {
         println!(
             "Cache-mode specs (mode:key=value,...):\n{}",
             CacheModeRegistry::global().help()
+        );
+        println!(
+            "Arrival specs (process:key=value,...):\n{}",
+            ArrivalRegistry::global().help()
         );
         std::process::exit(0);
     }

@@ -8,9 +8,11 @@
 //! figure/table in the same format.
 
 pub mod measures;
+pub mod streaming;
 pub mod summary;
 pub mod table;
 
 pub use measures::{l2_mpki, relative_speedup, speedup, traffic_reduction_percent};
+pub use streaming::{P2Quantile, ReservoirSampler, StreamingQuantiles};
 pub use summary::{geometric_mean, mean, percentile, Quantiles};
 pub use table::{Series, Table};

@@ -15,6 +15,7 @@ use crate::replication::{
 use pdfws_cmp_model::sweep::sweep_l2_fraction;
 use pdfws_core::prelude::*;
 use pdfws_metrics::{Series, Table};
+use pdfws_serve::{parse_tenants, run_serve, ServeConfig};
 
 /// The paper's two scheduler spec strings, in claim order.
 const PAPER_SCHEDULERS: [&str; 2] = ["pdf", "ws"];
@@ -22,8 +23,11 @@ const PAPER_SCHEDULERS: [&str; 2] = ["pdf", "ws"];
 /// Seed for the stream claim's arrival process and job sampling.
 const STREAM_SEED: u64 = 0x5EED_C1A1;
 
+/// Seed for the serving-tier claim's arrival generation and job sampling.
+const SERVE_SEED: u64 = 0x5EED_5E12;
+
 impl ReplicationSuite {
-    /// The built-in suite: the paper's claims C1–C7 (see the *Claims* section
+    /// The built-in suite: the paper's claims C1–C8 (see the *Claims* section
     /// of `PAPER.md`), scaled by
     /// [`SuiteConfig::quick`](crate::replication::SuiteConfig).
     pub fn paper() -> Self {
@@ -35,6 +39,7 @@ impl ReplicationSuite {
         suite.push(claim_c5_granularity());
         suite.push(claim_c6_power_down());
         suite.push(claim_c7_stream_tail());
+        suite.push(claim_c8_serve_slo_matrix());
         suite
     }
 }
@@ -456,6 +461,109 @@ fn claim_c7_stream_tail() -> Claim {
                     report.summary_table(),
                 )],
                 raw: vec![("records.jsonl".to_string(), report.to_jsonl())],
+            })
+        },
+    )
+}
+
+/// C8 — the serving-tier extension: across a scenario matrix of tenant
+/// mixes × arrival processes at overload, the SLO-aware shedder keeps every
+/// tenant's *admitted* p99 sojourn within its target, while the identical
+/// tier with shedding disabled violates it (the second figure series — the
+/// violation itself is pinned by `tests/serve.rs` and the CI smoke, so a
+/// regression there cannot hide behind this claim's direction).
+fn claim_c8_serve_slo_matrix() -> Claim {
+    Claim::new(
+        "c8-serve-slo-matrix",
+        "Serving tier at overload: with SLO-aware shedding, every tenant's admitted p99 sojourn stays within its target across the scenario matrix",
+        "c8-the-serving-tier-holds-slos-by-shedding",
+        Expectation::at_most(
+            "max p99_sojourn/target (shedding on, all scenarios)",
+            "1.0",
+            0.0,
+        ),
+        |ctx| {
+            // The matrix: tenant mixes (two-tenant weight split, three-tenant
+            // with distinct SLO classes and targets) × arrival processes
+            // (memoryless and heavy-tailed), all at a rate well past the
+            // machine's capacity for the built-in mixes.
+            let tenant_mixes: [(&str, &str); 2] = [
+                ("pair", "interactive:weight=3+batch:slo=batch"),
+                (
+                    "trio",
+                    "api:p99=1500000,weight=4+analytics:mix=mixed,slo=batch+bulk:mix=class-b,slo=batch",
+                ),
+            ];
+            let arrival_axis: [(&str, &str); 2] = [
+                ("poisson", "poisson:rate=400"),
+                ("pareto", "pareto:alpha=1.5,rate=400"),
+            ];
+            // Quick mode still needs enough arrivals that per-tenant p99 is
+            // an order statistic; paper scale sharpens it further.
+            let jobs = ctx.cfg.pick(4000, 600);
+            let cores = 8;
+            let mut scenario_names = Vec::new();
+            let mut shed_p99 = Vec::new();
+            let mut noshed_p99 = Vec::new();
+            let mut shed_rates = Vec::new();
+            let mut attainment = Vec::new();
+            for (mix_label, tenants) in &tenant_mixes {
+                for (arrival_label, arrivals) in &arrival_axis {
+                    let mut cfg = ServeConfig::new(cores, SchedulerSpec::pdf());
+                    cfg.jobs = jobs;
+                    cfg.tenants = parse_tenants(tenants).map_err(ExperimentError::from)?;
+                    cfg.arrivals = arrivals.parse().map_err(ExperimentError::from)?;
+                    cfg.autoscale = None;
+                    cfg.seed = SERVE_SEED;
+                    cfg.sim_options.cache_mode = ctx.cfg.cache.clone();
+                    if let Some(spec) = &ctx.cfg.memsys {
+                        cfg.memsys = Some(spec.memsys_params());
+                    }
+                    let shed = run_serve(&cfg)?;
+                    let mut baseline_cfg = cfg.clone();
+                    baseline_cfg.shedding = false;
+                    let baseline = run_serve(&baseline_cfg)?;
+                    scenario_names.push(format!("{mix_label}/{arrival_label}"));
+                    shed_p99.push(shed.worst_p99_over_target());
+                    noshed_p99.push(baseline.worst_p99_over_target());
+                    shed_rates.push(shed.shed_rate());
+                    attainment.push(
+                        shed.tenants
+                            .iter()
+                            .map(|t| t.slo_attainment)
+                            .fold(1.0, f64::min),
+                    );
+                }
+            }
+            let mut table = Table::new(
+                format!(
+                    "Serving tier at overload ({jobs} offered jobs, {cores} cores, PDF): \
+                     worst tenant p99 sojourn as a multiple of its SLO target"
+                ),
+                "scenario",
+                scenario_names,
+            );
+            table.push_series(Series::new("p99_over_target(shed)", shed_p99.clone()));
+            table.push_series(Series::new("p99_over_target(no-shed)", noshed_p99));
+            table.push_series(Series::new("shed_rate", shed_rates));
+            table.push_series(Series::new("min_slo_attainment(shed)", attainment));
+            Ok(Evaluation {
+                observation: Observation {
+                    lhs: shed_p99.iter().cloned().fold(0.0, f64::max),
+                    rhs: 1.0,
+                },
+                workloads: JobMix::CLASS_A_ENTRIES
+                    .iter()
+                    .map(|(s, _)| s.to_string())
+                    .collect(),
+                schedulers: vec!["pdf".to_string()],
+                cores: vec![cores],
+                figures: vec![Figure::new(
+                    "serve-slo-matrix",
+                    "Serving tier: shed vs no-shed p99/target across the scenario matrix",
+                    table,
+                )],
+                raw: Vec::new(),
             })
         },
     )

@@ -883,9 +883,9 @@ mod tests {
     }
 
     #[test]
-    fn paper_suite_declares_seven_anchored_claims() {
+    fn paper_suite_declares_eight_anchored_claims() {
         let suite = ReplicationSuite::paper();
-        assert_eq!(suite.claims().len(), 7);
+        assert_eq!(suite.claims().len(), 8);
         for claim in suite.claims() {
             assert!(!claim.anchor.is_empty());
             assert_eq!(claim.id, crate::figure::slug(&claim.id), "{}", claim.id);

@@ -1,0 +1,944 @@
+//! `ArrivalSpec` — the open, parameterized description of an arrival process,
+//! the workspace's **fifth** string-addressable axis (after schedulers,
+//! workloads, memory-system models, and cache modes), in the shared
+//! `name:key=value` grammar:
+//!
+//! ```text
+//! poisson:rate=80                      memoryless arrivals at 80 jobs/Mcycle
+//! pareto:alpha=1.5,rate=80             heavy-tailed interarrival gaps
+//! burst:period=400000,duty=0.25,hi=160,lo=10
+//!                                      square-wave on/off load
+//! diurnal:period=2000000,mean=40,amp=0.8
+//!                                      sinusoidal day/night load
+//! uniform:gap=25000                    deterministic arrivals, one per gap
+//! closed:population=4,think=20000      fixed client population
+//! ```
+//!
+//! Parsing validates the process name and every parameter against the
+//! [`ArrivalRegistry`]; the stored form is canonical (sorted keys, normalised
+//! numbers), so `to_string()` then `parse()` is the identity.  A validated
+//! spec yields either a streaming [`ArrivalGen`] (constant-memory, one
+//! arrival cycle at a time — what the serving loop consumes) or an
+//! [`ArrivalProcess`] for the stream backend (native variants where one
+//! exists, [`ArrivalProcess::Explicit`] otherwise).
+//!
+//! All rates are in jobs per million cycles, matching the stream crate's
+//! Poisson convention; all generators are pure functions of (spec, seed).
+
+use pdfws_spec::{SpecErrorKind, SpecFamily, SpecTable, Vocab};
+use pdfws_stream::ArrivalProcess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, OnceLock};
+
+pub use pdfws_spec::{ParamKind, ParamSpec};
+
+/// Errors from parsing or validating an [`ArrivalSpec`] (the shared
+/// [`pdfws_spec::SpecError`], worded with the arrival vocabulary).
+pub type SpecError = pdfws_spec::SpecError;
+
+/// The arrival domain's error wording ("unknown arrival process …; known
+/// processes: …").
+static ARRIVAL_VOCAB: Vocab = Vocab {
+    subject: "arrivals",
+    entity: "arrival process",
+    known_label: "known processes",
+};
+
+/// A parsed, validated arrival-process description: process name + parameter
+/// overrides.
+///
+/// Construct one with the named constructors ([`ArrivalSpec::poisson`],
+/// [`ArrivalSpec::pareto`], …), by parsing (`"pareto:alpha=1.5".parse()`), or
+/// via [`ArrivalSpec::with_param`]; every path validates against the global
+/// [`ArrivalRegistry`], so a value can always produce its generator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrivalSpec {
+    process: String,
+    /// Canonically sorted `key -> value` overrides (only the
+    /// explicitly-given ones; everything else uses the factory's default).
+    params: BTreeMap<String, String>,
+}
+
+impl ArrivalSpec {
+    /// Internal: build a spec that is already known valid.
+    pub(crate) fn known_valid(process: &str, params: BTreeMap<String, String>) -> Self {
+        ArrivalSpec {
+            process: process.to_string(),
+            params,
+        }
+    }
+
+    /// Parse and validate a spec string (same as `s.parse()`).
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        s.parse()
+    }
+
+    /// Memoryless Poisson arrivals at `rate` jobs per million cycles.
+    pub fn poisson(rate: f64) -> Self {
+        format!("poisson:rate={rate}")
+            .parse()
+            .expect("positive rates build valid poisson specs")
+    }
+
+    /// Heavy-tailed Pareto interarrival gaps with tail index `alpha`
+    /// (`> 1`, lower is heavier) at mean `rate` jobs per million cycles.
+    pub fn pareto(alpha: f64, rate: f64) -> Self {
+        format!("pareto:alpha={alpha},rate={rate}")
+            .parse()
+            .expect("alpha > 1 and positive rates build valid pareto specs")
+    }
+
+    /// Square-wave on/off load with the factory defaults.
+    pub fn burst() -> Self {
+        Self::known_valid("burst", BTreeMap::new())
+    }
+
+    /// Sinusoidal day/night load with the factory defaults.
+    pub fn diurnal() -> Self {
+        Self::known_valid("diurnal", BTreeMap::new())
+    }
+
+    /// Deterministic arrivals, one every `gap` cycles.
+    pub fn uniform(gap: u64) -> Self {
+        format!("uniform:gap={gap}")
+            .parse()
+            .expect("positive gaps build valid uniform specs")
+    }
+
+    /// Closed loop: `population` clients with `think` cycles of think time.
+    pub fn closed(population: u64, think: u64) -> Self {
+        format!("closed:population={population},think={think}")
+            .parse()
+            .expect("non-empty populations build valid closed specs")
+    }
+
+    /// The registry key this spec resolves through (`"poisson"`, `"pareto"`).
+    pub fn process_name(&self) -> &str {
+        &self.process
+    }
+
+    /// The explicitly-given overrides, in canonical (sorted-by-key) order.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// The raw value of one parameter, if it was given.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+
+    /// A `u64` override, if given (parses by construction).
+    pub fn u64_param(&self, key: &str) -> Option<u64> {
+        self.param(key)
+            .map(|v| v.parse().expect("validated u64 parameter"))
+    }
+
+    /// An `f64` override, if given (parses by construction).
+    pub fn f64_param(&self, key: &str) -> Option<f64> {
+        self.param(key)
+            .map(|v| v.parse().expect("validated f64 parameter"))
+    }
+
+    /// Add or replace one parameter, revalidating the result.  Consumes and
+    /// returns the spec so calls chain.
+    pub fn with_param(mut self, key: &str, value: &str) -> Result<Self, SpecError> {
+        self.params.insert(key.to_string(), value.to_string());
+        ArrivalRegistry::global().validate(self.process.clone(), self.params)
+    }
+
+    /// A streaming generator of absolute arrival cycles for this process,
+    /// seeded by `seed`; `None` for closed-loop processes (their arrivals
+    /// depend on completions, so no exogenous schedule exists).
+    pub fn generator(&self, seed: u64) -> Option<Box<dyn ArrivalGen>> {
+        ArrivalRegistry::global().generator(self, seed)
+    }
+
+    /// Whether the process is open loop (has a [`generator`](Self::generator)).
+    pub fn is_open_loop(&self) -> bool {
+        self.generator(0).is_some()
+    }
+
+    /// The stream-backend [`ArrivalProcess`] for an `n`-job run: the native
+    /// variant where one exists (`poisson`, `uniform`, `closed`), otherwise
+    /// an [`ArrivalProcess::Explicit`] schedule drawn from the generator.
+    pub fn process(&self, n: usize, seed: u64) -> ArrivalProcess {
+        ArrivalRegistry::global().process(self, n, seed)
+    }
+
+    /// The canonical string form (what [`fmt::Display`] prints).
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for ArrivalSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        pdfws_spec::format_spec(f, &self.process, &self.params)
+    }
+}
+
+impl FromStr for ArrivalSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (process, params) = pdfws_spec::parse_spec(s, &ARRIVAL_VOCAB)?;
+        ArrivalRegistry::global().validate(process, params)
+    }
+}
+
+/// A streaming source of absolute arrival cycles: each call returns the next
+/// arrival, non-decreasing, forever.  Constant memory — the serving loop pulls
+/// one arrival at a time even for 10⁷-job runs.
+pub trait ArrivalGen: Send {
+    /// The next absolute arrival cycle.
+    fn next_arrival(&mut self) -> u64;
+}
+
+/// Turns a validated [`ArrivalSpec`] into generators and stream-backend
+/// processes.
+///
+/// The registry guarantees the build methods only ever see specs whose keys
+/// and values passed the factory's [`ArrivalFactory::params`] declarations.
+pub trait ArrivalFactory: Send + Sync {
+    /// The registry key (`"poisson"`); also the spec's process name.
+    fn name(&self) -> &'static str;
+    /// One-line description, shown by [`ArrivalRegistry::help`].
+    fn doc(&self) -> &'static str;
+    /// The parameters this process accepts (empty slice: none).
+    fn params(&self) -> &'static [ParamSpec];
+    /// Check cross-parameter constraints after each key/value passed its
+    /// [`ParamSpec`] (e.g. reject a Pareto tail index without a finite mean).
+    /// Return an error message to reject the combination; the default accepts
+    /// all.
+    fn validate_spec(&self, _spec: &ArrivalSpec) -> Result<(), String> {
+        Ok(())
+    }
+    /// The streaming generator; `None` for closed-loop processes.
+    fn generator(&self, spec: &ArrivalSpec, seed: u64) -> Option<Box<dyn ArrivalGen>>;
+    /// The stream-backend process for an `n`-job run.  The default draws `n`
+    /// cycles from the generator into an [`ArrivalProcess::Explicit`]
+    /// schedule labelled with the spec's canonical string; closed-loop
+    /// factories must override.
+    fn process(&self, spec: &ArrivalSpec, n: usize, seed: u64) -> ArrivalProcess {
+        let mut gen = self
+            .generator(spec, seed)
+            .expect("closed-loop factories must override process()");
+        let schedule: Vec<u64> = (0..n.max(1)).map(|_| gen.next_arrival()).collect();
+        ArrivalProcess::explicit(schedule, spec.to_string())
+    }
+}
+
+/// Adapter letting the shared [`SpecTable`] read an arrival factory's
+/// declarations.
+impl SpecFamily for dyn ArrivalFactory {
+    fn family_name(&self) -> &'static str {
+        self.name()
+    }
+    fn family_doc(&self) -> &'static str {
+        self.doc()
+    }
+    fn family_params(&self) -> &'static [ParamSpec] {
+        self.params()
+    }
+}
+
+/// A name-keyed set of [`ArrivalFactory`] objects.  Almost all code uses the
+/// process-wide [`ArrivalRegistry::global`] instance.
+pub struct ArrivalRegistry {
+    factories: SpecTable<dyn ArrivalFactory>,
+}
+
+impl ArrivalRegistry {
+    /// An empty registry (no built-ins).
+    pub fn empty() -> Self {
+        ArrivalRegistry {
+            factories: SpecTable::new(&ARRIVAL_VOCAB),
+        }
+    }
+
+    /// A registry pre-loaded with the built-in processes.
+    pub fn with_builtins() -> Self {
+        let reg = Self::empty();
+        reg.register(Arc::new(PoissonFactory));
+        reg.register(Arc::new(UniformFactory));
+        reg.register(Arc::new(ParetoFactory));
+        reg.register(Arc::new(BurstFactory));
+        reg.register(Arc::new(DiurnalFactory));
+        reg.register(Arc::new(ClosedFactory));
+        reg
+    }
+
+    /// The process-wide registry every spec parse resolves through.
+    pub fn global() -> &'static ArrivalRegistry {
+        static GLOBAL: OnceLock<ArrivalRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(ArrivalRegistry::with_builtins)
+    }
+
+    /// Add (or replace — last registration wins) a factory.
+    pub fn register(&self, factory: Arc<dyn ArrivalFactory>) {
+        self.factories.register(factory);
+    }
+
+    /// The registered process names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.names()
+    }
+
+    /// Look up one factory.
+    pub fn factory(&self, name: &str) -> Option<Arc<dyn ArrivalFactory>> {
+        self.factories.get(name)
+    }
+
+    /// Validate a raw `(process, params)` pair into a canonical
+    /// [`ArrivalSpec`].
+    pub fn validate(
+        &self,
+        process: String,
+        params: BTreeMap<String, String>,
+    ) -> Result<ArrivalSpec, SpecError> {
+        let (factory, canonical) = self.factories.validate(process, params)?;
+        let spec = ArrivalSpec::known_valid(factory.name(), canonical);
+        if let Err(message) = factory.validate_spec(&spec) {
+            return Err(SpecError::new(
+                &ARRIVAL_VOCAB,
+                SpecErrorKind::InvalidCombination {
+                    owner: factory.name().to_string(),
+                    message,
+                },
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// The streaming generator a spec describes; `None` for closed loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's process has been removed from the registry since
+    /// the spec was created.
+    pub fn generator(&self, spec: &ArrivalSpec, seed: u64) -> Option<Box<dyn ArrivalGen>> {
+        self.resolve(spec).generator(spec, seed)
+    }
+
+    /// The stream-backend [`ArrivalProcess`] a spec describes (see
+    /// [`ArrivalSpec::process`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's process has been removed from the registry since
+    /// the spec was created.
+    pub fn process(&self, spec: &ArrivalSpec, n: usize, seed: u64) -> ArrivalProcess {
+        self.resolve(spec).process(spec, n, seed)
+    }
+
+    fn resolve(&self, spec: &ArrivalSpec) -> Arc<dyn ArrivalFactory> {
+        self.factory(spec.process_name()).unwrap_or_else(|| {
+            panic!(
+                "arrival process '{}' vanished from the registry",
+                spec.process_name()
+            )
+        })
+    }
+
+    /// A human-readable listing of every registered process and its
+    /// parameters (what `--list` prints for the arrival axis).
+    pub fn help(&self) -> String {
+        self.factories.help()
+    }
+}
+
+/// Register a factory with the global registry (sugar over
+/// [`ArrivalRegistry::global`] + [`ArrivalRegistry::register`]).
+pub fn register(factory: Arc<dyn ArrivalFactory>) {
+    ArrivalRegistry::global().register(factory);
+}
+
+// ---------------------------------------------------------------------------
+// Built-in factories and their generators.
+// ---------------------------------------------------------------------------
+
+/// Reject infinite values where a generator needs a finite mean.
+fn require_finite(spec: &ArrivalSpec, key: &str) -> Result<(), String> {
+    if spec.f64_param(key).is_some_and(|v| !v.is_finite()) {
+        return Err(format!("'{key}' must be finite"));
+    }
+    Ok(())
+}
+
+struct PoissonGen {
+    mean_gap: f64,
+    t: f64,
+    rng: StdRng,
+}
+
+impl ArrivalGen for PoissonGen {
+    fn next_arrival(&mut self) -> u64 {
+        // Inverse-CDF exponential sample, identical to the stream backend's
+        // OpenLoopPoisson scheduler so `poisson` specs agree across tiers.
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        self.t += -u.ln() * self.mean_gap;
+        self.t as u64
+    }
+}
+
+struct PoissonFactory;
+
+/// Seed-mixing constant shared with the stream backend's Poisson sampler.
+const POISSON_SEED_MIX: u64 = 0xA881_7A15;
+
+impl ArrivalFactory for PoissonFactory {
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+    fn doc(&self) -> &'static str {
+        "memoryless open-loop arrivals (exponential interarrival gaps)"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[ParamSpec {
+            key: "rate",
+            kind: ParamKind::PositiveF64,
+            doc: "offered load in jobs per million cycles (default 40)",
+        }]
+    }
+    fn validate_spec(&self, spec: &ArrivalSpec) -> Result<(), String> {
+        require_finite(spec, "rate")
+    }
+    fn generator(&self, spec: &ArrivalSpec, seed: u64) -> Option<Box<dyn ArrivalGen>> {
+        let rate = spec.f64_param("rate").unwrap_or(40.0);
+        Some(Box::new(PoissonGen {
+            mean_gap: 1.0e6 / rate,
+            t: 0.0,
+            rng: StdRng::seed_from_u64(seed ^ POISSON_SEED_MIX),
+        }))
+    }
+    fn process(&self, spec: &ArrivalSpec, _n: usize, seed: u64) -> ArrivalProcess {
+        ArrivalProcess::OpenLoopPoisson {
+            jobs_per_mcycle: spec.f64_param("rate").unwrap_or(40.0),
+            seed,
+        }
+    }
+}
+
+struct UniformGen {
+    gap: u64,
+    next: u64,
+}
+
+impl ArrivalGen for UniformGen {
+    fn next_arrival(&mut self) -> u64 {
+        let t = self.next;
+        self.next += self.gap;
+        t
+    }
+}
+
+struct UniformFactory;
+
+impl ArrivalFactory for UniformFactory {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+    fn doc(&self) -> &'static str {
+        "deterministic open-loop arrivals, one every gap cycles"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[ParamSpec {
+            key: "gap",
+            kind: ParamKind::U64,
+            doc: "cycles between consecutive arrivals (default 25000)",
+        }]
+    }
+    fn validate_spec(&self, spec: &ArrivalSpec) -> Result<(), String> {
+        if spec.u64_param("gap") == Some(0) {
+            return Err("'gap' must be at least 1 cycle".into());
+        }
+        Ok(())
+    }
+    fn generator(&self, spec: &ArrivalSpec, _seed: u64) -> Option<Box<dyn ArrivalGen>> {
+        Some(Box::new(UniformGen {
+            gap: spec.u64_param("gap").unwrap_or(25_000),
+            next: 0,
+        }))
+    }
+    fn process(&self, spec: &ArrivalSpec, _n: usize, _seed: u64) -> ArrivalProcess {
+        ArrivalProcess::OpenLoopUniform {
+            interarrival_cycles: spec.u64_param("gap").unwrap_or(25_000),
+        }
+    }
+}
+
+struct ParetoGen {
+    /// Pareto scale `x_m`, chosen so the mean gap hits the requested rate.
+    xm: f64,
+    inv_alpha: f64,
+    t: f64,
+    rng: StdRng,
+}
+
+impl ArrivalGen for ParetoGen {
+    fn next_arrival(&mut self) -> u64 {
+        // Inverse-CDF Pareto sample: X = x_m * U^(-1/alpha), U ∈ (0, 1].
+        let u: f64 = (1.0 - self.rng.gen::<f64>()).max(1e-12);
+        self.t += self.xm * u.powf(-self.inv_alpha);
+        self.t as u64
+    }
+}
+
+struct ParetoFactory;
+
+impl ArrivalFactory for ParetoFactory {
+    fn name(&self) -> &'static str {
+        "pareto"
+    }
+    fn doc(&self) -> &'static str {
+        "heavy-tailed open-loop arrivals (Pareto interarrival gaps)"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "alpha",
+                kind: ParamKind::PositiveF64,
+                doc: "Pareto tail index; must exceed 1 for a finite mean, lower \
+                      is heavier (default 1.5)",
+            },
+            ParamSpec {
+                key: "rate",
+                kind: ParamKind::PositiveF64,
+                doc: "mean offered load in jobs per million cycles (default 40)",
+            },
+        ]
+    }
+    fn validate_spec(&self, spec: &ArrivalSpec) -> Result<(), String> {
+        require_finite(spec, "rate")?;
+        require_finite(spec, "alpha")?;
+        if spec.f64_param("alpha").is_some_and(|a| a <= 1.0) {
+            return Err("'alpha' must exceed 1 (a Pareto tail at or below 1 has no \
+                        finite mean rate)"
+                .into());
+        }
+        Ok(())
+    }
+    fn generator(&self, spec: &ArrivalSpec, seed: u64) -> Option<Box<dyn ArrivalGen>> {
+        let alpha = spec.f64_param("alpha").unwrap_or(1.5);
+        let rate = spec.f64_param("rate").unwrap_or(40.0);
+        let mean_gap = 1.0e6 / rate;
+        // Pareto mean is x_m * alpha / (alpha - 1); invert for x_m.
+        let xm = mean_gap * (alpha - 1.0) / alpha;
+        Some(Box::new(ParetoGen {
+            xm,
+            inv_alpha: 1.0 / alpha,
+            t: 0.0,
+            rng: StdRng::seed_from_u64(seed ^ 0x9A7E_70AA),
+        }))
+    }
+}
+
+/// Thinning (Lewis–Shedler) sampler for rate-modulated Poisson processes:
+/// candidate gaps are drawn at the peak rate and accepted with probability
+/// `rate(t) / peak`, which realises the exact inhomogeneous process.
+struct ModulatedGen<F: Fn(f64) -> f64 + Send> {
+    peak_rate_per_cycle: f64,
+    rate_per_cycle_at: F,
+    t: f64,
+    rng: StdRng,
+}
+
+impl<F: Fn(f64) -> f64 + Send> ArrivalGen for ModulatedGen<F> {
+    fn next_arrival(&mut self) -> u64 {
+        loop {
+            let u: f64 = self.rng.gen::<f64>().max(1e-12);
+            self.t += -u.ln() / self.peak_rate_per_cycle;
+            let accept: f64 = self.rng.gen();
+            if accept * self.peak_rate_per_cycle <= (self.rate_per_cycle_at)(self.t) {
+                return self.t as u64;
+            }
+        }
+    }
+}
+
+struct BurstFactory;
+
+impl ArrivalFactory for BurstFactory {
+    fn name(&self) -> &'static str {
+        "burst"
+    }
+    fn doc(&self) -> &'static str {
+        "square-wave on/off load: Poisson at rate hi for the duty fraction of \
+         each period, lo for the rest"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "period",
+                kind: ParamKind::U64,
+                doc: "burst cycle length in cycles (default 400000)",
+            },
+            ParamSpec {
+                key: "duty",
+                kind: ParamKind::Fraction,
+                doc: "fraction of each period spent at the hi rate, strictly \
+                      between 0 and 1 (default 0.25)",
+            },
+            ParamSpec {
+                key: "hi",
+                kind: ParamKind::PositiveF64,
+                doc: "burst rate in jobs per million cycles (default 160)",
+            },
+            ParamSpec {
+                key: "lo",
+                kind: ParamKind::PositiveF64,
+                doc: "off-burst rate in jobs per million cycles (default 10)",
+            },
+        ]
+    }
+    fn validate_spec(&self, spec: &ArrivalSpec) -> Result<(), String> {
+        require_finite(spec, "hi")?;
+        require_finite(spec, "lo")?;
+        if spec.u64_param("period") == Some(0) {
+            return Err("'period' must be at least 1 cycle".into());
+        }
+        if spec.f64_param("duty").is_some_and(|d| d == 0.0 || d == 1.0) {
+            return Err("'duty' must lie strictly between 0 and 1 (otherwise one \
+                        of the two rates never applies)"
+                .into());
+        }
+        let hi = spec.f64_param("hi").unwrap_or(160.0);
+        let lo = spec.f64_param("lo").unwrap_or(10.0);
+        if lo > hi {
+            return Err(format!("'lo' ({lo}) must not exceed 'hi' ({hi})"));
+        }
+        Ok(())
+    }
+    fn generator(&self, spec: &ArrivalSpec, seed: u64) -> Option<Box<dyn ArrivalGen>> {
+        let period = spec.u64_param("period").unwrap_or(400_000) as f64;
+        let duty = spec.f64_param("duty").unwrap_or(0.25);
+        let hi = spec.f64_param("hi").unwrap_or(160.0) / 1.0e6;
+        let lo = spec.f64_param("lo").unwrap_or(10.0) / 1.0e6;
+        Some(Box::new(ModulatedGen {
+            peak_rate_per_cycle: hi,
+            rate_per_cycle_at: move |t: f64| {
+                if (t % period) < duty * period {
+                    hi
+                } else {
+                    lo
+                }
+            },
+            t: 0.0,
+            rng: StdRng::seed_from_u64(seed ^ 0xB52A_57F1),
+        }))
+    }
+}
+
+struct DiurnalFactory;
+
+impl ArrivalFactory for DiurnalFactory {
+    fn name(&self) -> &'static str {
+        "diurnal"
+    }
+    fn doc(&self) -> &'static str {
+        "sinusoidal day/night load: Poisson at mean*(1 + amp*sin(2*pi*t/period))"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "period",
+                kind: ParamKind::U64,
+                doc: "cycle length of one full day/night swing (default 2000000)",
+            },
+            ParamSpec {
+                key: "mean",
+                kind: ParamKind::PositiveF64,
+                doc: "mean rate in jobs per million cycles (default 40)",
+            },
+            ParamSpec {
+                key: "amp",
+                kind: ParamKind::Fraction,
+                doc: "swing amplitude as a fraction of the mean, 0..1 (default 0.8)",
+            },
+        ]
+    }
+    fn validate_spec(&self, spec: &ArrivalSpec) -> Result<(), String> {
+        require_finite(spec, "mean")?;
+        if spec.u64_param("period") == Some(0) {
+            return Err("'period' must be at least 1 cycle".into());
+        }
+        Ok(())
+    }
+    fn generator(&self, spec: &ArrivalSpec, seed: u64) -> Option<Box<dyn ArrivalGen>> {
+        let period = spec.u64_param("period").unwrap_or(2_000_000) as f64;
+        let mean = spec.f64_param("mean").unwrap_or(40.0) / 1.0e6;
+        let amp = spec.f64_param("amp").unwrap_or(0.8);
+        Some(Box::new(ModulatedGen {
+            peak_rate_per_cycle: mean * (1.0 + amp),
+            rate_per_cycle_at: move |t: f64| {
+                mean * (1.0 + amp * (std::f64::consts::TAU * t / period).sin())
+            },
+            t: 0.0,
+            rng: StdRng::seed_from_u64(seed ^ 0xD1_0BA1),
+        }))
+    }
+}
+
+struct ClosedFactory;
+
+impl ArrivalFactory for ClosedFactory {
+    fn name(&self) -> &'static str {
+        "closed"
+    }
+    fn doc(&self) -> &'static str {
+        "closed loop: a fixed client population, each resubmitting after a \
+         think time (no exogenous schedule)"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "population",
+                kind: ParamKind::U64,
+                doc: "number of concurrent clients (default 4)",
+            },
+            ParamSpec {
+                key: "think",
+                kind: ParamKind::U64,
+                doc: "cycles between a completion and the client's next \
+                      submission (default 20000)",
+            },
+        ]
+    }
+    fn validate_spec(&self, spec: &ArrivalSpec) -> Result<(), String> {
+        if spec.u64_param("population") == Some(0) {
+            return Err("'population' must be at least 1 client".into());
+        }
+        Ok(())
+    }
+    fn generator(&self, _spec: &ArrivalSpec, _seed: u64) -> Option<Box<dyn ArrivalGen>> {
+        None
+    }
+    fn process(&self, spec: &ArrivalSpec, _n: usize, _seed: u64) -> ArrivalProcess {
+        ArrivalProcess::ClosedLoop {
+            population: spec.u64_param("population").unwrap_or(4) as usize,
+            think_cycles: spec.u64_param("think").unwrap_or(20_000),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(spec: &str, n: usize, seed: u64) -> Vec<u64> {
+        let spec: ArrivalSpec = spec.parse().unwrap();
+        let mut gen = spec.generator(seed).unwrap();
+        (0..n).map(|_| gen.next_arrival()).collect()
+    }
+
+    #[test]
+    fn all_builtin_processes_parse_and_display_canonically() {
+        for name in ["poisson", "uniform", "pareto", "burst", "diurnal", "closed"] {
+            let spec: ArrivalSpec = name.parse().unwrap();
+            assert_eq!(spec.process_name(), name);
+            assert_eq!(spec.to_string(), name);
+        }
+        let spec: ArrivalSpec = "pareto:rate=080,alpha=1.50".parse().unwrap();
+        assert_eq!(spec.to_string(), "pareto:alpha=1.5,rate=80");
+        let again: ArrivalSpec = spec.to_string().parse().unwrap();
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn unknown_processes_and_params_are_rejected_with_vocabulary() {
+        let err = "avalanche".parse::<ArrivalSpec>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown arrival process 'avalanche'"), "{msg}");
+        assert!(msg.contains("known processes"), "{msg}");
+        assert!(msg.contains("pareto"), "{msg}");
+        let err = "poisson:burstiness=4".parse::<ArrivalSpec>().unwrap_err();
+        assert!(
+            err.to_string().contains("has no parameter 'burstiness'"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn degenerate_values_are_rejected() {
+        for bad in [
+            "pareto:alpha=1",
+            "pareto:alpha=0.8",
+            "pareto:rate=inf",
+            "poisson:rate=inf",
+            "poisson:rate=0",
+            "uniform:gap=0",
+            "burst:duty=0",
+            "burst:duty=1",
+            "burst:period=0",
+            "burst:hi=10,lo=40",
+            "diurnal:period=0",
+            "closed:population=0",
+        ] {
+            assert!(
+                bad.parse::<ArrivalSpec>().is_err(),
+                "{bad} should not parse"
+            );
+        }
+        assert!("diurnal:amp=1".parse::<ArrivalSpec>().is_ok());
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_non_decreasing() {
+        for spec in [
+            "poisson:rate=100",
+            "uniform:gap=5000",
+            "pareto:alpha=1.5,rate=100",
+            "burst:period=100000,duty=0.3,hi=200,lo=20",
+            "diurnal:period=500000,mean=100,amp=0.9",
+        ] {
+            let a = schedule(spec, 300, 11);
+            let b = schedule(spec, 300, 11);
+            assert_eq!(a, b, "{spec}");
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{spec}: {a:?}");
+            let c = schedule(spec, 300, 12);
+            if spec.starts_with("uniform") {
+                assert_eq!(a, c, "uniform ignores the seed");
+            } else {
+                assert_ne!(a, c, "{spec} should react to the seed");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_rates_are_calibrated() {
+        // Every open-loop process targeting ~100 jobs/Mcycle should produce a
+        // long-run mean gap near 10_000 cycles.
+        for spec in [
+            "poisson:rate=100",
+            "pareto:alpha=2.5,rate=100",
+            "diurnal:period=200000,mean=100,amp=0.8",
+        ] {
+            let times = schedule(spec, 20_000, 5);
+            let mean_gap = *times.last().unwrap() as f64 / times.len() as f64;
+            assert!(
+                (mean_gap - 10_000.0).abs() < 1_200.0,
+                "{spec}: mean gap {mean_gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_gaps_are_heavier_tailed_than_poisson() {
+        let max_gap = |times: &[u64]| times.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        let pareto = schedule("pareto:alpha=1.2,rate=100", 5_000, 3);
+        let poisson = schedule("poisson:rate=100", 5_000, 3);
+        assert!(
+            max_gap(&pareto) > 4 * max_gap(&poisson),
+            "pareto max gap {} vs poisson {}",
+            max_gap(&pareto),
+            max_gap(&poisson)
+        );
+    }
+
+    #[test]
+    fn burst_loads_clump_arrivals() {
+        // With duty 0.2 and hi >> lo, most arrivals land inside the burst
+        // window (the first 20% of each period).
+        let times = schedule("burst:period=1000000,duty=0.2,hi=400,lo=4", 2_000, 9);
+        let in_burst = times.iter().filter(|&&t| (t % 1_000_000) < 200_000).count();
+        assert!(
+            in_burst as f64 > 0.8 * times.len() as f64,
+            "{in_burst} of {} arrivals in burst windows",
+            times.len()
+        );
+    }
+
+    #[test]
+    fn processes_bridge_to_the_stream_backend() {
+        // Native variants where the stream crate has one...
+        let p = ArrivalSpec::poisson(80.0).process(16, 7);
+        assert_eq!(
+            p,
+            ArrivalProcess::OpenLoopPoisson {
+                jobs_per_mcycle: 80.0,
+                seed: 7
+            }
+        );
+        assert_eq!(
+            ArrivalSpec::uniform(500).process(16, 7),
+            ArrivalProcess::OpenLoopUniform {
+                interarrival_cycles: 500
+            }
+        );
+        assert_eq!(
+            ArrivalSpec::closed(3, 90).process(16, 7),
+            ArrivalProcess::ClosedLoop {
+                population: 3,
+                think_cycles: 90
+            }
+        );
+        // ...explicit schedules otherwise, labelled with the canonical spec.
+        let spec = ArrivalSpec::pareto(1.5, 80.0);
+        let p = spec.process(64, 7);
+        assert_eq!(p.label(), "pareto:alpha=1.5,rate=80");
+        let sched = p.open_loop_schedule(64).unwrap();
+        assert_eq!(sched.len(), 64);
+        assert!(sched.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn open_loop_flag_matches_the_generator() {
+        assert!(ArrivalSpec::poisson(40.0).is_open_loop());
+        assert!(ArrivalSpec::burst().is_open_loop());
+        assert!(!ArrivalSpec::closed(2, 100).is_open_loop());
+    }
+
+    #[test]
+    fn help_lists_processes_and_parameters() {
+        let help = ArrivalRegistry::global().help();
+        for needle in [
+            "poisson",
+            "pareto",
+            "alpha=<f64>0>",
+            "duty=<0..1>",
+            "closed",
+        ] {
+            assert!(help.contains(needle), "missing {needle} in:\n{help}");
+        }
+    }
+
+    #[test]
+    fn custom_factories_extend_the_grammar() {
+        struct Tide;
+        impl ArrivalFactory for Tide {
+            fn name(&self) -> &'static str {
+                "test-tide"
+            }
+            fn doc(&self) -> &'static str {
+                "one arrival per 1000 cycles (registered by a unit test)"
+            }
+            fn params(&self) -> &'static [ParamSpec] {
+                &[]
+            }
+            fn generator(&self, _spec: &ArrivalSpec, _seed: u64) -> Option<Box<dyn ArrivalGen>> {
+                Some(Box::new(UniformGen {
+                    gap: 1_000,
+                    next: 0,
+                }))
+            }
+        }
+        register(Arc::new(Tide));
+        let spec: ArrivalSpec = "test-tide".parse().unwrap();
+        let mut gen = spec.generator(0).unwrap();
+        assert_eq!(gen.next_arrival(), 0);
+        assert_eq!(gen.next_arrival(), 1_000);
+        let err = "test-tide:x=1".parse::<ArrivalSpec>().unwrap_err();
+        assert!(err.to_string().contains("takes no parameters"), "{err}");
+    }
+
+    #[test]
+    fn with_param_revalidates() {
+        let spec = ArrivalSpec::burst().with_param("duty", "0.5").unwrap();
+        assert_eq!(spec.to_string(), "burst:duty=0.5");
+        assert!(ArrivalSpec::burst().with_param("duty", "0").is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Core autoscaling: hysteresis over a ladder of core levels.
+//!
+//! The serving tier reuses the engine's core model — a "level" is simply a
+//! core count the machine is re-calibrated for — and steps along the ladder
+//! on load: scale **up** when the jobs-in-system per core exceed the high
+//! water mark, **down** when they fall below the low water mark.  Hysteresis
+//! comes from the gap between the two marks plus a cooldown after every
+//! change, so a load hovering at one threshold cannot make the tier thrash.
+
+/// The autoscaling policy: the core-count ladder and its thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscalePolicy {
+    /// Ascending core counts the tier may run at; the machine is calibrated
+    /// once per level.
+    pub levels: Vec<usize>,
+    /// Scale up when jobs in system per core exceed this.
+    pub up_jobs_per_core: f64,
+    /// Scale down when jobs in system per core fall below this (must be below
+    /// `up_jobs_per_core` for hysteresis to exist).
+    pub down_jobs_per_core: f64,
+    /// Cycles between load evaluations.
+    pub interval_cycles: u64,
+    /// Minimum cycles between two scaling decisions.
+    pub cooldown_cycles: u64,
+}
+
+impl AutoscalePolicy {
+    /// The default ladder for a machine with `max_cores`: quarter, half, and
+    /// full capacity (deduplicated for small machines), evaluated every 50k
+    /// cycles with a 200k-cycle cooldown.
+    pub fn for_cores(max_cores: usize) -> Self {
+        let mut levels: Vec<usize> = [max_cores.div_ceil(4), max_cores.div_ceil(2), max_cores]
+            .into_iter()
+            .collect();
+        levels.dedup();
+        AutoscalePolicy {
+            levels,
+            up_jobs_per_core: 1.5,
+            down_jobs_per_core: 0.5,
+            interval_cycles: 50_000,
+            cooldown_cycles: 200_000,
+        }
+    }
+
+    /// Assert the invariants the scaler relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or non-ascending ladder, a zero level, inverted
+    /// thresholds, or a zero evaluation interval.
+    pub fn validate(&self) {
+        assert!(
+            !self.levels.is_empty(),
+            "autoscale ladder must be non-empty"
+        );
+        assert!(
+            self.levels.iter().all(|&c| c > 0),
+            "autoscale levels must be positive core counts"
+        );
+        assert!(
+            self.levels.windows(2).all(|w| w[0] < w[1]),
+            "autoscale ladder must be strictly ascending: {:?}",
+            self.levels
+        );
+        assert!(
+            self.down_jobs_per_core < self.up_jobs_per_core,
+            "hysteresis requires down ({}) < up ({})",
+            self.down_jobs_per_core,
+            self.up_jobs_per_core
+        );
+        assert!(
+            self.interval_cycles > 0,
+            "evaluation interval must be positive"
+        );
+    }
+}
+
+/// Runtime state of the scaler: current rung, last change, next evaluation.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    policy: AutoscalePolicy,
+    level_idx: usize,
+    last_change: Option<u64>,
+    next_eval: u64,
+}
+
+impl Autoscaler {
+    /// Start at the top rung (the serving tier scales *down* from full
+    /// capacity when load allows, so cold starts never violate SLOs).
+    pub fn new(policy: AutoscalePolicy) -> Self {
+        policy.validate();
+        let level_idx = policy.levels.len() - 1;
+        Autoscaler {
+            policy,
+            level_idx,
+            last_change: None,
+            next_eval: 0,
+        }
+    }
+
+    /// Cores currently online.
+    pub fn cores(&self) -> usize {
+        self.policy.levels[self.level_idx]
+    }
+
+    /// The cycle of the next scheduled evaluation.
+    pub fn next_eval(&self) -> u64 {
+        self.next_eval
+    }
+
+    /// Evaluate the load at `now`; returns the new core count if this tick
+    /// changed the level.  `jobs_in_system` counts active plus queued jobs.
+    pub fn observe(&mut self, now: u64, jobs_in_system: usize) -> Option<usize> {
+        if now < self.next_eval {
+            return None;
+        }
+        self.next_eval = now + self.policy.interval_cycles;
+        if let Some(last) = self.last_change {
+            if now < last + self.policy.cooldown_cycles {
+                return None;
+            }
+        }
+        let per_core = jobs_in_system as f64 / self.cores() as f64;
+        let new_idx = if per_core > self.policy.up_jobs_per_core
+            && self.level_idx + 1 < self.policy.levels.len()
+        {
+            self.level_idx + 1
+        } else if per_core < self.policy.down_jobs_per_core && self.level_idx > 0 {
+            self.level_idx - 1
+        } else {
+            return None;
+        };
+        self.level_idx = new_idx;
+        self.last_change = Some(now);
+        Some(self.cores())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AutoscalePolicy {
+        AutoscalePolicy {
+            levels: vec![2, 4, 8],
+            up_jobs_per_core: 1.5,
+            down_jobs_per_core: 0.5,
+            interval_cycles: 100,
+            cooldown_cycles: 1_000,
+        }
+    }
+
+    #[test]
+    fn default_ladder_ends_at_full_capacity() {
+        let p = AutoscalePolicy::for_cores(8);
+        assert_eq!(p.levels, vec![2, 4, 8]);
+        p.validate();
+        let p = AutoscalePolicy::for_cores(1);
+        assert_eq!(p.levels, vec![1]);
+        p.validate();
+    }
+
+    #[test]
+    fn starts_at_the_top_rung() {
+        assert_eq!(Autoscaler::new(policy()).cores(), 8);
+    }
+
+    #[test]
+    fn scales_down_under_light_load_and_up_under_heavy() {
+        let mut s = Autoscaler::new(policy());
+        // Light load: 1 job on 8 cores → step down one rung per cooldown.
+        assert_eq!(s.observe(0, 1), Some(4));
+        assert_eq!(s.observe(100, 1), None, "cooldown holds");
+        assert_eq!(s.observe(1_000, 1), Some(2));
+        assert_eq!(s.observe(2_000, 1), None, "already at the bottom rung");
+        // Heavy load: 40 jobs on 2 cores → climb back up.
+        assert_eq!(s.observe(3_000, 40), Some(4));
+        assert_eq!(s.observe(4_000, 40), Some(8));
+        assert_eq!(s.observe(5_000, 40), None, "already at the top rung");
+    }
+
+    #[test]
+    fn hysteresis_band_makes_no_change() {
+        let mut s = Autoscaler::new(policy());
+        // 8 cores x ~1.0 jobs/core sits between the marks: stable forever.
+        for tick in 0..20 {
+            assert_eq!(s.observe(tick * 100, 8), None);
+        }
+        assert_eq!(s.cores(), 8);
+    }
+
+    #[test]
+    fn evaluations_respect_the_interval() {
+        let mut s = Autoscaler::new(policy());
+        assert_eq!(s.observe(0, 1), Some(4));
+        // Off-schedule samples are ignored entirely.
+        assert_eq!(s.observe(50, 1_000), None);
+        assert_eq!(s.next_eval(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_ladders_are_rejected() {
+        let mut p = policy();
+        p.levels = vec![4, 2];
+        Autoscaler::new(p);
+    }
+}

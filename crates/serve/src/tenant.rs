@@ -1,0 +1,330 @@
+//! Tenants: who submits traffic, with what share, mix, and latency objective.
+//!
+//! A [`TenantSpec`] is expressed in the same `name:key=value` grammar as every
+//! other axis, except the name is the tenant's own (free-form) identity rather
+//! than a registry key:
+//!
+//! ```text
+//! interactive:weight=3,slo=latency,p99=1500000,mix=class-a
+//! batch:weight=1,slo=batch,mix=class-b
+//! ```
+//!
+//! Several tenants join with `+` (shell-safe, no quoting needed):
+//! `interactive:weight=3+batch:weight=1` — see [`parse_tenants`].
+//!
+//! * `weight` sets the tenant's deficit-round-robin share of dispatch
+//!   bandwidth.
+//! * `slo` names the objective class (`latency` or `batch`) and picks the
+//!   default `p99` sojourn target; `p99` overrides it in cycles.
+//! * `mix` picks the built-in workload mix the tenant's jobs are drawn from
+//!   (`class-a`, `class-b`, or `mixed`).
+
+use pdfws_spec::{SpecErrorKind, Vocab};
+use pdfws_stream::JobMix;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors from parsing or validating a [`TenantSpec`].
+pub type SpecError = pdfws_spec::SpecError;
+
+/// The tenant domain's error wording.
+static TENANT_VOCAB: Vocab = Vocab {
+    subject: "tenant",
+    entity: "tenant",
+    known_label: "known tenants",
+};
+
+/// Default p99 sojourn target for `slo=latency` tenants (cycles).
+pub const DEFAULT_LATENCY_P99_CYCLES: u64 = 2_000_000;
+/// Default p99 sojourn target for `slo=batch` tenants (cycles).
+pub const DEFAULT_BATCH_P99_CYCLES: u64 = 20_000_000;
+
+/// One tenant of the serving tier: identity, fair-share weight, SLO class
+/// with its p99 sojourn target, and the workload mix its jobs are drawn from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    name: String,
+    weight: u32,
+    slo_class: String,
+    p99_target_cycles: u64,
+    mix_name: String,
+}
+
+impl TenantSpec {
+    /// Build a tenant from parts, validating the same constraints parsing
+    /// enforces.
+    pub fn new(
+        name: impl Into<String>,
+        weight: u32,
+        slo_class: &str,
+        p99_target_cycles: u64,
+        mix_name: &str,
+    ) -> Result<Self, SpecError> {
+        let mut params = BTreeMap::new();
+        params.insert("weight".to_string(), weight.to_string());
+        params.insert("slo".to_string(), slo_class.to_string());
+        params.insert("p99".to_string(), p99_target_cycles.to_string());
+        params.insert("mix".to_string(), mix_name.to_string());
+        validate_tenant(name.into(), params)
+    }
+
+    /// The built-in pair most scenarios start from: a weight-3 `interactive`
+    /// latency tenant on class-A traffic plus a weight-1 `batch` tenant on
+    /// class-B traffic.
+    pub fn default_pair() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new(
+                "interactive",
+                3,
+                "latency",
+                DEFAULT_LATENCY_P99_CYCLES,
+                "class-a",
+            )
+            .expect("built-in tenant is valid"),
+            TenantSpec::new("batch", 1, "batch", DEFAULT_BATCH_P99_CYCLES, "class-b")
+                .expect("built-in tenant is valid"),
+        ]
+    }
+
+    /// The tenant's name (free-form identity, not a registry key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Deficit-round-robin dispatch weight (≥ 1).
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// The SLO class label (`"latency"` or `"batch"`) — stamped onto every
+    /// job record the tenant's jobs produce.
+    pub fn slo_class(&self) -> &str {
+        &self.slo_class
+    }
+
+    /// The p99 sojourn target, in cycles.
+    pub fn p99_target_cycles(&self) -> u64 {
+        self.p99_target_cycles
+    }
+
+    /// Name of the built-in workload mix the tenant draws jobs from.
+    pub fn mix_name(&self) -> &str {
+        &self.mix_name
+    }
+
+    /// The tenant's workload mix, with every entry's SLO class stamped to
+    /// this tenant's class.
+    pub fn mix(&self) -> JobMix {
+        let mix = match self.mix_name.as_str() {
+            "class-a" => JobMix::class_a(),
+            "class-b" => JobMix::class_b(),
+            "mixed" => JobMix::mixed(),
+            other => unreachable!("mix '{other}' passed validation"),
+        };
+        let classes: Vec<&str> = (0..mix.tenants())
+            .map(|_| self.slo_class.as_str())
+            .collect();
+        mix.with_slo_classes(&classes)
+    }
+}
+
+impl fmt::Display for TenantSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut params = BTreeMap::new();
+        params.insert("mix".to_string(), self.mix_name.clone());
+        params.insert("p99".to_string(), self.p99_target_cycles.to_string());
+        params.insert("slo".to_string(), self.slo_class.clone());
+        params.insert("weight".to_string(), self.weight.to_string());
+        pdfws_spec::format_spec(f, &self.name, &params)
+    }
+}
+
+impl FromStr for TenantSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, params) = pdfws_spec::parse_spec(s, &TENANT_VOCAB)?;
+        validate_tenant(name, params)
+    }
+}
+
+fn invalid(owner: &str, message: String) -> SpecError {
+    SpecError::new(
+        &TENANT_VOCAB,
+        SpecErrorKind::InvalidCombination {
+            owner: owner.to_string(),
+            message,
+        },
+    )
+}
+
+fn validate_tenant(
+    name: String,
+    params: BTreeMap<String, String>,
+) -> Result<TenantSpec, SpecError> {
+    let mut weight = 1u32;
+    let mut slo_class = "latency".to_string();
+    let mut p99: Option<u64> = None;
+    let mut mix_name = "class-a".to_string();
+    for (key, value) in &params {
+        match key.as_str() {
+            "weight" => {
+                weight = value
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .ok_or_else(|| {
+                        invalid(
+                            &name,
+                            format!("'weight' must be an integer >= 1, got '{value}'"),
+                        )
+                    })?;
+            }
+            "slo" => match value.as_str() {
+                "latency" | "batch" => slo_class = value.clone(),
+                other => {
+                    return Err(invalid(
+                        &name,
+                        format!("'slo' must be 'latency' or 'batch', got '{other}'"),
+                    ))
+                }
+            },
+            "p99" => {
+                p99 = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&t| t >= 1)
+                        .ok_or_else(|| {
+                            invalid(
+                                &name,
+                                format!("'p99' must be a cycle count >= 1, got '{value}'"),
+                            )
+                        })?,
+                );
+            }
+            "mix" => match value.as_str() {
+                "class-a" | "class-b" | "mixed" => mix_name = value.clone(),
+                other => {
+                    return Err(invalid(
+                        &name,
+                        format!("'mix' must be 'class-a', 'class-b' or 'mixed', got '{other}'"),
+                    ))
+                }
+            },
+            other => {
+                return Err(invalid(
+                    &name,
+                    format!("tenant specs have no parameter '{other}' (weight, slo, p99, mix)"),
+                ))
+            }
+        }
+    }
+    let p99_target_cycles = p99.unwrap_or(match slo_class.as_str() {
+        "latency" => DEFAULT_LATENCY_P99_CYCLES,
+        _ => DEFAULT_BATCH_P99_CYCLES,
+    });
+    Ok(TenantSpec {
+        name,
+        weight,
+        slo_class,
+        p99_target_cycles,
+        mix_name,
+    })
+}
+
+/// Parse a `+`-joined tenant list
+/// (`"interactive:weight=3+batch:slo=batch"`) into specs, rejecting empty
+/// lists and duplicate tenant names.
+pub fn parse_tenants(s: &str) -> Result<Vec<TenantSpec>, SpecError> {
+    let mut tenants = Vec::new();
+    for part in s.split('+') {
+        let tenant: TenantSpec = part.parse()?;
+        if tenants
+            .iter()
+            .any(|t: &TenantSpec| t.name() == tenant.name())
+        {
+            return Err(invalid(
+                tenant.name(),
+                "tenant names must be unique in a tenant list".to_string(),
+            ));
+        }
+        tenants.push(tenant);
+    }
+    Ok(tenants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_fill_unset_parameters() {
+        let t: TenantSpec = "web".parse().unwrap();
+        assert_eq!(t.name(), "web");
+        assert_eq!(t.weight(), 1);
+        assert_eq!(t.slo_class(), "latency");
+        assert_eq!(t.p99_target_cycles(), DEFAULT_LATENCY_P99_CYCLES);
+        assert_eq!(t.mix_name(), "class-a");
+        let t: TenantSpec = "nightly:slo=batch".parse().unwrap();
+        assert_eq!(t.p99_target_cycles(), DEFAULT_BATCH_P99_CYCLES);
+    }
+
+    #[test]
+    fn explicit_parameters_override_and_round_trip() {
+        let t: TenantSpec = "api:weight=5,slo=latency,p99=900000,mix=mixed"
+            .parse()
+            .unwrap();
+        assert_eq!(t.weight(), 5);
+        assert_eq!(t.p99_target_cycles(), 900_000);
+        assert_eq!(t.mix_name(), "mixed");
+        let display = t.to_string();
+        assert_eq!(display, "api:mix=mixed,p99=900000,slo=latency,weight=5");
+        let again: TenantSpec = display.parse().unwrap();
+        assert_eq!(again, t);
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        for bad in [
+            "t:weight=0",
+            "t:weight=fast",
+            "t:slo=besteffort",
+            "t:p99=0",
+            "t:mix=class-z",
+            "t:priority=1",
+        ] {
+            assert!(bad.parse::<TenantSpec>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn tenant_mixes_carry_the_slo_class() {
+        let t: TenantSpec = "web:slo=latency,mix=class-b".parse().unwrap();
+        let mix = t.mix();
+        assert_eq!(mix.tenants(), JobMix::class_b().tenants());
+        assert!(mix.slo_classes().iter().all(|c| c == "latency"));
+        let jobs = mix.generate(4, 1);
+        assert!(jobs.iter().all(|j| j.slo_class == "latency"));
+    }
+
+    #[test]
+    fn plus_joined_lists_parse_and_reject_duplicates() {
+        let tenants = parse_tenants("interactive:weight=3+batch:slo=batch,weight=1").unwrap();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].name(), "interactive");
+        assert_eq!(tenants[1].slo_class(), "batch");
+        let err = parse_tenants("a+a:weight=2").unwrap_err();
+        assert!(err.to_string().contains("unique"), "{err}");
+    }
+
+    #[test]
+    fn default_pair_is_an_interactive_batch_split() {
+        let pair = TenantSpec::default_pair();
+        assert_eq!(pair.len(), 2);
+        assert_eq!(pair[0].name(), "interactive");
+        assert!(pair[0].weight() > pair[1].weight());
+        assert!(pair[0].p99_target_cycles() < pair[1].p99_target_cycles());
+    }
+}

@@ -117,6 +117,7 @@ mod tests {
         StreamJob {
             id,
             tenant,
+            slo_class: "none".to_string(),
             workload: pdfws_workloads::WorkloadSpec::unregistered(format!("job{id}")),
             class: WorkloadClass::ComputeBound,
             work: dag.work(),

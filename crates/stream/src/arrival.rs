@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 
 /// How jobs arrive.  Cycles are the simulator's time unit; the thread backend
 /// maps them to wall-clock microseconds.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalProcess {
     /// Open-loop Poisson arrivals at `jobs_per_mcycle` jobs per million cycles
     /// (exponential interarrival gaps), seeded for determinism.
@@ -43,14 +43,29 @@ pub enum ArrivalProcess {
         /// Idle gap between a completion and the client's next submission.
         think_cycles: u64,
     },
+    /// Open-loop arrivals at explicit, precomputed cycles — the bridge from
+    /// richer arrival grammars (the serving tier's Pareto / burst / diurnal
+    /// [`ArrivalSpec`](https://docs.rs/pdfws-serve) generators) into this
+    /// supervisor.  The schedule is behind an [`Arc`](std::sync::Arc) so
+    /// cloning a `StreamConfig` does not copy a potentially million-entry
+    /// schedule.
+    Explicit {
+        /// Non-decreasing arrival cycles.  If a run asks for more jobs than
+        /// the schedule holds, the final gap is repeated; fewer, the prefix is
+        /// used.
+        schedule: std::sync::Arc<Vec<u64>>,
+        /// Table label describing the generating process (e.g.
+        /// `"pareto:alpha=1.5,rate=80"`).
+        label: String,
+    },
 }
 
 impl ArrivalProcess {
     /// Arrival times for `n` jobs under an open-loop process; `None` for
     /// closed-loop processes (their arrivals depend on completions).
     pub fn open_loop_schedule(&self, n: usize) -> Option<Vec<u64>> {
-        match *self {
-            ArrivalProcess::OpenLoopPoisson {
+        match self {
+            &ArrivalProcess::OpenLoopPoisson {
                 jobs_per_mcycle,
                 seed,
             } => {
@@ -73,24 +88,64 @@ impl ArrivalProcess {
                         .collect(),
                 )
             }
-            ArrivalProcess::OpenLoopUniform {
+            &ArrivalProcess::OpenLoopUniform {
                 interarrival_cycles,
             } => Some((0..n as u64).map(|i| i * interarrival_cycles).collect()),
             ArrivalProcess::ClosedLoop { .. } => None,
+            ArrivalProcess::Explicit { schedule, .. } => {
+                assert!(
+                    !schedule.is_empty(),
+                    "an explicit arrival schedule needs at least one cycle"
+                );
+                let mut times: Vec<u64> = schedule.iter().take(n).copied().collect();
+                // Extend by repeating the final gap (or a gap of 1 for a
+                // single-entry schedule) so `n` larger than the schedule still
+                // yields a well-formed open-loop run.
+                let tail_gap = match schedule.as_slice() {
+                    [.., a, b] => (b - a).max(1),
+                    _ => 1,
+                };
+                while times.len() < n {
+                    let last = *times.last().expect("schedule is non-empty");
+                    times.push(last + tail_gap);
+                }
+                Some(times)
+            }
         }
     }
 
     /// The closed-loop population, if this is a closed-loop process.
     pub fn population(&self) -> Option<usize> {
-        match *self {
-            ArrivalProcess::ClosedLoop { population, .. } => Some(population),
+        match self {
+            ArrivalProcess::ClosedLoop { population, .. } => Some(*population),
             _ => None,
+        }
+    }
+
+    /// Build an explicit schedule from precomputed arrival cycles (see
+    /// [`ArrivalProcess::Explicit`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` is empty or decreasing.
+    pub fn explicit(schedule: Vec<u64>, label: impl Into<String>) -> Self {
+        assert!(
+            !schedule.is_empty(),
+            "an explicit arrival schedule needs at least one cycle"
+        );
+        assert!(
+            schedule.windows(2).all(|w| w[0] <= w[1]),
+            "explicit arrival cycles must be non-decreasing"
+        );
+        ArrivalProcess::Explicit {
+            schedule: std::sync::Arc::new(schedule),
+            label: label.into(),
         }
     }
 
     /// Short name used in tables.
     pub fn label(&self) -> String {
-        match *self {
+        match self {
             ArrivalProcess::OpenLoopPoisson {
                 jobs_per_mcycle, ..
             } => format!("poisson@{jobs_per_mcycle}/Mcyc"),
@@ -103,6 +158,7 @@ impl ArrivalProcess {
                 population,
                 think_cycles,
             } => format!("closed@{population}x{think_cycles}"),
+            ArrivalProcess::Explicit { label, .. } => label.clone(),
         }
     }
 }
@@ -164,6 +220,29 @@ mod tests {
             .population(),
             None
         );
+    }
+
+    #[test]
+    fn explicit_schedules_truncate_and_extend_by_the_tail_gap() {
+        let p = ArrivalProcess::explicit(vec![0, 100, 250], "trace:demo");
+        assert_eq!(p.open_loop_schedule(2).unwrap(), vec![0, 100]);
+        assert_eq!(p.open_loop_schedule(3).unwrap(), vec![0, 100, 250]);
+        // Beyond the schedule, the final gap (150) repeats.
+        assert_eq!(
+            p.open_loop_schedule(5).unwrap(),
+            vec![0, 100, 250, 400, 550]
+        );
+        assert_eq!(p.population(), None);
+        assert_eq!(p.label(), "trace:demo");
+        // A one-entry schedule extends by unit gaps (never stalls).
+        let single = ArrivalProcess::explicit(vec![7], "one");
+        assert_eq!(single.open_loop_schedule(3).unwrap(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn explicit_schedules_must_be_sorted() {
+        let _ = ArrivalProcess::explicit(vec![5, 3], "bad");
     }
 
     #[test]

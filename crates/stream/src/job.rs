@@ -12,6 +12,11 @@ pub struct StreamJob {
     pub id: u64,
     /// Tenant the job belongs to (used by the fair-share admission policy).
     pub tenant: u32,
+    /// SLO class label the job was submitted under (`"none"` outside the
+    /// serving tier; tenant-declared classes like `"latency"` / `"batch"`
+    /// when the stream is driven by `pdfws-serve`).  Carried through to the
+    /// job record so JSONL traces can be cut per class.
+    pub slo_class: String,
     /// The canonical workload spec this job was instantiated from
     /// (`"spmv:rows=512,seed=…"`) — carried through to the job record, so
     /// any job in a JSONL trace can be rebuilt.

@@ -57,6 +57,7 @@ pub mod arrival;
 pub mod job;
 pub mod record;
 pub mod sim_backend;
+pub mod sink;
 pub mod source;
 pub mod thread_backend;
 
@@ -66,8 +67,10 @@ pub use job::StreamJob;
 pub use record::{records_from_jsonl, JobRecord, StreamOutcome, StreamSummary};
 pub use sim_backend::{
     run_stream_sim, run_stream_sim_traced, run_stream_sim_traced_with_jobs,
-    run_stream_sim_with_jobs, validate_stream_cfg, StreamConfig,
+    run_stream_sim_with_jobs, run_stream_sim_with_jobs_and_sink, run_stream_sim_with_sink,
+    validate_stream_cfg, StreamConfig,
 };
+pub use sink::{JobSink, RecordBuffer, StreamStats, StreamingStatsSink};
 pub use source::JobMix;
 pub use thread_backend::{
     run_stream_threads, run_stream_threads_traced, ThreadJobRecord, ThreadStreamConfig,

@@ -23,6 +23,9 @@ pub struct JobRecord {
     pub id: u64,
     /// Tenant the job belonged to.
     pub tenant: u32,
+    /// SLO class label the job was submitted under (`"none"` outside the
+    /// serving tier).
+    pub slo_class: String,
     /// Full spec of the workload this job was instantiated from.
     pub workload: WorkloadSpec,
     /// Application class.
@@ -59,13 +62,14 @@ impl JobRecord {
     /// only serialized form of `dispatch_cycle`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"id\":{},\"tenant\":{},\"workload\":{},\"class\":{},\"scheduler\":{},\
+            "{{\"id\":{},\"tenant\":{},\"slo_class\":{},\"workload\":{},\"class\":{},\"scheduler\":{},\
              \"arrival_cycle\":{},\"admit_cycle\":{},\"completion_cycle\":{},\
              \"queue_cycles\":{},\"sojourn_cycles\":{},\"service_cycles\":{},\
              \"instructions\":{},\"l2_mpki\":{:?},\
              \"t_admit\":{},\"t_dispatch\":{},\"t_complete\":{}}}",
             self.id,
             self.tenant,
+            json_string(&self.slo_class),
             json_string(&self.workload.to_string()),
             json_string(&self.class.to_string()),
             json_string(&self.scheduler.to_string()),
@@ -102,9 +106,16 @@ impl JobRecord {
             .parse()
             .map_err(|e| format!("bad workload spec in record: {e}"))?;
         let class: WorkloadClass = get("class")?.as_str()?.parse()?;
+        // Absent in records written before the serving tier existed; those
+        // streams predate SLO classes, so default rather than reject.
+        let slo_class = match get("slo_class") {
+            Ok(v) => v.as_str()?.to_string(),
+            Err(_) => "none".to_string(),
+        };
         Ok(JobRecord {
             id: get("id")?.as_u64()?,
             tenant: get("tenant")?.as_u64()? as u32,
+            slo_class,
             workload,
             class,
             scheduler,
@@ -362,6 +373,7 @@ mod tests {
         JobRecord {
             id,
             tenant: 0,
+            slo_class: "none".to_string(),
             workload: "compute-kernel".parse().unwrap(),
             class: WorkloadClass::ComputeBound,
             scheduler: SchedulerSpec::pdf(),
@@ -474,6 +486,19 @@ mod tests {
         let back = JobRecord::from_json(&line).unwrap();
         assert_eq!(back, r);
         assert_eq!(back.dispatch_cycle, 250);
+    }
+
+    #[test]
+    fn slo_class_round_trips_and_defaults_when_absent() {
+        let mut r = record(1, 500, 50);
+        r.slo_class = "latency".to_string();
+        let line = r.to_json();
+        assert!(line.contains("\"slo_class\":\"latency\""), "{line}");
+        assert_eq!(JobRecord::from_json(&line).unwrap(), r);
+        // Pre-serving-tier JSONL has no slo_class field: default, don't reject.
+        let legacy = line.replace("\"slo_class\":\"latency\",", "");
+        let back = JobRecord::from_json(&legacy).unwrap();
+        assert_eq!(back.slo_class, "none");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::admission::{AdmissionPolicy, AdmissionQueue};
 use crate::arrival::ArrivalProcess;
 use crate::job::StreamJob;
 use crate::record::{JobRecord, StreamOutcome};
+use crate::sink::{JobSink, RecordBuffer, StreamStats};
 use crate::source::JobMix;
 use pdfws_cmp_model::{default_config, CmpConfig, MemSysParams, ModelError};
 use pdfws_schedulers::{
@@ -85,6 +86,7 @@ impl StreamConfig {
 struct ActiveJob {
     id: u64,
     tenant: u32,
+    slo_class: String,
     workload: pdfws_workloads::WorkloadSpec,
     class: pdfws_workloads::WorkloadClass,
     arrival_cycle: u64,
@@ -136,7 +138,57 @@ pub fn run_stream_sim_with_jobs(
     tenants: usize,
     cfg: &StreamConfig,
 ) -> Result<StreamOutcome, ModelError> {
-    stream_sim_impl(jobs, tenants, cfg, None)
+    let mut buffer = RecordBuffer::new();
+    let stats = stream_sim_impl(jobs, tenants, cfg, None, &mut buffer)?;
+    Ok(outcome_from_buffer(cfg, buffer, stats))
+}
+
+/// Run the stream with a caller-supplied [`JobSink`] instead of buffering.
+///
+/// This is the constant-record-memory path: per-job results go straight to
+/// `records` (e.g. a [`StreamingStatsSink`](crate::StreamingStatsSink)) and
+/// only the aggregate [`StreamStats`] come back.  The buffered
+/// [`run_stream_sim`] is exactly this with a [`RecordBuffer`] installed.
+pub fn run_stream_sim_with_sink(
+    mix: &JobMix,
+    n_jobs: usize,
+    cfg: &StreamConfig,
+    records: &mut dyn JobSink,
+) -> Result<StreamStats, ModelError> {
+    validate_stream_cfg(cfg);
+    stream_sim_impl(
+        mix.generate(n_jobs, cfg.seed),
+        mix.tenants(),
+        cfg,
+        None,
+        records,
+    )
+}
+
+/// [`run_stream_sim_with_sink`] over already-sampled jobs.
+pub fn run_stream_sim_with_jobs_and_sink(
+    jobs: Vec<StreamJob>,
+    tenants: usize,
+    cfg: &StreamConfig,
+    records: &mut dyn JobSink,
+) -> Result<StreamStats, ModelError> {
+    stream_sim_impl(jobs, tenants, cfg, None, records)
+}
+
+/// Rebuild the buffered-path `StreamOutcome` from the opt-in buffer.
+fn outcome_from_buffer(
+    cfg: &StreamConfig,
+    buffer: RecordBuffer,
+    stats: StreamStats,
+) -> StreamOutcome {
+    StreamOutcome {
+        scheduler: cfg.scheduler.clone(),
+        cores: cfg.cores,
+        records: buffer.records,
+        admission_order: buffer.admission_order,
+        peak_concurrency: stats.peak_concurrency,
+        makespan_cycles: stats.makespan_cycles,
+    }
 }
 
 /// [`run_stream_sim`] with a trace sink: the supervisor additionally emits
@@ -154,12 +206,15 @@ pub fn run_stream_sim_traced(
     sink: &mut dyn TraceSink,
 ) -> Result<StreamOutcome, ModelError> {
     validate_stream_cfg(cfg);
-    stream_sim_impl(
+    let mut buffer = RecordBuffer::new();
+    let stats = stream_sim_impl(
         mix.generate(n_jobs, cfg.seed),
         mix.tenants(),
         cfg,
         Some(sink),
-    )
+        &mut buffer,
+    )?;
+    Ok(outcome_from_buffer(cfg, buffer, stats))
 }
 
 /// [`run_stream_sim_traced`] over already-sampled jobs (see
@@ -170,16 +225,21 @@ pub fn run_stream_sim_traced_with_jobs(
     cfg: &StreamConfig,
     sink: &mut dyn TraceSink,
 ) -> Result<StreamOutcome, ModelError> {
-    stream_sim_impl(jobs, tenants, cfg, Some(sink))
+    let mut buffer = RecordBuffer::new();
+    let stats = stream_sim_impl(jobs, tenants, cfg, Some(sink), &mut buffer)?;
+    Ok(outcome_from_buffer(cfg, buffer, stats))
 }
 
-/// The supervisor loop shared by the traced and untraced entry points.
+/// The supervisor loop shared by every entry point: per-job results stream
+/// into `records` (buffered or constant-memory, the caller's choice) and only
+/// aggregate [`StreamStats`] come back.
 fn stream_sim_impl(
     jobs: Vec<StreamJob>,
     tenants: usize,
     cfg: &StreamConfig,
     mut sink: Option<&mut dyn TraceSink>,
-) -> Result<StreamOutcome, ModelError> {
+    records: &mut dyn JobSink,
+) -> Result<StreamStats, ModelError> {
     validate_stream_cfg(cfg);
     let mut machine: CmpConfig = default_config(cfg.cores)?;
     if let Some(memsys) = cfg.memsys {
@@ -222,18 +282,17 @@ fn stream_sim_impl(
 
     let mut queue = AdmissionQueue::new(cfg.admission, tenants);
     let mut active: Vec<ActiveJob> = Vec::new();
-    let mut records: Vec<JobRecord> = Vec::with_capacity(n_jobs);
-    let mut admission_order: Vec<u64> = Vec::with_capacity(n_jobs);
+    let mut completed = 0usize;
     let mut last_outstanding: Option<u64> = None;
     let mut peak_concurrency = 0usize;
     let mut now: u64 = 0;
     let mut turn = 0usize;
-    let think = match cfg.arrivals {
-        ArrivalProcess::ClosedLoop { think_cycles, .. } => think_cycles,
+    let think = match &cfg.arrivals {
+        ArrivalProcess::ClosedLoop { think_cycles, .. } => *think_cycles,
         _ => 0,
     };
 
-    while records.len() < n_jobs {
+    while completed < n_jobs {
         // 1. Move every job that has arrived by `now` into the admission queue.
         while let Some(&Reverse((t, id))) = future.peek() {
             if t > now {
@@ -252,10 +311,11 @@ fn stream_sim_impl(
         // 2. Fill free slots according to the admission policy.
         while active.len() < cfg.max_concurrent {
             let Some(job) = queue.pop() else { break };
-            admission_order.push(job.id);
+            records.on_admit(job.id);
             let StreamJob {
                 id,
                 tenant,
+                slo_class,
                 workload,
                 class,
                 dag,
@@ -274,6 +334,7 @@ fn stream_sim_impl(
             active.push(ActiveJob {
                 id,
                 tenant,
+                slo_class,
                 workload,
                 class,
                 arrival_cycle,
@@ -298,9 +359,8 @@ fn stream_sim_impl(
         if active.is_empty() {
             let Some(&Reverse((t, _))) = future.peek() else {
                 panic!(
-                    "stream deadlocked: {} of {} jobs complete, queue {} deep, no future arrivals",
-                    records.len(),
-                    n_jobs,
+                    "stream deadlocked: {completed} of {n_jobs} jobs complete, queue {} deep, \
+                     no future arrivals",
                     queue.len()
                 );
             };
@@ -354,9 +414,11 @@ fn stream_sim_impl(
                     jobs: jobs_now,
                 });
             }
-            records.push(JobRecord {
+            completed += 1;
+            records.on_complete(JobRecord {
                 id: done.id,
                 tenant: done.tenant,
+                slo_class: done.slo_class,
                 workload: done.workload,
                 class: done.class,
                 scheduler: cfg.scheduler.clone(),
@@ -385,11 +447,8 @@ fn stream_sim_impl(
         }
     }
 
-    Ok(StreamOutcome {
-        scheduler: cfg.scheduler.clone(),
-        cores: cfg.cores,
-        records,
-        admission_order,
+    Ok(StreamStats {
+        completed,
         peak_concurrency,
         makespan_cycles: now,
     })

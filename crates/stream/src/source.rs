@@ -31,6 +31,9 @@ pub struct JobMix {
     /// (spec, weight) pairs; the tenant id of a sampled job is the index of
     /// its spec in this list.
     entries: Vec<(WorkloadSpec, u32)>,
+    /// SLO class label per entry (same order as `entries`); `"none"` unless
+    /// [`JobMix::with_slo_classes`] declared otherwise.
+    slo_classes: Vec<String>,
 }
 
 impl JobMix {
@@ -48,10 +51,34 @@ impl JobMix {
             entries.iter().any(|&(_, w)| w > 0),
             "a job mix needs a non-zero weight"
         );
+        let slo_classes = vec!["none".to_string(); entries.len()];
         JobMix {
             name: name.into(),
             entries,
+            slo_classes,
         }
+    }
+
+    /// Declare one SLO class label per entry (tenant), in entry order — the
+    /// label each sampled job (and its [`JobRecord`](crate::JobRecord))
+    /// carries.  The serving tier uses this to cut JSONL traces per class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` does not have exactly one label per entry.
+    pub fn with_slo_classes(mut self, classes: &[&str]) -> Self {
+        assert_eq!(
+            classes.len(),
+            self.entries.len(),
+            "need exactly one SLO class per mix entry"
+        );
+        self.slo_classes = classes.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// The SLO class labels, in tenant (entry) order.
+    pub fn slo_classes(&self) -> &[String] {
+        &self.slo_classes
     }
 
     /// Build a mix from weighted spec *strings*, validating each against the
@@ -167,6 +194,7 @@ impl JobMix {
                 StreamJob {
                     id,
                     tenant: tenant as u32,
+                    slo_class: self.slo_classes[tenant].clone(),
                     class: workload.class(),
                     workload: spec,
                     dag,

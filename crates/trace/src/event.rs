@@ -155,6 +155,22 @@ pub enum TraceEvent {
         /// Jobs in flight.
         jobs: u64,
     },
+    /// A serving-tier job was shed (rejected at admission) because the SLO
+    /// estimator predicted a target violation.
+    JobShed {
+        /// Timestamp.
+        t: TraceTime,
+        /// Stream-unique job id.
+        job: u64,
+    },
+    /// Counter sample: cores the serving tier's autoscaler currently has
+    /// powered on.
+    ActiveCores {
+        /// Timestamp.
+        t: TraceTime,
+        /// Cores online after the scaling decision.
+        cores: u64,
+    },
 }
 
 impl TraceEvent {
@@ -176,7 +192,9 @@ impl TraceEvent {
             | TraceEvent::JobAdmit { t, .. }
             | TraceEvent::JobDispatch { t, .. }
             | TraceEvent::JobComplete { t, .. }
-            | TraceEvent::OutstandingJobs { t, .. } => t,
+            | TraceEvent::OutstandingJobs { t, .. }
+            | TraceEvent::JobShed { t, .. }
+            | TraceEvent::ActiveCores { t, .. } => t,
         }
     }
 
@@ -203,7 +221,9 @@ impl TraceEvent {
             | TraceEvent::JobAdmit { t, .. }
             | TraceEvent::JobDispatch { t, .. }
             | TraceEvent::JobComplete { t, .. }
-            | TraceEvent::OutstandingJobs { t, .. } => *t = at,
+            | TraceEvent::OutstandingJobs { t, .. }
+            | TraceEvent::JobShed { t, .. }
+            | TraceEvent::ActiveCores { t, .. } => *t = at,
         }
         self
     }
@@ -249,6 +269,8 @@ impl TraceEvent {
             TraceEvent::JobDispatch { .. } => "job_dispatch",
             TraceEvent::JobComplete { .. } => "job_complete",
             TraceEvent::OutstandingJobs { .. } => "outstanding_jobs",
+            TraceEvent::JobShed { .. } => "job_shed",
+            TraceEvent::ActiveCores { .. } => "active_cores",
         }
     }
 }
@@ -371,6 +393,8 @@ mod tests {
             TraceEvent::JobDispatch { t: 14, job: 1 },
             TraceEvent::JobComplete { t: 15, job: 1 },
             TraceEvent::OutstandingJobs { t: 16, jobs: 3 },
+            TraceEvent::JobShed { t: 17, job: 2 },
+            TraceEvent::ActiveCores { t: 18, cores: 4 },
         ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.time(), (i + 1) as u64);

@@ -197,6 +197,16 @@ fn push_track(out: &mut Vec<String>, track: &TraceTrack) {
                     "{{\"name\":\"outstanding_jobs\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"jobs\":{jobs}}}}}"
                 ));
             }
+            TraceEvent::JobShed { t, job } => {
+                out.push(format!(
+                    "{{\"name\":\"shed\",\"cat\":\"job\",\"ph\":\"i\",\"id\":{job},\"ts\":{t},\"pid\":{pid},\"tid\":0,\"s\":\"p\"}}"
+                ));
+            }
+            TraceEvent::ActiveCores { t, cores } => {
+                out.push(format!(
+                    "{{\"name\":\"active_cores\",\"ph\":\"C\",\"ts\":{t},\"pid\":{pid},\"args\":{{\"cores\":{cores}}}}}"
+                ));
+            }
         }
     }
 
@@ -329,6 +339,8 @@ mod tests {
                 TraceEvent::JobAdmit { t: 1, job: 42 },
                 TraceEvent::OutstandingJobs { t: 1, jobs: 1 },
                 TraceEvent::JobDispatch { t: 2, job: 42 },
+                TraceEvent::JobShed { t: 3, job: 43 },
+                TraceEvent::ActiveCores { t: 3, cores: 6 },
                 TraceEvent::JobComplete { t: 9, job: 42 },
             ],
         );
@@ -337,6 +349,9 @@ mod tests {
         assert!(json.contains("\"ph\":\"n\",\"id\":42"));
         assert!(json.contains("\"ph\":\"e\",\"id\":42"));
         assert!(json.contains("\"outstanding_jobs\""));
+        assert!(json.contains("\"name\":\"shed\",\"cat\":\"job\",\"ph\":\"i\",\"id\":43"));
+        assert!(json.contains("\"name\":\"active_cores\",\"ph\":\"C\",\"ts\":3"));
+        assert!(json.contains("\"cores\":6"));
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   traffic, reporting.
 //! * [`stream`] — the multiprogrammed job-stream subsystem: open/closed-loop DAG
 //!   arrivals, admission policies, and latency-SLO metrics under load.
+//! * [`serve`] — the multi-tenant serving tier on top of the stream subsystem:
+//!   the open `ArrivalSpec` axis (Poisson/Pareto/burst/diurnal processes),
+//!   weighted tenants with p99 sojourn SLOs, admission control with load
+//!   shedding, core autoscaling, and constant-memory streaming statistics for
+//!   sustained 10⁶–10⁷-job runs.
 //! * [`trace`] — structured event tracing: typed per-core/steal/cache-window
 //!   events, Perfetto (Chrome trace-event) export, and binned timeline tables.
 //! * [`core`](mod@core_api) — the high-level [`Experiment`](core_api::experiment::Experiment)
@@ -56,6 +61,7 @@ pub use pdfws_metrics as metrics;
 pub use pdfws_report as report;
 pub use pdfws_runtime as runtime;
 pub use pdfws_schedulers as schedulers;
+pub use pdfws_serve as serve;
 pub use pdfws_stream as stream;
 pub use pdfws_task_dag as task_dag;
 pub use pdfws_trace as trace;

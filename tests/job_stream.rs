@@ -150,6 +150,32 @@ fn parameterized_specs_drive_the_stream_and_round_trip_through_jsonl() {
 }
 
 #[test]
+fn tenant_and_slo_class_thread_through_records_and_jsonl() {
+    // Every sampled job carries its tenant (mix-entry index) and that
+    // tenant's SLO class, and both survive the JSONL round trip — the
+    // serving tier's per-tenant attribution rides on these fields.
+    let mix = JobMix::class_a().with_slo_classes(&["latency", "latency", "batch"]);
+    let mut cfg = StreamConfig::new(4, SchedulerSpec::pdf());
+    cfg.quantum_cycles = 8_000;
+    let outcome = run_stream_sim(&mix, 12, &cfg).unwrap();
+    for r in &outcome.records {
+        assert!((r.tenant as usize) < mix.tenants(), "job {}", r.id);
+        assert_eq!(
+            r.slo_class,
+            mix.slo_classes()[r.tenant as usize],
+            "job {} must carry its tenant's SLO class",
+            r.id
+        );
+    }
+    assert!(outcome.records.iter().any(|r| r.slo_class == "latency"));
+    let jsonl = outcome.to_jsonl();
+    assert!(jsonl.contains("\"tenant\":"), "records must name a tenant");
+    assert!(jsonl.contains("\"slo_class\":\"latency\""));
+    let parsed = records_from_jsonl(&jsonl).expect("records parse back");
+    assert_eq!(parsed, outcome.records);
+}
+
+#[test]
 fn hybrid_and_lagged_pdf_serve_streams_end_to_end() {
     // The new registered policies are first-class citizens of the stream
     // subsystem, not just the single-DAG simulator.

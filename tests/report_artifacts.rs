@@ -228,7 +228,7 @@ fn paper_suite_anchors_exist_in_paper_md() {
         })
         .collect();
     let suite = ReplicationSuite::paper();
-    assert_eq!(suite.claims().len(), 7);
+    assert_eq!(suite.claims().len(), 8);
     for claim in suite.claims() {
         assert!(
             anchors.iter().any(|a| a == &claim.anchor),
