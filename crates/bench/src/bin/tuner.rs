@@ -1,0 +1,120 @@
+//! Experiment E-tuner: search the scheduler-zoo spec grid (PDF variants, the
+//! parameterized and priced WS variants, hierarchical stealing, the fixed and
+//! adaptive hybrids) over a set of workloads and report, per workload, which
+//! specs sit on the Pareto front of (makespan, L2 MPKI, migrations).
+//!
+//! ```text
+//! cargo run --release -p pdfws-bench --bin tuner [-- --quick] [--threads N]
+//! cargo run --release -p pdfws-bench --bin tuner -- --quick --out target/tuner
+//! cargo run --release -p pdfws-bench --bin tuner -- --workload spmv:rows=8192
+//! ```
+//!
+//! With `--out <dir>` the binary also writes `pareto.csv` (the row-per-cell
+//! artifact pinned by `tests/tuner_pareto.rs` and CI) plus the per-workload
+//! figure CSV/markdown pairs under `<dir>/figures/`.
+
+use pdfws_bench::tuner::{
+    pareto_csv, quick_workloads, rows_from_reports, tuner_figures, tuner_specs, TUNER_CORES,
+};
+use pdfws_bench::{
+    emit_figures, emit_trace, maybe_help, maybe_list, quick_mode, sizes, sweep_reports,
+    text_output, threads_arg, workloads_or,
+};
+use pdfws_core::prelude::*;
+use std::path::PathBuf;
+
+fn main() {
+    maybe_help(
+        "tuner",
+        "Search the scheduler-spec grid and emit the per-workload Pareto front over (makespan, L2 MPKI, migrations)",
+        &[(
+            "--out <dir>",
+            "write pareto.csv plus per-workload figure artifacts under <dir>",
+        )],
+    );
+    maybe_list();
+    let quick = quick_mode();
+    let out_dir = out_dir_arg();
+
+    let workloads = workloads_or(|| {
+        if quick {
+            quick_workloads()
+        } else {
+            vec![
+                MergeSort::new(sizes::MERGESORT_KEYS).into_instance(),
+                SpMv::new(sizes::SPMV_ROWS).into_instance(),
+                ParallelScan::new(sizes::SCAN_N).into_instance(),
+            ]
+        }
+    });
+    let specs = tuner_specs();
+    eprintln!(
+        "# tuning {} workloads x {} specs @ {TUNER_CORES} cores on {} threads ...",
+        workloads.len(),
+        specs.len(),
+        threads_arg()
+    );
+    let reports = sweep_reports(&workloads, &[TUNER_CORES], &specs);
+    let rows = rows_from_reports(&reports, TUNER_CORES, &specs);
+    let figures = tuner_figures(&rows);
+    emit_figures(&figures);
+
+    if text_output() {
+        for figure in &figures {
+            let winners: Vec<&str> = rows
+                .iter()
+                .filter(|r| {
+                    r.pareto
+                        && figure.id == pdfws_report::slug(&format!("tuner-pareto-{}", r.workload))
+                })
+                .map(|r| r.scheduler.as_str())
+                .collect();
+            println!("{}: Pareto front = {}", figure.caption, winners.join(", "));
+        }
+    }
+
+    if let Some(dir) = out_dir {
+        let mut artifacts = pdfws_report::ArtifactSet::new();
+        artifacts.push("pareto.csv", pareto_csv(&rows));
+        for figure in &figures {
+            artifacts.push_figure("figures", figure);
+        }
+        match artifacts.write_to(&dir) {
+            Ok(paths) => eprintln!(
+                "# wrote {} artifact(s) under {}",
+                paths.len(),
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("error: writing artifacts under {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // --trace / --trace-summary: a timeline of the full zoo on the first
+    // workload.
+    if let Some(workload) = workloads.first() {
+        emit_trace(workload, TUNER_CORES, &specs);
+    }
+}
+
+/// Parse `--out <dir>` / `--out=<dir>`.
+fn out_dir_arg() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--out" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        let Some(dir) = value else {
+            eprintln!("error: --out needs a directory argument (e.g. --out target/tuner)");
+            std::process::exit(2);
+        };
+        return Some(PathBuf::from(dir));
+    }
+    None
+}

@@ -58,6 +58,8 @@ pub mod sizes {
     pub const COMPUTE_ITEMS: u64 = 1 << 17;
 }
 
+pub mod tuner;
+
 /// Worker threads for the sweep runner: `--threads N` (or `--threads=N`) on
 /// the command line, else the `PDFWS_THREADS` environment variable, else every
 /// available core.  This is the uniform threading knob of the experiment

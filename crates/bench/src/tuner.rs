@@ -1,0 +1,289 @@
+//! The scheduler-zoo Pareto tuner: sweep a grid of scheduler specs over a set
+//! of workloads and report, per workload, which specs sit on the Pareto front
+//! of the three objectives the paper trades off — makespan (cycles), off-chip
+//! traffic (L2 MPKI) and work movement (migrations), all minimized.
+//!
+//! The `tuner` binary drives this module through [`SweepRunner`]; the root
+//! `tests/tuner_pareto.rs` golden test drives it directly, so the CSV emitted
+//! by `tuner --quick` is pinned byte-for-byte (and bit-identical for every
+//! `--threads` value, like every other sweep in the repo).
+
+use pdfws_core::prelude::*;
+use pdfws_metrics::{Series, Table};
+use pdfws_report::Figure;
+
+/// The core count the tuner evaluates specs at (the paper's mid-range CMP).
+pub const TUNER_CORES: usize = 8;
+
+/// The scheduler-spec grid the tuner searches: the two paper schedulers, the
+/// parameterized WS variants (granularity, victim strategies including
+/// hierarchical, priced stealing), the fixed hybrid and the adaptive hybrid.
+pub fn tuner_specs() -> Vec<SchedulerSpec> {
+    [
+        "pdf",
+        "pdf:lag=4",
+        "ws",
+        "ws:steal=half",
+        "ws:victim=nearest",
+        "ws:victim=hier",
+        "ws:victim=hier,cluster=4",
+        "ws:steal_cycles=64,fail_backoff=128",
+        "hybrid:threshold=16",
+        "adaptive",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("tuner grid specs are valid"))
+    .collect()
+}
+
+/// The default quick-mode workload axis: one bandwidth-limited sort, one
+/// irregular bandwidth-limited kernel, one limited-reuse class-B program.
+/// Shared by the binary's `--quick` path and the golden test, which pins the
+/// resulting [`pareto_csv`] byte-for-byte.
+pub fn quick_workloads() -> Vec<WorkloadInstance> {
+    vec![
+        MergeSort::small().into_instance(),
+        SpMv::small().into_instance(),
+        ParallelScan::small().into_instance(),
+    ]
+}
+
+/// One (workload × spec) cell of the tuner sweep, with its three objective
+/// values and whether it sits on the workload's Pareto front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerRow {
+    /// Canonical workload spec string.
+    pub workload: String,
+    /// Canonical scheduler spec string.
+    pub scheduler: String,
+    /// Core count of the cell.
+    pub cores: usize,
+    /// Makespan in cycles (minimized).
+    pub cycles: u64,
+    /// L2 misses per 1000 instructions (minimized).
+    pub l2_mpki: f64,
+    /// Work migrations (minimized).
+    pub migrations: u64,
+    /// Cycles thieves spent executing priced steals (reported, not an
+    /// objective — it is already part of the makespan).
+    pub steal_cycles: u64,
+    /// Whether no other spec weakly dominates this one on
+    /// (cycles, l2_mpki, migrations).
+    pub pareto: bool,
+}
+
+/// Pareto-front membership for a set of points minimized on every axis:
+/// `flags[i]` is false iff some other point is ≤ on all three objectives and
+/// strictly < on at least one.  Ties (bit-identical objective vectors) are
+/// all kept on the front.
+pub fn pareto_flags(objectives: &[(u64, f64, u64)]) -> Vec<bool> {
+    objectives
+        .iter()
+        .map(|a| {
+            !objectives.iter().any(|b| {
+                b.0 <= a.0 && b.1 <= a.1 && b.2 <= a.2 && (b.0 < a.0 || b.1 < a.1 || b.2 < a.2)
+            })
+        })
+        .collect()
+}
+
+/// Flatten sweep reports into tuner rows: one row per (workload × spec) at
+/// `cores`, in the given order, with Pareto membership computed per workload.
+pub fn rows_from_reports(
+    reports: &[ExperimentReport],
+    cores: usize,
+    specs: &[SchedulerSpec],
+) -> Vec<TunerRow> {
+    let mut rows = Vec::with_capacity(reports.len() * specs.len());
+    for report in reports {
+        let cells: Vec<&RunRecord> = specs
+            .iter()
+            .map(|spec| {
+                report
+                    .find(cores, spec)
+                    .expect("tuner sweep contains every (cores, spec) cell")
+            })
+            .collect();
+        let objectives: Vec<(u64, f64, u64)> = cells
+            .iter()
+            .map(|c| (c.metrics.cycles, c.metrics.l2_mpki(), c.metrics.migrations))
+            .collect();
+        let front = pareto_flags(&objectives);
+        for (cell, on_front) in cells.iter().zip(front) {
+            rows.push(TunerRow {
+                workload: report.workload.clone(),
+                scheduler: cell.scheduler.canonical(),
+                cores,
+                cycles: cell.metrics.cycles,
+                l2_mpki: cell.metrics.l2_mpki(),
+                migrations: cell.metrics.migrations,
+                steal_cycles: cell.metrics.steal_cycles,
+                pareto: on_front,
+            });
+        }
+    }
+    rows
+}
+
+/// The tuner's durable CSV artifact: one line per (workload × spec) row, in
+/// sweep order, with fixed six-decimal MPKI formatting so the bytes are
+/// stable across platforms and thread counts.
+pub fn pareto_csv(rows: &[TunerRow]) -> String {
+    let mut out =
+        String::from("workload,scheduler,cores,cycles,l2_mpki,migrations,steal_cycles,pareto\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{},{},{}\n",
+            csv_field(&r.workload),
+            csv_field(&r.scheduler),
+            r.cores,
+            r.cycles,
+            r.l2_mpki,
+            r.migrations,
+            r.steal_cycles,
+            if r.pareto { 1 } else { 0 },
+        ));
+    }
+    out
+}
+
+/// Quote a CSV field when it needs it — multi-parameter spec strings contain
+/// commas (`ws:cluster=4,victim=hier`).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// One [`Figure`] per workload: the objective values of every spec in the
+/// grid plus a 0/1 `pareto` series marking the front.
+pub fn tuner_figures(rows: &[TunerRow]) -> Vec<Figure> {
+    let mut workloads: Vec<&str> = Vec::new();
+    for r in rows {
+        if workloads.last() != Some(&r.workload.as_str()) {
+            workloads.push(&r.workload);
+        }
+    }
+    workloads
+        .iter()
+        .map(|&workload| {
+            let group: Vec<&TunerRow> = rows.iter().filter(|r| r.workload == workload).collect();
+            let cores = group.first().map_or(TUNER_CORES, |r| r.cores);
+            let x: Vec<String> = group.iter().map(|r| r.scheduler.clone()).collect();
+            let mut table = Table::new(
+                format!("Scheduler-zoo Pareto front: {workload} @ {cores} cores"),
+                "scheduler",
+                x,
+            );
+            table.push_series(Series::new(
+                "cycles",
+                group.iter().map(|r| r.cycles as f64).collect(),
+            ));
+            table.push_series(Series::new(
+                "l2_mpki",
+                group.iter().map(|r| r.l2_mpki).collect(),
+            ));
+            table.push_series(Series::new(
+                "migrations",
+                group.iter().map(|r| r.migrations as f64).collect(),
+            ));
+            table.push_series(Series::new(
+                "steal_cycles",
+                group.iter().map(|r| r.steal_cycles as f64).collect(),
+            ));
+            table.push_series(Series::new(
+                "pareto",
+                group
+                    .iter()
+                    .map(|r| if r.pareto { 1.0 } else { 0.0 })
+                    .collect(),
+            ));
+            Figure::new(
+                &format!("tuner-pareto-{workload}"),
+                format!(
+                    "Pareto front over (makespan, L2 MPKI, migrations) for `{workload}` at {cores} cores"
+                ),
+                table,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_keeps_nondominated_points_and_ties() {
+        // b dominates a (all ≤, cycles <); c trades mpki for cycles; d ties b.
+        let objs = [(100, 1.0, 5), (90, 1.0, 5), (200, 0.5, 5), (90, 1.0, 5)];
+        assert_eq!(pareto_flags(&objs), vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn single_point_is_always_on_the_front() {
+        assert_eq!(pareto_flags(&[(1, 1.0, 1)]), vec![true]);
+    }
+
+    #[test]
+    fn tuner_grid_parses_and_covers_the_zoo() {
+        let specs = tuner_specs();
+        assert_eq!(specs.len(), 10);
+        let names: Vec<String> = specs.iter().map(|s| s.canonical()).collect();
+        assert!(names.contains(&"adaptive".to_string()));
+        assert!(names.contains(&"ws:victim=hier".to_string()));
+        assert!(names.contains(&"ws:fail_backoff=128,steal_cycles=64".to_string()));
+    }
+
+    #[test]
+    fn csv_is_one_line_per_row_with_pinned_header() {
+        let rows = vec![TunerRow {
+            workload: "mergesort:n=4096".into(),
+            scheduler: "pdf".into(),
+            cores: 8,
+            cycles: 1234,
+            l2_mpki: 0.5,
+            migrations: 0,
+            steal_cycles: 0,
+            pareto: true,
+        }];
+        let csv = pareto_csv(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("workload,scheduler,cores,cycles,l2_mpki,migrations,steal_cycles,pareto")
+        );
+        assert_eq!(
+            lines.next(),
+            Some("mergesort:n=4096,pdf,8,1234,0.500000,0,0,1")
+        );
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn figures_group_rows_by_workload() {
+        let row = |workload: &str, scheduler: &str, pareto| TunerRow {
+            workload: workload.into(),
+            scheduler: scheduler.into(),
+            cores: 8,
+            cycles: 10,
+            l2_mpki: 1.0,
+            migrations: 2,
+            steal_cycles: 0,
+            pareto,
+        };
+        let rows = vec![
+            row("a", "pdf", true),
+            row("a", "ws", false),
+            row("b", "pdf", true),
+        ];
+        let figures = tuner_figures(&rows);
+        assert_eq!(figures.len(), 2);
+        assert_eq!(figures[0].id, "tuner-pareto-a");
+        assert_eq!(figures[0].table.rows(), 2);
+        assert_eq!(figures[0].table.series.len(), 5);
+        assert_eq!(figures[1].table.rows(), 1);
+    }
+}

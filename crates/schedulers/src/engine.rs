@@ -24,7 +24,7 @@
 //! descend leftmost-first like the sequential program) and wake idle cores.
 
 use crate::analytic::{profile_for, DagCacheProfile};
-use crate::policy::SchedulerPolicy;
+use crate::policy::{SchedulerPolicy, WindowFeedback};
 use crate::result::SimResult;
 use pdfws_cache_sim::hierarchy::CmpCacheHierarchy;
 use pdfws_cache_sim::working_set::WorkingSetProfiler;
@@ -433,6 +433,17 @@ pub struct SimEngine {
     /// from the issuing core's timeline).
     events: EventQueue,
     idle: Vec<bool>,
+    /// Earliest time each core may be offered work again: a failed victim
+    /// probe under `fail_backoff=N` keeps the thief out of the dispatch scan
+    /// until its backoff expires.  Always 0 under the free-steal model.
+    available_at: Vec<u64>,
+    /// Pending wake event per backed-off core (`u64::MAX` when none is
+    /// queued).  At most one wake is in flight per core — duplicate probes
+    /// would advance the victim-selection RNG and perturb the schedule.
+    wake_at: Vec<u64>,
+    /// Total cycles thieves spent executing priced steals (see
+    /// [`SimResult::steal_cycles`]).
+    steal_cycles: u64,
     remaining_preds: Vec<usize>,
     completed: usize,
     now: u64,
@@ -470,6 +481,14 @@ pub struct SimEngine {
     /// that already ran ahead are re-stamped at the core's local clock —
     /// per-core event streams are monotone non-decreasing by construction.
     trace_core_clock: Vec<u64>,
+    /// Period of the policy feedback windows (`u64::MAX` when the policy does
+    /// not ask for feedback — see [`SchedulerPolicy::feedback_window`]).
+    feedback_window: u64,
+    /// Cycle at which the next policy feedback sample is due.
+    next_feedback_at: u64,
+    /// (cycles, instructions, l2 misses, migrations) totals at the previous
+    /// feedback sample, so windows report deltas.
+    feedback_base: (u64, u64, u64, u64),
 }
 
 impl SimEngine {
@@ -573,6 +592,7 @@ impl SimEngine {
             _ => (CmpCacheHierarchy::new(config), CacheModel::Exact),
         };
         let block_shift = hierarchy.line_bytes().trailing_zeros();
+        let feedback_window = policy.feedback_window().unwrap_or(u64::MAX);
         SimEngine {
             dag,
             config: *config,
@@ -584,6 +604,9 @@ impl SimEngine {
             cores: (0..config.cores).map(|_| CoreState::default()).collect(),
             events: EventQueue::new(),
             idle: vec![true; config.cores],
+            available_at: vec![0; config.cores],
+            wake_at: vec![u64::MAX; config.cores],
+            steal_cycles: 0,
             remaining_preds,
             completed: 0,
             now: 0,
@@ -604,6 +627,9 @@ impl SimEngine {
             cache_sample_base: (0, 0, 0),
             last_ready_depth: None,
             trace_core_clock: vec![0; config.cores],
+            feedback_window,
+            next_feedback_at: feedback_window,
+            feedback_base: (0, 0, 0, 0),
         }
     }
 
@@ -735,6 +761,38 @@ impl SimEngine {
         }
     }
 
+    /// Report a windowed [`WindowFeedback`] sample to the policy if one is due
+    /// at `t` (the end of an engine step).  Policies that do not ask for
+    /// feedback keep `next_feedback_at` at `u64::MAX`, so the inlined fast
+    /// path is a single compare.  Sampling at step ends keeps the observation
+    /// times independent of how a run is quantized through
+    /// [`SimEngine::run_for`], so stepped and un-stepped runs stay
+    /// bit-identical.
+    #[inline]
+    fn sample_feedback(&mut self, t: u64) {
+        if t < self.next_feedback_at {
+            return;
+        }
+        // L2-miss totals per cache model, mirroring `sample_cache_window`.
+        let l2 = match &self.cache_model {
+            CacheModel::Exact => self.hierarchy.stats().l2.misses(),
+            CacheModel::Sampled { rate, .. } => self.hierarchy.stats().l2.misses() * rate,
+            CacheModel::Analytic { l2_miss_credit, .. } => *l2_miss_credit,
+        };
+        let migrations = self.policy.migrations();
+        let (base_t, base_instr, base_l2, base_mig) = self.feedback_base;
+        self.feedback_base = (t, self.instructions, l2, migrations);
+        self.policy.observe_window(WindowFeedback {
+            cycles: t - base_t,
+            instructions: self.instructions - base_instr,
+            l2_misses: l2 - base_l2,
+            migrations: migrations - base_mig,
+        });
+        while self.next_feedback_at <= t {
+            self.next_feedback_at = self.next_feedback_at.saturating_add(self.feedback_window);
+        }
+    }
+
     /// Run the simulation to completion and return the measurements.
     pub fn run(&mut self) -> SimResult {
         let status = self.run_for(u64::MAX);
@@ -764,12 +822,36 @@ impl SimEngine {
         let deadline = self.now.saturating_add(budget);
 
         'events: while let Some((time, _)) = self.events.peek() {
+            if self.completed == self.dag.len() {
+                // Once every task has completed, only dangling backoff wakes
+                // (see `arm_wake`) can remain; drop them without advancing
+                // the clock so they cannot inflate the makespan.
+                self.events.pop();
+                continue;
+            }
             if time > deadline {
                 // Nothing more to do inside this quantum; charge the idle gap.
                 self.now = deadline;
                 return EngineStatus::Running;
             }
             let (mut time, core) = self.events.pop().expect("peeked event exists");
+            if self.wake_at[core] == time {
+                // A backoff-retry wake (see `arm_wake`), not a step event.
+                // Step events only exist for running cores, so if the core is
+                // running at the wake's timestamp the queue necessarily holds
+                // a second `(time, core)` entry for the actual step — consume
+                // this one as the (now stale) wake and let the other proceed.
+                self.wake_at[core] = u64::MAX;
+                if self.cores[core].running.is_some() {
+                    continue 'events;
+                }
+                if time > self.now {
+                    self.now = time;
+                }
+                self.dispatch_idle_cores(self.now);
+                self.emit_ready_depth(self.now);
+                continue 'events;
+            }
             // Step this core repeatedly while it remains *strictly* the
             // earliest event: re-queueing it would only pop it right back, so
             // the pop/push pair per bounded step is skipped entirely.  On a
@@ -799,6 +881,7 @@ impl SimEngine {
                     self.now = end;
                 }
                 self.sample_cache_window(self.now);
+                self.sample_feedback(self.now);
                 if finished {
                     let task = self.cores[core]
                         .running
@@ -882,6 +965,7 @@ impl SimEngine {
             bus_queue_cycles,
             dram_queue_cycles,
             migrations: self.policy.migrations(),
+            steal_cycles: self.steal_cycles,
             hierarchy: match &self.cache_model {
                 CacheModel::Exact => self.hierarchy.stats(),
                 CacheModel::Sampled { rate, .. } => {
@@ -949,6 +1033,7 @@ impl SimEngine {
         let slice = if self.cores[core].analytic.is_some() {
             self.next_disturbance_at
                 .min(self.next_cache_sample_at)
+                .min(self.next_feedback_at)
                 .saturating_sub(start)
                 .min(base_slice.saturating_mul(ANALYTIC_STEP_STRETCH))
                 .max(base_slice)
@@ -1202,9 +1287,7 @@ impl SimEngine {
         self.drain_policy_trace(end);
         // This core asks for work first (keeps locality for LIFO policies), then
         // every idle core gets a chance.
-        if let Some(next) = self.policy.next_task(core) {
-            self.start_task(core, next, end);
-        } else {
+        if !self.poll_policy(core, end) {
             self.idle[core] = true;
             self.emit(TraceEvent::CoreIdle { t: end, core });
         }
@@ -1212,17 +1295,64 @@ impl SimEngine {
         self.emit_ready_depth(end);
     }
 
-    /// Give every idle core a chance to pick up work at time `now`.
+    /// Give every idle core a chance to pick up work at time `now`.  Cores
+    /// still serving a failed-probe backoff are skipped; if work exists, a
+    /// retry wake is queued so they probe again the moment the backoff
+    /// expires.
     fn dispatch_idle_cores(&mut self, now: u64) {
         for core in 0..self.cores.len() {
             if self.idle[core] {
-                if let Some(task) = self.policy.next_task(core) {
-                    self.start_task(core, task, now);
+                if self.available_at[core] > now {
+                    if self.policy.ready_count() > 0 {
+                        self.arm_wake(core);
+                    }
+                    continue;
                 }
+                self.poll_policy(core, now);
             }
         }
         // Flush steal attempts/successes buffered by the `next_task` calls.
         self.drain_policy_trace(now);
+    }
+
+    /// Ask the policy for work for `core` at `now`, charging any dispatch
+    /// cost it reports (see [`SchedulerPolicy::take_dispatch_cost`]) as real
+    /// simulated cycles.  A successful steal priced at `c` cycles occupies
+    /// the thief for `c` cycles before the stolen task starts; a failed probe
+    /// with a backoff keeps the core out of the dispatch scan until the
+    /// backoff expires.  Returns whether a task was started.
+    fn poll_policy(&mut self, core: usize, now: u64) -> bool {
+        match self.policy.next_task(core) {
+            Some(task) => {
+                let cost = self.policy.take_dispatch_cost();
+                if cost > 0 {
+                    self.cores[core].busy_cycles += cost;
+                    self.steal_cycles += cost;
+                }
+                self.start_task(core, task, now + cost);
+                true
+            }
+            None => {
+                let cost = self.policy.take_dispatch_cost();
+                if cost > 0 {
+                    self.available_at[core] = now + cost;
+                    if self.policy.ready_count() > 0 {
+                        self.arm_wake(core);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Queue a retry event for a backed-off idle core — at most one per core
+    /// at a time, since a duplicate probe would advance the victim-selection
+    /// RNG and perturb the schedule.
+    fn arm_wake(&mut self, core: usize) {
+        if self.wake_at[core] == u64::MAX {
+            self.wake_at[core] = self.available_at[core];
+            self.events.push(self.available_at[core], core);
+        }
     }
 
     fn start_task(&mut self, core: usize, task: TaskId, now: u64) {

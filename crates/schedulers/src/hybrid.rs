@@ -13,10 +13,12 @@
 //!
 //! Post-switch behaviour is literally a [`WorkStealingPolicy`]: the hybrid
 //! delegates to an embedded instance rather than re-implementing deques, so
-//! the WS parameters (victim selection, steal granularity, seed) are
-//! available to the hybrid too.
+//! the WS parameters (victim selection — including `victim=hier` with
+//! `cluster=N` — steal granularity, seed, and the steal prices
+//! `steal_cycles`/`fail_backoff`) are available to the hybrid too.
 //!
-//! Spec form: `hybrid:threshold=N[,victim=...,steal=...,seed=...]`
+//! Spec form:
+//! `hybrid:threshold=N[,victim=...,steal=...,seed=...,cluster=...,steal_cycles=...,fail_backoff=...]`
 //! (default `N = 2 × cores`; the other parameters default like `ws`).
 
 use crate::policy::SchedulerPolicy;
@@ -75,23 +77,8 @@ impl HybridPolicy {
         // Inert parameters are dropped — a seed only matters for the random
         // victim — so the synthesized name always re-parses through
         // `SchedulerSpec::from_str` (the factories reject inert combinations).
-        let mut params = std::collections::BTreeMap::new();
+        let mut params = crate::ws::ws_spec_params(victim, steal, seed, 0, 0);
         params.insert("threshold".to_string(), threshold.to_string());
-        if steal == StealGranularity::Half {
-            params.insert("steal".to_string(), "half".to_string());
-        }
-        match victim {
-            VictimSelect::RoundRobin => {}
-            VictimSelect::Random => {
-                params.insert("victim".to_string(), "random".to_string());
-                if seed != 0 {
-                    params.insert("seed".to_string(), seed.to_string());
-                }
-            }
-            VictimSelect::Nearest => {
-                params.insert("victim".to_string(), "nearest".to_string());
-            }
-        }
         let name = crate::spec::SchedulerSpec::known_valid("hybrid", params).canonical();
         HybridPolicy {
             name,
@@ -103,6 +90,18 @@ impl HybridPolicy {
             tracing: false,
             pending: Vec::new(),
         }
+    }
+
+    /// Price the deque mode's stealing (see [`WorkStealingPolicy::priced`]):
+    /// `steal_cycles` per successful steal, `fail_backoff` after an empty
+    /// scan.  Zero keeps free steals bit-identically.
+    pub fn priced(mut self, steal_cycles: u64, fail_backoff: u64) -> Self {
+        self.ws = self.ws.priced(steal_cycles, fail_backoff);
+        let (victim, steal, seed, sc, fb) = self.ws.options();
+        let mut params = crate::ws::ws_spec_params(victim, steal, seed, sc, fb);
+        params.insert("threshold".to_string(), self.threshold.to_string());
+        self.name = crate::spec::SchedulerSpec::known_valid("hybrid", params).canonical();
+        self
     }
 
     /// Replace the reported name (the registry passes the canonical spec string).
@@ -177,6 +176,12 @@ impl SchedulerPolicy for HybridPolicy {
 
     fn migrations(&self) -> u64 {
         self.ws.migrations()
+    }
+
+    fn take_dispatch_cost(&mut self) -> u64 {
+        // Pre-switch dispatch (heap pops) is free; the embedded WS instance
+        // reports 0 until the switch, so unconditional delegation is exact.
+        self.ws.take_dispatch_cost()
     }
 
     fn trace_enable(&mut self) {
@@ -313,6 +318,14 @@ mod tests {
             tuned.name(),
             "hybrid:seed=7,steal=half,threshold=5,victim=random"
         );
+        assert_eq!(
+            HybridPolicy::new(2, 5).priced(64, 128).name(),
+            "hybrid:fail_backoff=128,steal_cycles=64,threshold=5"
+        );
+        assert_eq!(
+            HybridPolicy::new(2, 5).priced(0, 0).name(),
+            "hybrid:threshold=5"
+        );
     }
 
     #[test]
@@ -324,14 +337,24 @@ mod tests {
             VictimSelect::RoundRobin,
             VictimSelect::Random,
             VictimSelect::Nearest,
+            VictimSelect::Hier { cluster: 2 },
+            VictimSelect::Hier { cluster: 3 },
         ] {
             for steal in [StealGranularity::One, StealGranularity::Half] {
                 for seed in [0u64, 7] {
-                    let name = HybridPolicy::with_ws_options(2, 3, victim, steal, seed).name();
-                    let spec: SchedulerSpec = name
-                        .parse()
-                        .unwrap_or_else(|e| panic!("'{name}' does not re-parse: {e}"));
-                    assert_eq!(spec.canonical(), name, "{victim:?}/{steal:?}/seed={seed}");
+                    for (sc, fb) in [(0u64, 0u64), (16, 99)] {
+                        let name = HybridPolicy::with_ws_options(2, 3, victim, steal, seed)
+                            .priced(sc, fb)
+                            .name();
+                        let spec: SchedulerSpec = name
+                            .parse()
+                            .unwrap_or_else(|e| panic!("'{name}' does not re-parse: {e}"));
+                        assert_eq!(
+                            spec.canonical(),
+                            name,
+                            "{victim:?}/{steal:?}/seed={seed}/{sc}/{fb}"
+                        );
+                    }
                 }
             }
         }

@@ -12,8 +12,11 @@
 //! pdf:lag=4                            PDF with a bounded priority-lag window
 //! ws                                   classic work stealing
 //! ws:victim=random,steal=half,seed=7   parameterized work stealing
+//! ws:steal_cycles=64,fail_backoff=128  priced stealing (cycles charged to the thief)
+//! ws:victim=hier,cluster=4             hierarchical stealing (prefer same-cluster victims)
 //! static                               static round-robin partitioning
 //! hybrid:threshold=2                   PDF until ready depth > 2, then deques
+//! adaptive                             hybrid that tunes its threshold online
 //! ```
 //!
 //! Specs resolve through the [`registry`] — a name-keyed set of
@@ -35,10 +38,15 @@
 //!   core enables are pushed onto its own deque; the owner pops from the top
 //!   (LIFO, depth-first locally), and a core whose deque is empty steals from the
 //!   *bottom* of a victim's deque.  `victim=` picks the scan strategy
-//!   (round-robin / seeded-random / nearest-neighbour), `steal=` the
-//!   granularity (one task or half the deque).
+//!   (round-robin / seeded-random / nearest-neighbour / hierarchical), `steal=`
+//!   the granularity (one task or half the deque), and `steal_cycles=` /
+//!   `fail_backoff=` price the steal protocol in real simulated cycles.
 //! * [`hybrid::HybridPolicy`] — PDF while the ready queue is shallow, per-core
 //!   deques once its depth exceeds `threshold`.
+//! * [`adaptive::AdaptivePolicy`] — a hybrid whose threshold is tuned *online*
+//!   from windowed feedback (L2 MPKI plus migration rate) the engine reports
+//!   back through [`policy::WindowFeedback`]; under sustained cache pressure it
+//!   falls back from deques to the PDF heap.
 //! * [`static_partition::StaticPartitionPolicy`] — an SMP-style baseline that
 //!   assigns ready tasks to cores statically (round-robin by task id) with FIFO
 //!   per-core queues; used by the coarse-grained-threading experiment.
@@ -79,6 +87,7 @@
 //! assert_eq!(ws.scheduler, "ws:steal=half");
 //! ```
 
+pub mod adaptive;
 pub mod analytic;
 pub mod engine;
 pub mod hybrid;
@@ -91,6 +100,7 @@ pub mod spec;
 pub mod static_partition;
 pub mod ws;
 
+pub use adaptive::{tuned_threshold, window_pressure, AdaptiveConfig, AdaptivePolicy};
 pub use analytic::{DagCacheProfile, TaskCacheCosts};
 pub use engine::{Disturbance, EngineStatus, SimEngine, SimOptions};
 pub use hybrid::HybridPolicy;
@@ -98,7 +108,7 @@ pub use hybrid::HybridPolicy;
 pub use kind::SchedulerKind;
 pub use pdf::PdfPolicy;
 pub use pdfws_cache_sim::{CacheModeRegistry, CacheModeSpec};
-pub use policy::SchedulerPolicy;
+pub use policy::{SchedulerPolicy, WindowFeedback};
 pub use registry::{register, ParamKind, ParamSpec, PolicyFactory, Registry};
 pub use result::SimResult;
 pub use spec::{SchedulerSpec, SpecError};
@@ -218,7 +228,15 @@ mod tests {
         .unwrap();
         let cfg = pdfws_cmp_model::default_config(4).unwrap();
         let options = SimOptions::default();
-        for spec in ["pdf", "ws", "static", "hybrid:threshold=2"] {
+        for spec in [
+            "pdf",
+            "ws",
+            "static",
+            "hybrid:threshold=2",
+            "adaptive",
+            "ws:steal_cycles=64,fail_backoff=128",
+            "ws:victim=hier,cluster=2",
+        ] {
             let spec: SchedulerSpec = spec.parse().unwrap();
             let plain = simulate(&dag, &cfg, &spec, &options);
             let (traced, events) = simulate_traced(&dag, &cfg, &spec, &options);

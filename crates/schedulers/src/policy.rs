@@ -15,6 +15,35 @@
 use pdfws_task_dag::{TaskDag, TaskId};
 use pdfws_trace::PolicyEvent;
 
+/// One feedback window of engine-observed counters, delivered to policies that
+/// request online feedback via [`SchedulerPolicy::feedback_window`].
+///
+/// All counts are *deltas* accumulated since the previous window (the engine
+/// keeps the running bases), so a policy can derive rates — MPKI, migrations
+/// per kilo-instruction — without tracking engine totals itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowFeedback {
+    /// Simulated cycles the window spans.
+    pub cycles: u64,
+    /// Instructions executed during the window (all cores).
+    pub instructions: u64,
+    /// Shared-L2 misses during the window.
+    pub l2_misses: u64,
+    /// Work migrations (steals, cross-core placements) during the window.
+    pub migrations: u64,
+}
+
+impl WindowFeedback {
+    /// L2 misses per kilo-instruction over this window (0 when no
+    /// instructions retired — an all-stall window carries no signal).
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.l2_misses as f64 * 1000.0 / self.instructions as f64
+    }
+}
+
 /// A scheduling policy: decides which ready task each free core executes next.
 ///
 /// Implementations must be deterministic: given the same sequence of calls they
@@ -65,6 +94,37 @@ pub trait SchedulerPolicy {
     fn migrations(&self) -> u64 {
         0
     }
+
+    /// Cycles of dispatch overhead incurred by the *most recent*
+    /// [`next_task`](SchedulerPolicy::next_task) call, consumed by the engine.
+    ///
+    /// Priced policies (e.g. `ws:steal_cycles=N,fail_backoff=M`) report the
+    /// cost of a successful steal (charged to the thief core before the stolen
+    /// task starts) or of a failed victim probe (the thief backs off and stays
+    /// idle for that long).  The engine calls this exactly once after every
+    /// `next_task` and must observe 0 on the next call until another
+    /// `next_task` happens — hence "take".  The default is free dispatch.
+    fn take_dispatch_cost(&mut self) -> u64 {
+        0
+    }
+
+    /// Ask the policy whether it wants periodic [`WindowFeedback`] deliveries,
+    /// and at what cycle granularity.
+    ///
+    /// The engine reads this once at simulation start.  `None` (the default)
+    /// means the policy is open-loop and the engine skips feedback bookkeeping
+    /// entirely; `Some(w)` requests a delivery roughly every `w` simulated
+    /// cycles (sampled at task-step boundaries, so delivery times are
+    /// deterministic and independent of `run_for` quantization).
+    fn feedback_window(&self) -> Option<u64> {
+        None
+    }
+
+    /// Deliver one window of observed counters to a feedback-driven policy.
+    ///
+    /// Only called when [`feedback_window`](SchedulerPolicy::feedback_window)
+    /// returned `Some`.  The default ignores the delivery.
+    fn observe_window(&mut self, _feedback: WindowFeedback) {}
 
     /// Switch on buffering of scheduler-internal trace events.
     ///
@@ -154,6 +214,7 @@ pub(crate) mod testing {
 #[cfg(test)]
 mod tests {
     use super::testing::*;
+    use crate::adaptive::AdaptivePolicy;
     use crate::hybrid::HybridPolicy;
     use crate::pdf::PdfPolicy;
     use crate::static_partition::StaticPartitionPolicy;
@@ -169,6 +230,7 @@ mod tests {
                 &mut WorkStealingPolicy::new(cores),
                 &mut StaticPartitionPolicy::new(cores),
                 &mut HybridPolicy::new(cores, 3),
+                &mut AdaptivePolicy::new(cores, 3),
             ] {
                 let started = drain_policy(&dag, policy, cores);
                 assert_eq!(
@@ -201,6 +263,7 @@ mod tests {
                 &mut WorkStealingPolicy::new(cores),
                 &mut StaticPartitionPolicy::new(cores),
                 &mut HybridPolicy::new(cores, 2),
+                &mut AdaptivePolicy::new(cores, 2),
             ] {
                 let started = drain_policy(&dag, policy, cores);
                 // In drain_policy a task only becomes ready after its predecessors

@@ -5,7 +5,7 @@
 //! type-check values and produce helpful unknown-key errors *before* anything
 //! is built, and builds the policy object from a validated spec.  The global
 //! registry starts with the built-in policies (`pdf`, `ws`, `static`,
-//! `hybrid`) and is open for extension: register your own factory and its name
+//! `hybrid`, `adaptive`) and is open for extension: register your own factory and its name
 //! becomes parseable everywhere a spec string is accepted — experiments,
 //! stream configs, bench binaries (see `examples/custom_policy.rs`).
 //!
@@ -17,6 +17,7 @@
 //!
 //! [`WorkloadRegistry`]: https://docs.rs/pdfws-workloads
 
+use crate::adaptive::{AdaptiveConfig, AdaptivePolicy};
 use crate::hybrid::HybridPolicy;
 use crate::pdf::PdfPolicy;
 use crate::policy::SchedulerPolicy;
@@ -97,6 +98,7 @@ impl Registry {
         reg.register(Arc::new(WsFactory));
         reg.register(Arc::new(StaticFactory));
         reg.register(Arc::new(HybridFactory));
+        reg.register(Arc::new(AdaptiveFactory));
         reg
     }
 
@@ -214,9 +216,10 @@ impl PolicyFactory for WsFactory {
         &[
             ParamSpec {
                 key: "victim",
-                kind: ParamKind::Choice(&["round-robin", "random", "nearest"]),
+                kind: ParamKind::Choice(&["round-robin", "random", "nearest", "hier"]),
                 doc: "victim selection: scan round-robin from the thief (default), \
-                      seeded-random start, or nearest-neighbour by core distance",
+                      seeded-random start, nearest-neighbour by core distance, or \
+                      hierarchical (same cluster first, then spill outward)",
             },
             ParamSpec {
                 key: "steal",
@@ -229,32 +232,62 @@ impl PolicyFactory for WsFactory {
                 kind: ParamKind::U64,
                 doc: "seed for victim=random (default 0)",
             },
+            ParamSpec {
+                key: "cluster",
+                kind: ParamKind::U64,
+                doc: "cores per cluster for victim=hier (default 2)",
+            },
+            ParamSpec {
+                key: "steal_cycles",
+                kind: ParamKind::U64,
+                doc: "cycles a successful steal occupies the thief core (default 0 = \
+                      the paper's free-steal model)",
+            },
+            ParamSpec {
+                key: "fail_backoff",
+                kind: ParamKind::U64,
+                doc: "idle back-off cycles after a victim scan finds every deque \
+                      empty (default 0 = re-probe at the next event)",
+            },
         ]
     }
     fn validate_spec(&self, spec: &SchedulerSpec) -> Result<(), String> {
-        seed_requires_random_victim(spec)
+        seed_requires_random_victim(spec)?;
+        cluster_requires_hier_victim(spec)
     }
     fn build(&self, spec: &SchedulerSpec, cores: usize) -> Box<dyn SchedulerPolicy> {
-        let (victim, steal, seed) = ws_options_of(spec);
+        let (victim, steal, seed, steal_cycles, fail_backoff) = ws_options_of(spec);
         Box::new(
-            WorkStealingPolicy::with_options(cores, victim, steal, seed).named(spec.canonical()),
+            WorkStealingPolicy::with_options(cores, victim, steal, seed)
+                .priced(steal_cycles, fail_backoff)
+                .named(spec.canonical()),
         )
     }
 }
 
-/// Decode the shared work-stealing parameters (`victim`, `steal`, `seed`)
-/// from a validated spec (used by both the `ws` and `hybrid` factories).
-fn ws_options_of(spec: &SchedulerSpec) -> (VictimSelect, StealGranularity, u64) {
+/// Decode the shared work-stealing parameters (`victim` — including the
+/// hierarchical geometry — `steal`, `seed`, and the steal prices) from a
+/// validated spec (used by the `ws`, `hybrid` and `adaptive` factories).
+fn ws_options_of(spec: &SchedulerSpec) -> (VictimSelect, StealGranularity, u64, u64, u64) {
     let victim = match spec.param("victim").unwrap_or("round-robin") {
         "random" => VictimSelect::Random,
         "nearest" => VictimSelect::Nearest,
+        "hier" => VictimSelect::Hier {
+            cluster: spec.u64_param("cluster", crate::ws::DEFAULT_CLUSTER as u64) as usize,
+        },
         _ => VictimSelect::RoundRobin,
     };
     let steal = match spec.param("steal").unwrap_or("one") {
         "half" => StealGranularity::Half,
         _ => StealGranularity::One,
     };
-    (victim, steal, spec.u64_param("seed", 0))
+    (
+        victim,
+        steal,
+        spec.u64_param("seed", 0),
+        spec.u64_param("steal_cycles", 0),
+        spec.u64_param("fail_backoff", 0),
+    )
 }
 
 /// A `seed` with any victim strategy other than `random` would be silently
@@ -263,6 +296,18 @@ fn ws_options_of(spec: &SchedulerSpec) -> (VictimSelect, StealGranularity, u64) 
 fn seed_requires_random_victim(spec: &SchedulerSpec) -> Result<(), String> {
     if spec.param("seed").is_some() && spec.param("victim") != Some("random") {
         return Err("'seed' only affects victim=random; add victim=random or drop seed".into());
+    }
+    Ok(())
+}
+
+/// Same inert-parameter discipline for the hierarchical geometry: `cluster`
+/// only shapes the `hier` victim scan.
+fn cluster_requires_hier_victim(spec: &SchedulerSpec) -> Result<(), String> {
+    if spec.param("cluster").is_some() && spec.param("victim") != Some("hier") {
+        return Err("'cluster' only affects victim=hier; add victim=hier or drop cluster".into());
+    }
+    if spec.param("cluster") == Some("0") {
+        return Err("'cluster' must be at least 1 core".into());
     }
     Ok(())
 }
@@ -303,7 +348,7 @@ impl PolicyFactory for HybridFactory {
             },
             ParamSpec {
                 key: "victim",
-                kind: ParamKind::Choice(&["round-robin", "random", "nearest"]),
+                kind: ParamKind::Choice(&["round-robin", "random", "nearest", "hier"]),
                 doc: "victim selection for the post-switch deque mode (as in ws)",
             },
             ParamSpec {
@@ -316,19 +361,151 @@ impl PolicyFactory for HybridFactory {
                 kind: ParamKind::U64,
                 doc: "seed for victim=random (default 0)",
             },
+            ParamSpec {
+                key: "cluster",
+                kind: ParamKind::U64,
+                doc: "cores per cluster for victim=hier (default 2)",
+            },
+            ParamSpec {
+                key: "steal_cycles",
+                kind: ParamKind::U64,
+                doc: "cycles a successful post-switch steal occupies the thief (default 0)",
+            },
+            ParamSpec {
+                key: "fail_backoff",
+                kind: ParamKind::U64,
+                doc: "post-switch idle back-off cycles after an all-empty victim scan \
+                      (default 0)",
+            },
         ]
     }
     fn validate_spec(&self, spec: &SchedulerSpec) -> Result<(), String> {
-        seed_requires_random_victim(spec)
+        seed_requires_random_victim(spec)?;
+        cluster_requires_hier_victim(spec)
     }
     fn build(&self, spec: &SchedulerSpec, cores: usize) -> Box<dyn SchedulerPolicy> {
         let threshold = spec.u64_param("threshold", 2 * cores as u64) as usize;
-        let (victim, steal, seed) = ws_options_of(spec);
+        let (victim, steal, seed, steal_cycles, fail_backoff) = ws_options_of(spec);
         Box::new(
             HybridPolicy::with_ws_options(cores, threshold, victim, steal, seed)
+                .priced(steal_cycles, fail_backoff)
                 .named(spec.canonical()),
         )
     }
+}
+
+struct AdaptiveFactory;
+
+impl PolicyFactory for AdaptiveFactory {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+    fn doc(&self) -> &'static str {
+        "self-tuning hybrid: the PDF -> deques threshold tracks windowed MPKI + \
+         migration pressure, hot deque phases drain back to the global queue"
+    }
+    fn params(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "threshold",
+                kind: ParamKind::U64,
+                doc: "initial PDF -> deques switch threshold (default: 2 x cores; \
+                      tuned online from there)",
+            },
+            ParamSpec {
+                key: "window",
+                kind: ParamKind::U64,
+                doc: "feedback-window length in simulated cycles (default 4096; \
+                      must be non-zero)",
+            },
+            ParamSpec {
+                key: "step",
+                kind: ParamKind::U64,
+                doc: "threshold adjustment per out-of-band window (default 1)",
+            },
+            ParamSpec {
+                key: "lo",
+                kind: ParamKind::PositiveF64,
+                doc: "lower pressure band in MPKI + migrations/KI; below it the \
+                      threshold decays towards deque mode (default 0.5)",
+            },
+            ParamSpec {
+                key: "hi",
+                kind: ParamKind::PositiveF64,
+                doc: "upper pressure band; above it the threshold grows and a \
+                      running deque phase is abandoned (default 4)",
+            },
+            ParamSpec {
+                key: "victim",
+                kind: ParamKind::Choice(&["round-robin", "random", "nearest", "hier"]),
+                doc: "victim selection for the deque mode (as in ws)",
+            },
+            ParamSpec {
+                key: "steal",
+                kind: ParamKind::Choice(&["one", "half"]),
+                doc: "steal granularity for the deque mode (as in ws)",
+            },
+            ParamSpec {
+                key: "seed",
+                kind: ParamKind::U64,
+                doc: "seed for victim=random (default 0)",
+            },
+            ParamSpec {
+                key: "cluster",
+                kind: ParamKind::U64,
+                doc: "cores per cluster for victim=hier (default 2)",
+            },
+            ParamSpec {
+                key: "steal_cycles",
+                kind: ParamKind::U64,
+                doc: "cycles a successful deque-mode steal occupies the thief (default 0)",
+            },
+            ParamSpec {
+                key: "fail_backoff",
+                kind: ParamKind::U64,
+                doc: "deque-mode idle back-off cycles after an all-empty victim scan \
+                      (default 0)",
+            },
+        ]
+    }
+    fn validate_spec(&self, spec: &SchedulerSpec) -> Result<(), String> {
+        seed_requires_random_victim(spec)?;
+        cluster_requires_hier_victim(spec)?;
+        if spec.param("window") == Some("0") {
+            return Err("the feedback 'window' must be non-zero".into());
+        }
+        let lo = f64_param(spec, "lo", crate::adaptive::DEFAULT_LO);
+        let hi = f64_param(spec, "hi", crate::adaptive::DEFAULT_HI);
+        if lo > hi {
+            return Err(format!(
+                "the pressure band needs lo <= hi, got lo={lo} hi={hi}"
+            ));
+        }
+        Ok(())
+    }
+    fn build(&self, spec: &SchedulerSpec, cores: usize) -> Box<dyn SchedulerPolicy> {
+        let config = AdaptiveConfig {
+            threshold: spec.u64_param("threshold", 2 * cores as u64) as usize,
+            window: spec.u64_param("window", crate::adaptive::DEFAULT_WINDOW),
+            step: spec.u64_param("step", crate::adaptive::DEFAULT_STEP as u64) as usize,
+            lo: f64_param(spec, "lo", crate::adaptive::DEFAULT_LO),
+            hi: f64_param(spec, "hi", crate::adaptive::DEFAULT_HI),
+        };
+        let (victim, steal, seed, steal_cycles, fail_backoff) = ws_options_of(spec);
+        Box::new(
+            AdaptivePolicy::with_options(cores, config, victim, steal, seed)
+                .priced(steal_cycles, fail_backoff)
+                .named(spec.canonical()),
+        )
+    }
+}
+
+/// An `f64` parameter, or `default` if it was not given (the value parses by
+/// construction — validated as [`ParamKind::PositiveF64`]).
+fn f64_param(spec: &SchedulerSpec, key: &str, default: f64) -> f64 {
+    spec.param(key)
+        .map(|v| v.parse().expect("validated f64 parameter"))
+        .unwrap_or(default)
 }
 
 #[cfg(test)]
@@ -338,7 +515,7 @@ mod tests {
     #[test]
     fn global_registry_knows_the_builtins() {
         let names = Registry::global().names();
-        for name in ["hybrid", "pdf", "static", "ws"] {
+        for name in ["adaptive", "hybrid", "pdf", "static", "ws"] {
             assert!(names.contains(&name.to_string()), "{names:?}");
         }
     }
@@ -350,8 +527,14 @@ mod tests {
             "pdf:lag=2",
             "ws",
             "ws:steal=half",
+            "ws:steal_cycles=64,fail_backoff=128",
+            "ws:victim=hier,cluster=4",
             "static",
             "hybrid:threshold=3",
+            "hybrid:threshold=3,steal_cycles=32",
+            "adaptive",
+            "adaptive:threshold=6,window=1024,step=2,lo=0.25,hi=8",
+            "adaptive:victim=hier,cluster=4,steal_cycles=64",
         ] {
             let spec: SchedulerSpec = s.parse().unwrap();
             let policy = Registry::global().build(&spec, 4);
@@ -364,10 +547,35 @@ mod tests {
         let help = Registry::global().help();
         assert!(help.contains("pdf"), "{help}");
         assert!(
-            help.contains("victim=<round-robin|random|nearest>"),
+            help.contains("victim=<round-robin|random|nearest|hier>"),
             "{help}"
         );
         assert!(help.contains("threshold=<u64>"), "{help}");
+        assert!(help.contains("steal_cycles=<u64>"), "{help}");
+        assert!(help.contains("fail_backoff=<u64>"), "{help}");
+        assert!(help.contains("cluster=<u64>"), "{help}");
+        assert!(help.contains("adaptive"), "{help}");
+        assert!(help.contains("lo=<f64>0>"), "{help}");
+    }
+
+    #[test]
+    fn inert_cluster_and_bad_bands_are_rejected() {
+        for s in ["ws:cluster=4", "hybrid:cluster=2", "adaptive:cluster=8"] {
+            let err = s.parse::<SchedulerSpec>().unwrap_err();
+            assert!(matches!(err, SpecError::InvalidCombination { .. }), "{s}");
+            assert!(err.to_string().contains("victim=hier"), "{err}");
+        }
+        let err = "ws:victim=hier,cluster=0"
+            .parse::<SchedulerSpec>()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let err = "adaptive:window=0".parse::<SchedulerSpec>().unwrap_err();
+        assert!(err.to_string().contains("non-zero"), "{err}");
+        let err = "adaptive:lo=5,hi=2".parse::<SchedulerSpec>().unwrap_err();
+        assert!(err.to_string().contains("lo <= hi"), "{err}");
+        // The band endpoints are individually typed as positive reals.
+        let err = "adaptive:hi=0".parse::<SchedulerSpec>().unwrap_err();
+        assert!(err.to_string().contains("positive real"), "{err}");
     }
 
     #[test]

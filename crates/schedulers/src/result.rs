@@ -39,6 +39,12 @@ pub struct SimResult {
     /// (`ws`, post-switch `hybrid`), cross-core placements for `static`; 0 for
     /// `pdf`, whose global queue has no migration concept.
     pub migrations: u64,
+    /// Cycles thieves spent executing the steal protocol itself, summed over
+    /// cores (`steal_cycles=N` on priced `ws`/`hybrid`/`adaptive` specs; 0
+    /// under the default free-steal model).  These cycles are charged to the
+    /// thief's busy time.  Failed-probe backoff (`fail_backoff=N`) idles the
+    /// core instead and is *not* counted here.
+    pub steal_cycles: u64,
     /// Cache-hierarchy statistics at the end of the run.
     pub hierarchy: HierarchyStats,
     /// Working-set profile of the interleaved access stream, if profiling was
@@ -98,6 +104,7 @@ mod tests {
             bus_queue_cycles: 0,
             dram_queue_cycles: 0,
             migrations: 0,
+            steal_cycles: 0,
             hierarchy,
             working_set: None,
         }

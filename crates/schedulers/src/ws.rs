@@ -20,9 +20,22 @@
 //!   Blumofe–Leiserson randomized strategy, made deterministic for simulation);
 //! * `victim=nearest` — victims are tried in order of core distance, so steals
 //!   prefer the neighbour whose L1 is topologically closest;
+//! * `victim=hier` (+ `cluster=N`) — hierarchical/NUMA-aware selection: cores
+//!   are grouped into clusters of `N` consecutive ids, same-cluster victims
+//!   are probed first (round-robin within the cluster), then the scan spills
+//!   outward cluster by cluster in distance order;
 //! * `steal=half` — a successful steal transfers half of the victim's deque
 //!   (oldest entries) instead of a single task, amortising steal overhead at
 //!   the cost of coarser load balancing.
+//!
+//! Stealing can also be *priced* (the paper treats it as free; the
+//! work-stealing-simulator literature shows latency reshapes the comparison):
+//!
+//! * `steal_cycles=N` — a successful steal occupies the thief core for `N`
+//!   simulated cycles before the stolen task starts (charged via
+//!   [`SchedulerPolicy::take_dispatch_cost`]);
+//! * `fail_backoff=N` — after a full victim scan finds every deque empty, the
+//!   thief backs off and stays idle for `N` cycles before probing again.
 
 use crate::policy::SchedulerPolicy;
 use pdfws_task_dag::{TaskDag, TaskId};
@@ -40,7 +53,19 @@ pub enum VictimSelect {
     Random,
     /// Try victims in order of increasing core distance (`core±1`, `core±2`, ...).
     Nearest,
+    /// Hierarchical/NUMA-aware: cores `[k·cluster, (k+1)·cluster)` form cluster
+    /// `k`; same-cluster victims are probed first (round-robin within the
+    /// cluster, starting after the thief), then whole clusters in distance
+    /// order (`k+1`, `k-1`, `k+2`, ...), cores within a foreign cluster in id
+    /// order.
+    Hier {
+        /// Cores per cluster (clamped to `1..=cores`).
+        cluster: usize,
+    },
 }
+
+/// The default cluster width for `victim=hier` when `cluster` is not given.
+pub(crate) const DEFAULT_CLUSTER: usize = 2;
 
 /// How much a successful steal transfers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +89,14 @@ pub struct WorkStealingPolicy {
     steal: StealGranularity,
     seed: u64,
     rng: u64,
+    /// Cycles a successful steal occupies the thief core (0 = free steals).
+    steal_cycles: u64,
+    /// Idle back-off cycles after a fully-empty victim scan (0 = re-probe
+    /// immediately at the next scheduling event).
+    fail_backoff: u64,
+    /// Dispatch cost of the most recent `next_task`, awaiting the engine's
+    /// `take_dispatch_cost`.
+    pending_cost: u64,
     /// Tasks whose enabling core is unknown (only the root) go here and are taken
     /// by the first core that asks.
     unassigned: VecDeque<TaskId>,
@@ -95,22 +128,7 @@ impl WorkStealingPolicy {
         // Inert parameters are dropped — a seed only matters for the random
         // victim — so the synthesized name always re-parses through
         // `SchedulerSpec::from_str` (the factories reject inert combinations).
-        let mut params = std::collections::BTreeMap::new();
-        if steal == StealGranularity::Half {
-            params.insert("steal".to_string(), "half".to_string());
-        }
-        match victim {
-            VictimSelect::RoundRobin => {}
-            VictimSelect::Random => {
-                params.insert("victim".to_string(), "random".to_string());
-                if seed != 0 {
-                    params.insert("seed".to_string(), seed.to_string());
-                }
-            }
-            VictimSelect::Nearest => {
-                params.insert("victim".to_string(), "nearest".to_string());
-            }
-        }
+        let params = ws_spec_params(victim, steal, seed, 0, 0);
         let name = crate::spec::SchedulerSpec::known_valid("ws", params).canonical();
         WorkStealingPolicy {
             name,
@@ -121,10 +139,32 @@ impl WorkStealingPolicy {
             steal,
             seed,
             rng: seed_state(seed),
+            steal_cycles: 0,
+            fail_backoff: 0,
+            pending_cost: 0,
             unassigned: VecDeque::new(),
             tracing: false,
             pending: Vec::new(),
         }
+    }
+
+    /// Price stealing: a successful steal occupies the thief for `steal_cycles`
+    /// simulated cycles, and a fully-empty victim scan idles it for
+    /// `fail_backoff` cycles.  Zero (the default) keeps the paper's free-steal
+    /// model bit-identically.  Re-synthesizes the canonical name; the registry
+    /// overrides it with the exact spec it resolved.
+    pub fn priced(mut self, steal_cycles: u64, fail_backoff: u64) -> Self {
+        self.steal_cycles = steal_cycles;
+        self.fail_backoff = fail_backoff;
+        let params = ws_spec_params(
+            self.victim,
+            self.steal,
+            self.seed,
+            steal_cycles,
+            fail_backoff,
+        );
+        self.name = crate::spec::SchedulerSpec::known_valid("ws", params).canonical();
+        self
     }
 
     /// Replace the reported name (the registry passes the canonical spec string).
@@ -136,6 +176,19 @@ impl WorkStealingPolicy {
     /// Number of cores (deques).
     pub fn cores(&self) -> usize {
         self.deques.len()
+    }
+
+    /// The full option tuple `(victim, steal, seed, steal_cycles,
+    /// fail_backoff)`, for wrappers (hybrid, adaptive) that re-synthesize
+    /// canonical names from the embedded instance.
+    pub(crate) fn options(&self) -> (VictimSelect, StealGranularity, u64, u64, u64) {
+        (
+            self.victim,
+            self.steal,
+            self.seed,
+            self.steal_cycles,
+            self.fail_backoff,
+        )
     }
 
     /// Number of tasks currently queued on `core`'s deque.
@@ -196,13 +249,62 @@ impl WorkStealingPolicy {
                 }
                 unreachable!("offset {offset} out of range for {n} cores")
             }
+            VictimSelect::Hier { cluster } => {
+                // Same-cluster victims first (round-robin within the cluster,
+                // starting after the thief), then whole clusters spilling
+                // outward in distance order, cores within a foreign cluster
+                // in id order.  Enumerates every core except the thief, so no
+                // non-empty deque is ever missed.
+                let k = cluster.clamp(1, n);
+                let my = core / k;
+                let base = my * k;
+                let size = k.min(n - base);
+                let mut seen = 0usize;
+                for j in 1..size {
+                    seen += 1;
+                    if seen == offset {
+                        return base + (core - base + j) % size;
+                    }
+                }
+                let clusters = n.div_ceil(k);
+                for d in 1..clusters {
+                    for c in [my.checked_add(d), my.checked_sub(d)]
+                        .into_iter()
+                        .flatten()
+                        .filter(|&c| c < clusters)
+                    {
+                        let cbase = c * k;
+                        for v in cbase..(cbase + k).min(n) {
+                            seen += 1;
+                            if seen == offset {
+                                return v;
+                            }
+                        }
+                    }
+                }
+                unreachable!("offset {offset} out of range for {n} cores")
+            }
         }
+    }
+
+    /// Remove every queued task (all deques plus the unassigned pool) and
+    /// return them, oldest-first per deque.  `adaptive` uses this when it
+    /// falls back from deque mode to the global priority queue; steal counters
+    /// and the rng are deliberately left untouched so the run's statistics
+    /// stay cumulative.
+    pub(crate) fn drain_all(&mut self) -> Vec<TaskId> {
+        let mut out: Vec<TaskId> = self.unassigned.drain(..).collect();
+        for d in &mut self.deques {
+            out.extend(d.drain(..));
+        }
+        out
     }
 
     /// Execute one steal from `victim`'s deque on behalf of `core`, honouring
     /// the configured granularity.  The victim's deque must be non-empty.
     fn steal_from(&mut self, core: usize, victim: usize) -> TaskId {
         self.steals += 1;
+        self.pending_cost = self.steal_cycles;
         let (first, moved) = match self.steal {
             StealGranularity::One => {
                 self.tasks_stolen += 1;
@@ -233,6 +335,7 @@ impl WorkStealingPolicy {
                 victim,
                 task: first.index() as u64,
                 tasks: moved,
+                cost: self.steal_cycles,
             });
         }
         first
@@ -252,6 +355,7 @@ impl SchedulerPolicy for WorkStealingPolicy {
         self.steals = 0;
         self.tasks_stolen = 0;
         self.rng = seed_state(self.seed);
+        self.pending_cost = 0;
         // `tracing` survives init: the engine enables it when the sink is
         // installed, before the run (and its init) begins.
         self.pending.clear();
@@ -265,6 +369,10 @@ impl SchedulerPolicy for WorkStealingPolicy {
     }
 
     fn next_task(&mut self, core: usize) -> Option<TaskId> {
+        // Each call reports its own dispatch cost; stale cost from a call the
+        // engine never charged (e.g. the test-only drain harness) must not
+        // leak forward.
+        self.pending_cost = 0;
         // Own deque first: LIFO (top = back).
         if let Some(task) = self.deques[core].pop_back() {
             return Some(task);
@@ -285,6 +393,10 @@ impl SchedulerPolicy for WorkStealingPolicy {
                 return Some(self.steal_from(core, victim));
             }
         }
+        if n > 1 {
+            // A full scan probed every victim empty: back off before re-probing.
+            self.pending_cost = self.fail_backoff;
+        }
         None
     }
 
@@ -296,6 +408,10 @@ impl SchedulerPolicy for WorkStealingPolicy {
         self.steals
     }
 
+    fn take_dispatch_cost(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_cost)
+    }
+
     fn trace_enable(&mut self) {
         self.tracing = true;
     }
@@ -303,6 +419,50 @@ impl SchedulerPolicy for WorkStealingPolicy {
     fn trace_drain(&mut self, out: &mut Vec<PolicyEvent>) {
         out.append(&mut self.pending);
     }
+}
+
+/// Build the `ws`-family parameter map for canonical-name synthesis, shared by
+/// `ws`, `hybrid` and `adaptive` direct constructors.  Inert or default-valued
+/// parameters are dropped so the result always re-parses through the factory
+/// validation: the seed only with `victim=random`, `cluster` only with
+/// `victim=hier` (and only when it differs from [`DEFAULT_CLUSTER`]), the
+/// steal prices only when non-zero.
+pub(crate) fn ws_spec_params(
+    victim: VictimSelect,
+    steal: StealGranularity,
+    seed: u64,
+    steal_cycles: u64,
+    fail_backoff: u64,
+) -> std::collections::BTreeMap<String, String> {
+    let mut params = std::collections::BTreeMap::new();
+    if steal == StealGranularity::Half {
+        params.insert("steal".to_string(), "half".to_string());
+    }
+    match victim {
+        VictimSelect::RoundRobin => {}
+        VictimSelect::Random => {
+            params.insert("victim".to_string(), "random".to_string());
+            if seed != 0 {
+                params.insert("seed".to_string(), seed.to_string());
+            }
+        }
+        VictimSelect::Nearest => {
+            params.insert("victim".to_string(), "nearest".to_string());
+        }
+        VictimSelect::Hier { cluster } => {
+            params.insert("victim".to_string(), "hier".to_string());
+            if cluster != DEFAULT_CLUSTER {
+                params.insert("cluster".to_string(), cluster.to_string());
+            }
+        }
+    }
+    if steal_cycles != 0 {
+        params.insert("steal_cycles".to_string(), steal_cycles.to_string());
+    }
+    if fail_backoff != 0 {
+        params.insert("fail_backoff".to_string(), fail_backoff.to_string());
+    }
+    params
 }
 
 /// Non-zero xorshift64 state for a seed.
@@ -608,6 +768,89 @@ mod tests {
                 .name(),
             "ws:steal=one"
         );
+        // Priced steals and the hierarchical victim render (and only when
+        // they differ from the free/default values).
+        assert_eq!(
+            WorkStealingPolicy::new(2).priced(64, 128).name(),
+            "ws:fail_backoff=128,steal_cycles=64"
+        );
+        assert_eq!(WorkStealingPolicy::new(2).priced(0, 0).name(), "ws");
+        let hier = |cluster| {
+            WorkStealingPolicy::with_options(
+                8,
+                VictimSelect::Hier { cluster },
+                StealGranularity::One,
+                0,
+            )
+            .name()
+        };
+        assert_eq!(hier(2), "ws:victim=hier");
+        assert_eq!(hier(4), "ws:cluster=4,victim=hier");
+    }
+
+    #[test]
+    fn hier_victim_prefers_the_same_cluster_then_spills_outward() {
+        let (dag, kids) = star_dag(3);
+        let mut ws = WorkStealingPolicy::with_options(
+            8,
+            VictimSelect::Hier { cluster: 4 },
+            StealGranularity::One,
+            0,
+        );
+        ws.init(&dag);
+        // Work on cores 0 (foreign cluster), 5 and 7 (thief's cluster).
+        ws.task_ready(kids[0], Some(0));
+        ws.task_ready(kids[1], Some(5));
+        ws.task_ready(kids[2], Some(7));
+        // Thief is core 6 (cluster 1 = cores 4..8).  In-cluster round-robin
+        // from the thief scans 7, 4, 5 before any foreign core, so core 7 is
+        // robbed first, then core 5, and only then the spill reaches core 0.
+        assert_eq!(ws.next_task(6), Some(kids[2]));
+        assert_eq!(ws.next_task(6), Some(kids[1]));
+        assert_eq!(ws.next_task(6), Some(kids[0]));
+        assert_eq!(ws.migrations(), 3);
+    }
+
+    #[test]
+    fn hier_scan_enumerates_every_victim_exactly_once() {
+        // Whatever the geometry (including clusters that don't divide the
+        // core count), offsets 1..n must enumerate all n-1 other cores.
+        for n in 1usize..10 {
+            for cluster in 1usize..=n + 1 {
+                let mut ws = WorkStealingPolicy::with_options(
+                    n,
+                    VictimSelect::Hier { cluster },
+                    StealGranularity::One,
+                    0,
+                );
+                for core in 0..n {
+                    let mut seen: Vec<usize> = (1..n).map(|o| ws.victim_at(core, o)).collect();
+                    seen.sort_unstable();
+                    let expect: Vec<usize> = (0..n).filter(|&v| v != core).collect();
+                    assert_eq!(seen, expect, "n={n} cluster={cluster} thief={core}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priced_steals_report_their_dispatch_cost_exactly_once() {
+        let (dag, kids) = star_dag(2);
+        let mut ws = WorkStealingPolicy::new(2).priced(64, 128);
+        ws.init(&dag);
+        ws.task_ready(kids[0], Some(0));
+        ws.task_ready(kids[1], Some(0));
+        // Owner dispatch is free.
+        assert_eq!(ws.next_task(0), Some(kids[1]));
+        assert_eq!(ws.take_dispatch_cost(), 0);
+        // A successful steal costs steal_cycles, taken exactly once.
+        assert_eq!(ws.next_task(1), Some(kids[0]));
+        assert_eq!(ws.take_dispatch_cost(), 64);
+        assert_eq!(ws.take_dispatch_cost(), 0);
+        // A fully-empty scan costs fail_backoff.
+        assert_eq!(ws.next_task(1), None);
+        assert_eq!(ws.take_dispatch_cost(), 128);
+        assert_eq!(ws.take_dispatch_cost(), 0);
     }
 
     #[test]
@@ -620,14 +863,24 @@ mod tests {
             VictimSelect::RoundRobin,
             VictimSelect::Random,
             VictimSelect::Nearest,
+            VictimSelect::Hier { cluster: 2 },
+            VictimSelect::Hier { cluster: 4 },
         ] {
             for steal in [StealGranularity::One, StealGranularity::Half] {
                 for seed in [0u64, 7] {
-                    let name = WorkStealingPolicy::with_options(2, victim, steal, seed).name();
-                    let spec: SchedulerSpec = name
-                        .parse()
-                        .unwrap_or_else(|e| panic!("'{name}' does not re-parse: {e}"));
-                    assert_eq!(spec.canonical(), name, "{victim:?}/{steal:?}/seed={seed}");
+                    for (sc, fb) in [(0u64, 0u64), (64, 128)] {
+                        let name = WorkStealingPolicy::with_options(2, victim, steal, seed)
+                            .priced(sc, fb)
+                            .name();
+                        let spec: SchedulerSpec = name
+                            .parse()
+                            .unwrap_or_else(|e| panic!("'{name}' does not re-parse: {e}"));
+                        assert_eq!(
+                            spec.canonical(),
+                            name,
+                            "{victim:?}/{steal:?}/seed={seed}/{sc}/{fb}"
+                        );
+                    }
                 }
             }
         }

@@ -55,6 +55,9 @@ pub enum TraceEvent {
         task: u64,
         /// Total tasks transferred (more than one under `steal=half`).
         tasks: u64,
+        /// Cycles the steal occupied the thief (`steal_cycles`; 0 under the
+        /// free-steal model).
+        cost: u64,
     },
     /// A task was enabled on `core` but queued on a different home core
     /// (static partitioning's cross-core placement).
@@ -297,6 +300,8 @@ pub enum PolicyEvent {
         task: u64,
         /// Total tasks transferred.
         tasks: u64,
+        /// Cycles the steal occupied the thief (0 under the free-steal model).
+        cost: u64,
     },
     /// A cross-core placement: enabled on `core`, queued on home `home`.
     Migration {
@@ -325,12 +330,14 @@ impl PolicyEvent {
                 victim,
                 task,
                 tasks,
+                cost,
             } => TraceEvent::Steal {
                 t,
                 core,
                 victim,
                 task,
                 tasks,
+                cost,
             },
             PolicyEvent::Migration { core, home, task } => TraceEvent::Migration {
                 t,
@@ -367,6 +374,7 @@ mod tests {
                 victim: 0,
                 task: 8,
                 tasks: 2,
+                cost: 0,
             },
             TraceEvent::Migration {
                 t: 5,
@@ -419,7 +427,8 @@ mod tests {
                 core: 1,
                 victim: 0,
                 task: 3,
-                tasks: 1
+                tasks: 1,
+                cost: 64
             }
             .at(11),
             TraceEvent::Steal {
@@ -427,7 +436,8 @@ mod tests {
                 core: 1,
                 victim: 0,
                 task: 3,
-                tasks: 1
+                tasks: 1,
+                cost: 64
             }
         );
         assert_eq!(

@@ -117,9 +117,10 @@ fn push_track(out: &mut Vec<String>, track: &TraceTrack) {
                 victim,
                 task,
                 tasks,
+                cost,
             } => {
                 out.push(format!(
-                    "{{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"i\",\"ts\":{t},\"pid\":{pid},\"tid\":{core},\"s\":\"t\",\"args\":{{\"victim\":{victim},\"task\":{task},\"tasks\":{tasks}}}}}"
+                    "{{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"i\",\"ts\":{t},\"pid\":{pid},\"tid\":{core},\"s\":\"t\",\"args\":{{\"victim\":{victim},\"task\":{task},\"tasks\":{tasks},\"cost\":{cost}}}}}"
                 ));
             }
             TraceEvent::Migration {
@@ -261,6 +262,7 @@ mod tests {
                     victim: 0,
                     task: 2,
                     tasks: 1,
+                    cost: 0,
                 },
                 TraceEvent::TaskComplete {
                     t: 10,

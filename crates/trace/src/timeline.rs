@@ -181,6 +181,7 @@ mod tests {
                 victim: 0,
                 task: 1,
                 tasks: 1,
+                cost: 0,
             },
             TraceEvent::StealAttempt { t: 10, core: 1 },
             TraceEvent::Migration {

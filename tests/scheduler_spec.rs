@@ -15,7 +15,33 @@ use std::sync::Arc;
 /// depend on it).
 fn spec_string(policy: usize, mask: u8, a: u64, b: u64, order: bool) -> String {
     let mut params: Vec<String> = Vec::new();
-    let name = match policy % 4 {
+    // The work-stealing option block shared by `ws`, `hybrid` and `adaptive`:
+    // victim strategy (with its dependent seed/cluster parameters),
+    // granularity, and the steal prices.
+    let ws_params = |params: &mut Vec<String>, mask: u8| {
+        if mask & 1 != 0 {
+            let victim = ["round-robin", "random", "nearest", "hier"][(a % 4) as usize];
+            params.push(format!("victim={victim}"));
+            // `seed` requires victim=random, `cluster` requires victim=hier.
+            if mask & 4 != 0 && victim == "random" {
+                params.push(format!("seed={}", b % 10_000));
+            }
+            if mask & 4 != 0 && victim == "hier" {
+                params.push(format!("cluster={}", 1 + b % 8));
+            }
+        }
+        if mask & 2 != 0 {
+            let steal = ["one", "half"][(b % 2) as usize];
+            params.push(format!("steal={steal}"));
+        }
+        if mask & 8 != 0 {
+            params.push(format!("steal_cycles={}", a % 512));
+        }
+        if mask & 16 != 0 {
+            params.push(format!("fail_backoff={}", b % 512));
+        }
+    };
+    let name = match policy % 5 {
         0 => {
             if mask & 1 != 0 {
                 params.push(format!("lag={}", a % 64));
@@ -23,32 +49,29 @@ fn spec_string(policy: usize, mask: u8, a: u64, b: u64, order: bool) -> String {
             "pdf"
         }
         1 => {
-            let mut random_victim = false;
-            if mask & 1 != 0 {
-                let victim = ["round-robin", "random", "nearest"][(a % 3) as usize];
-                random_victim = victim == "random";
-                params.push(format!("victim={victim}"));
-            }
-            if mask & 2 != 0 {
-                let steal = ["one", "half"][(b % 2) as usize];
-                params.push(format!("steal={steal}"));
-            }
-            // `seed` is only valid (and only meaningful) with victim=random.
-            if mask & 4 != 0 && random_victim {
-                params.push(format!("seed={}", b % 10_000));
-            }
+            ws_params(&mut params, mask);
             "ws"
         }
         2 => "static",
-        _ => {
-            if mask & 1 != 0 {
+        3 => {
+            if mask & 32 != 0 {
                 params.push(format!("threshold={}", a % 128));
             }
-            if mask & 2 != 0 {
-                let steal = ["one", "half"][(b % 2) as usize];
-                params.push(format!("steal={steal}"));
-            }
+            ws_params(&mut params, mask);
             "hybrid"
+        }
+        _ => {
+            if mask & 32 != 0 {
+                params.push(format!("threshold={}", a % 128));
+                params.push(format!("window={}", 1 + a % 8192));
+                params.push(format!("step={}", b % 16));
+                // A valid band: lo <= hi by construction, both positive.
+                let lo = 1 + a % 4;
+                params.push(format!("lo={lo}"));
+                params.push(format!("hi={}", lo + b % 8));
+            }
+            ws_params(&mut params, mask);
+            "adaptive"
         }
     };
     if order {
@@ -66,8 +89,8 @@ proptest! {
 
     #[test]
     fn specs_round_trip_through_display_and_from_str(
-        policy in prop::sample::select((0usize..4).collect::<Vec<_>>()),
-        mask in prop::sample::select((0u8..8).collect::<Vec<_>>()),
+        policy in prop::sample::select((0usize..5).collect::<Vec<_>>()),
+        mask in prop::sample::select((0u8..64).collect::<Vec<_>>()),
         a in 0u64..1_000_000,
         b in 0u64..1_000_000,
         order in prop::sample::select(vec![false, true]),
@@ -140,7 +163,7 @@ fn every_registered_policy_matches_the_sequential_baseline_on_one_core() {
     // mutable and another test in this binary registers a custom policy, so
     // iterating names() would make this test's scope order-dependent), plus
     // parameterized variants.
-    for builtin in ["pdf", "ws", "static", "hybrid"] {
+    for builtin in ["pdf", "ws", "static", "hybrid", "adaptive"] {
         assert!(
             Registry::global().names().contains(&builtin.to_string()),
             "built-in '{builtin}' missing from the registry"
@@ -151,9 +174,15 @@ fn every_registered_policy_matches_the_sequential_baseline_on_one_core() {
         "ws",
         "static",
         "hybrid",
+        "adaptive",
         "pdf:lag=1",
         "ws:victim=random,steal=half,seed=3",
+        "ws:victim=hier,cluster=2",
+        // On one core there is no victim to steal from, so even non-zero
+        // prices must leave the sequential schedule untouched.
+        "ws:steal_cycles=64,fail_backoff=128",
         "hybrid:threshold=1",
+        "adaptive:threshold=1,window=512,step=2,lo=0.5,hi=4",
     ]
     .iter()
     .map(|n| n.parse().unwrap_or_else(|e| panic!("{n}: {e}")))

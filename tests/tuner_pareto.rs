@@ -1,0 +1,93 @@
+//! Golden-file and determinism coverage for the scheduler-zoo Pareto tuner
+//! (`pdfws-bench`'s `tuner` module / binary).
+//!
+//! The quick tuner sweep — `quick_workloads()` × `TUNER_CORES` ×
+//! `tuner_specs()` — must emit the exact `pareto.csv` bytes pinned under
+//! `tests/golden/`, for every sweep thread count.  CI runs the `tuner` binary
+//! with `--quick` and diffs its artifact against the same golden file.
+
+use pdfws_bench::tuner::{
+    pareto_csv, quick_workloads, rows_from_reports, tuner_specs, TUNER_CORES,
+};
+use pdfws_core::prelude::*;
+
+/// The quick tuner sweep exactly as the binary's `--quick` path runs it.
+fn quick_pareto_csv(threads: usize) -> String {
+    let specs = tuner_specs();
+    let grid = SweepGrid::new()
+        .workloads(&quick_workloads())
+        .cores(&[TUNER_CORES])
+        .specs(&specs);
+    let reports = SweepRunner::new(threads)
+        .run(&grid)
+        .expect("quick tuner grid runs")
+        .into_reports();
+    pareto_csv(&rows_from_reports(&reports, TUNER_CORES, &specs))
+}
+
+// Any change to the scheduler zoo, the engine's steal-cost accounting, or the
+// tuner's objective/front computation shows up as a golden diff — regenerate
+// with `UPDATE_GOLDEN=1 cargo test --test tuner_pareto` and review it.
+#[test]
+fn quick_pareto_front_matches_the_golden_file() {
+    let csv = quick_pareto_csv(1);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/tuner_pareto.csv");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &csv).expect("write golden pareto csv");
+        return;
+    }
+    assert_eq!(
+        csv,
+        include_str!("golden/tuner_pareto.csv"),
+        "tuner Pareto front changed (UPDATE_GOLDEN=1 to regenerate)"
+    );
+}
+
+#[test]
+fn pareto_csv_is_byte_identical_across_sweep_thread_counts() {
+    let sequential = quick_pareto_csv(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            quick_pareto_csv(threads),
+            sequential,
+            "pareto.csv differs on {threads} sweep threads"
+        );
+    }
+}
+
+// Every workload must keep at least one spec on its front (the front of a
+// non-empty set is non-empty), and the priced-steal spec must actually charge
+// steal cycles somewhere in the sweep — the column is the tuner's visible
+// evidence that `steal_cycles=N` reaches the engine.
+#[test]
+fn front_is_nonempty_and_priced_steals_are_charged() {
+    let specs = tuner_specs();
+    let grid = SweepGrid::new()
+        .workloads(&quick_workloads())
+        .cores(&[TUNER_CORES])
+        .specs(&specs);
+    let reports = SweepRunner::new(2)
+        .run(&grid)
+        .expect("quick tuner grid runs")
+        .into_reports();
+    let rows = rows_from_reports(&reports, TUNER_CORES, &specs);
+    for workload in quick_workloads() {
+        let name = workload.spec.canonical();
+        assert!(
+            rows.iter().any(|r| r.workload == name && r.pareto),
+            "{name}: empty Pareto front"
+        );
+    }
+    let priced: Vec<_> = rows
+        .iter()
+        .filter(|r| r.scheduler.contains("steal_cycles=64"))
+        .collect();
+    assert!(!priced.is_empty(), "priced spec missing from the sweep");
+    assert!(
+        priced.iter().any(|r| r.steal_cycles > 0),
+        "priced stealing never charged a cycle across the quick sweep"
+    );
+    for r in &priced {
+        assert_eq!(r.steal_cycles % 64, 0, "costs come in steal_cycles quanta");
+    }
+}
